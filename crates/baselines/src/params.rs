@@ -1,0 +1,131 @@
+//! Planner helpers shared by the one-tile schedules and predicted-I/O
+//! containers.
+
+use crate::error::{OocError, Result};
+use symla_matrix::kernels::FlopCount;
+
+/// Predicted I/O volume and arithmetic work of a schedule, produced by the
+/// analytic cost models. The executors are required (and tested) to measure
+/// exactly these numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoEstimate {
+    /// Elements loaded from slow to fast memory.
+    pub loads: u128,
+    /// Elements stored from fast to slow memory.
+    pub stores: u128,
+    /// Arithmetic operations performed.
+    pub flops: FlopCount,
+}
+
+impl IoEstimate {
+    /// Total traffic (loads + stores).
+    pub fn total(&self) -> u128 {
+        self.loads + self.stores
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&self, other: &IoEstimate) -> IoEstimate {
+        IoEstimate {
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            flops: self.flops.merge(&other.flops),
+        }
+    }
+
+    /// Operational intensity in multiplications per transferred element.
+    pub fn operational_intensity_mults(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.flops.mults as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Largest tile side `t` such that one `t×t` output tile plus two streamed
+/// length-`t` operand segments fit in a fast memory of `s` elements:
+/// `t² + 2t ≤ s`. This is the tile size used by every one-tile baseline.
+pub fn square_tile_for_capacity(s: usize) -> Result<usize> {
+    if s < 3 {
+        return Err(OocError::Invalid(format!(
+            "memory of {s} elements is too small for a one-tile schedule (need at least 3)"
+        )));
+    }
+    // Solve t^2 + 2t - s <= 0 -> t <= sqrt(s + 1) - 1.
+    let mut t = ((s as f64 + 1.0).sqrt() - 1.0).floor() as usize;
+    while t * t + 2 * t > s {
+        t -= 1;
+    }
+    while (t + 1) * (t + 1) + 2 * (t + 1) <= s {
+        t += 1;
+    }
+    Ok(t.max(1))
+}
+
+/// The working-set size of the one-tile schedules for tile side `t`
+/// (`t² + 2t`): the value that must not exceed the fast-memory capacity.
+pub fn square_tile_working_set(t: usize) -> usize {
+    t * t + 2 * t
+}
+
+/// Splits a dimension `n` into `⌈n/t⌉` tile extents `(offset, len)`.
+pub fn tile_extents(n: usize, t: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n.div_ceil(t.max(1)));
+    let mut start = 0;
+    while start < n {
+        let len = t.min(n - start);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_for_capacity_is_maximal() {
+        for s in 3..5000 {
+            let t = square_tile_for_capacity(s).unwrap();
+            assert!(square_tile_working_set(t) <= s, "s = {s}");
+            assert!(
+                square_tile_working_set(t + 1) > s,
+                "s = {s}: {t} not maximal"
+            );
+        }
+        assert!(square_tile_for_capacity(2).is_err());
+        assert_eq!(square_tile_for_capacity(3).unwrap(), 1);
+        assert_eq!(square_tile_for_capacity(8).unwrap(), 2);
+        assert_eq!(square_tile_for_capacity(1023).unwrap(), 31);
+    }
+
+    #[test]
+    fn tile_extents_cover_dimension() {
+        assert_eq!(tile_extents(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(tile_extents(8, 4), vec![(0, 4), (4, 4)]);
+        assert_eq!(tile_extents(3, 5), vec![(0, 3)]);
+        assert!(tile_extents(0, 4).is_empty());
+        let ext = tile_extents(137, 16);
+        assert_eq!(ext.iter().map(|&(_, l)| l).sum::<usize>(), 137);
+    }
+
+    #[test]
+    fn estimate_merge_and_oi() {
+        let a = IoEstimate {
+            loads: 100,
+            stores: 20,
+            flops: FlopCount::new(600, 600),
+        };
+        let b = IoEstimate {
+            loads: 10,
+            stores: 10,
+            flops: FlopCount::new(40, 40),
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.total(), 140);
+        assert_eq!(m.flops.mults, 640);
+        assert!((a.operational_intensity_mults() - 5.0).abs() < 1e-12);
+        assert_eq!(IoEstimate::default().operational_intensity_mults(), 0.0);
+    }
+}

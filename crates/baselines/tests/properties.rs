@@ -1,0 +1,151 @@
+//! Property-based tests of the baseline out-of-core schedules: for random
+//! problem sizes and memory capacities, every executor must (a) produce the
+//! same result as the in-memory reference kernel, (b) transfer exactly the
+//! volume its analytic cost model predicts, and (c) never exceed the declared
+//! fast-memory capacity.
+
+use proptest::prelude::*;
+use symla_baselines::{
+    ooc_chol_cost, ooc_chol_execute, ooc_gemm_cost, ooc_gemm_execute, ooc_lu_cost, ooc_lu_execute,
+    ooc_syrk_cost, ooc_syrk_execute, ooc_trsm_cost, ooc_trsm_execute, OocCholPlan, OocGemmPlan,
+    OocLuPlan, OocSyrkPlan, OocTrsmPlan,
+};
+use symla_matrix::generate::{
+    random_lower_triangular, random_matrix_seeded, random_spd_seeded, random_symmetric, seeded_rng,
+};
+use symla_matrix::kernels::{
+    cholesky_residual, cholesky_sym, gemm, lu_nopiv_in_place, syrk_sym, trsm_right_lower_transpose,
+};
+use symla_matrix::{LowerTriangular, Matrix, SymMatrix};
+use symla_memory::{OocMachine, PanelRef, SymWindowRef};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ooc_syrk_random_instances(n in 2usize..36, m in 1usize..16, s in 8usize..150, seed in 0u64..500) {
+        let a: Matrix<f64> = random_matrix_seeded(n, m, seed);
+        let c0: SymMatrix<f64> = random_symmetric(n, &mut seeded_rng(seed + 1));
+        let mut expected = c0.clone();
+        syrk_sym(1.0, &a, 1.0, &mut expected).unwrap();
+
+        let plan = OocSyrkPlan::for_memory(s).unwrap();
+        let mut machine = OocMachine::with_capacity(s);
+        let a_id = machine.insert_dense(a);
+        let c_id = machine.insert_symmetric(c0);
+        ooc_syrk_execute(
+            &mut machine,
+            &PanelRef::dense(a_id, n, m),
+            &SymWindowRef::full(c_id, n),
+            1.0,
+            &plan,
+        )
+        .unwrap();
+
+        let est = ooc_syrk_cost(n, m, &plan);
+        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
+        prop_assert_eq!(est.stores, machine.stats().volume.stores as u128);
+        prop_assert!(machine.stats().peak_resident <= s);
+        let got = machine.take_symmetric(c_id).unwrap();
+        prop_assert!(got.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn ooc_trsm_random_instances(mrows in 1usize..30, b in 2usize..18, s in 8usize..120, seed in 0u64..500) {
+        let lfac = random_lower_triangular::<f64>(b, &mut seeded_rng(seed));
+        let x0: Matrix<f64> = random_matrix_seeded(mrows, b, seed + 2);
+        let mut expected = x0.clone();
+        trsm_right_lower_transpose(&lfac, &mut expected).unwrap();
+
+        let plan = OocTrsmPlan::for_memory(s).unwrap();
+        let mut machine = OocMachine::with_capacity(s);
+        let l_id = machine.insert_symmetric(SymMatrix::from_lower_fn(b, |i, j| lfac.get(i, j)));
+        let x_id = machine.insert_dense(x0);
+        ooc_trsm_execute(
+            &mut machine,
+            &SymWindowRef::full(l_id, b),
+            &PanelRef::dense(x_id, mrows, b),
+            &plan,
+        )
+        .unwrap();
+
+        let est = ooc_trsm_cost(mrows, b, &plan);
+        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
+        prop_assert!(machine.stats().peak_resident <= s);
+        let got = machine.take_dense(x_id).unwrap();
+        prop_assert!(got.approx_eq(&expected, 1e-8));
+    }
+
+    #[test]
+    fn ooc_chol_random_instances(n in 2usize..30, s in 8usize..120, seed in 0u64..500) {
+        let a: SymMatrix<f64> = random_spd_seeded(n, seed);
+        let expected = cholesky_sym(&a).unwrap();
+
+        let plan = OocCholPlan::for_memory(s).unwrap();
+        let mut machine = OocMachine::with_capacity(s);
+        let id = machine.insert_symmetric(a.clone());
+        ooc_chol_execute(&mut machine, &SymWindowRef::full(id, n), &plan).unwrap();
+
+        let est = ooc_chol_cost(n, &plan);
+        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
+        prop_assert_eq!(est.stores, machine.stats().volume.stores as u128);
+        prop_assert!(machine.stats().peak_resident <= s);
+        let got = machine.take_symmetric(id).unwrap();
+        let lfac = LowerTriangular::from_lower_fn(n, |i, j| got.get(i, j));
+        prop_assert!(lfac.approx_eq(&expected, 1e-7));
+        prop_assert!(cholesky_residual(&a, &lfac) < 1e-9);
+    }
+
+    #[test]
+    fn ooc_gemm_random_instances(n in 1usize..24, k in 1usize..16, p in 1usize..24, s in 8usize..100, seed in 0u64..500) {
+        let a: Matrix<f64> = random_matrix_seeded(n, k, seed);
+        let b: Matrix<f64> = random_matrix_seeded(k, p, seed + 1);
+        let c0: Matrix<f64> = random_matrix_seeded(n, p, seed + 2);
+        let mut expected = c0.clone();
+        gemm(1.0, &a, &b, 1.0, &mut expected).unwrap();
+
+        let plan = OocGemmPlan::for_memory(s).unwrap();
+        let mut machine = OocMachine::with_capacity(s);
+        let a_id = machine.insert_dense(a);
+        let b_id = machine.insert_dense(b);
+        let c_id = machine.insert_dense(c0);
+        ooc_gemm_execute(
+            &mut machine,
+            &PanelRef::dense(a_id, n, k),
+            &PanelRef::dense(b_id, k, p),
+            &PanelRef::dense(c_id, n, p),
+            1.0,
+            &plan,
+        )
+        .unwrap();
+
+        let est = ooc_gemm_cost(n, k, p, &plan);
+        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
+        prop_assert!(machine.stats().peak_resident <= s);
+        let got = machine.take_dense(c_id).unwrap();
+        prop_assert!(got.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn ooc_lu_random_instances(n in 1usize..26, s in 8usize..100, seed in 0u64..500) {
+        // diagonally dominant so that no pivoting is needed
+        let mut a: Matrix<f64> = random_matrix_seeded(n, n, seed);
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            a[(i, i)] = row_sum + 1.0;
+        }
+        let mut expected = a.clone();
+        lu_nopiv_in_place(&mut expected).unwrap();
+
+        let plan = OocLuPlan::for_memory(s).unwrap();
+        let mut machine = OocMachine::with_capacity(s);
+        let id = machine.insert_dense(a);
+        ooc_lu_execute(&mut machine, &PanelRef::dense(id, n, n), &plan).unwrap();
+
+        let est = ooc_lu_cost(n, &plan);
+        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
+        prop_assert!(machine.stats().peak_resident <= s);
+        let got = machine.take_dense(id).unwrap();
+        prop_assert!(got.approx_eq(&expected, 1e-8));
+    }
+}

@@ -1,0 +1,64 @@
+//! Microbenches of the machine model itself: throughput of region transfers
+//! (the simulation overhead that every out-of-core run pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_matrix::generate;
+use symla_memory::{OocMachine, Region};
+
+fn bench_region_roundtrips(c: &mut Criterion) {
+    let n = 512;
+    let sym = generate::random_spd_seeded::<f64>(n, 5);
+    let dense = generate::random_matrix_seeded::<f64>(n, n, 6);
+
+    let mut group = c.benchmark_group("machine region roundtrip");
+    group.bench_function(BenchmarkId::new("dense rect 32x32", n), |b| {
+        b.iter(|| {
+            let mut machine = OocMachine::with_capacity(2048);
+            let id = machine.insert_dense(dense.clone());
+            for t in 0..8 {
+                let buf = machine.load(id, Region::rect(t * 32, 0, 32, 32)).unwrap();
+                machine.store(buf).unwrap();
+            }
+            machine.stats().volume.loads
+        })
+    });
+    group.bench_function(BenchmarkId::new("sym triangle side 32", n), |b| {
+        b.iter(|| {
+            let mut machine = OocMachine::with_capacity(2048);
+            let id = machine.insert_symmetric(sym.clone());
+            for t in 0..8 {
+                let buf = machine
+                    .load(id, Region::SymLowerTriangle { start: t * 32, size: 32 })
+                    .unwrap();
+                machine.store(buf).unwrap();
+            }
+            machine.stats().volume.loads
+        })
+    });
+    group.bench_function(BenchmarkId::new("sym pairs of 32 rows", n), |b| {
+        let rows: Vec<usize> = (0..32).map(|i| i * 16).collect();
+        b.iter(|| {
+            let mut machine = OocMachine::with_capacity(2048);
+            let id = machine.insert_symmetric(sym.clone());
+            for _ in 0..8 {
+                let buf = machine
+                    .load(id, Region::SymPairs { rows: rows.clone() })
+                    .unwrap();
+                machine.store(buf).unwrap();
+            }
+            machine.stats().volume.loads
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache_replay(c: &mut Criterion) {
+    use symla_memory::cache::{simulate_lru, syrk_naive_access_stream};
+    let stream = syrk_naive_access_stream(48, 24);
+    c.bench_function("lru replay of naive syrk stream (n=48, m=24)", |b| {
+        b.iter(|| simulate_lru(stream.iter().copied(), 64))
+    });
+}
+
+criterion_group!(benches, bench_region_roundtrips, bench_cache_replay);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Wall-clock benches of the in-memory reference kernels (experiment E10):
+//! unblocked vs blocked/tiled variants of SYRK, Cholesky and GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_matrix::generate;
+use symla_matrix::kernels::{
+    cholesky_blocked, cholesky_sym, cholesky_tiled, gemm, gemm_blocked, syrk_blocked_sym, syrk_sym,
+};
+use symla_matrix::{Matrix, SymMatrix};
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("in-memory syrk");
+    for &n in &[96_usize, 192] {
+        let m = n / 2;
+        let a: Matrix<f64> = generate::random_matrix_seeded(n, m, 1);
+        let c0 = SymMatrix::<f64>::zeros(n);
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut cm = c0.clone();
+                syrk_sym(1.0, &a, 1.0, &mut cm).unwrap();
+                cm
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked-32", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut cm = c0.clone();
+                syrk_blocked_sym(1.0, &a, 1.0, &mut cm, 32).unwrap();
+                cm
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("in-memory cholesky");
+    for &n in &[96_usize, 192] {
+        let a = generate::random_spd_seeded::<f64>(n, 2);
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &n, |bench, _| {
+            bench.iter(|| cholesky_sym(&a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked-32", n), &n, |bench, _| {
+            bench.iter(|| cholesky_blocked(&a, 32).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tiled-32", n), &n, |bench, _| {
+            bench.iter(|| cholesky_tiled(&a, 32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("in-memory gemm");
+    for &n in &[96_usize, 160] {
+        let a: Matrix<f64> = generate::random_matrix_seeded(n, n, 3);
+        let b: Matrix<f64> = generate::random_matrix_seeded(n, n, 4);
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut cm = Matrix::<f64>::zeros(n, n);
+                gemm(1.0, &a, &b, 0.0, &mut cm).unwrap();
+                cm
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked-32", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut cm = Matrix::<f64>::zeros(n, n);
+                gemm_blocked(1.0, &a, &b, 0.0, &mut cm, 32).unwrap();
+                cm
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_syrk, bench_cholesky, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benches of the analysis tooling: operational-intensity tables, the
+//! integer search of Theorem 4.1 and the bound evaluations (experiments
+//! E1/E9 tooling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_core::bounds;
+use symla_core::oi::oi_table;
+use symla_sched::opt::best_integer_balanced;
+use symla_sched::TbsPartition;
+
+fn bench_oi_table(c: &mut Criterion) {
+    c.bench_function("oi_table(65536, 4096)", |b| {
+        b.iter(|| oi_table(65_536, 4096))
+    });
+}
+
+fn bench_integer_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_integer_balanced");
+    for &x in &[1_000_usize, 20_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, &x| {
+            b.iter(|| best_integer_balanced(x, None, None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tbs partition exact-cover check");
+    for &(cgrid, k) in &[(31_usize, 8_usize), (47, 10)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("c{cgrid}-k{k}")),
+            &(cgrid, k),
+            |b, &(cgrid, k)| {
+                b.iter(|| {
+                    let p = TbsPartition::build(cgrid, k).unwrap();
+                    p.verify_exact_cover().unwrap();
+                    p
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    c.bench_function("bounds evaluation sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in (1000..100_000).step_by(1000) {
+                let nf = n as f64;
+                acc += bounds::syrk_lower_bound(nf, nf / 4.0, 4096.0)
+                    + bounds::cholesky_lower_bound(nf, 4096.0)
+                    + bounds::lbc_upper_bound(nf, 4096.0);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_oi_table,
+    bench_integer_search,
+    bench_partition_verification,
+    bench_bounds
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Wall-clock scaling of the parallel SYRK extension (experiment E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_core::parallel::{parallel_syrk, BlockStrategy};
+use symla_matrix::generate;
+use symla_matrix::{Matrix, SymMatrix};
+
+fn bench_parallel_syrk(c: &mut Criterion) {
+    let n = 192;
+    let m = 48;
+    let s = 15;
+    let a: Matrix<f64> = generate::random_matrix_seeded(n, m, 9);
+
+    let mut group = c.benchmark_group("parallel syrk (N=192, M=48, S/worker=15)");
+    group.sample_size(10);
+    for &workers in &[1_usize, 2, 4] {
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), workers),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| {
+                        let mut c = SymMatrix::<f64>::zeros(n);
+                        parallel_syrk(&a, &mut c, 1.0, workers, s, strategy).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_syrk);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Closed-form communication lower bounds and algorithm costs.
+//!
+//! All formulas are in *elements transferred* (the paper's unit). The "new"
+//! bounds are the contributions of the SPAA'22 paper; the "prior" bounds and
+//! the baseline costs come from the literature it improves upon
+//! (Olivry et al. 2020, Kwasniewski et al. 2021, Béreux 2009).
+
+use symla_sched::opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults};
+
+/// `√2`, used in all the paper's constants.
+pub const SQRT2: f64 = std::f64::consts::SQRT_2;
+
+// ---------------------------------------------------------------------------
+// SYRK
+// ---------------------------------------------------------------------------
+
+/// The paper's SYRK lower bound (Corollary 4.7):
+/// `Q ≥ N²M / (√2·√S)`.
+pub fn syrk_lower_bound(n: f64, m: f64, s: f64) -> f64 {
+    n * n * m / (SQRT2 * s.sqrt())
+}
+
+/// The best previously known SYRK lower bound (Olivry et al.):
+/// `Q ≥ N²M / (2·√S)`.
+pub fn syrk_lower_bound_prior(n: f64, m: f64, s: f64) -> f64 {
+    n * n * m / (2.0 * s.sqrt())
+}
+
+/// Leading term of Béreux's `OOC_SYRK` upper bound: `N²M/√S`.
+pub fn syrk_upper_bereux(n: f64, m: f64, s: f64) -> f64 {
+    n * n * m / s.sqrt()
+}
+
+/// Leading terms of the TBS upper bound (Theorem 5.6):
+/// `N²M/(√2·√S) + N²/2` (the `O(NM log N)` term is omitted).
+pub fn tbs_upper_bound(n: f64, m: f64, s: f64) -> f64 {
+    n * n * m / (SQRT2 * s.sqrt()) + n * n / 2.0
+}
+
+/// Leading term of the tiled-TBS upper bound (Section 5.1.4):
+/// `N²M/(√(2S)) · √(k/(k−1)) + N²/2`.
+pub fn tbs_tiled_upper_bound(n: f64, m: f64, s: f64, k: usize) -> f64 {
+    let k = k as f64;
+    n * n * m / (2.0 * s).sqrt() * (k / (k - 1.0)).sqrt() + n * n / 2.0
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+/// The paper's Cholesky lower bound (Corollary 4.8):
+/// `Q ≥ N³ / (3·√2·√S)`.
+pub fn cholesky_lower_bound(n: f64, s: f64) -> f64 {
+    n * n * n / (3.0 * SQRT2 * s.sqrt())
+}
+
+/// The best previously known Cholesky lower bound without exploiting input
+/// symmetry assumptions (Olivry et al.): `Q ≥ N³ / (6·√S)`.
+pub fn cholesky_lower_bound_prior(n: f64, s: f64) -> f64 {
+    n * n * n / (6.0 * s.sqrt())
+}
+
+/// The Kwasniewski et al. Cholesky bound, derived under the implicit
+/// assumption that the symmetry of the input is never exploited:
+/// `Q ≥ N³ / (3·√S)`. The paper shows this is *not* a valid lower bound for
+/// schedules that reuse `A[i,k]` for `A[k,i]`, and LBC indeed beats it.
+pub fn cholesky_lower_bound_no_symmetry(n: f64, s: f64) -> f64 {
+    n * n * n / (3.0 * s.sqrt())
+}
+
+/// Leading term of Béreux's out-of-core Cholesky upper bound: `N³/(3·√S)`.
+pub fn cholesky_upper_bereux(n: f64, s: f64) -> f64 {
+    n * n * n / (3.0 * s.sqrt())
+}
+
+/// Leading term of the LBC upper bound (Theorem 5.7):
+/// `N³/(3·√2·√S)` (the `O(N^{5/2})` terms are omitted).
+pub fn lbc_upper_bound(n: f64, s: f64) -> f64 {
+    n * n * n / (3.0 * SQRT2 * s.sqrt())
+}
+
+/// The four leading terms of the LBC cost analysis of Section 5.2.2 as a
+/// function of the block size `b`:
+/// `(1) b²N/(3√S)` (OOC_CHOL calls), `(2) bN²/(2√S)` (OOC_TRSM calls),
+/// `(3) N³/(3√2√S)` (TBS updates of `A`), `(4) N³/(6b)` (reloading the
+/// trailing matrix at every iteration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LbcTermBreakdown {
+    /// Term (1): Cholesky factorizations of the diagonal blocks.
+    pub chol_term: f64,
+    /// Term (2): the panel TRSM solves.
+    pub trsm_term: f64,
+    /// Term (3): the TBS trailing updates (loads of the panel `A`).
+    pub tbs_term: f64,
+    /// Term (4): reloading the trailing result matrix at every iteration.
+    pub reload_term: f64,
+}
+
+impl LbcTermBreakdown {
+    /// Evaluates the four closed-form terms.
+    pub fn new(n: f64, s: f64, b: f64) -> Self {
+        Self {
+            chol_term: b * b * n / (3.0 * s.sqrt()),
+            trsm_term: b * n * n / (2.0 * s.sqrt()),
+            tbs_term: n * n * n / (3.0 * SQRT2 * s.sqrt()),
+            reload_term: n * n * n / (6.0 * b),
+        }
+    }
+
+    /// Sum of the four terms.
+    pub fn total(&self) -> f64 {
+        self.chol_term + self.trsm_term + self.tbs_term + self.reload_term
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-symmetric comparison points
+// ---------------------------------------------------------------------------
+
+/// Tight GEMM lower bound (`C += A·B`, `A` `n×m`, `B` `m×p`): `2·n·m·p/√S`.
+pub fn gemm_lower_bound(n: f64, m: f64, p: f64, s: f64) -> f64 {
+    2.0 * n * m * p / s.sqrt()
+}
+
+/// Tight LU lower bound: `(2/3)·N³/√S` (Kwasniewski et al.).
+pub fn lu_lower_bound(n: f64, s: f64) -> f64 {
+    2.0 * n * n * n / (3.0 * s.sqrt())
+}
+
+// ---------------------------------------------------------------------------
+// Operational intensities
+// ---------------------------------------------------------------------------
+
+/// Maximal operational intensity (multiplications per transferred element)
+/// of the symmetric kernels: `√(S/2)` (paper, Section 1 / Corollary 4.7).
+pub fn max_oi_symmetric(s: f64) -> f64 {
+    max_oi_symmetric_mults(s)
+}
+
+/// Maximal operational intensity of GEMM / LU: `√S / 2`.
+pub fn max_oi_nonsymmetric(s: f64) -> f64 {
+    max_oi_nonsymmetric_mults(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_orderings_hold() {
+        let (n, m, s) = (4096.0, 2048.0, 4096.0);
+        // prior lower < new lower < TBS upper < Bereux upper
+        assert!(syrk_lower_bound_prior(n, m, s) < syrk_lower_bound(n, m, s));
+        assert!(syrk_lower_bound(n, m, s) < tbs_upper_bound(n, m, s));
+        assert!(tbs_upper_bound(n, m, s) < syrk_upper_bereux(n, m, s) + n * n / 2.0 + 1.0);
+        // the sqrt(2) ratios
+        assert!((syrk_lower_bound(n, m, s) / syrk_lower_bound_prior(n, m, s) - SQRT2).abs() < 1e-12);
+        assert!(
+            (syrk_upper_bereux(n, m, s) / (tbs_upper_bound(n, m, s) - n * n / 2.0) - SQRT2).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn cholesky_bound_orderings() {
+        let (n, s) = (8192.0, 2048.0);
+        assert!(cholesky_lower_bound_prior(n, s) < cholesky_lower_bound(n, s));
+        assert!(cholesky_lower_bound(n, s) < cholesky_lower_bound_no_symmetry(n, s));
+        assert!((cholesky_lower_bound(n, s) / cholesky_lower_bound_prior(n, s) - SQRT2).abs() < 1e-9);
+        // LBC beats the no-symmetry "bound" and Bereux's algorithm by sqrt(2)
+        assert!(lbc_upper_bound(n, s) < cholesky_upper_bereux(n, s));
+        assert!((cholesky_upper_bereux(n, s) / lbc_upper_bound(n, s) - SQRT2).abs() < 1e-9);
+        // and matches the new lower bound exactly (leading order)
+        assert_eq!(lbc_upper_bound(n, s), cholesky_lower_bound(n, s));
+    }
+
+    #[test]
+    fn tiled_tbs_overhead_factor() {
+        let (n, m, s) = (10_000.0, 5_000.0, 10_000.0);
+        let element = tbs_upper_bound(n, m, s) - n * n / 2.0;
+        for k in [2usize, 3, 5, 10, 50] {
+            let tiled = tbs_tiled_upper_bound(n, m, s, k) - n * n / 2.0;
+            let expected = (k as f64 / (k as f64 - 1.0)).sqrt();
+            assert!(((tiled / element) - expected).abs() < 1e-9, "k = {k}");
+            assert!(tiled > element);
+        }
+    }
+
+    #[test]
+    fn lbc_breakdown_is_minimized_near_sqrt_n() {
+        let n = 4096.0;
+        let s = 1024.0;
+        let at_sqrt_n = LbcTermBreakdown::new(n, s, n.sqrt()).total();
+        // both a constant block size and a Theta(N) block size are worse
+        assert!(LbcTermBreakdown::new(n, s, 8.0).total() > at_sqrt_n);
+        assert!(LbcTermBreakdown::new(n, s, n / 2.0).total() > at_sqrt_n);
+        // term (3) dominates at b = sqrt(N)
+        let b = LbcTermBreakdown::new(n, s, n.sqrt());
+        assert!(b.tbs_term > b.chol_term);
+        assert!(b.tbs_term > b.trsm_term);
+        assert!(b.tbs_term > b.reload_term);
+    }
+
+    #[test]
+    fn operational_intensity_ratio() {
+        let s = 777.0;
+        assert!((max_oi_symmetric(s) / max_oi_nonsymmetric(s) - SQRT2).abs() < 1e-12);
+        // GEMM lower bound and LU lower bound are consistent with sqrt(S)/2 OI
+        let oi_gemm = (1000.0_f64 * 1000.0 * 1000.0) / gemm_lower_bound(1000.0, 1000.0, 1000.0, s);
+        assert!((oi_gemm - max_oi_nonsymmetric(s)).abs() < 1e-9);
+        let oi_lu = (1000.0_f64.powi(3) / 3.0) / lu_lower_bound(1000.0, s);
+        assert!((oi_lu - max_oi_nonsymmetric(s)).abs() < 1e-9);
+        // SYRK lower bound is consistent with sqrt(S/2) OI
+        let oi_syrk = (1000.0_f64 * 1000.0 * 500.0 / 2.0) / syrk_lower_bound(1000.0, 500.0, s);
+        assert!((oi_syrk - max_oi_symmetric(s)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,190 @@
+//! Operational-intensity analysis: the paper's headline comparison between
+//! symmetric and non-symmetric kernels (experiment E1).
+
+use crate::bounds;
+use std::fmt;
+
+/// The kernels compared in the operational-intensity table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `C += A·B` (non-symmetric multiplication).
+    Gemm,
+    /// LU factorization without pivoting.
+    Lu,
+    /// `C += A·Aᵀ` (symmetric rank-k update).
+    Syrk,
+    /// Cholesky factorization.
+    Cholesky,
+}
+
+impl Kernel {
+    /// Whether the kernel is one of the symmetric kernels studied by the
+    /// paper.
+    pub fn is_symmetric(&self) -> bool {
+        matches!(self, Kernel::Syrk | Kernel::Cholesky)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Gemm => "GEMM",
+            Kernel::Lu => "LU",
+            Kernel::Syrk => "SYRK",
+            Kernel::Cholesky => "Cholesky",
+        }
+    }
+}
+
+/// One row of the operational-intensity comparison table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OiRow {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Number of multiplications of the kernel at the chosen size.
+    pub mults: f64,
+    /// Communication lower bound at the chosen size and memory.
+    pub io_lower_bound: f64,
+    /// Maximal operational intensity (mults / lower bound).
+    pub max_oi: f64,
+    /// The theoretical maximal OI (`√(S/2)` or `√S/2`) for reference.
+    pub theory_oi: f64,
+}
+
+impl OiRow {
+    /// Ratio of the achieved maximal OI to the theoretical one (should be
+    /// `≈ 1` for square shapes, up to lower-order effects).
+    pub fn agreement(&self) -> f64 {
+        self.max_oi / self.theory_oi
+    }
+}
+
+impl fmt::Display for OiRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<9} mults {:>14.4e}  Q_lb {:>14.4e}  max OI {:>9.3}  theory {:>9.3}",
+            self.kernel.name(),
+            self.mults,
+            self.io_lower_bound,
+            self.max_oi,
+            self.theory_oi
+        )
+    }
+}
+
+/// Builds the operational-intensity comparison table for square problems of
+/// order `n` (and `m = n` columns for SYRK) under a fast memory of `s`
+/// elements. This is the reproduction of the "Table 1" comparison the paper
+/// refers to in its introduction, with the symmetric kernels using the
+/// paper's new (larger) maximal intensities.
+pub fn oi_table(n: usize, s: usize) -> Vec<OiRow> {
+    let nf = n as f64;
+    let sf = s as f64;
+    let rows = vec![
+        OiRow {
+            kernel: Kernel::Gemm,
+            mults: nf * nf * nf,
+            io_lower_bound: bounds::gemm_lower_bound(nf, nf, nf, sf),
+            max_oi: 0.0,
+            theory_oi: bounds::max_oi_nonsymmetric(sf),
+        },
+        OiRow {
+            kernel: Kernel::Lu,
+            mults: nf * nf * nf / 3.0,
+            io_lower_bound: bounds::lu_lower_bound(nf, sf),
+            max_oi: 0.0,
+            theory_oi: bounds::max_oi_nonsymmetric(sf),
+        },
+        OiRow {
+            kernel: Kernel::Syrk,
+            mults: nf * nf * nf / 2.0,
+            io_lower_bound: bounds::syrk_lower_bound(nf, nf, sf),
+            max_oi: 0.0,
+            theory_oi: bounds::max_oi_symmetric(sf),
+        },
+        OiRow {
+            kernel: Kernel::Cholesky,
+            mults: nf * nf * nf / 6.0,
+            io_lower_bound: bounds::cholesky_lower_bound(nf, sf),
+            max_oi: 0.0,
+            theory_oi: bounds::max_oi_symmetric(sf),
+        },
+    ];
+    rows.into_iter()
+        .map(|mut r| {
+            r.max_oi = r.mults / r.io_lower_bound;
+            r
+        })
+        .collect()
+}
+
+/// The `√2` separation: ratio of the symmetric kernels' maximal OI to the
+/// non-symmetric kernels' maximal OI in a table produced by [`oi_table`].
+pub fn symmetric_advantage(table: &[OiRow]) -> f64 {
+    let sym: Vec<f64> = table
+        .iter()
+        .filter(|r| r.kernel.is_symmetric())
+        .map(|r| r.max_oi)
+        .collect();
+    let non: Vec<f64> = table
+        .iter()
+        .filter(|r| !r.kernel.is_symmetric())
+        .map(|r| r.max_oi)
+        .collect();
+    let sym_avg = sym.iter().sum::<f64>() / sym.len().max(1) as f64;
+    let non_avg = non.iter().sum::<f64>() / non.len().max(1) as f64;
+    if non_avg == 0.0 {
+        0.0
+    } else {
+        sym_avg / non_avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_kernels_and_correct_ois() {
+        let table = oi_table(4096, 1024);
+        assert_eq!(table.len(), 4);
+        for row in &table {
+            assert!(row.max_oi > 0.0);
+            // every kernel's OI from the closed-form bounds equals its theory
+            // value exactly (the formulas are consistent by construction)
+            assert!(
+                (row.agreement() - 1.0).abs() < 1e-12,
+                "{}: agreement {}",
+                row.kernel.name(),
+                row.agreement()
+            );
+        }
+        let syrk = table.iter().find(|r| r.kernel == Kernel::Syrk).unwrap();
+        let gemm = table.iter().find(|r| r.kernel == Kernel::Gemm).unwrap();
+        assert!(syrk.max_oi > gemm.max_oi);
+        assert!(syrk.kernel.is_symmetric());
+        assert!(!gemm.kernel.is_symmetric());
+    }
+
+    #[test]
+    fn symmetric_advantage_is_sqrt_two() {
+        let table = oi_table(10_000, 4096);
+        let adv = symmetric_advantage(&table);
+        assert!((adv - std::f64::consts::SQRT_2).abs() < 1e-9, "advantage {adv}");
+        assert_eq!(symmetric_advantage(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let table = oi_table(512, 256);
+        let text = table
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("GEMM"));
+        assert!(text.contains("Cholesky"));
+        assert!(text.contains("max OI"));
+        assert_eq!(Kernel::Lu.name(), "LU");
+    }
+}

@@ -1,0 +1,417 @@
+//! Shared-memory parallel SYRK with per-worker communication accounting —
+//! the paper's "future work" direction (communication-efficient *parallel*
+//! symmetric kernels), explored as an extension.
+//!
+//! The model follows Section 2.2 of the paper: `P` workers, each with a
+//! private fast memory of `S` elements, exchange data with a shared slow
+//! memory. The result matrix is partitioned into independent units (square
+//! tiles, or the triangle blocks of TBS), the units are distributed over the
+//! workers, and each worker's communication volume is the sum of the unit
+//! footprints it processes — exactly the quantity the sequential analysis
+//! counts, now reported per worker.
+//!
+//! Comparing the two partitioning strategies reproduces the paper's headline
+//! at the parallel level: distributing **triangle blocks** needs ≈ `1/√2`
+//! of the per-worker input traffic of distributing square tiles.
+
+use crate::plan::TbsPlan;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use symla_baselines::error::{OocError, Result};
+use symla_baselines::params::{square_tile_for_capacity, tile_extents};
+use symla_matrix::{Matrix, Scalar, SymMatrix};
+use symla_sched::indexing::CyclicIndexing;
+
+/// How the result matrix is partitioned into per-worker units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockStrategy {
+    /// Square tiles of side `t` with `t² + 2t ≤ S` (the conventional
+    /// distribution).
+    SquareTiles,
+    /// Triangle blocks of the TBS partition (side `k`, `k(k+1)/2 ≤ S`),
+    /// falling back to square tiles where the partition does not apply.
+    TriangleBlocks,
+}
+
+impl BlockStrategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlockStrategy::SquareTiles => "square tiles",
+            BlockStrategy::TriangleBlocks => "triangle blocks",
+        }
+    }
+}
+
+/// One independent unit of work: a set of result entries (all within the
+/// strict lower triangle or diagonal) and the set of `A` rows needed to
+/// update them.
+#[derive(Debug, Clone)]
+struct Task {
+    /// The result entries `(i, j)` with `i >= j` this task owns.
+    entries: Vec<(usize, usize)>,
+    /// The distinct rows of `A` the task reads (its symmetric footprint).
+    rows: Vec<usize>,
+}
+
+impl Task {
+    fn loads(&self, m: usize) -> u64 {
+        (self.entries.len() + self.rows.len() * m) as u64
+    }
+
+    fn stores(&self) -> u64 {
+        self.entries.len() as u64
+    }
+}
+
+/// Per-worker communication volume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerIo {
+    /// Elements the worker read from slow memory (result entries + input
+    /// rows).
+    pub loads: u64,
+    /// Elements the worker wrote back.
+    pub stores: u64,
+    /// Number of units the worker processed.
+    pub tasks: usize,
+}
+
+/// Outcome of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Number of workers.
+    pub workers: usize,
+    /// Partitioning strategy used.
+    pub strategy: BlockStrategy,
+    /// Per-worker fast-memory budget.
+    pub memory_per_worker: usize,
+    /// Per-worker communication volumes.
+    pub per_worker: Vec<WorkerIo>,
+}
+
+impl ParallelReport {
+    /// Total loads over all workers.
+    pub fn total_loads(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.loads).sum()
+    }
+
+    /// Total stores over all workers.
+    pub fn total_stores(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.stores).sum()
+    }
+
+    /// The busiest worker's load volume (the quantity parallel lower bounds
+    /// constrain).
+    pub fn max_loads(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.loads).max().unwrap_or(0)
+    }
+
+    /// Load imbalance: max over mean (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() || self.total_loads() == 0 {
+            return 1.0;
+        }
+        let mean = self.total_loads() as f64 / self.per_worker.len() as f64;
+        self.max_loads() as f64 / mean
+    }
+}
+
+fn square_tasks(n: usize, t: usize) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    let extents = tile_extents(n, t);
+    for (tj, &(j0, jc)) in extents.iter().enumerate() {
+        for &(i0, ic) in extents.iter().skip(tj) {
+            let mut entries = Vec::new();
+            for i in i0..i0 + ic {
+                for j in j0..(j0 + jc).min(i + 1) {
+                    entries.push((i, j));
+                }
+            }
+            let mut rows: Vec<usize> = (i0..i0 + ic).collect();
+            if i0 != j0 {
+                rows.extend(j0..j0 + jc);
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            if !entries.is_empty() {
+                tasks.push(Task { entries, rows });
+            }
+        }
+    }
+    tasks
+}
+
+/// Builds the task list for the triangle-block strategy: the TBS partition's
+/// triangle blocks where it applies, recursing into the diagonal zones, and
+/// square tiles for the leftover strip / non-applicable sizes.
+fn triangle_tasks(n: usize, offset: usize, plan: &TbsPlan, t: usize, out: &mut Vec<Task>) {
+    match plan.grid_size(n) {
+        Some(c) if c + 1 >= plan.k => {
+            let k = plan.k;
+            let covered = c * k;
+            // triangle blocks
+            let family = CyclicIndexing::new(c, k);
+            for i in 0..c {
+                for j in 0..c {
+                    let rows_rel = family.row_indices(i, j);
+                    let rows: Vec<usize> = rows_rel.iter().map(|&r| offset + r).collect();
+                    let mut entries = Vec::new();
+                    for (a, &r) in rows.iter().enumerate() {
+                        for &rp in rows.iter().take(a) {
+                            entries.push((r, rp));
+                        }
+                    }
+                    out.push(Task { entries, rows });
+                }
+            }
+            // diagonal zones: recurse
+            for u in 0..k {
+                triangle_tasks(c, offset + u * c, plan, t, out);
+            }
+            // leftover strip: square tiles over the strip rows
+            let leftover = n - covered;
+            if leftover > 0 {
+                for task in square_tasks_strip(n, covered, offset, t) {
+                    out.push(task);
+                }
+            }
+        }
+        _ => {
+            for mut task in square_tasks(n, t) {
+                for e in &mut task.entries {
+                    e.0 += offset;
+                    e.1 += offset;
+                }
+                for r in &mut task.rows {
+                    *r += offset;
+                }
+                out.push(task);
+            }
+        }
+    }
+}
+
+/// Square-tile tasks covering rows `[row_start, n)` of the lower triangle
+/// (the leftover strip of the TBS partition), in window coordinates shifted
+/// by `offset`.
+fn square_tasks_strip(n: usize, row_start: usize, offset: usize, t: usize) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    for &(i0, ic) in &tile_extents(n - row_start, t) {
+        for &(j0, jc) in &tile_extents(n, t) {
+            if j0 >= row_start + i0 + ic {
+                break;
+            }
+            let mut entries = Vec::new();
+            let mut rows = Vec::new();
+            for i in (row_start + i0)..(row_start + i0 + ic) {
+                for j in j0..(j0 + jc).min(i + 1) {
+                    entries.push((offset + i, offset + j));
+                }
+            }
+            rows.extend((row_start + i0)..(row_start + i0 + ic));
+            rows.extend(j0..(j0 + jc).min(n));
+            let mut rows: Vec<usize> = rows.into_iter().map(|r| offset + r).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            if !entries.is_empty() {
+                tasks.push(Task { entries, rows });
+            }
+        }
+    }
+    tasks
+}
+
+/// Computes `C += alpha · A · Aᵀ` in parallel with `workers` threads, each
+/// modelled as a node with a private fast memory of `memory_per_worker`
+/// elements, and returns the per-worker communication volumes.
+///
+/// Units of work are distributed dynamically (an atomic work queue), and the
+/// numerical result is exact: units are disjoint, each worker accumulates its
+/// deltas privately and the main thread applies them.
+pub fn parallel_syrk<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    workers: usize,
+    memory_per_worker: usize,
+    strategy: BlockStrategy,
+) -> Result<ParallelReport> {
+    let n = c.order();
+    let m = a.cols();
+    if a.rows() != n {
+        return Err(OocError::Invalid(format!(
+            "parallel SYRK operand mismatch: A has {} rows but C has order {n}",
+            a.rows()
+        )));
+    }
+    if workers == 0 {
+        return Err(OocError::Invalid("need at least one worker".into()));
+    }
+    let t = square_tile_for_capacity(memory_per_worker)?;
+
+    let tasks: Vec<Task> = match strategy {
+        BlockStrategy::SquareTiles => square_tasks(n, t),
+        BlockStrategy::TriangleBlocks => {
+            let plan = TbsPlan::for_memory(memory_per_worker)?;
+            let mut out = Vec::new();
+            triangle_tasks(n, 0, &plan, t, &mut out);
+            out
+        }
+    };
+
+    let next = AtomicUsize::new(0);
+    // Each worker returns (its IO counters, the deltas it computed).
+    type Delta<T> = Vec<(usize, usize, T)>;
+    let results: Vec<(WorkerIo, Delta<T>)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let tasks = &tasks;
+            let next = &next;
+            handles.push(scope.spawn(move |_| {
+                let mut io = WorkerIo::default();
+                let mut deltas: Delta<T> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= tasks.len() {
+                        break;
+                    }
+                    let task = &tasks[idx];
+                    io.loads += task.loads(m);
+                    io.stores += task.stores();
+                    io.tasks += 1;
+                    // accumulate alpha * sum_k A[i,k] A[j,k] per entry
+                    let mut acc = vec![T::ZERO; task.entries.len()];
+                    for k in 0..m {
+                        let col = a.col(k);
+                        for (slot, &(i, j)) in acc.iter_mut().zip(task.entries.iter()) {
+                            *slot = col[i].mul_add(col[j], *slot);
+                        }
+                    }
+                    for (&(i, j), &v) in task.entries.iter().zip(acc.iter()) {
+                        deltas.push((i, j, alpha * v));
+                    }
+                }
+                (io, deltas)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    let mut per_worker = Vec::with_capacity(workers);
+    for (io, deltas) in results {
+        per_worker.push(io);
+        for (i, j, v) in deltas {
+            c.add(i, j, v);
+        }
+    }
+
+    Ok(ParallelReport {
+        workers,
+        strategy,
+        memory_per_worker,
+        per_worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symla_matrix::generate::random_matrix_seeded;
+    use symla_matrix::kernels::syrk_sym;
+
+    fn reference(n: usize, m: usize, alpha: f64, seed: u64) -> (Matrix<f64>, SymMatrix<f64>) {
+        let a: Matrix<f64> = random_matrix_seeded(n, m, seed);
+        let mut c = SymMatrix::zeros(n);
+        syrk_sym(alpha, &a, 1.0, &mut c).unwrap();
+        (a, c)
+    }
+
+    #[test]
+    fn parallel_result_matches_reference_for_both_strategies() {
+        let (n, m, s) = (40, 8, 10);
+        let (a, expected) = reference(n, m, 1.0, 71);
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            for workers in [1, 3, 4] {
+                let mut c = SymMatrix::zeros(n);
+                let report =
+                    parallel_syrk(&a, &mut c, 1.0, workers, s, strategy).unwrap();
+                assert!(c.approx_eq(&expected, 1e-11), "{} w={workers}", strategy.name());
+                assert_eq!(report.workers, workers);
+                assert_eq!(report.per_worker.len(), workers);
+                let tasks: usize = report.per_worker.iter().map(|w| w.tasks).sum();
+                assert!(tasks > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_blocks_reduce_total_input_traffic() {
+        // At a size where the TBS partition engages, the triangle-block
+        // distribution moves less input data in total (and for the busiest
+        // worker) than square tiles.
+        let (n, m, s) = (120, 16, 10); // k = 4, t = 2
+        let (a, expected) = reference(n, m, 1.0, 72);
+
+        let mut c1 = SymMatrix::zeros(n);
+        let square = parallel_syrk(&a, &mut c1, 1.0, 4, s, BlockStrategy::SquareTiles).unwrap();
+        let mut c2 = SymMatrix::zeros(n);
+        let triangle =
+            parallel_syrk(&a, &mut c2, 1.0, 4, s, BlockStrategy::TriangleBlocks).unwrap();
+        assert!(c1.approx_eq(&expected, 1e-10));
+        assert!(c2.approx_eq(&expected, 1e-10));
+
+        assert!(
+            triangle.total_loads() < square.total_loads(),
+            "triangle {} vs square {}",
+            triangle.total_loads(),
+            square.total_loads()
+        );
+        // the advantage approaches 1/sqrt(2) for the A traffic; with the C
+        // traffic included we just check a strict improvement in total
+        // volume. (Per-worker balance depends on the dynamic scheduling and
+        // is not asserted here — thread start-up order makes it noisy for
+        // tiny tasks.)
+        assert!(triangle.imbalance() >= 1.0);
+        assert!(square.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn errors_on_bad_arguments() {
+        let a: Matrix<f64> = Matrix::zeros(4, 2);
+        let mut c = SymMatrix::zeros(5);
+        assert!(parallel_syrk(&a, &mut c, 1.0, 2, 10, BlockStrategy::SquareTiles).is_err());
+        let mut c4 = SymMatrix::zeros(4);
+        assert!(parallel_syrk(&a, &mut c4, 1.0, 0, 10, BlockStrategy::SquareTiles).is_err());
+        assert!(parallel_syrk(&a, &mut c4, 1.0, 2, 1, BlockStrategy::SquareTiles).is_err());
+        assert_eq!(BlockStrategy::SquareTiles.name(), "square tiles");
+        assert_eq!(BlockStrategy::TriangleBlocks.name(), "triangle blocks");
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = ParallelReport {
+            workers: 2,
+            strategy: BlockStrategy::SquareTiles,
+            memory_per_worker: 16,
+            per_worker: vec![
+                WorkerIo { loads: 10, stores: 2, tasks: 1 },
+                WorkerIo { loads: 30, stores: 4, tasks: 3 },
+            ],
+        };
+        assert_eq!(report.total_loads(), 40);
+        assert_eq!(report.total_stores(), 6);
+        assert_eq!(report.max_loads(), 30);
+        assert!((report.imbalance() - 1.5).abs() < 1e-12);
+        let empty = ParallelReport {
+            workers: 0,
+            strategy: BlockStrategy::SquareTiles,
+            memory_per_worker: 0,
+            per_worker: vec![],
+        };
+        assert_eq!(empty.max_loads(), 0);
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! TBS — Triangular Block SYRK (Algorithm 4 of the paper), the
+//! communication-optimal out-of-core SYRK schedule.
+//!
+//! The result matrix is partitioned into triangle blocks built from the
+//! cyclic indexing family (Section 5.1): each block holds `k(k−1)/2` result
+//! elements touching only `k` rows, so updating it with one column of `A`
+//! costs `k` loads for `k(k−1)/2` multiply–adds — the `√(S/2)` operational
+//! intensity that matches the lower bound. Diagonal zones are handled by
+//! recursion, the ragged bottom strip by the square-block baseline.
+//!
+//! Leading-order I/O (Theorem 5.6):
+//! `N²M/(√2·√S) + N²/2 + O(NM·log N)` — a `√2` improvement over Béreux's
+//! square-block OOC_SYRK.
+
+use crate::plan::TbsPlan;
+use symla_baselines::error::{OocError, Result};
+use symla_baselines::params::{tile_extents, IoEstimate};
+use symla_baselines::{ooc_syrk_cost, ooc_syrk_execute, OocSyrkPlan};
+use symla_matrix::kernels::views::{ger_view, triangle_pairs_update};
+use symla_matrix::kernels::FlopCount;
+use symla_matrix::Scalar;
+use symla_memory::{OocMachine, PanelRef, SymWindowRef};
+use symla_sched::indexing::CyclicIndexing;
+
+/// Describes how a TBS invocation decomposes a problem of order `n`
+/// (used by the experiments to report the structure of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbsDecomposition {
+    /// Triangle-block side length `k`.
+    pub k: usize,
+    /// Grid size `c` (zone side length), when the triangle phase engages.
+    pub grid: Option<usize>,
+    /// Rows covered by triangle blocks (`c·k`), 0 if not applicable.
+    pub covered: usize,
+    /// Leftover rows handled by the square-block baseline.
+    pub leftover: usize,
+    /// Number of triangle blocks (`c²`).
+    pub blocks: usize,
+}
+
+/// Computes the top-level decomposition of a TBS call of order `n`.
+pub fn tbs_decomposition(n: usize, plan: &TbsPlan) -> TbsDecomposition {
+    match plan.grid_size(n) {
+        Some(c) if c + 1 >= plan.k => TbsDecomposition {
+            k: plan.k,
+            grid: Some(c),
+            covered: c * plan.k,
+            leftover: n - c * plan.k,
+            blocks: c * c,
+        },
+        _ => TbsDecomposition {
+            k: plan.k,
+            grid: None,
+            covered: 0,
+            leftover: n,
+            blocks: 0,
+        },
+    }
+}
+
+fn square_plan(plan: &TbsPlan) -> Result<OocSyrkPlan> {
+    OocSyrkPlan::for_memory(plan.capacity)
+}
+
+/// Predicted I/O of [`tbs_execute`] for a result window of order `n` and an
+/// input panel with `m` columns. Mirrors the executor exactly.
+pub fn tbs_cost(n: usize, m: usize, plan: &TbsPlan) -> Result<IoEstimate> {
+    let sq = square_plan(plan)?;
+    let decomp = tbs_decomposition(n, plan);
+    let Some(c) = decomp.grid else {
+        return Ok(ooc_syrk_cost(n, m, &sq));
+    };
+    let k = plan.k;
+    let covered = decomp.covered;
+    let leftover = decomp.leftover;
+    let mut est = IoEstimate::default();
+
+    // 1. leftover strip: rectangle part + trailing diagonal part
+    if leftover > 0 {
+        let t = sq.tile;
+        for &(_, ic) in &tile_extents(leftover, t) {
+            for &(_, jc) in &tile_extents(covered, t) {
+                est.loads += (ic * jc) as u128 + (m * (ic + jc)) as u128;
+                est.stores += (ic * jc) as u128;
+                let pairs = (m * ic * jc) as u128;
+                est.flops = est.flops.merge(&FlopCount::new(pairs, pairs));
+            }
+        }
+        est = est.merge(&ooc_syrk_cost(leftover, m, &sq));
+    }
+
+    // 2. recursive diagonal zones
+    let zone = tbs_cost(c, m, plan)?;
+    for _ in 0..k {
+        est = est.merge(&zone);
+    }
+
+    // 3. triangle blocks
+    let pairs_per_block = k * (k - 1) / 2;
+    let blocks = (c * c) as u128;
+    est.loads += blocks * (pairs_per_block as u128 + (m * k) as u128);
+    est.stores += blocks * pairs_per_block as u128;
+    let block_flops = (m * pairs_per_block) as u128;
+    est.flops = est.flops.merge(&FlopCount::new(
+        blocks * block_flops,
+        blocks * block_flops,
+    ));
+    Ok(est)
+}
+
+/// Updates the rectangular strip `C[row_start.., 0..row_start]` of the window
+/// (everything strictly below the triangle-block region in the leftover rows)
+/// with square tiles: `C_strip += alpha · A[row_start.., :] · A[0..row_start, :]ᵀ`.
+fn syrk_rect_strip<T: Scalar>(
+    machine: &mut OocMachine<T>,
+    a: &PanelRef,
+    c: &SymWindowRef,
+    row_start: usize,
+    strip_rows: usize,
+    alpha: T,
+    sq: &OocSyrkPlan,
+) -> Result<()> {
+    let m = a.cols();
+    let t = sq.tile;
+    for &(i0, ic) in &tile_extents(strip_rows, t) {
+        for &(j0, jc) in &tile_extents(row_start, t) {
+            let mut cbuf = machine.load(c.id, c.rect_region(row_start + i0, j0, ic, jc))?;
+            for q in 0..m {
+                let arow = machine.load(a.id, a.col_segment_region(q, row_start + i0, ic))?;
+                let acol = machine.load(a.id, a.col_segment_region(q, j0, jc))?;
+                {
+                    let mut cv = cbuf.rect_view_mut()?;
+                    ger_view(alpha, arow.as_slice(), acol.as_slice(), &mut cv)?;
+                }
+                machine.discard(arow)?;
+                machine.discard(acol)?;
+            }
+            let pairs = (m * ic * jc) as u128;
+            machine.record_flops(FlopCount::new(pairs, pairs));
+            machine.store(cbuf)?;
+        }
+    }
+    Ok(())
+}
+
+/// Executes `C[window] += alpha · A · Aᵀ` with the TBS schedule.
+///
+/// * `a` — the `n × m` input panel (dense, or a lower-triangle window of a
+///   symmetric matrix as in LBC);
+/// * `c` — the order-`n` diagonal window of a symmetric matrix receiving the
+///   update;
+/// * `alpha` — scaling of the product (LBC passes `-1`).
+///
+/// When the applicability condition `c ≥ k − 1` of Algorithm 4 fails (the
+/// matrix is too small relative to the memory), the schedule degrades to the
+/// square-block baseline, exactly as the paper specifies.
+pub fn tbs_execute<T: Scalar>(
+    machine: &mut OocMachine<T>,
+    a: &PanelRef,
+    c: &SymWindowRef,
+    alpha: T,
+    plan: &TbsPlan,
+) -> Result<()> {
+    let n = c.order();
+    let m = a.cols();
+    if a.rows() != n {
+        return Err(OocError::Invalid(format!(
+            "TBS operand mismatch: A has {} rows but C has order {n}",
+            a.rows()
+        )));
+    }
+    let sq = square_plan(plan)?;
+    let decomp = tbs_decomposition(n, plan);
+    let Some(cgrid) = decomp.grid else {
+        return ooc_syrk_execute(machine, a, c, alpha, &sq);
+    };
+    let k = plan.k;
+    let covered = decomp.covered;
+    let leftover = decomp.leftover;
+
+    // 1. leftover strip
+    if leftover > 0 {
+        syrk_rect_strip(machine, a, c, covered, leftover, alpha, &sq)?;
+        let a_bot = a.window(covered, 0, leftover, m);
+        let c_bot = c.subwindow(covered, leftover);
+        ooc_syrk_execute(machine, &a_bot, &c_bot, alpha, &sq)?;
+    }
+
+    // 2. recursive diagonal zones
+    for u in 0..k {
+        let a_sub = a.window(u * cgrid, 0, cgrid, m);
+        let c_sub = c.subwindow(u * cgrid, cgrid);
+        tbs_execute(machine, &a_sub, &c_sub, alpha, plan)?;
+    }
+
+    // 3. triangle blocks
+    let family = CyclicIndexing::new(cgrid, k);
+    let pairs_per_block = k * (k - 1) / 2;
+    for i in 0..cgrid {
+        for j in 0..cgrid {
+            let rows = family.row_indices(i, j);
+            let mut cbuf = machine.load(c.id, c.pairs_region(&rows))?;
+            for q in 0..m {
+                let abuf = machine.load(a.id, a.rows_region(&rows, q, 1))?;
+                triangle_pairs_update(alpha, abuf.as_slice(), cbuf.as_mut_slice())?;
+                machine.discard(abuf)?;
+            }
+            let block_flops = (m * pairs_per_block) as u128;
+            machine.record_flops(FlopCount::new(block_flops, block_flops));
+            machine.store(cbuf)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use symla_matrix::generate::{random_matrix_seeded, random_symmetric, seeded_rng};
+    use symla_matrix::kernels::syrk_sym;
+    use symla_matrix::{Matrix, SymMatrix};
+
+    fn run_tbs(
+        n: usize,
+        m: usize,
+        s: usize,
+        alpha: f64,
+    ) -> (SymMatrix<f64>, SymMatrix<f64>, IoEstimate, symla_memory::IoStats) {
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 7000 + n as u64);
+        let mut rng = seeded_rng(8000 + n as u64);
+        let c0: SymMatrix<f64> = random_symmetric(n, &mut rng);
+
+        let mut expected = c0.clone();
+        syrk_sym(alpha, &a, 1.0, &mut expected).unwrap();
+
+        let plan = TbsPlan::for_memory(s).unwrap();
+        let mut machine = OocMachine::with_capacity(s);
+        let a_id = machine.insert_dense(a);
+        let c_id = machine.insert_symmetric(c0);
+        tbs_execute(
+            &mut machine,
+            &PanelRef::dense(a_id, n, m),
+            &SymWindowRef::full(c_id, n),
+            alpha,
+            &plan,
+        )
+        .unwrap();
+        let est = tbs_cost(n, m, &plan).unwrap();
+        let stats = machine.stats().clone();
+        let got = machine.take_symmetric(c_id).unwrap();
+        (got, expected, est, stats)
+    }
+
+    #[test]
+    fn engaged_tbs_is_correct_and_matches_cost() {
+        // S = 10 -> k = 4; n = 30 -> c = 7 (coprime with 2), covered 28,
+        // leftover 2. The triangle phase genuinely engages here.
+        let plan = TbsPlan::for_memory(10).unwrap();
+        assert_eq!(plan.k, 4);
+        assert!(plan.applicable(30));
+
+        let (got, expected, est, stats) = run_tbs(30, 6, 10, 1.0);
+        assert!(got.approx_eq(&expected, 1e-11));
+        assert_eq!(est.loads, stats.volume.loads as u128);
+        assert_eq!(est.stores, stats.volume.stores as u128);
+        assert_eq!(est.flops, stats.flops);
+        assert!(stats.peak_resident <= 10);
+    }
+
+    #[test]
+    fn fallback_path_matches_square_baseline() {
+        // n far below the applicability threshold: TBS must behave exactly
+        // like OOC_SYRK.
+        let s = 64;
+        let plan = TbsPlan::for_memory(s).unwrap();
+        assert!(!plan.applicable(20));
+        let (got, expected, est, stats) = run_tbs(20, 5, s, 1.0);
+        assert!(got.approx_eq(&expected, 1e-11));
+        assert_eq!(est.loads, stats.volume.loads as u128);
+        let sq = OocSyrkPlan::for_memory(s).unwrap();
+        assert_eq!(est, ooc_syrk_cost(20, 5, &sq));
+    }
+
+    #[test]
+    fn negative_alpha_and_various_sizes() {
+        for &(n, m, s) in &[(25_usize, 4_usize, 10_usize), (37, 3, 10), (52, 5, 15), (48, 7, 21)] {
+            let (got, expected, est, stats) = run_tbs(n, m, s, -1.0);
+            assert!(got.approx_eq(&expected, 1e-10), "n={n} m={m} s={s}");
+            assert_eq!(est.loads, stats.volume.loads as u128, "n={n} m={m} s={s}");
+            assert_eq!(est.stores, stats.volume.stores as u128);
+            assert_eq!(est.flops, stats.flops);
+            assert!(stats.peak_resident <= s);
+        }
+    }
+
+    #[test]
+    fn decomposition_structure() {
+        let plan = TbsPlan::with_k(5).unwrap(); // S = 15
+        let d = tbs_decomposition(60, &plan);
+        // n/k = 12 -> largest coprime with {2,3} below 12 is 11
+        assert_eq!(d.grid, Some(11));
+        assert_eq!(d.covered, 55);
+        assert_eq!(d.leftover, 5);
+        assert_eq!(d.blocks, 121);
+
+        let small = tbs_decomposition(12, &plan);
+        assert_eq!(small.grid, None);
+        assert_eq!(small.leftover, 12);
+        assert_eq!(small.blocks, 0);
+    }
+
+    #[test]
+    fn tbs_beats_square_blocks_and_respects_lower_bound() {
+        // At a size where the triangle phase dominates, the measured loads of
+        // TBS must be below the square-block baseline and above the paper's
+        // lower bound.
+        let s = 36; // k = 8
+        let plan = TbsPlan::for_memory(s).unwrap();
+        let n = 280; // >> min_applicable_n
+        let m = 32;
+        assert!(plan.applicable(n));
+
+        let tbs = tbs_cost(n, m, &plan).unwrap();
+        let sq = ooc_syrk_cost(n, m, &OocSyrkPlan::for_memory(s).unwrap());
+        assert!(
+            tbs.loads < sq.loads,
+            "TBS loads {} should beat square-block {}",
+            tbs.loads,
+            sq.loads
+        );
+        let lb = bounds::syrk_lower_bound(n as f64, m as f64, s as f64);
+        assert!(tbs.loads as f64 >= lb, "TBS {} below lower bound {lb}", tbs.loads);
+    }
+
+    #[test]
+    fn leading_term_approaches_the_optimal_constant() {
+        // For a large analytic instance, loads(TBS) - N^2/2 over N^2 M /
+        // sqrt(S) approaches 1/sqrt(2) (within the low-order terms).
+        let s = 5050; // k = 100
+        let plan = TbsPlan::for_memory(s).unwrap();
+        assert_eq!(plan.k, 100);
+        let n = 60_000;
+        let m = 2_000;
+        assert!(plan.applicable(n));
+        let est = tbs_cost(n, m, &plan).unwrap();
+        let c_loads = (n as f64) * (n as f64) / 2.0;
+        let normalized = (est.loads as f64 - c_loads) / ((n as f64).powi(2) * m as f64 / (s as f64).sqrt());
+        let target = 1.0 / std::f64::consts::SQRT_2;
+        assert!(
+            (normalized - target).abs() / target < 0.06,
+            "normalized constant {normalized} vs {target}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut machine = OocMachine::<f64>::with_capacity(100);
+        let a_id = machine.insert_dense(Matrix::zeros(4, 3));
+        let c_id = machine.insert_symmetric(SymMatrix::zeros(5));
+        let err = tbs_execute(
+            &mut machine,
+            &PanelRef::dense(a_id, 4, 3),
+            &SymWindowRef::full(c_id, 5),
+            1.0,
+            &TbsPlan::with_k(3).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OocError::Invalid(_)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Error types shared by the matrix substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix constructors and in-memory kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// Two operands have incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Human readable description of the operation being attempted.
+        operation: &'static str,
+        /// Shape of the first operand involved in the mismatch.
+        left: (usize, usize),
+        /// Shape of the second operand involved in the mismatch.
+        right: (usize, usize),
+    },
+    /// A factorization encountered a non-positive pivot, so the input matrix
+    /// is not (numerically) symmetric positive definite.
+    NotPositiveDefinite {
+        /// Index of the offending diagonal entry.
+        pivot: usize,
+        /// Value of the offending pivot (as `f64` for reporting).
+        value: f64,
+    },
+    /// A pivot of an LU factorization or a triangular solve is exactly zero
+    /// (or not finite), so the system is singular.
+    SingularPivot {
+        /// Index of the offending diagonal entry.
+        pivot: usize,
+    },
+    /// The raw data buffer handed to a constructor has the wrong length.
+    InvalidBufferLength {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index is out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// The requested (row, column) index.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// A parameter (block size, tile size, ...) is invalid, e.g. zero.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: {}x{} is incompatible with {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value}"
+            ),
+            MatrixError::SingularPivot { pivot } => {
+                write!(f, "singular pivot encountered at index {pivot}")
+            }
+            MatrixError::InvalidBufferLength { expected, actual } => write!(
+                f,
+                "invalid buffer length: expected {expected} elements, got {actual}"
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+/// Convenient result alias for matrix operations.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = MatrixError::DimensionMismatch {
+            operation: "gemm",
+            left: (3, 4),
+            right: (5, 6),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("gemm"));
+        assert!(msg.contains("3x4"));
+        assert!(msg.contains("5x6"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let err = MatrixError::NotPositiveDefinite {
+            pivot: 7,
+            value: -0.25,
+        };
+        assert!(err.to_string().contains("pivot 7"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(MatrixError::SingularPivot { pivot: 2 }
+            .to_string()
+            .contains("index 2"));
+        assert!(MatrixError::InvalidBufferLength {
+            expected: 10,
+            actual: 9
+        }
+        .to_string()
+        .contains("expected 10"));
+        assert!(MatrixError::IndexOutOfBounds {
+            index: (4, 5),
+            shape: (2, 2)
+        }
+        .to_string()
+        .contains("out of bounds"));
+        assert!(MatrixError::InvalidParameter {
+            name: "block",
+            reason: "must be positive".into()
+        }
+        .to_string()
+        .contains("block"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        let err = MatrixError::SingularPivot { pivot: 0 };
+        assert_error(&err);
+    }
+}

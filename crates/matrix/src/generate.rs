@@ -1,0 +1,213 @@
+//! Deterministic test-matrix generators.
+//!
+//! Every experiment in this workspace is reproducible: the generators take an
+//! explicit seed (or an explicit RNG) and use `rand`'s `StdRng`, so the same
+//! `(kind, size, seed)` triple always produces the same matrix.
+
+use crate::dense::Matrix;
+use crate::scalar::Scalar;
+use crate::symmetric::SymMatrix;
+use crate::triangular::LowerTriangular;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a seeded RNG shared by the generators.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniformly random `rows x cols` matrix with entries in `[-1, 1)`.
+pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |_, _| {
+        T::from_f64(rng.gen_range(-1.0_f64..1.0))
+    })
+}
+
+/// Uniformly random `rows x cols` matrix from a seed.
+pub fn random_matrix_seeded<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    random_matrix(rows, cols, &mut seeded_rng(seed))
+}
+
+/// Random symmetric matrix (entries of the lower triangle in `[-1, 1)`).
+pub fn random_symmetric<T: Scalar>(n: usize, rng: &mut impl Rng) -> SymMatrix<T> {
+    SymMatrix::from_lower_fn(n, |_, _| T::from_f64(rng.gen_range(-1.0_f64..1.0)))
+}
+
+/// Random lower-triangular matrix with strictly positive diagonal entries in
+/// `[0.5, 1.5)` (so it is always invertible and well conditioned enough for
+/// the residual tests).
+pub fn random_lower_triangular<T: Scalar>(n: usize, rng: &mut impl Rng) -> LowerTriangular<T> {
+    LowerTriangular::from_lower_fn(n, |i, j| {
+        if i == j {
+            T::from_f64(rng.gen_range(0.5_f64..1.5))
+        } else {
+            T::from_f64(rng.gen_range(-1.0_f64..1.0))
+        }
+    })
+}
+
+/// Random symmetric positive definite matrix built as `B Bᵀ + n·I` with `B`
+/// uniform in `[-1, 1)`. The diagonal shift makes the smallest eigenvalue at
+/// least `n`, which keeps Cholesky factorizations well conditioned for every
+/// size used in tests and benchmarks.
+pub fn random_spd<T: Scalar>(n: usize, rng: &mut impl Rng) -> SymMatrix<T> {
+    let b = random_matrix::<T>(n, n, rng);
+    let mut s = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut acc = T::ZERO;
+            for k in 0..n {
+                acc = b[(i, k)].mul_add(b[(j, k)], acc);
+            }
+            if i == j {
+                acc += T::from_f64(n as f64);
+            }
+            s.set(i, j, acc);
+        }
+    }
+    s
+}
+
+/// Random SPD matrix from a seed.
+pub fn random_spd_seeded<T: Scalar>(n: usize, seed: u64) -> SymMatrix<T> {
+    random_spd(n, &mut seeded_rng(seed))
+}
+
+/// Diagonally dominant SPD matrix with random off-diagonal entries; cheaper to
+/// generate than [`random_spd`] (no `n^3` product), used for large benchmark
+/// inputs.
+pub fn diag_dominant_spd<T: Scalar>(n: usize, rng: &mut impl Rng) -> SymMatrix<T> {
+    let mut s = SymMatrix::from_lower_fn(n, |i, j| {
+        if i == j {
+            T::ZERO
+        } else {
+            T::from_f64(rng.gen_range(-1.0_f64..1.0))
+        }
+    });
+    for i in 0..n {
+        let mut row_sum = T::ZERO;
+        for j in 0..n {
+            if j != i {
+                row_sum += s.get(i, j).abs();
+            }
+        }
+        s.set(i, i, row_sum + T::ONE);
+    }
+    s
+}
+
+/// Diagonally dominant SPD matrix from a seed.
+pub fn diag_dominant_spd_seeded<T: Scalar>(n: usize, seed: u64) -> SymMatrix<T> {
+    diag_dominant_spd(n, &mut seeded_rng(seed))
+}
+
+/// The (symmetric positive definite, notoriously ill-conditioned) Hilbert
+/// matrix `H[i][j] = 1 / (i + j + 1)`. Useful to exercise loss-of-precision
+/// paths; not used where tight residuals are asserted.
+pub fn hilbert<T: Scalar>(n: usize) -> SymMatrix<T> {
+    SymMatrix::from_lower_fn(n, |i, j| T::from_f64(1.0 / (i as f64 + j as f64 + 1.0)))
+}
+
+/// Symmetric tridiagonal SPD matrix with `2` on the diagonal and `-1` on the
+/// sub/super diagonals (the 1-D Laplacian), scaled so it stays SPD.
+pub fn laplacian_1d<T: Scalar>(n: usize) -> SymMatrix<T> {
+    SymMatrix::from_lower_fn(n, |i, j| {
+        if i == j {
+            T::from_f64(2.0)
+        } else if i == j + 1 {
+            T::from_f64(-1.0)
+        } else {
+            T::ZERO
+        }
+    })
+}
+
+/// Dense matrix whose entry `(i, j)` is a deterministic, non-random function
+/// of the indices; useful for exact (bit-reproducible) comparisons between
+/// schedules without involving an RNG.
+pub fn indexed_matrix<T: Scalar>(rows: usize, cols: usize) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |i, j| {
+        T::from_f64(((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::cholesky::cholesky_sym;
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a: Matrix<f64> = random_matrix_seeded(6, 4, 42);
+        let b: Matrix<f64> = random_matrix_seeded(6, 4, 42);
+        let c: Matrix<f64> = random_matrix_seeded(6, 4, 43);
+        assert!(a.approx_eq(&b, 0.0));
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+
+    #[test]
+    fn random_entries_are_in_range() {
+        let a: Matrix<f64> = random_matrix_seeded(20, 20, 7);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn spd_matrices_factorize() {
+        for seed in [1_u64, 2, 3] {
+            let s: SymMatrix<f64> = random_spd_seeded(12, seed);
+            assert!(cholesky_sym(&s).is_ok(), "seed {seed} should be SPD");
+        }
+    }
+
+    #[test]
+    fn diag_dominant_is_spd() {
+        let s: SymMatrix<f64> = diag_dominant_spd_seeded(25, 11);
+        assert!(cholesky_sym(&s).is_ok());
+        // diagonal strictly dominates
+        for i in 0..25 {
+            let mut off = 0.0;
+            for j in 0..25 {
+                if j != i {
+                    off += s.get(i, j).abs();
+                }
+            }
+            assert!(s.get(i, i) > off);
+        }
+    }
+
+    #[test]
+    fn hilbert_and_laplacian_shapes() {
+        let h: SymMatrix<f64> = hilbert(4);
+        assert_eq!(h.get(0, 0), 1.0);
+        assert!((h.get(2, 1) - 0.25).abs() < 1e-15);
+
+        let l: SymMatrix<f64> = laplacian_1d(5);
+        assert_eq!(l.get(2, 2), 2.0);
+        assert_eq!(l.get(3, 2), -1.0);
+        assert_eq!(l.get(4, 2), 0.0);
+        assert!(cholesky_sym(&l).is_ok());
+    }
+
+    #[test]
+    fn triangular_generator_has_positive_diagonal() {
+        let l: LowerTriangular<f64> = random_lower_triangular(10, &mut seeded_rng(3));
+        for i in 0..10 {
+            assert!(l.get(i, i) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn indexed_matrix_is_reproducible_without_rng() {
+        let a: Matrix<f64> = indexed_matrix(8, 8);
+        let b: Matrix<f64> = indexed_matrix(8, 8);
+        assert!(a.approx_eq(&b, 0.0));
+        assert!(a.max_abs() <= 0.5);
+    }
+
+    #[test]
+    fn random_symmetric_is_symmetric() {
+        let s: SymMatrix<f64> = random_symmetric(9, &mut seeded_rng(5));
+        let d = s.to_dense();
+        assert!(d.is_symmetric(0.0));
+    }
+}

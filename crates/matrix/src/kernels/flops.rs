@@ -1,0 +1,177 @@
+//! Arithmetic operation counts for the kernels.
+//!
+//! The paper's operational-intensity results are stated for the
+//! **multiplication** operations of the three-nested-loop algorithms (the
+//! paper notes that counting additions as well doubles the intensity). These
+//! counters provide both conventions so the experiment harness can report
+//! either.
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Number of multiplications and additions performed by a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FlopCount {
+    /// Multiplications (the paper's unit of "operations").
+    pub mults: u128,
+    /// Additions / subtractions.
+    pub adds: u128,
+}
+
+impl FlopCount {
+    /// Creates a flop count.
+    pub fn new(mults: u128, adds: u128) -> Self {
+        Self { mults, adds }
+    }
+
+    /// Total operations (multiplications + additions).
+    pub fn total(&self) -> u128 {
+        self.mults + self.adds
+    }
+
+    /// Component-wise sum of two counts.
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            mults: self.mults + other.mults,
+            adds: self.adds + other.adds,
+        }
+    }
+}
+
+/// Multiplications of the SYRK kernel of Algorithm 1 restricted to the strict
+/// lower triangle (`i > j`), the operation set `S` of the paper:
+/// `|S| = M · N(N−1)/2`.
+pub fn syrk_strict_lower_mults(n: usize, m: usize) -> u128 {
+    (n as u128) * (n as u128 - if n == 0 { 0 } else { 1 }) / 2 * m as u128
+}
+
+/// Full flop count of SYRK on the lower triangle including the diagonal:
+/// `M · N(N+1)/2` multiply–add pairs.
+pub fn syrk_flops(n: usize, m: usize) -> FlopCount {
+    let pairs = (n as u128) * (n as u128 + 1) / 2 * m as u128;
+    FlopCount::new(pairs, pairs)
+}
+
+/// Number of update operations of the Cholesky kernel (the set `C` of the
+/// paper, `i > j > k`): `N(N−1)(N−2)/6`.
+pub fn cholesky_update_ops(n: usize) -> u128 {
+    if n < 3 {
+        return 0;
+    }
+    let n = n as u128;
+    n * (n - 1) * (n - 2) / 6
+}
+
+/// Full flop count of the Cholesky factorization (Algorithm 2):
+/// `N` square roots are ignored; divisions count as multiplications.
+/// Multiplications: `N(N−1)/2` (scalings) + `N(N²−1)/6` ≈ `N³/6` update
+/// multiplies; additions: the same number of update subtractions.
+pub fn cholesky_flops(n: usize) -> FlopCount {
+    let nu = n as u128;
+    let scalings = nu * nu.saturating_sub(1) / 2;
+    // update operations over i > j >= k (including the diagonal j = i would
+    // not be part of algorithm 2's inner loop; the loop is j in k+1..=i, so
+    // pairs (i, j) with i >= j > k): sum_k (n-k-1)(n-k)/2 = n(n^2-1)/6
+    let updates = if n == 0 { 0 } else { nu * (nu * nu - 1) / 6 };
+    FlopCount::new(scalings + updates, updates)
+}
+
+/// Flop count of `C += A·B` with `A` of size `m x k` and `B` of size `k x n`:
+/// `m·n·k` multiply–add pairs.
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> FlopCount {
+    let pairs = m as u128 * k as u128 * n as u128;
+    FlopCount::new(pairs, pairs)
+}
+
+/// Flop count of the non-pivoted LU factorization of an `n x n` matrix:
+/// roughly `n³/3` multiply–add pairs plus `n(n−1)/2` divisions.
+pub fn lu_flops(n: usize) -> FlopCount {
+    let nu = n as u128;
+    let updates = if n == 0 { 0 } else { nu * (nu - 1) * (2 * nu - 1) / 6 };
+    let divisions = nu * nu.saturating_sub(1) / 2;
+    FlopCount::new(updates + divisions, updates)
+}
+
+/// Flop count of the right triangular solve `X · Lᵀ = B` with `X` of size
+/// `m x n` and `L` of order `n`: `m·n(n−1)/2` multiply–add pairs plus `m·n`
+/// divisions.
+pub fn trsm_flops(m: usize, n: usize) -> FlopCount {
+    let pairs = m as u128 * (n as u128) * (n as u128 - if n == 0 { 0 } else { 1 }) / 2;
+    let divisions = m as u128 * n as u128;
+    FlopCount::new(pairs + divisions, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syrk_counts() {
+        assert_eq!(syrk_strict_lower_mults(4, 3), 6 * 3);
+        assert_eq!(syrk_strict_lower_mults(0, 5), 0);
+        let f = syrk_flops(4, 3);
+        assert_eq!(f.mults, 10 * 3);
+        assert_eq!(f.adds, 10 * 3);
+        assert_eq!(f.total(), 60);
+    }
+
+    #[test]
+    fn cholesky_counts() {
+        assert_eq!(cholesky_update_ops(2), 0);
+        assert_eq!(cholesky_update_ops(3), 1);
+        assert_eq!(cholesky_update_ops(4), 4);
+        assert_eq!(cholesky_update_ops(10), 120);
+
+        let f = cholesky_flops(1);
+        assert_eq!(f.mults, 0);
+        // For n=3: scalings = 3, updates = 3*(9-1)/6 = 4
+        let f3 = cholesky_flops(3);
+        assert_eq!(f3.mults, 3 + 4);
+        assert_eq!(f3.adds, 4);
+    }
+
+    #[test]
+    fn cholesky_update_ops_matches_direct_enumeration() {
+        for n in 0..20 {
+            let mut count = 0_u128;
+            for i in 0..n {
+                for j in 0..i {
+                    for _k in 0..j {
+                        count += 1;
+                    }
+                }
+            }
+            assert_eq!(cholesky_update_ops(n), count, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn gemm_lu_trsm_counts() {
+        assert_eq!(gemm_flops(2, 3, 4).mults, 24);
+        assert_eq!(lu_flops(0).total(), 0);
+        assert_eq!(lu_flops(2).mults, 1 + 1);
+        assert_eq!(trsm_flops(3, 4).mults, 3 * 6 + 12);
+        assert_eq!(trsm_flops(3, 0).mults, 0);
+    }
+
+    #[test]
+    fn lu_update_count_matches_enumeration() {
+        for n in 0..15_usize {
+            let mut updates = 0_u128;
+            for k in 0..n {
+                updates += ((n - k - 1) * (n - k - 1)) as u128;
+            }
+            assert_eq!(lu_flops(n).adds, updates, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = FlopCount::new(3, 5);
+        let b = FlopCount::new(10, 1);
+        let m = a.merge(&b);
+        assert_eq!(m.mults, 13);
+        assert_eq!(m.adds, 6);
+    }
+}

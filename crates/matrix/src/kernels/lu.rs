@@ -1,0 +1,255 @@
+//! LU factorization without pivoting (reference kernel for the non-symmetric
+//! comparison point).
+//!
+//! The paper contrasts the operational intensity of the symmetric kernels
+//! (SYRK, Cholesky) with their non-symmetric counterparts (GEMM, LU). These
+//! kernels provide the LU side of that comparison. Pivoting is omitted — the
+//! I/O analyses in the literature (and the matrices we generate, which are
+//! diagonally dominant) do not require it.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+use crate::triangular::LowerTriangular;
+
+use super::gemm::gemm;
+use super::trsm::trsm_left_lower;
+
+/// In-place LU factorization without pivoting: on exit the strict lower
+/// triangle of `a` holds `L` (unit diagonal implied) and the upper triangle
+/// (diagonal included) holds `U`, with `A = L · U`.
+pub fn lu_nopiv_in_place<T: Scalar>(a: &mut Matrix<T>) -> Result<()> {
+    if !a.is_square() {
+        return Err(MatrixError::DimensionMismatch {
+            operation: "lu_nopiv_in_place",
+            left: a.shape(),
+            right: (a.rows(), a.rows()),
+        });
+    }
+    let n = a.rows();
+    for k in 0..n {
+        let pivot = a[(k, k)];
+        if pivot == T::ZERO || !pivot.is_finite_scalar() {
+            return Err(MatrixError::SingularPivot { pivot: k });
+        }
+        let inv = pivot.recip();
+        for i in (k + 1)..n {
+            a[(i, k)] *= inv;
+        }
+        for j in (k + 1)..n {
+            let akj = a[(k, j)];
+            if akj == T::ZERO {
+                continue;
+            }
+            for i in (k + 1)..n {
+                let lik = a[(i, k)];
+                a[(i, j)] = a[(i, j)] - lik * akj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Blocked right-looking LU factorization without pivoting with panel width
+/// `block`. Functionally identical to [`lu_nopiv_in_place`].
+pub fn lu_nopiv_blocked<T: Scalar>(a: &mut Matrix<T>, block: usize) -> Result<()> {
+    if block == 0 {
+        return Err(MatrixError::InvalidParameter {
+            name: "block",
+            reason: "block size must be positive".into(),
+        });
+    }
+    if !a.is_square() {
+        return Err(MatrixError::DimensionMismatch {
+            operation: "lu_nopiv_blocked",
+            left: a.shape(),
+            right: (a.rows(), a.rows()),
+        });
+    }
+    let n = a.rows();
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = block.min(n - k0);
+        // Factorize the panel A[k0.., k0..k0+kb] (diagonal block + column panel).
+        let rest = n - k0 - kb;
+        {
+            let mut diag = a.block(k0, k0, kb, kb)?;
+            lu_nopiv_in_place(&mut diag).map_err(|e| match e {
+                MatrixError::SingularPivot { pivot } => MatrixError::SingularPivot {
+                    pivot: pivot + k0,
+                },
+                other => other,
+            })?;
+            a.set_block(k0, k0, &diag)?;
+
+            if rest > 0 {
+                // L21 <- A21 * U11^{-1}  (solve X * U11 = A21)
+                let u11 = diag.clone();
+                let mut a21 = a.block(k0 + kb, k0, rest, kb)?;
+                // Solve X * U11 = A21 column by column of U11 (forward order).
+                for j in 0..kb {
+                    for k in 0..j {
+                        let ukj = u11[(k, j)];
+                        if ukj == T::ZERO {
+                            continue;
+                        }
+                        for i in 0..rest {
+                            let xik = a21[(i, k)];
+                            a21[(i, j)] = a21[(i, j)] - xik * ukj;
+                        }
+                    }
+                    let d = u11[(j, j)];
+                    if d == T::ZERO || !d.is_finite_scalar() {
+                        return Err(MatrixError::SingularPivot { pivot: k0 + j });
+                    }
+                    let inv = d.recip();
+                    for i in 0..rest {
+                        a21[(i, j)] *= inv;
+                    }
+                }
+                a.set_block(k0 + kb, k0, &a21)?;
+
+                // U12 <- L11^{-1} * A12
+                let l11 = {
+                    let mut l = diag.clone();
+                    for j in 0..kb {
+                        l[(j, j)] = T::ONE;
+                        for i in 0..j {
+                            l[(i, j)] = T::ZERO;
+                        }
+                    }
+                    LowerTriangular::from_dense_lower(&l)?
+                };
+                let mut a12 = a.block(k0, k0 + kb, kb, rest)?;
+                trsm_left_lower(&l11, &mut a12)?;
+                a.set_block(k0, k0 + kb, &a12)?;
+
+                // Trailing update A22 -= L21 * U12
+                let l21 = a.block(k0 + kb, k0, rest, kb)?;
+                let mut a22 = a.block(k0 + kb, k0 + kb, rest, rest)?;
+                gemm(-T::ONE, &l21, &a12, T::ONE, &mut a22)?;
+                a.set_block(k0 + kb, k0 + kb, &a22)?;
+            }
+        }
+        k0 += kb;
+    }
+    Ok(())
+}
+
+/// Splits an in-place LU result into an explicit unit-lower-triangular `L` and
+/// upper-triangular `U` (both dense).
+pub fn split_lu<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let n = a.rows();
+    let l = Matrix::from_fn(n, n, |i, j| {
+        if i > j {
+            a[(i, j)]
+        } else if i == j {
+            T::ONE
+        } else {
+            T::ZERO
+        }
+    });
+    let u = Matrix::from_fn(n, n, |i, j| if i <= j { a[(i, j)] } else { T::ZERO });
+    (l, u)
+}
+
+/// Reconstructs `L · U` from an in-place LU result (for residual checks).
+pub fn lu_reconstruct<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    let (l, u) = split_lu(a);
+    let mut out = Matrix::zeros(a.rows(), a.rows());
+    gemm(T::ONE, &l, &u, T::ZERO, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::seeded_rng;
+    use rand::Rng;
+
+    /// Diagonally dominant random square matrix (so no pivoting is needed).
+    fn dd_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = seeded_rng(seed);
+        let mut m = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            m[(i, i)] = row_sum + 1.0;
+        }
+        m
+    }
+
+    #[test]
+    fn unblocked_lu_reconstructs() {
+        let a = dd_matrix(9, 41);
+        let mut lu = a.clone();
+        lu_nopiv_in_place(&mut lu).unwrap();
+        let recon = lu_reconstruct(&lu).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn known_2x2_case() {
+        // A = [[4, 3], [6, 3]] => L = [[1,0],[1.5,1]], U = [[4,3],[0,-1.5]]
+        let mut a = Matrix::from_row_major(2, 2, &[4.0, 3.0, 6.0, 3.0]).unwrap();
+        lu_nopiv_in_place(&mut a).unwrap();
+        assert!((a[(1, 0)] - 1.5).abs() < 1e-15);
+        assert!((a[(0, 1)] - 3.0).abs() < 1e-15);
+        assert!((a[(1, 1)] + 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        for &n in &[1_usize, 4, 10, 17] {
+            let a = dd_matrix(n, 42 + n as u64);
+            let mut reference = a.clone();
+            lu_nopiv_in_place(&mut reference).unwrap();
+            for &b in &[1_usize, 2, 3, 8, 32] {
+                let mut blocked = a.clone();
+                lu_nopiv_blocked(&mut blocked, b).unwrap();
+                assert!(
+                    blocked.approx_eq(&reference, 1e-9),
+                    "n={n}, block={b} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_produces_triangular_factors() {
+        let a = dd_matrix(6, 50);
+        let mut lu = a.clone();
+        lu_nopiv_in_place(&mut lu).unwrap();
+        let (l, u) = split_lu(&lu);
+        assert!(l.is_lower_triangular());
+        for i in 0..6 {
+            assert_eq!(l[(i, i)], 1.0);
+        }
+        let mut ut = u.transpose();
+        ut.zero_strict_upper();
+        assert!(ut.approx_eq(&u.transpose(), 0.0)); // u is upper triangular
+    }
+
+    #[test]
+    fn errors_on_singular_and_bad_input() {
+        let mut zero = Matrix::<f64>::zeros(3, 3);
+        assert!(matches!(
+            lu_nopiv_in_place(&mut zero),
+            Err(MatrixError::SingularPivot { pivot: 0 })
+        ));
+        let mut rect = Matrix::<f64>::zeros(2, 3);
+        assert!(lu_nopiv_in_place(&mut rect).is_err());
+        let mut sq = dd_matrix(4, 51);
+        assert!(lu_nopiv_blocked(&mut sq, 0).is_err());
+        let mut rect2 = Matrix::<f64>::zeros(2, 3);
+        assert!(lu_nopiv_blocked(&mut rect2, 2).is_err());
+    }
+
+    #[test]
+    fn blocked_reports_global_pivot_index() {
+        // Make the matrix singular at global index 5 (inside the second block).
+        let mut a = Matrix::<f64>::identity(8);
+        a[(5, 5)] = 0.0;
+        let err = lu_nopiv_blocked(&mut a, 3).unwrap_err();
+        assert!(matches!(err, MatrixError::SingularPivot { pivot: 5 }));
+    }
+}

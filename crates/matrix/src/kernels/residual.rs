@@ -1,0 +1,200 @@
+//! Relative residuals used to verify every schedule against the reference
+//! kernels.
+//!
+//! All residuals are Frobenius-norm relative errors accumulated in `f64`,
+//! independently of the scalar type of the operands, so the tolerances used in
+//! tests are meaningful for both `f32` and `f64` runs.
+
+use crate::dense::Matrix;
+use crate::scalar::Scalar;
+use crate::symmetric::SymMatrix;
+use crate::triangular::LowerTriangular;
+
+use super::gemm::{gemm, gemm_nt};
+use super::lu::lu_reconstruct;
+use super::syrk::syrk_sym;
+
+fn safe_div(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Relative residual of a SYRK result:
+/// `‖C_result − (alpha·A·Aᵀ + beta·C_before)‖_F / ‖reference‖_F`.
+pub fn syrk_residual<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    beta: T,
+    c_before: &SymMatrix<T>,
+    c_result: &SymMatrix<T>,
+) -> f64 {
+    let mut reference = c_before.clone();
+    syrk_sym(alpha, a, beta, &mut reference).expect("shape mismatch in syrk_residual");
+    let diff = c_result
+        .max_abs_diff(&reference)
+        .expect("shape mismatch in syrk_residual");
+    // Use a norm-scaled version of the max difference to stay cheap while
+    // remaining scale-invariant.
+    safe_div(
+        diff * (reference.order() as f64),
+        reference.frobenius_norm().max(1e-300),
+    )
+}
+
+/// Relative Cholesky residual `‖A − L·Lᵀ‖_F / ‖A‖_F`.
+pub fn cholesky_residual<T: Scalar>(a: &SymMatrix<T>, l: &LowerTriangular<T>) -> f64 {
+    let recon = l.lltranspose();
+    let dense = a.to_dense();
+    let num = dense
+        .max_abs_diff(&recon)
+        .expect("shape mismatch in cholesky_residual")
+        * (a.order() as f64);
+    safe_div(num, dense.frobenius_norm().max(1e-300))
+}
+
+/// Relative residual of a right triangular solve `X · Lᵀ = B`:
+/// `‖X·Lᵀ − B‖_F / ‖B‖_F`.
+pub fn trsm_right_lt_residual<T: Scalar>(
+    l: &LowerTriangular<T>,
+    b: &Matrix<T>,
+    x: &Matrix<T>,
+) -> f64 {
+    let mut recon = Matrix::zeros(x.rows(), x.cols());
+    gemm_nt(T::ONE, x, &l.to_dense(), T::ZERO, &mut recon)
+        .expect("shape mismatch in trsm_right_lt_residual");
+    safe_div(
+        recon
+            .max_abs_diff(b)
+            .expect("shape mismatch in trsm_right_lt_residual")
+            * (b.rows().max(b.cols()) as f64),
+        b.frobenius_norm().max(1e-300),
+    )
+}
+
+/// Relative residual of `C_result` against `alpha·A·Bᵀ + beta·C_before`.
+pub fn gemm_nt_residual<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c_before: &Matrix<T>,
+    c_result: &Matrix<T>,
+) -> f64 {
+    let mut reference = c_before.clone();
+    gemm_nt(alpha, a, b, beta, &mut reference).expect("shape mismatch in gemm_nt_residual");
+    safe_div(
+        c_result
+            .max_abs_diff(&reference)
+            .expect("shape mismatch in gemm_nt_residual")
+            * (reference.rows().max(reference.cols()) as f64),
+        reference.frobenius_norm().max(1e-300),
+    )
+}
+
+/// Relative residual of `C_result` against `alpha·A·B + beta·C_before`.
+pub fn gemm_residual<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c_before: &Matrix<T>,
+    c_result: &Matrix<T>,
+) -> f64 {
+    let mut reference = c_before.clone();
+    gemm(alpha, a, b, beta, &mut reference).expect("shape mismatch in gemm_residual");
+    safe_div(
+        c_result
+            .max_abs_diff(&reference)
+            .expect("shape mismatch in gemm_residual")
+            * (reference.rows().max(reference.cols()) as f64),
+        reference.frobenius_norm().max(1e-300),
+    )
+}
+
+/// Relative LU residual `‖A − L·U‖_F / ‖A‖_F` where `lu` holds the packed
+/// in-place factorization.
+pub fn lu_residual<T: Scalar>(a: &Matrix<T>, lu: &Matrix<T>) -> f64 {
+    let recon = lu_reconstruct(lu).expect("shape mismatch in lu_residual");
+    safe_div(
+        a.max_abs_diff(&recon)
+            .expect("shape mismatch in lu_residual")
+            * (a.rows() as f64),
+        a.frobenius_norm().max(1e-300),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_matrix_seeded, random_spd_seeded, seeded_rng};
+    use crate::kernels::cholesky::cholesky_sym;
+    use crate::kernels::lu::lu_nopiv_in_place;
+    use crate::kernels::trsm::trsm_right_lower_transpose;
+
+    #[test]
+    fn syrk_residual_zero_for_exact_result() {
+        let a: Matrix<f64> = random_matrix_seeded(6, 4, 61);
+        let c0 = SymMatrix::from_lower_fn(6, |i, j| (i + j) as f64 * 0.1);
+        let mut c = c0.clone();
+        syrk_sym(1.0, &a, 1.0, &mut c).unwrap();
+        assert_eq!(syrk_residual(1.0, &a, 1.0, &c0, &c), 0.0);
+
+        // A corrupted result has a visible residual.
+        let mut bad = c.clone();
+        bad.set(5, 0, bad.get(5, 0) + 1.0);
+        assert!(syrk_residual(1.0, &a, 1.0, &c0, &bad) > 1e-3);
+    }
+
+    #[test]
+    fn cholesky_residual_small_for_true_factor() {
+        let a: SymMatrix<f64> = random_spd_seeded(12, 62);
+        let l = cholesky_sym(&a).unwrap();
+        assert!(cholesky_residual(&a, &l) < 1e-12);
+        let wrong = LowerTriangular::identity(12);
+        assert!(cholesky_residual(&a, &wrong) > 1e-2);
+    }
+
+    #[test]
+    fn trsm_residual_detects_errors() {
+        let mut rng = seeded_rng(63);
+        let l = crate::generate::random_lower_triangular::<f64>(5, &mut rng);
+        let b: Matrix<f64> = random_matrix_seeded(7, 5, 64);
+        let mut x = b.clone();
+        trsm_right_lower_transpose(&l, &mut x).unwrap();
+        assert!(trsm_right_lt_residual(&l, &b, &x) < 1e-10);
+        assert!(trsm_right_lt_residual(&l, &b, &b) > 1e-6);
+    }
+
+    #[test]
+    fn gemm_residuals() {
+        let a: Matrix<f64> = random_matrix_seeded(4, 5, 65);
+        let b: Matrix<f64> = random_matrix_seeded(5, 3, 66);
+        let c0: Matrix<f64> = random_matrix_seeded(4, 3, 67);
+        let mut c = c0.clone();
+        gemm(2.0, &a, &b, 0.5, &mut c).unwrap();
+        assert_eq!(gemm_residual(2.0, &a, &b, 0.5, &c0, &c), 0.0);
+
+        let bt: Matrix<f64> = b.transpose();
+        let mut cnt = c0.clone();
+        gemm_nt(2.0, &a, &bt, 0.5, &mut cnt).unwrap();
+        assert!(gemm_nt_residual(2.0, &a, &bt, 0.5, &c0, &cnt) < 1e-14);
+    }
+
+    #[test]
+    fn lu_residual_small_for_true_factorization() {
+        let mut rng = seeded_rng(68);
+        let mut a = Matrix::<f64>::from_fn(6, 6, |_, _| rng.gen_range(-1.0..1.0));
+        for i in 0..6 {
+            a[(i, i)] = 10.0;
+        }
+        let mut lu = a.clone();
+        lu_nopiv_in_place(&mut lu).unwrap();
+        assert!(lu_residual(&a, &lu) < 1e-12);
+        assert!(lu_residual(&a, &Matrix::identity(6)) > 1e-2);
+    }
+
+    use rand::Rng;
+}

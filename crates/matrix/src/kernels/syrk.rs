@@ -1,0 +1,226 @@
+//! Symmetric rank-k update (SYRK) reference kernels.
+//!
+//! These implement Algorithm 1 of the paper: `C += A · Aᵀ` where only the
+//! lower triangle of `C` is referenced and computed.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+use crate::symmetric::SymMatrix;
+
+/// `C ← alpha · A · Aᵀ + beta · C` on the packed symmetric matrix `C`
+/// (lower triangle only), with `A` of size `n x m`.
+///
+/// This is the literal three-nested-loop Algorithm 1 of the paper (plus the
+/// diagonal entries `i = j`, which the paper's analysis ignores but a usable
+/// kernel must of course produce).
+pub fn syrk_sym<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    beta: T,
+    c: &mut SymMatrix<T>,
+) -> Result<()> {
+    let n = a.rows();
+    if c.order() != n {
+        return Err(MatrixError::DimensionMismatch {
+            operation: "syrk_sym",
+            left: a.shape(),
+            right: (c.order(), c.order()),
+        });
+    }
+    if beta != T::ONE {
+        c.scale(beta);
+    }
+    let m = a.cols();
+    for k in 0..m {
+        let col = a.col(k);
+        for i in 0..n {
+            let aik = alpha * col[i];
+            if aik == T::ZERO {
+                continue;
+            }
+            for j in 0..=i {
+                c.add(i, j, aik * col[j]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `C ← alpha · A · Aᵀ + beta · C` writing only into the lower triangle of a
+/// dense matrix `C` (the strict upper triangle of `C` is left untouched).
+pub fn syrk_dense_lower<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) -> Result<()> {
+    let n = a.rows();
+    if c.shape() != (n, n) {
+        return Err(MatrixError::DimensionMismatch {
+            operation: "syrk_dense_lower",
+            left: a.shape(),
+            right: c.shape(),
+        });
+    }
+    if beta != T::ONE {
+        for j in 0..n {
+            for i in j..n {
+                c[(i, j)] *= beta;
+            }
+        }
+    }
+    let m = a.cols();
+    for k in 0..m {
+        let col = a.col(k).to_vec();
+        for j in 0..n {
+            let ajk = alpha * col[j];
+            if ajk == T::ZERO {
+                continue;
+            }
+            let c_col = c.col_mut(j);
+            for i in j..n {
+                c_col[i] = col[i].mul_add(ajk, c_col[i]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Blocked SYRK on the packed symmetric result: the lower triangle of `C` is
+/// processed tile by tile (square tiles of side `tile`), with each tile update
+/// streaming the corresponding row panels of `A`.
+///
+/// This is the in-memory analogue of the out-of-core square-block OOC_SYRK
+/// baseline, kept here so wall-clock benches can compare loop orders without
+/// the memory-model machinery.
+pub fn syrk_blocked_sym<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    beta: T,
+    c: &mut SymMatrix<T>,
+    tile: usize,
+) -> Result<()> {
+    let n = a.rows();
+    if c.order() != n {
+        return Err(MatrixError::DimensionMismatch {
+            operation: "syrk_blocked_sym",
+            left: a.shape(),
+            right: (c.order(), c.order()),
+        });
+    }
+    if tile == 0 {
+        return Err(MatrixError::InvalidParameter {
+            name: "tile",
+            reason: "tile size must be positive".into(),
+        });
+    }
+    if beta != T::ONE {
+        c.scale(beta);
+    }
+    let m = a.cols();
+    for j0 in (0..n).step_by(tile) {
+        let jn = (j0 + tile).min(n);
+        for i0 in (j0..n).step_by(tile) {
+            let im = (i0 + tile).min(n);
+            for k in 0..m {
+                let col = a.col(k);
+                for j in j0..jn {
+                    let ajk = alpha * col[j];
+                    if ajk == T::ZERO {
+                        continue;
+                    }
+                    let start = i0.max(j);
+                    for i in start..im {
+                        c.add(i, j, col[i] * ajk);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_matrix_seeded;
+    use crate::kernels::gemm::gemm;
+
+    fn dense_reference(alpha: f64, a: &Matrix<f64>, beta: f64, c0: &SymMatrix<f64>) -> Matrix<f64> {
+        let mut full = c0.to_dense();
+        full.scale(beta);
+        let mut prod = Matrix::zeros(a.rows(), a.rows());
+        gemm(alpha, a, &a.transpose(), 0.0, &mut prod).unwrap();
+        full.axpy(1.0, &prod).unwrap();
+        full
+    }
+
+    #[test]
+    fn syrk_matches_gemm_reference() {
+        let a: Matrix<f64> = random_matrix_seeded(7, 5, 10);
+        let c0 = SymMatrix::from_lower_fn(7, |i, j| ((i + 2 * j) % 5) as f64 * 0.1);
+        let expected = dense_reference(0.75, &a, -0.5, &c0);
+
+        let mut c = c0.clone();
+        syrk_sym(0.75, &a, -0.5, &mut c).unwrap();
+        assert!(c.to_dense().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn syrk_dense_lower_matches_packed() {
+        let a: Matrix<f64> = random_matrix_seeded(6, 9, 11);
+        let c0 = SymMatrix::from_lower_fn(6, |i, j| (i * j) as f64 * 0.01);
+
+        let mut packed = c0.clone();
+        syrk_sym(1.0, &a, 1.0, &mut packed).unwrap();
+
+        let mut dense = c0.to_dense_lower();
+        syrk_dense_lower(1.0, &a, 1.0, &mut dense).unwrap();
+
+        assert!(dense.approx_eq(&packed.to_dense_lower(), 1e-12));
+        // strict upper triangle untouched (still zero from to_dense_lower)
+        assert_eq!(dense[(0, 5)], 0.0);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let a: Matrix<f64> = random_matrix_seeded(13, 8, 12);
+        let c0 = SymMatrix::from_lower_fn(13, |i, j| ((i as f64) - (j as f64)) * 0.05);
+        let mut reference = c0.clone();
+        syrk_sym(1.25, &a, 0.5, &mut reference).unwrap();
+
+        for tile in [1, 2, 5, 16] {
+            let mut c = c0.clone();
+            syrk_blocked_sym(1.25, &a, 0.5, &mut c, tile).unwrap();
+            assert!(
+                c.approx_eq(&reference, 1e-12),
+                "tile size {tile} diverges from the unblocked kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_and_parameter_errors() {
+        let a = Matrix::<f64>::zeros(4, 3);
+        let mut c = SymMatrix::<f64>::zeros(5);
+        assert!(syrk_sym(1.0, &a, 1.0, &mut c).is_err());
+        let mut d = Matrix::<f64>::zeros(5, 5);
+        assert!(syrk_dense_lower(1.0, &a, 1.0, &mut d).is_err());
+        let mut c4 = SymMatrix::<f64>::zeros(4);
+        assert!(syrk_blocked_sym(1.0, &a, 1.0, &mut c4, 0).is_err());
+        let mut c5 = SymMatrix::<f64>::zeros(5);
+        assert!(syrk_blocked_sym(1.0, &a, 1.0, &mut c5, 2).is_err());
+    }
+
+    #[test]
+    fn zero_alpha_only_scales() {
+        let a: Matrix<f64> = random_matrix_seeded(5, 4, 13);
+        let c0 = SymMatrix::from_lower_fn(5, |i, j| (i + j) as f64);
+        let mut c = c0.clone();
+        syrk_sym(0.0, &a, 2.0, &mut c).unwrap();
+        for (i, j, v) in c.iter_lower() {
+            assert_eq!(v, 2.0 * c0.get(i, j));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Triangular solve with multiple right-hand sides (TRSM) reference kernels.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+use crate::triangular::LowerTriangular;
+
+/// Solves `X · Lᵀ = B` in place: on entry `x` holds `B` (size `m x n`), on
+/// exit it holds `X = B · L⁻ᵀ`, with `L` lower triangular of order `n`.
+///
+/// This is the panel operation of the blocked Cholesky factorizations:
+/// `L₁₀ ← A₁₀ · L₀₀⁻ᵀ`.
+pub fn trsm_right_lower_transpose<T: Scalar>(
+    l: &LowerTriangular<T>,
+    x: &mut Matrix<T>,
+) -> Result<()> {
+    let n = l.order();
+    if x.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            operation: "trsm_right_lower_transpose",
+            left: x.shape(),
+            right: (n, n),
+        });
+    }
+    let m = x.rows();
+    for j in 0..n {
+        // X[:, j] = (B[:, j] - sum_{k<j} X[:, k] * L[j, k]) / L[j, j]
+        for k in 0..j {
+            let ljk = l.get(j, k);
+            if ljk == T::ZERO {
+                continue;
+            }
+            let xk = x.col(k).to_vec();
+            let xj = x.col_mut(j);
+            for i in 0..m {
+                xj[i] -= xk[i] * ljk;
+            }
+        }
+        let d = l.get(j, j);
+        if d == T::ZERO || !d.is_finite_scalar() {
+            return Err(MatrixError::SingularPivot { pivot: j });
+        }
+        let inv = d.recip();
+        for v in x.col_mut(j) {
+            *v *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L · X = B` in place: on entry `b` holds `B` (size `n x m`), on exit
+/// it holds `X = L⁻¹ · B`, with `L` lower triangular of order `n`.
+pub fn trsm_left_lower<T: Scalar>(l: &LowerTriangular<T>, b: &mut Matrix<T>) -> Result<()> {
+    let n = l.order();
+    if b.rows() != n {
+        return Err(MatrixError::DimensionMismatch {
+            operation: "trsm_left_lower",
+            left: (n, n),
+            right: b.shape(),
+        });
+    }
+    let m = b.cols();
+    for j in 0..m {
+        for i in 0..n {
+            let mut acc = b[(i, j)];
+            for k in 0..i {
+                acc -= l.get(i, k) * b[(k, j)];
+            }
+            let d = l.get(i, i);
+            if d == T::ZERO || !d.is_finite_scalar() {
+                return Err(MatrixError::SingularPivot { pivot: i });
+            }
+            b[(i, j)] = acc / d;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_lower_triangular, random_matrix_seeded, seeded_rng};
+    use crate::kernels::gemm::gemm;
+
+    #[test]
+    fn right_solve_reconstructs_input() {
+        let mut rng = seeded_rng(21);
+        let l = random_lower_triangular::<f64>(6, &mut rng);
+        let b: Matrix<f64> = random_matrix_seeded(9, 6, 22);
+        let mut x = b.clone();
+        trsm_right_lower_transpose(&l, &mut x).unwrap();
+
+        // X * L^T must equal B
+        let mut recon = Matrix::zeros(9, 6);
+        gemm(1.0, &x, &l.to_dense().transpose(), 0.0, &mut recon).unwrap();
+        assert!(recon.approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn left_solve_reconstructs_input() {
+        let mut rng = seeded_rng(23);
+        let l = random_lower_triangular::<f64>(5, &mut rng);
+        let b: Matrix<f64> = random_matrix_seeded(5, 7, 24);
+        let mut x = b.clone();
+        trsm_left_lower(&l, &mut x).unwrap();
+
+        let mut recon = Matrix::zeros(5, 7);
+        gemm(1.0, &l.to_dense(), &x, 0.0, &mut recon).unwrap();
+        assert!(recon.approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn identity_triangular_is_noop() {
+        let l = LowerTriangular::<f64>::identity(4);
+        let b: Matrix<f64> = random_matrix_seeded(3, 4, 25);
+        let mut x = b.clone();
+        trsm_right_lower_transpose(&l, &mut x).unwrap();
+        assert!(x.approx_eq(&b, 0.0));
+
+        let b2: Matrix<f64> = random_matrix_seeded(4, 3, 26);
+        let mut x2 = b2.clone();
+        trsm_left_lower(&l, &mut x2).unwrap();
+        assert!(x2.approx_eq(&b2, 0.0));
+    }
+
+    #[test]
+    fn singular_and_shape_errors() {
+        let l = LowerTriangular::<f64>::zeros(3);
+        let mut x = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            trsm_right_lower_transpose(&l, &mut x),
+            Err(MatrixError::SingularPivot { .. })
+        ));
+        let mut b = Matrix::<f64>::zeros(3, 2);
+        assert!(matches!(
+            trsm_left_lower(&l, &mut b),
+            Err(MatrixError::SingularPivot { .. })
+        ));
+
+        let id = LowerTriangular::<f64>::identity(3);
+        let mut wrong = Matrix::<f64>::zeros(3, 4);
+        assert!(trsm_right_lower_transpose(&id, &mut wrong).is_err());
+        let mut wrong2 = Matrix::<f64>::zeros(4, 3);
+        assert!(trsm_left_lower(&id, &mut wrong2).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # symla-matrix
+//!
+//! Numerical substrate of the `symla` workspace: dense, symmetric and
+//! triangular matrix containers, deterministic test-matrix generators, and
+//! in-memory reference kernels (GEMM, SYRK, TRSM, Cholesky, LU).
+//!
+//! The out-of-core schedules of the companion crates (`symla-baselines`,
+//! `symla-core`) move pieces of these containers through the simulated
+//! two-level memory of `symla-memory`, and are verified against the reference
+//! kernels defined here.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use symla_matrix::{generate, kernels, SymMatrix};
+//!
+//! // Build a random SPD matrix and factorize it.
+//! let a: SymMatrix<f64> = generate::random_spd_seeded(32, 7);
+//! let l = kernels::cholesky_sym(&a).unwrap();
+//! assert!(kernels::cholesky_residual(&a, &l) < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dense;
+pub mod error;
+pub mod generate;
+pub mod kernels;
+pub mod packed;
+pub mod scalar;
+pub mod symmetric;
+pub mod tiled;
+pub mod triangular;
+pub mod views;
+
+pub use dense::Matrix;
+pub use error::{MatrixError, Result};
+pub use scalar::Scalar;
+pub use symmetric::SymMatrix;
+pub use tiled::{Tile, TileLayout, TiledMatrix};
+pub use triangular::LowerTriangular;

@@ -1,0 +1,94 @@
+//! Packed lower-triangular storage helpers.
+//!
+//! Both the symmetric and the triangular matrix types store only the lower
+//! triangle (including the diagonal) in a packed, column-major buffer: column
+//! `j` stores elements `(j, j), (j+1, j), ..., (n-1, j)` contiguously. The
+//! helpers here centralize the index arithmetic.
+
+/// Number of elements in the packed lower triangle (diagonal included) of an
+/// `n x n` matrix: `n (n + 1) / 2`.
+#[inline]
+pub fn packed_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// Number of elements strictly below the diagonal of an `n x n` matrix:
+/// `n (n - 1) / 2`. This is the size of the paper's operation-index sets per
+/// `k` iteration and of triangle blocks of side `n`.
+#[inline]
+pub fn strict_lower_len(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+/// Offset of element `(i, j)` with `i >= j` in packed lower column-major
+/// storage of an `n x n` matrix.
+///
+/// Column `j` starts after the `j` previous columns, which hold
+/// `n + (n-1) + ... + (n-j+1) = j*n - j(j-1)/2` elements.
+#[inline]
+pub fn packed_lower_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(j <= i && i < n, "packed index requires j <= i < n");
+    j * n - j * j.saturating_sub(1) / 2 + (i - j)
+}
+
+/// Offset of the start of packed column `j` in an `n x n` packed lower
+/// triangle.
+#[inline]
+pub fn packed_col_start(n: usize, j: usize) -> usize {
+    j * n - j * j.saturating_sub(1) / 2
+}
+
+/// Length of packed column `j` (from the diagonal down) in an `n x n` packed
+/// lower triangle.
+#[inline]
+pub fn packed_col_len(n: usize, j: usize) -> usize {
+    n - j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        assert_eq!(packed_len(0), 0);
+        assert_eq!(packed_len(1), 1);
+        assert_eq!(packed_len(4), 10);
+        assert_eq!(strict_lower_len(1), 0);
+        assert_eq!(strict_lower_len(4), 6);
+    }
+
+    #[test]
+    fn packed_indices_are_a_bijection() {
+        let n = 7;
+        let mut seen = vec![false; packed_len(n)];
+        for j in 0..n {
+            for i in j..n {
+                let idx = packed_lower_index(n, i, j);
+                assert!(idx < packed_len(n));
+                assert!(!seen[idx], "offset {idx} hit twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn column_starts_and_lengths_are_consistent() {
+        let n = 9;
+        for j in 0..n {
+            assert_eq!(packed_col_start(n, j), packed_lower_index(n, j, j));
+            assert_eq!(packed_col_len(n, j), n - j);
+            if j + 1 < n {
+                assert_eq!(
+                    packed_col_start(n, j) + packed_col_len(n, j),
+                    packed_col_start(n, j + 1)
+                );
+            }
+        }
+        assert_eq!(
+            packed_col_start(n, n - 1) + packed_col_len(n, n - 1),
+            packed_len(n)
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Tile layouts: partitioning a matrix into square tiles.
+//!
+//! The blocked out-of-core algorithms (tiled TBS, LBC, the Béreux baselines)
+//! reason about matrices tile by tile. [`TileLayout`] captures the index
+//! arithmetic of a `b x b` tiling of an `rows x cols` matrix, including ragged
+//! edge tiles, and [`TiledMatrix`] stores a matrix tile-contiguously so that a
+//! tile transfer is one contiguous copy.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+
+/// Description of one tile of a [`TileLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Row index of the tile in the tile grid.
+    pub tile_row: usize,
+    /// Column index of the tile in the tile grid.
+    pub tile_col: usize,
+    /// First matrix row covered by the tile.
+    pub row0: usize,
+    /// First matrix column covered by the tile.
+    pub col0: usize,
+    /// Number of matrix rows covered (may be smaller than the tile size at
+    /// the bottom edge).
+    pub rows: usize,
+    /// Number of matrix columns covered (may be smaller than the tile size at
+    /// the right edge).
+    pub cols: usize,
+}
+
+impl Tile {
+    /// Number of elements in the tile.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the tile covers no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the tile sits on the main diagonal of the tile grid.
+    #[inline]
+    pub fn is_diagonal(&self) -> bool {
+        self.tile_row == self.tile_col
+    }
+}
+
+/// A `b x b` tiling of an `rows x cols` index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileLayout {
+    rows: usize,
+    cols: usize,
+    tile: usize,
+}
+
+impl TileLayout {
+    /// Creates a tiling with square tiles of side `tile`.
+    pub fn new(rows: usize, cols: usize, tile: usize) -> Result<Self> {
+        if tile == 0 {
+            return Err(MatrixError::InvalidParameter {
+                name: "tile",
+                reason: "tile size must be positive".into(),
+            });
+        }
+        Ok(Self { rows, cols, tile })
+    }
+
+    /// Matrix rows covered by the layout.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns covered by the layout.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile side length.
+    #[inline]
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of tile rows (ceiling division).
+    #[inline]
+    pub fn tile_rows(&self) -> usize {
+        self.rows.div_ceil(self.tile)
+    }
+
+    /// Number of tile columns (ceiling division).
+    #[inline]
+    pub fn tile_cols(&self) -> usize {
+        self.cols.div_ceil(self.tile)
+    }
+
+    /// Total number of tiles in the grid.
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        self.tile_rows() * self.tile_cols()
+    }
+
+    /// The tile at grid position `(tile_row, tile_col)`.
+    pub fn tile(&self, tile_row: usize, tile_col: usize) -> Result<Tile> {
+        if tile_row >= self.tile_rows() || tile_col >= self.tile_cols() {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (tile_row, tile_col),
+                shape: (self.tile_rows(), self.tile_cols()),
+            });
+        }
+        let row0 = tile_row * self.tile;
+        let col0 = tile_col * self.tile;
+        Ok(Tile {
+            tile_row,
+            tile_col,
+            row0,
+            col0,
+            rows: self.tile.min(self.rows - row0),
+            cols: self.tile.min(self.cols - col0),
+        })
+    }
+
+    /// The tile containing matrix element `(i, j)`.
+    pub fn tile_of(&self, i: usize, j: usize) -> Result<Tile> {
+        if i >= self.rows || j >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (i, j),
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.tile(i / self.tile, j / self.tile)
+    }
+
+    /// Iterator over every tile, column-major over the tile grid.
+    pub fn iter_tiles(&self) -> impl Iterator<Item = Tile> + '_ {
+        let trows = self.tile_rows();
+        let tcols = self.tile_cols();
+        (0..tcols).flat_map(move |tc| (0..trows).map(move |tr| self.tile(tr, tc).unwrap()))
+    }
+
+    /// Iterator over the tiles whose block-row index is at least their
+    /// block-column index, i.e. the tiles covering the lower triangle of a
+    /// square matrix (requires `rows == cols`).
+    pub fn iter_lower_tiles(&self) -> impl Iterator<Item = Tile> + '_ {
+        debug_assert_eq!(self.rows, self.cols, "lower tiles need a square layout");
+        let tcols = self.tile_cols();
+        let trows = self.tile_rows();
+        (0..tcols)
+            .flat_map(move |tc| (tc..trows).map(move |tr| self.tile(tr, tc).unwrap()))
+    }
+
+    /// Number of elements of the lower triangle (diagonal included) of a
+    /// square matrix that fall inside tile `(tile_row, tile_col)`.
+    pub fn lower_elements_in_tile(&self, tile_row: usize, tile_col: usize) -> Result<usize> {
+        let t = self.tile(tile_row, tile_col)?;
+        if t.tile_row > t.tile_col {
+            return Ok(t.rows * t.cols);
+        }
+        if t.tile_row < t.tile_col {
+            return Ok(0);
+        }
+        // diagonal tile: count pairs (i, j) with global i >= j
+        let mut count = 0;
+        for jj in 0..t.cols {
+            let j = t.col0 + jj;
+            for ii in 0..t.rows {
+                let i = t.row0 + ii;
+                if i >= j {
+                    count += 1;
+                }
+            }
+        }
+        Ok(count)
+    }
+}
+
+/// A matrix stored tile-contiguously: the elements of each tile occupy a
+/// contiguous, column-major slice of the backing buffer, and tiles are laid
+/// out column-major over the tile grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledMatrix<T: Scalar> {
+    layout: TileLayout,
+    /// Start offset of each tile (indexed `tile_row + tile_col * tile_rows`),
+    /// plus a final sentinel equal to the total length.
+    offsets: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> TiledMatrix<T> {
+    /// Creates a zero tiled matrix with the given layout.
+    pub fn zeros(layout: TileLayout) -> Self {
+        let trows = layout.tile_rows();
+        let tcols = layout.tile_cols();
+        let mut offsets = Vec::with_capacity(trows * tcols + 1);
+        let mut total = 0;
+        for tc in 0..tcols {
+            for tr in 0..trows {
+                offsets.push(total);
+                total += layout.tile(tr, tc).unwrap().len();
+            }
+        }
+        offsets.push(total);
+        // offsets were pushed in column-major tile order; reorder lookup below
+        Self {
+            layout,
+            offsets,
+            data: vec![T::ZERO; total],
+        }
+    }
+
+    /// Converts a dense matrix into tiled storage.
+    pub fn from_matrix(m: &Matrix<T>, tile: usize) -> Result<Self> {
+        let layout = TileLayout::new(m.rows(), m.cols(), tile)?;
+        let mut out = Self::zeros(layout);
+        for t in layout.iter_tiles() {
+            let (start, _) = out.tile_range(t.tile_row, t.tile_col);
+            let mut idx = start;
+            for jj in 0..t.cols {
+                for ii in 0..t.rows {
+                    out.data[idx] = m[(t.row0 + ii, t.col0 + jj)];
+                    idx += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expands back into a dense matrix.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.layout.rows(), self.layout.cols());
+        for t in self.layout.iter_tiles() {
+            let slice = self.tile_slice(t.tile_row, t.tile_col);
+            let mut idx = 0;
+            for jj in 0..t.cols {
+                for ii in 0..t.rows {
+                    m[(t.row0 + ii, t.col0 + jj)] = slice[idx];
+                    idx += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// The tile layout of this matrix.
+    #[inline]
+    pub fn layout(&self) -> TileLayout {
+        self.layout
+    }
+
+    fn tile_index(&self, tile_row: usize, tile_col: usize) -> usize {
+        tile_row + tile_col * self.layout.tile_rows()
+    }
+
+    fn tile_range(&self, tile_row: usize, tile_col: usize) -> (usize, usize) {
+        let idx = self.tile_index(tile_row, tile_col);
+        (self.offsets[idx], self.offsets[idx + 1])
+    }
+
+    /// Contiguous column-major slice holding tile `(tile_row, tile_col)`.
+    pub fn tile_slice(&self, tile_row: usize, tile_col: usize) -> &[T] {
+        let (start, end) = self.tile_range(tile_row, tile_col);
+        &self.data[start..end]
+    }
+
+    /// Mutable contiguous slice holding tile `(tile_row, tile_col)`.
+    pub fn tile_slice_mut(&mut self, tile_row: usize, tile_col: usize) -> &mut [T] {
+        let (start, end) = self.tile_range(tile_row, tile_col);
+        &mut self.data[start..end]
+    }
+
+    /// Element access through the tile decomposition (slower than dense
+    /// indexing; intended for tests and verification).
+    pub fn get(&self, i: usize, j: usize) -> Result<T> {
+        let t = self.layout.tile_of(i, j)?;
+        let slice = self.tile_slice(t.tile_row, t.tile_col);
+        let ii = i - t.row0;
+        let jj = j - t.col0;
+        Ok(slice[ii + jj * t.rows])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_counts_with_ragged_edges() {
+        let l = TileLayout::new(10, 7, 4).unwrap();
+        assert_eq!(l.tile_rows(), 3);
+        assert_eq!(l.tile_cols(), 2);
+        assert_eq!(l.tile_count(), 6);
+        let corner = l.tile(2, 1).unwrap();
+        assert_eq!(corner.rows, 2);
+        assert_eq!(corner.cols, 3);
+        assert_eq!(corner.row0, 8);
+        assert_eq!(corner.col0, 4);
+        assert!(!corner.is_diagonal());
+        assert!(TileLayout::new(4, 4, 0).is_err());
+        assert!(l.tile(3, 0).is_err());
+    }
+
+    #[test]
+    fn tiles_cover_every_element_exactly_once() {
+        let l = TileLayout::new(11, 9, 4).unwrap();
+        let mut seen = vec![false; 11 * 9];
+        for t in l.iter_tiles() {
+            for jj in 0..t.cols {
+                for ii in 0..t.rows {
+                    let idx = (t.row0 + ii) * 9 + (t.col0 + jj);
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tile_of_matches_extent() {
+        let l = TileLayout::new(12, 12, 5).unwrap();
+        let t = l.tile_of(11, 4).unwrap();
+        assert_eq!((t.tile_row, t.tile_col), (2, 0));
+        assert!(t.row0 <= 11 && 11 < t.row0 + t.rows);
+        assert!(t.col0 <= 4 && 4 < t.col0 + t.cols);
+        assert!(l.tile_of(12, 0).is_err());
+    }
+
+    #[test]
+    fn lower_tiles_and_lower_counts() {
+        let l = TileLayout::new(8, 8, 3).unwrap();
+        let lower: Vec<_> = l.iter_lower_tiles().collect();
+        assert!(lower.iter().all(|t| t.tile_row >= t.tile_col));
+        // tile grid is 3x3 -> lower tiles = 6
+        assert_eq!(lower.len(), 6);
+
+        // Sum of lower elements over all tiles must equal n(n+1)/2.
+        let mut total = 0;
+        for tr in 0..l.tile_rows() {
+            for tc in 0..l.tile_cols() {
+                total += l.lower_elements_in_tile(tr, tc).unwrap();
+            }
+        }
+        assert_eq!(total, 8 * 9 / 2);
+        // A strictly-upper tile holds no lower elements.
+        assert_eq!(l.lower_elements_in_tile(0, 2).unwrap(), 0);
+        // A strictly-lower full tile holds all its elements.
+        assert_eq!(l.lower_elements_in_tile(2, 0).unwrap(), 2 * 3);
+    }
+
+    #[test]
+    fn tiled_matrix_roundtrip() {
+        let m = Matrix::<f64>::from_fn(7, 5, |i, j| (i * 100 + j) as f64);
+        let tm = TiledMatrix::from_matrix(&m, 3).unwrap();
+        assert_eq!(tm.layout().tile_size(), 3);
+        let back = tm.to_matrix();
+        assert!(back.approx_eq(&m, 0.0));
+        assert_eq!(tm.get(6, 4).unwrap(), m[(6, 4)]);
+    }
+
+    #[test]
+    fn tile_slices_are_contiguous_and_disjoint() {
+        let m = Matrix::<f64>::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let tm = TiledMatrix::from_matrix(&m, 4).unwrap();
+        let sizes: usize = (0..tm.layout().tile_rows())
+            .flat_map(|tr| (0..tm.layout().tile_cols()).map(move |tc| (tr, tc)))
+            .map(|(tr, tc)| tm.tile_slice(tr, tc).len())
+            .sum();
+        assert_eq!(sizes, 36);
+        // first tile is 4x4 and column-major within the tile
+        let t00 = tm.tile_slice(0, 0);
+        assert_eq!(t00.len(), 16);
+        assert_eq!(t00[0], m[(0, 0)]);
+        assert_eq!(t00[1], m[(1, 0)]);
+        assert_eq!(t00[4], m[(0, 1)]);
+    }
+
+    #[test]
+    fn tile_slice_mut_writes_back() {
+        let m = Matrix::<f64>::zeros(5, 5);
+        let mut tm = TiledMatrix::from_matrix(&m, 2).unwrap();
+        tm.tile_slice_mut(1, 1).iter_mut().for_each(|x| *x = 9.0);
+        let back = tm.to_matrix();
+        assert_eq!(back[(2, 2)], 9.0);
+        assert_eq!(back[(3, 3)], 9.0);
+        assert_eq!(back[(0, 0)], 0.0);
+    }
+}

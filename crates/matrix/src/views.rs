@@ -1,0 +1,300 @@
+//! Column-major matrix views over borrowed slices.
+//!
+//! The out-of-core executors operate on buffers owned by the simulated fast
+//! memory (`symla-memory`). To run block kernels on those buffers *without
+//! copying them* (a copy would silently double the fast-memory footprint and
+//! make the capacity enforcement dishonest), the kernels in
+//! [`crate::kernels::views`] work on these lightweight views instead of owned
+//! [`crate::Matrix`] values.
+
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+
+/// Immutable column-major view of a `rows x cols` matrix stored in a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct MatView<'a, T: Scalar> {
+    data: &'a [T],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a, T: Scalar> MatView<'a, T> {
+    /// Wraps a column-major slice as a matrix view.
+    pub fn new(data: &'a [T], rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::InvalidBufferLength {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, rows, cols })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Contiguous column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [T] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// The underlying column-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// Copies the view into an owned [`crate::Matrix`].
+    pub fn to_matrix(&self) -> crate::Matrix<T> {
+        crate::Matrix::from_col_major(self.rows, self.cols, self.data.to_vec())
+            .expect("view dimensions are consistent by construction")
+    }
+}
+
+/// Mutable column-major view of a `rows x cols` matrix stored in a slice.
+#[derive(Debug)]
+pub struct MatViewMut<'a, T: Scalar> {
+    data: &'a mut [T],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a, T: Scalar> MatViewMut<'a, T> {
+    /// Wraps a mutable column-major slice as a matrix view.
+    pub fn new(data: &'a mut [T], rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::InvalidBufferLength {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, rows, cols })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] = value;
+    }
+
+    /// In-place update `self[i, j] += value`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, value: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] += value;
+    }
+
+    /// Contiguous column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable contiguous column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Reborrows as an immutable view.
+    pub fn as_view(&self) -> MatView<'_, T> {
+        MatView {
+            data: &*self.data,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// The underlying column-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        self.data
+    }
+
+    /// The underlying mutable column-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.data
+    }
+}
+
+/// Immutable view of a packed lower triangle of side `n` (column-major packed
+/// storage, diagonal included), as used for diagonal blocks of symmetric
+/// matrices held in fast memory.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedLowerView<'a, T: Scalar> {
+    data: &'a [T],
+    n: usize,
+}
+
+impl<'a, T: Scalar> PackedLowerView<'a, T> {
+    /// Wraps a packed lower-triangular slice.
+    pub fn new(data: &'a [T], n: usize) -> Result<Self> {
+        let expected = crate::packed::packed_len(n);
+        if data.len() != expected {
+            return Err(MatrixError::InvalidBufferLength {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, n })
+    }
+
+    /// Triangle order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Element `(i, j)` of the lower triangle (requires `i >= j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[crate::packed::packed_lower_index(self.n, i, j)]
+    }
+}
+
+/// Mutable view of a packed lower triangle of side `n`.
+#[derive(Debug)]
+pub struct PackedLowerViewMut<'a, T: Scalar> {
+    data: &'a mut [T],
+    n: usize,
+}
+
+impl<'a, T: Scalar> PackedLowerViewMut<'a, T> {
+    /// Wraps a mutable packed lower-triangular slice.
+    pub fn new(data: &'a mut [T], n: usize) -> Result<Self> {
+        let expected = crate::packed::packed_len(n);
+        if data.len() != expected {
+            return Err(MatrixError::InvalidBufferLength {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, n })
+    }
+
+    /// Triangle order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Element `(i, j)` of the lower triangle (requires `i >= j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[crate::packed::packed_lower_index(self.n, i, j)]
+    }
+
+    /// Sets element `(i, j)` (requires `i >= j`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: T) {
+        self.data[crate::packed::packed_lower_index(self.n, i, j)] = value;
+    }
+
+    /// In-place update `self[i, j] += value` (requires `i >= j`).
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, value: T) {
+        self.data[crate::packed::packed_lower_index(self.n, i, j)] += value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn matview_indexing_matches_matrix() {
+        let m = Matrix::<f64>::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        let v = MatView::new(m.as_slice(), 3, 4).unwrap();
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 4);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(v.get(i, j), m[(i, j)]);
+            }
+        }
+        assert_eq!(v.col(2), m.col(2));
+        assert!(v.to_matrix().approx_eq(&m, 0.0));
+        assert!(MatView::new(m.as_slice(), 4, 4).is_err());
+    }
+
+    #[test]
+    fn matviewmut_writes_through() {
+        let mut data = vec![0.0_f64; 6];
+        {
+            let mut v = MatViewMut::new(&mut data, 2, 3).unwrap();
+            v.set(1, 2, 7.0);
+            v.add(1, 2, 1.0);
+            v.set(0, 0, -1.0);
+            assert_eq!(v.get(1, 2), 8.0);
+            assert_eq!(v.as_view().get(0, 0), -1.0);
+            v.col_mut(1)[0] = 3.0;
+            assert_eq!(v.col(1)[0], 3.0);
+        }
+        // column-major: (1,2) -> index 1 + 2*2 = 5
+        assert_eq!(data[5], 8.0);
+        assert_eq!(data[0], -1.0);
+        assert_eq!(data[2], 3.0);
+        assert!(MatViewMut::new(&mut data, 5, 5).is_err());
+    }
+
+    #[test]
+    fn packed_views_roundtrip() {
+        let n = 4;
+        let mut buf = vec![0.0_f64; crate::packed::packed_len(n)];
+        {
+            let mut v = PackedLowerViewMut::new(&mut buf, n).unwrap();
+            v.set(2, 1, 5.0);
+            v.add(2, 1, 0.5);
+            v.set(3, 3, 2.0);
+            assert_eq!(v.order(), 4);
+            assert_eq!(v.get(2, 1), 5.5);
+        }
+        let v = PackedLowerView::new(&buf, n).unwrap();
+        assert_eq!(v.get(2, 1), 5.5);
+        assert_eq!(v.get(3, 3), 2.0);
+        assert_eq!(v.get(0, 0), 0.0);
+        assert_eq!(v.order(), 4);
+        assert!(PackedLowerView::new(&buf, 5).is_err());
+        let mut short = vec![0.0_f64; 3];
+        assert!(PackedLowerViewMut::new(&mut short, 4).is_err());
+    }
+}

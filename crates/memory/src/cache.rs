@@ -1,0 +1,287 @@
+//! Cache-replay simulation used for the "explicit scheduling vs automatic
+//! caching" ablation (experiment E11).
+//!
+//! The paper's machine model assumes the algorithm *explicitly controls* which
+//! data resides in fast memory. A natural question is how much that control
+//! buys over a hardware-style cache that applies a fixed replacement policy to
+//! the access stream of the classical loop ordering. This module provides an
+//! LRU simulator and Belady's optimal (OPT) simulator over abstract element
+//! addresses, plus generators for the access streams of the naive SYRK and
+//! Cholesky loop nests.
+
+use std::collections::HashMap;
+
+/// Result of replaying an access stream through a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses replayed.
+    pub accesses: u64,
+    /// Accesses that missed (each miss costs one load from slow memory).
+    pub misses: u64,
+    /// Accesses served from the cache.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (`misses / accesses`), zero for an empty stream.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Replays an address stream through a fully associative LRU cache holding
+/// `capacity` elements and returns hit/miss statistics.
+///
+/// Addresses are abstract `u64` element identifiers; the simulation is exact
+/// (a hash map of resident addresses plus a recency counter).
+pub fn simulate_lru(stream: impl IntoIterator<Item = u64>, capacity: usize) -> CacheStats {
+    let mut stats = CacheStats::default();
+    if capacity == 0 {
+        // every access misses
+        for _ in stream {
+            stats.accesses += 1;
+            stats.misses += 1;
+        }
+        return stats;
+    }
+    // address -> last-use time
+    let mut resident: HashMap<u64, u64> = HashMap::with_capacity(capacity * 2);
+    // simple clock
+    let mut clock: u64 = 0;
+    for addr in stream {
+        clock += 1;
+        stats.accesses += 1;
+        if resident.contains_key(&addr) {
+            stats.hits += 1;
+            resident.insert(addr, clock);
+            continue;
+        }
+        stats.misses += 1;
+        if resident.len() >= capacity {
+            // evict the least recently used entry
+            let (&victim, _) = resident
+                .iter()
+                .min_by_key(|(_, &t)| t)
+                .expect("cache is non-empty");
+            resident.remove(&victim);
+        }
+        resident.insert(addr, clock);
+    }
+    stats
+}
+
+/// Replays an address stream through Belady's optimal replacement policy
+/// (evict the line whose next use is farthest in the future). Exact but
+/// `O(n log n)`-ish in time and `O(n)` in memory, so intended for moderate
+/// stream lengths.
+pub fn simulate_opt(stream: &[u64], capacity: usize) -> CacheStats {
+    let mut stats = CacheStats {
+        accesses: stream.len() as u64,
+        ..Default::default()
+    };
+    if capacity == 0 {
+        stats.misses = stream.len() as u64;
+        return stats;
+    }
+
+    // For each position, the index of the next access to the same address.
+    let n = stream.len();
+    let mut next_use = vec![usize::MAX; n];
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for i in (0..n).rev() {
+        let addr = stream[i];
+        next_use[i] = last_seen.get(&addr).copied().unwrap_or(usize::MAX);
+        last_seen.insert(addr, i);
+    }
+
+    // resident address -> its next use index (usize::MAX = never again)
+    let mut resident: HashMap<u64, usize> = HashMap::with_capacity(capacity * 2);
+    for i in 0..n {
+        let addr = stream[i];
+        if resident.contains_key(&addr) {
+            stats.hits += 1;
+            resident.insert(addr, next_use[i]);
+            continue;
+        }
+        stats.misses += 1;
+        if resident.len() >= capacity {
+            let (&victim, _) = resident
+                .iter()
+                .max_by_key(|(_, &next)| next)
+                .expect("cache is non-empty");
+            resident.remove(&victim);
+        }
+        resident.insert(addr, next_use[i]);
+    }
+    stats
+}
+
+/// Abstract element addresses for the operands of the SYRK kernel: entries of
+/// `C` occupy addresses `[0, N²)` (row-major over the lower triangle is fine
+/// since addresses are opaque), entries of `A` occupy `[N², N² + N·M)`.
+#[inline]
+fn addr_c(n: usize, i: usize, j: usize) -> u64 {
+    (i * n + j) as u64
+}
+
+#[inline]
+fn addr_a(n: usize, m: usize, i: usize, k: usize) -> u64 {
+    (n * n + i * m + k) as u64
+}
+
+/// Element-access stream of the naive SYRK loop nest (Algorithm 1 order:
+/// `i`, `j`, `k`), touching `C[i,j]`, `A[i,k]`, `A[j,k]` per iteration.
+///
+/// Intended for the cache ablation at moderate sizes (the stream has
+/// `3·M·N(N+1)/2` entries).
+pub fn syrk_naive_access_stream(n: usize, m: usize) -> Vec<u64> {
+    let mut stream = Vec::with_capacity(3 * m * n * (n + 1) / 2);
+    for i in 0..n {
+        for j in 0..=i {
+            for k in 0..m {
+                stream.push(addr_a(n, m, i, k));
+                stream.push(addr_a(n, m, j, k));
+                stream.push(addr_c(n, i, j));
+            }
+        }
+    }
+    stream
+}
+
+/// Element-access stream of a blocked SYRK schedule: result blocks of side
+/// `b` are processed one at a time, and for each column of `A` the two
+/// involved row segments are streamed. This is the access pattern OOC_SYRK
+/// induces, expressed as plain element accesses so it can be replayed through
+/// a cache.
+pub fn syrk_blocked_access_stream(n: usize, m: usize, b: usize) -> Vec<u64> {
+    let b = b.max(1);
+    let mut stream = Vec::new();
+    let nb = n.div_ceil(b);
+    for jt in 0..nb {
+        let j0 = jt * b;
+        let jend = (j0 + b).min(n);
+        for it in jt..nb {
+            let i0 = it * b;
+            let iend = (i0 + b).min(n);
+            for k in 0..m {
+                for i in i0..iend {
+                    for j in j0..jend.min(i + 1) {
+                        stream.push(addr_a(n, m, i, k));
+                        stream.push(addr_a(n, m, j, k));
+                        stream.push(addr_c(n, i, j));
+                    }
+                }
+            }
+        }
+    }
+    stream
+}
+
+/// Element-access stream of the naive Cholesky update loops (Algorithm 2
+/// order `k`, `i`, `j`), touching `A[i,j]`, `A[i,k]`, `A[j,k]` per update.
+pub fn cholesky_naive_access_stream(n: usize) -> Vec<u64> {
+    let mut stream = Vec::new();
+    for k in 0..n {
+        for i in (k + 1)..n {
+            for j in (k + 1)..=i {
+                stream.push(addr_c(n, i, k));
+                stream.push(addr_c(n, j, k));
+                stream.push(addr_c(n, i, j));
+            }
+        }
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_basic_behaviour() {
+        // capacity 2, stream with reuse
+        let stats = simulate_lru(vec![1, 2, 1, 3, 2, 1], 2);
+        assert_eq!(stats.accesses, 6);
+        // 1 miss, 2 miss, 1 hit, 3 miss (evict 2), 2 miss (evict 1), 1 miss
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 1);
+        assert!((stats.miss_ratio() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_zero_capacity_always_misses() {
+        let stats = simulate_lru(vec![1, 1, 1], 0);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lru_large_capacity_only_cold_misses() {
+        let stream: Vec<u64> = (0..50).chain(0..50).collect();
+        let stats = simulate_lru(stream, 64);
+        assert_eq!(stats.misses, 50);
+        assert_eq!(stats.hits, 50);
+    }
+
+    #[test]
+    fn opt_never_worse_than_lru() {
+        // adversarial-ish cyclic stream
+        let stream: Vec<u64> = (0..8_u64).cycle().take(200).collect();
+        for cap in [1, 2, 4, 6, 8] {
+            let lru = simulate_lru(stream.iter().copied(), cap);
+            let opt = simulate_opt(&stream, cap);
+            assert!(opt.misses <= lru.misses, "cap {cap}");
+            assert_eq!(opt.accesses, lru.accesses);
+        }
+    }
+
+    #[test]
+    fn opt_zero_capacity() {
+        let stats = simulate_opt(&[5, 5, 5], 0);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn syrk_streams_have_expected_lengths() {
+        let n = 6;
+        let m = 4;
+        let naive = syrk_naive_access_stream(n, m);
+        assert_eq!(naive.len(), 3 * m * n * (n + 1) / 2);
+        let blocked = syrk_blocked_access_stream(n, m, 2);
+        assert_eq!(blocked.len(), naive.len());
+        // Same multiset of accesses: sort both and compare.
+        let mut a = naive.clone();
+        let mut b = blocked.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocked_stream_misses_less_than_naive_under_lru() {
+        let n = 24;
+        let m = 16;
+        let capacity = 64;
+        let naive = simulate_lru(syrk_naive_access_stream(n, m), capacity);
+        let blocked = simulate_lru(syrk_blocked_access_stream(n, m, 6), capacity);
+        assert!(
+            blocked.misses < naive.misses,
+            "blocked schedule should reuse better: {} vs {}",
+            blocked.misses,
+            naive.misses
+        );
+    }
+
+    #[test]
+    fn cholesky_stream_length_matches_update_count() {
+        let n = 10;
+        let stream = cholesky_naive_access_stream(n);
+        // 3 accesses per update op; updates = sum_k sum_{i>k} (i-k) = n(n^2-1)/6
+        assert_eq!(stream.len() as u128, 3 * (n as u128 * ((n * n) as u128 - 1)) / 6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Error types of the two-level memory machine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the out-of-core machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryError {
+    /// Loading (or allocating) a buffer would exceed the fast-memory
+    /// capacity. This is a hard error: the schedules of this workspace are
+    /// required to fit in the memory size they claim to run under.
+    CapacityExceeded {
+        /// Number of elements the operation tried to bring into fast memory.
+        requested: usize,
+        /// Elements currently resident in fast memory.
+        resident: usize,
+        /// Fast-memory capacity in elements.
+        capacity: usize,
+    },
+    /// The matrix id is not registered in slow memory (or was already taken
+    /// out).
+    UnknownMatrix {
+        /// The offending identifier.
+        id: u64,
+    },
+    /// The region kind does not match the storage kind of the target matrix
+    /// (e.g. a packed triangle region applied to a dense matrix).
+    RegionKindMismatch {
+        /// Description of the requested region.
+        region: String,
+        /// Description of the matrix storage kind.
+        storage: &'static str,
+    },
+    /// The region refers to indices outside the matrix, or (for symmetric
+    /// storage) outside the lower triangle.
+    RegionOutOfBounds {
+        /// Description of the offending region.
+        region: String,
+        /// Shape of the target matrix.
+        shape: (usize, usize),
+    },
+    /// A matrix cannot be removed from slow memory while buffers leased from
+    /// it are still resident in fast memory.
+    LeasesOutstanding {
+        /// The matrix id with outstanding leases.
+        id: u64,
+        /// Number of leases still held.
+        count: usize,
+    },
+    /// A buffer was returned to a machine other than the one that created it.
+    ForeignBuffer,
+    /// An error bubbled up from the matrix layer.
+    Matrix(symla_matrix::MatrixError),
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::CapacityExceeded {
+                requested,
+                resident,
+                capacity,
+            } => write!(
+                f,
+                "fast memory capacity exceeded: requested {requested} elements with {resident} resident (capacity {capacity})"
+            ),
+            MemoryError::UnknownMatrix { id } => write!(f, "unknown matrix id {id}"),
+            MemoryError::RegionKindMismatch { region, storage } => write!(
+                f,
+                "region {region} cannot be applied to {storage} storage"
+            ),
+            MemoryError::RegionOutOfBounds { region, shape } => write!(
+                f,
+                "region {region} is out of bounds for a {}x{} matrix",
+                shape.0, shape.1
+            ),
+            MemoryError::LeasesOutstanding { id, count } => write!(
+                f,
+                "matrix {id} still has {count} leased fast-memory buffers"
+            ),
+            MemoryError::ForeignBuffer => {
+                write!(f, "buffer was created by a different machine instance")
+            }
+            MemoryError::Matrix(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl Error for MemoryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemoryError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<symla_matrix::MatrixError> for MemoryError {
+    fn from(e: symla_matrix::MatrixError) -> Self {
+        MemoryError::Matrix(e)
+    }
+}
+
+/// Result alias for memory-machine operations.
+pub type Result<T> = std::result::Result<T, MemoryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_capacity() {
+        let e = MemoryError::CapacityExceeded {
+            requested: 100,
+            resident: 50,
+            capacity: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("128"));
+    }
+
+    #[test]
+    fn from_matrix_error_preserves_source() {
+        let inner = symla_matrix::MatrixError::SingularPivot { pivot: 3 };
+        let e: MemoryError = inner.clone().into();
+        assert!(e.to_string().contains("singular"));
+        assert!(Error::source(&e).is_some());
+        assert_eq!(e, MemoryError::Matrix(inner));
+    }
+
+    #[test]
+    fn display_all_variants() {
+        assert!(MemoryError::UnknownMatrix { id: 9 }.to_string().contains('9'));
+        assert!(MemoryError::RegionKindMismatch {
+            region: "Rect".into(),
+            storage: "symmetric"
+        }
+        .to_string()
+        .contains("symmetric"));
+        assert!(MemoryError::RegionOutOfBounds {
+            region: "Rect".into(),
+            shape: (4, 4)
+        }
+        .to_string()
+        .contains("4x4"));
+        assert!(MemoryError::LeasesOutstanding { id: 1, count: 2 }
+            .to_string()
+            .contains("2 leased"));
+        assert!(MemoryError::ForeignBuffer.to_string().contains("different"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # symla-memory
+//!
+//! The two-level (fast/slow) out-of-core machine model of the SPAA'22 paper
+//! *"I/O-Optimal Algorithms for Symmetric Linear Algebra Kernels"*.
+//!
+//! * Slow memory ([`storage::SlowMatrix`]) is unbounded and holds whole
+//!   matrices.
+//! * Fast memory has a capacity of `S` elements, enforced on every
+//!   [`machine::OocMachine::load`].
+//! * Every transfer is counted in [`stats::IoStats`]; the measured volumes
+//!   are what the experiments compare against the paper's lower bounds and
+//!   closed-form algorithm costs.
+//! * Optional [`trace::Trace`] recording and an LRU / Belady-OPT
+//!   [`cache`] replay simulator support the schedule-inspection and
+//!   "explicit control vs automatic caching" ablations.
+//!
+//! ## Example
+//!
+//! ```
+//! use symla_memory::{OocMachine, Region};
+//! use symla_matrix::Matrix;
+//!
+//! let mut machine = OocMachine::<f64>::with_capacity(64);
+//! let id = machine.insert_dense(Matrix::identity(16));
+//! // Load an 8x8 block (64 elements = the whole fast memory), modify, store.
+//! let mut buf = machine.load(id, Region::rect(0, 0, 8, 8)).unwrap();
+//! buf.as_mut_slice()[0] = 5.0;
+//! machine.store(buf).unwrap();
+//! assert_eq!(machine.stats().volume.loads, 64);
+//! assert_eq!(machine.stats().volume.stores, 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod error;
+pub mod machine;
+pub mod operand;
+pub mod region;
+pub mod stats;
+pub mod storage;
+pub mod trace;
+
+pub use error::{MemoryError, Result};
+pub use machine::{FastBuf, MachineConfig, MatrixId, OocMachine};
+pub use operand::{PanelRef, SymWindowRef};
+pub use region::Region;
+pub use stats::{IoStats, IoVolume};
+pub use trace::{Direction, Trace, TraceEvent};

@@ -1,0 +1,674 @@
+//! The two-level out-of-core machine.
+//!
+//! [`OocMachine`] simulates the machine model of Section 3 of the paper: an
+//! unbounded slow memory holding the matrices, and a fast memory of capacity
+//! `S` elements in which all computation must happen. Schedules interact with
+//! the machine exclusively through [`OocMachine::load`],
+//! [`OocMachine::allocate_zeroed`], [`OocMachine::store`] and
+//! [`OocMachine::discard`]; every load and store is counted, and the resident
+//! footprint is checked against the capacity on every allocation, so a
+//! schedule that claims to run in memory `S` provably does.
+//!
+//! The buffers handed out ([`FastBuf`]) own their data: the only way to get
+//! values out of slow memory is a counted load, and the only way to persist
+//! results is a counted store. Computation happens directly on the buffers
+//! (usually through the view kernels of
+//! [`symla_matrix::kernels::views`]), never on hidden copies.
+
+use crate::error::{MemoryError, Result};
+use crate::region::Region;
+use crate::stats::IoStats;
+use crate::storage::SlowMatrix;
+use crate::trace::{Direction, Trace, TraceEvent};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use symla_matrix::kernels::FlopCount;
+use symla_matrix::views::{MatView, MatViewMut, PackedLowerView, PackedLowerViewMut};
+use symla_matrix::{Matrix, Scalar, SymMatrix};
+
+static MACHINE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Identifier of a matrix registered in slow memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatrixId(pub(crate) u64);
+
+impl MatrixId {
+    /// Raw numeric id (used in traces and error messages).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Configuration of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Fast-memory capacity in elements; `None` disables the check (useful
+    /// for reference executions and for measuring what a schedule *would*
+    /// transfer regardless of feasibility).
+    pub capacity: Option<usize>,
+    /// Whether to record a [`Trace`] of every transfer.
+    pub record_trace: bool,
+}
+
+impl MachineConfig {
+    /// A machine with fast-memory capacity `s` elements.
+    pub fn with_capacity(s: usize) -> Self {
+        Self {
+            capacity: Some(s),
+            record_trace: false,
+        }
+    }
+
+    /// A machine without a capacity check.
+    pub fn unlimited() -> Self {
+        Self {
+            capacity: None,
+            record_trace: false,
+        }
+    }
+
+    /// Enables or disables trace recording.
+    pub fn record_trace(mut self, yes: bool) -> Self {
+        self.record_trace = yes;
+        self
+    }
+}
+
+/// A buffer resident in fast memory, leased from an [`OocMachine`].
+#[derive(Debug)]
+pub struct FastBuf<T: Scalar> {
+    data: Vec<T>,
+    matrix: MatrixId,
+    region: Region,
+    machine_tag: u64,
+}
+
+impl<T: Scalar> FastBuf<T> {
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The region of the source matrix this buffer mirrors.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// The matrix this buffer was leased from.
+    pub fn matrix_id(&self) -> MatrixId {
+        self.matrix
+    }
+
+    /// Read-only access to the raw buffer (layout documented on [`Region`]).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Shape of the buffer when interpreted as a column-major rectangle
+    /// (valid for `Rect`, `Rows` and `SymRect` regions).
+    pub fn rect_shape(&self) -> Option<(usize, usize)> {
+        match &self.region {
+            Region::Rect { rows, cols, .. } | Region::SymRect { rows, cols, .. } => {
+                Some((*rows, *cols))
+            }
+            Region::Rows { rows, cols, .. } | Region::SymRows { rows, cols, .. } => {
+                Some((rows.len(), *cols))
+            }
+            _ => None,
+        }
+    }
+
+    /// Column-major matrix view of a rectangular buffer.
+    pub fn rect_view(&self) -> Result<MatView<'_, T>> {
+        let (r, c) = self.rect_shape().ok_or_else(|| MemoryError::RegionKindMismatch {
+            region: self.region.to_string(),
+            storage: "rectangular view",
+        })?;
+        Ok(MatView::new(&self.data, r, c)?)
+    }
+
+    /// Mutable column-major matrix view of a rectangular buffer.
+    pub fn rect_view_mut(&mut self) -> Result<MatViewMut<'_, T>> {
+        let (r, c) = self.rect_shape().ok_or_else(|| MemoryError::RegionKindMismatch {
+            region: self.region.to_string(),
+            storage: "rectangular view",
+        })?;
+        Ok(MatViewMut::new(&mut self.data, r, c)?)
+    }
+
+    /// Packed lower-triangular view of a `SymLowerTriangle` buffer.
+    pub fn packed_view(&self) -> Result<PackedLowerView<'_, T>> {
+        match &self.region {
+            Region::SymLowerTriangle { size, .. } => Ok(PackedLowerView::new(&self.data, *size)?),
+            other => Err(MemoryError::RegionKindMismatch {
+                region: other.to_string(),
+                storage: "packed lower view",
+            }),
+        }
+    }
+
+    /// Mutable packed lower-triangular view of a `SymLowerTriangle` buffer.
+    pub fn packed_view_mut(&mut self) -> Result<PackedLowerViewMut<'_, T>> {
+        match &self.region {
+            Region::SymLowerTriangle { size, .. } => {
+                Ok(PackedLowerViewMut::new(&mut self.data, *size)?)
+            }
+            other => Err(MemoryError::RegionKindMismatch {
+                region: other.to_string(),
+                storage: "packed lower view",
+            }),
+        }
+    }
+}
+
+/// The simulated two-level memory machine.
+#[derive(Debug)]
+pub struct OocMachine<T: Scalar> {
+    config: MachineConfig,
+    matrices: BTreeMap<u64, SlowMatrix<T>>,
+    leases: BTreeMap<u64, usize>,
+    next_id: u64,
+    resident: usize,
+    stats: IoStats,
+    trace: Option<Trace>,
+    phase: String,
+    tag: u64,
+}
+
+impl<T: Scalar> OocMachine<T> {
+    /// Creates a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            config,
+            matrices: BTreeMap::new(),
+            leases: BTreeMap::new(),
+            next_id: 0,
+            resident: 0,
+            stats: IoStats::new(),
+            trace: if config.record_trace {
+                Some(Trace::new())
+            } else {
+                None
+            },
+            phase: "main".to_string(),
+            tag: MACHINE_COUNTER.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience constructor: capacity `s`, no trace.
+    pub fn with_capacity(s: usize) -> Self {
+        Self::new(MachineConfig::with_capacity(s))
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> Option<usize> {
+        self.config.capacity
+    }
+
+    /// Elements currently resident in fast memory.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Registers a dense matrix in slow memory.
+    pub fn insert_dense(&mut self, m: Matrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Dense(m))
+    }
+
+    /// Registers a symmetric matrix in slow memory.
+    pub fn insert_symmetric(&mut self, s: SymMatrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Symmetric(s))
+    }
+
+    fn insert(&mut self, m: SlowMatrix<T>) -> MatrixId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.matrices.insert(id, m);
+        self.leases.insert(id, 0);
+        MatrixId(id)
+    }
+
+    /// Logical shape of a registered matrix.
+    pub fn shape(&self, id: MatrixId) -> Result<(usize, usize)> {
+        self.matrices
+            .get(&id.0)
+            .map(|m| m.shape())
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })
+    }
+
+    /// Declares the current phase; subsequent transfers are attributed to it.
+    pub fn set_phase(&mut self, phase: &str) {
+        self.phase = phase.to_string();
+    }
+
+    /// The currently active phase label.
+    pub fn phase(&self) -> &str {
+        &self.phase
+    }
+
+    fn check_capacity(&self, extra: usize) -> Result<()> {
+        if let Some(cap) = self.config.capacity {
+            if self.resident + extra > cap {
+                return Err(MemoryError::CapacityExceeded {
+                    requested: extra,
+                    resident: self.resident,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn record_event(&mut self, direction: Direction, matrix: MatrixId, region: &Region) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEvent {
+                direction,
+                matrix: matrix.0,
+                region: region.clone(),
+                phase: self.phase.clone(),
+                resident_after: self.resident,
+            });
+        }
+    }
+
+    /// Loads a region of a matrix into fast memory, charging its element
+    /// count as load traffic and checking the capacity.
+    pub fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+        let elements = region.len();
+        self.check_capacity(elements)?;
+        let matrix = self
+            .matrices
+            .get(&id.0)
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
+        let data = matrix.gather(&region)?;
+        self.resident += elements;
+        self.stats.observe_resident(self.resident);
+        let phase = self.phase.clone();
+        self.stats.record_load(elements, &phase);
+        *self.leases.get_mut(&id.0).expect("lease entry exists") += 1;
+        self.record_event(Direction::Load, id, &region);
+        Ok(FastBuf {
+            data,
+            matrix: id,
+            region,
+            machine_tag: self.tag,
+        })
+    }
+
+    /// Reserves fast-memory space for a region *without reading it* (no load
+    /// traffic). Used for output blocks whose previous contents are
+    /// irrelevant because the schedule overwrites every element.
+    pub fn allocate_zeroed(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+        let elements = region.len();
+        self.check_capacity(elements)?;
+        let matrix = self
+            .matrices
+            .get(&id.0)
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
+        // Validate the region against the matrix without transferring data.
+        matrix
+            .gather(&region)
+            .map(|_| ())
+            .or_else(|e| match e {
+                MemoryError::RegionKindMismatch { .. } | MemoryError::RegionOutOfBounds { .. } => {
+                    Err(e)
+                }
+                other => Err(other),
+            })?;
+        self.resident += elements;
+        self.stats.observe_resident(self.resident);
+        *self.leases.get_mut(&id.0).expect("lease entry exists") += 1;
+        Ok(FastBuf {
+            data: vec![T::ZERO; elements],
+            matrix: id,
+            region,
+            machine_tag: self.tag,
+        })
+    }
+
+    fn release_accounting(&mut self, buf: &FastBuf<T>) -> Result<()> {
+        if buf.machine_tag != self.tag {
+            return Err(MemoryError::ForeignBuffer);
+        }
+        self.resident -= buf.data.len();
+        if let Some(count) = self.leases.get_mut(&buf.matrix.0) {
+            *count = count.saturating_sub(1);
+        }
+        Ok(())
+    }
+
+    /// Writes a buffer back to slow memory (charging store traffic) and
+    /// releases its fast-memory space.
+    pub fn store(&mut self, buf: FastBuf<T>) -> Result<()> {
+        if buf.machine_tag != self.tag {
+            return Err(MemoryError::ForeignBuffer);
+        }
+        let elements = buf.data.len();
+        {
+            let matrix = self
+                .matrices
+                .get_mut(&buf.matrix.0)
+                .ok_or(MemoryError::UnknownMatrix { id: buf.matrix.0 })?;
+            matrix.scatter(&buf.region, &buf.data)?;
+        }
+        self.release_accounting(&buf)?;
+        let phase = self.phase.clone();
+        self.stats.record_store(elements, &phase);
+        self.record_event(Direction::Store, buf.matrix, &buf.region);
+        Ok(())
+    }
+
+    /// Releases a buffer without writing it back (no store traffic).
+    pub fn discard(&mut self, buf: FastBuf<T>) -> Result<()> {
+        self.release_accounting(&buf)
+    }
+
+    /// Records arithmetic work performed by the schedule.
+    pub fn record_flops(&mut self, flops: FlopCount) {
+        self.stats.record_flops(flops);
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The recorded trace, if trace recording was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Removes a dense matrix from slow memory and returns it (fails if any
+    /// fast-memory buffer leased from it is still outstanding, or if the
+    /// matrix is not dense).
+    pub fn take_dense(&mut self, id: MatrixId) -> Result<Matrix<T>> {
+        self.check_takeable(id)?;
+        match self.matrices.remove(&id.0) {
+            Some(SlowMatrix::Dense(m)) => Ok(m),
+            Some(other) => {
+                let kind = other.kind();
+                self.matrices.insert(id.0, other);
+                Err(MemoryError::RegionKindMismatch {
+                    region: "take_dense".to_string(),
+                    storage: kind,
+                })
+            }
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+        }
+    }
+
+    /// Removes a symmetric matrix from slow memory and returns it.
+    pub fn take_symmetric(&mut self, id: MatrixId) -> Result<SymMatrix<T>> {
+        self.check_takeable(id)?;
+        match self.matrices.remove(&id.0) {
+            Some(SlowMatrix::Symmetric(s)) => Ok(s),
+            Some(other) => {
+                let kind = other.kind();
+                self.matrices.insert(id.0, other);
+                Err(MemoryError::RegionKindMismatch {
+                    region: "take_symmetric".to_string(),
+                    storage: kind,
+                })
+            }
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+        }
+    }
+
+    fn check_takeable(&self, id: MatrixId) -> Result<()> {
+        match self.leases.get(&id.0) {
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+            Some(&count) if count > 0 => Err(MemoryError::LeasesOutstanding { id: id.0, count }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Read-only access to a dense matrix still registered in slow memory
+    /// (for verification at the end of a run; does not count as I/O since it
+    /// is an out-of-band inspection, not part of the schedule).
+    pub fn peek_dense(&self, id: MatrixId) -> Result<&Matrix<T>> {
+        match self.matrices.get(&id.0) {
+            Some(SlowMatrix::Dense(m)) => Ok(m),
+            Some(other) => Err(MemoryError::RegionKindMismatch {
+                region: "peek_dense".to_string(),
+                storage: other.kind(),
+            }),
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+        }
+    }
+
+    /// Read-only access to a symmetric matrix still registered in slow
+    /// memory.
+    pub fn peek_symmetric(&self, id: MatrixId) -> Result<&SymMatrix<T>> {
+        match self.matrices.get(&id.0) {
+            Some(SlowMatrix::Symmetric(s)) => Ok(s),
+            Some(other) => Err(MemoryError::RegionKindMismatch {
+                region: "peek_symmetric".to_string(),
+                storage: other.kind(),
+            }),
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symla_matrix::generate::random_matrix_seeded;
+
+    #[test]
+    fn load_store_roundtrip_counts_io() {
+        let a: Matrix<f64> = random_matrix_seeded(6, 6, 90);
+        let mut machine = OocMachine::with_capacity(100);
+        let id = machine.insert_dense(a.clone());
+        assert_eq!(machine.shape(id).unwrap(), (6, 6));
+
+        machine.set_phase("update");
+        let mut buf = machine.load(id, Region::rect(0, 0, 3, 3)).unwrap();
+        assert_eq!(machine.resident(), 9);
+        assert_eq!(machine.stats().volume.loads, 9);
+        for v in buf.as_mut_slice() {
+            *v += 1.0;
+        }
+        machine.store(buf).unwrap();
+        assert_eq!(machine.resident(), 0);
+        assert_eq!(machine.stats().volume.stores, 9);
+        assert_eq!(machine.stats().phase("update").loads, 9);
+        assert_eq!(machine.stats().peak_resident, 9);
+
+        let out = machine.take_dense(id).unwrap();
+        assert_eq!(out[(0, 0)], a[(0, 0)] + 1.0);
+        assert_eq!(out[(5, 5)], a[(5, 5)]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let a: Matrix<f64> = random_matrix_seeded(10, 10, 91);
+        let mut machine = OocMachine::with_capacity(30);
+        let id = machine.insert_dense(a);
+        let _b1 = machine.load(id, Region::rect(0, 0, 5, 5)).unwrap();
+        let err = machine.load(id, Region::rect(0, 5, 5, 5)).unwrap_err();
+        assert!(matches!(err, MemoryError::CapacityExceeded { .. }));
+        // a smaller region still fits
+        let b2 = machine.load(id, Region::rect(0, 5, 5, 1)).unwrap();
+        assert_eq!(machine.resident(), 30);
+        machine.discard(b2).unwrap();
+        assert_eq!(machine.resident(), 25);
+    }
+
+    #[test]
+    fn unlimited_machine_never_rejects() {
+        let a: Matrix<f64> = random_matrix_seeded(20, 20, 92);
+        let mut machine = OocMachine::new(MachineConfig::unlimited());
+        let id = machine.insert_dense(a);
+        let buf = machine.load(id, Region::rect(0, 0, 20, 20)).unwrap();
+        assert_eq!(buf.len(), 400);
+        assert!(machine.capacity().is_none());
+        machine.discard(buf).unwrap();
+    }
+
+    #[test]
+    fn discard_does_not_write_back() {
+        let a: Matrix<f64> = random_matrix_seeded(4, 4, 93);
+        let mut machine = OocMachine::with_capacity(16);
+        let id = machine.insert_dense(a.clone());
+        let mut buf = machine.load(id, Region::rect(0, 0, 4, 4)).unwrap();
+        buf.as_mut_slice()[0] = 999.0;
+        machine.discard(buf).unwrap();
+        assert_eq!(machine.stats().volume.stores, 0);
+        let out = machine.take_dense(id).unwrap();
+        assert!(out.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn allocate_zeroed_charges_no_load() {
+        let mut machine = OocMachine::with_capacity(50);
+        let id = machine.insert_symmetric(SymMatrix::<f64>::zeros(8));
+        let buf = machine
+            .allocate_zeroed(id, Region::SymLowerTriangle { start: 0, size: 4 })
+            .unwrap();
+        assert_eq!(buf.len(), 10);
+        assert_eq!(machine.stats().volume.loads, 0);
+        assert_eq!(machine.resident(), 10);
+        machine.store(buf).unwrap();
+        assert_eq!(machine.stats().volume.stores, 10);
+    }
+
+    #[test]
+    fn symmetric_load_views_and_writeback() {
+        let s = SymMatrix::<f64>::from_lower_fn(6, |i, j| (i * 6 + j) as f64);
+        let mut machine = OocMachine::with_capacity(64);
+        let id = machine.insert_symmetric(s.clone());
+
+        let mut tri = machine
+            .load(id, Region::SymLowerTriangle { start: 2, size: 3 })
+            .unwrap();
+        {
+            let mut v = tri.packed_view_mut().unwrap();
+            assert_eq!(v.get(0, 0), s.get(2, 2));
+            v.set(2, 0, -1.0);
+        }
+        machine.store(tri).unwrap();
+
+        let mut rect = machine.load(id, Region::sym_rect(4, 0, 2, 2)).unwrap();
+        {
+            let v = rect.rect_view().unwrap();
+            assert_eq!(v.get(1, 1), s.get(5, 1));
+            let mut vm = rect.rect_view_mut().unwrap();
+            vm.set(0, 0, 42.0);
+        }
+        machine.store(rect).unwrap();
+
+        let out = machine.take_symmetric(id).unwrap();
+        assert_eq!(out.get(4, 2), -1.0);
+        assert_eq!(out.get(4, 0), 42.0);
+        assert_eq!(out.get(1, 0), s.get(1, 0));
+    }
+
+    #[test]
+    fn pairs_region_roundtrip_through_machine() {
+        let s = SymMatrix::<f64>::from_lower_fn(10, |i, j| (i + 10 * j) as f64);
+        let mut machine = OocMachine::with_capacity(16);
+        let id = machine.insert_symmetric(s.clone());
+        let rows = vec![1, 4, 7, 9];
+        let mut buf = machine
+            .load(id, Region::SymPairs { rows: rows.clone() })
+            .unwrap();
+        assert_eq!(buf.len(), 6);
+        assert!(buf.rect_view().is_err());
+        assert!(buf.packed_view().is_err());
+        buf.as_mut_slice()[5] = -7.0; // pair (9, 7)
+        machine.store(buf).unwrap();
+        let out = machine.take_symmetric(id).unwrap();
+        assert_eq!(out.get(9, 7), -7.0);
+        assert_eq!(out.get(4, 1), s.get(4, 1));
+    }
+
+    #[test]
+    fn take_while_leased_fails() {
+        let mut machine = OocMachine::with_capacity(100);
+        let id = machine.insert_dense(Matrix::<f64>::zeros(5, 5));
+        let buf = machine.load(id, Region::rect(0, 0, 2, 2)).unwrap();
+        assert!(matches!(
+            machine.take_dense(id),
+            Err(MemoryError::LeasesOutstanding { count: 1, .. })
+        ));
+        machine.discard(buf).unwrap();
+        assert!(machine.take_dense(id).is_ok());
+        assert!(matches!(
+            machine.take_dense(id),
+            Err(MemoryError::UnknownMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_on_take_and_peek() {
+        let mut machine = OocMachine::<f64>::with_capacity(10);
+        let d = machine.insert_dense(Matrix::zeros(2, 2));
+        let s = machine.insert_symmetric(SymMatrix::zeros(2));
+        assert!(machine.take_symmetric(d).is_err());
+        assert!(machine.take_dense(s).is_err());
+        assert!(machine.peek_dense(s).is_err());
+        assert!(machine.peek_symmetric(d).is_err());
+        assert!(machine.peek_dense(d).is_ok());
+        assert!(machine.peek_symmetric(s).is_ok());
+        // both still present after failed takes
+        assert!(machine.take_dense(d).is_ok());
+        assert!(machine.take_symmetric(s).is_ok());
+    }
+
+    #[test]
+    fn foreign_buffers_are_rejected() {
+        let mut m1 = OocMachine::<f64>::with_capacity(10);
+        let mut m2 = OocMachine::<f64>::with_capacity(10);
+        let id1 = m1.insert_dense(Matrix::zeros(2, 2));
+        let _id2 = m2.insert_dense(Matrix::zeros(2, 2));
+        let buf = m1.load(id1, Region::rect(0, 0, 2, 2)).unwrap();
+        assert!(matches!(m2.store(buf), Err(MemoryError::ForeignBuffer)));
+    }
+
+    #[test]
+    fn trace_records_transfers() {
+        let mut machine =
+            OocMachine::<f64>::new(MachineConfig::with_capacity(64).record_trace(true));
+        let id = machine.insert_dense(Matrix::zeros(4, 4));
+        machine.set_phase("phase-a");
+        let b = machine.load(id, Region::rect(0, 0, 2, 4)).unwrap();
+        machine.store(b).unwrap();
+        let trace = machine.trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.total_loaded(), 8);
+        assert_eq!(trace.total_stored(), 8);
+        assert_eq!(trace.peak_resident(), 8);
+        assert!(trace.events()[0].phase.contains("phase-a"));
+        assert_eq!(machine.phase(), "phase-a");
+    }
+
+    #[test]
+    fn flops_are_accumulated() {
+        let mut machine = OocMachine::<f64>::with_capacity(1);
+        machine.record_flops(FlopCount::new(10, 5));
+        machine.record_flops(FlopCount::new(1, 1));
+        assert_eq!(machine.stats().flops.mults, 11);
+        assert_eq!(machine.stats().flops.adds, 6);
+    }
+
+    #[test]
+    fn unknown_matrix_errors() {
+        let mut machine = OocMachine::<f64>::with_capacity(10);
+        let bogus = MatrixId(99);
+        assert!(machine.load(bogus, Region::rect(0, 0, 1, 1)).is_err());
+        assert!(machine.shape(bogus).is_err());
+        assert!(machine.allocate_zeroed(bogus, Region::rect(0, 0, 1, 1)).is_err());
+        assert_eq!(bogus.raw(), 99);
+    }
+}

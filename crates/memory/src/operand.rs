@@ -1,0 +1,355 @@
+//! Operand references: windows of slow-memory matrices that algorithms
+//! operate on.
+//!
+//! The out-of-core algorithms of `symla-baselines` and `symla-core` are
+//! written against *windows* of matrices rather than whole matrices, so that
+//! the Large Block Cholesky algorithm can invoke OOC_CHOL / OOC_TRSM / TBS on
+//! sub-blocks of the symmetric matrix it is factorizing without any copying.
+//!
+//! * [`PanelRef`] — a rectangular window, either of a dense matrix or lying
+//!   entirely inside the lower triangle of a symmetric matrix. This is the
+//!   shape of the `A` operand of SYRK/TBS, the `X` operand of TRSM and the
+//!   operands of GEMM/LU.
+//! * [`SymWindowRef`] — a diagonal window (`[start, start+size)²`, lower
+//!   triangle) of a symmetric matrix. This is the shape of the `C` operand of
+//!   SYRK/TBS and the target of OOC_CHOL / LBC.
+//!
+//! Both types translate window-relative coordinates into absolute
+//! [`Region`]s, which is all the executors need.
+
+use crate::machine::MatrixId;
+use crate::region::Region;
+
+/// A rectangular window of a matrix registered in slow memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanelRef {
+    /// The matrix the window refers to.
+    pub id: MatrixId,
+    /// Whether the matrix uses symmetric (packed lower) storage, in which
+    /// case the window must lie entirely inside the lower triangle.
+    pub symmetric: bool,
+    /// First row of the window.
+    pub row0: usize,
+    /// First column of the window.
+    pub col0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl PanelRef {
+    /// Window over a whole dense matrix of shape `(rows, cols)`.
+    pub fn dense(id: MatrixId, rows: usize, cols: usize) -> Self {
+        Self {
+            id,
+            symmetric: false,
+            row0: 0,
+            col0: 0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Window over part of a dense matrix.
+    pub fn dense_window(id: MatrixId, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            id,
+            symmetric: false,
+            row0,
+            col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Window inside the lower triangle of a symmetric matrix.
+    pub fn sym_window(id: MatrixId, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            id,
+            symmetric: true,
+            row0,
+            col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows of the window.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the window.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements of the window.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-window expressed in window-relative coordinates.
+    pub fn window(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        debug_assert!(row0 + rows <= self.rows && col0 + cols <= self.cols);
+        Self {
+            id: self.id,
+            symmetric: self.symmetric,
+            row0: self.row0 + row0,
+            col0: self.col0 + col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Region covering the rectangular sub-window
+    /// `[row0, row0+rows) x [col0, col0+cols)` (window-relative coordinates).
+    pub fn rect_region(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Region {
+        debug_assert!(row0 + rows <= self.rows && col0 + cols <= self.cols);
+        let abs_r = self.row0 + row0;
+        let abs_c = self.col0 + col0;
+        if self.symmetric {
+            Region::SymRect {
+                row0: abs_r,
+                col0: abs_c,
+                rows,
+                cols,
+            }
+        } else {
+            Region::Rect {
+                row0: abs_r,
+                col0: abs_c,
+                rows,
+                cols,
+            }
+        }
+    }
+
+    /// Region covering the whole window.
+    pub fn full_region(&self) -> Region {
+        self.rect_region(0, 0, self.rows, self.cols)
+    }
+
+    /// Region covering a single window-relative column segment.
+    pub fn col_segment_region(&self, col: usize, row0: usize, rows: usize) -> Region {
+        self.rect_region(row0, col, rows, 1)
+    }
+
+    /// Region gathering the given window-relative rows over the
+    /// window-relative column range `col0..col0+cols`.
+    pub fn rows_region(&self, rel_rows: &[usize], col0: usize, cols: usize) -> Region {
+        debug_assert!(col0 + cols <= self.cols);
+        let abs_rows: Vec<usize> = rel_rows.iter().map(|&r| self.row0 + r).collect();
+        if self.symmetric {
+            Region::SymRows {
+                rows: abs_rows,
+                col0: self.col0 + col0,
+                cols,
+            }
+        } else {
+            Region::Rows {
+                rows: abs_rows,
+                col0: self.col0 + col0,
+                cols,
+            }
+        }
+    }
+}
+
+/// A diagonal window of a symmetric matrix: the lower triangle of
+/// `[start, start+size)²`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymWindowRef {
+    /// The symmetric matrix the window refers to.
+    pub id: MatrixId,
+    /// First row/column of the window.
+    pub start: usize,
+    /// Side length of the window.
+    pub size: usize,
+}
+
+impl SymWindowRef {
+    /// Window over the whole symmetric matrix of order `n`.
+    pub fn full(id: MatrixId, n: usize) -> Self {
+        Self { id, start: 0, size: n }
+    }
+
+    /// Diagonal sub-window of a symmetric matrix.
+    pub fn window(id: MatrixId, start: usize, size: usize) -> Self {
+        Self { id, start, size }
+    }
+
+    /// Side length of the window.
+    pub fn order(&self) -> usize {
+        self.size
+    }
+
+    /// A smaller diagonal window, in window-relative coordinates.
+    pub fn subwindow(&self, rel_start: usize, size: usize) -> Self {
+        debug_assert!(rel_start + size <= self.size);
+        Self {
+            id: self.id,
+            start: self.start + rel_start,
+            size,
+        }
+    }
+
+    /// The lower triangle (diagonal included) of the diagonal block starting
+    /// at window-relative `rel_start` with side `size`.
+    pub fn lower_triangle_region(&self, rel_start: usize, size: usize) -> Region {
+        debug_assert!(rel_start + size <= self.size);
+        Region::SymLowerTriangle {
+            start: self.start + rel_start,
+            size,
+        }
+    }
+
+    /// A rectangular block of the window (window-relative coordinates), which
+    /// must lie strictly below the diagonal.
+    pub fn rect_region(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Region {
+        debug_assert!(row0 + rows <= self.size && col0 + cols <= self.size);
+        Region::SymRect {
+            row0: self.start + row0,
+            col0: self.start + col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// The triangle block `TB(rel_rows)` of the window (window-relative,
+    /// strictly increasing row indices).
+    pub fn pairs_region(&self, rel_rows: &[usize]) -> Region {
+        Region::SymPairs {
+            rows: rel_rows.iter().map(|&r| self.start + r).collect(),
+        }
+    }
+
+    /// The rectangular panel `[row0, row0+rows) x [col0, col0+cols)` of the
+    /// window viewed as a [`PanelRef`] (e.g. the already-factorized panel
+    /// that LBC feeds to TBS as its `A` operand).
+    pub fn panel(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> PanelRef {
+        debug_assert!(row0 + rows <= self.size && col0 + cols <= self.size);
+        PanelRef::sym_window(self.id, self.start + row0, self.start + col0, rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::OocMachine;
+    use symla_matrix::{Matrix, SymMatrix};
+
+    fn ids() -> (OocMachine<f64>, MatrixId, MatrixId) {
+        let mut machine = OocMachine::with_capacity(10_000);
+        let dense = machine.insert_dense(Matrix::from_fn(12, 8, |i, j| (i * 8 + j) as f64));
+        let sym = machine.insert_symmetric(SymMatrix::from_lower_fn(12, |i, j| (i * 12 + j) as f64));
+        (machine, dense, sym)
+    }
+
+    #[test]
+    fn dense_panel_regions() {
+        let (_m, dense, _) = ids();
+        let p = PanelRef::dense(dense, 12, 8);
+        assert_eq!(p.rows(), 12);
+        assert_eq!(p.cols(), 8);
+        assert_eq!(p.len(), 96);
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.rect_region(2, 3, 4, 2),
+            Region::Rect { row0: 2, col0: 3, rows: 4, cols: 2 }
+        );
+        assert_eq!(p.full_region().len(), 96);
+        assert_eq!(
+            p.col_segment_region(1, 4, 3),
+            Region::Rect { row0: 4, col0: 1, rows: 3, cols: 1 }
+        );
+        assert_eq!(
+            p.rows_region(&[0, 5, 11], 2, 3),
+            Region::Rows { rows: vec![0, 5, 11], col0: 2, cols: 3 }
+        );
+
+        let sub = p.window(2, 1, 6, 4);
+        assert_eq!(
+            sub.rect_region(0, 0, 2, 2),
+            Region::Rect { row0: 2, col0: 1, rows: 2, cols: 2 }
+        );
+        assert_eq!(
+            sub.rows_region(&[1, 3], 0, 2),
+            Region::Rows { rows: vec![3, 5], col0: 1, cols: 2 }
+        );
+    }
+
+    #[test]
+    fn sym_panel_regions() {
+        let (_m, _, sym) = ids();
+        // panel of rows 6..12, cols 0..4 of the symmetric matrix
+        let p = PanelRef::sym_window(sym, 6, 0, 6, 4);
+        assert_eq!(
+            p.rect_region(1, 1, 2, 2),
+            Region::SymRect { row0: 7, col0: 1, rows: 2, cols: 2 }
+        );
+        assert_eq!(
+            p.rows_region(&[0, 3, 5], 0, 4),
+            Region::SymRows { rows: vec![6, 9, 11], col0: 0, cols: 4 }
+        );
+    }
+
+    #[test]
+    fn sym_window_regions() {
+        let (_m, _, sym) = ids();
+        let w = SymWindowRef::window(sym, 4, 8);
+        assert_eq!(w.order(), 8);
+        assert_eq!(
+            w.lower_triangle_region(2, 3),
+            Region::SymLowerTriangle { start: 6, size: 3 }
+        );
+        assert_eq!(
+            w.rect_region(4, 0, 2, 2),
+            Region::SymRect { row0: 8, col0: 4, rows: 2, cols: 2 }
+        );
+        assert_eq!(
+            w.pairs_region(&[0, 3, 7]),
+            Region::SymPairs { rows: vec![4, 7, 11] }
+        );
+        let sub = w.subwindow(2, 4);
+        assert_eq!(sub.start, 6);
+        assert_eq!(sub.size, 4);
+        let panel = w.panel(4, 0, 4, 2);
+        assert_eq!(panel.row0, 8);
+        assert_eq!(panel.col0, 4);
+        assert!(panel.symmetric);
+
+        let full = SymWindowRef::full(sym, 12);
+        assert_eq!(full.order(), 12);
+        assert_eq!(full.start, 0);
+    }
+
+    #[test]
+    fn regions_load_through_machine() {
+        let (mut machine, dense, sym) = ids();
+        let p = PanelRef::dense(dense, 12, 8);
+        let buf = machine.load(p.id, p.rows_region(&[1, 4], 2, 2)).unwrap();
+        assert_eq!(buf.len(), 4);
+        // column-major: (1,2), (4,2), (1,3), (4,3)
+        assert_eq!(buf.as_slice()[0], (8 + 2) as f64);
+        assert_eq!(buf.as_slice()[1], (4 * 8 + 2) as f64);
+        machine.discard(buf).unwrap();
+
+        let w = SymWindowRef::window(sym, 4, 8);
+        let panel = w.panel(4, 0, 4, 4);
+        let buf = machine
+            .load(panel.id, panel.rows_region(&[0, 2], 0, 2))
+            .unwrap();
+        // absolute rows 8, 10, cols 4..6
+        assert_eq!(buf.as_slice()[0], (8 * 12 + 4) as f64);
+        assert_eq!(buf.as_slice()[1], (10 * 12 + 4) as f64);
+        assert_eq!(buf.as_slice()[2], (8 * 12 + 5) as f64);
+        machine.discard(buf).unwrap();
+    }
+}

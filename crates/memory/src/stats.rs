@@ -1,0 +1,236 @@
+//! I/O accounting: the quantity every experiment in this workspace measures.
+//!
+//! [`IoStats`] records the number of elements moved in each direction between
+//! slow and fast memory, the peak fast-memory residency, the arithmetic
+//! operations performed, and a per-phase breakdown so the experiment harness
+//! can attribute traffic to the sub-algorithms of LBC (OOC_CHOL / OOC_TRSM /
+//! TBS), reproducing the term-by-term analysis of Section 5.2.2 of the paper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use symla_matrix::kernels::FlopCount;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Element counts moved in each direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct IoVolume {
+    /// Elements transferred from slow to fast memory.
+    pub loads: u64,
+    /// Elements transferred from fast to slow memory.
+    pub stores: u64,
+}
+
+impl IoVolume {
+    /// Total traffic in both directions.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&self, other: &IoVolume) -> IoVolume {
+        IoVolume {
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+        }
+    }
+}
+
+/// Complete I/O statistics of one out-of-core execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct IoStats {
+    /// Aggregate element traffic.
+    pub volume: IoVolume,
+    /// Number of load operations (region transfers), irrespective of size.
+    pub load_events: u64,
+    /// Number of store operations (region transfers), irrespective of size.
+    pub store_events: u64,
+    /// Largest number of elements simultaneously resident in fast memory.
+    pub peak_resident: usize,
+    /// Arithmetic operations recorded by the schedule.
+    pub flops: FlopCount,
+    /// Traffic attributed to each named phase (in the order phases were
+    /// declared).
+    pub per_phase: BTreeMap<String, IoVolume>,
+}
+
+impl IoStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a load of `elements` elements under phase `phase`.
+    pub fn record_load(&mut self, elements: usize, phase: &str) {
+        self.volume.loads += elements as u64;
+        self.load_events += 1;
+        self.per_phase.entry(phase.to_string()).or_default().loads += elements as u64;
+    }
+
+    /// Records a store of `elements` elements under phase `phase`.
+    pub fn record_store(&mut self, elements: usize, phase: &str) {
+        self.volume.stores += elements as u64;
+        self.store_events += 1;
+        self.per_phase.entry(phase.to_string()).or_default().stores += elements as u64;
+    }
+
+    /// Records arithmetic work.
+    pub fn record_flops(&mut self, flops: FlopCount) {
+        self.flops = self.flops.merge(&flops);
+    }
+
+    /// Updates the peak residency watermark.
+    pub fn observe_resident(&mut self, resident: usize) {
+        self.peak_resident = self.peak_resident.max(resident);
+    }
+
+    /// Total element traffic (loads + stores).
+    pub fn total_io(&self) -> u64 {
+        self.volume.total()
+    }
+
+    /// Operational intensity counting only multiplications (the paper's
+    /// convention): multiplications per element moved.
+    pub fn operational_intensity_mults(&self) -> f64 {
+        if self.total_io() == 0 {
+            return 0.0;
+        }
+        self.flops.mults as f64 / self.total_io() as f64
+    }
+
+    /// Operational intensity counting every arithmetic operation.
+    pub fn operational_intensity_total(&self) -> f64 {
+        if self.total_io() == 0 {
+            return 0.0;
+        }
+        self.flops.total() as f64 / self.total_io() as f64
+    }
+
+    /// Operational intensity with respect to loads only (the paper's lower
+    /// bounds constrain reads of the input operands).
+    pub fn operational_intensity_loads(&self) -> f64 {
+        if self.volume.loads == 0 {
+            return 0.0;
+        }
+        self.flops.mults as f64 / self.volume.loads as f64
+    }
+
+    /// Merges another run's statistics into this one (phases are merged by
+    /// name, the peak is the max of the two peaks).
+    pub fn merge(&mut self, other: &IoStats) {
+        self.volume = self.volume.merge(&other.volume);
+        self.load_events += other.load_events;
+        self.store_events += other.store_events;
+        self.peak_resident = self.peak_resident.max(other.peak_resident);
+        self.flops = self.flops.merge(&other.flops);
+        for (phase, vol) in &other.per_phase {
+            let entry = self.per_phase.entry(phase.clone()).or_default();
+            *entry = entry.merge(vol);
+        }
+    }
+
+    /// Traffic of a single named phase (zero if the phase never ran).
+    pub fn phase(&self, name: &str) -> IoVolume {
+        self.per_phase.get(name).copied().unwrap_or_default()
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "loads: {} elements ({} events), stores: {} elements ({} events), peak resident: {}",
+            self.volume.loads,
+            self.load_events,
+            self.volume.stores,
+            self.store_events,
+            self.peak_resident
+        )?;
+        writeln!(
+            f,
+            "flops: {} mults, {} adds; OI(mults/elt): {:.3}",
+            self.flops.mults,
+            self.flops.adds,
+            self.operational_intensity_mults()
+        )?;
+        for (phase, vol) in &self.per_phase {
+            writeln!(f, "  phase {phase}: {} loads, {} stores", vol.loads, vol.stores)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = IoStats::new();
+        s.record_load(100, "tbs");
+        s.record_load(50, "tbs");
+        s.record_store(30, "flush");
+        s.observe_resident(80);
+        s.observe_resident(40);
+        assert_eq!(s.volume.loads, 150);
+        assert_eq!(s.volume.stores, 30);
+        assert_eq!(s.load_events, 2);
+        assert_eq!(s.store_events, 1);
+        assert_eq!(s.total_io(), 180);
+        assert_eq!(s.peak_resident, 80);
+        assert_eq!(s.phase("tbs").loads, 150);
+        assert_eq!(s.phase("flush").stores, 30);
+        assert_eq!(s.phase("missing").total(), 0);
+    }
+
+    #[test]
+    fn operational_intensity() {
+        let mut s = IoStats::new();
+        assert_eq!(s.operational_intensity_mults(), 0.0);
+        assert_eq!(s.operational_intensity_loads(), 0.0);
+        s.record_load(10, "x");
+        s.record_store(10, "x");
+        s.record_flops(FlopCount::new(200, 100));
+        assert!((s.operational_intensity_mults() - 10.0).abs() < 1e-12);
+        assert!((s.operational_intensity_total() - 15.0).abs() < 1e-12);
+        assert!((s.operational_intensity_loads() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_phases_and_peaks() {
+        let mut a = IoStats::new();
+        a.record_load(5, "p1");
+        a.observe_resident(10);
+        a.record_flops(FlopCount::new(1, 2));
+        let mut b = IoStats::new();
+        b.record_load(7, "p1");
+        b.record_store(3, "p2");
+        b.observe_resident(25);
+        b.record_flops(FlopCount::new(10, 20));
+
+        a.merge(&b);
+        assert_eq!(a.volume.loads, 12);
+        assert_eq!(a.volume.stores, 3);
+        assert_eq!(a.peak_resident, 25);
+        assert_eq!(a.phase("p1").loads, 12);
+        assert_eq!(a.phase("p2").stores, 3);
+        assert_eq!(a.flops.mults, 11);
+        assert_eq!(a.flops.adds, 22);
+    }
+
+    #[test]
+    fn volume_helpers_and_display() {
+        let v = IoVolume { loads: 3, stores: 4 };
+        assert_eq!(v.total(), 7);
+        assert_eq!(v.merge(&v).loads, 6);
+
+        let mut s = IoStats::new();
+        s.record_load(1, "alpha");
+        let text = s.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("loads: 1"));
+    }
+}

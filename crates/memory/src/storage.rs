@@ -1,0 +1,293 @@
+//! Slow-memory storage: the unbounded memory holding whole matrices.
+//!
+//! Slow memory owns matrices in either dense ([`symla_matrix::Matrix`]) or
+//! symmetric packed ([`symla_matrix::SymMatrix`]) form, and knows how to
+//! gather a [`Region`] into a flat fast-memory buffer and scatter it back.
+
+use crate::error::{MemoryError, Result};
+use crate::region::Region;
+use symla_matrix::{Matrix, Scalar, SymMatrix};
+
+/// A matrix resident in slow memory.
+#[derive(Debug, Clone)]
+pub enum SlowMatrix<T: Scalar> {
+    /// Dense column-major storage.
+    Dense(Matrix<T>),
+    /// Symmetric packed-lower storage.
+    Symmetric(SymMatrix<T>),
+}
+
+impl<T: Scalar> SlowMatrix<T> {
+    /// Logical shape of the stored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            SlowMatrix::Dense(m) => m.shape(),
+            SlowMatrix::Symmetric(s) => (s.order(), s.order()),
+        }
+    }
+
+    /// Human-readable storage kind (used in error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SlowMatrix::Dense(_) => "dense",
+            SlowMatrix::Symmetric(_) => "symmetric",
+        }
+    }
+
+    /// Number of scalars physically stored in slow memory.
+    pub fn stored_len(&self) -> usize {
+        match self {
+            SlowMatrix::Dense(m) => m.len(),
+            SlowMatrix::Symmetric(s) => s.packed_len(),
+        }
+    }
+
+    fn check_region(&self, region: &Region) -> Result<()> {
+        let compatible = match self {
+            SlowMatrix::Dense(_) => region.is_dense_region(),
+            SlowMatrix::Symmetric(_) => region.is_symmetric_region(),
+        };
+        if !compatible {
+            return Err(MemoryError::RegionKindMismatch {
+                region: region.to_string(),
+                storage: self.kind(),
+            });
+        }
+        region
+            .validate(self.shape())
+            .map_err(|_| MemoryError::RegionOutOfBounds {
+                region: region.to_string(),
+                shape: self.shape(),
+            })
+    }
+
+    /// Copies the elements of `region` into a flat buffer using the layout
+    /// documented on [`Region`].
+    pub fn gather(&self, region: &Region) -> Result<Vec<T>> {
+        self.check_region(region)?;
+        let mut out = Vec::with_capacity(region.len());
+        match (self, region) {
+            (SlowMatrix::Dense(m), Region::Rect { row0, col0, rows, cols }) => {
+                for j in 0..*cols {
+                    for i in 0..*rows {
+                        out.push(m[(row0 + i, col0 + j)]);
+                    }
+                }
+            }
+            (SlowMatrix::Dense(m), Region::Rows { rows, col0, cols }) => {
+                for j in 0..*cols {
+                    for &r in rows {
+                        out.push(m[(r, col0 + j)]);
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymRect { row0, col0, rows, cols }) => {
+                for j in 0..*cols {
+                    for i in 0..*rows {
+                        out.push(s.get(row0 + i, col0 + j));
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymLowerTriangle { start, size }) => {
+                for j in 0..*size {
+                    for i in j..*size {
+                        out.push(s.get(start + i, start + j));
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymPairs { rows }) => {
+                for (a, &r) in rows.iter().enumerate() {
+                    for &rp in rows.iter().take(a) {
+                        out.push(s.get(r, rp));
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymRows { rows, col0, cols }) => {
+                for j in 0..*cols {
+                    for &r in rows {
+                        out.push(s.get(r, col0 + j));
+                    }
+                }
+            }
+            _ => unreachable!("kind compatibility already checked"),
+        }
+        debug_assert_eq!(out.len(), region.len());
+        Ok(out)
+    }
+
+    /// Writes a flat buffer (with the layout documented on [`Region`]) back
+    /// into the elements of `region`.
+    pub fn scatter(&mut self, region: &Region, data: &[T]) -> Result<()> {
+        self.check_region(region)?;
+        if data.len() != region.len() {
+            return Err(MemoryError::Matrix(
+                symla_matrix::MatrixError::InvalidBufferLength {
+                    expected: region.len(),
+                    actual: data.len(),
+                },
+            ));
+        }
+        let mut it = data.iter().copied();
+        match (self, region) {
+            (SlowMatrix::Dense(m), Region::Rect { row0, col0, rows, cols }) => {
+                for j in 0..*cols {
+                    for i in 0..*rows {
+                        m[(row0 + i, col0 + j)] = it.next().unwrap();
+                    }
+                }
+            }
+            (SlowMatrix::Dense(m), Region::Rows { rows, col0, cols }) => {
+                for j in 0..*cols {
+                    for &r in rows {
+                        m[(r, col0 + j)] = it.next().unwrap();
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymRect { row0, col0, rows, cols }) => {
+                for j in 0..*cols {
+                    for i in 0..*rows {
+                        s.set(row0 + i, col0 + j, it.next().unwrap());
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymLowerTriangle { start, size }) => {
+                for j in 0..*size {
+                    for i in j..*size {
+                        s.set(start + i, start + j, it.next().unwrap());
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymPairs { rows }) => {
+                for (a, &r) in rows.iter().enumerate() {
+                    for &rp in rows.iter().take(a) {
+                        s.set(r, rp, it.next().unwrap());
+                    }
+                }
+            }
+            (SlowMatrix::Symmetric(s), Region::SymRows { rows, col0, cols }) => {
+                for j in 0..*cols {
+                    for &r in rows {
+                        s.set(r, col0 + j, it.next().unwrap());
+                    }
+                }
+            }
+            _ => unreachable!("kind compatibility already checked"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symla_matrix::generate::random_matrix_seeded;
+
+    #[test]
+    fn dense_rect_gather_scatter_roundtrip() {
+        let m: Matrix<f64> = random_matrix_seeded(6, 5, 81);
+        let mut slow = SlowMatrix::Dense(m.clone());
+        let region = Region::rect(1, 2, 3, 2);
+        let buf = slow.gather(&region).unwrap();
+        assert_eq!(buf.len(), 6);
+        // column-major layout of the block
+        assert_eq!(buf[0], m[(1, 2)]);
+        assert_eq!(buf[1], m[(2, 2)]);
+        assert_eq!(buf[3], m[(1, 3)]);
+
+        let doubled: Vec<f64> = buf.iter().map(|x| x * 2.0).collect();
+        slow.scatter(&region, &doubled).unwrap();
+        if let SlowMatrix::Dense(d) = &slow {
+            assert_eq!(d[(1, 2)], 2.0 * m[(1, 2)]);
+            assert_eq!(d[(0, 0)], m[(0, 0)]);
+        } else {
+            panic!("storage kind changed");
+        }
+    }
+
+    #[test]
+    fn dense_rows_gather_layout() {
+        let m: Matrix<f64> = random_matrix_seeded(8, 4, 82);
+        let slow = SlowMatrix::Dense(m.clone());
+        let region = Region::Rows {
+            rows: vec![1, 4, 7],
+            col0: 1,
+            cols: 2,
+        };
+        let buf = slow.gather(&region).unwrap();
+        // layout: rows-major within a column, columns outer
+        assert_eq!(buf[0], m[(1, 1)]);
+        assert_eq!(buf[1], m[(4, 1)]);
+        assert_eq!(buf[2], m[(7, 1)]);
+        assert_eq!(buf[3], m[(1, 2)]);
+    }
+
+    #[test]
+    fn symmetric_regions_roundtrip() {
+        let s = SymMatrix::<f64>::from_lower_fn(8, |i, j| (i * 8 + j) as f64);
+        let mut slow = SlowMatrix::Symmetric(s.clone());
+
+        let rect = Region::sym_rect(4, 0, 2, 3);
+        let buf = slow.gather(&rect).unwrap();
+        assert_eq!(buf[0], s.get(4, 0));
+        assert_eq!(buf[2], s.get(4, 1));
+
+        let tri = Region::SymLowerTriangle { start: 2, size: 3 };
+        let tbuf = slow.gather(&tri).unwrap();
+        assert_eq!(tbuf.len(), 6);
+        assert_eq!(tbuf[0], s.get(2, 2));
+        assert_eq!(tbuf[1], s.get(3, 2));
+        assert_eq!(tbuf[3], s.get(3, 3));
+
+        let pairs = Region::SymPairs { rows: vec![1, 3, 6] };
+        let pbuf = slow.gather(&pairs).unwrap();
+        assert_eq!(pbuf, vec![s.get(3, 1), s.get(6, 1), s.get(6, 3)]);
+
+        // scatter the pairs back with new values and check placement
+        slow.scatter(&pairs, &[100.0, 200.0, 300.0]).unwrap();
+        if let SlowMatrix::Symmetric(sm) = &slow {
+            assert_eq!(sm.get(3, 1), 100.0);
+            assert_eq!(sm.get(6, 1), 200.0);
+            assert_eq!(sm.get(6, 3), 300.0);
+            assert_eq!(sm.get(2, 1), s.get(2, 1));
+        } else {
+            panic!("storage kind changed");
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_and_bounds_errors() {
+        let dense = SlowMatrix::Dense(Matrix::<f64>::zeros(4, 4));
+        assert!(matches!(
+            dense.gather(&Region::SymLowerTriangle { start: 0, size: 2 }),
+            Err(MemoryError::RegionKindMismatch { .. })
+        ));
+        assert!(matches!(
+            dense.gather(&Region::rect(0, 0, 5, 1)),
+            Err(MemoryError::RegionOutOfBounds { .. })
+        ));
+
+        let sym = SlowMatrix::Symmetric(SymMatrix::<f64>::zeros(4));
+        assert!(matches!(
+            sym.gather(&Region::rect(0, 0, 2, 2)),
+            Err(MemoryError::RegionKindMismatch { .. })
+        ));
+
+        let mut sym2 = SlowMatrix::Symmetric(SymMatrix::<f64>::zeros(4));
+        assert!(matches!(
+            sym2.scatter(&Region::SymLowerTriangle { start: 0, size: 2 }, &[0.0]),
+            Err(MemoryError::Matrix(_))
+        ));
+    }
+
+    #[test]
+    fn shape_kind_and_len_report() {
+        let dense = SlowMatrix::Dense(Matrix::<f64>::zeros(3, 5));
+        assert_eq!(dense.shape(), (3, 5));
+        assert_eq!(dense.kind(), "dense");
+        assert_eq!(dense.stored_len(), 15);
+        let sym = SlowMatrix::Symmetric(SymMatrix::<f64>::zeros(4));
+        assert_eq!(sym.shape(), (4, 4));
+        assert_eq!(sym.kind(), "symmetric");
+        assert_eq!(sym.stored_len(), 10);
+    }
+}

@@ -1,0 +1,177 @@
+//! Optional recording of the transfer schedule produced by an execution.
+//!
+//! When enabled in [`crate::machine::MachineConfig`], the machine appends one
+//! [`TraceEvent`] per region transfer. Traces make schedules inspectable
+//! (examples print them), diffable across algorithm variants, and replayable
+//! (the transfer volume can be re-accumulated from the trace and must match
+//! the [`crate::stats::IoStats`] the machine reported).
+
+use crate::region::Region;
+use std::fmt;
+
+/// Direction of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Slow memory to fast memory.
+    Load,
+    /// Fast memory to slow memory.
+    Store,
+}
+
+/// One recorded transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Direction of the transfer.
+    pub direction: Direction,
+    /// Identifier of the matrix the region belongs to.
+    pub matrix: u64,
+    /// The region transferred.
+    pub region: Region,
+    /// Phase active when the transfer happened.
+    pub phase: String,
+    /// Elements resident in fast memory *after* the transfer.
+    pub resident_after: usize,
+}
+
+impl TraceEvent {
+    /// Number of elements moved by this event.
+    pub fn elements(&self) -> usize {
+        self.region.len()
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.direction {
+            Direction::Load => "LOAD ",
+            Direction::Store => "STORE",
+        };
+        write!(
+            f,
+            "{dir} m{} {} ({} elts, phase {}, resident {})",
+            self.matrix,
+            self.region,
+            self.elements(),
+            self.phase,
+            self.resident_after
+        )
+    }
+}
+
+/// A full transfer trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in schedule order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total elements loaded according to the trace.
+    pub fn total_loaded(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.direction == Direction::Load)
+            .map(|e| e.elements() as u64)
+            .sum()
+    }
+
+    /// Total elements stored according to the trace.
+    pub fn total_stored(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.direction == Direction::Store)
+            .map(|e| e.elements() as u64)
+            .sum()
+    }
+
+    /// Largest post-transfer residency observed in the trace.
+    pub fn peak_resident(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.resident_after)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(direction: Direction, elements: usize, resident: usize) -> TraceEvent {
+        TraceEvent {
+            direction,
+            matrix: 0,
+            region: Region::rect(0, 0, elements, 1),
+            phase: "test".to_string(),
+            resident_after: resident,
+        }
+    }
+
+    #[test]
+    fn totals_and_peak() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(event(Direction::Load, 10, 10));
+        t.push(event(Direction::Load, 5, 15));
+        t.push(event(Direction::Store, 10, 5));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_loaded(), 15);
+        assert_eq!(t.total_stored(), 10);
+        assert_eq!(t.peak_resident(), 15);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_contains_direction_and_counts() {
+        let e = event(Direction::Load, 4, 4);
+        let s = e.to_string();
+        assert!(s.contains("LOAD"));
+        assert!(s.contains("4 elts"));
+        let mut t = Trace::new();
+        t.push(e);
+        t.push(event(Direction::Store, 2, 2));
+        let text = t.to_string();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("STORE"));
+    }
+
+    #[test]
+    fn empty_trace_peak_is_zero() {
+        assert_eq!(Trace::new().peak_resident(), 0);
+        assert_eq!(Trace::new().total_loaded(), 0);
+    }
+}

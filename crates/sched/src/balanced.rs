@@ -1,0 +1,189 @@
+//! Balanced solutions (Definition 4.2 and Lemma 4.3 of the paper).
+//!
+//! A balanced solution `B(x, m)` packs `x` operations into layers of at most
+//! `m` operations each, every layer being a canonical triangle set `T(·)`:
+//! `⌊x/m⌋` full layers of `T(m)` plus one remainder layer `T(x mod m)`.
+//! Lemma 4.3 states that the balanced solution built from any feasible
+//! operation set `E` (with `x = |E|` and `m = max_k |E|_k|`) accesses at most
+//! as much data as `E` itself — which is why the lower-bound optimization can
+//! be restricted to balanced solutions.
+
+use crate::footprint::{self, DataAccess};
+use crate::ops::Op;
+use crate::triangle::{canonical_t, sigma};
+
+/// A balanced solution `B(x, m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalancedSolution {
+    /// Total number of operations `x`.
+    pub x: usize,
+    /// Layer size `m` (the maximum number of operations per reduction
+    /// index).
+    pub m: usize,
+    /// Number of full layers `K = ⌊x/m⌋`.
+    pub full_layers: usize,
+    /// Size of the remainder layer `m' = x − K·m < m`.
+    pub remainder: usize,
+}
+
+impl BalancedSolution {
+    /// Builds `B(x, m)`. For `x > 0` requires `m ≥ 1`.
+    pub fn new(x: usize, m: usize) -> Self {
+        if x == 0 {
+            return Self {
+                x: 0,
+                m,
+                full_layers: 0,
+                remainder: 0,
+            };
+        }
+        assert!(m >= 1, "balanced solution with x > 0 requires m >= 1");
+        Self {
+            x,
+            m,
+            full_layers: x / m,
+            remainder: x % m,
+        }
+    }
+
+    /// Builds the balanced solution associated with an arbitrary operation
+    /// set (Lemma 4.3): `x = |E|`, `m = max_k |E|_k|`.
+    pub fn from_ops(ops: &[Op]) -> Self {
+        let x = ops.len();
+        let m = footprint::restrictions(ops)
+            .values()
+            .map(|pairs| pairs.len())
+            .max()
+            .unwrap_or(0);
+        Self::new(x, m)
+    }
+
+    /// Number of operations (`x`).
+    pub fn size(&self) -> usize {
+        self.x
+    }
+
+    /// Data accessed by the balanced solution:
+    /// * result elements: `m` if there is at least one full layer, otherwise
+    ///   the remainder size (the union of identical canonical layers is one
+    ///   layer, and `T(m′) ⊆ T(m)`);
+    /// * input elements: `K·σ(m) + σ(m′)`.
+    pub fn data_access(&self) -> DataAccess {
+        let c_elements = if self.full_layers > 0 {
+            self.m
+        } else {
+            self.remainder
+        };
+        let a_elements = self.full_layers * sigma(self.m) + sigma(self.remainder);
+        DataAccess {
+            c_elements,
+            a_elements,
+        }
+    }
+
+    /// Materializes the balanced solution as an explicit operation list
+    /// (layer `k` holds `T(m)` for `k < K` and `T(m′)` for `k = K`). Used to
+    /// cross-check [`BalancedSolution::data_access`] against the generic
+    /// [`footprint::data_access`].
+    pub fn ops(&self) -> Vec<Op> {
+        let mut out = Vec::with_capacity(self.x);
+        let full = canonical_t(self.m);
+        for k in 0..self.full_layers {
+            out.extend(full.iter().map(|&(i, j)| Op::new(i, j, k)));
+        }
+        let rem = canonical_t(self.remainder);
+        out.extend(rem.iter().map(|&(i, j)| Op::new(i, j, self.full_layers)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::data_access;
+    use crate::ops::OpSet;
+
+    #[test]
+    fn construction_and_size() {
+        let b = BalancedSolution::new(10, 3);
+        assert_eq!(b.full_layers, 3);
+        assert_eq!(b.remainder, 1);
+        assert_eq!(b.size(), 10);
+
+        let empty = BalancedSolution::new(0, 0);
+        assert_eq!(empty.size(), 0);
+        assert_eq!(empty.data_access().total(), 0);
+        assert!(empty.ops().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires m >= 1")]
+    fn zero_layer_size_with_ops_panics() {
+        let _ = BalancedSolution::new(5, 0);
+    }
+
+    #[test]
+    fn analytic_access_matches_materialized_ops() {
+        for &(x, m) in &[(1usize, 1usize), (5, 2), (12, 4), (17, 5), (30, 6), (8, 8), (7, 10)] {
+            let b = BalancedSolution::new(x, m);
+            let ops = b.ops();
+            assert_eq!(ops.len(), x, "x={x} m={m}");
+            let expected = data_access(&ops);
+            assert_eq!(b.data_access(), expected, "x={x} m={m}");
+        }
+    }
+
+    #[test]
+    fn from_ops_picks_max_layer() {
+        let ops = vec![
+            Op::new(1, 0, 0),
+            Op::new(2, 0, 0),
+            Op::new(2, 1, 0),
+            Op::new(1, 0, 5),
+        ];
+        let b = BalancedSolution::from_ops(&ops);
+        assert_eq!(b.x, 4);
+        assert_eq!(b.m, 3);
+        assert_eq!(b.full_layers, 1);
+        assert_eq!(b.remainder, 1);
+    }
+
+    #[test]
+    fn lemma_4_3_balanced_no_worse_on_structured_sets() {
+        // For several structured subsets of the SYRK op set, the balanced
+        // solution accesses at most as much data (Lemma 4.3).
+        let set = OpSet::Syrk { n: 8, m: 5 };
+        let all: Vec<Op> = set.iter().collect();
+
+        // (a) the full set
+        let b = BalancedSolution::from_ops(&all);
+        assert!(b.data_access().total() <= data_access(&all).total());
+
+        // (b) a rectangular sub-block of C across all k
+        let sub: Vec<Op> = all
+            .iter()
+            .copied()
+            .filter(|op| op.i >= 4 && op.j < 3)
+            .collect();
+        let b = BalancedSolution::from_ops(&sub);
+        assert!(b.data_access().total() <= data_access(&sub).total());
+
+        // (c) a single column of C
+        let col: Vec<Op> = all.iter().copied().filter(|op| op.j == 0).collect();
+        let b = BalancedSolution::from_ops(&col);
+        assert!(b.data_access().total() <= data_access(&col).total());
+    }
+
+    #[test]
+    fn balanced_solution_of_triangle_layers_is_tight() {
+        // If E already consists of identical triangle layers, the balanced
+        // solution has exactly the same cost.
+        let mut ops = Vec::new();
+        let layer = canonical_t(6);
+        for k in 0..4 {
+            ops.extend(layer.iter().map(|&(i, j)| Op::new(i, j, k)));
+        }
+        let b = BalancedSolution::from_ops(&ops);
+        assert_eq!(b.data_access(), data_access(&ops));
+    }
+}

@@ -1,0 +1,179 @@
+//! Data-access footprint of a set of operations (Section 3.1 of the paper).
+//!
+//! For a subset `E` of operations:
+//!
+//! * `E|k` is the restriction of `E` to reduction index `k`
+//!   (Definition 3.2);
+//! * `τ(U)` is the *symmetric footprint* of a set `U` of `(i, j)` pairs — the
+//!   set of indices appearing as a row or column (Definition 3.3);
+//! * `D(E) = |∪_k E|k| + Σ_k |τ(E|k)|` is the number of distinct data
+//!   elements accessed by `E` (Proposition 3.4): the first term counts the
+//!   touched entries of the result matrix `C`, the second counts the touched
+//!   entries of `A` (column `k` of `A` contributes its symmetric footprint,
+//!   which is where the reuse `A[i,k]`/`A[j,k]` permitted by symmetry is
+//!   accounted for).
+
+use crate::ops::Op;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The restriction `E|k` of an operation set to one reduction index: the set
+/// of `(i, j)` pairs occurring with that `k`.
+pub fn restriction(ops: &[Op], k: usize) -> BTreeSet<(usize, usize)> {
+    ops.iter()
+        .filter(|op| op.k == k)
+        .map(|op| (op.i, op.j))
+        .collect()
+}
+
+/// All restrictions of an operation set, keyed by `k` (only non-empty ones).
+pub fn restrictions(ops: &[Op]) -> BTreeMap<usize, BTreeSet<(usize, usize)>> {
+    let mut map: BTreeMap<usize, BTreeSet<(usize, usize)>> = BTreeMap::new();
+    for op in ops {
+        map.entry(op.k).or_default().insert((op.i, op.j));
+    }
+    map
+}
+
+/// Symmetric footprint `τ(U)` of a set of `(i, j)` pairs: every index that
+/// appears as a row or as a column of some pair.
+pub fn symmetric_footprint(pairs: &BTreeSet<(usize, usize)>) -> BTreeSet<usize> {
+    let mut fp = BTreeSet::new();
+    for &(i, j) in pairs {
+        fp.insert(i);
+        fp.insert(j);
+    }
+    fp
+}
+
+/// Breakdown of the data accessed by a set of operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataAccess {
+    /// `|∪_k E|k|`: distinct entries of the result matrix `C` touched.
+    pub c_elements: usize,
+    /// `Σ_k |τ(E|k)|`: distinct entries of `A` touched (with symmetry reuse).
+    pub a_elements: usize,
+}
+
+impl DataAccess {
+    /// Total data accesses `D(E)`.
+    pub fn total(&self) -> usize {
+        self.c_elements + self.a_elements
+    }
+}
+
+/// Computes `D(E)` (Proposition 3.4) for an explicit list of operations.
+pub fn data_access(ops: &[Op]) -> DataAccess {
+    let mut c_union: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut a_elements = 0usize;
+    for (_, pairs) in restrictions(ops) {
+        a_elements += symmetric_footprint(&pairs).len();
+        c_union.extend(pairs.iter().copied());
+    }
+    DataAccess {
+        c_elements: c_union.len(),
+        a_elements,
+    }
+}
+
+/// Upper bound on `|U|` given its footprint size (the paper's observation
+/// after Definition 3.3): if `i > j` for every `(i, j) ∈ U` then
+/// `|U| ≤ |τ(U)|·(|τ(U)|−1)/2`.
+pub fn max_pairs_for_footprint(footprint: usize) -> usize {
+    footprint * footprint.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpSet;
+
+    #[test]
+    fn restriction_and_footprint_basics() {
+        let ops = vec![
+            Op::new(3, 1, 0),
+            Op::new(3, 2, 0),
+            Op::new(5, 1, 1),
+            Op::new(3, 1, 1),
+        ];
+        let r0 = restriction(&ops, 0);
+        assert_eq!(r0.len(), 2);
+        assert!(r0.contains(&(3, 1)));
+        let r2 = restriction(&ops, 2);
+        assert!(r2.is_empty());
+
+        let fp = symmetric_footprint(&r0);
+        assert_eq!(fp, BTreeSet::from([1, 2, 3]));
+
+        let all = restrictions(&ops);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[&1].len(), 2);
+    }
+
+    #[test]
+    fn data_access_counts_symmetric_reuse() {
+        // Two operations in the same k sharing footprint index 3:
+        // (3,1,0) uses A[3,0], A[1,0]; (4,3,0) uses A[4,0], A[3,0].
+        // C elements: {(3,1), (4,3)} -> 2; A elements: tau = {1,3,4} -> 3.
+        let ops = vec![Op::new(3, 1, 0), Op::new(4, 3, 0)];
+        let d = data_access(&ops);
+        assert_eq!(d.c_elements, 2);
+        assert_eq!(d.a_elements, 3);
+        assert_eq!(d.total(), 5);
+    }
+
+    #[test]
+    fn data_access_separate_k_no_reuse_across_columns() {
+        // Same (i, j) pair in two different columns of A: C counted once,
+        // A footprint counted per column.
+        let ops = vec![Op::new(2, 0, 0), Op::new(2, 0, 1)];
+        let d = data_access(&ops);
+        assert_eq!(d.c_elements, 1);
+        assert_eq!(d.a_elements, 4);
+    }
+
+    #[test]
+    fn full_syrk_data_access_matches_closed_form() {
+        // The whole SYRK op set touches all N(N-1)/2 strict-lower C entries
+        // and for each of the M columns all N entries of that column of A.
+        let n = 7;
+        let m = 4;
+        let ops: Vec<Op> = OpSet::Syrk { n, m }.iter().collect();
+        let d = data_access(&ops);
+        assert_eq!(d.c_elements, n * (n - 1) / 2);
+        assert_eq!(d.a_elements, n * m);
+    }
+
+    #[test]
+    fn full_cholesky_updates_data_access() {
+        // For the Cholesky update set, iteration k touches columns k of A
+        // restricted to rows > k, i.e. footprint size N - 1 - k... but only
+        // for k <= N - 3 (otherwise no operations). C entries touched: all
+        // (i, j) with j >= 1, i > j, i.e. pairs with j in 1..N-1: every pair
+        // (i, j) with i > j >= 1.
+        let n = 8_usize;
+        let ops: Vec<Op> = OpSet::CholeskyUpdates { n }.iter().collect();
+        let d = data_access(&ops);
+        let expected_c = (n - 1) * (n - 2) / 2;
+        let expected_a: usize = (0..n.saturating_sub(2)).map(|k| n - 1 - k).sum();
+        assert_eq!(d.c_elements, expected_c);
+        assert_eq!(d.a_elements, expected_a);
+    }
+
+    #[test]
+    fn max_pairs_bound_holds_for_restrictions() {
+        let ops: Vec<Op> = OpSet::Syrk { n: 6, m: 3 }.iter().collect();
+        for (_, pairs) in restrictions(&ops) {
+            let fp = symmetric_footprint(&pairs);
+            assert!(pairs.len() <= max_pairs_for_footprint(fp.len()));
+        }
+        assert_eq!(max_pairs_for_footprint(0), 0);
+        assert_eq!(max_pairs_for_footprint(1), 0);
+        assert_eq!(max_pairs_for_footprint(5), 10);
+    }
+
+    #[test]
+    fn empty_set_has_zero_access() {
+        let d = data_access(&[]);
+        assert_eq!(d.total(), 0);
+    }
+}

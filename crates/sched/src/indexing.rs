@@ -1,0 +1,267 @@
+//! Indexing families (Definitions 5.1–5.4 of the paper) and the arithmetic
+//! used to pick the TBS block-grid size `c`.
+//!
+//! A `(c, k)`-indexing family assigns to every block coordinate `(i, j)` a
+//! function `f_{i,j} : [0, k) → [0, c)` giving, for each zone row `u`, the
+//! position of the block's row inside that zone row. The family is *valid*
+//! (Definition 5.2) when no two distinct blocks agree on two different zone
+//! rows — which by Lemma 5.3 guarantees that the resulting triangle blocks are
+//! pairwise disjoint.
+//!
+//! The paper's *cyclic* family (Definition 5.4) is valid whenever `c ≥ k − 1`
+//! is coprime with every integer in `[2, k − 2]` (Lemma 5.5), i.e. whenever
+//! `c` has no prime factor `≤ k − 2`.
+
+use std::collections::HashMap;
+
+/// Sieve of Eratosthenes: all primes `≤ n`.
+pub fn primes_up_to(n: usize) -> Vec<usize> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut is_prime = vec![true; n + 1];
+    is_prime[0] = false;
+    is_prime[1] = false;
+    let mut p = 2;
+    while p * p <= n {
+        if is_prime[p] {
+            let mut q = p * p;
+            while q <= n {
+                is_prime[q] = false;
+                q += p;
+            }
+        }
+        p += 1;
+    }
+    (2..=n).filter(|&i| is_prime[i]).collect()
+}
+
+/// The paper's constant `q`: the product of all primes `≤ k − 2` (the
+/// primorial of `k − 2`). Returns `None` on overflow — `q` grows faster than
+/// exponentially, so for realistic `k` this is only meaningful symbolically;
+/// the algorithms never need the numeric value (they only need coprimality
+/// tests, see [`is_coprime_with_range`]).
+pub fn primorial_q(k: usize) -> Option<u128> {
+    if k < 4 {
+        return Some(1);
+    }
+    let mut q: u128 = 1;
+    for p in primes_up_to(k - 2) {
+        q = q.checked_mul(p as u128)?;
+    }
+    Some(q)
+}
+
+/// Whether `c` is coprime with every integer in `[2, limit]`, i.e. whether
+/// `c` has no prime factor `≤ limit`.
+pub fn is_coprime_with_range(c: usize, limit: usize) -> bool {
+    if c == 0 {
+        return false;
+    }
+    for p in primes_up_to(limit) {
+        if p > c {
+            break;
+        }
+        if c % p == 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The largest `c ≤ limit` that is coprime with every integer in
+/// `[2, k − 2]`, or `None` if there is none `≥ 1`.
+///
+/// The paper guarantees `c ≥ ⌊limit/q⌋·q + 1` (numbers of the form `a·q + 1`
+/// are always coprime with `q`), so the search below — which walks down from
+/// `limit` — terminates quickly in practice.
+pub fn largest_coprime_below(limit: usize, k: usize) -> Option<usize> {
+    let bound = k.saturating_sub(2);
+    let mut c = limit;
+    while c >= 1 {
+        if is_coprime_with_range(c, bound) {
+            return Some(c);
+        }
+        c -= 1;
+    }
+    None
+}
+
+/// The cyclic `(c, k)`-indexing family of Definition 5.4:
+/// `f_{i,j}(0) = j` and `f_{i,j}(u) = i + j·(u − 1) mod c` for `u > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicIndexing {
+    /// Zone side length `c` (the block grid is `c x c`).
+    pub c: usize,
+    /// Number of zone rows `k` (the triangle-block side length).
+    pub k: usize,
+}
+
+impl CyclicIndexing {
+    /// Creates the family for the given `(c, k)`.
+    pub fn new(c: usize, k: usize) -> Self {
+        Self { c, k }
+    }
+
+    /// `f_{i,j}(u)`.
+    pub fn f(&self, i: usize, j: usize, u: usize) -> usize {
+        debug_assert!(i < self.c && j < self.c && u < self.k);
+        if u == 0 {
+            j
+        } else {
+            (i + j * (u - 1)) % self.c
+        }
+    }
+
+    /// The row-index set `R_{i,j} = { u·c + f_{i,j}(u) : 0 ≤ u < k }` of
+    /// block `(i, j)` (Equation 1 of the paper). The indices are returned in
+    /// zone-row order (`u = 0, 1, …`), hence strictly increasing.
+    pub fn row_indices(&self, i: usize, j: usize) -> Vec<usize> {
+        (0..self.k).map(|u| u * self.c + self.f(i, j, u)).collect()
+    }
+
+    /// Whether the family satisfies the sufficient condition of Lemma 5.5:
+    /// `c ≥ k − 1` and `c` coprime with every integer in `[2, k − 2]`.
+    pub fn satisfies_lemma_5_5(&self) -> bool {
+        self.c + 1 >= self.k && is_coprime_with_range(self.c, self.k.saturating_sub(2))
+    }
+
+    /// Exhaustive validity check of Definition 5.2: no two distinct blocks
+    /// agree on two different zone rows. Cost `O(c² · k²)`, intended for
+    /// tests and moderate parameters.
+    pub fn is_valid(&self) -> bool {
+        // For every unordered pair of zone rows (u, v), the map
+        // (i, j) -> (f(u), f(v)) must be injective.
+        for u in 0..self.k {
+            for v in (u + 1)..self.k {
+                let mut seen: HashMap<(usize, usize), (usize, usize)> =
+                    HashMap::with_capacity(self.c * self.c);
+                for i in 0..self.c {
+                    for j in 0..self.c {
+                        let key = (self.f(i, j, u), self.f(i, j, v));
+                        if let Some(&other) = seen.get(&key) {
+                            if other != (i, j) {
+                                return false;
+                            }
+                        }
+                        seen.insert(key, (i, j));
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sieve_is_correct() {
+        assert_eq!(primes_up_to(1), Vec::<usize>::new());
+        assert_eq!(primes_up_to(2), vec![2]);
+        assert_eq!(primes_up_to(20), vec![2, 3, 5, 7, 11, 13, 17, 19]);
+        assert_eq!(primes_up_to(30).len(), 10);
+    }
+
+    #[test]
+    fn primorial_values() {
+        assert_eq!(primorial_q(3), Some(1));
+        assert_eq!(primorial_q(4), Some(2));
+        assert_eq!(primorial_q(5), Some(6)); // primes <= 3
+        assert_eq!(primorial_q(7), Some(30)); // primes <= 5
+        assert_eq!(primorial_q(9), Some(210)); // primes <= 7
+        // overflow for large k
+        assert_eq!(primorial_q(400), None);
+    }
+
+    #[test]
+    fn coprimality_tests() {
+        assert!(is_coprime_with_range(7, 5));
+        assert!(!is_coprime_with_range(6, 5));
+        assert!(is_coprime_with_range(1, 100));
+        assert!(!is_coprime_with_range(0, 3));
+        // 49 = 7^2 has a prime factor 7
+        assert!(!is_coprime_with_range(49, 7));
+        assert!(is_coprime_with_range(49, 6));
+        // numbers a*q + 1 are coprime with q
+        assert!(is_coprime_with_range(2 * 30 + 1, 5));
+    }
+
+    #[test]
+    fn largest_coprime_search() {
+        // k = 7 -> coprime with [2, 5] -> no factor 2, 3, 5
+        assert_eq!(largest_coprime_below(20, 7), Some(19));
+        assert_eq!(largest_coprime_below(18, 7), Some(17));
+        assert_eq!(largest_coprime_below(16, 7), Some(13));
+        // k small: everything is coprime with the empty range
+        assert_eq!(largest_coprime_below(9, 3), Some(9));
+        assert_eq!(largest_coprime_below(0, 5), None);
+        // guaranteed lower bound floor(limit/q)*q + 1
+        let limit = 1000;
+        let k = 9; // q = 210
+        let c = largest_coprime_below(limit, k).unwrap();
+        assert!(c >= (limit / 210) * 210 + 1);
+    }
+
+    #[test]
+    fn cyclic_family_f_definition() {
+        let fam = CyclicIndexing::new(7, 5);
+        assert_eq!(fam.f(3, 2, 0), 2); // f(0) = j
+        assert_eq!(fam.f(3, 2, 1), 3); // f(1) = i
+        assert_eq!(fam.f(3, 2, 2), (3 + 2) % 7);
+        assert_eq!(fam.f(3, 2, 4), (3 + 2 * 3) % 7);
+    }
+
+    #[test]
+    fn row_indices_are_increasing_and_in_zone_rows() {
+        let fam = CyclicIndexing::new(7, 5);
+        for i in 0..7 {
+            for j in 0..7 {
+                let rows = fam.row_indices(i, j);
+                assert_eq!(rows.len(), 5);
+                for (u, &r) in rows.iter().enumerate() {
+                    assert!(r >= u * 7 && r < (u + 1) * 7);
+                }
+                assert!(rows.windows(2).all(|w| w[0] < w[1]));
+                // block (i, j) contains element (i + c, j): row 0 position j,
+                // row 1 position i
+                assert_eq!(rows[0], j);
+                assert_eq!(rows[1], 7 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_5_condition_implies_validity() {
+        // Valid cases: c coprime with [2, k-2], c >= k-1
+        for &(c, k) in &[(5_usize, 4_usize), (7, 5), (7, 7), (11, 6), (13, 8), (25, 6), (49, 8)] {
+            let fam = CyclicIndexing::new(c, k);
+            assert!(fam.satisfies_lemma_5_5(), "({c},{k}) should satisfy 5.5");
+            assert!(fam.is_valid(), "({c},{k}) should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_when_c_shares_factors() {
+        // c = 6, k = 5: 6 shares factors with [2, 3] -> the cyclic family is
+        // actually invalid (collisions exist).
+        let fam = CyclicIndexing::new(6, 5);
+        assert!(!fam.satisfies_lemma_5_5());
+        assert!(!fam.is_valid());
+
+        // c = 4, k = 6: c < k - 1, not usable.
+        let fam = CyclicIndexing::new(4, 6);
+        assert!(!fam.satisfies_lemma_5_5());
+    }
+
+    #[test]
+    fn k_at_most_3_is_always_valid() {
+        // For k <= 3 the coprimality range [2, k-2] is empty, every c works.
+        for c in 2..10 {
+            let fam = CyclicIndexing::new(c, 3);
+            assert!(fam.is_valid(), "c = {c}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # symla-sched
+//!
+//! Combinatorial machinery behind the lower bounds and the triangle-block
+//! schedules of *"I/O-Optimal Algorithms for Symmetric Linear Algebra
+//! Kernels"* (SPAA'22):
+//!
+//! * [`ops`] — the operation sets `S` (SYRK) and `C` (Cholesky updates);
+//! * [`footprint`] — restrictions `E|k`, symmetric footprints `τ(·)` and the
+//!   data-access count `D(E)` of Proposition 3.4;
+//! * [`triangle`] — triangle blocks, `σ(m)` and the canonical sets `T(m)`;
+//! * [`balanced`] — balanced solutions (Definition 4.2, Lemma 4.3);
+//! * [`opt`] — the optimization problems `P′ / P′′` and the closed-form
+//!   Theorem 4.1 bound, plus the resulting maximal operational intensities;
+//! * [`indexing`] — cyclic indexing families and the coprimality machinery
+//!   used to choose the TBS grid size `c` (Lemma 5.5);
+//! * [`partition`] — the exact tiling of the result matrix by triangle
+//!   blocks and diagonal zones (Figures 1–2).
+//!
+//! Everything here is exact, integer combinatorics: the numeric kernels live
+//! in `symla-matrix`, the memory model in `symla-memory`, and the actual
+//! out-of-core schedules in `symla-baselines` / `symla-core`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod balanced;
+pub mod footprint;
+pub mod indexing;
+pub mod ops;
+pub mod opt;
+pub mod partition;
+pub mod triangle;
+
+pub use balanced::BalancedSolution;
+pub use footprint::{data_access, DataAccess};
+pub use indexing::{largest_coprime_below, CyclicIndexing};
+pub use ops::{Op, OpSet};
+pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputation_bound};
+pub use partition::{PartitionStats, TbsPartition};
+pub use triangle::{canonical_t, sigma, triangle_block};

@@ -1,0 +1,171 @@
+//! Operation sets of the SYRK and Cholesky computational DAGs.
+//!
+//! Following Section 3 of the paper, each multiply–add of the three-nested-
+//! loop algorithms is identified by a triple `(i, j, k)`:
+//!
+//! * SYRK (Algorithm 1): `S = { (i, j, k) : 0 ≤ j < i < N, 0 ≤ k < M }`,
+//!   the update `C[i,j] += A[i,k] · A[j,k]` (the paper ignores the diagonal
+//!   `i = j`, and so do we).
+//! * Cholesky updates (Algorithm 2): `C = { (i, j, k) : 0 ≤ k < j < i < N }`,
+//!   the update `A[i,j] -= A[i,k] · A[j,k]`.
+//!
+//! Indices here are zero-based (the paper uses one-based indices; all
+//! cardinality formulas are unchanged).
+
+/// One multiply–add operation of a kernel, identified by its loop indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Op {
+    /// Row index of the output element.
+    pub i: usize,
+    /// Column index of the output element.
+    pub j: usize,
+    /// Reduction index (column of `A` for SYRK, elimination step for
+    /// Cholesky).
+    pub k: usize,
+}
+
+impl Op {
+    /// Creates an operation triple.
+    pub fn new(i: usize, j: usize, k: usize) -> Self {
+        Self { i, j, k }
+    }
+}
+
+/// The operation set of a kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpSet {
+    /// SYRK with an `n x m` input matrix `A` (strict lower triangle of `C`).
+    Syrk {
+        /// Number of rows of `A` (order of `C`).
+        n: usize,
+        /// Number of columns of `A`.
+        m: usize,
+    },
+    /// The update operations of an `n x n` Cholesky factorization.
+    CholeskyUpdates {
+        /// Matrix order.
+        n: usize,
+    },
+}
+
+impl OpSet {
+    /// Number of operations in the set
+    /// (`M·N(N−1)/2` for SYRK, `N(N−1)(N−2)/6` for Cholesky updates).
+    pub fn len(&self) -> u128 {
+        match *self {
+            OpSet::Syrk { n, m } => {
+                (n as u128) * (n as u128).saturating_sub(1) / 2 * (m as u128)
+            }
+            OpSet::CholeskyUpdates { n } => {
+                if n < 3 {
+                    0
+                } else {
+                    let n = n as u128;
+                    n * (n - 1) * (n - 2) / 6
+                }
+            }
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the operation `op` belongs to this set.
+    pub fn contains(&self, op: &Op) -> bool {
+        match *self {
+            OpSet::Syrk { n, m } => op.i < n && op.j < op.i && op.k < m,
+            OpSet::CholeskyUpdates { n } => op.i < n && op.j < op.i && op.k < op.j,
+        }
+    }
+
+    /// Range of the reduction index `k` (exclusive upper bound).
+    pub fn k_range(&self) -> usize {
+        match *self {
+            OpSet::Syrk { m, .. } => m,
+            OpSet::CholeskyUpdates { n } => n.saturating_sub(2),
+        }
+    }
+
+    /// Iterator over every operation in the set. Intended for small instances
+    /// (tests and the E9 experiment); the count grows cubically.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        match *self {
+            OpSet::Syrk { n, m } => Box::new((0..n).flat_map(move |i| {
+                (0..i).flat_map(move |j| (0..m).map(move |k| Op::new(i, j, k)))
+            })),
+            OpSet::CholeskyUpdates { n } => Box::new((0..n).flat_map(move |i| {
+                (0..i).flat_map(move |j| (0..j).map(move |k| Op::new(i, j, k)))
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syrk_count_matches_enumeration() {
+        for n in 0..10 {
+            for m in 0..6 {
+                let set = OpSet::Syrk { n, m };
+                assert_eq!(set.len(), set.iter().count() as u128, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_count_matches_enumeration() {
+        for n in 0..15 {
+            let set = OpSet::CholeskyUpdates { n };
+            assert_eq!(set.len(), set.iter().count() as u128, "n={n}");
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_iteration() {
+        let set = OpSet::Syrk { n: 5, m: 3 };
+        for op in set.iter() {
+            assert!(set.contains(&op));
+        }
+        assert!(!set.contains(&Op::new(2, 2, 0))); // diagonal excluded
+        assert!(!set.contains(&Op::new(1, 0, 3))); // k out of range
+        assert!(!set.contains(&Op::new(5, 0, 0))); // i out of range
+
+        let chol = OpSet::CholeskyUpdates { n: 6 };
+        for op in chol.iter() {
+            assert!(chol.contains(&op));
+            assert!(op.i > op.j && op.j > op.k);
+        }
+        assert!(!chol.contains(&Op::new(3, 2, 2)));
+    }
+
+    #[test]
+    fn formulas_match_paper() {
+        // |S| = N(N-1)/2 * M, |C| = N(N-1)(N-2)/6 ~ N^3/6
+        assert_eq!(OpSet::Syrk { n: 4, m: 7 }.len(), 6 * 7);
+        assert_eq!(OpSet::CholeskyUpdates { n: 4 }.len(), 4);
+        assert_eq!(OpSet::CholeskyUpdates { n: 10 }.len(), 120);
+        assert!(OpSet::CholeskyUpdates { n: 2 }.is_empty());
+        assert!(!OpSet::Syrk { n: 2, m: 1 }.is_empty());
+    }
+
+    #[test]
+    fn k_ranges() {
+        assert_eq!(OpSet::Syrk { n: 4, m: 7 }.k_range(), 7);
+        assert_eq!(OpSet::CholeskyUpdates { n: 5 }.k_range(), 3);
+        assert_eq!(OpSet::CholeskyUpdates { n: 1 }.k_range(), 0);
+    }
+
+    #[test]
+    fn op_ordering_is_usable_in_sets() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Op::new(2, 1, 0));
+        s.insert(Op::new(2, 1, 0));
+        s.insert(Op::new(1, 0, 0));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! The TBS partition of the result matrix (Section 5.1.1 of the paper,
+//! Figures 1 and 2).
+//!
+//! For a matrix of order `c·k`, the strict lower triangle is split into
+//! * `k(k−1)/2` square *zones* of size `c × c` (one per pair of zone rows),
+//!   tiled exactly by the `c²` triangle blocks produced by a valid indexing
+//!   family, and
+//! * `k` triangular *diagonal zones* of side `c` (pairs within one zone row),
+//!   which TBS handles by recursive calls.
+//!
+//! When the matrix order `N` is not a multiple of `c·k`, the last
+//! `ℓ = N − c·k` rows are handled by the square-block baseline; this module
+//! only describes the structured `c·k × c·k` prefix.
+
+use crate::indexing::CyclicIndexing;
+use crate::triangle::triangle_block;
+use std::collections::BTreeSet;
+
+/// Statistics describing one TBS partition level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Matrix order covered by the structured part (`c·k`).
+    pub covered: usize,
+    /// Number of triangle blocks (`c²`).
+    pub blocks: usize,
+    /// Elements per triangle block (`k(k−1)/2`).
+    pub elements_per_block: usize,
+    /// Number of square zones (`k(k−1)/2`).
+    pub square_zones: usize,
+    /// Number of diagonal (recursive) zones (`k`).
+    pub diagonal_zones: usize,
+    /// Elements in each diagonal zone's strict lower triangle
+    /// (`c(c−1)/2`).
+    pub elements_per_diagonal_zone: usize,
+}
+
+/// One level of the TBS partition of a `c·k × c·k` strict lower triangle.
+#[derive(Debug, Clone)]
+pub struct TbsPartition {
+    /// Zone side length (`c`).
+    pub c: usize,
+    /// Number of zone rows (`k`).
+    pub k: usize,
+    /// The row-index set of every triangle block, indexed `(i, j)` with
+    /// `block_rows[i * c + j] = R_{i,j}` (each of length `k`, strictly
+    /// increasing).
+    pub block_rows: Vec<Vec<usize>>,
+    /// The `k` diagonal zones as `(start, len)` row ranges (`(u·c, c)`).
+    pub diagonal_zones: Vec<(usize, usize)>,
+}
+
+impl TbsPartition {
+    /// Builds the partition from the cyclic indexing family. Returns an error
+    /// if the family does not satisfy the sufficient validity condition of
+    /// Lemma 5.5 (the caller is expected to have chosen `c` with
+    /// [`crate::indexing::largest_coprime_below`]).
+    pub fn build(c: usize, k: usize) -> Result<Self, String> {
+        if k < 2 {
+            return Err(format!("TBS partition needs k >= 2, got {k}"));
+        }
+        let family = CyclicIndexing::new(c, k);
+        if !family.satisfies_lemma_5_5() {
+            return Err(format!(
+                "cyclic indexing family ({c}, {k}) does not satisfy the validity condition \
+                 (c >= k-1 and c coprime with [2, k-2])"
+            ));
+        }
+        let mut block_rows = Vec::with_capacity(c * c);
+        for i in 0..c {
+            for j in 0..c {
+                block_rows.push(family.row_indices(i, j));
+            }
+        }
+        let diagonal_zones = (0..k).map(|u| (u * c, c)).collect();
+        Ok(Self {
+            c,
+            k,
+            block_rows,
+            diagonal_zones,
+        })
+    }
+
+    /// Order of the structured region (`c·k`).
+    pub fn covered(&self) -> usize {
+        self.c * self.k
+    }
+
+    /// The row-index set of block `(i, j)`.
+    pub fn block(&self, i: usize, j: usize) -> &[usize] {
+        &self.block_rows[i * self.c + j]
+    }
+
+    /// Summary statistics of the partition.
+    pub fn stats(&self) -> PartitionStats {
+        PartitionStats {
+            covered: self.covered(),
+            blocks: self.c * self.c,
+            elements_per_block: self.k * (self.k - 1) / 2,
+            square_zones: self.k * (self.k - 1) / 2,
+            diagonal_zones: self.k,
+            elements_per_diagonal_zone: self.c * self.c.saturating_sub(1) / 2,
+        }
+    }
+
+    /// Exhaustively verifies that the triangle blocks and the diagonal zones
+    /// together cover every strictly-subdiagonal pair of `[0, c·k)` exactly
+    /// once. Cost `O((ck)²)`, intended for tests and the E5 experiment.
+    pub fn verify_exact_cover(&self) -> Result<(), String> {
+        let n = self.covered();
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut insert = |pair: (usize, usize), what: &str| -> Result<(), String> {
+            if !seen.insert(pair) {
+                return Err(format!("pair {pair:?} covered twice (by {what})"));
+            }
+            Ok(())
+        };
+
+        for (idx, rows) in self.block_rows.iter().enumerate() {
+            for pair in triangle_block(rows) {
+                insert(pair, &format!("block {idx}"))?;
+            }
+        }
+        for &(start, len) in &self.diagonal_zones {
+            for i in start..start + len {
+                for j in start..i {
+                    insert((i, j), "diagonal zone")?;
+                }
+            }
+        }
+
+        let expected = n * (n - 1) / 2;
+        if seen.len() != expected {
+            return Err(format!(
+                "covered {} pairs, expected {expected}",
+                seen.len()
+            ));
+        }
+        // Every covered pair must be a valid subdiagonal pair of [0, n).
+        if let Some(&(i, j)) = seen.iter().find(|&&(i, j)| i <= j || i >= n) {
+            return Err(format!("invalid pair ({i}, {j}) in cover"));
+        }
+        Ok(())
+    }
+
+    /// ASCII rendering of the block structure: for each element `(i, j)` of
+    /// the strict lower triangle of the structured region, prints the block
+    /// index that owns it (diagonal zones print `.`). Row-limited for large
+    /// matrices; intended for the examples that reproduce Figure 1.
+    pub fn render_ascii(&self, max_rows: usize) -> String {
+        let n = self.covered().min(max_rows);
+        // map pair -> block id
+        let mut owner = vec![vec![None::<usize>; n]; n];
+        for (idx, rows) in self.block_rows.iter().enumerate() {
+            for (i, j) in triangle_block(rows) {
+                if i < n && j < n {
+                    owner[i][j] = Some(idx);
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in owner.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate().take(i) {
+                match cell {
+                    Some(idx) => out.push_str(&format!("{:>4}", idx % 10000)),
+                    None => out.push_str("   ."),
+                }
+                if j + 1 == i {
+                    break;
+                }
+            }
+            if i > 0 {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_requires_valid_family() {
+        assert!(TbsPartition::build(7, 5).is_ok());
+        assert!(TbsPartition::build(6, 5).is_err()); // 6 shares factors with [2,3]
+        assert!(TbsPartition::build(3, 6).is_err()); // c < k - 1
+        assert!(TbsPartition::build(5, 1).is_err()); // k too small
+    }
+
+    #[test]
+    fn stats_match_paper_formulas() {
+        let p = TbsPartition::build(7, 5).unwrap();
+        let s = p.stats();
+        assert_eq!(s.covered, 35);
+        assert_eq!(s.blocks, 49);
+        assert_eq!(s.elements_per_block, 10);
+        assert_eq!(s.square_zones, 10);
+        assert_eq!(s.diagonal_zones, 5);
+        assert_eq!(s.elements_per_diagonal_zone, 21);
+        // Total cover: blocks * per_block + zones * per_zone = ck(ck-1)/2
+        let total = s.blocks * s.elements_per_block
+            + s.diagonal_zones * s.elements_per_diagonal_zone;
+        assert_eq!(total, 35 * 34 / 2);
+    }
+
+    #[test]
+    fn exact_cover_for_several_parameters() {
+        for &(c, k) in &[(5_usize, 4_usize), (7, 5), (7, 6), (11, 5), (13, 7), (5, 3), (3, 2)] {
+            let p = TbsPartition::build(c, k).unwrap_or_else(|e| panic!("({c},{k}): {e}"));
+            p.verify_exact_cover()
+                .unwrap_or_else(|e| panic!("({c},{k}): {e}"));
+        }
+    }
+
+    #[test]
+    fn block_contains_designated_element() {
+        // Block (i, j) must contain element (i + c, j) of the matrix.
+        let p = TbsPartition::build(11, 5).unwrap();
+        for i in 0..11 {
+            for j in 0..11 {
+                let rows = p.block(i, j);
+                assert!(rows.contains(&j));
+                assert!(rows.contains(&(11 + i)));
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_disjoint_pairwise() {
+        let p = TbsPartition::build(7, 4).unwrap();
+        let mut all_pairs = BTreeSet::new();
+        for rows in &p.block_rows {
+            for pair in triangle_block(rows) {
+                assert!(all_pairs.insert(pair), "duplicate pair {pair:?}");
+            }
+        }
+        assert_eq!(all_pairs.len(), 49 * 6);
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let p = TbsPartition::build(5, 3).unwrap();
+        let art = p.render_ascii(100);
+        // 15 rows in the strict lower triangle rendering (rows 1..15)
+        assert_eq!(art.lines().count(), 14);
+        assert!(art.contains('.'));
+    }
+}

@@ -1,0 +1,160 @@
+//! Triangle blocks (Definition 3.5) and the canonical sets `σ(m)` / `T(m)`
+//! (Lemma 3.6) of the paper.
+//!
+//! A triangle block `TB(R)` of a row-index set `R` is the set of all strictly
+//! subdiagonal pairs of `R`. Triangle blocks are the shape that maximizes the
+//! number of result elements reachable from a given set of rows of `A`, which
+//! is why both the SYRK lower bound and the TBS algorithm are built on them.
+
+use std::collections::BTreeSet;
+
+/// The triangle block `TB(R)`: all pairs `(r, r')` with `r > r'`, both in `R`.
+pub fn triangle_block(rows: &[usize]) -> Vec<(usize, usize)> {
+    let mut sorted: Vec<usize> = rows.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out = Vec::with_capacity(sorted.len() * sorted.len().saturating_sub(1) / 2);
+    for (a, &r) in sorted.iter().enumerate() {
+        for &rp in sorted.iter().take(a) {
+            out.push((r, rp));
+        }
+    }
+    out
+}
+
+/// Number of elements of a triangle block of side length `side`:
+/// `side·(side−1)/2`.
+pub fn triangle_block_len(side: usize) -> usize {
+    side * side.saturating_sub(1) / 2
+}
+
+/// `σ(m)`: the smallest side length of a triangle block with at least `m`
+/// elements (Lemma 3.6): `σ(m) = ⌈ √(1/4 + 2m) + 1/2 ⌉` and `σ(0) = 0`.
+pub fn sigma(m: usize) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    let target = m as f64;
+    let mut side = ((0.25 + 2.0 * target).sqrt() + 0.5).ceil() as usize;
+    // Guard against floating-point edge cases: adjust to the exact minimum.
+    while triangle_block_len(side) < m {
+        side += 1;
+    }
+    while side > 0 && triangle_block_len(side - 1) >= m {
+        side -= 1;
+    }
+    side
+}
+
+/// `T(m)`: a canonical subset of `TB({0, …, σ(m)−1})` with exactly `m`
+/// elements. By construction `|T(m)| = m` and `|τ(T(m))| = σ(m)` (all σ(m)
+/// rows are touched), the property used by balanced solutions.
+pub fn canonical_t(m: usize) -> Vec<(usize, usize)> {
+    let side = sigma(m);
+    let mut out = Vec::with_capacity(m);
+    if m == 0 {
+        return out;
+    }
+    // Fill pairs in an order that touches every row of [0, side) even when we
+    // stop before exhausting the full triangle: enumerate by increasing row
+    // r = 1..side, and within a row by increasing column. The last row `side-1`
+    // must appear; since m > triangle_block_len(side-1), the enumeration
+    // necessarily reaches row side-1 before stopping.
+    'outer: for r in 1..side {
+        for rp in 0..r {
+            out.push((r, rp));
+            if out.len() == m {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+/// The symmetric footprint size of a pair set (number of distinct indices).
+pub fn footprint_size(pairs: &[(usize, usize)]) -> usize {
+    let mut set = BTreeSet::new();
+    for &(i, j) in pairs {
+        set.insert(i);
+        set.insert(j);
+    }
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_block_enumerates_subdiagonal_pairs() {
+        let tb = triangle_block(&[7, 2, 5]);
+        assert_eq!(tb, vec![(5, 2), (7, 2), (7, 5)]);
+        assert_eq!(tb.len(), triangle_block_len(3));
+        assert!(triangle_block(&[4]).is_empty());
+        assert!(triangle_block(&[]).is_empty());
+        // duplicates are ignored
+        assert_eq!(triangle_block(&[3, 3, 1]).len(), 1);
+    }
+
+    #[test]
+    fn sigma_matches_definition() {
+        // σ(m) is the smallest side with side(side-1)/2 >= m
+        for m in 0..500 {
+            let s = sigma(m);
+            assert!(triangle_block_len(s) >= m, "σ({m}) = {s} too small");
+            if s > 0 {
+                assert!(
+                    triangle_block_len(s - 1) < m,
+                    "σ({m}) = {s} not minimal"
+                );
+            }
+        }
+        assert_eq!(sigma(0), 0);
+        assert_eq!(sigma(1), 2);
+        assert_eq!(sigma(2), 3);
+        assert_eq!(sigma(3), 3);
+        assert_eq!(sigma(4), 4);
+        assert_eq!(sigma(6), 4);
+        assert_eq!(sigma(7), 5);
+    }
+
+    #[test]
+    fn sigma_closed_form_matches_paper_formula() {
+        // Lemma 3.6: σ(m) = ceil(sqrt(1/4 + 2m) + 1/2)
+        for m in 1..2000_usize {
+            let formula = ((0.25 + 2.0 * m as f64).sqrt() + 0.5).ceil() as usize;
+            assert_eq!(sigma(m), formula, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn canonical_t_has_exact_size_and_footprint() {
+        for m in 0..300 {
+            let t = canonical_t(m);
+            assert_eq!(t.len(), m);
+            // all pairs strictly subdiagonal and within [0, sigma(m))
+            for &(i, j) in &t {
+                assert!(i > j);
+                assert!(i < sigma(m));
+            }
+            if m > 0 {
+                assert_eq!(
+                    footprint_size(&t),
+                    sigma(m),
+                    "footprint of T({m}) must be σ(m)"
+                );
+            }
+            // no duplicates
+            let set: BTreeSet<_> = t.iter().collect();
+            assert_eq!(set.len(), m);
+        }
+    }
+
+    #[test]
+    fn footprint_size_counts_distinct_indices() {
+        assert_eq!(footprint_size(&[]), 0);
+        assert_eq!(footprint_size(&[(3, 1)]), 2);
+        assert_eq!(footprint_size(&[(3, 1), (4, 3)]), 3);
+        assert_eq!(footprint_size(&[(3, 1), (3, 1)]), 2);
+    }
+}

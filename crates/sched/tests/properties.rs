@@ -1,0 +1,159 @@
+//! Property-based tests of the combinatorial layer.
+//!
+//! These check the paper's structural lemmas on randomized instances:
+//! * Theorem 4.1: any subcomputation accessing at most `X` elements has size
+//!   at most `√2/(3√3)·X^{3/2}`;
+//! * Lemma 4.3: the balanced solution of an arbitrary operation set never
+//!   accesses more data than the set itself;
+//! * Lemma 3.6 / `T(m)` invariants;
+//! * Lemma 5.5: the cyclic indexing family is valid whenever the coprimality
+//!   condition holds, and the induced partition is an exact cover.
+
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use symla_sched::balanced::BalancedSolution;
+use symla_sched::footprint::{data_access, max_pairs_for_footprint, restrictions, symmetric_footprint};
+use symla_sched::indexing::{is_coprime_with_range, largest_coprime_below, CyclicIndexing};
+use symla_sched::ops::{Op, OpSet};
+use symla_sched::opt::{best_integer_balanced, max_subcomputation_bound, relaxed_optimum_value};
+use symla_sched::partition::TbsPartition;
+use symla_sched::triangle::{canonical_t, footprint_size, sigma, triangle_block_len};
+
+/// Strategy: a random subset of the SYRK operation set with n <= 10, m <= 6.
+fn syrk_subset() -> impl Strategy<Value = (usize, usize, Vec<Op>)> {
+    (2usize..10, 1usize..6).prop_flat_map(|(n, m)| {
+        let all: Vec<Op> = OpSet::Syrk { n, m }.iter().collect();
+        let len = all.len();
+        btree_set(0..len, 0..=len.min(60)).prop_map(move |idx| {
+            let ops: Vec<Op> = idx.iter().map(|&i| all[i]).collect();
+            (n, m, ops)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 4.1 on random subsets: |E| <= sqrt(2)/(3 sqrt 3) * D(E)^{3/2}.
+    #[test]
+    fn theorem_4_1_bound_holds_on_random_subsets((_n, _m, ops) in syrk_subset()) {
+        let d = data_access(&ops).total();
+        let bound = max_subcomputation_bound(d as f64);
+        prop_assert!(
+            ops.len() as f64 <= bound + 1e-9,
+            "|E| = {} exceeds bound {} for D(E) = {}", ops.len(), bound, d
+        );
+    }
+
+    /// Lemma 4.3 on random subsets: the balanced solution is at most as
+    /// expensive as the original set (and has the same size).
+    #[test]
+    fn lemma_4_3_balanced_dominates((_n, _m, ops) in syrk_subset()) {
+        let direct = data_access(&ops);
+        let balanced = BalancedSolution::from_ops(&ops);
+        prop_assert_eq!(balanced.size(), ops.len());
+        prop_assert!(
+            balanced.data_access().total() <= direct.total(),
+            "balanced {} > direct {}", balanced.data_access().total(), direct.total()
+        );
+        // The analytic cost of the balanced solution agrees with a direct
+        // evaluation of its materialized operation list.
+        let materialized = data_access(&balanced.ops());
+        prop_assert_eq!(balanced.data_access(), materialized);
+    }
+
+    /// For every restriction E|k, |E|k| <= |tau(E|k)| (|tau|-1) / 2.
+    #[test]
+    fn footprint_pair_bound((_n, _m, ops) in syrk_subset()) {
+        for (_, pairs) in restrictions(&ops) {
+            let fp = symmetric_footprint(&pairs);
+            prop_assert!(pairs.len() <= max_pairs_for_footprint(fp.len()));
+        }
+    }
+
+    /// sigma(m) is the minimal triangle side holding m pairs, and T(m) has
+    /// exactly m pairs with footprint sigma(m).
+    #[test]
+    fn sigma_and_canonical_t_invariants(m in 0usize..3000) {
+        let s = sigma(m);
+        prop_assert!(triangle_block_len(s) >= m);
+        if s > 0 {
+            prop_assert!(triangle_block_len(s - 1) < m);
+        }
+        if m > 0 && m <= 600 {
+            let t = canonical_t(m);
+            prop_assert_eq!(t.len(), m);
+            prop_assert_eq!(footprint_size(&t), s);
+            prop_assert!(t.iter().all(|&(i, j)| i > j && i < s));
+        }
+    }
+
+    /// The integer balanced optimum never exceeds the relaxed optimum nor the
+    /// Theorem 4.1 closed form.
+    #[test]
+    fn integer_optimum_below_relaxations(x in 3usize..3000) {
+        let best = best_integer_balanced(x, None, None);
+        prop_assert!(best.data_accessed as usize <= x);
+        prop_assert!(best.operations as f64 <= relaxed_optimum_value(x as f64) + 1e-6);
+        prop_assert!(best.operations as f64 <= max_subcomputation_bound(x as f64) + 1e-6);
+    }
+
+    /// Lemma 5.5: whenever c >= k-1 and c is coprime with [2, k-2], the
+    /// cyclic family is valid and yields an exact partition.
+    #[test]
+    fn cyclic_family_validity_and_cover(k in 2usize..7, c_seed in 2usize..40) {
+        // snap c_seed to the largest coprime value below it (if any)
+        if let Some(c) = largest_coprime_below(c_seed, k) {
+            if c + 1 >= k {
+                let fam = CyclicIndexing::new(c, k);
+                prop_assert!(fam.satisfies_lemma_5_5());
+                prop_assert!(fam.is_valid(), "family ({c},{k}) invalid");
+                let partition = TbsPartition::build(c, k).unwrap();
+                prop_assert!(partition.verify_exact_cover().is_ok());
+            }
+        }
+    }
+
+    /// Coprimality helper agrees with a direct gcd check.
+    #[test]
+    fn coprimality_matches_gcd(c in 1usize..500, limit in 0usize..30) {
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 { a } else { gcd(b, a % b) }
+        }
+        let direct = (2..=limit).all(|d| gcd(c, d) == 1);
+        prop_assert_eq!(is_coprime_with_range(c, limit), direct);
+    }
+}
+
+/// Exhaustive (non-randomized) check of Theorem 4.1 against the *best*
+/// integer balanced solutions: they should approach but never exceed the
+/// closed-form bound.
+#[test]
+fn integer_balanced_solutions_approach_the_bound() {
+    let mut best_ratio: f64 = 0.0;
+    for x in (100..5000).step_by(137) {
+        let cand = best_integer_balanced(x, None, None);
+        let bound = max_subcomputation_bound(x as f64);
+        let ratio = cand.operations as f64 / bound;
+        assert!(ratio <= 1.0 + 1e-12, "x={x}: ratio {ratio} > 1");
+        best_ratio = best_ratio.max(ratio);
+    }
+    // The bound is asymptotically attained; even at these modest budgets the
+    // best integer solutions reach a large fraction of it.
+    assert!(
+        best_ratio > 0.9,
+        "integer solutions stay far from the bound (best ratio {best_ratio})"
+    );
+}
+
+/// The Cholesky update set is a subset of the SYRK set with M = N (the
+/// relaxation used in Section 4.2), so the same bound applies to it.
+#[test]
+fn cholesky_updates_are_a_syrk_subset() {
+    let n = 9;
+    let chol: Vec<Op> = OpSet::CholeskyUpdates { n }.iter().collect();
+    let syrk = OpSet::Syrk { n, m: n };
+    assert!(chol.iter().all(|op| syrk.contains(op)));
+    let d = data_access(&chol).total();
+    assert!((chol.len() as f64) <= max_subcomputation_bound(d as f64));
+}

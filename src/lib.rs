@@ -1,0 +1,64 @@
+//! # symla — I/O-optimal symmetric linear algebra kernels
+//!
+//! Facade crate of the `symla` workspace, a full reproduction of
+//! *"I/O-Optimal Algorithms for Symmetric Linear Algebra Kernels"*
+//! (Beaumont, Eyraud-Dubois, Vérité, Langou — SPAA 2022).
+//!
+//! The workspace contains:
+//!
+//! * [`matrix`] (`symla-matrix`) — dense/symmetric/triangular containers and
+//!   in-memory reference kernels;
+//! * [`memory`] (`symla-memory`) — the two-level out-of-core machine model
+//!   with exact I/O accounting and capacity enforcement;
+//! * [`sched`] (`symla-sched`) — the combinatorial machinery behind the
+//!   lower bounds (triangle blocks, balanced solutions, indexing families);
+//! * [`baselines`] (`symla-baselines`) — Béreux's out-of-core SYRK / TRSM /
+//!   Cholesky and the GEMM / LU comparison points;
+//! * [`core`] (`symla-core`) — the paper's TBS and LBC schedules, lower
+//!   bounds, planners, the operational-intensity analysis and the high-level
+//!   API.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use symla::prelude::*;
+//!
+//! // An out-of-core Cholesky factorization of a 64x64 SPD matrix with a
+//! // fast memory of only 55 elements, using the paper's LBC schedule.
+//! let a = symla::matrix::generate::random_spd_seeded::<f64>(64, 42);
+//! let (l, report) = cholesky_out_of_core(&a, 55, CholeskyAlgorithm::Lbc).unwrap();
+//! assert!(symla::matrix::kernels::cholesky_residual(&a, &l) < 1e-9);
+//! // The measured traffic respects the paper's lower bound ...
+//! assert!(report.measured_loads() as f64 >= report.lower_bound);
+//! // ... and never exceeded the declared fast memory.
+//! assert!(report.stats.peak_resident <= 55);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use symla_baselines as baselines;
+pub use symla_core as core;
+pub use symla_matrix as matrix;
+pub use symla_memory as memory;
+pub use symla_sched as sched;
+
+/// The most commonly used items, re-exported for one-line imports.
+pub mod prelude {
+    pub use symla_baselines::{
+        ooc_chol_cost, ooc_chol_execute, ooc_gemm_execute, ooc_lu_execute, ooc_syrk_cost,
+        ooc_syrk_execute, ooc_trsm_execute, IoEstimate, OocCholPlan, OocError, OocGemmPlan,
+        OocLuPlan, OocSyrkPlan, OocTrsmPlan,
+    };
+    pub use symla_core::{
+        api::{cholesky_out_of_core, syrk_out_of_core, CholeskyAlgorithm, RunReport, SyrkAlgorithm},
+        bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, oi, tbs_cost, tbs_execute,
+        tbs_tiled_cost, tbs_tiled_execute, LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate,
+    };
+    pub use symla_matrix::{
+        generate, kernels, LowerTriangular, Matrix, MatrixError, Scalar, SymMatrix,
+    };
+    pub use symla_memory::{
+        IoStats, MachineConfig, MatrixId, OocMachine, PanelRef, Region, SymWindowRef,
+    };
+    pub use symla_sched::{BalancedSolution, CyclicIndexing, Op, OpSet, TbsPartition};
+}

@@ -1,0 +1,70 @@
+//! Property-based integration tests: randomized problem sizes and memory
+//! capacities, exercising the full stack.
+
+use proptest::prelude::*;
+use symla::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random (N, M, S), every SYRK schedule produces the reference
+    /// result, matches its cost model and respects capacity and lower bound.
+    #[test]
+    fn syrk_schedules_are_correct_for_random_sizes(
+        n in 4usize..48,
+        m in 1usize..24,
+        s in 10usize..120,
+        seed in 0u64..1000,
+    ) {
+        let a = generate::random_matrix_seeded::<f64>(n, m, seed);
+        let c0 = generate::random_symmetric::<f64>(n, &mut generate::seeded_rng(seed + 1));
+        let mut expected = c0.clone();
+        kernels::syrk_sym(-1.0, &a, 1.0, &mut expected).unwrap();
+
+        for algo in [SyrkAlgorithm::SquareBlocks, SyrkAlgorithm::TbsTiled, SyrkAlgorithm::Tbs] {
+            let mut c = c0.clone();
+            let report = syrk_out_of_core(&a, &mut c, -1.0, s, algo).unwrap();
+            prop_assert!(c.approx_eq(&expected, 1e-9), "{} result", algo.name());
+            prop_assert!(report.prediction_matches(), "{} prediction", algo.name());
+            prop_assert!(report.stats.peak_resident <= s, "{} capacity", algo.name());
+            prop_assert!(
+                report.measured_loads() as f64 >= report.lower_bound - 1e-9,
+                "{} lower bound", algo.name()
+            );
+        }
+    }
+
+    /// For random (N, S), every Cholesky schedule factorizes correctly and
+    /// matches its cost model.
+    #[test]
+    fn cholesky_schedules_are_correct_for_random_sizes(
+        n in 4usize..40,
+        s in 12usize..100,
+        seed in 0u64..1000,
+    ) {
+        let a = generate::random_spd_seeded::<f64>(n, seed);
+        for algo in [
+            CholeskyAlgorithm::Bereux,
+            CholeskyAlgorithm::Lbc,
+            CholeskyAlgorithm::LbcTiled,
+            CholeskyAlgorithm::LbcSquare,
+        ] {
+            let (l, report) = cholesky_out_of_core(&a, s, algo).unwrap();
+            prop_assert!(kernels::cholesky_residual(&a, &l) < 1e-8, "{}", algo.name());
+            prop_assert!(report.prediction_matches(), "{}", algo.name());
+            prop_assert!(report.stats.peak_resident <= s, "{}", algo.name());
+        }
+    }
+
+    /// The TBS partition used by the schedules is an exact cover for random
+    /// feasible (c, k).
+    #[test]
+    fn tbs_partition_is_exact_for_random_parameters(k in 2usize..6, limit in 5usize..30) {
+        if let Some(c) = symla::sched::indexing::largest_coprime_below(limit, k) {
+            if c + 1 >= k {
+                let partition = TbsPartition::build(c, k).unwrap();
+                prop_assert!(partition.verify_exact_cover().is_ok());
+            }
+        }
+    }
+}
