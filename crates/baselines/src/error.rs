@@ -46,6 +46,16 @@ impl From<symla_matrix::MatrixError> for OocError {
     }
 }
 
+impl From<symla_sched::EngineError> for OocError {
+    fn from(e: symla_sched::EngineError) -> Self {
+        match e {
+            symla_sched::EngineError::Memory(m) => OocError::Memory(m),
+            symla_sched::EngineError::Matrix(m) => OocError::Matrix(m),
+            symla_sched::EngineError::InvalidSchedule(msg) => OocError::Invalid(msg),
+        }
+    }
+}
+
 /// Result alias for out-of-core operations.
 pub type Result<T> = std::result::Result<T, OocError>;
 

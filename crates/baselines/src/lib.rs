@@ -33,9 +33,23 @@ pub mod ooc_trsm;
 pub mod params;
 
 pub use error::{OocError, Result};
-pub use ooc_chol::{ooc_chol_cost, ooc_chol_execute, ooc_chol_leading_loads, OocCholPlan};
-pub use ooc_gemm::{ooc_gemm_cost, ooc_gemm_execute, ooc_gemm_leading_loads, OocGemmPlan};
-pub use ooc_lu::{ooc_lu_cost, ooc_lu_execute, ooc_lu_leading_loads, OocLuPlan};
-pub use ooc_syrk::{ooc_syrk_cost, ooc_syrk_execute, ooc_syrk_leading_loads, OocSyrkPlan};
-pub use ooc_trsm::{ooc_trsm_cost, ooc_trsm_execute, ooc_trsm_leading_loads, OocTrsmPlan};
+pub use ooc_chol::{
+    ooc_chol_build, ooc_chol_cost, ooc_chol_execute, ooc_chol_leading_loads, ooc_chol_schedule,
+    OocCholPlan,
+};
+pub use ooc_gemm::{
+    ooc_gemm_build, ooc_gemm_cost, ooc_gemm_execute, ooc_gemm_leading_loads, ooc_gemm_schedule,
+    OocGemmPlan,
+};
+pub use ooc_lu::{
+    ooc_lu_build, ooc_lu_cost, ooc_lu_execute, ooc_lu_leading_loads, ooc_lu_schedule, OocLuPlan,
+};
+pub use ooc_syrk::{
+    ooc_syrk_build, ooc_syrk_cost, ooc_syrk_execute, ooc_syrk_leading_loads, ooc_syrk_schedule,
+    OocSyrkPlan,
+};
+pub use ooc_trsm::{
+    ooc_trsm_build, ooc_trsm_cost, ooc_trsm_execute, ooc_trsm_leading_loads, ooc_trsm_schedule,
+    OocTrsmPlan,
+};
 pub use params::{square_tile_for_capacity, IoEstimate};

@@ -20,10 +20,10 @@
 
 use crate::error::{OocError, Result};
 use crate::params::{square_tile_for_capacity, tile_extents, IoEstimate};
-use symla_matrix::kernels::views::{cholesky_packed_view_in_place, ger_view, spr_lower_view};
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
 use symla_memory::{OocMachine, SymWindowRef};
+use symla_sched::{BufSlice, ComputeOp, Engine, Schedule, ScheduleBuilder};
 
 /// Parameters of the one-tile out-of-core Cholesky schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +75,14 @@ pub fn ooc_chol_cost(b: usize, plan: &OocCholPlan) -> IoEstimate {
                 // in-place Cholesky of a cc x cc tile: ~ cc^3/6 updates
                 let ccu = cc as u128;
                 let scalings = ccu * ccu.saturating_sub(1) / 2;
-                let updates = if cc == 0 { 0 } else { ccu * (ccu * ccu - 1) / 6 };
-                est.flops = est.flops.merge(&FlopCount::new(scalings + updates, updates));
+                let updates = if cc == 0 {
+                    0
+                } else {
+                    ccu * (ccu * ccu - 1) / 6
+                };
+                est.flops = est
+                    .flops
+                    .merge(&FlopCount::new(scalings + updates, updates));
             } else {
                 // stream the diagonal block's columns for the in-tile solve
                 for kk in 0..cc {
@@ -97,105 +103,104 @@ pub fn ooc_chol_leading_loads(b: f64, s: f64) -> f64 {
     b * b * b / (3.0 * s.sqrt())
 }
 
-/// Factorizes the diagonal window `a` in place (`A = L·Lᵀ`, lower triangle
-/// overwritten by `L`) with the one-tile left-looking schedule.
-pub fn ooc_chol_execute<T: Scalar>(
-    machine: &mut OocMachine<T>,
+/// Appends the one-tile left-looking OOC_CHOL schedule for the diagonal
+/// window `a` to an existing builder (one task group per tile).
+pub fn ooc_chol_build<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
     a: &SymWindowRef,
     plan: &OocCholPlan,
-) -> Result<()> {
+) {
     let b = a.order();
     let t = plan.tile;
     let extents = tile_extents(b, t);
 
     for (tj, &(c0, cc)) in extents.iter().enumerate() {
         for (ti, &(r0, rc)) in extents.iter().enumerate().skip(tj) {
+            sched.begin_group();
             if ti == tj {
                 // ---- diagonal tile ----
-                let mut cbuf = machine.load(a.id, a.lower_triangle_region(c0, cc))?;
+                let cbuf = sched.load(a.id, a.lower_triangle_region(c0, cc));
                 for k in 0..c0 {
-                    let lk = machine.load(a.id, a.rect_region(c0, k, cc, 1))?;
-                    {
-                        let mut cv = cbuf.packed_view_mut()?;
-                        spr_lower_view(-T::ONE, lk.as_slice(), &mut cv)?;
-                    }
-                    machine.discard(lk)?;
+                    let lk = sched.load(a.id, a.rect_region(c0, k, cc, 1));
+                    sched.compute(ComputeOp::SprLower {
+                        alpha: -T::ONE,
+                        x: BufSlice::whole(lk, cc),
+                        dst: cbuf,
+                    });
+                    sched.discard(lk);
                 }
                 let pairs = (c0 * cc * (cc + 1) / 2) as u128;
-                machine.record_flops(FlopCount::new(pairs, pairs));
+                sched.flops(FlopCount::new(pairs, pairs));
 
-                {
-                    let mut cv = cbuf.packed_view_mut()?;
-                    cholesky_packed_view_in_place(&mut cv).map_err(|e| match e {
-                        symla_matrix::MatrixError::NotPositiveDefinite { pivot, value } => {
-                            OocError::Matrix(symla_matrix::MatrixError::NotPositiveDefinite {
-                                pivot: pivot + a.start + c0,
-                                value,
-                            })
-                        }
-                        other => OocError::Matrix(other),
-                    })?;
-                }
+                sched.compute(ComputeOp::CholeskyInPlace {
+                    dst: cbuf,
+                    pivot_base: a.start + c0,
+                });
                 let ccu = cc as u128;
                 let scalings = ccu * ccu.saturating_sub(1) / 2;
-                let updates = if cc == 0 { 0 } else { ccu * (ccu * ccu - 1) / 6 };
-                machine.record_flops(FlopCount::new(scalings + updates, updates));
-                machine.store(cbuf)?;
+                let updates = if cc == 0 {
+                    0
+                } else {
+                    ccu * (ccu * ccu - 1) / 6
+                };
+                sched.flops(FlopCount::new(scalings + updates, updates));
+                sched.store(cbuf);
             } else {
                 // ---- off-diagonal tile ----
-                let mut cbuf = machine.load(a.id, a.rect_region(r0, c0, rc, cc))?;
+                let cbuf = sched.load(a.id, a.rect_region(r0, c0, rc, cc));
                 for k in 0..c0 {
-                    let li = machine.load(a.id, a.rect_region(r0, k, rc, 1))?;
-                    let lj = machine.load(a.id, a.rect_region(c0, k, cc, 1))?;
-                    {
-                        let mut cv = cbuf.rect_view_mut()?;
-                        ger_view(-T::ONE, li.as_slice(), lj.as_slice(), &mut cv)?;
-                    }
-                    machine.discard(li)?;
-                    machine.discard(lj)?;
+                    let li = sched.load(a.id, a.rect_region(r0, k, rc, 1));
+                    let lj = sched.load(a.id, a.rect_region(c0, k, cc, 1));
+                    sched.compute(ComputeOp::Ger {
+                        alpha: -T::ONE,
+                        x: BufSlice::whole(li, rc),
+                        y: BufSlice::whole(lj, cc),
+                        dst: cbuf,
+                    });
+                    sched.discard(li);
+                    sched.discard(lj);
                 }
                 let pairs = (c0 * rc * cc) as u128;
-                machine.record_flops(FlopCount::new(pairs, pairs));
+                sched.flops(FlopCount::new(pairs, pairs));
 
                 // in-tile TRSM against the (already final) diagonal block of
                 // this tile column, streaming its columns
                 for kk in 0..cc {
-                    let lseg = machine.load(a.id, a.rect_region(c0 + kk, c0 + kk, cc - kk, 1))?;
-                    {
-                        let seg = lseg.as_slice();
-                        let diag = seg[0];
-                        if diag == T::ZERO || !diag.is_finite_scalar() {
-                            return Err(OocError::Matrix(
-                                symla_matrix::MatrixError::SingularPivot {
-                                    pivot: a.start + c0 + kk,
-                                },
-                            ));
-                        }
-                        let inv = diag.recip();
-                        let mut xv = cbuf.rect_view_mut()?;
-                        for r in 0..rc {
-                            let v = xv.get(r, kk) * inv;
-                            xv.set(r, kk, v);
-                        }
-                        for j in (kk + 1)..cc {
-                            let ljk = seg[j - kk];
-                            if ljk == T::ZERO {
-                                continue;
-                            }
-                            for r in 0..rc {
-                                let v = xv.get(r, j) - xv.get(r, kk) * ljk;
-                                xv.set(r, j, v);
-                            }
-                        }
-                    }
-                    machine.discard(lseg)?;
+                    let lseg = sched.load(a.id, a.rect_region(c0 + kk, c0 + kk, cc - kk, 1));
+                    sched.compute(ComputeOp::TrsmRightStep {
+                        seg: lseg,
+                        dst: cbuf,
+                        col: kk,
+                        pivot: a.start + c0 + kk,
+                    });
+                    sched.discard(lseg);
                     let updates = (rc * (cc - kk - 1)) as u128;
-                    machine.record_flops(FlopCount::new(updates + rc as u128, updates));
+                    sched.flops(FlopCount::new(updates + rc as u128, updates));
                 }
-                machine.store(cbuf)?;
+                sched.store(cbuf);
             }
         }
     }
+}
+
+/// Builds the one-tile left-looking OOC_CHOL schedule for the diagonal
+/// window `a`.
+pub fn ooc_chol_schedule<T: Scalar>(a: &SymWindowRef, plan: &OocCholPlan) -> Schedule<T> {
+    let mut sched = ScheduleBuilder::new();
+    ooc_chol_build(&mut sched, a, plan);
+    sched.finish()
+}
+
+/// Factorizes the diagonal window `a` in place (`A = L·Lᵀ`, lower triangle
+/// overwritten by `L`) with the one-tile left-looking schedule, emitted by
+/// [`ooc_chol_build`] and replayed by the generic [`Engine`].
+pub fn ooc_chol_execute<T: Scalar>(
+    machine: &mut OocMachine<T>,
+    a: &SymWindowRef,
+    plan: &OocCholPlan,
+) -> Result<()> {
+    let schedule = ooc_chol_schedule(a, plan);
+    Engine::execute(machine, &schedule)?;
     Ok(())
 }
 
@@ -213,7 +218,13 @@ mod tests {
     #[test]
     fn matches_reference_and_cost() {
         let mut rng = seeded_rng(4242);
-        for &(n, s) in &[(8_usize, 24_usize), (13, 35), (16, 48), (10, 1000), (21, 63)] {
+        for &(n, s) in &[
+            (8_usize, 24_usize),
+            (13, 35),
+            (16, 48),
+            (10, 1000),
+            (21, 63),
+        ] {
             let a: SymMatrix<f64> = random_spd(n, &mut rng);
             let expected = cholesky_sym(&a).unwrap();
 
@@ -223,7 +234,11 @@ mod tests {
             ooc_chol_execute(&mut machine, &SymWindowRef::full(id, n), &plan).unwrap();
 
             let est = ooc_chol_cost(n, &plan);
-            assert_eq!(est.loads, machine.stats().volume.loads as u128, "n={n} s={s}");
+            assert_eq!(
+                est.loads,
+                machine.stats().volume.loads as u128,
+                "n={n} s={s}"
+            );
             assert_eq!(est.stores, machine.stats().volume.stores as u128);
             assert_eq!(est.flops, machine.stats().flops);
             assert!(machine.stats().peak_resident <= s);

@@ -8,10 +8,10 @@
 
 use crate::error::{OocError, Result};
 use crate::params::{square_tile_for_capacity, tile_extents, IoEstimate};
-use symla_matrix::kernels::views::ger_view;
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
 use symla_memory::{OocMachine, PanelRef};
+use symla_sched::{BufSlice, ComputeOp, Engine, Schedule, ScheduleBuilder};
 
 /// Parameters of the square-block out-of-core GEMM schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,18 +59,52 @@ pub fn ooc_gemm_leading_loads(n: f64, m: f64, p: f64, s: f64) -> f64 {
     2.0 * n * p * m / s.sqrt() + n * p
 }
 
-/// Executes `C += alpha · A · B` out of core with square result blocks.
-///
-/// `a` is `n×m`, `b` is `m×p` and `c` is `n×p`; all three are rectangular
-/// panel references (dense or lower-triangle windows).
-pub fn ooc_gemm_execute<T: Scalar>(
-    machine: &mut OocMachine<T>,
+/// Appends the square-block OOC_GEMM schedule for `C += alpha · A · B` to an
+/// existing builder (one task group per result block). Operands are assumed
+/// validated.
+pub fn ooc_gemm_build<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
     a: &PanelRef,
     b: &PanelRef,
     c: &PanelRef,
     alpha: T,
     plan: &OocGemmPlan,
-) -> Result<()> {
+) {
+    let (n, m) = (a.rows(), a.cols());
+    let p = b.cols();
+    let t = plan.tile;
+    for &(i0, ic) in &tile_extents(n, t) {
+        for &(j0, jc) in &tile_extents(p, t) {
+            sched.begin_group();
+            let cbuf = sched.load(c.id, c.rect_region(i0, j0, ic, jc));
+            for k in 0..m {
+                let acol = sched.load(a.id, a.col_segment_region(k, i0, ic));
+                let brow = sched.load(b.id, b.rect_region(k, j0, 1, jc));
+                sched.compute(ComputeOp::Ger {
+                    alpha,
+                    x: BufSlice::whole(acol, ic),
+                    y: BufSlice::whole(brow, jc),
+                    dst: cbuf,
+                });
+                sched.discard(acol);
+                sched.discard(brow);
+            }
+            let pairs = (m * ic * jc) as u128;
+            sched.flops(FlopCount::new(pairs, pairs));
+            sched.store(cbuf);
+        }
+    }
+}
+
+/// Builds the square-block OOC_GEMM schedule for `C += alpha · A · B`,
+/// validating the operand shapes.
+pub fn ooc_gemm_schedule<T: Scalar>(
+    a: &PanelRef,
+    b: &PanelRef,
+    c: &PanelRef,
+    alpha: T,
+    plan: &OocGemmPlan,
+) -> Result<Schedule<T>> {
     let (n, m) = (a.rows(), a.cols());
     let p = b.cols();
     if b.rows() != m || c.rows() != n || c.cols() != p {
@@ -81,25 +115,26 @@ pub fn ooc_gemm_execute<T: Scalar>(
             c.cols()
         )));
     }
-    let t = plan.tile;
-    for &(i0, ic) in &tile_extents(n, t) {
-        for &(j0, jc) in &tile_extents(p, t) {
-            let mut cbuf = machine.load(c.id, c.rect_region(i0, j0, ic, jc))?;
-            for k in 0..m {
-                let acol = machine.load(a.id, a.col_segment_region(k, i0, ic))?;
-                let brow = machine.load(b.id, b.rect_region(k, j0, 1, jc))?;
-                {
-                    let mut cv = cbuf.rect_view_mut()?;
-                    ger_view(alpha, acol.as_slice(), brow.as_slice(), &mut cv)?;
-                }
-                machine.discard(acol)?;
-                machine.discard(brow)?;
-            }
-            let pairs = (m * ic * jc) as u128;
-            machine.record_flops(FlopCount::new(pairs, pairs));
-            machine.store(cbuf)?;
-        }
-    }
+    let mut sched = ScheduleBuilder::new();
+    ooc_gemm_build(&mut sched, a, b, c, alpha, plan);
+    Ok(sched.finish())
+}
+
+/// Executes `C += alpha · A · B` out of core with square result blocks.
+///
+/// `a` is `n×m`, `b` is `m×p` and `c` is `n×p`; all three are rectangular
+/// panel references (dense or lower-triangle windows). The schedule is
+/// emitted by [`ooc_gemm_build`] and replayed by the generic [`Engine`].
+pub fn ooc_gemm_execute<T: Scalar>(
+    machine: &mut OocMachine<T>,
+    a: &PanelRef,
+    b: &PanelRef,
+    c: &PanelRef,
+    alpha: T,
+    plan: &OocGemmPlan,
+) -> Result<()> {
+    let schedule = ooc_gemm_schedule(a, b, c, alpha, plan)?;
+    Engine::execute(machine, &schedule)?;
     Ok(())
 }
 
@@ -112,7 +147,11 @@ mod tests {
 
     #[test]
     fn matches_reference_and_cost() {
-        for &(n, m, p, s) in &[(9_usize, 7_usize, 11_usize, 35_usize), (12, 12, 12, 80), (5, 20, 3, 24)] {
+        for &(n, m, p, s) in &[
+            (9_usize, 7_usize, 11_usize, 35_usize),
+            (12, 12, 12, 80),
+            (5, 20, 3, 24),
+        ] {
             let a: Matrix<f64> = random_matrix_seeded(n, m, 300 + n as u64);
             let b: Matrix<f64> = random_matrix_seeded(m, p, 400 + p as u64);
             let c0: Matrix<f64> = random_matrix_seeded(n, p, 500);
@@ -165,7 +204,10 @@ mod tests {
         let est = ooc_gemm_cost(2000, 2000, 2000, &plan);
         let oi_loads = est.flops.mults as f64 / est.loads as f64;
         let expected = (s as f64).sqrt() / 2.0;
-        assert!((oi_loads / expected - 1.0).abs() < 0.1, "oi {oi_loads} vs {expected}");
+        assert!(
+            (oi_loads / expected - 1.0).abs() < 0.1,
+            "oi {oi_loads} vs {expected}"
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@
 
 use crate::error::{OocError, Result};
 use crate::params::{square_tile_for_capacity, tile_extents, IoEstimate};
-use symla_matrix::kernels::views::{ger_view, lu_view_in_place};
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
 use symla_memory::{OocMachine, PanelRef};
+use symla_sched::{BufSlice, ComputeOp, Engine, Schedule, ScheduleBuilder};
 
 /// Parameters of the one-tile out-of-core LU schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,9 +65,15 @@ pub fn ooc_lu_cost(n: usize, plan: &OocLuPlan) -> IoEstimate {
             if ti == tj {
                 // in-place LU of a jc x jc tile
                 let ju = jc as u128;
-                let updates = if jc == 0 { 0 } else { (ju - 1) * ju * (2 * ju - 1) / 6 };
+                let updates = if jc == 0 {
+                    0
+                } else {
+                    (ju - 1) * ju * (2 * ju - 1) / 6
+                };
                 let divisions = ju * ju.saturating_sub(1) / 2;
-                est.flops = est.flops.merge(&FlopCount::new(updates + divisions, updates));
+                est.flops = est
+                    .flops
+                    .merge(&FlopCount::new(updates + divisions, updates));
             } else if ti > tj {
                 // solve X · U11 = tile, streaming U11 columns (above diagonal
                 // + diagonal): column kk has kk+1 elements
@@ -99,132 +105,116 @@ pub fn ooc_lu_leading_loads(n: f64, s: f64) -> f64 {
     2.0 * n * n * n / (3.0 * s.sqrt())
 }
 
-/// Factorizes the square window `a` in place (`A = L·U`, no pivoting) with
-/// the one-tile left-looking schedule.
-pub fn ooc_lu_execute<T: Scalar>(
-    machine: &mut OocMachine<T>,
-    a: &PanelRef,
-    plan: &OocLuPlan,
-) -> Result<()> {
+/// Appends the one-tile left-looking OOC_LU schedule for the square window
+/// `a` to an existing builder (one task group per tile). The window is
+/// assumed square; use [`ooc_lu_schedule`] / [`ooc_lu_execute`] for the
+/// checked entry points.
+pub fn ooc_lu_build<T: Scalar>(sched: &mut ScheduleBuilder<T>, a: &PanelRef, plan: &OocLuPlan) {
     let n = a.rows();
-    if a.cols() != n {
+    let t = plan.tile;
+    let extents = tile_extents(n, t);
+
+    for (tj, &(j0, jc)) in extents.iter().enumerate() {
+        for (ti, &(i0, ic)) in extents.iter().enumerate() {
+            sched.begin_group();
+            let tile = sched.load(a.id, a.rect_region(i0, j0, ic, jc));
+
+            // Phase 1: left-looking updates with columns k < min(i0, j0).
+            let kmax = i0.min(j0);
+            for k in 0..kmax {
+                let lcol = sched.load(a.id, a.col_segment_region(k, i0, ic));
+                let urow = sched.load(a.id, a.rect_region(k, j0, 1, jc));
+                sched.compute(ComputeOp::Ger {
+                    alpha: -T::ONE,
+                    x: BufSlice::whole(lcol, ic),
+                    y: BufSlice::whole(urow, jc),
+                    dst: tile,
+                });
+                sched.discard(lcol);
+                sched.discard(urow);
+            }
+            let pairs = (kmax * ic * jc) as u128;
+            sched.flops(FlopCount::new(pairs, pairs));
+
+            if ti == tj {
+                // Diagonal tile: in-place LU.
+                sched.compute(ComputeOp::LuInPlace {
+                    dst: tile,
+                    pivot_base: a.row0 + i0,
+                });
+                let ju = jc as u128;
+                let updates = if jc == 0 {
+                    0
+                } else {
+                    (ju - 1) * ju * (2 * ju - 1) / 6
+                };
+                let divisions = ju * ju.saturating_sub(1) / 2;
+                sched.flops(FlopCount::new(updates + divisions, updates));
+            } else if ti > tj {
+                // Sub-diagonal tile: solve X · U11 = tile, streaming the
+                // columns of U11 (above diagonal + diagonal).
+                for kk in 0..jc {
+                    // column kk of U11: rows j0..j0+kk+1 of column j0+kk
+                    let useg = sched.load(a.id, a.rect_region(j0, j0 + kk, kk + 1, 1));
+                    sched.compute(ComputeOp::LuColSolveStep {
+                        seg: useg,
+                        dst: tile,
+                        col: kk,
+                        pivot: a.row0 + j0 + kk,
+                    });
+                    sched.discard(useg);
+                    let updates = (ic * kk) as u128;
+                    sched.flops(FlopCount::new(updates + ic as u128, updates));
+                }
+            } else {
+                // Super-diagonal tile: solve L11 · X = tile (unit diagonal),
+                // streaming the strictly sub-diagonal columns of L11.
+                for kk in 0..ic {
+                    // column kk of L11 below the diagonal: rows i0+kk+1..i0+ic
+                    let len = ic - kk - 1;
+                    if len > 0 {
+                        let lseg = sched.load(a.id, a.rect_region(i0 + kk + 1, i0 + kk, len, 1));
+                        sched.compute(ComputeOp::LuRowElimStep {
+                            seg: lseg,
+                            dst: tile,
+                            row: kk,
+                        });
+                        sched.discard(lseg);
+                    }
+                    let updates = (len * jc) as u128;
+                    sched.flops(FlopCount::new(updates, updates));
+                }
+            }
+            sched.store(tile);
+        }
+    }
+}
+
+/// Builds the one-tile left-looking OOC_LU schedule for the square window
+/// `a`, validating its shape.
+pub fn ooc_lu_schedule<T: Scalar>(a: &PanelRef, plan: &OocLuPlan) -> Result<Schedule<T>> {
+    if a.cols() != a.rows() {
         return Err(OocError::Invalid(format!(
             "OOC_LU needs a square window, got {}x{}",
             a.rows(),
             a.cols()
         )));
     }
-    let t = plan.tile;
-    let extents = tile_extents(n, t);
+    let mut sched = ScheduleBuilder::new();
+    ooc_lu_build(&mut sched, a, plan);
+    Ok(sched.finish())
+}
 
-    for (tj, &(j0, jc)) in extents.iter().enumerate() {
-        for (ti, &(i0, ic)) in extents.iter().enumerate() {
-            let mut tile = machine.load(a.id, a.rect_region(i0, j0, ic, jc))?;
-
-            // Phase 1: left-looking updates with columns k < min(i0, j0).
-            let kmax = i0.min(j0);
-            for k in 0..kmax {
-                let lcol = machine.load(a.id, a.col_segment_region(k, i0, ic))?;
-                let urow = machine.load(a.id, a.rect_region(k, j0, 1, jc))?;
-                {
-                    let mut tv = tile.rect_view_mut()?;
-                    ger_view(-T::ONE, lcol.as_slice(), urow.as_slice(), &mut tv)?;
-                }
-                machine.discard(lcol)?;
-                machine.discard(urow)?;
-            }
-            let pairs = (kmax * ic * jc) as u128;
-            machine.record_flops(FlopCount::new(pairs, pairs));
-
-            if ti == tj {
-                // Diagonal tile: in-place LU.
-                {
-                    let mut tv = tile.rect_view_mut()?;
-                    lu_view_in_place(&mut tv).map_err(|e| match e {
-                        symla_matrix::MatrixError::SingularPivot { pivot } => {
-                            OocError::Matrix(symla_matrix::MatrixError::SingularPivot {
-                                pivot: pivot + a.row0 + i0,
-                            })
-                        }
-                        other => OocError::Matrix(other),
-                    })?;
-                }
-                let ju = jc as u128;
-                let updates = if jc == 0 { 0 } else { (ju - 1) * ju * (2 * ju - 1) / 6 };
-                let divisions = ju * ju.saturating_sub(1) / 2;
-                machine.record_flops(FlopCount::new(updates + divisions, updates));
-            } else if ti > tj {
-                // Sub-diagonal tile: solve X · U11 = tile.
-                for kk in 0..jc {
-                    // column kk of U11: rows j0..j0+kk+1 of column j0+kk
-                    let useg = machine.load(a.id, a.rect_region(j0, j0 + kk, kk + 1, 1))?;
-                    {
-                        let seg = useg.as_slice();
-                        let diag = seg[kk];
-                        if diag == T::ZERO || !diag.is_finite_scalar() {
-                            return Err(OocError::Matrix(
-                                symla_matrix::MatrixError::SingularPivot {
-                                    pivot: a.row0 + j0 + kk,
-                                },
-                            ));
-                        }
-                        let inv = diag.recip();
-                        let mut tv = tile.rect_view_mut()?;
-                        // X[:, kk] = (tile[:, kk] - sum_{q<kk} X[:, q] U[q, kk]) / U[kk, kk]
-                        for q in 0..kk {
-                            let uqk = seg[q];
-                            if uqk == T::ZERO {
-                                continue;
-                            }
-                            for r in 0..ic {
-                                let v = tv.get(r, kk) - tv.get(r, q) * uqk;
-                                tv.set(r, kk, v);
-                            }
-                        }
-                        for r in 0..ic {
-                            let v = tv.get(r, kk) * inv;
-                            tv.set(r, kk, v);
-                        }
-                    }
-                    machine.discard(useg)?;
-                    let updates = (ic * kk) as u128;
-                    machine.record_flops(FlopCount::new(updates + ic as u128, updates));
-                }
-            } else {
-                // Super-diagonal tile: solve L11 · X = tile (unit diagonal).
-                for kk in 0..ic {
-                    // column kk of L11 below the diagonal: rows i0+kk+1..i0+ic
-                    let len = ic - kk - 1;
-                    let lseg = if len > 0 {
-                        Some(machine.load(a.id, a.rect_region(i0 + kk + 1, i0 + kk, len, 1))?)
-                    } else {
-                        None
-                    };
-                    if let Some(ref lbuf) = lseg {
-                        let seg = lbuf.as_slice();
-                        let mut tv = tile.rect_view_mut()?;
-                        // X[kk, :] is final (unit diagonal); eliminate below.
-                        for (off, &lik) in seg.iter().enumerate() {
-                            if lik == T::ZERO {
-                                continue;
-                            }
-                            let i = kk + 1 + off;
-                            for c in 0..jc {
-                                let v = tv.get(i, c) - lik * tv.get(kk, c);
-                                tv.set(i, c, v);
-                            }
-                        }
-                    }
-                    if let Some(lbuf) = lseg {
-                        machine.discard(lbuf)?;
-                    }
-                    let updates = (len * jc) as u128;
-                    machine.record_flops(FlopCount::new(updates, updates));
-                }
-            }
-            machine.store(tile)?;
-        }
-    }
+/// Factorizes the square window `a` in place (`A = L·U`, no pivoting) with
+/// the one-tile left-looking schedule, emitted by [`ooc_lu_build`] and
+/// replayed by the generic [`Engine`].
+pub fn ooc_lu_execute<T: Scalar>(
+    machine: &mut OocMachine<T>,
+    a: &PanelRef,
+    plan: &OocLuPlan,
+) -> Result<()> {
+    let schedule = ooc_lu_schedule(a, plan)?;
+    Engine::execute(machine, &schedule)?;
     Ok(())
 }
 
@@ -234,7 +224,6 @@ mod tests {
     use symla_matrix::generate::seeded_rng;
     use symla_matrix::kernels::{lu_nopiv_in_place, lu_residual};
     use symla_matrix::Matrix;
-    use rand::Rng;
 
     fn dd_matrix(n: usize, seed: u64) -> Matrix<f64> {
         let mut rng = seeded_rng(seed);
@@ -259,7 +248,11 @@ mod tests {
             ooc_lu_execute(&mut machine, &PanelRef::dense(id, n, n), &plan).unwrap();
 
             let est = ooc_lu_cost(n, &plan);
-            assert_eq!(est.loads, machine.stats().volume.loads as u128, "n={n} s={s}");
+            assert_eq!(
+                est.loads,
+                machine.stats().volume.loads as u128,
+                "n={n} s={s}"
+            );
             assert_eq!(est.stores, machine.stats().volume.stores as u128);
             assert_eq!(est.flops, machine.stats().flops);
             assert!(machine.stats().peak_resident <= s);

@@ -14,10 +14,10 @@
 
 use crate::error::{OocError, Result};
 use crate::params::{square_tile_for_capacity, tile_extents, IoEstimate};
-use symla_matrix::kernels::views::{ger_view, spr_lower_view};
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
 use symla_memory::{OocMachine, PanelRef, SymWindowRef};
+use symla_sched::{BufSlice, ComputeOp, Engine, Schedule, ScheduleBuilder};
 
 /// Parameters of the square-block out-of-core SYRK schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +83,84 @@ pub fn ooc_syrk_leading_loads(n: f64, m: f64, s: f64) -> f64 {
     n * n * m / s.sqrt() + n * n / 2.0
 }
 
+/// Appends the square-block OOC_SYRK schedule for
+/// `C[window] += alpha · A · Aᵀ` to an existing builder (one task group per
+/// result block). Operands are assumed validated; use
+/// [`ooc_syrk_schedule`] / [`ooc_syrk_execute`] for the checked entry points.
+pub fn ooc_syrk_build<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
+    a: &PanelRef,
+    c: &SymWindowRef,
+    alpha: T,
+    plan: &OocSyrkPlan,
+) {
+    let n = c.order();
+    let m = a.cols();
+    let t = plan.tile;
+    let extents = tile_extents(n, t);
+
+    for (tj, &(j0, jc)) in extents.iter().enumerate() {
+        for (ti, &(i0, ic)) in extents.iter().enumerate().skip(tj) {
+            sched.begin_group();
+            if ti == tj {
+                // Diagonal block: packed lower triangle of side ic.
+                let cbuf = sched.load(c.id, c.lower_triangle_region(i0, ic));
+                for k in 0..m {
+                    let acol = sched.load(a.id, a.col_segment_region(k, i0, ic));
+                    sched.compute(ComputeOp::SprLower {
+                        alpha,
+                        x: BufSlice::whole(acol, ic),
+                        dst: cbuf,
+                    });
+                    sched.discard(acol);
+                }
+                let pairs = (m * ic * (ic + 1) / 2) as u128;
+                sched.flops(FlopCount::new(pairs, pairs));
+                sched.store(cbuf);
+            } else {
+                // Off-diagonal block: ic x jc rectangle strictly below the
+                // diagonal of the window.
+                let cbuf = sched.load(c.id, c.rect_region(i0, j0, ic, jc));
+                for k in 0..m {
+                    let arow = sched.load(a.id, a.col_segment_region(k, i0, ic));
+                    let acol = sched.load(a.id, a.col_segment_region(k, j0, jc));
+                    sched.compute(ComputeOp::Ger {
+                        alpha,
+                        x: BufSlice::whole(arow, ic),
+                        y: BufSlice::whole(acol, jc),
+                        dst: cbuf,
+                    });
+                    sched.discard(arow);
+                    sched.discard(acol);
+                }
+                let pairs = (m * ic * jc) as u128;
+                sched.flops(FlopCount::new(pairs, pairs));
+                sched.store(cbuf);
+            }
+        }
+    }
+}
+
+/// Builds the square-block OOC_SYRK schedule for
+/// `C[window] += alpha · A · Aᵀ`, validating the operand shapes.
+pub fn ooc_syrk_schedule<T: Scalar>(
+    a: &PanelRef,
+    c: &SymWindowRef,
+    alpha: T,
+    plan: &OocSyrkPlan,
+) -> Result<Schedule<T>> {
+    if a.rows() != c.order() {
+        return Err(OocError::Invalid(format!(
+            "OOC_SYRK operand mismatch: A has {} rows but C has order {}",
+            a.rows(),
+            c.order()
+        )));
+    }
+    let mut sched = ScheduleBuilder::new();
+    ooc_syrk_build(&mut sched, a, c, alpha, plan);
+    Ok(sched.finish())
+}
+
 /// Executes `C[window] += alpha · A · Aᵀ` out of core with square blocks.
 ///
 /// * `a` — the `n × m` input panel;
@@ -90,9 +168,10 @@ pub fn ooc_syrk_leading_loads(n: f64, m: f64, s: f64) -> f64 {
 ///   update;
 /// * `alpha` — scaling of the product (LBC passes `-1`).
 ///
-/// The caller chooses the machine's phase label beforehand; this function
-/// never changes it, so LBC can attribute the traffic of its trailing updates
-/// to a dedicated phase.
+/// The schedule is emitted by [`ooc_syrk_build`] and replayed by the generic
+/// [`Engine`]. The caller chooses the machine's phase label beforehand; this
+/// function never changes it, so LBC can attribute the traffic of its
+/// trailing updates to a dedicated phase.
 pub fn ooc_syrk_execute<T: Scalar>(
     machine: &mut OocMachine<T>,
     a: &PanelRef,
@@ -100,53 +179,8 @@ pub fn ooc_syrk_execute<T: Scalar>(
     alpha: T,
     plan: &OocSyrkPlan,
 ) -> Result<()> {
-    let n = c.order();
-    let m = a.cols();
-    if a.rows() != n {
-        return Err(OocError::Invalid(format!(
-            "OOC_SYRK operand mismatch: A has {} rows but C has order {n}",
-            a.rows()
-        )));
-    }
-    let t = plan.tile;
-    let extents = tile_extents(n, t);
-
-    for (tj, &(j0, jc)) in extents.iter().enumerate() {
-        for (ti, &(i0, ic)) in extents.iter().enumerate().skip(tj) {
-            if ti == tj {
-                // Diagonal block: packed lower triangle of side ic.
-                let mut cbuf = machine.load(c.id, c.lower_triangle_region(i0, ic))?;
-                for k in 0..m {
-                    let acol = machine.load(a.id, a.col_segment_region(k, i0, ic))?;
-                    {
-                        let mut cv = cbuf.packed_view_mut()?;
-                        spr_lower_view(alpha, acol.as_slice(), &mut cv)?;
-                    }
-                    machine.discard(acol)?;
-                }
-                let pairs = (m * ic * (ic + 1) / 2) as u128;
-                machine.record_flops(FlopCount::new(pairs, pairs));
-                machine.store(cbuf)?;
-            } else {
-                // Off-diagonal block: ic x jc rectangle strictly below the
-                // diagonal of the window.
-                let mut cbuf = machine.load(c.id, c.rect_region(i0, j0, ic, jc))?;
-                for k in 0..m {
-                    let arow = machine.load(a.id, a.col_segment_region(k, i0, ic))?;
-                    let acol = machine.load(a.id, a.col_segment_region(k, j0, jc))?;
-                    {
-                        let mut cv = cbuf.rect_view_mut()?;
-                        ger_view(alpha, arow.as_slice(), acol.as_slice(), &mut cv)?;
-                    }
-                    machine.discard(arow)?;
-                    machine.discard(acol)?;
-                }
-                let pairs = (m * ic * jc) as u128;
-                machine.record_flops(FlopCount::new(pairs, pairs));
-                machine.store(cbuf)?;
-            }
-        }
-    }
+    let schedule = ooc_syrk_schedule(a, c, alpha, plan)?;
+    Engine::execute(machine, &schedule)?;
     Ok(())
 }
 
@@ -158,7 +192,12 @@ mod tests {
     use symla_matrix::{Matrix, SymMatrix};
     use symla_memory::MachineConfig;
 
-    fn run_case(n: usize, m: usize, s: usize, alpha: f64) -> (SymMatrix<f64>, IoEstimate, symla_memory::IoStats) {
+    fn run_case(
+        n: usize,
+        m: usize,
+        s: usize,
+        alpha: f64,
+    ) -> (SymMatrix<f64>, IoEstimate, symla_memory::IoStats) {
         let a: Matrix<f64> = random_matrix_seeded(n, m, 1000 + n as u64);
         let mut rng = seeded_rng(2000 + n as u64);
         let c0: SymMatrix<f64> = random_symmetric(n, &mut rng);
@@ -186,10 +225,21 @@ mod tests {
 
     #[test]
     fn correct_and_predicted_io_matches_measured() {
-        for &(n, m, s) in &[(13_usize, 7_usize, 24_usize), (16, 16, 35), (20, 5, 120), (9, 12, 1000)] {
+        for &(n, m, s) in &[
+            (13_usize, 7_usize, 24_usize),
+            (16, 16, 35),
+            (20, 5, 120),
+            (9, 12, 1000),
+        ] {
             let (_, est, stats) = run_case(n, m, s, 1.0);
-            assert_eq!(est.loads, stats.volume.loads as u128, "loads n={n} m={m} s={s}");
-            assert_eq!(est.stores, stats.volume.stores as u128, "stores n={n} m={m} s={s}");
+            assert_eq!(
+                est.loads, stats.volume.loads as u128,
+                "loads n={n} m={m} s={s}"
+            );
+            assert_eq!(
+                est.stores, stats.volume.stores as u128,
+                "stores n={n} m={m} s={s}"
+            );
             assert_eq!(est.flops, stats.flops, "flops n={n} m={m} s={s}");
         }
     }
@@ -278,7 +328,8 @@ mod tests {
         let mut expected = base.clone();
         // expected trailing update: C[4.., 4..] += -1 * P * P^T
         {
-            let mut trailing = SymMatrix::<f64>::from_lower_fn(6, |i, j| expected.get(4 + i, 4 + j));
+            let mut trailing =
+                SymMatrix::<f64>::from_lower_fn(6, |i, j| expected.get(4 + i, 4 + j));
             syrk_sym(-1.0, &panel_vals, 1.0, &mut trailing).unwrap();
             for i in 0..6 {
                 for j in 0..=i {

@@ -15,10 +15,10 @@
 
 use crate::error::{OocError, Result};
 use crate::params::{square_tile_for_capacity, tile_extents, IoEstimate};
-use symla_matrix::kernels::views::ger_view;
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
 use symla_memory::{OocMachine, PanelRef, SymWindowRef};
+use symla_sched::{BufSlice, ComputeOp, Engine, Schedule, ScheduleBuilder};
 
 /// Parameters of the one-tile out-of-core TRSM schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,83 +77,95 @@ pub fn ooc_trsm_leading_loads(m: f64, b: f64, s: f64) -> f64 {
     b * b * m / s.sqrt()
 }
 
+/// Appends the one-tile OOC_TRSM schedule for `X ← X · L⁻ᵀ` to an existing
+/// builder (one task group per panel tile). Operands are assumed validated.
+pub fn ooc_trsm_build<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
+    l: &SymWindowRef,
+    x: &PanelRef,
+    plan: &OocTrsmPlan,
+) {
+    let b = l.order();
+    let m = x.rows();
+    let t = plan.tile;
+
+    for &(r0, rc) in &tile_extents(m, t) {
+        for &(c0, cc) in &tile_extents(b, t) {
+            sched.begin_group();
+            let xbuf = sched.load(x.id, x.rect_region(r0, c0, rc, cc));
+
+            // Phase A: apply the already-final columns 0..c0 of X.
+            for k in 0..c0 {
+                let xk = sched.load(x.id, x.col_segment_region(k, r0, rc));
+                let lk = sched.load(l.id, l.rect_region(c0, k, cc, 1));
+                // X[:, j] -= X[:, k] * L[c0 + j, k]
+                sched.compute(ComputeOp::Ger {
+                    alpha: -T::ONE,
+                    x: BufSlice::whole(xk, rc),
+                    y: BufSlice::whole(lk, cc),
+                    dst: xbuf,
+                });
+                sched.discard(xk);
+                sched.discard(lk);
+            }
+            let pairs = (c0 * rc * cc) as u128;
+            sched.flops(FlopCount::new(pairs, pairs));
+
+            // Phase B: in-tile solve against the diagonal block L[c0.., c0..],
+            // streaming one column segment of L at a time.
+            for kk in 0..cc {
+                let lseg = sched.load(l.id, l.rect_region(c0 + kk, c0 + kk, cc - kk, 1));
+                sched.compute(ComputeOp::TrsmRightStep {
+                    seg: lseg,
+                    dst: xbuf,
+                    col: kk,
+                    pivot: c0 + kk,
+                });
+                sched.discard(lseg);
+                let updates = (rc * (cc - kk - 1)) as u128;
+                sched.flops(FlopCount::new(updates + rc as u128, updates));
+            }
+
+            sched.store(xbuf);
+        }
+    }
+}
+
+/// Builds the one-tile OOC_TRSM schedule for `X ← X · L⁻ᵀ`, validating the
+/// operand shapes.
+pub fn ooc_trsm_schedule<T: Scalar>(
+    l: &SymWindowRef,
+    x: &PanelRef,
+    plan: &OocTrsmPlan,
+) -> Result<Schedule<T>> {
+    if x.cols() != l.order() {
+        return Err(OocError::Invalid(format!(
+            "OOC_TRSM operand mismatch: X has {} columns but L has order {}",
+            x.cols(),
+            l.order()
+        )));
+    }
+    let mut sched = ScheduleBuilder::new();
+    ooc_trsm_build(&mut sched, l, x, plan);
+    Ok(sched.finish())
+}
+
 /// Executes `X ← X · L⁻ᵀ` out of core.
 ///
 /// * `l` — order-`b` diagonal window of a symmetric matrix whose lower
 ///   triangle holds the triangular factor `L`;
 /// * `x` — the `m × b` panel to transform in place.
+///
+/// The schedule is emitted by [`ooc_trsm_build`] and replayed by the generic
+/// [`Engine`].
 pub fn ooc_trsm_execute<T: Scalar>(
     machine: &mut OocMachine<T>,
     l: &SymWindowRef,
     x: &PanelRef,
     plan: &OocTrsmPlan,
 ) -> Result<()> {
-    let b = l.order();
-    let m = x.rows();
-    if x.cols() != b {
-        return Err(OocError::Invalid(format!(
-            "OOC_TRSM operand mismatch: X has {} columns but L has order {b}",
-            x.cols()
-        )));
-    }
-    let t = plan.tile;
-
-    for &(r0, rc) in &tile_extents(m, t) {
-        for &(c0, cc) in &tile_extents(b, t) {
-            let mut xbuf = machine.load(x.id, x.rect_region(r0, c0, rc, cc))?;
-
-            // Phase A: apply the already-final columns 0..c0 of X.
-            for k in 0..c0 {
-                let xk = machine.load(x.id, x.col_segment_region(k, r0, rc))?;
-                let lk = machine.load(l.id, l.rect_region(c0, k, cc, 1))?;
-                {
-                    let mut xv = xbuf.rect_view_mut()?;
-                    // X[:, j] -= X[:, k] * L[c0 + j, k]
-                    ger_view(-T::ONE, xk.as_slice(), lk.as_slice(), &mut xv)?;
-                }
-                machine.discard(xk)?;
-                machine.discard(lk)?;
-            }
-            let pairs = (c0 * rc * cc) as u128;
-            machine.record_flops(FlopCount::new(pairs, pairs));
-
-            // Phase B: in-tile solve against the diagonal block L[c0.., c0..],
-            // streaming one column segment of L at a time.
-            for kk in 0..cc {
-                let lseg = machine.load(l.id, l.rect_region(c0 + kk, c0 + kk, cc - kk, 1))?;
-                {
-                    let seg = lseg.as_slice();
-                    let diag = seg[0];
-                    if diag == T::ZERO || !diag.is_finite_scalar() {
-                        return Err(OocError::Matrix(
-                            symla_matrix::MatrixError::SingularPivot { pivot: c0 + kk },
-                        ));
-                    }
-                    let inv = diag.recip();
-                    let mut xv = xbuf.rect_view_mut()?;
-                    for r in 0..rc {
-                        let v = xv.get(r, kk) * inv;
-                        xv.set(r, kk, v);
-                    }
-                    for j in (kk + 1)..cc {
-                        let ljk = seg[j - kk];
-                        if ljk == T::ZERO {
-                            continue;
-                        }
-                        for r in 0..rc {
-                            let v = xv.get(r, j) - xv.get(r, kk) * ljk;
-                            xv.set(r, j, v);
-                        }
-                    }
-                }
-                machine.discard(lseg)?;
-                let updates = (rc * (cc - kk - 1)) as u128;
-                machine.record_flops(FlopCount::new(updates + rc as u128, updates));
-            }
-
-            machine.store(xbuf)?;
-        }
-    }
+    let schedule = ooc_trsm_schedule(l, x, plan)?;
+    Engine::execute(machine, &schedule)?;
     Ok(())
 }
 
@@ -170,7 +182,12 @@ mod tests {
 
     #[test]
     fn matches_reference_and_cost() {
-        for &(m, b, s) in &[(9_usize, 6_usize, 24_usize), (14, 10, 48), (7, 7, 200), (20, 4, 15)] {
+        for &(m, b, s) in &[
+            (9_usize, 6_usize, 24_usize),
+            (14, 10, 48),
+            (7, 7, 200),
+            (20, 4, 15),
+        ] {
             let mut rng = seeded_rng(900 + m as u64);
             let lfac = random_lower_triangular::<f64>(b, &mut rng);
             let x0: Matrix<f64> = random_matrix_seeded(m, b, 910 + b as u64);
@@ -191,7 +208,11 @@ mod tests {
             .unwrap();
 
             let est = ooc_trsm_cost(m, b, &plan);
-            assert_eq!(est.loads, machine.stats().volume.loads as u128, "m={m} b={b} s={s}");
+            assert_eq!(
+                est.loads,
+                machine.stats().volume.loads as u128,
+                "m={m} b={b} s={s}"
+            );
             assert_eq!(est.stores, machine.stats().volume.stores as u128);
             assert_eq!(est.flops, machine.stats().flops);
             assert!(machine.stats().peak_resident <= s);

@@ -40,6 +40,17 @@ impl IoEstimate {
             self.flops.mults as f64 / self.total() as f64
         }
     }
+
+    /// The volumes of a measured (or dry-run) [`symla_memory::IoStats`] as an
+    /// estimate, so engine dry runs can be compared against analytic cost
+    /// models directly.
+    pub fn from_stats(stats: &symla_memory::IoStats) -> IoEstimate {
+        IoEstimate {
+            loads: stats.volume.loads as u128,
+            stores: stats.volume.stores as u128,
+            flops: stats.flops,
+        }
+    }
 }
 
 /// Largest tile side `t` such that one `t×t` output tile plus two streamed

@@ -1,10 +1,9 @@
-//! Property-based tests of the baseline out-of-core schedules: for random
-//! problem sizes and memory capacities, every executor must (a) produce the
-//! same result as the in-memory reference kernel, (b) transfer exactly the
-//! volume its analytic cost model predicts, and (c) never exceed the declared
-//! fast-memory capacity.
+//! Property-style tests of the baseline out-of-core schedules: for seeded
+//! pseudo-random problem sizes and memory capacities, every executor must
+//! (a) produce the same result as the in-memory reference kernel, (b)
+//! transfer exactly the volume its analytic cost model predicts, and (c)
+//! never exceed the declared fast-memory capacity.
 
-use proptest::prelude::*;
 use symla_baselines::{
     ooc_chol_cost, ooc_chol_execute, ooc_gemm_cost, ooc_gemm_execute, ooc_lu_cost, ooc_lu_execute,
     ooc_syrk_cost, ooc_syrk_execute, ooc_trsm_cost, ooc_trsm_execute, OocCholPlan, OocGemmPlan,
@@ -12,6 +11,7 @@ use symla_baselines::{
 };
 use symla_matrix::generate::{
     random_lower_triangular, random_matrix_seeded, random_spd_seeded, random_symmetric, seeded_rng,
+    SeededRng,
 };
 use symla_matrix::kernels::{
     cholesky_residual, cholesky_sym, gemm, lu_nopiv_in_place, syrk_sym, trsm_right_lower_transpose,
@@ -19,11 +19,17 @@ use symla_matrix::kernels::{
 use symla_matrix::{LowerTriangular, Matrix, SymMatrix};
 use symla_memory::{OocMachine, PanelRef, SymWindowRef};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const CASES: usize = 16;
 
-    #[test]
-    fn ooc_syrk_random_instances(n in 2usize..36, m in 1usize..16, s in 8usize..150, seed in 0u64..500) {
+#[test]
+fn ooc_syrk_random_instances() {
+    let mut rng = SeededRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..36);
+        let m = rng.gen_range(1usize..16);
+        let s = rng.gen_range(8usize..150);
+        let seed = rng.gen_range(0usize..500) as u64;
+
         let a: Matrix<f64> = random_matrix_seeded(n, m, seed);
         let c0: SymMatrix<f64> = random_symmetric(n, &mut seeded_rng(seed + 1));
         let mut expected = c0.clone();
@@ -43,15 +49,24 @@ proptest! {
         .unwrap();
 
         let est = ooc_syrk_cost(n, m, &plan);
-        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
-        prop_assert_eq!(est.stores, machine.stats().volume.stores as u128);
-        prop_assert!(machine.stats().peak_resident <= s);
+        let ctx = format!("n={n} m={m} s={s} seed={seed}");
+        assert_eq!(est.loads, machine.stats().volume.loads as u128, "{ctx}");
+        assert_eq!(est.stores, machine.stats().volume.stores as u128, "{ctx}");
+        assert!(machine.stats().peak_resident <= s, "{ctx}");
         let got = machine.take_symmetric(c_id).unwrap();
-        prop_assert!(got.approx_eq(&expected, 1e-10));
+        assert!(got.approx_eq(&expected, 1e-10), "{ctx}");
     }
+}
 
-    #[test]
-    fn ooc_trsm_random_instances(mrows in 1usize..30, b in 2usize..18, s in 8usize..120, seed in 0u64..500) {
+#[test]
+fn ooc_trsm_random_instances() {
+    let mut rng = SeededRng::seed_from_u64(202);
+    for _ in 0..CASES {
+        let mrows = rng.gen_range(1usize..30);
+        let b = rng.gen_range(2usize..18);
+        let s = rng.gen_range(8usize..120);
+        let seed = rng.gen_range(0usize..500) as u64;
+
         let lfac = random_lower_triangular::<f64>(b, &mut seeded_rng(seed));
         let x0: Matrix<f64> = random_matrix_seeded(mrows, b, seed + 2);
         let mut expected = x0.clone();
@@ -70,14 +85,22 @@ proptest! {
         .unwrap();
 
         let est = ooc_trsm_cost(mrows, b, &plan);
-        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
-        prop_assert!(machine.stats().peak_resident <= s);
+        let ctx = format!("m={mrows} b={b} s={s} seed={seed}");
+        assert_eq!(est.loads, machine.stats().volume.loads as u128, "{ctx}");
+        assert!(machine.stats().peak_resident <= s, "{ctx}");
         let got = machine.take_dense(x_id).unwrap();
-        prop_assert!(got.approx_eq(&expected, 1e-8));
+        assert!(got.approx_eq(&expected, 1e-8), "{ctx}");
     }
+}
 
-    #[test]
-    fn ooc_chol_random_instances(n in 2usize..30, s in 8usize..120, seed in 0u64..500) {
+#[test]
+fn ooc_chol_random_instances() {
+    let mut rng = SeededRng::seed_from_u64(303);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..30);
+        let s = rng.gen_range(8usize..120);
+        let seed = rng.gen_range(0usize..500) as u64;
+
         let a: SymMatrix<f64> = random_spd_seeded(n, seed);
         let expected = cholesky_sym(&a).unwrap();
 
@@ -87,17 +110,27 @@ proptest! {
         ooc_chol_execute(&mut machine, &SymWindowRef::full(id, n), &plan).unwrap();
 
         let est = ooc_chol_cost(n, &plan);
-        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
-        prop_assert_eq!(est.stores, machine.stats().volume.stores as u128);
-        prop_assert!(machine.stats().peak_resident <= s);
+        let ctx = format!("n={n} s={s} seed={seed}");
+        assert_eq!(est.loads, machine.stats().volume.loads as u128, "{ctx}");
+        assert_eq!(est.stores, machine.stats().volume.stores as u128, "{ctx}");
+        assert!(machine.stats().peak_resident <= s, "{ctx}");
         let got = machine.take_symmetric(id).unwrap();
         let lfac = LowerTriangular::from_lower_fn(n, |i, j| got.get(i, j));
-        prop_assert!(lfac.approx_eq(&expected, 1e-7));
-        prop_assert!(cholesky_residual(&a, &lfac) < 1e-9);
+        assert!(lfac.approx_eq(&expected, 1e-7), "{ctx}");
+        assert!(cholesky_residual(&a, &lfac) < 1e-9, "{ctx}");
     }
+}
 
-    #[test]
-    fn ooc_gemm_random_instances(n in 1usize..24, k in 1usize..16, p in 1usize..24, s in 8usize..100, seed in 0u64..500) {
+#[test]
+fn ooc_gemm_random_instances() {
+    let mut rng = SeededRng::seed_from_u64(404);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..24);
+        let k = rng.gen_range(1usize..16);
+        let p = rng.gen_range(1usize..24);
+        let s = rng.gen_range(8usize..100);
+        let seed = rng.gen_range(0usize..500) as u64;
+
         let a: Matrix<f64> = random_matrix_seeded(n, k, seed);
         let b: Matrix<f64> = random_matrix_seeded(k, p, seed + 1);
         let c0: Matrix<f64> = random_matrix_seeded(n, p, seed + 2);
@@ -120,14 +153,22 @@ proptest! {
         .unwrap();
 
         let est = ooc_gemm_cost(n, k, p, &plan);
-        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
-        prop_assert!(machine.stats().peak_resident <= s);
+        let ctx = format!("n={n} k={k} p={p} s={s} seed={seed}");
+        assert_eq!(est.loads, machine.stats().volume.loads as u128, "{ctx}");
+        assert!(machine.stats().peak_resident <= s, "{ctx}");
         let got = machine.take_dense(c_id).unwrap();
-        prop_assert!(got.approx_eq(&expected, 1e-10));
+        assert!(got.approx_eq(&expected, 1e-10), "{ctx}");
     }
+}
 
-    #[test]
-    fn ooc_lu_random_instances(n in 1usize..26, s in 8usize..100, seed in 0u64..500) {
+#[test]
+fn ooc_lu_random_instances() {
+    let mut rng = SeededRng::seed_from_u64(505);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..26);
+        let s = rng.gen_range(8usize..100);
+        let seed = rng.gen_range(0usize..500) as u64;
+
         // diagonally dominant so that no pivoting is needed
         let mut a: Matrix<f64> = random_matrix_seeded(n, n, seed);
         for i in 0..n {
@@ -143,9 +184,10 @@ proptest! {
         ooc_lu_execute(&mut machine, &PanelRef::dense(id, n, n), &plan).unwrap();
 
         let est = ooc_lu_cost(n, &plan);
-        prop_assert_eq!(est.loads, machine.stats().volume.loads as u128);
-        prop_assert!(machine.stats().peak_resident <= s);
+        let ctx = format!("n={n} s={s} seed={seed}");
+        assert_eq!(est.loads, machine.stats().volume.loads as u128, "{ctx}");
+        assert!(machine.stats().peak_resident <= s, "{ctx}");
         let got = machine.take_dense(id).unwrap();
-        prop_assert!(got.approx_eq(&expected, 1e-8));
+        assert!(got.approx_eq(&expected, 1e-8), "{ctx}");
     }
 }

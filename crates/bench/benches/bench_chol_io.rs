@@ -1,8 +1,9 @@
 //! Wall-clock of the out-of-core Cholesky schedules running inside the
 //! machine model (experiments E3/E10).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use symla_baselines::{ooc_chol_execute, OocCholPlan};
+use symla_bench::harness::{BenchmarkId, Criterion};
+use symla_bench::{criterion_group, criterion_main};
 use symla_core::{lbc_cost, lbc_execute, LbcPlan, TrailingUpdate};
 use symla_matrix::generate;
 use symla_matrix::SymMatrix;

@@ -1,7 +1,8 @@
 //! Microbenches of the machine model itself: throughput of region transfers
 //! (the simulation overhead that every out-of-core run pays).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_bench::harness::{BenchmarkId, Criterion};
+use symla_bench::{criterion_group, criterion_main};
 use symla_matrix::generate;
 use symla_memory::{OocMachine, Region};
 
@@ -28,7 +29,13 @@ fn bench_region_roundtrips(c: &mut Criterion) {
             let id = machine.insert_symmetric(sym.clone());
             for t in 0..8 {
                 let buf = machine
-                    .load(id, Region::SymLowerTriangle { start: t * 32, size: 32 })
+                    .load(
+                        id,
+                        Region::SymLowerTriangle {
+                            start: t * 32,
+                            size: 32,
+                        },
+                    )
                     .unwrap();
                 machine.store(buf).unwrap();
             }

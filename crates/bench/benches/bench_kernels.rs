@@ -1,7 +1,8 @@
 //! Wall-clock benches of the in-memory reference kernels (experiment E10):
 //! unblocked vs blocked/tiled variants of SYRK, Cholesky and GEMM.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_bench::harness::{BenchmarkId, Criterion};
+use symla_bench::{criterion_group, criterion_main};
 use symla_matrix::generate;
 use symla_matrix::kernels::{
     cholesky_blocked, cholesky_sym, cholesky_tiled, gemm, gemm_blocked, syrk_blocked_sym, syrk_sym,

@@ -2,7 +2,8 @@
 //! integer search of Theorem 4.1 and the bound evaluations (experiments
 //! E1/E9 tooling).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_bench::harness::{BenchmarkId, Criterion};
+use symla_bench::{criterion_group, criterion_main};
 use symla_core::bounds;
 use symla_core::oi::oi_table;
 use symla_sched::opt::best_integer_balanced;

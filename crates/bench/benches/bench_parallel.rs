@@ -1,6 +1,7 @@
 //! Wall-clock scaling of the parallel SYRK extension (experiment E12).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symla_bench::harness::{BenchmarkId, Criterion};
+use symla_bench::{criterion_group, criterion_main};
 use symla_core::parallel::{parallel_syrk, BlockStrategy};
 use symla_matrix::generate;
 use symla_matrix::{Matrix, SymMatrix};

@@ -2,8 +2,9 @@
 //! model (experiments E2/E10), plus the evaluation speed of their analytic
 //! cost models at large sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use symla_baselines::{ooc_syrk_cost, ooc_syrk_execute, OocSyrkPlan};
+use symla_bench::harness::{BenchmarkId, Criterion};
+use symla_bench::{criterion_group, criterion_main};
 use symla_core::{tbs_cost, tbs_execute, tbs_tiled_execute, TbsPlan, TbsTiledPlan};
 use symla_matrix::generate;
 use symla_matrix::{Matrix, SymMatrix};

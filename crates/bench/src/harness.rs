@@ -1,0 +1,159 @@
+//! A minimal, dependency-free benchmark harness with a criterion-shaped API.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! benches cannot use `criterion`. This module provides the small slice of
+//! criterion's surface the bench targets need (`Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros), so
+//! each bench file only swaps its `use criterion::...` line. Timings are
+//! wall-clock medians over a fixed number of samples, printed to stdout.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark case (criterion-compatible constructor names).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(format!("{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up, then `samples` timed times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    results: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            results: 0,
+        }
+    }
+}
+
+fn run_case(name: &str, samples: usize, body: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    body(&mut bencher);
+    let mut times = bencher.recorded;
+    times.sort_unstable();
+    let median = times.get(times.len() / 2).copied().unwrap_or_default();
+    let min = times.first().copied().unwrap_or_default();
+    let max = times.last().copied().unwrap_or_default();
+    println!("bench {name:<55} median {median:>12?}  min {min:>12?}  max {max:>12?}");
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, body: impl FnOnce(&mut Bencher)) {
+        run_case(name, self.sample_size, body);
+        self.results += 1;
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+
+    /// Prints a one-line summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("ran {} benchmark case(s)", self.results);
+    }
+}
+
+/// A group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one case of the group.
+    pub fn bench_function(&mut self, id: impl Display, body: impl FnOnce(&mut Bencher)) {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_case(&format!("  {id}"), samples, body);
+        self.parent.results += 1;
+    }
+
+    /// Runs one case of the group with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        body: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| body(b, input));
+    }
+
+    /// Ends the group (kept for criterion compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::harness::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Entry point of a bench target: runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

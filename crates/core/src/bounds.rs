@@ -154,7 +154,9 @@ mod tests {
         assert!(syrk_lower_bound(n, m, s) < tbs_upper_bound(n, m, s));
         assert!(tbs_upper_bound(n, m, s) < syrk_upper_bereux(n, m, s) + n * n / 2.0 + 1.0);
         // the sqrt(2) ratios
-        assert!((syrk_lower_bound(n, m, s) / syrk_lower_bound_prior(n, m, s) - SQRT2).abs() < 1e-12);
+        assert!(
+            (syrk_lower_bound(n, m, s) / syrk_lower_bound_prior(n, m, s) - SQRT2).abs() < 1e-12
+        );
         assert!(
             (syrk_upper_bereux(n, m, s) / (tbs_upper_bound(n, m, s) - n * n / 2.0) - SQRT2).abs()
                 < 1e-12
@@ -166,7 +168,9 @@ mod tests {
         let (n, s) = (8192.0, 2048.0);
         assert!(cholesky_lower_bound_prior(n, s) < cholesky_lower_bound(n, s));
         assert!(cholesky_lower_bound(n, s) < cholesky_lower_bound_no_symmetry(n, s));
-        assert!((cholesky_lower_bound(n, s) / cholesky_lower_bound_prior(n, s) - SQRT2).abs() < 1e-9);
+        assert!(
+            (cholesky_lower_bound(n, s) / cholesky_lower_bound_prior(n, s) - SQRT2).abs() < 1e-9
+        );
         // LBC beats the no-symmetry "bound" and Bereux's algorithm by sqrt(2)
         assert!(lbc_upper_bound(n, s) < cholesky_upper_bereux(n, s));
         assert!((cholesky_upper_bereux(n, s) / lbc_upper_bound(n, s) - SQRT2).abs() < 1e-9);

@@ -1,0 +1,47 @@
+//! The schedule-IR execution engine, re-exported at the workspace's
+//! top level.
+//!
+//! All eight out-of-core algorithms of this workspace — [`crate::tbs`],
+//! [`crate::tbs_tiled`], [`crate::lbc`] and the five baselines of
+//! `symla_baselines` — are *schedule builders*: they emit the IR of
+//! [`symla_sched::ir`] instead of driving the machine directly. The
+//! [`Engine`] replays a built [`Schedule`] in one of three modes:
+//!
+//! * **execute** — [`Engine::execute`] runs the schedule against an
+//!   [`symla_memory::OocMachine`], with real kernels on real buffers and
+//!   capacity-checked, counted transfers. This is what every `*_execute`
+//!   wrapper does.
+//! * **dry-run** — [`Engine::dry_run`] replays only the accounting and
+//!   returns the exact [`symla_memory::IoStats`] an execution would produce
+//!   (loads, stores, events, flops, peak residency, per-phase split) without
+//!   touching data. Dry runs agree element-for-element with the analytic
+//!   `*_cost` models, which the equivalence tests assert.
+//! * **trace** — [`Engine::trace`] synthesizes the
+//!   [`symla_memory::Trace`] event stream for schedule inspection and bound
+//!   verification, again without executing kernels.
+//!
+//! The engine itself lives in `symla-sched` (below `symla-baselines` in the
+//! dependency order, so the baselines can build on it); this module is its
+//! canonical access point for downstream users.
+//!
+//! ## Example: dry-running TBS
+//!
+//! ```
+//! use symla_core::engine::Engine;
+//! use symla_core::{tbs_schedule, tbs_cost, TbsPlan};
+//! use symla_baselines::IoEstimate;
+//! use symla_memory::{MatrixId, PanelRef, SymWindowRef};
+//!
+//! let (n, m, s) = (30, 6, 10);
+//! let plan = TbsPlan::for_memory(s).unwrap();
+//! // Schedules can be built (and analyzed) without a machine: ids only need
+//! // to be consistent within the schedule.
+//! let a = PanelRef::dense(MatrixId::synthetic(0), n, m);
+//! let c = SymWindowRef::full(MatrixId::synthetic(1), n);
+//! let schedule = tbs_schedule::<f64>(&a, &c, 1.0, &plan).unwrap();
+//! let stats = Engine::dry_run(&schedule, "main");
+//! assert_eq!(IoEstimate::from_stats(&stats), tbs_cost(n, m, &plan).unwrap());
+//! ```
+
+pub use symla_sched::engine::{Engine, EngineError};
+pub use symla_sched::ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGroup};

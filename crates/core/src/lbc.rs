@@ -19,16 +19,17 @@
 //! term-by-term analysis of Section 5.2.2 (Figure 3).
 
 use crate::plan::{LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate};
-use crate::tbs::{tbs_cost, tbs_execute};
-use crate::tbs_tiled::{tbs_tiled_cost, tbs_tiled_execute};
+use crate::tbs::{tbs_build, tbs_cost};
+use crate::tbs_tiled::{tbs_tiled_build, tbs_tiled_cost};
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::IoEstimate;
 use symla_baselines::{
-    ooc_chol_cost, ooc_chol_execute, ooc_syrk_cost, ooc_syrk_execute, ooc_trsm_cost,
-    ooc_trsm_execute, OocCholPlan, OocSyrkPlan, OocTrsmPlan,
+    ooc_chol_build, ooc_chol_cost, ooc_syrk_build, ooc_syrk_cost, ooc_trsm_build, ooc_trsm_cost,
+    OocCholPlan, OocSyrkPlan, OocTrsmPlan,
 };
 use symla_matrix::Scalar;
 use symla_memory::{OocMachine, SymWindowRef};
+use symla_sched::{Engine, Schedule, ScheduleBuilder};
 
 /// Phase label of the diagonal-block factorizations.
 pub const PHASE_CHOL: &str = "lbc:chol";
@@ -83,12 +84,8 @@ pub fn lbc_cost_breakdown(n: usize, plan: &LbcPlan) -> Result<LbcCostBreakdown> 
         breakdown.chol = breakdown.chol.merge(&ooc_chol_cost(bb, &chol_plan));
         let rest = n - i0 - bb;
         if rest > 0 {
-            breakdown.trsm = breakdown
-                .trsm
-                .merge(&ooc_trsm_cost(rest, bb, &trsm_plan));
-            breakdown.trailing = breakdown
-                .trailing
-                .merge(&trailing_cost(rest, bb, plan)?);
+            breakdown.trsm = breakdown.trsm.merge(&ooc_trsm_cost(rest, bb, &trsm_plan));
+            breakdown.trailing = breakdown.trailing.merge(&trailing_cost(rest, bb, plan)?);
         }
         i0 += bb;
     }
@@ -100,18 +97,20 @@ pub fn lbc_cost(n: usize, plan: &LbcPlan) -> Result<IoEstimate> {
     Ok(lbc_cost_breakdown(n, plan)?.total())
 }
 
-/// Factorizes the symmetric positive definite window `a` in place
-/// (`A = L·Lᵀ`, the lower triangle is overwritten by `L`) with the Large
-/// Block Cholesky schedule.
-pub fn lbc_execute<T: Scalar>(
-    machine: &mut OocMachine<T>,
+/// Appends the Large Block Cholesky schedule for the window `a` to an
+/// existing builder. Every task group is labelled with the phase of the LBC
+/// iteration it belongs to ([`PHASE_CHOL`] / [`PHASE_TRSM`] /
+/// [`PHASE_TRAILING`]), which is how the per-phase attribution of Section
+/// 5.2.2 survives the engine replay.
+pub fn lbc_build<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
     a: &SymWindowRef,
     plan: &LbcPlan,
 ) -> Result<()> {
-    let n = a.order();
     if plan.block == 0 {
         return Err(OocError::Invalid("LBC block size must be positive".into()));
     }
+    let n = a.order();
     let chol_plan = OocCholPlan::for_memory(plan.capacity)?;
     let trsm_plan = OocTrsmPlan::for_memory(plan.capacity)?;
 
@@ -119,8 +118,8 @@ pub fn lbc_execute<T: Scalar>(
     while i0 < n {
         let bb = plan.block.min(n - i0);
 
-        machine.set_phase(PHASE_CHOL);
-        ooc_chol_execute(machine, &a.subwindow(i0, bb), &chol_plan)?;
+        sched.set_phase(PHASE_CHOL);
+        ooc_chol_build(sched, &a.subwindow(i0, bb), &chol_plan);
 
         let rest = n - i0 - bb;
         if rest > 0 {
@@ -128,28 +127,51 @@ pub fn lbc_execute<T: Scalar>(
             let diag = a.subwindow(i0, bb);
             let trailing = a.subwindow(i0 + bb, rest);
 
-            machine.set_phase(PHASE_TRSM);
-            ooc_trsm_execute(machine, &diag, &panel, &trsm_plan)?;
+            sched.set_phase(PHASE_TRSM);
+            ooc_trsm_build(sched, &diag, &panel, &trsm_plan);
 
-            machine.set_phase(PHASE_TRAILING);
+            sched.set_phase(PHASE_TRAILING);
             match plan.trailing {
                 TrailingUpdate::Tbs => {
                     let tbs_plan = TbsPlan::for_memory(plan.capacity)?;
-                    tbs_execute(machine, &panel, &trailing, -T::ONE, &tbs_plan)?;
+                    tbs_build(sched, &panel, &trailing, -T::ONE, &tbs_plan)?;
                 }
                 TrailingUpdate::TbsTiled => {
                     let tiled_plan = TbsTiledPlan::for_problem(plan.capacity, rest)?;
-                    tbs_tiled_execute(machine, &panel, &trailing, -T::ONE, &tiled_plan)?;
+                    tbs_tiled_build(sched, &panel, &trailing, -T::ONE, &tiled_plan)?;
                 }
                 TrailingUpdate::OocSyrk => {
                     let sq_plan = OocSyrkPlan::for_memory(plan.capacity)?;
-                    ooc_syrk_execute(machine, &panel, &trailing, -T::ONE, &sq_plan)?;
+                    ooc_syrk_build(sched, &panel, &trailing, -T::ONE, &sq_plan);
                 }
             }
         }
         i0 += bb;
     }
+    Ok(())
+}
+
+/// Builds the Large Block Cholesky schedule for the window `a`, validating
+/// the plan.
+pub fn lbc_schedule<T: Scalar>(a: &SymWindowRef, plan: &LbcPlan) -> Result<Schedule<T>> {
+    let mut sched = ScheduleBuilder::new();
+    lbc_build(&mut sched, a, plan)?;
+    Ok(sched.finish())
+}
+
+/// Factorizes the symmetric positive definite window `a` in place
+/// (`A = L·Lᵀ`, the lower triangle is overwritten by `L`) with the Large
+/// Block Cholesky schedule, emitted by [`lbc_build`] and replayed by the
+/// generic [`Engine`].
+pub fn lbc_execute<T: Scalar>(
+    machine: &mut OocMachine<T>,
+    a: &SymWindowRef,
+    plan: &LbcPlan,
+) -> Result<()> {
+    let schedule = lbc_schedule(a, plan)?;
+    let outcome = Engine::execute(machine, &schedule);
     machine.set_phase("main");
+    outcome?;
     Ok(())
 }
 
@@ -165,7 +187,12 @@ mod tests {
         n: usize,
         s: usize,
         plan: LbcPlan,
-    ) -> (SymMatrix<f64>, SymMatrix<f64>, LbcCostBreakdown, symla_memory::IoStats) {
+    ) -> (
+        SymMatrix<f64>,
+        SymMatrix<f64>,
+        LbcCostBreakdown,
+        symla_memory::IoStats,
+    ) {
         let a: SymMatrix<f64> = random_spd_seeded(n, 5100 + n as u64);
         let mut machine = OocMachine::with_capacity(s);
         let id = machine.insert_symmetric(a.clone());
@@ -202,14 +229,8 @@ mod tests {
         assert!(stats.peak_resident <= s);
 
         // per-phase attribution matches the per-phase predictions
-        assert_eq!(
-            breakdown.chol.loads,
-            stats.phase(PHASE_CHOL).loads as u128
-        );
-        assert_eq!(
-            breakdown.trsm.loads,
-            stats.phase(PHASE_TRSM).loads as u128
-        );
+        assert_eq!(breakdown.chol.loads, stats.phase(PHASE_CHOL).loads as u128);
+        assert_eq!(breakdown.trsm.loads, stats.phase(PHASE_TRSM).loads as u128);
         assert_eq!(
             breakdown.trailing.loads,
             stats.phase(PHASE_TRAILING).loads as u128
@@ -263,6 +284,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_block_is_rejected_by_the_builder() {
+        // lbc_build is public API; a zero block must error, not loop forever.
+        let plan = LbcPlan {
+            block: 0,
+            capacity: 36,
+            trailing: TrailingUpdate::Tbs,
+        };
+        let window = SymWindowRef::full(symla_memory::MatrixId::synthetic(0), 8);
+        let mut sched = ScheduleBuilder::<f64>::new();
+        assert!(matches!(
+            lbc_build(&mut sched, &window, &plan),
+            Err(OocError::Invalid(_))
+        ));
+        assert!(lbc_schedule::<f64>(&window, &plan).is_err());
+    }
+
+    #[test]
     fn non_spd_input_is_reported() {
         let n = 16;
         let mut a: SymMatrix<f64> = random_spd_seeded(n, 5300);
@@ -297,7 +335,11 @@ mod tests {
         );
 
         let lb = bounds::cholesky_lower_bound(n as f64, s as f64);
-        assert!(lbc.loads as f64 >= lb, "LBC {} below lower bound {lb}", lbc.loads);
+        assert!(
+            lbc.loads as f64 >= lb,
+            "LBC {} below lower bound {lb}",
+            lbc.loads
+        );
 
         // The right-looking square-block ablation is worse than the TBS one.
         let ablation = lbc_cost(n, &plan.with_trailing(TrailingUpdate::OocSyrk)).unwrap();

@@ -19,19 +19,25 @@
 //!   (the `√2` headline);
 //! * [`api`] — one-call entry points returning the factor/result together
 //!   with a full I/O report;
+//! * [`engine`] — the schedule-IR execution engine: every algorithm above is
+//!   a *schedule builder* whose IR the engine replays in execute, dry-run or
+//!   trace mode;
 //! * [`parallel`] — a shared-memory parallel SYRK with per-worker
-//!   communication accounting (the paper's "future work" direction).
+//!   communication accounting (the paper's "future work" direction), built
+//!   on the same task groups the engine executes.
 //!
 //! All schedules execute on the capacity-enforced two-level machine of
-//! `symla-memory`; their measured I/O is tested to match their analytic cost
-//! models element for element, and their numerical output is verified against
-//! the reference kernels of `symla-matrix`.
+//! `symla-memory` through the generic engine; their measured I/O is tested
+//! to match their analytic cost models element for element, and their
+//! numerical output is verified against the reference kernels of
+//! `symla-matrix`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod api;
 pub mod bounds;
+pub mod engine;
 pub mod lbc;
 pub mod oi;
 pub mod parallel;
@@ -39,11 +45,20 @@ pub mod plan;
 pub mod tbs;
 pub mod tbs_tiled;
 
-pub use api::{cholesky_out_of_core, syrk_out_of_core, CholeskyAlgorithm, RunReport, SyrkAlgorithm};
-pub use lbc::{lbc_cost, lbc_cost_breakdown, lbc_execute, LbcCostBreakdown};
+pub use api::{
+    cholesky_out_of_core, syrk_out_of_core, CholeskyAlgorithm, RunReport, SyrkAlgorithm,
+};
+pub use engine::{Engine, EngineError, Schedule, ScheduleBuilder};
+pub use lbc::{
+    lbc_build, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, LbcCostBreakdown,
+};
 pub use plan::{LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate};
-pub use tbs::{tbs_cost, tbs_decomposition, tbs_execute, TbsDecomposition};
-pub use tbs_tiled::{tbs_tiled_cost, tbs_tiled_decomposition, tbs_tiled_execute};
+pub use tbs::{
+    tbs_build, tbs_cost, tbs_decomposition, tbs_execute, tbs_schedule, TbsDecomposition,
+};
+pub use tbs_tiled::{
+    tbs_tiled_build, tbs_tiled_cost, tbs_tiled_decomposition, tbs_tiled_execute, tbs_tiled_schedule,
+};
 
 // Re-export the companion crates so that downstream users (and the root
 // `symla` facade) can reach the whole stack through one dependency.

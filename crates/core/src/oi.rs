@@ -170,7 +170,10 @@ mod tests {
     fn symmetric_advantage_is_sqrt_two() {
         let table = oi_table(10_000, 4096);
         let adv = symmetric_advantage(&table);
-        assert!((adv - std::f64::consts::SQRT_2).abs() < 1e-9, "advantage {adv}");
+        assert!(
+            (adv - std::f64::consts::SQRT_2).abs() < 1e-9,
+            "advantage {adv}"
+        );
         assert_eq!(symmetric_advantage(&[]), 0.0);
     }
 

@@ -10,6 +10,14 @@
 //! footprints it processes — exactly the quantity the sequential analysis
 //! counts, now reported per worker.
 //!
+//! Units of work are schedule-IR [`TaskGroup`]s (the same representation the
+//! sequential engine executes): each unit's group loads its result footprint
+//! and streams the rows of `A` it needs, and a worker's [`WorkerIo`] is the
+//! [`Engine::dry_run`] accounting of the groups it processed. This shares
+//! one definition of "communication of a unit" between the sequential and
+//! parallel paths, and is the seam where a future multi-worker engine can
+//! execute the groups for real against per-worker machines.
+//!
 //! Comparing the two partitioning strategies reproduces the paper's headline
 //! at the parallel level: distributing **triangle blocks** needs ≈ `1/√2`
 //! of the per-worker input traffic of distributing square tiles.
@@ -18,8 +26,11 @@ use crate::plan::TbsPlan;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::{square_tile_for_capacity, tile_extents};
+use symla_matrix::kernels::FlopCount;
 use symla_matrix::{Matrix, Scalar, SymMatrix};
+use symla_memory::{MatrixId, Region};
 use symla_sched::indexing::CyclicIndexing;
+use symla_sched::{Engine, Schedule, ScheduleBuilder, TaskGroup};
 
 /// How the result matrix is partitioned into per-worker units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,25 +53,66 @@ impl BlockStrategy {
     }
 }
 
-/// One independent unit of work: a set of result entries (all within the
-/// strict lower triangle or diagonal) and the set of `A` rows needed to
-/// update them.
+/// Synthetic matrix ids used inside the per-unit task groups (the parallel
+/// planner analyzes schedules without a backing machine).
+const C_MATRIX: MatrixId = MatrixId::synthetic(0);
+const A_MATRIX: MatrixId = MatrixId::synthetic(1);
+
+/// One independent unit of work: its result footprint (as exact regions and
+/// as an explicit entry list) and the distinct rows of `A` it reads.
+///
+/// The unit's schedule-IR task group — load the footprint, stream every
+/// needed row of `A` once per column, store the footprint back — is
+/// materialized on demand by [`unit_schedule`], so the planner holds one
+/// region/row list per unit rather than `m` copies of it.
 #[derive(Debug, Clone)]
-struct Task {
-    /// The result entries `(i, j)` with `i >= j` this task owns.
+struct Unit {
+    c_regions: Vec<Region>,
     entries: Vec<(usize, usize)>,
-    /// The distinct rows of `A` the task reads (its symmetric footprint).
     rows: Vec<usize>,
 }
 
-impl Task {
-    fn loads(&self, m: usize) -> u64 {
-        (self.entries.len() + self.rows.len() * m) as u64
+/// Builds a unit from its result-footprint regions (disjoint, covering
+/// exactly `entries`), its entry list and its distinct `A` rows.
+fn build_unit(c_regions: Vec<Region>, entries: Vec<(usize, usize)>, rows: Vec<usize>) -> Unit {
+    debug_assert_eq!(
+        c_regions.iter().map(Region::len).sum::<usize>(),
+        entries.len(),
+        "footprint regions must cover the entry list exactly"
+    );
+    Unit {
+        c_regions,
+        entries,
+        rows,
     }
+}
 
-    fn stores(&self) -> u64 {
-        self.entries.len() as u64
+/// Materializes the task group of one unit as a single-group schedule.
+fn unit_schedule<T: Scalar>(unit: &Unit, m: usize) -> Schedule<T> {
+    let mut sched = ScheduleBuilder::new();
+    sched.begin_group();
+    let cbufs: Vec<_> = unit
+        .c_regions
+        .iter()
+        .map(|r| sched.load(C_MATRIX, r.clone()))
+        .collect();
+    for q in 0..m {
+        let abuf = sched.load(
+            A_MATRIX,
+            Region::Rows {
+                rows: unit.rows.clone(),
+                col0: q,
+                cols: 1,
+            },
+        );
+        sched.discard(abuf);
     }
+    let muls = (unit.entries.len() * m) as u128;
+    sched.flops(FlopCount::new(muls, muls));
+    for cbuf in cbufs {
+        sched.store(cbuf);
+    }
+    sched.finish()
 }
 
 /// Per-worker communication volume.
@@ -115,16 +167,20 @@ impl ParallelReport {
     }
 }
 
-fn square_tasks(n: usize, t: usize) -> Vec<Task> {
-    let mut tasks = Vec::new();
+/// Square-tile units over the lower triangle of the order-`n` window starting
+/// at absolute row/column `offset`.
+fn square_units(n: usize, offset: usize, t: usize, out: &mut Vec<Unit>) {
     let extents = tile_extents(n, t);
     for (tj, &(j0, jc)) in extents.iter().enumerate() {
-        for &(i0, ic) in extents.iter().skip(tj) {
+        for (ti, &(i0, ic)) in extents.iter().enumerate().skip(tj) {
             let mut entries = Vec::new();
             for i in i0..i0 + ic {
                 for j in j0..(j0 + jc).min(i + 1) {
-                    entries.push((i, j));
+                    entries.push((offset + i, offset + j));
                 }
+            }
+            if entries.is_empty() {
+                continue;
             }
             let mut rows: Vec<usize> = (i0..i0 + ic).collect();
             if i0 != j0 {
@@ -132,18 +188,30 @@ fn square_tasks(n: usize, t: usize) -> Vec<Task> {
             }
             rows.sort_unstable();
             rows.dedup();
-            if !entries.is_empty() {
-                tasks.push(Task { entries, rows });
-            }
+            let rows: Vec<usize> = rows.into_iter().map(|r| offset + r).collect();
+
+            let regions = if ti == tj {
+                vec![Region::SymLowerTriangle {
+                    start: offset + i0,
+                    size: ic,
+                }]
+            } else {
+                vec![Region::SymRect {
+                    row0: offset + i0,
+                    col0: offset + j0,
+                    rows: ic,
+                    cols: jc,
+                }]
+            };
+            out.push(build_unit(regions, entries, rows));
         }
     }
-    tasks
 }
 
-/// Builds the task list for the triangle-block strategy: the TBS partition's
+/// Builds the unit list for the triangle-block strategy: the TBS partition's
 /// triangle blocks where it applies, recursing into the diagonal zones, and
 /// square tiles for the leftover strip / non-applicable sizes.
-fn triangle_tasks(n: usize, offset: usize, plan: &TbsPlan, t: usize, out: &mut Vec<Task>) {
+fn triangle_units(n: usize, offset: usize, plan: &TbsPlan, t: usize, out: &mut Vec<Unit>) {
     match plan.grid_size(n) {
         Some(c) if c + 1 >= plan.k => {
             let k = plan.k;
@@ -153,71 +221,84 @@ fn triangle_tasks(n: usize, offset: usize, plan: &TbsPlan, t: usize, out: &mut V
             for i in 0..c {
                 for j in 0..c {
                     let rows_rel = family.row_indices(i, j);
-                    let rows: Vec<usize> = rows_rel.iter().map(|&r| offset + r).collect();
+                    let mut rows: Vec<usize> = rows_rel.iter().map(|&r| offset + r).collect();
+                    rows.sort_unstable();
                     let mut entries = Vec::new();
                     for (a, &r) in rows.iter().enumerate() {
                         for &rp in rows.iter().take(a) {
                             entries.push((r, rp));
                         }
                     }
-                    out.push(Task { entries, rows });
+                    let regions = vec![Region::SymPairs { rows: rows.clone() }];
+                    out.push(build_unit(regions, entries, rows));
                 }
             }
             // diagonal zones: recurse
             for u in 0..k {
-                triangle_tasks(c, offset + u * c, plan, t, out);
+                triangle_units(c, offset + u * c, plan, t, out);
             }
             // leftover strip: square tiles over the strip rows
             let leftover = n - covered;
             if leftover > 0 {
-                for task in square_tasks_strip(n, covered, offset, t) {
-                    out.push(task);
-                }
+                strip_units(n, covered, offset, t, out);
             }
         }
-        _ => {
-            for mut task in square_tasks(n, t) {
-                for e in &mut task.entries {
-                    e.0 += offset;
-                    e.1 += offset;
-                }
-                for r in &mut task.rows {
-                    *r += offset;
-                }
-                out.push(task);
-            }
-        }
+        _ => square_units(n, offset, t, out),
     }
 }
 
-/// Square-tile tasks covering rows `[row_start, n)` of the lower triangle
+/// Square-tile units covering rows `[row_start, n)` of the lower triangle
 /// (the leftover strip of the TBS partition), in window coordinates shifted
 /// by `offset`.
-fn square_tasks_strip(n: usize, row_start: usize, offset: usize, t: usize) -> Vec<Task> {
-    let mut tasks = Vec::new();
+fn strip_units(n: usize, row_start: usize, offset: usize, t: usize, out: &mut Vec<Unit>) {
     for &(i0, ic) in &tile_extents(n - row_start, t) {
         for &(j0, jc) in &tile_extents(n, t) {
             if j0 >= row_start + i0 + ic {
                 break;
             }
+            let lo_row = row_start + i0;
+            let hi_row = row_start + i0 + ic;
             let mut entries = Vec::new();
-            let mut rows = Vec::new();
-            for i in (row_start + i0)..(row_start + i0 + ic) {
+            let mut regions = Vec::new();
+            // Column-wise footprint: column j holds the rows max(lo, j)..hi,
+            // so straddling tiles decompose into per-column segments while
+            // fully sub-diagonal tiles collapse back into one rectangle.
+            if j0 + jc <= lo_row {
+                regions.push(Region::SymRect {
+                    row0: offset + lo_row,
+                    col0: offset + j0,
+                    rows: ic,
+                    cols: jc,
+                });
+            } else {
+                for j in j0..j0 + jc {
+                    let lo = lo_row.max(j);
+                    if lo < hi_row {
+                        regions.push(Region::SymRect {
+                            row0: offset + lo,
+                            col0: offset + j,
+                            rows: hi_row - lo,
+                            cols: 1,
+                        });
+                    }
+                }
+            }
+            for i in lo_row..hi_row {
                 for j in j0..(j0 + jc).min(i + 1) {
                     entries.push((offset + i, offset + j));
                 }
             }
-            rows.extend((row_start + i0)..(row_start + i0 + ic));
+            if entries.is_empty() {
+                continue;
+            }
+            let mut rows: Vec<usize> = (lo_row..hi_row).collect();
             rows.extend(j0..(j0 + jc).min(n));
-            let mut rows: Vec<usize> = rows.into_iter().map(|r| offset + r).collect();
             rows.sort_unstable();
             rows.dedup();
-            if !entries.is_empty() {
-                tasks.push(Task { entries, rows });
-            }
+            let rows: Vec<usize> = rows.into_iter().map(|r| offset + r).collect();
+            out.push(build_unit(regions, entries, rows));
         }
     }
-    tasks
 }
 
 /// Computes `C += alpha · A · Aᵀ` in parallel with `workers` threads, each
@@ -226,7 +307,8 @@ fn square_tasks_strip(n: usize, row_start: usize, offset: usize, t: usize) -> Ve
 ///
 /// Units of work are distributed dynamically (an atomic work queue), and the
 /// numerical result is exact: units are disjoint, each worker accumulates its
-/// deltas privately and the main thread applies them.
+/// deltas privately and the main thread applies them. Each worker's I/O is
+/// the engine dry-run accounting of the task groups it processed.
 pub fn parallel_syrk<T: Scalar>(
     a: &Matrix<T>,
     c: &mut SymMatrix<T>,
@@ -248,45 +330,45 @@ pub fn parallel_syrk<T: Scalar>(
     }
     let t = square_tile_for_capacity(memory_per_worker)?;
 
-    let tasks: Vec<Task> = match strategy {
-        BlockStrategy::SquareTiles => square_tasks(n, t),
+    let mut units: Vec<Unit> = Vec::new();
+    match strategy {
+        BlockStrategy::SquareTiles => square_units(n, 0, t, &mut units),
         BlockStrategy::TriangleBlocks => {
             let plan = TbsPlan::for_memory(memory_per_worker)?;
-            let mut out = Vec::new();
-            triangle_tasks(n, 0, &plan, t, &mut out);
-            out
+            triangle_units(n, 0, &plan, t, &mut units);
         }
-    };
+    }
 
     let next = AtomicUsize::new(0);
     // Each worker returns (its IO counters, the deltas it computed).
     type Delta<T> = Vec<(usize, usize, T)>;
-    let results: Vec<(WorkerIo, Delta<T>)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(WorkerIo, Delta<T>)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let tasks = &tasks;
+            let units = &units;
             let next = &next;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut io = WorkerIo::default();
                 let mut deltas: Delta<T> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= tasks.len() {
+                    if idx >= units.len() {
                         break;
                     }
-                    let task = &tasks[idx];
-                    io.loads += task.loads(m);
-                    io.stores += task.stores();
+                    let unit = &units[idx];
+                    let stats = Engine::dry_run(&unit_schedule::<T>(unit, m), "parallel");
+                    io.loads += stats.volume.loads;
+                    io.stores += stats.volume.stores;
                     io.tasks += 1;
                     // accumulate alpha * sum_k A[i,k] A[j,k] per entry
-                    let mut acc = vec![T::ZERO; task.entries.len()];
+                    let mut acc = vec![T::ZERO; unit.entries.len()];
                     for k in 0..m {
                         let col = a.col(k);
-                        for (slot, &(i, j)) in acc.iter_mut().zip(task.entries.iter()) {
+                        for (slot, &(i, j)) in acc.iter_mut().zip(unit.entries.iter()) {
                             *slot = col[i].mul_add(col[j], *slot);
                         }
                     }
-                    for (&(i, j), &v) in task.entries.iter().zip(acc.iter()) {
+                    for (&(i, j), &v) in unit.entries.iter().zip(acc.iter()) {
                         deltas.push((i, j, alpha * v));
                     }
                 }
@@ -297,8 +379,7 @@ pub fn parallel_syrk<T: Scalar>(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut per_worker = Vec::with_capacity(workers);
     for (io, deltas) in results {
@@ -314,6 +395,32 @@ pub fn parallel_syrk<T: Scalar>(
         memory_per_worker,
         per_worker,
     })
+}
+
+/// The task groups a strategy would distribute for an `n × m` problem, as a
+/// single schedule (one group per unit, in partition order). This is the
+/// exact work list [`parallel_syrk`] hands to its workers, exposed so
+/// planners and future multi-worker engines can inspect or re-distribute it.
+pub fn partition_schedule<T: Scalar>(
+    n: usize,
+    m: usize,
+    memory_per_worker: usize,
+    strategy: BlockStrategy,
+) -> Result<Schedule<T>> {
+    let t = square_tile_for_capacity(memory_per_worker)?;
+    let mut units: Vec<Unit> = Vec::new();
+    match strategy {
+        BlockStrategy::SquareTiles => square_units(n, 0, t, &mut units),
+        BlockStrategy::TriangleBlocks => {
+            let plan = TbsPlan::for_memory(memory_per_worker)?;
+            triangle_units(n, 0, &plan, t, &mut units);
+        }
+    }
+    let groups: Vec<TaskGroup<T>> = units
+        .iter()
+        .flat_map(|u| unit_schedule::<T>(u, m).groups)
+        .collect();
+    Ok(Schedule { groups })
 }
 
 #[cfg(test)]
@@ -336,9 +443,12 @@ mod tests {
         for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
             for workers in [1, 3, 4] {
                 let mut c = SymMatrix::zeros(n);
-                let report =
-                    parallel_syrk(&a, &mut c, 1.0, workers, s, strategy).unwrap();
-                assert!(c.approx_eq(&expected, 1e-11), "{} w={workers}", strategy.name());
+                let report = parallel_syrk(&a, &mut c, 1.0, workers, s, strategy).unwrap();
+                assert!(
+                    c.approx_eq(&expected, 1e-11),
+                    "{} w={workers}",
+                    strategy.name()
+                );
                 assert_eq!(report.workers, workers);
                 assert_eq!(report.per_worker.len(), workers);
                 let tasks: usize = report.per_worker.iter().map(|w| w.tasks).sum();
@@ -379,6 +489,49 @@ mod tests {
     }
 
     #[test]
+    fn unit_accounting_equals_partition_schedule_dry_run() {
+        // The sum of per-worker volumes equals the dry-run accounting of the
+        // full partition schedule: both go through the same task groups.
+        let (n, m, s) = (48, 6, 10);
+        let (a, _) = reference(n, m, 1.0, 73);
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            let mut c = SymMatrix::zeros(n);
+            let report = parallel_syrk(&a, &mut c, 1.0, 3, s, strategy).unwrap();
+            let schedule = partition_schedule::<f64>(n, m, s, strategy).unwrap();
+            let stats = Engine::dry_run(&schedule, "parallel");
+            assert_eq!(
+                report.total_loads(),
+                stats.volume.loads,
+                "{}",
+                strategy.name()
+            );
+            assert_eq!(
+                report.total_stores(),
+                stats.volume.stores,
+                "{}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stores_cover_the_lower_triangle_exactly_once() {
+        // Units partition the result: total stores equal the packed size of
+        // C for both strategies.
+        let (n, m, s) = (60, 4, 10);
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            let schedule = partition_schedule::<f64>(n, m, s, strategy).unwrap();
+            let stats = Engine::dry_run(&schedule, "parallel");
+            assert_eq!(
+                stats.volume.stores,
+                (n * (n + 1) / 2) as u64,
+                "{}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
     fn errors_on_bad_arguments() {
         let a: Matrix<f64> = Matrix::zeros(4, 2);
         let mut c = SymMatrix::zeros(5);
@@ -397,8 +550,16 @@ mod tests {
             strategy: BlockStrategy::SquareTiles,
             memory_per_worker: 16,
             per_worker: vec![
-                WorkerIo { loads: 10, stores: 2, tasks: 1 },
-                WorkerIo { loads: 30, stores: 4, tasks: 3 },
+                WorkerIo {
+                    loads: 10,
+                    stores: 2,
+                    tasks: 1,
+                },
+                WorkerIo {
+                    loads: 30,
+                    stores: 4,
+                    tasks: 3,
+                },
             ],
         };
         assert_eq!(report.total_loads(), 40);

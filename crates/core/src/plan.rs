@@ -67,9 +67,7 @@ impl TbsPlan {
     /// Whether the triangle-block phase is applicable for a matrix of order
     /// `n` (Algorithm 4's test `c ≥ k − 1`).
     pub fn applicable(&self, n: usize) -> bool {
-        self.grid_size(n)
-            .map(|c| c + 1 >= self.k)
-            .unwrap_or(false)
+        self.grid_size(n).map(|c| c + 1 >= self.k).unwrap_or(false)
     }
 
     /// Smallest matrix order for which the triangle-block phase engages:
@@ -152,23 +150,15 @@ impl TbsTiledPlan {
         }
         let mut best: Option<(usize, usize, bool)> = None; // (k, b, applicable)
         let mut k = 2;
-        loop {
-            let Some(b) = Self::max_tile_for(k, s) else {
-                break;
-            };
-            let candidate = Self {
-                k,
-                b,
-                capacity: s,
-            };
+        while let Some(b) = Self::max_tile_for(k, s) {
+            let candidate = Self { k, b, capacity: s };
             let applicable = candidate.applicable(n);
             let score = (k - 1) * b;
             let better = match best {
                 None => true,
                 Some((bk, bb, bap)) => {
                     let best_score = (bk - 1) * bb;
-                    (applicable && !bap)
-                        || (applicable == bap && score > best_score)
+                    (applicable && !bap) || (applicable == bap && score > best_score)
                 }
             };
             if better {
@@ -200,9 +190,7 @@ impl TbsTiledPlan {
 
     /// Whether the triangle-block phase engages for a matrix of order `n`.
     pub fn applicable(&self, n: usize) -> bool {
-        self.grid_size(n)
-            .map(|c| c + 1 >= self.k)
-            .unwrap_or(false)
+        self.grid_size(n).map(|c| c + 1 >= self.k).unwrap_or(false)
     }
 }
 
@@ -339,7 +327,10 @@ mod tests {
         assert_eq!(p.trailing, TrailingUpdate::Tbs);
         assert_eq!(p.iterations(1024), 32);
         assert_eq!(p.iterations(1000), 32);
-        let p2 = p.with_block(100).unwrap().with_trailing(TrailingUpdate::OocSyrk);
+        let p2 = p
+            .with_block(100)
+            .unwrap()
+            .with_trailing(TrailingUpdate::OocSyrk);
         assert_eq!(p2.block, 100);
         assert_eq!(p2.trailing, TrailingUpdate::OocSyrk);
         assert!(p.with_block(0).is_err());

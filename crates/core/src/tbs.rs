@@ -15,12 +15,12 @@
 use crate::plan::TbsPlan;
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::{tile_extents, IoEstimate};
-use symla_baselines::{ooc_syrk_cost, ooc_syrk_execute, OocSyrkPlan};
-use symla_matrix::kernels::views::{ger_view, triangle_pairs_update};
+use symla_baselines::{ooc_syrk_build, ooc_syrk_cost, OocSyrkPlan};
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
 use symla_memory::{OocMachine, PanelRef, SymWindowRef};
 use symla_sched::indexing::CyclicIndexing;
+use symla_sched::{BufSlice, ComputeOp, Engine, Schedule, ScheduleBuilder};
 
 /// Describes how a TBS invocation decomposes a problem of order `n`
 /// (used by the experiments to report the structure of Figure 2).
@@ -101,46 +101,130 @@ pub fn tbs_cost(n: usize, m: usize, plan: &TbsPlan) -> Result<IoEstimate> {
     est.loads += blocks * (pairs_per_block as u128 + (m * k) as u128);
     est.stores += blocks * pairs_per_block as u128;
     let block_flops = (m * pairs_per_block) as u128;
-    est.flops = est.flops.merge(&FlopCount::new(
-        blocks * block_flops,
-        blocks * block_flops,
-    ));
+    est.flops = est
+        .flops
+        .merge(&FlopCount::new(blocks * block_flops, blocks * block_flops));
     Ok(est)
 }
 
-/// Updates the rectangular strip `C[row_start.., 0..row_start]` of the window
-/// (everything strictly below the triangle-block region in the leftover rows)
-/// with square tiles: `C_strip += alpha · A[row_start.., :] · A[0..row_start, :]ᵀ`.
+/// Appends the square-tile schedule updating the rectangular strip
+/// `C[row_start.., 0..row_start]` of the window (everything strictly below
+/// the triangle-block region in the leftover rows):
+/// `C_strip += alpha · A[row_start.., :] · A[0..row_start, :]ᵀ`.
 fn syrk_rect_strip<T: Scalar>(
-    machine: &mut OocMachine<T>,
+    sched: &mut ScheduleBuilder<T>,
     a: &PanelRef,
     c: &SymWindowRef,
     row_start: usize,
     strip_rows: usize,
     alpha: T,
     sq: &OocSyrkPlan,
-) -> Result<()> {
+) {
     let m = a.cols();
     let t = sq.tile;
     for &(i0, ic) in &tile_extents(strip_rows, t) {
         for &(j0, jc) in &tile_extents(row_start, t) {
-            let mut cbuf = machine.load(c.id, c.rect_region(row_start + i0, j0, ic, jc))?;
+            sched.begin_group();
+            let cbuf = sched.load(c.id, c.rect_region(row_start + i0, j0, ic, jc));
             for q in 0..m {
-                let arow = machine.load(a.id, a.col_segment_region(q, row_start + i0, ic))?;
-                let acol = machine.load(a.id, a.col_segment_region(q, j0, jc))?;
-                {
-                    let mut cv = cbuf.rect_view_mut()?;
-                    ger_view(alpha, arow.as_slice(), acol.as_slice(), &mut cv)?;
-                }
-                machine.discard(arow)?;
-                machine.discard(acol)?;
+                let arow = sched.load(a.id, a.col_segment_region(q, row_start + i0, ic));
+                let acol = sched.load(a.id, a.col_segment_region(q, j0, jc));
+                sched.compute(ComputeOp::Ger {
+                    alpha,
+                    x: BufSlice::whole(arow, ic),
+                    y: BufSlice::whole(acol, jc),
+                    dst: cbuf,
+                });
+                sched.discard(arow);
+                sched.discard(acol);
             }
             let pairs = (m * ic * jc) as u128;
-            machine.record_flops(FlopCount::new(pairs, pairs));
-            machine.store(cbuf)?;
+            sched.flops(FlopCount::new(pairs, pairs));
+            sched.store(cbuf);
+        }
+    }
+}
+
+/// Appends the TBS schedule for `C[window] += alpha · A · Aᵀ` to an existing
+/// builder, recursing into the diagonal zones. Operands are assumed
+/// validated.
+pub fn tbs_build<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
+    a: &PanelRef,
+    c: &SymWindowRef,
+    alpha: T,
+    plan: &TbsPlan,
+) -> Result<()> {
+    let n = c.order();
+    let m = a.cols();
+    let sq = square_plan(plan)?;
+    let decomp = tbs_decomposition(n, plan);
+    let Some(cgrid) = decomp.grid else {
+        ooc_syrk_build(sched, a, c, alpha, &sq);
+        return Ok(());
+    };
+    let k = plan.k;
+    let covered = decomp.covered;
+    let leftover = decomp.leftover;
+
+    // 1. leftover strip
+    if leftover > 0 {
+        syrk_rect_strip(sched, a, c, covered, leftover, alpha, &sq);
+        let a_bot = a.window(covered, 0, leftover, m);
+        let c_bot = c.subwindow(covered, leftover);
+        ooc_syrk_build(sched, &a_bot, &c_bot, alpha, &sq);
+    }
+
+    // 2. recursive diagonal zones
+    for u in 0..k {
+        let a_sub = a.window(u * cgrid, 0, cgrid, m);
+        let c_sub = c.subwindow(u * cgrid, cgrid);
+        tbs_build(sched, &a_sub, &c_sub, alpha, plan)?;
+    }
+
+    // 3. triangle blocks
+    let family = CyclicIndexing::new(cgrid, k);
+    let pairs_per_block = k * (k - 1) / 2;
+    for i in 0..cgrid {
+        for j in 0..cgrid {
+            sched.begin_group();
+            let rows = family.row_indices(i, j);
+            let cbuf = sched.load(c.id, c.pairs_region(&rows));
+            for q in 0..m {
+                let abuf = sched.load(a.id, a.rows_region(&rows, q, 1));
+                sched.compute(ComputeOp::TrianglePairs {
+                    alpha,
+                    x: BufSlice::whole(abuf, rows.len()),
+                    dst: cbuf,
+                });
+                sched.discard(abuf);
+            }
+            let block_flops = (m * pairs_per_block) as u128;
+            sched.flops(FlopCount::new(block_flops, block_flops));
+            sched.store(cbuf);
         }
     }
     Ok(())
+}
+
+/// Builds the TBS schedule for `C[window] += alpha · A · Aᵀ`, validating the
+/// operand shapes.
+pub fn tbs_schedule<T: Scalar>(
+    a: &PanelRef,
+    c: &SymWindowRef,
+    alpha: T,
+    plan: &TbsPlan,
+) -> Result<Schedule<T>> {
+    if a.rows() != c.order() {
+        return Err(OocError::Invalid(format!(
+            "TBS operand mismatch: A has {} rows but C has order {}",
+            a.rows(),
+            c.order()
+        )));
+    }
+    let mut sched = ScheduleBuilder::new();
+    tbs_build(&mut sched, a, c, alpha, plan)?;
+    Ok(sched.finish())
 }
 
 /// Executes `C[window] += alpha · A · Aᵀ` with the TBS schedule.
@@ -153,7 +237,8 @@ fn syrk_rect_strip<T: Scalar>(
 ///
 /// When the applicability condition `c ≥ k − 1` of Algorithm 4 fails (the
 /// matrix is too small relative to the memory), the schedule degrades to the
-/// square-block baseline, exactly as the paper specifies.
+/// square-block baseline, exactly as the paper specifies. The schedule is
+/// emitted by [`tbs_build`] and replayed by the generic [`Engine`].
 pub fn tbs_execute<T: Scalar>(
     machine: &mut OocMachine<T>,
     a: &PanelRef,
@@ -161,55 +246,8 @@ pub fn tbs_execute<T: Scalar>(
     alpha: T,
     plan: &TbsPlan,
 ) -> Result<()> {
-    let n = c.order();
-    let m = a.cols();
-    if a.rows() != n {
-        return Err(OocError::Invalid(format!(
-            "TBS operand mismatch: A has {} rows but C has order {n}",
-            a.rows()
-        )));
-    }
-    let sq = square_plan(plan)?;
-    let decomp = tbs_decomposition(n, plan);
-    let Some(cgrid) = decomp.grid else {
-        return ooc_syrk_execute(machine, a, c, alpha, &sq);
-    };
-    let k = plan.k;
-    let covered = decomp.covered;
-    let leftover = decomp.leftover;
-
-    // 1. leftover strip
-    if leftover > 0 {
-        syrk_rect_strip(machine, a, c, covered, leftover, alpha, &sq)?;
-        let a_bot = a.window(covered, 0, leftover, m);
-        let c_bot = c.subwindow(covered, leftover);
-        ooc_syrk_execute(machine, &a_bot, &c_bot, alpha, &sq)?;
-    }
-
-    // 2. recursive diagonal zones
-    for u in 0..k {
-        let a_sub = a.window(u * cgrid, 0, cgrid, m);
-        let c_sub = c.subwindow(u * cgrid, cgrid);
-        tbs_execute(machine, &a_sub, &c_sub, alpha, plan)?;
-    }
-
-    // 3. triangle blocks
-    let family = CyclicIndexing::new(cgrid, k);
-    let pairs_per_block = k * (k - 1) / 2;
-    for i in 0..cgrid {
-        for j in 0..cgrid {
-            let rows = family.row_indices(i, j);
-            let mut cbuf = machine.load(c.id, c.pairs_region(&rows))?;
-            for q in 0..m {
-                let abuf = machine.load(a.id, a.rows_region(&rows, q, 1))?;
-                triangle_pairs_update(alpha, abuf.as_slice(), cbuf.as_mut_slice())?;
-                machine.discard(abuf)?;
-            }
-            let block_flops = (m * pairs_per_block) as u128;
-            machine.record_flops(FlopCount::new(block_flops, block_flops));
-            machine.store(cbuf)?;
-        }
-    }
+    let schedule = tbs_schedule(a, c, alpha, plan)?;
+    Engine::execute(machine, &schedule)?;
     Ok(())
 }
 
@@ -226,7 +264,12 @@ mod tests {
         m: usize,
         s: usize,
         alpha: f64,
-    ) -> (SymMatrix<f64>, SymMatrix<f64>, IoEstimate, symla_memory::IoStats) {
+    ) -> (
+        SymMatrix<f64>,
+        SymMatrix<f64>,
+        IoEstimate,
+        symla_memory::IoStats,
+    ) {
         let a: Matrix<f64> = random_matrix_seeded(n, m, 7000 + n as u64);
         let mut rng = seeded_rng(8000 + n as u64);
         let c0: SymMatrix<f64> = random_symmetric(n, &mut rng);
@@ -284,7 +327,12 @@ mod tests {
 
     #[test]
     fn negative_alpha_and_various_sizes() {
-        for &(n, m, s) in &[(25_usize, 4_usize, 10_usize), (37, 3, 10), (52, 5, 15), (48, 7, 21)] {
+        for &(n, m, s) in &[
+            (25_usize, 4_usize, 10_usize),
+            (37, 3, 10),
+            (52, 5, 15),
+            (48, 7, 21),
+        ] {
             let (got, expected, est, stats) = run_tbs(n, m, s, -1.0);
             assert!(got.approx_eq(&expected, 1e-10), "n={n} m={m} s={s}");
             assert_eq!(est.loads, stats.volume.loads as u128, "n={n} m={m} s={s}");
@@ -330,7 +378,11 @@ mod tests {
             sq.loads
         );
         let lb = bounds::syrk_lower_bound(n as f64, m as f64, s as f64);
-        assert!(tbs.loads as f64 >= lb, "TBS {} below lower bound {lb}", tbs.loads);
+        assert!(
+            tbs.loads as f64 >= lb,
+            "TBS {} below lower bound {lb}",
+            tbs.loads
+        );
     }
 
     #[test]
@@ -345,7 +397,8 @@ mod tests {
         assert!(plan.applicable(n));
         let est = tbs_cost(n, m, &plan).unwrap();
         let c_loads = (n as f64) * (n as f64) / 2.0;
-        let normalized = (est.loads as f64 - c_loads) / ((n as f64).powi(2) * m as f64 / (s as f64).sqrt());
+        let normalized =
+            (est.loads as f64 - c_loads) / ((n as f64).powi(2) * m as f64 / (s as f64).sqrt());
         let target = 1.0 / std::f64::consts::SQRT_2;
         assert!(
             (normalized - target).abs() / target < 0.06,

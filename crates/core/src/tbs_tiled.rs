@@ -14,12 +14,12 @@
 use crate::plan::TbsTiledPlan;
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::{tile_extents, IoEstimate};
-use symla_baselines::{ooc_syrk_cost, ooc_syrk_execute, OocSyrkPlan};
-use symla_matrix::kernels::views::ger_view;
+use symla_baselines::{ooc_syrk_build, ooc_syrk_cost, OocSyrkPlan};
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
-use symla_memory::{FastBuf, OocMachine, PanelRef, SymWindowRef};
+use symla_memory::{OocMachine, PanelRef, SymWindowRef};
 use symla_sched::indexing::CyclicIndexing;
+use symla_sched::{BufId, BufSlice, ComputeOp, Engine, Schedule, ScheduleBuilder};
 
 /// Decomposition of a tiled-TBS invocation of order `n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,49 +103,52 @@ pub fn tbs_tiled_cost(n: usize, m: usize, plan: &TbsTiledPlan) -> Result<IoEstim
     est.loads += blocks * (tile_pairs * (b * b) as u128 + (m * k * b) as u128);
     est.stores += blocks * tile_pairs * (b * b) as u128;
     let block_flops = tile_pairs * (m * b * b) as u128;
-    est.flops = est.flops.merge(&FlopCount::new(
-        blocks * block_flops,
-        blocks * block_flops,
-    ));
+    est.flops = est
+        .flops
+        .merge(&FlopCount::new(blocks * block_flops, blocks * block_flops));
     Ok(est)
 }
 
 /// Same strip helper as element-level TBS (kept local to avoid exposing it).
 fn syrk_rect_strip<T: Scalar>(
-    machine: &mut OocMachine<T>,
+    sched: &mut ScheduleBuilder<T>,
     a: &PanelRef,
     c: &SymWindowRef,
     row_start: usize,
     strip_rows: usize,
     alpha: T,
     sq: &OocSyrkPlan,
-) -> Result<()> {
+) {
     let m = a.cols();
     let t = sq.tile;
     for &(i0, ic) in &tile_extents(strip_rows, t) {
         for &(j0, jc) in &tile_extents(row_start, t) {
-            let mut cbuf = machine.load(c.id, c.rect_region(row_start + i0, j0, ic, jc))?;
+            sched.begin_group();
+            let cbuf = sched.load(c.id, c.rect_region(row_start + i0, j0, ic, jc));
             for q in 0..m {
-                let arow = machine.load(a.id, a.col_segment_region(q, row_start + i0, ic))?;
-                let acol = machine.load(a.id, a.col_segment_region(q, j0, jc))?;
-                {
-                    let mut cv = cbuf.rect_view_mut()?;
-                    ger_view(alpha, arow.as_slice(), acol.as_slice(), &mut cv)?;
-                }
-                machine.discard(arow)?;
-                machine.discard(acol)?;
+                let arow = sched.load(a.id, a.col_segment_region(q, row_start + i0, ic));
+                let acol = sched.load(a.id, a.col_segment_region(q, j0, jc));
+                sched.compute(ComputeOp::Ger {
+                    alpha,
+                    x: BufSlice::whole(arow, ic),
+                    y: BufSlice::whole(acol, jc),
+                    dst: cbuf,
+                });
+                sched.discard(arow);
+                sched.discard(acol);
             }
             let pairs = (m * ic * jc) as u128;
-            machine.record_flops(FlopCount::new(pairs, pairs));
-            machine.store(cbuf)?;
+            sched.flops(FlopCount::new(pairs, pairs));
+            sched.store(cbuf);
         }
     }
-    Ok(())
 }
 
-/// Executes `C[window] += alpha · A · Aᵀ` with the tiled TBS schedule.
-pub fn tbs_tiled_execute<T: Scalar>(
-    machine: &mut OocMachine<T>,
+/// Appends the tiled-TBS schedule for `C[window] += alpha · A · Aᵀ` to an
+/// existing builder, recursing into the diagonal zones. Operands are assumed
+/// validated.
+pub fn tbs_tiled_build<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
     a: &PanelRef,
     c: &SymWindowRef,
     alpha: T,
@@ -153,16 +156,11 @@ pub fn tbs_tiled_execute<T: Scalar>(
 ) -> Result<()> {
     let n = c.order();
     let m = a.cols();
-    if a.rows() != n {
-        return Err(OocError::Invalid(format!(
-            "tiled TBS operand mismatch: A has {} rows but C has order {n}",
-            a.rows()
-        )));
-    }
     let sq = square_plan(plan)?;
     let decomp = tbs_tiled_decomposition(n, plan);
     let Some(cgrid) = decomp.grid else {
-        return ooc_syrk_execute(machine, a, c, alpha, &sq);
+        ooc_syrk_build(sched, a, c, alpha, &sq);
+        return Ok(());
     };
     let (k, b) = (plan.k, plan.b);
     let covered = decomp.covered;
@@ -170,31 +168,31 @@ pub fn tbs_tiled_execute<T: Scalar>(
 
     // 1. leftover strip
     if leftover > 0 {
-        syrk_rect_strip(machine, a, c, covered, leftover, alpha, &sq)?;
+        syrk_rect_strip(sched, a, c, covered, leftover, alpha, &sq);
         let a_bot = a.window(covered, 0, leftover, m);
         let c_bot = c.subwindow(covered, leftover);
-        ooc_syrk_execute(machine, &a_bot, &c_bot, alpha, &sq)?;
+        ooc_syrk_build(sched, &a_bot, &c_bot, alpha, &sq);
     }
 
     // 2. recursive diagonal zones
     for u in 0..k {
         let a_sub = a.window(u * cgrid * b, 0, cgrid * b, m);
         let c_sub = c.subwindow(u * cgrid * b, cgrid * b);
-        tbs_tiled_execute(machine, &a_sub, &c_sub, alpha, plan)?;
+        tbs_tiled_build(sched, &a_sub, &c_sub, alpha, plan)?;
     }
 
     // 3. triangle blocks
     let family = CyclicIndexing::new(cgrid, k);
     for i in 0..cgrid {
         for j in 0..cgrid {
+            sched.begin_group();
             let tile_rows = family.row_indices(i, j);
             // Load the k(k-1)/2 tiles of the block (pair (u, v), u > v).
-            let mut tiles: Vec<FastBuf<T>> = Vec::with_capacity(k * (k - 1) / 2);
+            let mut tiles: Vec<BufId> = Vec::with_capacity(k * (k - 1) / 2);
             for u in 1..k {
                 for v in 0..u {
-                    let region =
-                        c.rect_region(tile_rows[u] * b, tile_rows[v] * b, b, b);
-                    tiles.push(machine.load(c.id, region)?);
+                    let region = c.rect_region(tile_rows[u] * b, tile_rows[v] * b, b, b);
+                    tiles.push(sched.load(c.id, region));
                 }
             }
             // The matrix rows of the block, in tile-row order.
@@ -203,27 +201,62 @@ pub fn tbs_tiled_execute<T: Scalar>(
                 rows.extend(tr * b..(tr + 1) * b);
             }
             for q in 0..m {
-                let abuf = machine.load(a.id, a.rows_region(&rows, q, 1))?;
-                let aslice = abuf.as_slice();
+                let abuf = sched.load(a.id, a.rows_region(&rows, q, 1));
                 let mut idx = 0;
                 for u in 1..k {
                     for v in 0..u {
-                        let xu = &aslice[u * b..(u + 1) * b];
-                        let xv = &aslice[v * b..(v + 1) * b];
-                        let mut tv = tiles[idx].rect_view_mut()?;
-                        ger_view(alpha, xu, xv, &mut tv)?;
+                        sched.compute(ComputeOp::Ger {
+                            alpha,
+                            x: BufSlice::new(abuf, u * b, b),
+                            y: BufSlice::new(abuf, v * b, b),
+                            dst: tiles[idx],
+                        });
                         idx += 1;
                     }
                 }
-                machine.discard(abuf)?;
+                sched.discard(abuf);
             }
             let block_flops = (k * (k - 1) / 2) as u128 * (m * b * b) as u128;
-            machine.record_flops(FlopCount::new(block_flops, block_flops));
+            sched.flops(FlopCount::new(block_flops, block_flops));
             for tile in tiles {
-                machine.store(tile)?;
+                sched.store(tile);
             }
         }
     }
+    Ok(())
+}
+
+/// Builds the tiled-TBS schedule for `C[window] += alpha · A · Aᵀ`,
+/// validating the operand shapes.
+pub fn tbs_tiled_schedule<T: Scalar>(
+    a: &PanelRef,
+    c: &SymWindowRef,
+    alpha: T,
+    plan: &TbsTiledPlan,
+) -> Result<Schedule<T>> {
+    if a.rows() != c.order() {
+        return Err(OocError::Invalid(format!(
+            "tiled TBS operand mismatch: A has {} rows but C has order {}",
+            a.rows(),
+            c.order()
+        )));
+    }
+    let mut sched = ScheduleBuilder::new();
+    tbs_tiled_build(&mut sched, a, c, alpha, plan)?;
+    Ok(sched.finish())
+}
+
+/// Executes `C[window] += alpha · A · Aᵀ` with the tiled TBS schedule,
+/// emitted by [`tbs_tiled_build`] and replayed by the generic [`Engine`].
+pub fn tbs_tiled_execute<T: Scalar>(
+    machine: &mut OocMachine<T>,
+    a: &PanelRef,
+    c: &SymWindowRef,
+    alpha: T,
+    plan: &TbsTiledPlan,
+) -> Result<()> {
+    let schedule = tbs_tiled_schedule(a, c, alpha, plan)?;
+    Engine::execute(machine, &schedule)?;
     Ok(())
 }
 
@@ -241,7 +274,12 @@ mod tests {
         plan: &TbsTiledPlan,
         capacity: usize,
         alpha: f64,
-    ) -> (SymMatrix<f64>, SymMatrix<f64>, IoEstimate, symla_memory::IoStats) {
+    ) -> (
+        SymMatrix<f64>,
+        SymMatrix<f64>,
+        IoEstimate,
+        symla_memory::IoStats,
+    ) {
         let a: Matrix<f64> = random_matrix_seeded(n, m, 9100 + n as u64);
         let mut rng = seeded_rng(9200 + n as u64);
         let c0: SymMatrix<f64> = random_symmetric(n, &mut rng);

@@ -274,12 +274,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Scatters `block` back into the rows listed in `row_indices`, columns
     /// `col0..col0+block.cols()`. Inverse of [`Matrix::gather_rows`].
-    pub fn scatter_rows(
-        &mut self,
-        row_indices: &[usize],
-        col0: usize,
-        block: &Self,
-    ) -> Result<()> {
+    pub fn scatter_rows(&mut self, row_indices: &[usize], col0: usize, block: &Self) -> Result<()> {
         if block.rows != row_indices.len() {
             return Err(MatrixError::DimensionMismatch {
                 operation: "scatter_rows",

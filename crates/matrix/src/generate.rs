@@ -1,26 +1,99 @@
 //! Deterministic test-matrix generators.
 //!
 //! Every experiment in this workspace is reproducible: the generators take an
-//! explicit seed (or an explicit RNG) and use `rand`'s `StdRng`, so the same
-//! `(kind, size, seed)` triple always produces the same matrix.
+//! explicit seed (or an explicit [`SeededRng`]), so the same
+//! `(kind, size, seed)` triple always produces the same matrix. The RNG is a
+//! self-contained xoshiro256++ generator (seeded through SplitMix64), so the
+//! workspace carries no external randomness dependency.
 
 use crate::dense::Matrix;
 use crate::scalar::Scalar;
 use crate::symmetric::SymMatrix;
 use crate::triangular::LowerTriangular;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// A small, fast, deterministic pseudo-random generator (xoshiro256++).
+///
+/// Quality is far beyond what the test-matrix generators need, and the
+/// implementation is ~30 lines, which keeps the workspace dependency-free.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: [u64; 4],
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample in `[range.start, range.end)` (`f64` or `usize`).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+}
+
+/// Ranges the [`SeededRng`] can sample from uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Out;
+    /// Draws one uniform sample from the half-open range.
+    fn sample(self, rng: &mut SeededRng) -> Self::Out;
+}
+
+impl SampleRange for Range<f64> {
+    type Out = f64;
+    fn sample(self, rng: &mut SeededRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Out = usize;
+    fn sample(self, rng: &mut SeededRng) -> usize {
+        debug_assert!(self.start < self.end);
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
 
 /// Creates a seeded RNG shared by the generators.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> SeededRng {
+    SeededRng::seed_from_u64(seed)
 }
 
 /// Uniformly random `rows x cols` matrix with entries in `[-1, 1)`.
-pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix<T> {
-    Matrix::from_fn(rows, cols, |_, _| {
-        T::from_f64(rng.gen_range(-1.0_f64..1.0))
-    })
+pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, rng: &mut SeededRng) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(-1.0_f64..1.0)))
 }
 
 /// Uniformly random `rows x cols` matrix from a seed.
@@ -29,14 +102,14 @@ pub fn random_matrix_seeded<T: Scalar>(rows: usize, cols: usize, seed: u64) -> M
 }
 
 /// Random symmetric matrix (entries of the lower triangle in `[-1, 1)`).
-pub fn random_symmetric<T: Scalar>(n: usize, rng: &mut impl Rng) -> SymMatrix<T> {
+pub fn random_symmetric<T: Scalar>(n: usize, rng: &mut SeededRng) -> SymMatrix<T> {
     SymMatrix::from_lower_fn(n, |_, _| T::from_f64(rng.gen_range(-1.0_f64..1.0)))
 }
 
 /// Random lower-triangular matrix with strictly positive diagonal entries in
 /// `[0.5, 1.5)` (so it is always invertible and well conditioned enough for
 /// the residual tests).
-pub fn random_lower_triangular<T: Scalar>(n: usize, rng: &mut impl Rng) -> LowerTriangular<T> {
+pub fn random_lower_triangular<T: Scalar>(n: usize, rng: &mut SeededRng) -> LowerTriangular<T> {
     LowerTriangular::from_lower_fn(n, |i, j| {
         if i == j {
             T::from_f64(rng.gen_range(0.5_f64..1.5))
@@ -50,7 +123,7 @@ pub fn random_lower_triangular<T: Scalar>(n: usize, rng: &mut impl Rng) -> Lower
 /// uniform in `[-1, 1)`. The diagonal shift makes the smallest eigenvalue at
 /// least `n`, which keeps Cholesky factorizations well conditioned for every
 /// size used in tests and benchmarks.
-pub fn random_spd<T: Scalar>(n: usize, rng: &mut impl Rng) -> SymMatrix<T> {
+pub fn random_spd<T: Scalar>(n: usize, rng: &mut SeededRng) -> SymMatrix<T> {
     let b = random_matrix::<T>(n, n, rng);
     let mut s = SymMatrix::zeros(n);
     for i in 0..n {
@@ -76,7 +149,7 @@ pub fn random_spd_seeded<T: Scalar>(n: usize, seed: u64) -> SymMatrix<T> {
 /// Diagonally dominant SPD matrix with random off-diagonal entries; cheaper to
 /// generate than [`random_spd`] (no `n^3` product), used for large benchmark
 /// inputs.
-pub fn diag_dominant_spd<T: Scalar>(n: usize, rng: &mut impl Rng) -> SymMatrix<T> {
+pub fn diag_dominant_spd<T: Scalar>(n: usize, rng: &mut SeededRng) -> SymMatrix<T> {
     let mut s = SymMatrix::from_lower_fn(n, |i, j| {
         if i == j {
             T::ZERO

@@ -47,7 +47,7 @@ pub fn cholesky_in_place_dense<T: Scalar>(a: &mut Matrix<T>) -> Result<()> {
             }
             for i in j..n {
                 let aik = a[(i, k)];
-                a[(i, j)] = a[(i, j)] - aik * ajk;
+                a[(i, j)] -= aik * ajk;
             }
         }
     }
@@ -68,10 +68,7 @@ pub fn cholesky_sym<T: Scalar>(a: &SymMatrix<T>) -> Result<LowerTriangular<T>> {
 /// below it with a TRSM, and applies the symmetric trailing update with
 /// SYRK/GEMM block operations. This is the in-memory skeleton that the
 /// out-of-core LBC algorithm of the paper enlarges to blocks of size `√N`.
-pub fn cholesky_blocked<T: Scalar>(
-    a: &SymMatrix<T>,
-    block: usize,
-) -> Result<LowerTriangular<T>> {
+pub fn cholesky_blocked<T: Scalar>(a: &SymMatrix<T>, block: usize) -> Result<LowerTriangular<T>> {
     if block == 0 {
         return Err(MatrixError::InvalidParameter {
             name: "block",
@@ -88,12 +85,10 @@ pub fn cholesky_blocked<T: Scalar>(
         // 1. Factorize the diagonal block A[k0..k0+kb, k0..k0+kb].
         let mut diag = work.block(k0, k0, kb, kb)?;
         cholesky_in_place_dense(&mut diag).map_err(|e| match e {
-            MatrixError::NotPositiveDefinite { pivot, value } => {
-                MatrixError::NotPositiveDefinite {
-                    pivot: pivot + k0,
-                    value,
-                }
-            }
+            MatrixError::NotPositiveDefinite { pivot, value } => MatrixError::NotPositiveDefinite {
+                pivot: pivot + k0,
+                value,
+            },
             other => other,
         })?;
         work.set_block(k0, k0, &diag)?;
@@ -146,12 +141,10 @@ pub fn cholesky_tiled<T: Scalar>(a: &SymMatrix<T>, block: usize) -> Result<Lower
         let (k0, kb) = extent(kt);
         let mut diag = work.block(k0, k0, kb, kb)?;
         cholesky_in_place_dense(&mut diag).map_err(|e| match e {
-            MatrixError::NotPositiveDefinite { pivot, value } => {
-                MatrixError::NotPositiveDefinite {
-                    pivot: pivot + k0,
-                    value,
-                }
-            }
+            MatrixError::NotPositiveDefinite { pivot, value } => MatrixError::NotPositiveDefinite {
+                pivot: pivot + k0,
+                value,
+            },
             other => other,
         })?;
         work.set_block(k0, k0, &diag)?;

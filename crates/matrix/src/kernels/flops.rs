@@ -6,12 +6,8 @@
 //! counters provide both conventions so the experiment harness can report
 //! either.
 
-#[cfg(feature = "serde")]
-use serde::{Deserialize, Serialize};
-
 /// Number of multiplications and additions performed by a kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct FlopCount {
     /// Multiplications (the paper's unit of "operations").
     pub mults: u128,
@@ -88,7 +84,11 @@ pub fn gemm_flops(m: usize, k: usize, n: usize) -> FlopCount {
 /// roughly `n³/3` multiply–add pairs plus `n(n−1)/2` divisions.
 pub fn lu_flops(n: usize) -> FlopCount {
     let nu = n as u128;
-    let updates = if n == 0 { 0 } else { nu * (nu - 1) * (2 * nu - 1) / 6 };
+    let updates = if n == 0 {
+        0
+    } else {
+        nu * (nu - 1) * (2 * nu - 1) / 6
+    };
     let divisions = nu * nu.saturating_sub(1) / 2;
     FlopCount::new(updates + divisions, updates)
 }

@@ -143,7 +143,6 @@ pub fn gemm_blocked<T: Scalar>(
 mod tests {
     use super::*;
     use crate::generate::{random_matrix_seeded, seeded_rng};
-    use rand::Rng;
 
     #[test]
     fn gemm_identity_is_noop() {

@@ -43,7 +43,7 @@ pub fn lu_nopiv_in_place<T: Scalar>(a: &mut Matrix<T>) -> Result<()> {
             }
             for i in (k + 1)..n {
                 let lik = a[(i, k)];
-                a[(i, j)] = a[(i, j)] - lik * akj;
+                a[(i, j)] -= lik * akj;
             }
         }
     }
@@ -75,9 +75,9 @@ pub fn lu_nopiv_blocked<T: Scalar>(a: &mut Matrix<T>, block: usize) -> Result<()
         {
             let mut diag = a.block(k0, k0, kb, kb)?;
             lu_nopiv_in_place(&mut diag).map_err(|e| match e {
-                MatrixError::SingularPivot { pivot } => MatrixError::SingularPivot {
-                    pivot: pivot + k0,
-                },
+                MatrixError::SingularPivot { pivot } => {
+                    MatrixError::SingularPivot { pivot: pivot + k0 }
+                }
                 other => other,
             })?;
             a.set_block(k0, k0, &diag)?;
@@ -95,7 +95,7 @@ pub fn lu_nopiv_blocked<T: Scalar>(a: &mut Matrix<T>, block: usize) -> Result<()
                         }
                         for i in 0..rest {
                             let xik = a21[(i, k)];
-                            a21[(i, j)] = a21[(i, j)] - xik * ukj;
+                            a21[(i, j)] -= xik * ukj;
                         }
                     }
                     let d = u11[(j, j)];
@@ -165,7 +165,6 @@ pub fn lu_reconstruct<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
 mod tests {
     use super::*;
     use crate::generate::seeded_rng;
-    use rand::Rng;
 
     /// Diagonally dominant random square matrix (so no pivoting is needed).
     fn dd_matrix(n: usize, seed: u64) -> Matrix<f64> {

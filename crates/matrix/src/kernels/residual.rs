@@ -195,6 +195,4 @@ mod tests {
         assert!(lu_residual(&a, &lu) < 1e-12);
         assert!(lu_residual(&a, &Matrix::identity(6)) > 1e-2);
     }
-
-    use rand::Rng;
 }

@@ -14,12 +14,7 @@ use crate::symmetric::SymMatrix;
 /// This is the literal three-nested-loop Algorithm 1 of the paper (plus the
 /// diagonal entries `i = j`, which the paper's analysis ignores but a usable
 /// kernel must of course produce).
-pub fn syrk_sym<T: Scalar>(
-    alpha: T,
-    a: &Matrix<T>,
-    beta: T,
-    c: &mut SymMatrix<T>,
-) -> Result<()> {
+pub fn syrk_sym<T: Scalar>(alpha: T, a: &Matrix<T>, beta: T, c: &mut SymMatrix<T>) -> Result<()> {
     let n = a.rows();
     if c.order() != n {
         return Err(MatrixError::DimensionMismatch {
@@ -39,8 +34,8 @@ pub fn syrk_sym<T: Scalar>(
             if aik == T::ZERO {
                 continue;
             }
-            for j in 0..=i {
-                c.add(i, j, aik * col[j]);
+            for (j, &cj) in col.iter().enumerate().take(i + 1) {
+                c.add(i, j, aik * cj);
             }
         }
     }
@@ -131,8 +126,8 @@ pub fn syrk_blocked_sym<T: Scalar>(
                         continue;
                     }
                     let start = i0.max(j);
-                    for i in start..im {
-                        c.add(i, j, col[i] * ajk);
+                    for (i, &ci) in col.iter().enumerate().take(im).skip(start) {
+                        c.add(i, j, ci * ajk);
                     }
                 }
             }

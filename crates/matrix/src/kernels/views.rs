@@ -15,12 +15,7 @@ use crate::views::{MatView, MatViewMut, PackedLowerViewMut};
 
 /// Rank-1 update `C += alpha · x · yᵀ` on a rectangular view
 /// (`C` is `len(x) x len(y)`).
-pub fn ger_view<T: Scalar>(
-    alpha: T,
-    x: &[T],
-    y: &[T],
-    c: &mut MatViewMut<'_, T>,
-) -> Result<()> {
+pub fn ger_view<T: Scalar>(alpha: T, x: &[T], y: &[T], c: &mut MatViewMut<'_, T>) -> Result<()> {
     if c.rows() != x.len() || c.cols() != y.len() {
         return Err(MatrixError::DimensionMismatch {
             operation: "ger_view",
@@ -84,8 +79,8 @@ pub fn triangle_pairs_update<T: Scalar>(alpha: T, x: &[T], pairs: &mut [T]) -> R
     let mut idx = 0;
     for u in 1..k {
         let axu = alpha * x[u];
-        for v in 0..u {
-            pairs[idx] = x[v].mul_add(axu, pairs[idx]);
+        for &xv in x.iter().take(u) {
+            pairs[idx] = xv.mul_add(axu, pairs[idx]);
             idx += 1;
         }
     }
@@ -268,10 +263,7 @@ pub fn lu_view_in_place<T: Scalar>(a: &mut MatViewMut<'_, T>) -> Result<()> {
 /// In-place right triangular solve `X ← X · Lᵀ⁻¹` where `l` is the lower
 /// triangle of a square view (upper part ignored) and `x` is a rectangular
 /// view with `x.cols() == l.order()`.
-pub fn trsm_right_lt_view<T: Scalar>(
-    l: &MatView<'_, T>,
-    x: &mut MatViewMut<'_, T>,
-) -> Result<()> {
+pub fn trsm_right_lt_view<T: Scalar>(l: &MatView<'_, T>, x: &mut MatViewMut<'_, T>) -> Result<()> {
     if l.rows() != l.cols() || x.cols() != l.rows() {
         return Err(MatrixError::DimensionMismatch {
             operation: "trsm_right_lt_view",
@@ -450,10 +442,8 @@ mod tests {
             let mut v = MatViewMut::new(&mut buf, 8, 8).unwrap();
             cholesky_view_in_place(&mut v).unwrap();
         }
-        let got = LowerTriangular::from_dense_lower(
-            &Matrix::from_col_major(8, 8, buf).unwrap(),
-        )
-        .unwrap();
+        let got =
+            LowerTriangular::from_dense_lower(&Matrix::from_col_major(8, 8, buf).unwrap()).unwrap();
         assert!(got.approx_eq(&expected, 1e-11));
     }
 

@@ -171,11 +171,7 @@ impl<T: Scalar> SymMatrix<T> {
 
     /// Whether `self` and `other` agree within `tol` on every stored element.
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
-        self.n == other.n
-            && self
-                .max_abs_diff(other)
-                .map(|d| d <= tol)
-                .unwrap_or(false)
+        self.n == other.n && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
     }
 
     /// Iterator over the stored `(i, j, value)` entries (`i >= j`), column by

@@ -150,8 +150,7 @@ impl TileLayout {
         debug_assert_eq!(self.rows, self.cols, "lower tiles need a square layout");
         let tcols = self.tile_cols();
         let trows = self.tile_rows();
-        (0..tcols)
-            .flat_map(move |tc| (tc..trows).map(move |tr| self.tile(tr, tc).unwrap()))
+        (0..tcols).flat_map(move |tc| (tc..trows).map(move |tr| self.tile(tr, tc).unwrap()))
     }
 
     /// Number of elements of the lower triangle (diagonal included) of a
@@ -307,7 +306,7 @@ mod tests {
     #[test]
     fn tiles_cover_every_element_exactly_once() {
         let l = TileLayout::new(11, 9, 4).unwrap();
-        let mut seen = vec![false; 11 * 9];
+        let mut seen = [false; 11 * 9];
         for t in l.iter_tiles() {
             for jj in 0..t.cols {
                 for ii in 0..t.rows {

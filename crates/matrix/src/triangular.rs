@@ -136,8 +136,8 @@ impl<T: Scalar> LowerTriangular<T> {
         let mut x = b.to_vec();
         for i in 0..self.n {
             let mut acc = x[i];
-            for k in 0..i {
-                acc -= self.get(i, k) * x[k];
+            for (k, &xk) in x.iter().enumerate().take(i) {
+                acc -= self.get(i, k) * xk;
             }
             let d = self.get(i, i);
             if d == T::ZERO || !d.is_finite_scalar() {
@@ -159,8 +159,8 @@ impl<T: Scalar> LowerTriangular<T> {
         let mut x = b.to_vec();
         for i in (0..self.n).rev() {
             let mut acc = x[i];
-            for k in (i + 1)..self.n {
-                acc -= self.get(k, i) * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.get(k, i) * xk;
             }
             let d = self.get(i, i);
             if d == T::ZERO || !d.is_finite_scalar() {
@@ -190,11 +190,7 @@ impl<T: Scalar> LowerTriangular<T> {
 
     /// Whether the two factors agree within `tol` on every stored element.
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
-        self.n == other.n
-            && self
-                .max_abs_diff(other)
-                .map(|d| d <= tol)
-                .unwrap_or(false)
+        self.n == other.n && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
     }
 }
 
@@ -263,21 +259,21 @@ mod tests {
         let b = vec![4.0, 11.0, 11.0];
         let x = l.forward_solve(&b).unwrap();
         // check L x = b
-        for i in 0..3 {
+        for (i, &bi) in b.iter().enumerate() {
             let mut acc = 0.0;
-            for k in 0..=i {
-                acc += l.get(i, k) * x[k];
+            for (k, &xk) in x.iter().enumerate().take(i + 1) {
+                acc += l.get(i, k) * xk;
             }
-            assert!((acc - b[i]).abs() < 1e-12);
+            assert!((acc - bi).abs() < 1e-12);
         }
 
         let y = l.backward_solve_transpose(&b).unwrap();
-        for i in 0..3 {
+        for (i, &bi) in b.iter().enumerate() {
             let mut acc = 0.0;
-            for k in i..3 {
-                acc += l.get(k, i) * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i) {
+                acc += l.get(k, i) * yk;
             }
-            assert!((acc - b[i]).abs() < 1e-12);
+            assert!((acc - bi).abs() < 1e-12);
         }
     }
 

@@ -55,9 +55,9 @@ pub fn simulate_lru(stream: impl IntoIterator<Item = u64>, capacity: usize) -> C
     for addr in stream {
         clock += 1;
         stats.accesses += 1;
-        if resident.contains_key(&addr) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = resident.entry(addr) {
             stats.hits += 1;
-            resident.insert(addr, clock);
+            e.insert(clock);
             continue;
         }
         stats.misses += 1;
@@ -102,9 +102,9 @@ pub fn simulate_opt(stream: &[u64], capacity: usize) -> CacheStats {
     let mut resident: HashMap<u64, usize> = HashMap::with_capacity(capacity * 2);
     for i in 0..n {
         let addr = stream[i];
-        if resident.contains_key(&addr) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = resident.entry(addr) {
             stats.hits += 1;
-            resident.insert(addr, next_use[i]);
+            e.insert(next_use[i]);
             continue;
         }
         stats.misses += 1;
@@ -282,6 +282,9 @@ mod tests {
         let n = 10;
         let stream = cholesky_naive_access_stream(n);
         // 3 accesses per update op; updates = sum_k sum_{i>k} (i-k) = n(n^2-1)/6
-        assert_eq!(stream.len() as u128, 3 * (n as u128 * ((n * n) as u128 - 1)) / 6);
+        assert_eq!(
+            stream.len() as u128,
+            3 * (n as u128 * ((n * n) as u128 - 1)) / 6
+        );
     }
 }

@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn display_all_variants() {
-        assert!(MemoryError::UnknownMatrix { id: 9 }.to_string().contains('9'));
+        assert!(MemoryError::UnknownMatrix { id: 9 }
+            .to_string()
+            .contains('9'));
         assert!(MemoryError::RegionKindMismatch {
             region: "Rect".into(),
             storage: "symmetric"

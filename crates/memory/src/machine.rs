@@ -37,6 +37,14 @@ impl MatrixId {
     pub fn raw(&self) -> u64 {
         self.0
     }
+
+    /// A free-standing id for schedules that are analyzed (dry-run, traced,
+    /// distributed) without a backing machine. Ids handed out by a machine
+    /// start at 0 per machine, so synthetic ids are only meaningful within
+    /// the schedule that uses them.
+    pub const fn synthetic(raw: u64) -> Self {
+        Self(raw)
+    }
 }
 
 /// Configuration of the machine.
@@ -130,19 +138,23 @@ impl<T: Scalar> FastBuf<T> {
 
     /// Column-major matrix view of a rectangular buffer.
     pub fn rect_view(&self) -> Result<MatView<'_, T>> {
-        let (r, c) = self.rect_shape().ok_or_else(|| MemoryError::RegionKindMismatch {
-            region: self.region.to_string(),
-            storage: "rectangular view",
-        })?;
+        let (r, c) = self
+            .rect_shape()
+            .ok_or_else(|| MemoryError::RegionKindMismatch {
+                region: self.region.to_string(),
+                storage: "rectangular view",
+            })?;
         Ok(MatView::new(&self.data, r, c)?)
     }
 
     /// Mutable column-major matrix view of a rectangular buffer.
     pub fn rect_view_mut(&mut self) -> Result<MatViewMut<'_, T>> {
-        let (r, c) = self.rect_shape().ok_or_else(|| MemoryError::RegionKindMismatch {
-            region: self.region.to_string(),
-            storage: "rectangular view",
-        })?;
+        let (r, c) = self
+            .rect_shape()
+            .ok_or_else(|| MemoryError::RegionKindMismatch {
+                region: self.region.to_string(),
+                storage: "rectangular view",
+            })?;
         Ok(MatViewMut::new(&mut self.data, r, c)?)
     }
 
@@ -316,15 +328,7 @@ impl<T: Scalar> OocMachine<T> {
             .get(&id.0)
             .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
         // Validate the region against the matrix without transferring data.
-        matrix
-            .gather(&region)
-            .map(|_| ())
-            .or_else(|e| match e {
-                MemoryError::RegionKindMismatch { .. } | MemoryError::RegionOutOfBounds { .. } => {
-                    Err(e)
-                }
-                other => Err(other),
-            })?;
+        matrix.validate_region(&region)?;
         self.resident += elements;
         self.stats.observe_resident(self.resident);
         *self.leases.get_mut(&id.0).expect("lease entry exists") += 1;
@@ -668,7 +672,9 @@ mod tests {
         let bogus = MatrixId(99);
         assert!(machine.load(bogus, Region::rect(0, 0, 1, 1)).is_err());
         assert!(machine.shape(bogus).is_err());
-        assert!(machine.allocate_zeroed(bogus, Region::rect(0, 0, 1, 1)).is_err());
+        assert!(machine
+            .allocate_zeroed(bogus, Region::rect(0, 0, 1, 1))
+            .is_err());
         assert_eq!(bogus.raw(), 99);
     }
 }

@@ -177,7 +177,11 @@ pub struct SymWindowRef {
 impl SymWindowRef {
     /// Window over the whole symmetric matrix of order `n`.
     pub fn full(id: MatrixId, n: usize) -> Self {
-        Self { id, start: 0, size: n }
+        Self {
+            id,
+            start: 0,
+            size: n,
+        }
     }
 
     /// Diagonal sub-window of a symmetric matrix.
@@ -248,7 +252,8 @@ mod tests {
     fn ids() -> (OocMachine<f64>, MatrixId, MatrixId) {
         let mut machine = OocMachine::with_capacity(10_000);
         let dense = machine.insert_dense(Matrix::from_fn(12, 8, |i, j| (i * 8 + j) as f64));
-        let sym = machine.insert_symmetric(SymMatrix::from_lower_fn(12, |i, j| (i * 12 + j) as f64));
+        let sym =
+            machine.insert_symmetric(SymMatrix::from_lower_fn(12, |i, j| (i * 12 + j) as f64));
         (machine, dense, sym)
     }
 
@@ -262,26 +267,49 @@ mod tests {
         assert!(!p.is_empty());
         assert_eq!(
             p.rect_region(2, 3, 4, 2),
-            Region::Rect { row0: 2, col0: 3, rows: 4, cols: 2 }
+            Region::Rect {
+                row0: 2,
+                col0: 3,
+                rows: 4,
+                cols: 2
+            }
         );
         assert_eq!(p.full_region().len(), 96);
         assert_eq!(
             p.col_segment_region(1, 4, 3),
-            Region::Rect { row0: 4, col0: 1, rows: 3, cols: 1 }
+            Region::Rect {
+                row0: 4,
+                col0: 1,
+                rows: 3,
+                cols: 1
+            }
         );
         assert_eq!(
             p.rows_region(&[0, 5, 11], 2, 3),
-            Region::Rows { rows: vec![0, 5, 11], col0: 2, cols: 3 }
+            Region::Rows {
+                rows: vec![0, 5, 11],
+                col0: 2,
+                cols: 3
+            }
         );
 
         let sub = p.window(2, 1, 6, 4);
         assert_eq!(
             sub.rect_region(0, 0, 2, 2),
-            Region::Rect { row0: 2, col0: 1, rows: 2, cols: 2 }
+            Region::Rect {
+                row0: 2,
+                col0: 1,
+                rows: 2,
+                cols: 2
+            }
         );
         assert_eq!(
             sub.rows_region(&[1, 3], 0, 2),
-            Region::Rows { rows: vec![3, 5], col0: 1, cols: 2 }
+            Region::Rows {
+                rows: vec![3, 5],
+                col0: 1,
+                cols: 2
+            }
         );
     }
 
@@ -292,11 +320,20 @@ mod tests {
         let p = PanelRef::sym_window(sym, 6, 0, 6, 4);
         assert_eq!(
             p.rect_region(1, 1, 2, 2),
-            Region::SymRect { row0: 7, col0: 1, rows: 2, cols: 2 }
+            Region::SymRect {
+                row0: 7,
+                col0: 1,
+                rows: 2,
+                cols: 2
+            }
         );
         assert_eq!(
             p.rows_region(&[0, 3, 5], 0, 4),
-            Region::SymRows { rows: vec![6, 9, 11], col0: 0, cols: 4 }
+            Region::SymRows {
+                rows: vec![6, 9, 11],
+                col0: 0,
+                cols: 4
+            }
         );
     }
 
@@ -311,11 +348,18 @@ mod tests {
         );
         assert_eq!(
             w.rect_region(4, 0, 2, 2),
-            Region::SymRect { row0: 8, col0: 4, rows: 2, cols: 2 }
+            Region::SymRect {
+                row0: 8,
+                col0: 4,
+                rows: 2,
+                cols: 2
+            }
         );
         assert_eq!(
             w.pairs_region(&[0, 3, 7]),
-            Region::SymPairs { rows: vec![4, 7, 11] }
+            Region::SymPairs {
+                rows: vec![4, 7, 11]
+            }
         );
         let sub = w.subwindow(2, 4);
         assert_eq!(sub.start, 6);

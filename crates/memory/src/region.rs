@@ -306,7 +306,13 @@ mod tests {
         );
         assert_eq!(Region::sym_rect(5, 0, 2, 3).len(), 6);
         assert_eq!(Region::SymLowerTriangle { start: 0, size: 4 }.len(), 10);
-        assert_eq!(Region::SymPairs { rows: vec![0, 3, 7, 9] }.len(), 6);
+        assert_eq!(
+            Region::SymPairs {
+                rows: vec![0, 3, 7, 9]
+            }
+            .len(),
+            6
+        );
         assert!(Region::SymPairs { rows: vec![2] }.is_empty());
         assert!(!Region::rect(0, 0, 1, 1).is_empty());
     }
@@ -372,12 +378,16 @@ mod tests {
             .validate((8, 8))
             .is_err());
 
-        assert!(Region::SymPairs { rows: vec![0, 2, 5] }
-            .validate((8, 8))
-            .is_ok());
-        assert!(Region::SymPairs { rows: vec![0, 2, 2] }
-            .validate((8, 8))
-            .is_err());
+        assert!(Region::SymPairs {
+            rows: vec![0, 2, 5]
+        }
+        .validate((8, 8))
+        .is_ok());
+        assert!(Region::SymPairs {
+            rows: vec![0, 2, 2]
+        }
+        .validate((8, 8))
+        .is_err());
         assert!(Region::SymPairs { rows: vec![0, 9] }
             .validate((8, 8))
             .is_err());
@@ -433,9 +443,11 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(Region::rect(1, 2, 3, 4).to_string(), "Rect[1..+3, 2..+4]");
-        assert!(Region::SymPairs { rows: vec![1, 2, 3] }
-            .to_string()
-            .contains("3 rows"));
+        assert!(Region::SymPairs {
+            rows: vec![1, 2, 3]
+        }
+        .to_string()
+        .contains("3 rows"));
         assert!(Region::Rows {
             rows: vec![1, 2],
             col0: 0,

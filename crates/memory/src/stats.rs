@@ -10,12 +10,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use symla_matrix::kernels::FlopCount;
 
-#[cfg(feature = "serde")]
-use serde::{Deserialize, Serialize};
-
 /// Element counts moved in each direction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct IoVolume {
     /// Elements transferred from slow to fast memory.
     pub loads: u64,
@@ -40,7 +36,6 @@ impl IoVolume {
 
 /// Complete I/O statistics of one out-of-core execution.
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct IoStats {
     /// Aggregate element traffic.
     pub volume: IoVolume,
@@ -157,7 +152,11 @@ impl fmt::Display for IoStats {
             self.operational_intensity_mults()
         )?;
         for (phase, vol) in &self.per_phase {
-            writeln!(f, "  phase {phase}: {} loads, {} stores", vol.loads, vol.stores)?;
+            writeln!(
+                f,
+                "  phase {phase}: {} loads, {} stores",
+                vol.loads, vol.stores
+            )?;
         }
         Ok(())
     }
@@ -223,7 +222,10 @@ mod tests {
 
     #[test]
     fn volume_helpers_and_display() {
-        let v = IoVolume { loads: 3, stores: 4 };
+        let v = IoVolume {
+            loads: 3,
+            stores: 4,
+        };
         assert_eq!(v.total(), 7);
         assert_eq!(v.merge(&v).loads, 6);
 

@@ -42,7 +42,9 @@ impl<T: Scalar> SlowMatrix<T> {
         }
     }
 
-    fn check_region(&self, region: &Region) -> Result<()> {
+    /// Validates `region` against this matrix (storage-kind compatibility
+    /// and bounds) without transferring any data.
+    pub fn validate_region(&self, region: &Region) -> Result<()> {
         let compatible = match self {
             SlowMatrix::Dense(_) => region.is_dense_region(),
             SlowMatrix::Symmetric(_) => region.is_symmetric_region(),
@@ -64,10 +66,18 @@ impl<T: Scalar> SlowMatrix<T> {
     /// Copies the elements of `region` into a flat buffer using the layout
     /// documented on [`Region`].
     pub fn gather(&self, region: &Region) -> Result<Vec<T>> {
-        self.check_region(region)?;
+        self.validate_region(region)?;
         let mut out = Vec::with_capacity(region.len());
         match (self, region) {
-            (SlowMatrix::Dense(m), Region::Rect { row0, col0, rows, cols }) => {
+            (
+                SlowMatrix::Dense(m),
+                Region::Rect {
+                    row0,
+                    col0,
+                    rows,
+                    cols,
+                },
+            ) => {
                 for j in 0..*cols {
                     for i in 0..*rows {
                         out.push(m[(row0 + i, col0 + j)]);
@@ -81,7 +91,15 @@ impl<T: Scalar> SlowMatrix<T> {
                     }
                 }
             }
-            (SlowMatrix::Symmetric(s), Region::SymRect { row0, col0, rows, cols }) => {
+            (
+                SlowMatrix::Symmetric(s),
+                Region::SymRect {
+                    row0,
+                    col0,
+                    rows,
+                    cols,
+                },
+            ) => {
                 for j in 0..*cols {
                     for i in 0..*rows {
                         out.push(s.get(row0 + i, col0 + j));
@@ -118,7 +136,7 @@ impl<T: Scalar> SlowMatrix<T> {
     /// Writes a flat buffer (with the layout documented on [`Region`]) back
     /// into the elements of `region`.
     pub fn scatter(&mut self, region: &Region, data: &[T]) -> Result<()> {
-        self.check_region(region)?;
+        self.validate_region(region)?;
         if data.len() != region.len() {
             return Err(MemoryError::Matrix(
                 symla_matrix::MatrixError::InvalidBufferLength {
@@ -129,7 +147,15 @@ impl<T: Scalar> SlowMatrix<T> {
         }
         let mut it = data.iter().copied();
         match (self, region) {
-            (SlowMatrix::Dense(m), Region::Rect { row0, col0, rows, cols }) => {
+            (
+                SlowMatrix::Dense(m),
+                Region::Rect {
+                    row0,
+                    col0,
+                    rows,
+                    cols,
+                },
+            ) => {
                 for j in 0..*cols {
                     for i in 0..*rows {
                         m[(row0 + i, col0 + j)] = it.next().unwrap();
@@ -143,7 +169,15 @@ impl<T: Scalar> SlowMatrix<T> {
                     }
                 }
             }
-            (SlowMatrix::Symmetric(s), Region::SymRect { row0, col0, rows, cols }) => {
+            (
+                SlowMatrix::Symmetric(s),
+                Region::SymRect {
+                    row0,
+                    col0,
+                    rows,
+                    cols,
+                },
+            ) => {
                 for j in 0..*cols {
                     for i in 0..*rows {
                         s.set(row0 + i, col0 + j, it.next().unwrap());
@@ -238,7 +272,9 @@ mod tests {
         assert_eq!(tbuf[1], s.get(3, 2));
         assert_eq!(tbuf[3], s.get(3, 3));
 
-        let pairs = Region::SymPairs { rows: vec![1, 3, 6] };
+        let pairs = Region::SymPairs {
+            rows: vec![1, 3, 6],
+        };
         let pbuf = slow.gather(&pairs).unwrap();
         assert_eq!(pbuf, vec![s.get(3, 1), s.get(6, 1), s.get(6, 3)]);
 

@@ -124,7 +124,15 @@ mod tests {
 
     #[test]
     fn analytic_access_matches_materialized_ops() {
-        for &(x, m) in &[(1usize, 1usize), (5, 2), (12, 4), (17, 5), (30, 6), (8, 8), (7, 10)] {
+        for &(x, m) in &[
+            (1usize, 1usize),
+            (5, 2),
+            (12, 4),
+            (17, 5),
+            (30, 6),
+            (8, 8),
+            (7, 10),
+        ] {
             let b = BalancedSolution::new(x, m);
             let ops = b.ops();
             assert_eq!(ops.len(), x, "x={x} m={m}");

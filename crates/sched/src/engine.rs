@@ -1,0 +1,600 @@
+//! The generic out-of-core execution engine.
+//!
+//! [`Engine`] replays a [`Schedule`] built from the IR of [`crate::ir`] in
+//! three modes:
+//!
+//! * [`Engine::execute`] — runs the schedule for real against an
+//!   [`OocMachine`]: every load/store is a counted, capacity-checked machine
+//!   transfer and every compute step runs its block kernel on the resident
+//!   buffers. All eight out-of-core algorithms of the workspace execute
+//!   through this single function.
+//! * [`Engine::dry_run`] — replays only the accounting: loads, stores,
+//!   events, flops, per-phase attribution and the peak-resident watermark,
+//!   without a machine or data. A dry run of a schedule produces exactly the
+//!   [`IoStats`] an execution of the same schedule produces.
+//! * [`Engine::trace`] — synthesizes the [`Trace`] event stream the machine
+//!   would record, again without executing anything; used for schedule
+//!   inspection and bound verification.
+//!
+//! The invariant tying the modes together (checked by the cross-crate
+//! equivalence tests): for any schedule `s` and machine `m`,
+//! `execute(&mut m, &s)` leaves `m.stats()` equal to `dry_run(&s)` and
+//! `m.trace()` equal to `trace(&s)`.
+
+use crate::ir::{BufId, BufSlice, ComputeOp, Schedule, Step};
+use std::collections::BTreeMap;
+use std::fmt;
+use symla_matrix::kernels::views::{
+    cholesky_packed_view_in_place, ger_view, lu_view_in_place, spr_lower_view,
+    triangle_pairs_update,
+};
+use symla_matrix::{MatrixError, Scalar};
+use symla_memory::{Direction, FastBuf, IoStats, MemoryError, OocMachine, Trace, TraceEvent};
+
+/// Errors raised while replaying a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An error from the memory machine (capacity exceeded, bad region, ...).
+    Memory(MemoryError),
+    /// A numerical error from a block kernel (non-SPD pivot, ...).
+    Matrix(MatrixError),
+    /// The schedule is malformed (e.g. a step references a buffer that was
+    /// never loaded or was already released).
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Memory(e) => write!(f, "memory model error: {e}"),
+            EngineError::Matrix(e) => write!(f, "kernel error: {e}"),
+            EngineError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Memory(e) => Some(e),
+            EngineError::Matrix(e) => Some(e),
+            EngineError::InvalidSchedule(_) => None,
+        }
+    }
+}
+
+impl From<MemoryError> for EngineError {
+    fn from(e: MemoryError) -> Self {
+        EngineError::Memory(e)
+    }
+}
+
+impl From<MatrixError> for EngineError {
+    fn from(e: MatrixError) -> Self {
+        EngineError::Matrix(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// The schedule replayer. See the module docs for the three modes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine;
+
+fn missing(buf: BufId) -> EngineError {
+    EngineError::InvalidSchedule(format!("step references unknown or released buffer {buf}"))
+}
+
+fn short_segment(op: &str, got: usize, needed: usize) -> EngineError {
+    EngineError::InvalidSchedule(format!(
+        "{op}: segment buffer has {got} element(s), step needs {needed} \
+         (column/row index out of range for the destination tile)"
+    ))
+}
+
+fn slice_of<'a, T: Scalar>(bufs: &'a BTreeMap<BufId, FastBuf<T>>, s: &BufSlice) -> Result<&'a [T]> {
+    let buf = bufs.get(&s.buf).ok_or_else(|| missing(s.buf))?;
+    buf.as_slice().get(s.start..s.start + s.len).ok_or_else(|| {
+        EngineError::InvalidSchedule(format!(
+            "slice {}..+{} exceeds buffer {} of {} elements",
+            s.start,
+            s.len,
+            s.buf,
+            buf.len()
+        ))
+    })
+}
+
+impl Engine {
+    /// Replays `schedule` against `machine`, running every block kernel on
+    /// real data. Transfers are counted and capacity-checked by the machine
+    /// exactly as the hand-rolled executors counted them.
+    ///
+    /// On error, buffers the failed schedule still held are released back to
+    /// the machine (without store traffic), so its residency accounting and
+    /// leases stay consistent and the matrices can still be taken out.
+    pub fn execute<T: Scalar>(machine: &mut OocMachine<T>, schedule: &Schedule<T>) -> Result<()> {
+        let mut bufs: BTreeMap<BufId, FastBuf<T>> = BTreeMap::new();
+        let outcome = Self::replay(machine, schedule, &mut bufs);
+        for (_, buf) in std::mem::take(&mut bufs) {
+            // Release leaked buffers even when the replay failed; a discard
+            // can only fail for foreign buffers, which cannot be in `bufs`.
+            let _ = machine.discard(buf);
+        }
+        outcome
+    }
+
+    fn replay<T: Scalar>(
+        machine: &mut OocMachine<T>,
+        schedule: &Schedule<T>,
+        bufs: &mut BTreeMap<BufId, FastBuf<T>>,
+    ) -> Result<()> {
+        for group in &schedule.groups {
+            if let Some(phase) = &group.phase {
+                machine.set_phase(phase);
+            }
+            for step in &group.steps {
+                match step {
+                    Step::Load {
+                        matrix,
+                        region,
+                        dst,
+                    } => {
+                        let buf = machine.load(*matrix, region.clone())?;
+                        bufs.insert(*dst, buf);
+                    }
+                    Step::Alloc {
+                        matrix,
+                        region,
+                        dst,
+                    } => {
+                        let buf = machine.allocate_zeroed(*matrix, region.clone())?;
+                        bufs.insert(*dst, buf);
+                    }
+                    Step::Flops(flops) => machine.record_flops(*flops),
+                    Step::Store { buf } => {
+                        let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
+                        machine.store(b)?;
+                    }
+                    Step::Discard { buf } => {
+                        let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
+                        machine.discard(b)?;
+                    }
+                    Step::Compute(op) => Self::compute(bufs, op)?,
+                }
+            }
+        }
+        if !bufs.is_empty() {
+            return Err(EngineError::InvalidSchedule(format!(
+                "{} buffer(s) left resident at end of schedule",
+                bufs.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs one compute step on the resident buffers.
+    ///
+    /// The destination buffer is taken out of the table for the duration of
+    /// the kernel so operand slices (which may alias each other, but never
+    /// the destination) can be borrowed immutably.
+    fn compute<T: Scalar>(bufs: &mut BTreeMap<BufId, FastBuf<T>>, op: &ComputeOp<T>) -> Result<()> {
+        let dst_id = match op {
+            ComputeOp::Ger { dst, .. }
+            | ComputeOp::SprLower { dst, .. }
+            | ComputeOp::TrianglePairs { dst, .. }
+            | ComputeOp::CholeskyInPlace { dst, .. }
+            | ComputeOp::LuInPlace { dst, .. }
+            | ComputeOp::TrsmRightStep { dst, .. }
+            | ComputeOp::LuColSolveStep { dst, .. }
+            | ComputeOp::LuRowElimStep { dst, .. } => *dst,
+        };
+        let mut dst = bufs.remove(&dst_id).ok_or_else(|| missing(dst_id))?;
+        let outcome = Self::compute_on(bufs, op, &mut dst);
+        bufs.insert(dst_id, dst);
+        outcome
+    }
+
+    fn compute_on<T: Scalar>(
+        bufs: &BTreeMap<BufId, FastBuf<T>>,
+        op: &ComputeOp<T>,
+        dst: &mut FastBuf<T>,
+    ) -> Result<()> {
+        match op {
+            ComputeOp::Ger { alpha, x, y, .. } => {
+                let xs = slice_of(bufs, x)?;
+                let ys = slice_of(bufs, y)?;
+                let mut view = dst.rect_view_mut().map_err(EngineError::Memory)?;
+                ger_view(*alpha, xs, ys, &mut view)?;
+            }
+            ComputeOp::SprLower { alpha, x, .. } => {
+                let xs = slice_of(bufs, x)?;
+                let mut view = dst.packed_view_mut().map_err(EngineError::Memory)?;
+                spr_lower_view(*alpha, xs, &mut view)?;
+            }
+            ComputeOp::TrianglePairs { alpha, x, .. } => {
+                let xs = slice_of(bufs, x)?;
+                triangle_pairs_update(*alpha, xs, dst.as_mut_slice())?;
+            }
+            ComputeOp::CholeskyInPlace { pivot_base, .. } => {
+                let mut view = dst.packed_view_mut().map_err(EngineError::Memory)?;
+                cholesky_packed_view_in_place(&mut view).map_err(|e| match e {
+                    MatrixError::NotPositiveDefinite { pivot, value } => {
+                        EngineError::Matrix(MatrixError::NotPositiveDefinite {
+                            pivot: pivot + pivot_base,
+                            value,
+                        })
+                    }
+                    other => EngineError::Matrix(other),
+                })?;
+            }
+            ComputeOp::LuInPlace { pivot_base, .. } => {
+                let mut view = dst.rect_view_mut().map_err(EngineError::Memory)?;
+                lu_view_in_place(&mut view).map_err(|e| match e {
+                    MatrixError::SingularPivot { pivot } => {
+                        EngineError::Matrix(MatrixError::SingularPivot {
+                            pivot: pivot + pivot_base,
+                        })
+                    }
+                    other => EngineError::Matrix(other),
+                })?;
+            }
+            ComputeOp::TrsmRightStep {
+                seg, col, pivot, ..
+            } => {
+                let seg = bufs.get(seg).ok_or_else(|| missing(*seg))?.as_slice();
+                let mut xv = dst.rect_view_mut().map_err(EngineError::Memory)?;
+                let (rc, cc) = (xv.rows(), xv.cols());
+                let kk = *col;
+                if kk >= cc || seg.len() < cc - kk {
+                    return Err(short_segment(
+                        "TrsmRightStep",
+                        seg.len(),
+                        cc.saturating_sub(kk),
+                    ));
+                }
+                let diag = seg[0];
+                if diag == T::ZERO || !diag.is_finite_scalar() {
+                    return Err(EngineError::Matrix(MatrixError::SingularPivot {
+                        pivot: *pivot,
+                    }));
+                }
+                let inv = diag.recip();
+                for r in 0..rc {
+                    let v = xv.get(r, kk) * inv;
+                    xv.set(r, kk, v);
+                }
+                for j in (kk + 1)..cc {
+                    let ljk = seg[j - kk];
+                    if ljk == T::ZERO {
+                        continue;
+                    }
+                    for r in 0..rc {
+                        let v = xv.get(r, j) - xv.get(r, kk) * ljk;
+                        xv.set(r, j, v);
+                    }
+                }
+            }
+            ComputeOp::LuColSolveStep {
+                seg, col, pivot, ..
+            } => {
+                let seg = bufs.get(seg).ok_or_else(|| missing(*seg))?.as_slice();
+                let kk = *col;
+                let mut tv = dst.rect_view_mut().map_err(EngineError::Memory)?;
+                if kk >= tv.cols() || seg.len() < kk + 1 {
+                    return Err(short_segment("LuColSolveStep", seg.len(), kk + 1));
+                }
+                let diag = seg[kk];
+                if diag == T::ZERO || !diag.is_finite_scalar() {
+                    return Err(EngineError::Matrix(MatrixError::SingularPivot {
+                        pivot: *pivot,
+                    }));
+                }
+                let inv = diag.recip();
+                let ic = tv.rows();
+                for (q, &uqk) in seg.iter().enumerate().take(kk) {
+                    if uqk == T::ZERO {
+                        continue;
+                    }
+                    for r in 0..ic {
+                        let v = tv.get(r, kk) - tv.get(r, q) * uqk;
+                        tv.set(r, kk, v);
+                    }
+                }
+                for r in 0..ic {
+                    let v = tv.get(r, kk) * inv;
+                    tv.set(r, kk, v);
+                }
+            }
+            ComputeOp::LuRowElimStep { seg, row, .. } => {
+                let seg = bufs.get(seg).ok_or_else(|| missing(*seg))?.as_slice();
+                let kk = *row;
+                let mut tv = dst.rect_view_mut().map_err(EngineError::Memory)?;
+                if kk >= tv.rows() || seg.len() > tv.rows() - kk - 1 {
+                    return Err(short_segment(
+                        "LuRowElimStep",
+                        seg.len(),
+                        tv.rows().saturating_sub(kk + 1),
+                    ));
+                }
+                let jc = tv.cols();
+                for (off, &lik) in seg.iter().enumerate() {
+                    if lik == T::ZERO {
+                        continue;
+                    }
+                    let i = kk + 1 + off;
+                    for c in 0..jc {
+                        let v = tv.get(i, c) - lik * tv.get(kk, c);
+                        tv.set(i, c, v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays only the accounting of `schedule`: the returned [`IoStats`]
+    /// equal what [`Engine::execute`] would leave in the machine's counters
+    /// (same loads, stores, events, flops, peak residency and per-phase
+    /// attribution), computed without data or capacity limits.
+    ///
+    /// Transfers of groups with no phase label are attributed to
+    /// `default_phase` — pass the machine's current phase (usually
+    /// `"main"`).
+    pub fn dry_run<T: Scalar>(schedule: &Schedule<T>, default_phase: &str) -> IoStats {
+        let mut stats = IoStats::new();
+        let mut sizes: BTreeMap<BufId, usize> = BTreeMap::new();
+        let mut resident = 0usize;
+        let mut phase = default_phase.to_string();
+        for group in &schedule.groups {
+            if let Some(p) = &group.phase {
+                phase = p.clone();
+            }
+            for step in &group.steps {
+                match step {
+                    Step::Load { region, dst, .. } => {
+                        let elements = region.len();
+                        resident += elements;
+                        stats.observe_resident(resident);
+                        stats.record_load(elements, &phase);
+                        sizes.insert(*dst, elements);
+                    }
+                    Step::Alloc { region, dst, .. } => {
+                        resident += region.len();
+                        stats.observe_resident(resident);
+                        sizes.insert(*dst, region.len());
+                    }
+                    Step::Flops(flops) => stats.record_flops(*flops),
+                    Step::Store { buf } => {
+                        let elements = sizes.remove(buf).unwrap_or(0);
+                        resident -= elements;
+                        stats.record_store(elements, &phase);
+                    }
+                    Step::Discard { buf } => {
+                        resident -= sizes.remove(buf).unwrap_or(0);
+                    }
+                    Step::Compute(_) => {}
+                }
+            }
+        }
+        stats
+    }
+
+    /// Synthesizes the transfer trace of `schedule`: the returned [`Trace`]
+    /// equals what a machine with trace recording enabled would record while
+    /// executing the schedule.
+    pub fn trace<T: Scalar>(schedule: &Schedule<T>, default_phase: &str) -> Trace {
+        let mut trace = Trace::new();
+        let mut meta: BTreeMap<BufId, (u64, symla_memory::Region)> = BTreeMap::new();
+        let mut resident = 0usize;
+        let mut phase = default_phase.to_string();
+        for group in &schedule.groups {
+            if let Some(p) = &group.phase {
+                phase = p.clone();
+            }
+            for step in &group.steps {
+                match step {
+                    Step::Load {
+                        matrix,
+                        region,
+                        dst,
+                    } => {
+                        resident += region.len();
+                        trace.push(TraceEvent {
+                            direction: Direction::Load,
+                            matrix: matrix.raw(),
+                            region: region.clone(),
+                            phase: phase.clone(),
+                            resident_after: resident,
+                        });
+                        meta.insert(*dst, (matrix.raw(), region.clone()));
+                    }
+                    Step::Alloc {
+                        matrix,
+                        region,
+                        dst,
+                    } => {
+                        resident += region.len();
+                        meta.insert(*dst, (matrix.raw(), region.clone()));
+                    }
+                    Step::Store { buf } => {
+                        if let Some((matrix, region)) = meta.remove(buf) {
+                            resident -= region.len();
+                            trace.push(TraceEvent {
+                                direction: Direction::Store,
+                                matrix,
+                                region,
+                                phase: phase.clone(),
+                                resident_after: resident,
+                            });
+                        }
+                    }
+                    Step::Discard { buf } => {
+                        if let Some((_, region)) = meta.remove(buf) {
+                            resident -= region.len();
+                        }
+                    }
+                    Step::Flops(_) | Step::Compute(_) => {}
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ScheduleBuilder;
+    use symla_matrix::kernels::FlopCount;
+    use symla_matrix::Matrix;
+    use symla_memory::{MachineConfig, MatrixId, Region};
+
+    /// A tiny rank-1 update schedule used by the mode-equivalence tests.
+    fn rank1_schedule(id: MatrixId) -> Schedule<f64> {
+        let mut b = ScheduleBuilder::new();
+        b.begin_group();
+        let c = b.load(id, Region::rect(0, 0, 3, 3));
+        let x = b.load(id, Region::col_segment(3, 0, 3));
+        b.compute(ComputeOp::Ger {
+            alpha: 2.0,
+            x: BufSlice::whole(x, 3),
+            y: BufSlice::whole(x, 3),
+            dst: c,
+        });
+        b.flops(FlopCount::new(9, 9));
+        b.discard(x);
+        b.store(c);
+        b.finish()
+    }
+
+    #[test]
+    fn execute_dry_run_and_trace_agree() {
+        let a = Matrix::<f64>::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(16).record_trace(true));
+        let id = machine.insert_dense(a.clone());
+        let schedule = rank1_schedule(id);
+
+        Engine::execute(&mut machine, &schedule).unwrap();
+        let stats = machine.stats().clone();
+        assert_eq!(stats, Engine::dry_run(&schedule, "main"));
+        assert_eq!(machine.trace().unwrap(), &Engine::trace(&schedule, "main"));
+        assert_eq!(stats.volume.loads, 12);
+        assert_eq!(stats.volume.stores, 9);
+        assert_eq!(stats.peak_resident, 12);
+        assert_eq!(stats.flops.mults, 9);
+
+        // the kernel really ran: C[0,0] += 2 * A[0,3]^2
+        let out = machine.take_dense(id).unwrap();
+        assert_eq!(out[(0, 0)], a[(0, 0)] + 2.0 * a[(0, 3)] * a[(0, 3)]);
+    }
+
+    #[test]
+    fn phases_are_attributed_per_group() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        let id = MatrixId::synthetic(0);
+        b.set_phase("alpha");
+        b.begin_group();
+        let x = b.load(id, Region::rect(0, 0, 2, 2));
+        b.discard(x);
+        b.set_phase("beta");
+        b.begin_group();
+        let y = b.load(id, Region::rect(0, 0, 5, 1));
+        b.store(y);
+        let schedule = b.finish();
+
+        let stats = Engine::dry_run(&schedule, "main");
+        assert_eq!(stats.phase("alpha").loads, 4);
+        assert_eq!(stats.phase("beta").loads, 5);
+        assert_eq!(stats.phase("beta").stores, 5);
+        assert_eq!(stats.phase("main").total(), 0);
+        assert_eq!(stats.peak_resident, 5);
+    }
+
+    #[test]
+    fn unphased_groups_inherit_the_default_phase() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        let id = MatrixId::synthetic(0);
+        let x = b.load(id, Region::rect(0, 0, 2, 3));
+        b.store(x);
+        let schedule = b.finish();
+        let stats = Engine::dry_run(&schedule, "lbc:trailing");
+        assert_eq!(stats.phase("lbc:trailing").loads, 6);
+        let trace = Engine::trace(&schedule, "lbc:trailing");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events()[0].phase, "lbc:trailing");
+    }
+
+    #[test]
+    fn execute_rejects_malformed_schedules() {
+        let mut machine = OocMachine::<f64>::with_capacity(100);
+        let id = machine.insert_dense(Matrix::zeros(4, 4));
+
+        // store of a never-loaded buffer
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.store(99);
+        let err = Engine::execute(&mut machine, &b.finish()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSchedule(_)));
+        assert!(err.to_string().contains("99"));
+
+        // buffer left resident at the end
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.load(id, Region::rect(0, 0, 1, 1));
+        let err = Engine::execute(&mut machine, &b.finish()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSchedule(_)));
+    }
+
+    #[test]
+    fn failed_execution_releases_resident_buffers() {
+        // A schedule that errors mid-flight (second load exceeds capacity
+        // while the first buffer is resident) must leave the machine's
+        // accounting clean: nothing resident, no leases outstanding.
+        let mut machine = OocMachine::<f64>::with_capacity(10);
+        let id = machine.insert_dense(Matrix::zeros(4, 4));
+        let mut b = ScheduleBuilder::<f64>::new();
+        let x = b.load(id, Region::rect(0, 0, 3, 3));
+        let y = b.load(id, Region::rect(0, 0, 2, 2)); // 9 + 4 > 10
+        b.discard(y);
+        b.discard(x);
+        let err = Engine::execute(&mut machine, &b.finish()).unwrap_err();
+        assert!(matches!(err, EngineError::Memory(_)));
+        assert_eq!(machine.resident(), 0);
+        assert!(machine.take_dense(id).is_ok(), "no leases left behind");
+    }
+
+    #[test]
+    fn short_solve_segments_are_rejected_not_panics() {
+        let mut machine = OocMachine::<f64>::with_capacity(100);
+        let id = machine.insert_dense(Matrix::zeros(6, 6));
+        let mut b = ScheduleBuilder::<f64>::new();
+        let tile = b.load(id, Region::rect(0, 0, 3, 3));
+        let seg = b.load(id, Region::rect(0, 3, 1, 1)); // 1 element, needs 3
+        b.compute(ComputeOp::TrsmRightStep {
+            seg,
+            dst: tile,
+            col: 0,
+            pivot: 0,
+        });
+        b.discard(seg);
+        b.discard(tile);
+        let err = Engine::execute(&mut machine, &b.finish()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSchedule(_)), "{err}");
+        assert_eq!(machine.resident(), 0);
+    }
+
+    #[test]
+    fn capacity_violations_surface_as_memory_errors() {
+        let mut machine = OocMachine::<f64>::with_capacity(4);
+        let id = machine.insert_dense(Matrix::zeros(4, 4));
+        let mut b = ScheduleBuilder::<f64>::new();
+        let x = b.load(id, Region::rect(0, 0, 3, 3));
+        b.discard(x);
+        let err = Engine::execute(&mut machine, &b.finish()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Memory(MemoryError::CapacityExceeded { .. })
+        ));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

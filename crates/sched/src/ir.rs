@@ -1,0 +1,447 @@
+//! The schedule intermediate representation (IR).
+//!
+//! An out-of-core algorithm in this workspace is expressed as a [`Schedule`]:
+//! a sequence of [`TaskGroup`]s, each a self-contained unit of work whose
+//! [`Step`]s move regions between slow and fast memory ([`Step::Load`] /
+//! [`Step::Alloc`] / [`Step::Store`] / [`Step::Discard`]) and run block
+//! kernels on the resident buffers ([`Step::Compute`]). The algorithms of
+//! `symla-baselines` and `symla-core` are *schedule builders* that emit this
+//! IR; the generic [`crate::engine::Engine`] then replays a schedule in one
+//! of three modes (execute, dry-run, trace).
+//!
+//! Separating "what moves when" (the IR) from "how it runs" (the engine)
+//! makes every schedule:
+//!
+//! * **dry-runnable** — I/O and flop accounting without touching data, which
+//!   subsumes per-algorithm cost bookkeeping;
+//! * **traceable** — the exact transfer stream can be synthesized for bound
+//!   verification without executing kernels;
+//! * **distributable** — a [`TaskGroup`] only references buffers it created,
+//!   so groups are the unit of placement for multi-worker execution
+//!   (`symla_core::parallel` distributes groups over workers).
+//!
+//! Buffers are named by [`BufId`]s issued by the [`ScheduleBuilder`]. A
+//! buffer is created by exactly one `Load`/`Alloc` step and consumed by
+//! exactly one `Store`/`Discard` step of the same group.
+
+use std::fmt;
+use symla_matrix::kernels::FlopCount;
+use symla_matrix::Scalar;
+use symla_memory::{MatrixId, Region};
+
+/// Identifier of a fast-memory buffer within a schedule.
+pub type BufId = usize;
+
+/// A contiguous slice of a fast-memory buffer, used as a kernel operand
+/// (e.g. one tile-row segment of a loaded `A` gather).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufSlice {
+    /// The buffer the slice lives in.
+    pub buf: BufId,
+    /// First element of the slice.
+    pub start: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl BufSlice {
+    /// A slice covering `len` elements of `buf` from `start`.
+    pub fn new(buf: BufId, start: usize, len: usize) -> Self {
+        Self { buf, start, len }
+    }
+
+    /// A slice covering the whole of a buffer of `len` elements.
+    pub fn whole(buf: BufId, len: usize) -> Self {
+        Self { buf, start: 0, len }
+    }
+}
+
+/// A block kernel applied to resident fast-memory buffers.
+///
+/// Each variant mirrors one of the in-core view kernels of
+/// `symla_matrix::kernels::views` (or one streaming solve step of the
+/// left-looking baselines). Compute steps never touch slow memory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeOp<T: Scalar> {
+    /// Rank-1 update `dst += alpha · x · yᵀ` on a rectangular buffer.
+    Ger {
+        /// Scaling of the product.
+        alpha: T,
+        /// Column operand.
+        x: BufSlice,
+        /// Row operand.
+        y: BufSlice,
+        /// Rectangular destination buffer.
+        dst: BufId,
+    },
+    /// Symmetric rank-1 update `dst += alpha · x · xᵀ` on a packed lower
+    /// triangle buffer.
+    SprLower {
+        /// Scaling of the product.
+        alpha: T,
+        /// The vector operand.
+        x: BufSlice,
+        /// Packed lower-triangle destination buffer.
+        dst: BufId,
+    },
+    /// Strict-lower triangle-block update of TBS:
+    /// `dst[(u,v)] += alpha · x[u] · x[v]` for `u > v`.
+    TrianglePairs {
+        /// Scaling of the product.
+        alpha: T,
+        /// One column of `A` restricted to the block's row set.
+        x: BufSlice,
+        /// Pair buffer (layout of [`Region::SymPairs`]).
+        dst: BufId,
+    },
+    /// In-place Cholesky factorization of a packed lower-triangle buffer.
+    CholeskyInPlace {
+        /// The packed diagonal-block buffer.
+        dst: BufId,
+        /// Added to in-tile pivot indices when reporting a non-SPD pivot.
+        pivot_base: usize,
+    },
+    /// In-place LU factorization (no pivoting) of a rectangular buffer.
+    LuInPlace {
+        /// The square tile buffer.
+        dst: BufId,
+        /// Added to in-tile pivot indices when reporting a singular pivot.
+        pivot_base: usize,
+    },
+    /// One streamed column step of the right triangular solve
+    /// `X ← X · L⁻ᵀ`: with `seg` holding column `col` of the diagonal block
+    /// of `L` from its diagonal element down, divides `dst[:, col]` by
+    /// `seg[0]` and subtracts `dst[:, col] · seg[j - col]` from every later
+    /// column `j`.
+    TrsmRightStep {
+        /// The streamed `L` column segment.
+        seg: BufId,
+        /// The panel tile being solved.
+        dst: BufId,
+        /// In-tile column index being finalized.
+        col: usize,
+        /// Pivot index reported if `seg[0]` is zero or non-finite.
+        pivot: usize,
+    },
+    /// One streamed column step of the LU sub-diagonal solve
+    /// `X · U₁₁ = tile`: with `seg` holding rows `0..=col` of column `col`
+    /// of `U₁₁`, eliminates the contributions of columns `q < col` and
+    /// divides by the diagonal `seg[col]`.
+    LuColSolveStep {
+        /// The streamed `U` column segment.
+        seg: BufId,
+        /// The tile being solved.
+        dst: BufId,
+        /// In-tile column index being finalized.
+        col: usize,
+        /// Pivot index reported if the diagonal is zero or non-finite.
+        pivot: usize,
+    },
+    /// One streamed column step of the LU super-diagonal solve
+    /// `L₁₁ · X = tile` (unit diagonal): with `seg` holding the strictly
+    /// sub-diagonal part of column `row` of `L₁₁`, eliminates row `row` from
+    /// every row below it.
+    LuRowElimStep {
+        /// The streamed `L` column segment (may be empty for the last row).
+        seg: BufId,
+        /// The tile being solved.
+        dst: BufId,
+        /// In-tile row index whose value is final.
+        row: usize,
+    },
+}
+
+/// One primitive action of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step<T: Scalar> {
+    /// Transfer a region from slow memory into a new fast-memory buffer
+    /// (counted as load traffic).
+    Load {
+        /// Source matrix.
+        matrix: MatrixId,
+        /// Region transferred.
+        region: Region,
+        /// Buffer created by this step.
+        dst: BufId,
+    },
+    /// Reserve fast-memory space for a region without reading it (no load
+    /// traffic); used for outputs that are fully overwritten.
+    Alloc {
+        /// Matrix the buffer will be stored back to.
+        matrix: MatrixId,
+        /// Region the buffer mirrors.
+        region: Region,
+        /// Buffer created by this step.
+        dst: BufId,
+    },
+    /// Run a block kernel on resident buffers.
+    Compute(ComputeOp<T>),
+    /// Attribute arithmetic work to the schedule (kept as an explicit step so
+    /// dry runs account flops exactly like executions).
+    Flops(FlopCount),
+    /// Write a buffer back to slow memory (counted as store traffic) and
+    /// release its fast-memory space.
+    Store {
+        /// The buffer consumed.
+        buf: BufId,
+    },
+    /// Release a buffer without writing it back (no store traffic).
+    Discard {
+        /// The buffer consumed.
+        buf: BufId,
+    },
+}
+
+/// A self-contained unit of work: a sequence of steps that creates, uses and
+/// releases its own buffers.
+///
+/// A group never references a buffer created by another group, so groups are
+/// the granularity of placement for multi-worker execution. For the update
+/// kernels (SYRK / GEMM) the groups' output regions are disjoint and any
+/// assignment of whole groups to workers is valid; the left-looking
+/// factorizations (Cholesky / LU) additionally order their groups through
+/// slow memory, so those must replay in sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskGroup<T: Scalar> {
+    /// Phase label the group's traffic is attributed to. `None` leaves the
+    /// machine's current phase untouched (so a caller like LBC can attribute
+    /// a whole sub-schedule to one phase).
+    pub phase: Option<String>,
+    /// The steps, in program order.
+    pub steps: Vec<Step<T>>,
+}
+
+impl<T: Scalar> TaskGroup<T> {
+    /// Elements this group loads from slow memory.
+    pub fn loaded_elements(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Load { region, .. } => region.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Elements this group stores back to slow memory.
+    pub fn stored_elements(&self) -> u64 {
+        let mut sizes = std::collections::BTreeMap::new();
+        let mut stored = 0u64;
+        for step in &self.steps {
+            match step {
+                Step::Load { region, dst, .. } | Step::Alloc { region, dst, .. } => {
+                    sizes.insert(*dst, region.len() as u64);
+                }
+                Step::Store { buf } => stored += sizes.remove(buf).unwrap_or(0),
+                _ => {}
+            }
+        }
+        stored
+    }
+}
+
+/// A complete schedule: an ordered sequence of task groups.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule<T: Scalar> {
+    /// The task groups, in sequential execution order.
+    pub groups: Vec<TaskGroup<T>>,
+}
+
+impl<T: Scalar> Schedule<T> {
+    /// Number of task groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of steps over all groups.
+    pub fn num_steps(&self) -> usize {
+        self.groups.iter().map(|g| g.steps.len()).sum()
+    }
+}
+
+impl<T: Scalar> fmt::Display for Schedule<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule: {} group(s), {} step(s)",
+            self.num_groups(),
+            self.num_steps()
+        )
+    }
+}
+
+/// Incremental constructor for [`Schedule`]s.
+///
+/// Builders mirror the shape of the original executor loops: where the seed
+/// code called `machine.load(...)`, a builder calls [`ScheduleBuilder::load`]
+/// and receives a [`BufId`] to thread through the compute steps. Buffer ids
+/// are unique across the whole schedule.
+#[derive(Debug)]
+pub struct ScheduleBuilder<T: Scalar> {
+    groups: Vec<TaskGroup<T>>,
+    current: TaskGroup<T>,
+    started: bool,
+    phase: Option<String>,
+    next_buf: BufId,
+}
+
+impl<T: Scalar> Default for ScheduleBuilder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> ScheduleBuilder<T> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            groups: Vec::new(),
+            current: TaskGroup::default(),
+            started: false,
+            phase: None,
+            next_buf: 0,
+        }
+    }
+
+    /// Sets the phase label assigned to task groups begun from now on.
+    pub fn set_phase(&mut self, phase: &str) {
+        self.phase = Some(phase.to_string());
+    }
+
+    /// Closes the current group (if it has steps) and begins a new one
+    /// carrying the current phase label.
+    pub fn begin_group(&mut self) {
+        self.flush_group();
+        self.started = true;
+    }
+
+    fn flush_group(&mut self) {
+        if !self.current.steps.is_empty() {
+            self.groups.push(std::mem::take(&mut self.current));
+        }
+        self.current.phase = self.phase.clone();
+    }
+
+    fn push(&mut self, step: Step<T>) {
+        if !self.started {
+            self.begin_group();
+        }
+        self.current.steps.push(step);
+    }
+
+    /// Emits a load step and returns the id of the created buffer.
+    pub fn load(&mut self, matrix: MatrixId, region: Region) -> BufId {
+        let dst = self.next_buf;
+        self.next_buf += 1;
+        self.push(Step::Load {
+            matrix,
+            region,
+            dst,
+        });
+        dst
+    }
+
+    /// Emits an allocate-without-reading step and returns the buffer id.
+    pub fn alloc(&mut self, matrix: MatrixId, region: Region) -> BufId {
+        let dst = self.next_buf;
+        self.next_buf += 1;
+        self.push(Step::Alloc {
+            matrix,
+            region,
+            dst,
+        });
+        dst
+    }
+
+    /// Emits a compute step.
+    pub fn compute(&mut self, op: ComputeOp<T>) {
+        self.push(Step::Compute(op));
+    }
+
+    /// Emits a flop-accounting step.
+    pub fn flops(&mut self, flops: FlopCount) {
+        self.push(Step::Flops(flops));
+    }
+
+    /// Emits a store step consuming `buf`.
+    pub fn store(&mut self, buf: BufId) {
+        self.push(Step::Store { buf });
+    }
+
+    /// Emits a discard step consuming `buf`.
+    pub fn discard(&mut self, buf: BufId) {
+        self.push(Step::Discard { buf });
+    }
+
+    /// Finishes the build and returns the schedule.
+    pub fn finish(mut self) -> Schedule<T> {
+        self.flush_group();
+        Schedule {
+            groups: self.groups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_groups_and_buffer_ids() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let m = MatrixId::synthetic(0);
+        let c = b.load(m, Region::rect(0, 0, 2, 2));
+        let x = b.load(m, Region::col_segment(0, 0, 2));
+        b.compute(ComputeOp::Ger {
+            alpha: 1.0,
+            x: BufSlice::whole(x, 2),
+            y: BufSlice::whole(x, 2),
+            dst: c,
+        });
+        b.flops(FlopCount::new(4, 4));
+        b.discard(x);
+        b.store(c);
+
+        b.set_phase("p2");
+        b.begin_group();
+        let d = b.load(m, Region::rect(2, 2, 1, 1));
+        b.discard(d);
+
+        let schedule = b.finish();
+        assert_eq!(schedule.num_groups(), 2);
+        assert_eq!(schedule.num_steps(), 8);
+        assert_eq!(schedule.groups[0].phase, None);
+        assert_eq!(schedule.groups[1].phase.as_deref(), Some("p2"));
+        assert_ne!(c, x);
+        assert_ne!(d, c);
+        assert_ne!(d, x);
+        assert!(schedule.to_string().contains("2 group(s)"));
+    }
+
+    #[test]
+    fn group_volume_helpers() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        let m = MatrixId::synthetic(1);
+        let c = b.load(m, Region::rect(0, 0, 3, 3));
+        let z = b.alloc(m, Region::rect(3, 0, 1, 3));
+        let x = b.load(m, Region::col_segment(0, 0, 3));
+        b.discard(x);
+        b.store(c);
+        b.store(z);
+        let schedule = b.finish();
+        let group = &schedule.groups[0];
+        assert_eq!(group.loaded_elements(), 12);
+        assert_eq!(group.stored_elements(), 12);
+    }
+
+    #[test]
+    fn empty_groups_are_dropped() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        b.begin_group();
+        let schedule = b.finish();
+        assert_eq!(schedule.num_groups(), 0);
+        assert_eq!(Schedule::<f64>::default().num_steps(), 0);
+    }
+}

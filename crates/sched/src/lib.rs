@@ -14,26 +14,36 @@
 //! * [`indexing`] — cyclic indexing families and the coprimality machinery
 //!   used to choose the TBS grid size `c` (Lemma 5.5);
 //! * [`partition`] — the exact tiling of the result matrix by triangle
-//!   blocks and diagonal zones (Figures 1–2).
+//!   blocks and diagonal zones (Figures 1–2);
+//! * [`ir`] — the schedule intermediate representation: load / alloc /
+//!   compute / store / discard [`ir::Step`]s grouped into independent
+//!   [`ir::TaskGroup`]s;
+//! * [`engine`] — the generic engine replaying a schedule against the
+//!   machine model of `symla-memory` in execute, dry-run or trace mode.
 //!
-//! Everything here is exact, integer combinatorics: the numeric kernels live
-//! in `symla-matrix`, the memory model in `symla-memory`, and the actual
-//! out-of-core schedules in `symla-baselines` / `symla-core`.
+//! The combinatorial modules are exact integer mathematics; the IR and
+//! engine are the execution substrate every out-of-core algorithm of
+//! `symla-baselines` / `symla-core` is built on (those crates contain only
+//! *schedule builders*).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod balanced;
+pub mod engine;
 pub mod footprint;
 pub mod indexing;
+pub mod ir;
 pub mod ops;
 pub mod opt;
 pub mod partition;
 pub mod triangle;
 
 pub use balanced::BalancedSolution;
+pub use engine::{Engine, EngineError};
 pub use footprint::{data_access, DataAccess};
 pub use indexing::{largest_coprime_below, CyclicIndexing};
+pub use ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGroup};
 pub use ops::{Op, OpSet};
 pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputation_bound};
 pub use partition::{PartitionStats, TbsPartition};

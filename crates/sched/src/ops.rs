@@ -53,9 +53,7 @@ impl OpSet {
     /// (`M·N(N−1)/2` for SYRK, `N(N−1)(N−2)/6` for Cholesky updates).
     pub fn len(&self) -> u128 {
         match *self {
-            OpSet::Syrk { n, m } => {
-                (n as u128) * (n as u128).saturating_sub(1) / 2 * (m as u128)
-            }
+            OpSet::Syrk { n, m } => (n as u128) * (n as u128).saturating_sub(1) / 2 * (m as u128),
             OpSet::CholeskyUpdates { n } => {
                 if n < 3 {
                     0

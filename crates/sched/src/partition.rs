@@ -130,10 +130,7 @@ impl TbsPartition {
 
         let expected = n * (n - 1) / 2;
         if seen.len() != expected {
-            return Err(format!(
-                "covered {} pairs, expected {expected}",
-                seen.len()
-            ));
+            return Err(format!("covered {} pairs, expected {expected}", seen.len()));
         }
         // Every covered pair must be a valid subdiagonal pair of [0, n).
         if let Some(&(i, j)) = seen.iter().find(|&&(i, j)| i <= j || i >= n) {
@@ -199,14 +196,22 @@ mod tests {
         assert_eq!(s.diagonal_zones, 5);
         assert_eq!(s.elements_per_diagonal_zone, 21);
         // Total cover: blocks * per_block + zones * per_zone = ck(ck-1)/2
-        let total = s.blocks * s.elements_per_block
-            + s.diagonal_zones * s.elements_per_diagonal_zone;
+        let total =
+            s.blocks * s.elements_per_block + s.diagonal_zones * s.elements_per_diagonal_zone;
         assert_eq!(total, 35 * 34 / 2);
     }
 
     #[test]
     fn exact_cover_for_several_parameters() {
-        for &(c, k) in &[(5_usize, 4_usize), (7, 5), (7, 6), (11, 5), (13, 7), (5, 3), (3, 2)] {
+        for &(c, k) in &[
+            (5_usize, 4_usize),
+            (7, 5),
+            (7, 6),
+            (11, 5),
+            (13, 7),
+            (5, 3),
+            (3, 2),
+        ] {
             let p = TbsPartition::build(c, k).unwrap_or_else(|e| panic!("({c},{k}): {e}"));
             p.verify_exact_cover()
                 .unwrap_or_else(|e| panic!("({c},{k}): {e}"));

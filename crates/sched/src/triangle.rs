@@ -103,10 +103,7 @@ mod tests {
             let s = sigma(m);
             assert!(triangle_block_len(s) >= m, "σ({m}) = {s} too small");
             if s > 0 {
-                assert!(
-                    triangle_block_len(s - 1) < m,
-                    "σ({m}) = {s} not minimal"
-                );
+                assert!(triangle_block_len(s - 1) < m, "σ({m}) = {s} not minimal");
             }
         }
         assert_eq!(sigma(0), 0);

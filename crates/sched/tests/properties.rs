@@ -1,6 +1,7 @@
-//! Property-based tests of the combinatorial layer.
+//! Property-style tests of the combinatorial layer.
 //!
-//! These check the paper's structural lemmas on randomized instances:
+//! These check the paper's structural lemmas on seeded pseudo-random
+//! instances:
 //! * Theorem 4.1: any subcomputation accessing at most `X` elements has size
 //!   at most `√2/(3√3)·X^{3/2}`;
 //! * Lemma 4.3: the balanced solution of an arbitrary operation set never
@@ -9,119 +10,150 @@
 //! * Lemma 5.5: the cyclic indexing family is valid whenever the coprimality
 //!   condition holds, and the induced partition is an exact cover.
 
-use proptest::collection::btree_set;
-use proptest::prelude::*;
+use symla_matrix::generate::SeededRng;
 use symla_sched::balanced::BalancedSolution;
-use symla_sched::footprint::{data_access, max_pairs_for_footprint, restrictions, symmetric_footprint};
+use symla_sched::footprint::{
+    data_access, max_pairs_for_footprint, restrictions, symmetric_footprint,
+};
 use symla_sched::indexing::{is_coprime_with_range, largest_coprime_below, CyclicIndexing};
 use symla_sched::ops::{Op, OpSet};
 use symla_sched::opt::{best_integer_balanced, max_subcomputation_bound, relaxed_optimum_value};
 use symla_sched::partition::TbsPartition;
 use symla_sched::triangle::{canonical_t, footprint_size, sigma, triangle_block_len};
 
-/// Strategy: a random subset of the SYRK operation set with n <= 10, m <= 6.
-fn syrk_subset() -> impl Strategy<Value = (usize, usize, Vec<Op>)> {
-    (2usize..10, 1usize..6).prop_flat_map(|(n, m)| {
-        let all: Vec<Op> = OpSet::Syrk { n, m }.iter().collect();
-        let len = all.len();
-        btree_set(0..len, 0..=len.min(60)).prop_map(move |idx| {
-            let ops: Vec<Op> = idx.iter().map(|&i| all[i]).collect();
-            (n, m, ops)
-        })
-    })
+/// A pseudo-random subset of the SYRK operation set with n < 10, m < 6.
+fn syrk_subset(rng: &mut SeededRng) -> (usize, usize, Vec<Op>) {
+    let n = rng.gen_range(2usize..10);
+    let m = rng.gen_range(1usize..6);
+    let all: Vec<Op> = OpSet::Syrk { n, m }.iter().collect();
+    let target = rng.gen_range(0usize..all.len().min(60) + 1);
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < target {
+        picked.insert(rng.gen_range(0usize..all.len()));
+    }
+    let ops: Vec<Op> = picked.iter().map(|&i| all[i]).collect();
+    (n, m, ops)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Theorem 4.1 on random subsets: |E| <= sqrt(2)/(3 sqrt 3) * D(E)^{3/2}.
-    #[test]
-    fn theorem_4_1_bound_holds_on_random_subsets((_n, _m, ops) in syrk_subset()) {
+#[test]
+fn theorem_4_1_bound_holds_on_random_subsets() {
+    let mut rng = SeededRng::seed_from_u64(41);
+    for _ in 0..128 {
+        let (_n, _m, ops) = syrk_subset(&mut rng);
         let d = data_access(&ops).total();
         let bound = max_subcomputation_bound(d as f64);
-        prop_assert!(
+        assert!(
             ops.len() as f64 <= bound + 1e-9,
-            "|E| = {} exceeds bound {} for D(E) = {}", ops.len(), bound, d
+            "|E| = {} exceeds bound {} for D(E) = {}",
+            ops.len(),
+            bound,
+            d
         );
     }
+}
 
-    /// Lemma 4.3 on random subsets: the balanced solution is at most as
-    /// expensive as the original set (and has the same size).
-    #[test]
-    fn lemma_4_3_balanced_dominates((_n, _m, ops) in syrk_subset()) {
+#[test]
+fn lemma_4_3_balanced_dominates() {
+    let mut rng = SeededRng::seed_from_u64(43);
+    for _ in 0..128 {
+        let (_n, _m, ops) = syrk_subset(&mut rng);
         let direct = data_access(&ops);
         let balanced = BalancedSolution::from_ops(&ops);
-        prop_assert_eq!(balanced.size(), ops.len());
-        prop_assert!(
+        assert_eq!(balanced.size(), ops.len());
+        assert!(
             balanced.data_access().total() <= direct.total(),
-            "balanced {} > direct {}", balanced.data_access().total(), direct.total()
+            "balanced {} > direct {}",
+            balanced.data_access().total(),
+            direct.total()
         );
         // The analytic cost of the balanced solution agrees with a direct
         // evaluation of its materialized operation list.
         let materialized = data_access(&balanced.ops());
-        prop_assert_eq!(balanced.data_access(), materialized);
+        assert_eq!(balanced.data_access(), materialized);
     }
+}
 
-    /// For every restriction E|k, |E|k| <= |tau(E|k)| (|tau|-1) / 2.
-    #[test]
-    fn footprint_pair_bound((_n, _m, ops) in syrk_subset()) {
+#[test]
+fn footprint_pair_bound() {
+    let mut rng = SeededRng::seed_from_u64(36);
+    for _ in 0..128 {
+        let (_n, _m, ops) = syrk_subset(&mut rng);
         for (_, pairs) in restrictions(&ops) {
             let fp = symmetric_footprint(&pairs);
-            prop_assert!(pairs.len() <= max_pairs_for_footprint(fp.len()));
+            assert!(pairs.len() <= max_pairs_for_footprint(fp.len()));
         }
     }
+}
 
-    /// sigma(m) is the minimal triangle side holding m pairs, and T(m) has
-    /// exactly m pairs with footprint sigma(m).
-    #[test]
-    fn sigma_and_canonical_t_invariants(m in 0usize..3000) {
+#[test]
+fn sigma_and_canonical_t_invariants() {
+    let mut rng = SeededRng::seed_from_u64(55);
+    for _ in 0..128 {
+        let m = rng.gen_range(0usize..3000);
         let s = sigma(m);
-        prop_assert!(triangle_block_len(s) >= m);
+        assert!(triangle_block_len(s) >= m);
         if s > 0 {
-            prop_assert!(triangle_block_len(s - 1) < m);
+            assert!(triangle_block_len(s - 1) < m);
         }
         if m > 0 && m <= 600 {
             let t = canonical_t(m);
-            prop_assert_eq!(t.len(), m);
-            prop_assert_eq!(footprint_size(&t), s);
-            prop_assert!(t.iter().all(|&(i, j)| i > j && i < s));
+            assert_eq!(t.len(), m);
+            assert_eq!(footprint_size(&t), s);
+            assert!(t.iter().all(|&(i, j)| i > j && i < s));
         }
     }
+}
 
-    /// The integer balanced optimum never exceeds the relaxed optimum nor the
-    /// Theorem 4.1 closed form.
-    #[test]
-    fn integer_optimum_below_relaxations(x in 3usize..3000) {
+#[test]
+fn integer_optimum_below_relaxations() {
+    let mut rng = SeededRng::seed_from_u64(77);
+    for _ in 0..128 {
+        let x = rng.gen_range(3usize..3000);
         let best = best_integer_balanced(x, None, None);
-        prop_assert!(best.data_accessed as usize <= x);
-        prop_assert!(best.operations as f64 <= relaxed_optimum_value(x as f64) + 1e-6);
-        prop_assert!(best.operations as f64 <= max_subcomputation_bound(x as f64) + 1e-6);
+        assert!(best.data_accessed as usize <= x);
+        assert!(best.operations as f64 <= relaxed_optimum_value(x as f64) + 1e-6);
+        assert!(best.operations as f64 <= max_subcomputation_bound(x as f64) + 1e-6);
     }
+}
 
-    /// Lemma 5.5: whenever c >= k-1 and c is coprime with [2, k-2], the
-    /// cyclic family is valid and yields an exact partition.
-    #[test]
-    fn cyclic_family_validity_and_cover(k in 2usize..7, c_seed in 2usize..40) {
+#[test]
+fn cyclic_family_validity_and_cover() {
+    let mut rng = SeededRng::seed_from_u64(55_00);
+    for _ in 0..64 {
+        let k = rng.gen_range(2usize..7);
+        let c_seed = rng.gen_range(2usize..40);
         // snap c_seed to the largest coprime value below it (if any)
         if let Some(c) = largest_coprime_below(c_seed, k) {
             if c + 1 >= k {
                 let fam = CyclicIndexing::new(c, k);
-                prop_assert!(fam.satisfies_lemma_5_5());
-                prop_assert!(fam.is_valid(), "family ({c},{k}) invalid");
+                assert!(fam.satisfies_lemma_5_5());
+                assert!(fam.is_valid(), "family ({c},{k}) invalid");
                 let partition = TbsPartition::build(c, k).unwrap();
-                prop_assert!(partition.verify_exact_cover().is_ok());
+                assert!(partition.verify_exact_cover().is_ok());
             }
         }
     }
+}
 
-    /// Coprimality helper agrees with a direct gcd check.
-    #[test]
-    fn coprimality_matches_gcd(c in 1usize..500, limit in 0usize..30) {
-        fn gcd(a: usize, b: usize) -> usize {
-            if b == 0 { a } else { gcd(b, a % b) }
+#[test]
+fn coprimality_matches_gcd() {
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
         }
+    }
+    let mut rng = SeededRng::seed_from_u64(99);
+    for _ in 0..256 {
+        let c = rng.gen_range(1usize..500);
+        let limit = rng.gen_range(0usize..30);
         let direct = (2..=limit).all(|d| gcd(c, d) == 1);
-        prop_assert_eq!(is_coprime_with_range(c, limit), direct);
+        assert_eq!(
+            is_coprime_with_range(c, limit),
+            direct,
+            "c={c} limit={limit}"
+        );
     }
 }
 

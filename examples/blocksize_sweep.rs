@@ -31,12 +31,7 @@ fn main() {
         let closed = LbcTermBreakdown::new(n as f64, s as f64, b as f64).total();
         println!(
             "{:>6} | {:>12} {:>12} {:>12} | {:>12} | {:>14.0}",
-            b,
-            breakdown.chol.loads,
-            breakdown.trsm.loads,
-            breakdown.trailing.loads,
-            total,
-            closed
+            b, breakdown.chol.loads, breakdown.trsm.loads, breakdown.trailing.loads, total, closed
         );
         if best.map(|(_, t)| total < t).unwrap_or(true) {
             best = Some((b, total));

@@ -30,8 +30,14 @@ fn main() {
 
     let partition = TbsPartition::build(c, k).expect("valid family");
     let stats = partition.stats();
-    println!("\npartition of the {}x{} lower triangle:", stats.covered, stats.covered);
-    println!("  {} triangle blocks of {} elements each", stats.blocks, stats.elements_per_block);
+    println!(
+        "\npartition of the {}x{} lower triangle:",
+        stats.covered, stats.covered
+    );
+    println!(
+        "  {} triangle blocks of {} elements each",
+        stats.blocks, stats.elements_per_block
+    );
     println!(
         "  {} diagonal zones of {} elements each (handled recursively)",
         stats.diagonal_zones, stats.elements_per_diagonal_zone
@@ -48,7 +54,13 @@ fn main() {
         "{:>8} {:>4} {:>14} {:>10} {:>10} {:>10}",
         "S", "k", "primes<=k-2", "N", "c", "leftover"
     );
-    for &(s, n) in &[(36_usize, 300_usize), (36, 1000), (105, 3000), (210, 5000), (1035, 100_000)] {
+    for &(s, n) in &[
+        (36_usize, 300_usize),
+        (36, 1000),
+        (105, 3000),
+        (210, 5000),
+        (1035, 100_000),
+    ] {
         let plan = TbsPlan::for_memory(s).expect("plan");
         let c = largest_coprime_below(n / plan.k, plan.k).unwrap_or(0);
         let covered = c * plan.k;

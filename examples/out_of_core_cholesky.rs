@@ -25,8 +25,14 @@ fn main() {
     let result = machine.take_symmetric(id).expect("result");
     let l = LowerTriangular::from_lower_fn(n, |i, j| result.get(i, j));
 
-    println!("numerical check: ||A - L·Lᵀ||_F / ||A||_F = {:.2e}", kernels::cholesky_residual(&a, &l));
-    println!("fast-memory peak residency: {} / {} elements\n", stats.peak_resident, s);
+    println!(
+        "numerical check: ||A - L·Lᵀ||_F / ||A||_F = {:.2e}",
+        kernels::cholesky_residual(&a, &l)
+    );
+    println!(
+        "fast-memory peak residency: {} / {} elements\n",
+        stats.peak_resident, s
+    );
 
     println!("per-phase traffic (loads + stores, elements):");
     for phase in [PHASE_CHOL, PHASE_TRSM, PHASE_TRAILING] {
@@ -43,7 +49,10 @@ fn main() {
 
     // Closed-form four-term analysis at the same parameters.
     let breakdown = bounds::LbcTermBreakdown::new(n as f64, s as f64, plan.block as f64);
-    println!("paper's four-term estimate at b = {} (elements):", plan.block);
+    println!(
+        "paper's four-term estimate at b = {} (elements):",
+        plan.block
+    );
     println!("  (1) OOC_CHOL      {:>12.0}", breakdown.chol_term);
     println!("  (2) OOC_TRSM      {:>12.0}", breakdown.trsm_term);
     println!("  (3) TBS updates   {:>12.0}", breakdown.tbs_term);
@@ -57,7 +66,10 @@ fn main() {
     println!("  LBC                {:>12}", stats.volume.loads);
     println!("  OOC_CHOL (Béreux)  {:>12}", bereux.measured_loads());
     println!("  paper lower bound  {:>12.0}", lb);
-    println!("  prior lower bound  {:>12.0}", bounds::cholesky_lower_bound_prior(n as f64, s as f64));
+    println!(
+        "  prior lower bound  {:>12.0}",
+        bounds::cholesky_lower_bound_prior(n as f64, s as f64)
+    );
     println!(
         "\nLBC / lower bound = {:.3};  Béreux / lower bound = {:.3}",
         stats.volume.loads as f64 / lb,

@@ -50,9 +50,12 @@ pub mod prelude {
         OocLuPlan, OocSyrkPlan, OocTrsmPlan,
     };
     pub use symla_core::{
-        api::{cholesky_out_of_core, syrk_out_of_core, CholeskyAlgorithm, RunReport, SyrkAlgorithm},
-        bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, oi, tbs_cost, tbs_execute,
-        tbs_tiled_cost, tbs_tiled_execute, LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate,
+        api::{
+            cholesky_out_of_core, syrk_out_of_core, CholeskyAlgorithm, RunReport, SyrkAlgorithm,
+        },
+        bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, oi, tbs_cost, tbs_execute,
+        tbs_schedule, tbs_tiled_cost, tbs_tiled_execute, tbs_tiled_schedule, Engine, LbcPlan,
+        Schedule, ScheduleBuilder, TbsPlan, TbsTiledPlan, TrailingUpdate,
     };
     pub use symla_matrix::{
         generate, kernels, LowerTriangular, Matrix, MatrixError, Scalar, SymMatrix,

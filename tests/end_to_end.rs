@@ -117,10 +117,7 @@ fn direct_machine_usage_and_phase_attribution() {
         breakdown.trailing.loads,
         stats.phase(symla_core::lbc::PHASE_TRAILING).loads as u128
     );
-    assert_eq!(
-        breakdown.total().stores,
-        stats.volume.stores as u128
-    );
+    assert_eq!(breakdown.total().stores, stats.volume.stores as u128);
 
     // the factor is still correct
     let result = machine.take_symmetric(id).unwrap();
@@ -136,8 +133,7 @@ fn trace_recording_covers_every_transfer() {
     let a = generate::random_matrix_seeded::<f64>(n, m, 55);
     let plan = TbsPlan::for_memory(s).unwrap();
 
-    let mut machine =
-        OocMachine::<f64>::new(MachineConfig::with_capacity(s).record_trace(true));
+    let mut machine = OocMachine::<f64>::new(MachineConfig::with_capacity(s).record_trace(true));
     let a_id = machine.insert_dense(a);
     let c_id = machine.insert_symmetric(SymMatrix::zeros(n));
     symla_core::tbs_execute(

@@ -31,7 +31,10 @@ fn sqrt2_improvements_of_bounds_and_algorithms() {
         (bounds::cholesky_upper_bereux(n, s) / bounds::lbc_upper_bound(n, s) - SQRT2).abs() < 1e-9
     );
     // upper bound matches lower bound at leading order: optimality
-    assert_eq!(bounds::lbc_upper_bound(n, s), bounds::cholesky_lower_bound(n, s));
+    assert_eq!(
+        bounds::lbc_upper_bound(n, s),
+        bounds::cholesky_lower_bound(n, s)
+    );
     assert!(
         ((bounds::tbs_upper_bound(n, m, s) - n * n / 2.0) / bounds::syrk_lower_bound(n, m, s)
             - 1.0)
@@ -51,20 +54,29 @@ fn tbs_constant_converges_to_inverse_sqrt2() {
         assert!(plan.applicable(n));
         let est = symla_core::tbs_cost(n, m, &plan).unwrap();
         // subtract the N^2/2 loads of C to isolate the A traffic
-        let constant =
-            (est.loads as f64 - (n as f64) * (n as f64) / 2.0) / ((n as f64).powi(2) * m as f64 / (s as f64).sqrt());
+        let constant = (est.loads as f64 - (n as f64) * (n as f64) / 2.0)
+            / ((n as f64).powi(2) * m as f64 / (s as f64).sqrt());
         // (the constant is not exactly monotone in N because the coprime grid
         // size c and the leftover strip vary with N, but it stays pinned in a
         // narrow band just above 1/sqrt(2))
-        assert!(constant >= 1.0 / SQRT2 - 1e-9, "n={n}: constant {constant} below optimal");
-        assert!(constant < 0.78, "n={n}: constant {constant} too far from 1/sqrt(2)");
+        assert!(
+            constant >= 1.0 / SQRT2 - 1e-9,
+            "n={n}: constant {constant} below optimal"
+        );
+        assert!(
+            constant < 0.78,
+            "n={n}: constant {constant} too far from 1/sqrt(2)"
+        );
     }
     // square-block baseline constant is ~1
     let sq = OocSyrkPlan::for_memory(s).unwrap();
     let est = symla_baselines::ooc_syrk_cost(60_000, m, &sq);
     let constant = (est.loads as f64 - 60_000.0_f64.powi(2) / 2.0)
         / (60_000.0_f64.powi(2) * m as f64 / (s as f64).sqrt());
-    assert!((constant - 1.0).abs() < 0.05, "baseline constant {constant}");
+    assert!(
+        (constant - 1.0).abs() < 0.05,
+        "baseline constant {constant}"
+    );
 }
 
 /// Theorem 5.7: the LBC constant approaches 1/(3√2) ≈ 0.2357, clearly below
@@ -147,7 +159,10 @@ fn max_subcomputation_bound_is_tight() {
         assert!(ratio <= 1.0 + 1e-12, "x={x}");
         best_ratio = best_ratio.max(ratio);
     }
-    assert!(best_ratio > 0.97, "best ratio {best_ratio} should approach 1");
+    assert!(
+        best_ratio > 0.97,
+        "best ratio {best_ratio} should approach 1"
+    );
 }
 
 /// The explicit-control model beats an LRU cache fed with the naive loop
