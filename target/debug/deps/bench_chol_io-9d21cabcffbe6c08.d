@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_chol_io-9d21cabcffbe6c08.d: crates/bench/benches/bench_chol_io.rs
+
+/root/repo/target/debug/deps/bench_chol_io-9d21cabcffbe6c08: crates/bench/benches/bench_chol_io.rs
+
+crates/bench/benches/bench_chol_io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_chol_io-ccf6269b1cfc75c1.d: crates/bench/benches/bench_chol_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_chol_io-ccf6269b1cfc75c1.rmeta: crates/bench/benches/bench_chol_io.rs Cargo.toml
+
+crates/bench/benches/bench_chol_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_execute-96cc1076b6a3abb0.d: crates/bench/benches/bench_execute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_execute-96cc1076b6a3abb0.rmeta: crates/bench/benches/bench_execute.rs Cargo.toml
+
+crates/bench/benches/bench_execute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

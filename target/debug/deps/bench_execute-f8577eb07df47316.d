@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_execute-f8577eb07df47316.d: crates/bench/benches/bench_execute.rs
+
+/root/repo/target/debug/deps/bench_execute-f8577eb07df47316: crates/bench/benches/bench_execute.rs
+
+crates/bench/benches/bench_execute.rs:

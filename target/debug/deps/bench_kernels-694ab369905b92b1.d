@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_kernels-694ab369905b92b1.d: crates/bench/benches/bench_kernels.rs
+
+/root/repo/target/debug/deps/bench_kernels-694ab369905b92b1: crates/bench/benches/bench_kernels.rs
+
+crates/bench/benches/bench_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_kernels-c3aa785231521c55.d: crates/bench/benches/bench_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_kernels-c3aa785231521c55.rmeta: crates/bench/benches/bench_kernels.rs Cargo.toml
+
+crates/bench/benches/bench_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

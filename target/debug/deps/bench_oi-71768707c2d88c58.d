@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_oi-71768707c2d88c58.d: crates/bench/benches/bench_oi.rs
+
+/root/repo/target/debug/deps/bench_oi-71768707c2d88c58: crates/bench/benches/bench_oi.rs
+
+crates/bench/benches/bench_oi.rs:

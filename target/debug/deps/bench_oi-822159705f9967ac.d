@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_oi-822159705f9967ac.d: crates/bench/benches/bench_oi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_oi-822159705f9967ac.rmeta: crates/bench/benches/bench_oi.rs Cargo.toml
+
+crates/bench/benches/bench_oi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

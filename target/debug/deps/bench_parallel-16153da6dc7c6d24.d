@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_parallel-16153da6dc7c6d24.d: crates/bench/benches/bench_parallel.rs
+
+/root/repo/target/debug/deps/bench_parallel-16153da6dc7c6d24: crates/bench/benches/bench_parallel.rs
+
+crates/bench/benches/bench_parallel.rs:

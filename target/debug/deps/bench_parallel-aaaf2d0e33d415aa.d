@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_parallel-aaaf2d0e33d415aa.d: crates/bench/benches/bench_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_parallel-aaaf2d0e33d415aa.rmeta: crates/bench/benches/bench_parallel.rs Cargo.toml
+
+crates/bench/benches/bench_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_syrk_io-79d7e38bae173535.d: crates/bench/benches/bench_syrk_io.rs
+
+/root/repo/target/debug/deps/bench_syrk_io-79d7e38bae173535: crates/bench/benches/bench_syrk_io.rs
+
+crates/bench/benches/bench_syrk_io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_syrk_io-f5160e008b008835.d: crates/bench/benches/bench_syrk_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_syrk_io-f5160e008b008835.rmeta: crates/bench/benches/bench_syrk_io.rs Cargo.toml
+
+crates/bench/benches/bench_syrk_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-da13cb20c4b5c7ba.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-da13cb20c4b5c7ba: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_equivalence-45670175ae3ca079.d: tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_equivalence-45670175ae3ca079.rmeta: tests/engine_equivalence.rs Cargo.toml
+
+tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-99ec682f67171a4c.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-99ec682f67171a4c: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

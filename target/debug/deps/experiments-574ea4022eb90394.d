@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-574ea4022eb90394.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-574ea4022eb90394: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

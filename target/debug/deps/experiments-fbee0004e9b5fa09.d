@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-fbee0004e9b5fa09.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-fbee0004e9b5fa09: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-7407b08268338789.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-7407b08268338789: tests/paper_claims.rs
+
+tests/paper_claims.rs:

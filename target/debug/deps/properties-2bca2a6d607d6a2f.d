@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2bca2a6d607d6a2f.d: crates/baselines/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2bca2a6d607d6a2f: crates/baselines/tests/properties.rs
+
+crates/baselines/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-642b9c5f64afb3be.d: crates/sched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-642b9c5f64afb3be: crates/sched/tests/properties.rs
+
+crates/sched/tests/properties.rs:

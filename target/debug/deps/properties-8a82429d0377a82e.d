@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8a82429d0377a82e.d: crates/sched/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8a82429d0377a82e.rmeta: crates/sched/tests/properties.rs Cargo.toml
+
+crates/sched/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d0d168536b61047f.d: crates/baselines/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d0d168536b61047f.rmeta: crates/baselines/tests/properties.rs Cargo.toml
+
+crates/baselines/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_integration-1ffe6f7d0f6eeba6.d: tests/property_integration.rs
+
+/root/repo/target/debug/deps/property_integration-1ffe6f7d0f6eeba6: tests/property_integration.rs
+
+tests/property_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_integration-57ff7de824904a54.d: tests/property_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_integration-57ff7de824904a54.rmeta: tests/property_integration.rs Cargo.toml
+
+tests/property_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/symla-20f94ad9c8a303fe.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla-20f94ad9c8a303fe.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

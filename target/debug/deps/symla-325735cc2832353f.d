@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/symla-325735cc2832353f.d: src/lib.rs
+
+/root/repo/target/debug/deps/symla-325735cc2832353f: src/lib.rs
+
+src/lib.rs:

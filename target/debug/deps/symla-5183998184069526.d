@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/symla-5183998184069526.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsymla-5183998184069526.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsymla-5183998184069526.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/symla-697ada49c31740b3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla-697ada49c31740b3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

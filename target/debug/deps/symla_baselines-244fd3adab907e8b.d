@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/symla_baselines-244fd3adab907e8b.d: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla_baselines-244fd3adab907e8b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/ooc_chol.rs:
+crates/baselines/src/ooc_gemm.rs:
+crates/baselines/src/ooc_lu.rs:
+crates/baselines/src/ooc_syrk.rs:
+crates/baselines/src/ooc_trsm.rs:
+crates/baselines/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

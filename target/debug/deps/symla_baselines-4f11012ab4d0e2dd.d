@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/symla_baselines-4f11012ab4d0e2dd.d: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+/root/repo/target/debug/deps/symla_baselines-4f11012ab4d0e2dd: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/ooc_chol.rs:
+crates/baselines/src/ooc_gemm.rs:
+crates/baselines/src/ooc_lu.rs:
+crates/baselines/src/ooc_syrk.rs:
+crates/baselines/src/ooc_trsm.rs:
+crates/baselines/src/params.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/symla_baselines-a23d4453ab75d779.d: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+/root/repo/target/debug/deps/libsymla_baselines-a23d4453ab75d779.rlib: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+/root/repo/target/debug/deps/libsymla_baselines-a23d4453ab75d779.rmeta: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/ooc_chol.rs:
+crates/baselines/src/ooc_gemm.rs:
+crates/baselines/src/ooc_lu.rs:
+crates/baselines/src/ooc_syrk.rs:
+crates/baselines/src/ooc_trsm.rs:
+crates/baselines/src/params.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/symla_baselines-e81b31c5d8bca01f.d: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla_baselines-e81b31c5d8bca01f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/ooc_chol.rs:
+crates/baselines/src/ooc_gemm.rs:
+crates/baselines/src/ooc_lu.rs:
+crates/baselines/src/ooc_syrk.rs:
+crates/baselines/src/ooc_trsm.rs:
+crates/baselines/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/symla_bench-a2926aec5b01854f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsymla_bench-a2926aec5b01854f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsymla_bench-a2926aec5b01854f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

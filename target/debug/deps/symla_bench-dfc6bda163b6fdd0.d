@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/symla_bench-dfc6bda163b6fdd0.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla_bench-dfc6bda163b6fdd0.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/symla_bench-f445a6e609fe3243.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/symla_bench-f445a6e609fe3243: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

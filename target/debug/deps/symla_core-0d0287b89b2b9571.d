@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/symla_core-0d0287b89b2b9571.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla_core-0d0287b89b2b9571.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/bounds.rs:
+crates/core/src/engine.rs:
+crates/core/src/lbc.rs:
+crates/core/src/oi.rs:
+crates/core/src/parallel.rs:
+crates/core/src/plan.rs:
+crates/core/src/tbs.rs:
+crates/core/src/tbs_tiled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/symla_core-fe2831b1132ba5f0.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs
+
+/root/repo/target/debug/deps/libsymla_core-fe2831b1132ba5f0.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs
+
+/root/repo/target/debug/deps/libsymla_core-fe2831b1132ba5f0.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/bounds.rs:
+crates/core/src/engine.rs:
+crates/core/src/lbc.rs:
+crates/core/src/oi.rs:
+crates/core/src/parallel.rs:
+crates/core/src/plan.rs:
+crates/core/src/tbs.rs:
+crates/core/src/tbs_tiled.rs:

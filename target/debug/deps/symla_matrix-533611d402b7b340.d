@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/symla_matrix-533611d402b7b340.d: crates/matrix/src/lib.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/generate.rs crates/matrix/src/kernels/mod.rs crates/matrix/src/kernels/cholesky.rs crates/matrix/src/kernels/flops.rs crates/matrix/src/kernels/gemm.rs crates/matrix/src/kernels/lu.rs crates/matrix/src/kernels/residual.rs crates/matrix/src/kernels/syrk.rs crates/matrix/src/kernels/trsm.rs crates/matrix/src/kernels/views.rs crates/matrix/src/packed.rs crates/matrix/src/scalar.rs crates/matrix/src/symmetric.rs crates/matrix/src/tiled.rs crates/matrix/src/triangular.rs crates/matrix/src/views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla_matrix-533611d402b7b340.rmeta: crates/matrix/src/lib.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/generate.rs crates/matrix/src/kernels/mod.rs crates/matrix/src/kernels/cholesky.rs crates/matrix/src/kernels/flops.rs crates/matrix/src/kernels/gemm.rs crates/matrix/src/kernels/lu.rs crates/matrix/src/kernels/residual.rs crates/matrix/src/kernels/syrk.rs crates/matrix/src/kernels/trsm.rs crates/matrix/src/kernels/views.rs crates/matrix/src/packed.rs crates/matrix/src/scalar.rs crates/matrix/src/symmetric.rs crates/matrix/src/tiled.rs crates/matrix/src/triangular.rs crates/matrix/src/views.rs Cargo.toml
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/generate.rs:
+crates/matrix/src/kernels/mod.rs:
+crates/matrix/src/kernels/cholesky.rs:
+crates/matrix/src/kernels/flops.rs:
+crates/matrix/src/kernels/gemm.rs:
+crates/matrix/src/kernels/lu.rs:
+crates/matrix/src/kernels/residual.rs:
+crates/matrix/src/kernels/syrk.rs:
+crates/matrix/src/kernels/trsm.rs:
+crates/matrix/src/kernels/views.rs:
+crates/matrix/src/packed.rs:
+crates/matrix/src/scalar.rs:
+crates/matrix/src/symmetric.rs:
+crates/matrix/src/tiled.rs:
+crates/matrix/src/triangular.rs:
+crates/matrix/src/views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

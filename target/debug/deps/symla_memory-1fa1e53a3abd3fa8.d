@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/symla_memory-1fa1e53a3abd3fa8.d: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+/root/repo/target/debug/deps/libsymla_memory-1fa1e53a3abd3fa8.rlib: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+/root/repo/target/debug/deps/libsymla_memory-1fa1e53a3abd3fa8.rmeta: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/cache.rs:
+crates/memory/src/error.rs:
+crates/memory/src/machine.rs:
+crates/memory/src/operand.rs:
+crates/memory/src/region.rs:
+crates/memory/src/stats.rs:
+crates/memory/src/storage.rs:
+crates/memory/src/trace.rs:

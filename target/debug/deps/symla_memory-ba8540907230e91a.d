@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/symla_memory-ba8540907230e91a.d: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+/root/repo/target/debug/deps/symla_memory-ba8540907230e91a: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/cache.rs:
+crates/memory/src/error.rs:
+crates/memory/src/machine.rs:
+crates/memory/src/operand.rs:
+crates/memory/src/region.rs:
+crates/memory/src/stats.rs:
+crates/memory/src/storage.rs:
+crates/memory/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/symla_memory-e713549d404e73a2.d: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla_memory-e713549d404e73a2.rmeta: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs Cargo.toml
+
+crates/memory/src/lib.rs:
+crates/memory/src/cache.rs:
+crates/memory/src/error.rs:
+crates/memory/src/machine.rs:
+crates/memory/src/operand.rs:
+crates/memory/src/region.rs:
+crates/memory/src/stats.rs:
+crates/memory/src/storage.rs:
+crates/memory/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

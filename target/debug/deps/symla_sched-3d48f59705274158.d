@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/symla_sched-3d48f59705274158.d: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+/root/repo/target/debug/deps/libsymla_sched-3d48f59705274158.rlib: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+/root/repo/target/debug/deps/libsymla_sched-3d48f59705274158.rmeta: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/balanced.rs:
+crates/sched/src/engine.rs:
+crates/sched/src/footprint.rs:
+crates/sched/src/indexing.rs:
+crates/sched/src/ir.rs:
+crates/sched/src/ops.rs:
+crates/sched/src/opt.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/triangle.rs:

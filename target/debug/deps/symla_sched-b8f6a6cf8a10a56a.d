@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/symla_sched-b8f6a6cf8a10a56a.d: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+/root/repo/target/debug/deps/symla_sched-b8f6a6cf8a10a56a: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/balanced.rs:
+crates/sched/src/engine.rs:
+crates/sched/src/footprint.rs:
+crates/sched/src/indexing.rs:
+crates/sched/src/ir.rs:
+crates/sched/src/ops.rs:
+crates/sched/src/opt.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/triangle.rs:

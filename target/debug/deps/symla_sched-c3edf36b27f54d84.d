@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/symla_sched-c3edf36b27f54d84.d: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsymla_sched-c3edf36b27f54d84.rmeta: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/balanced.rs:
+crates/sched/src/engine.rs:
+crates/sched/src/footprint.rs:
+crates/sched/src/indexing.rs:
+crates/sched/src/ir.rs:
+crates/sched/src/ops.rs:
+crates/sched/src/opt.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/triangle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blocksize_sweep-8720b492a6e05ab2.d: examples/blocksize_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblocksize_sweep-8720b492a6e05ab2.rmeta: examples/blocksize_sweep.rs Cargo.toml
+
+examples/blocksize_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

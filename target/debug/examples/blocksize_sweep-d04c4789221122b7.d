@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blocksize_sweep-d04c4789221122b7.d: examples/blocksize_sweep.rs
+
+/root/repo/target/debug/examples/blocksize_sweep-d04c4789221122b7: examples/blocksize_sweep.rs
+
+examples/blocksize_sweep.rs:

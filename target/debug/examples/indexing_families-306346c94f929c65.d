@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/indexing_families-306346c94f929c65.d: examples/indexing_families.rs
+
+/root/repo/target/debug/examples/indexing_families-306346c94f929c65: examples/indexing_families.rs
+
+examples/indexing_families.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/indexing_families-81ffe0b7b25b8b87.d: examples/indexing_families.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindexing_families-81ffe0b7b25b8b87.rmeta: examples/indexing_families.rs Cargo.toml
+
+examples/indexing_families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

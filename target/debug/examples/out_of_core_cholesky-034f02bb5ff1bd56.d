@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/out_of_core_cholesky-034f02bb5ff1bd56.d: examples/out_of_core_cholesky.rs Cargo.toml
+
+/root/repo/target/debug/examples/libout_of_core_cholesky-034f02bb5ff1bd56.rmeta: examples/out_of_core_cholesky.rs Cargo.toml
+
+examples/out_of_core_cholesky.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

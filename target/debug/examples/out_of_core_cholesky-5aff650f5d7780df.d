@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/out_of_core_cholesky-5aff650f5d7780df.d: examples/out_of_core_cholesky.rs
+
+/root/repo/target/debug/examples/out_of_core_cholesky-5aff650f5d7780df: examples/out_of_core_cholesky.rs
+
+examples/out_of_core_cholesky.rs:

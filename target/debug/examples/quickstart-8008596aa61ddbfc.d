@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-8008596aa61ddbfc.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-8008596aa61ddbfc.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fd07f7d7e48b23d4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fd07f7d7e48b23d4: examples/quickstart.rs
+
+examples/quickstart.rs:

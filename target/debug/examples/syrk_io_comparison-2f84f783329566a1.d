@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/syrk_io_comparison-2f84f783329566a1.d: examples/syrk_io_comparison.rs
+
+/root/repo/target/debug/examples/syrk_io_comparison-2f84f783329566a1: examples/syrk_io_comparison.rs
+
+examples/syrk_io_comparison.rs:

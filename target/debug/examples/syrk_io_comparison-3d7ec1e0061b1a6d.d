@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/syrk_io_comparison-3d7ec1e0061b1a6d.d: examples/syrk_io_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsyrk_io_comparison-3d7ec1e0061b1a6d.rmeta: examples/syrk_io_comparison.rs Cargo.toml
+
+examples/syrk_io_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

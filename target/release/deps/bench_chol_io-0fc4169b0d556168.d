@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_chol_io-0fc4169b0d556168.d: crates/bench/benches/bench_chol_io.rs
+
+/root/repo/target/release/deps/bench_chol_io-0fc4169b0d556168: crates/bench/benches/bench_chol_io.rs
+
+crates/bench/benches/bench_chol_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_execute-55b9cf958df4f2bc.d: crates/bench/benches/bench_execute.rs
+
+/root/repo/target/release/deps/bench_execute-55b9cf958df4f2bc: crates/bench/benches/bench_execute.rs
+
+crates/bench/benches/bench_execute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_kernels-a655f632692e043c.d: crates/bench/benches/bench_kernels.rs
+
+/root/repo/target/release/deps/bench_kernels-a655f632692e043c: crates/bench/benches/bench_kernels.rs
+
+crates/bench/benches/bench_kernels.rs:

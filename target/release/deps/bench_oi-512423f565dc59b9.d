@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_oi-512423f565dc59b9.d: crates/bench/benches/bench_oi.rs
+
+/root/repo/target/release/deps/bench_oi-512423f565dc59b9: crates/bench/benches/bench_oi.rs
+
+crates/bench/benches/bench_oi.rs:

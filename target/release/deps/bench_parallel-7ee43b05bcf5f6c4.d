@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_parallel-7ee43b05bcf5f6c4.d: crates/bench/benches/bench_parallel.rs
+
+/root/repo/target/release/deps/bench_parallel-7ee43b05bcf5f6c4: crates/bench/benches/bench_parallel.rs
+
+crates/bench/benches/bench_parallel.rs:

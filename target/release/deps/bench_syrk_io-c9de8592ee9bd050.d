@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_syrk_io-c9de8592ee9bd050.d: crates/bench/benches/bench_syrk_io.rs
+
+/root/repo/target/release/deps/bench_syrk_io-c9de8592ee9bd050: crates/bench/benches/bench_syrk_io.rs
+
+crates/bench/benches/bench_syrk_io.rs:

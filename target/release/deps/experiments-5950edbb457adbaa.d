@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-5950edbb457adbaa.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-5950edbb457adbaa: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

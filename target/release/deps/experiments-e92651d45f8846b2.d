@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-e92651d45f8846b2.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-e92651d45f8846b2: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/symla-433e1a3a870c2d21.d: src/lib.rs
+
+/root/repo/target/release/deps/libsymla-433e1a3a870c2d21.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsymla-433e1a3a870c2d21.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/symla_baselines-de8db54ee2a47bee.d: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+/root/repo/target/release/deps/libsymla_baselines-de8db54ee2a47bee.rlib: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+/root/repo/target/release/deps/libsymla_baselines-de8db54ee2a47bee.rmeta: crates/baselines/src/lib.rs crates/baselines/src/error.rs crates/baselines/src/ooc_chol.rs crates/baselines/src/ooc_gemm.rs crates/baselines/src/ooc_lu.rs crates/baselines/src/ooc_syrk.rs crates/baselines/src/ooc_trsm.rs crates/baselines/src/params.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/ooc_chol.rs:
+crates/baselines/src/ooc_gemm.rs:
+crates/baselines/src/ooc_lu.rs:
+crates/baselines/src/ooc_syrk.rs:
+crates/baselines/src/ooc_trsm.rs:
+crates/baselines/src/params.rs:

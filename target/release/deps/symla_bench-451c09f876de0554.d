@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/symla_bench-451c09f876de0554.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libsymla_bench-451c09f876de0554.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libsymla_bench-451c09f876de0554.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/symla_bench-9dd5b35ebced40d0.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/symla_bench-9dd5b35ebced40d0: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

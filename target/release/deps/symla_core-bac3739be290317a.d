@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/symla_core-bac3739be290317a.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs
+
+/root/repo/target/release/deps/libsymla_core-bac3739be290317a.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs
+
+/root/repo/target/release/deps/libsymla_core-bac3739be290317a.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/lbc.rs crates/core/src/oi.rs crates/core/src/parallel.rs crates/core/src/plan.rs crates/core/src/tbs.rs crates/core/src/tbs_tiled.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/bounds.rs:
+crates/core/src/engine.rs:
+crates/core/src/lbc.rs:
+crates/core/src/oi.rs:
+crates/core/src/parallel.rs:
+crates/core/src/plan.rs:
+crates/core/src/tbs.rs:
+crates/core/src/tbs_tiled.rs:

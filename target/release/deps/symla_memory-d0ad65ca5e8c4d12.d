@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/symla_memory-d0ad65ca5e8c4d12.d: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+/root/repo/target/release/deps/libsymla_memory-d0ad65ca5e8c4d12.rlib: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+/root/repo/target/release/deps/libsymla_memory-d0ad65ca5e8c4d12.rmeta: crates/memory/src/lib.rs crates/memory/src/cache.rs crates/memory/src/error.rs crates/memory/src/machine.rs crates/memory/src/operand.rs crates/memory/src/region.rs crates/memory/src/stats.rs crates/memory/src/storage.rs crates/memory/src/trace.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/cache.rs:
+crates/memory/src/error.rs:
+crates/memory/src/machine.rs:
+crates/memory/src/operand.rs:
+crates/memory/src/region.rs:
+crates/memory/src/stats.rs:
+crates/memory/src/storage.rs:
+crates/memory/src/trace.rs:

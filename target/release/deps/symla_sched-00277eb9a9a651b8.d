@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/symla_sched-00277eb9a9a651b8.d: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+/root/repo/target/release/deps/libsymla_sched-00277eb9a9a651b8.rlib: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+/root/repo/target/release/deps/libsymla_sched-00277eb9a9a651b8.rmeta: crates/sched/src/lib.rs crates/sched/src/balanced.rs crates/sched/src/engine.rs crates/sched/src/footprint.rs crates/sched/src/indexing.rs crates/sched/src/ir.rs crates/sched/src/ops.rs crates/sched/src/opt.rs crates/sched/src/partition.rs crates/sched/src/triangle.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/balanced.rs:
+crates/sched/src/engine.rs:
+crates/sched/src/footprint.rs:
+crates/sched/src/indexing.rs:
+crates/sched/src/ir.rs:
+crates/sched/src/ops.rs:
+crates/sched/src/opt.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/triangle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/blocksize_sweep-51b993f285f4d736.d: examples/blocksize_sweep.rs
+
+/root/repo/target/release/examples/blocksize_sweep-51b993f285f4d736: examples/blocksize_sweep.rs
+
+examples/blocksize_sweep.rs:

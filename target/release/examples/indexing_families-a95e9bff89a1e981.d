@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/indexing_families-a95e9bff89a1e981.d: examples/indexing_families.rs
+
+/root/repo/target/release/examples/indexing_families-a95e9bff89a1e981: examples/indexing_families.rs
+
+examples/indexing_families.rs:

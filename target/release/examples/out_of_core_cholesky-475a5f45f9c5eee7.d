@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/out_of_core_cholesky-475a5f45f9c5eee7.d: examples/out_of_core_cholesky.rs
+
+/root/repo/target/release/examples/out_of_core_cholesky-475a5f45f9c5eee7: examples/out_of_core_cholesky.rs
+
+examples/out_of_core_cholesky.rs:

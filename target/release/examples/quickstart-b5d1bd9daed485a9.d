@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b5d1bd9daed485a9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b5d1bd9daed485a9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/syrk_io_comparison-71d2e9b979d0d5ac.d: examples/syrk_io_comparison.rs
+
+/root/repo/target/release/examples/syrk_io_comparison-71d2e9b979d0d5ac: examples/syrk_io_comparison.rs
+
+examples/syrk_io_comparison.rs:
