@@ -5,12 +5,19 @@
 //! [`crate::tbs_tiled`], [`crate::lbc`] and the five baselines of
 //! `symla_baselines` — are *schedule builders*: they emit the IR of
 //! [`symla_sched::ir`] instead of driving the machine directly. The
-//! [`Engine`] replays a built [`Schedule`] in one of three modes:
+//! [`Engine`] replays a built [`Schedule`] in one of four modes:
 //!
-//! * **execute** — [`Engine::execute`] runs the schedule against an
-//!   [`symla_memory::OocMachine`], with real kernels on real buffers and
+//! * **execute** — [`Engine::execute`] runs the schedule against any
+//!   [`symla_memory::MachineOps`] machine (normally the serial
+//!   [`symla_memory::OocMachine`]), with real kernels on real buffers and
 //!   capacity-checked, counted transfers. This is what every `*_execute`
 //!   wrapper does.
+//! * **execute-parallel** — [`Engine::execute_parallel`] distributes a
+//!   schedule with independent task groups over `P` workers of a
+//!   [`symla_memory::SharedSlowMemory`] through a work-stealing queue; each
+//!   worker has a private capacity-checked fast memory counting its own
+//!   [`symla_memory::IoStats`]. `symla_core::parallel` builds on this for
+//!   the parallel SYRK extension.
 //! * **dry-run** — [`Engine::dry_run`] replays only the accounting and
 //!   returns the exact [`symla_memory::IoStats`] an execution would produce
 //!   (loads, stores, events, flops, peak residency, per-phase split) without
@@ -19,6 +26,13 @@
 //! * **trace** — [`Engine::trace`] synthesizes the
 //!   [`symla_memory::Trace`] event stream for schedule inspection and bound
 //!   verification, again without executing kernels.
+//!
+//! The cross-mode invariant (checked by `tests/engine_equivalence.rs`): a
+//! serial execution leaves the machine's stats equal to the dry run and its
+//! trace equal to the synthesized trace; a parallel execution leaves the
+//! *sum* of the per-worker stats equal to the dry run, each worker's stats
+//! equal to the dry run of the groups it processed, and the slow-memory
+//! contents bitwise-identical to the serial execution's.
 //!
 //! The engine itself lives in `symla-sched` (below `symla-baselines` in the
 //! dependency order, so the baselines can build on it); this module is its
@@ -43,5 +57,5 @@
 //! assert_eq!(IoEstimate::from_stats(&stats), tbs_cost(n, m, &plan).unwrap());
 //! ```
 
-pub use symla_sched::engine::{Engine, EngineError};
+pub use symla_sched::engine::{Engine, EngineError, ParallelError, WorkerRun};
 pub use symla_sched::ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGroup};

@@ -20,11 +20,12 @@
 //! * [`api`] — one-call entry points returning the factor/result together
 //!   with a full I/O report;
 //! * [`engine`] — the schedule-IR execution engine: every algorithm above is
-//!   a *schedule builder* whose IR the engine replays in execute, dry-run or
-//!   trace mode;
-//! * [`parallel`] — a shared-memory parallel SYRK with per-worker
-//!   communication accounting (the paper's "future work" direction), built
-//!   on the same task groups the engine executes.
+//!   a *schedule builder* whose IR the engine replays in execute, dry-run,
+//!   trace or execute-parallel mode;
+//! * [`parallel`] — a shared-slow-memory parallel SYRK executed for real on
+//!   `P` capacity-checked workers with per-worker communication accounting
+//!   (the paper's "future work" direction), built on the same task groups
+//!   the engine executes serially.
 //!
 //! All schedules execute on the capacity-enforced two-level machine of
 //! `symla-memory` through the generic engine; their measured I/O is tested

@@ -1,4 +1,4 @@
-//! Shared-memory parallel SYRK with per-worker communication accounting —
+//! Shared-slow-memory parallel SYRK, executed for real on `P` workers —
 //! the paper's "future work" direction (communication-efficient *parallel*
 //! symmetric kernels), explored as an extension.
 //!
@@ -8,28 +8,33 @@
 //! tiles, or the triangle blocks of TBS), the units are distributed over the
 //! workers, and each worker's communication volume is the sum of the unit
 //! footprints it processes — exactly the quantity the sequential analysis
-//! counts, now reported per worker.
+//! counts, now *measured* per worker.
 //!
 //! Units of work are schedule-IR [`TaskGroup`]s (the same representation the
-//! sequential engine executes): each unit's group loads its result footprint
-//! and streams the rows of `A` it needs, and a worker's [`WorkerIo`] is the
-//! [`Engine::dry_run`] accounting of the groups it processed. This shares
-//! one definition of "communication of a unit" between the sequential and
-//! parallel paths, and is the seam where a future multi-worker engine can
-//! execute the groups for real against per-worker machines.
+//! sequential engine executes): each unit's group loads its result
+//! footprint, streams the rows of `A` it needs and applies the rank-`1`
+//! updates through [`ComputeOp`]s. [`parallel_syrk`] registers the operands
+//! in a [`SharedSlowMemory`] and hands the groups to
+//! [`Engine::execute_parallel`], which distributes them over a work-stealing
+//! queue of scoped worker threads — each with a capacity-checked private
+//! fast memory counting its own I/O. The dry-run path remains the oracle:
+//! each returned [`WorkerIo`] is asserted equal to the
+//! [`Engine::dry_run`] accounting of exactly the groups that worker
+//! processed (see [`analytic_worker_io`]), so the observed and analytic
+//! per-worker volumes can never drift apart.
 //!
 //! Comparing the two partitioning strategies reproduces the paper's headline
 //! at the parallel level: distributing **triangle blocks** needs ≈ `1/√2`
 //! of the per-worker input traffic of distributing square tiles.
 
 use crate::plan::TbsPlan;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::{square_tile_for_capacity, tile_extents};
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::{Matrix, Scalar, SymMatrix};
-use symla_memory::{MatrixId, Region};
+use symla_memory::{MachineConfig, MatrixId, Region, SharedSlowMemory};
 use symla_sched::indexing::CyclicIndexing;
+use symla_sched::ir::{BufId, BufSlice, ComputeOp};
 use symla_sched::{Engine, Schedule, ScheduleBuilder, TaskGroup};
 
 /// How the result matrix is partitioned into per-worker units.
@@ -87,8 +92,69 @@ fn build_unit(c_regions: Vec<Region>, entries: Vec<(usize, usize)>, rows: Vec<us
     }
 }
 
-/// Materializes the task group of one unit as a single-group schedule.
-fn unit_schedule<T: Scalar>(unit: &Unit, m: usize) -> Schedule<T> {
+/// Emits the compute step updating one footprint region of a unit from one
+/// streamed column of `A`.
+///
+/// `abuf` holds the column's values at the unit's (sorted, distinct) `rows`;
+/// each region's row and column index ranges are contiguous sub-slices of
+/// that buffer, located by binary search. The op adds
+/// `alpha · A[i,q] · A[j,q]` to every entry `(i, j)` of the region — the
+/// exact term the reference SYRK accumulates.
+fn region_update<T: Scalar>(
+    sched: &mut ScheduleBuilder<T>,
+    alpha: T,
+    abuf: BufId,
+    rows: &[usize],
+    cbuf: BufId,
+    region: &Region,
+) {
+    let pos = |r: usize| {
+        rows.binary_search(&r)
+            .expect("footprint row missing from the unit's row set")
+    };
+    match region {
+        Region::SymPairs { rows: pair_rows } => {
+            debug_assert_eq!(pair_rows.as_slice(), rows, "pair blocks own their row set");
+            sched.compute(ComputeOp::TrianglePairs {
+                alpha,
+                x: BufSlice::whole(abuf, rows.len()),
+                dst: cbuf,
+            });
+        }
+        Region::SymLowerTriangle { start, size } => {
+            let p = pos(*start);
+            debug_assert_eq!(rows[p + size - 1], start + size - 1, "contiguous row range");
+            sched.compute(ComputeOp::SprLower {
+                alpha,
+                x: BufSlice::new(abuf, p, *size),
+                dst: cbuf,
+            });
+        }
+        Region::SymRect {
+            row0,
+            col0,
+            rows: rc,
+            cols: cc,
+        } => {
+            let px = pos(*row0);
+            let py = pos(*col0);
+            debug_assert_eq!(rows[px + rc - 1], row0 + rc - 1, "contiguous row range");
+            debug_assert_eq!(rows[py + cc - 1], col0 + cc - 1, "contiguous column range");
+            sched.compute(ComputeOp::Ger {
+                alpha,
+                x: BufSlice::new(abuf, px, *rc),
+                y: BufSlice::new(abuf, py, *cc),
+                dst: cbuf,
+            });
+        }
+        other => unreachable!("unit footprints are symmetric regions, got {other}"),
+    }
+}
+
+/// Materializes the task group of one unit as a single-group schedule:
+/// load the footprint, stream every needed row of `A` once per column
+/// (applying the rank-1 updates), store the footprint back.
+fn unit_schedule<T: Scalar>(unit: &Unit, m: usize, alpha: T) -> Schedule<T> {
     let mut sched = ScheduleBuilder::new();
     sched.begin_group();
     let cbufs: Vec<_> = unit
@@ -105,6 +171,9 @@ fn unit_schedule<T: Scalar>(unit: &Unit, m: usize) -> Schedule<T> {
                 cols: 1,
             },
         );
+        for (cbuf, region) in cbufs.iter().zip(unit.c_regions.iter()) {
+            region_update(&mut sched, alpha, abuf, &unit.rows, *cbuf, region);
+        }
         sched.discard(abuf);
     }
     let muls = (unit.entries.len() * m) as u128;
@@ -115,7 +184,12 @@ fn unit_schedule<T: Scalar>(unit: &Unit, m: usize) -> Schedule<T> {
     sched.finish()
 }
 
-/// Per-worker communication volume.
+/// Communication volume of one worker of a parallel run.
+///
+/// Returned by [`parallel_syrk`] as *observed* counts (what the worker's
+/// capacity-checked machine measured while executing its task groups) and by
+/// [`analytic_worker_io`] as the *analytic* dry-run prediction for the same
+/// groups; the two are asserted equal on every run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerIo {
     /// Elements the worker read from slow memory (result entries + input
@@ -157,7 +231,11 @@ impl ParallelReport {
         self.per_worker.iter().map(|w| w.loads).max().unwrap_or(0)
     }
 
-    /// Load imbalance: max over mean (1.0 = perfectly balanced).
+    /// Load imbalance: the busiest worker's load volume over the mean
+    /// per-worker load volume. `1.0` means perfectly balanced; the parallel
+    /// makespan of a bandwidth-bound run scales with this factor, since the
+    /// run finishes when the busiest worker does. Returns `1.0` for an empty
+    /// or traffic-free report.
     pub fn imbalance(&self) -> f64 {
         if self.per_worker.is_empty() || self.total_loads() == 0 {
             return 1.0;
@@ -301,14 +379,65 @@ fn strip_units(n: usize, row_start: usize, offset: usize, t: usize, out: &mut Ve
     }
 }
 
-/// Computes `C += alpha · A · Aᵀ` in parallel with `workers` threads, each
-/// modelled as a node with a private fast memory of `memory_per_worker`
-/// elements, and returns the per-worker communication volumes.
+/// Builds the unit list of a strategy for an order-`n` result and a
+/// per-worker fast memory of `memory_per_worker` elements.
+fn build_units(n: usize, memory_per_worker: usize, strategy: BlockStrategy) -> Result<Vec<Unit>> {
+    let t = square_tile_for_capacity(memory_per_worker)?;
+    let mut units: Vec<Unit> = Vec::new();
+    match strategy {
+        BlockStrategy::SquareTiles => square_units(n, 0, t, &mut units),
+        BlockStrategy::TriangleBlocks => {
+            let plan = TbsPlan::for_memory(memory_per_worker)?;
+            triangle_units(n, 0, &plan, t, &mut units);
+        }
+    }
+    Ok(units)
+}
+
+/// Concatenates the units' task groups into one schedule (one group per
+/// unit, in partition order).
+fn units_schedule<T: Scalar>(units: &[Unit], m: usize, alpha: T) -> Schedule<T> {
+    let groups: Vec<TaskGroup<T>> = units
+        .iter()
+        .flat_map(|u| unit_schedule::<T>(u, m, alpha).groups)
+        .collect();
+    Schedule { groups }
+}
+
+/// The engine dry-run accounting of the task groups at `groups` of
+/// `schedule` — the analytic per-worker volume the paper's parallel
+/// analysis predicts for the worker that processed exactly those groups.
 ///
-/// Units of work are distributed dynamically (an atomic work queue), and the
-/// numerical result is exact: units are disjoint, each worker accumulates its
-/// deltas privately and the main thread applies them. Each worker's I/O is
-/// the engine dry-run accounting of the task groups it processed.
+/// [`parallel_syrk`] asserts that every worker's *observed* [`WorkerIo`]
+/// equals this oracle; tests use it to cross-check arbitrary assignments.
+pub fn analytic_worker_io<T: Scalar>(schedule: &Schedule<T>, groups: &[usize]) -> WorkerIo {
+    let picked = Schedule {
+        groups: groups.iter().map(|&g| schedule.groups[g].clone()).collect(),
+    };
+    let stats = Engine::dry_run(&picked, "parallel");
+    WorkerIo {
+        loads: stats.volume.loads,
+        stores: stats.volume.stores,
+        tasks: groups.len(),
+    }
+}
+
+/// Computes `C += alpha · A · Aᵀ` in parallel with `workers` threads, each a
+/// node with a private, capacity-enforced fast memory of `memory_per_worker`
+/// elements against a shared slow memory, and returns the per-worker
+/// communication volumes actually measured.
+///
+/// The result matrix is partitioned into independent units by `strategy`;
+/// their task groups are distributed over the workers by the work-stealing
+/// queue of [`Engine::execute_parallel`] and *executed for real*: every
+/// transfer moves data through the [`SharedSlowMemory`] image of `A` and
+/// `C`, counted against the worker that issued it. The numerical result is
+/// exact because units cover disjoint entries of `C`.
+///
+/// Each returned [`WorkerIo`] is asserted (not assumed) to equal the
+/// dry-run accounting of the groups that worker processed — the analytic
+/// model of [`analytic_worker_io`] — so this function is its own
+/// observed-vs-analytic experiment.
 pub fn parallel_syrk<T: Scalar>(
     a: &Matrix<T>,
     c: &mut SymMatrix<T>,
@@ -328,65 +457,53 @@ pub fn parallel_syrk<T: Scalar>(
     if workers == 0 {
         return Err(OocError::Invalid("need at least one worker".into()));
     }
-    let t = square_tile_for_capacity(memory_per_worker)?;
+    let units = build_units(n, memory_per_worker, strategy)?;
+    let schedule = units_schedule::<T>(&units, m, alpha);
 
-    let mut units: Vec<Unit> = Vec::new();
-    match strategy {
-        BlockStrategy::SquareTiles => square_units(n, 0, t, &mut units),
-        BlockStrategy::TriangleBlocks => {
-            let plan = TbsPlan::for_memory(memory_per_worker)?;
-            triangle_units(n, 0, &plan, t, &mut units);
-        }
-    }
+    // Move the operands into a shared slow memory. Insertion order matches
+    // the synthetic ids the unit schedules were built against.
+    let shared = SharedSlowMemory::new();
+    let c_id = shared.insert_symmetric(std::mem::replace(c, SymMatrix::zeros(0)));
+    let a_id = shared.insert_dense(a.clone());
+    debug_assert_eq!((c_id, a_id), (C_MATRIX, A_MATRIX));
 
-    let next = AtomicUsize::new(0);
-    // Each worker returns (its IO counters, the deltas it computed).
-    type Delta<T> = Vec<(usize, usize, T)>;
-    let results: Vec<(WorkerIo, Delta<T>)> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let units = &units;
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut io = WorkerIo::default();
-                let mut deltas: Delta<T> = Vec::new();
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= units.len() {
-                        break;
-                    }
-                    let unit = &units[idx];
-                    let stats = Engine::dry_run(&unit_schedule::<T>(unit, m), "parallel");
-                    io.loads += stats.volume.loads;
-                    io.stores += stats.volume.stores;
-                    io.tasks += 1;
-                    // accumulate alpha * sum_k A[i,k] A[j,k] per entry
-                    let mut acc = vec![T::ZERO; unit.entries.len()];
-                    for k in 0..m {
-                        let col = a.col(k);
-                        for (slot, &(i, j)) in acc.iter_mut().zip(unit.entries.iter()) {
-                            *slot = col[i].mul_add(col[j], *slot);
-                        }
-                    }
-                    for (&(i, j), &v) in unit.entries.iter().zip(acc.iter()) {
-                        deltas.push((i, j, alpha * v));
-                    }
-                }
-                (io, deltas)
-            }));
+    let outcome = Engine::execute_parallel(
+        &shared,
+        &schedule,
+        workers,
+        MachineConfig::with_capacity(memory_per_worker),
+        "parallel",
+    );
+    let runs = match outcome {
+        Ok(runs) => runs,
+        Err(e) => {
+            // Hand the (partially updated) result back before reporting:
+            // completed groups were stored consistently, the failed group's
+            // buffers were released without a write-back. Every worker has
+            // exited the scope and released its leases (even failed stores
+            // release), so the take cannot fail — losing the caller's
+            // matrix here would be silent data loss, hence the expect.
+            *c = shared
+                .take_symmetric(c_id)
+                .expect("workers released every lease on abort");
+            return Err(e.error.into());
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+    };
+    *c = shared.take_symmetric(c_id)?;
 
     let mut per_worker = Vec::with_capacity(workers);
-    for (io, deltas) in results {
-        per_worker.push(io);
-        for (i, j, v) in deltas {
-            c.add(i, j, v);
-        }
+    for run in &runs {
+        let observed = WorkerIo {
+            loads: run.stats.volume.loads,
+            stores: run.stats.volume.stores,
+            tasks: run.groups.len(),
+        };
+        let analytic = analytic_worker_io(&schedule, &run.groups);
+        assert_eq!(
+            observed, analytic,
+            "observed worker I/O diverged from the dry-run oracle"
+        );
+        per_worker.push(observed);
     }
 
     Ok(ParallelReport {
@@ -398,29 +515,18 @@ pub fn parallel_syrk<T: Scalar>(
 }
 
 /// The task groups a strategy would distribute for an `n × m` problem, as a
-/// single schedule (one group per unit, in partition order). This is the
-/// exact work list [`parallel_syrk`] hands to its workers, exposed so
-/// planners and future multi-worker engines can inspect or re-distribute it.
+/// single schedule (one group per unit, in partition order, with `α = 1`).
+/// This is the exact work list [`parallel_syrk`] hands to its workers,
+/// exposed so planners, tests and engines can inspect, re-distribute or
+/// execute it directly.
 pub fn partition_schedule<T: Scalar>(
     n: usize,
     m: usize,
     memory_per_worker: usize,
     strategy: BlockStrategy,
 ) -> Result<Schedule<T>> {
-    let t = square_tile_for_capacity(memory_per_worker)?;
-    let mut units: Vec<Unit> = Vec::new();
-    match strategy {
-        BlockStrategy::SquareTiles => square_units(n, 0, t, &mut units),
-        BlockStrategy::TriangleBlocks => {
-            let plan = TbsPlan::for_memory(memory_per_worker)?;
-            triangle_units(n, 0, &plan, t, &mut units);
-        }
-    }
-    let groups: Vec<TaskGroup<T>> = units
-        .iter()
-        .flat_map(|u| unit_schedule::<T>(u, m).groups)
-        .collect();
-    Ok(Schedule { groups })
+    let units = build_units(n, memory_per_worker, strategy)?;
+    Ok(units_schedule::<T>(&units, m, T::ONE))
 }
 
 #[cfg(test)]
@@ -529,6 +635,58 @@ mod tests {
                 strategy.name()
             );
         }
+    }
+
+    #[test]
+    fn parallel_execution_is_bitwise_equal_to_serial_replay() {
+        // The same partition schedule executed serially through the engine
+        // and in parallel through the shared-slow-memory workers must agree
+        // to the last bit: groups are disjoint, so no accumulation order
+        // differs, only the placement of the work.
+        use symla_memory::{MachineConfig, OocMachine};
+        let (n, m, s) = (48, 6, 10);
+        let (a, _) = reference(n, m, 1.0, 74);
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            let schedule = partition_schedule::<f64>(n, m, s, strategy).unwrap();
+            let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+            let c_id = machine.insert_symmetric(SymMatrix::zeros(n));
+            machine.insert_dense(a.clone());
+            Engine::execute(&mut machine, &schedule).unwrap();
+            let serial = machine.take_symmetric(c_id).unwrap();
+
+            for workers in [1, 2, 4, 8] {
+                let mut c = SymMatrix::zeros(n);
+                let report = parallel_syrk(&a, &mut c, 1.0, workers, s, strategy).unwrap();
+                assert!(c == serial, "{} P={workers}", strategy.name());
+                // the serial engine run and the summed workers moved the
+                // same volume
+                assert_eq!(
+                    report.total_loads(),
+                    machine.stats().volume.loads,
+                    "{} P={workers}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_worker_io_sums_to_the_full_schedule() {
+        let (n, m, s) = (36, 5, 10);
+        let schedule = partition_schedule::<f64>(n, m, s, BlockStrategy::TriangleBlocks).unwrap();
+        let all: Vec<usize> = (0..schedule.num_groups()).collect();
+        let whole = analytic_worker_io(&schedule, &all);
+        let stats = Engine::dry_run(&schedule, "parallel");
+        assert_eq!(whole.loads, stats.volume.loads);
+        assert_eq!(whole.stores, stats.volume.stores);
+        assert_eq!(whole.tasks, schedule.num_groups());
+        // splitting the groups arbitrarily conserves the totals
+        let (left, right) = all.split_at(all.len() / 3);
+        let a = analytic_worker_io(&schedule, left);
+        let b = analytic_worker_io(&schedule, right);
+        assert_eq!(a.loads + b.loads, whole.loads);
+        assert_eq!(a.stores + b.stores, whole.stores);
+        assert_eq!(analytic_worker_io(&schedule, &[]), WorkerIo::default());
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * Optional [`trace::Trace`] recording and an LRU / Belady-OPT
 //!   [`cache`] replay simulator support the schedule-inspection and
 //!   "explicit control vs automatic caching" ablations.
+//! * [`shared::SharedSlowMemory`] extends the model to the paper's parallel
+//!   machine: one slow memory shared (behind interior synchronization) by
+//!   `P` [`shared::WorkerMachine`] workers, each with a private
+//!   capacity-checked fast memory and its own accounting.
 //!
 //! ## Example
 //!
@@ -38,13 +42,15 @@ pub mod error;
 pub mod machine;
 pub mod operand;
 pub mod region;
+pub mod shared;
 pub mod stats;
 pub mod storage;
 pub mod trace;
 
 pub use error::{MemoryError, Result};
-pub use machine::{FastBuf, MachineConfig, MatrixId, OocMachine};
+pub use machine::{FastBuf, MachineConfig, MachineOps, MatrixId, OocMachine};
 pub use operand::{PanelRef, SymWindowRef};
 pub use region::Region;
+pub use shared::{SharedSlowMemory, WorkerMachine};
 pub use stats::{IoStats, IoVolume};
 pub use trace::{Direction, Trace, TraceEvent};

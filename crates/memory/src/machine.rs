@@ -28,6 +28,12 @@ use symla_matrix::{Matrix, Scalar, SymMatrix};
 
 static MACHINE_COUNTER: AtomicU64 = AtomicU64::new(1);
 
+/// Issues a process-unique tag for a lease-minting machine (the serial
+/// [`OocMachine`] or one worker of [`crate::shared::SharedSlowMemory`]).
+pub(crate) fn next_machine_tag() -> u64 {
+    MACHINE_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Identifier of a matrix registered in slow memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MatrixId(pub(crate) u64);
@@ -92,6 +98,30 @@ pub struct FastBuf<T: Scalar> {
 }
 
 impl<T: Scalar> FastBuf<T> {
+    /// Assembles a buffer lease. Only the machines of this crate (the serial
+    /// [`OocMachine`] and the shared-slow-memory workers of [`crate::shared`])
+    /// may mint leases; `machine_tag` ties the buffer to its issuer so a
+    /// buffer can never be released against a machine that did not account
+    /// for it.
+    pub(crate) fn from_parts(
+        data: Vec<T>,
+        matrix: MatrixId,
+        region: Region,
+        machine_tag: u64,
+    ) -> Self {
+        Self {
+            data,
+            matrix,
+            region,
+            machine_tag,
+        }
+    }
+
+    /// Tag of the machine (or worker) that issued this lease.
+    pub(crate) fn machine_tag(&self) -> u64 {
+        self.machine_tag
+    }
+
     /// Number of elements in the buffer.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -213,7 +243,7 @@ impl<T: Scalar> OocMachine<T> {
                 None
             },
             phase: "main".to_string(),
-            tag: MACHINE_COUNTER.fetch_add(1, Ordering::Relaxed),
+            tag: next_machine_tag(),
         }
     }
 
@@ -461,6 +491,65 @@ impl<T: Scalar> OocMachine<T> {
             }),
             None => Err(MemoryError::UnknownMatrix { id: id.0 }),
         }
+    }
+}
+
+/// The machine surface a schedule replayer drives.
+///
+/// Both the serial [`OocMachine`] and the per-worker machines of
+/// [`crate::shared::SharedSlowMemory`] implement this trait, so the generic
+/// engine of `symla-sched` can execute a schedule against either: one private
+/// slow memory (serial execution) or one slow memory shared by `P` workers
+/// (parallel execution). Every implementation must uphold the accounting
+/// contract of [`OocMachine`]: loads and stores are counted element-exactly,
+/// the resident footprint is capacity-checked on every allocation, and a
+/// buffer can only be released against the machine that issued it.
+pub trait MachineOps<T: Scalar> {
+    /// Transfers a region from slow memory into a new fast-memory buffer,
+    /// charging its element count as load traffic.
+    fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>>;
+
+    /// Reserves fast-memory space for a region without reading it (no load
+    /// traffic); used for outputs the schedule fully overwrites.
+    fn allocate_zeroed(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>>;
+
+    /// Writes a buffer back to slow memory (charging store traffic) and
+    /// releases its fast-memory space.
+    fn store(&mut self, buf: FastBuf<T>) -> Result<()>;
+
+    /// Releases a buffer without writing it back (no store traffic).
+    fn discard(&mut self, buf: FastBuf<T>) -> Result<()>;
+
+    /// Records arithmetic work performed by the schedule.
+    fn record_flops(&mut self, flops: FlopCount);
+
+    /// Declares the current phase; subsequent transfers are attributed to it.
+    fn set_phase(&mut self, phase: &str);
+}
+
+impl<T: Scalar> MachineOps<T> for OocMachine<T> {
+    fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+        OocMachine::load(self, id, region)
+    }
+
+    fn allocate_zeroed(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+        OocMachine::allocate_zeroed(self, id, region)
+    }
+
+    fn store(&mut self, buf: FastBuf<T>) -> Result<()> {
+        OocMachine::store(self, buf)
+    }
+
+    fn discard(&mut self, buf: FastBuf<T>) -> Result<()> {
+        OocMachine::discard(self, buf)
+    }
+
+    fn record_flops(&mut self, flops: FlopCount) {
+        OocMachine::record_flops(self, flops)
+    }
+
+    fn set_phase(&mut self, phase: &str) {
+        OocMachine::set_phase(self, phase)
     }
 }
 

@@ -1,0 +1,591 @@
+//! The shared-slow-memory machine: `P` workers against one slow memory.
+//!
+//! The parallel machine model of Section 2.2 of the paper is `P` workers,
+//! each with a *private* fast memory of `S` elements, exchanging data with a
+//! single *shared* slow memory. [`SharedSlowMemory`] is that shared level:
+//! one image of the registered matrices behind interior synchronization, so
+//! any number of [`WorkerMachine`]s — each with its own capacity check, its
+//! own [`IoStats`] and its own optional [`Trace`] — can load and store
+//! against it concurrently from scoped threads.
+//!
+//! The design mirrors the serial [`OocMachine`](crate::machine::OocMachine)
+//! exactly:
+//!
+//! * the only way to read slow memory is a counted [`WorkerMachine::load`],
+//!   and the only way to persist results is a counted
+//!   [`WorkerMachine::store`];
+//! * every worker's resident footprint is checked against *its* capacity on
+//!   every allocation — the shared level imposes no capacity of its own
+//!   (slow memory is unbounded in the model);
+//! * buffer leases are tagged per worker, so a buffer loaded by one worker
+//!   cannot be released against another worker's accounting; and matrix-level
+//!   lease counts are tracked at the shared level, so
+//!   [`SharedSlowMemory::take_dense`] / [`take_symmetric`](SharedSlowMemory::take_symmetric)
+//!   fail while any worker still holds a buffer.
+//!
+//! Transfers serialize on the shared memory's lock — the model's single
+//! channel to slow memory. The *counting* is per worker, which is the
+//! quantity the paper's parallel analysis constrains (the busiest worker's
+//! communication volume).
+//!
+//! Workers implement [`MachineOps`], so the generic engine of `symla-sched`
+//! replays unmodified schedules against them; see
+//! `symla_sched::engine::Engine::execute_parallel` for the distribution loop.
+
+use crate::error::{MemoryError, Result};
+use crate::machine::{next_machine_tag, FastBuf, MachineConfig, MachineOps, MatrixId};
+use crate::region::Region;
+use crate::stats::IoStats;
+use crate::storage::SlowMatrix;
+use crate::trace::{Direction, Trace, TraceEvent};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use symla_matrix::kernels::FlopCount;
+use symla_matrix::{Matrix, Scalar, SymMatrix};
+
+/// The matrices and lease counts behind the shared lock.
+#[derive(Debug)]
+struct SharedState<T: Scalar> {
+    matrices: BTreeMap<u64, SlowMatrix<T>>,
+    leases: BTreeMap<u64, usize>,
+    next_id: u64,
+}
+
+/// One slow memory shared by many workers.
+///
+/// All methods take `&self`: the state lives behind a [`Mutex`], so a
+/// `SharedSlowMemory` can be handed to scoped worker threads by shared
+/// reference. Matrix ids are issued in insertion order starting at 0 (the
+/// same convention as the serial machine), so schedules built against
+/// [`MatrixId::synthetic`] ids work unchanged when the matrices are inserted
+/// in the same order.
+///
+/// # Example
+///
+/// ```
+/// use symla_memory::{MachineConfig, MachineOps, Region, SharedSlowMemory};
+/// use symla_matrix::Matrix;
+///
+/// let shared = SharedSlowMemory::<f64>::new();
+/// let id = shared.insert_dense(Matrix::identity(8));
+/// // Two workers with private fast memories of 16 elements each.
+/// let mut w0 = shared.worker(MachineConfig::with_capacity(16));
+/// let mut w1 = shared.worker(MachineConfig::with_capacity(16));
+/// let b0 = w0.load(id, Region::rect(0, 0, 4, 4)).unwrap();
+/// let b1 = w1.load(id, Region::rect(4, 4, 4, 4)).unwrap();
+/// w0.store(b0).unwrap();
+/// w1.discard(b1).unwrap();
+/// // I/O is counted per worker.
+/// assert_eq!(w0.stats().volume.stores, 16);
+/// assert_eq!(w1.stats().volume.stores, 0);
+/// drop((w0, w1));
+/// assert!(shared.take_dense(id).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct SharedSlowMemory<T: Scalar> {
+    state: Mutex<SharedState<T>>,
+}
+
+impl<T: Scalar> Default for SharedSlowMemory<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> SharedSlowMemory<T> {
+    /// Creates an empty shared slow memory.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(SharedState {
+                matrices: BTreeMap::new(),
+                leases: BTreeMap::new(),
+                next_id: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedState<T>> {
+        // A worker can only poison the lock by panicking inside a gather /
+        // scatter, i.e. on an internal bug; the matrix data itself is still
+        // consistent (scatter writes element-wise), so recover the guard and
+        // let the remaining workers finish their accounting.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn insert(&self, m: SlowMatrix<T>) -> MatrixId {
+        let mut state = self.lock();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.matrices.insert(id, m);
+        state.leases.insert(id, 0);
+        MatrixId(id)
+    }
+
+    /// Registers a dense matrix in the shared slow memory.
+    pub fn insert_dense(&self, m: Matrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Dense(m))
+    }
+
+    /// Registers a symmetric matrix in the shared slow memory.
+    pub fn insert_symmetric(&self, s: SymMatrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Symmetric(s))
+    }
+
+    /// Logical shape of a registered matrix.
+    pub fn shape(&self, id: MatrixId) -> Result<(usize, usize)> {
+        self.lock()
+            .matrices
+            .get(&id.0)
+            .map(|m| m.shape())
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })
+    }
+
+    /// Creates a worker with a private fast memory configured by `config`.
+    ///
+    /// Each worker counts its own [`IoStats`], records its own [`Trace`] (if
+    /// `config.record_trace` is set) and enforces its own capacity; any
+    /// number of workers may be driven concurrently from scoped threads.
+    pub fn worker(&self, config: MachineConfig) -> WorkerMachine<'_, T> {
+        WorkerMachine {
+            shared: self,
+            config,
+            resident: 0,
+            stats: IoStats::new(),
+            trace: if config.record_trace {
+                Some(Trace::new())
+            } else {
+                None
+            },
+            phase: "main".to_string(),
+            tag: next_machine_tag(),
+        }
+    }
+
+    /// Gathers a region and takes one matrix-level lease (worker load path).
+    fn lease_gather(&self, id: MatrixId, region: &Region) -> Result<Vec<T>> {
+        let mut state = self.lock();
+        let matrix = state
+            .matrices
+            .get(&id.0)
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
+        let data = matrix.gather(region)?;
+        *state.leases.get_mut(&id.0).expect("lease entry exists") += 1;
+        Ok(data)
+    }
+
+    /// Validates a region without reading it and takes one lease (worker
+    /// allocate path).
+    fn lease_validate(&self, id: MatrixId, region: &Region) -> Result<()> {
+        let mut state = self.lock();
+        let matrix = state
+            .matrices
+            .get(&id.0)
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
+        matrix.validate_region(region)?;
+        *state.leases.get_mut(&id.0).expect("lease entry exists") += 1;
+        Ok(())
+    }
+
+    /// Scatters a buffer back and releases its lease (worker store path).
+    ///
+    /// The lease is released even when the scatter fails: the caller
+    /// consumes the buffer either way, so keeping the lease would strand
+    /// the matrix in a never-takeable state. A failed scatter writes
+    /// nothing (it validates the region before touching elements).
+    fn scatter_release(&self, id: MatrixId, region: &Region, data: &[T]) -> Result<()> {
+        let mut state = self.lock();
+        let outcome = match state.matrices.get_mut(&id.0) {
+            Some(matrix) => matrix.scatter(region, data),
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+        };
+        if let Some(count) = state.leases.get_mut(&id.0) {
+            *count = count.saturating_sub(1);
+        }
+        outcome
+    }
+
+    /// Releases a lease without writing back (worker discard path).
+    fn release(&self, id: MatrixId) {
+        if let Some(count) = self.lock().leases.get_mut(&id.0) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    fn check_takeable(state: &SharedState<T>, id: MatrixId) -> Result<()> {
+        match state.leases.get(&id.0) {
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+            Some(&count) if count > 0 => Err(MemoryError::LeasesOutstanding { id: id.0, count }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Removes a dense matrix from the shared slow memory and returns it
+    /// (fails while any worker still holds a buffer leased from it).
+    pub fn take_dense(&self, id: MatrixId) -> Result<Matrix<T>> {
+        let mut state = self.lock();
+        Self::check_takeable(&state, id)?;
+        match state.matrices.remove(&id.0) {
+            Some(SlowMatrix::Dense(m)) => Ok(m),
+            Some(other) => {
+                let kind = other.kind();
+                state.matrices.insert(id.0, other);
+                Err(MemoryError::RegionKindMismatch {
+                    region: "take_dense".to_string(),
+                    storage: kind,
+                })
+            }
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+        }
+    }
+
+    /// Removes a symmetric matrix from the shared slow memory and returns it.
+    pub fn take_symmetric(&self, id: MatrixId) -> Result<SymMatrix<T>> {
+        let mut state = self.lock();
+        Self::check_takeable(&state, id)?;
+        match state.matrices.remove(&id.0) {
+            Some(SlowMatrix::Symmetric(s)) => Ok(s),
+            Some(other) => {
+                let kind = other.kind();
+                state.matrices.insert(id.0, other);
+                Err(MemoryError::RegionKindMismatch {
+                    region: "take_symmetric".to_string(),
+                    storage: kind,
+                })
+            }
+            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
+        }
+    }
+}
+
+/// One worker of a [`SharedSlowMemory`]: a private, capacity-checked fast
+/// memory with its own I/O accounting.
+///
+/// A worker is the parallel counterpart of the serial
+/// [`OocMachine`](crate::machine::OocMachine): it exposes the same
+/// load / allocate / store / discard surface (via [`MachineOps`]), counts the
+/// same per-element [`IoStats`] and optionally records the same per-transfer
+/// [`Trace`] — but its loads and stores move data through the *shared* slow
+/// memory, so concurrent workers observe each other's stored results.
+#[derive(Debug)]
+pub struct WorkerMachine<'m, T: Scalar> {
+    shared: &'m SharedSlowMemory<T>,
+    config: MachineConfig,
+    resident: usize,
+    stats: IoStats,
+    trace: Option<Trace>,
+    phase: String,
+    tag: u64,
+}
+
+impl<'m, T: Scalar> WorkerMachine<'m, T> {
+    /// The worker's configured fast-memory capacity.
+    pub fn capacity(&self) -> Option<usize> {
+        self.config.capacity
+    }
+
+    /// Elements currently resident in this worker's fast memory.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// The currently active phase label.
+    pub fn phase(&self) -> &str {
+        &self.phase
+    }
+
+    /// This worker's accumulated statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// This worker's recorded trace, if trace recording was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Consumes the worker and returns its accounting.
+    pub fn into_accounting(self) -> (IoStats, Option<Trace>) {
+        (self.stats, self.trace)
+    }
+
+    fn check_capacity(&self, extra: usize) -> Result<()> {
+        if let Some(cap) = self.config.capacity {
+            if self.resident + extra > cap {
+                return Err(MemoryError::CapacityExceeded {
+                    requested: extra,
+                    resident: self.resident,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn record_event(&mut self, direction: Direction, matrix: MatrixId, region: &Region) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEvent {
+                direction,
+                matrix: matrix.raw(),
+                region: region.clone(),
+                phase: self.phase.clone(),
+                resident_after: self.resident,
+            });
+        }
+    }
+}
+
+impl<'m, T: Scalar> MachineOps<T> for WorkerMachine<'m, T> {
+    fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+        let elements = region.len();
+        self.check_capacity(elements)?;
+        let data = self.shared.lease_gather(id, &region)?;
+        self.resident += elements;
+        self.stats.observe_resident(self.resident);
+        let phase = self.phase.clone();
+        self.stats.record_load(elements, &phase);
+        self.record_event(Direction::Load, id, &region);
+        Ok(FastBuf::from_parts(data, id, region, self.tag))
+    }
+
+    fn allocate_zeroed(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+        let elements = region.len();
+        self.check_capacity(elements)?;
+        self.shared.lease_validate(id, &region)?;
+        self.resident += elements;
+        self.stats.observe_resident(self.resident);
+        Ok(FastBuf::from_parts(
+            vec![T::ZERO; elements],
+            id,
+            region,
+            self.tag,
+        ))
+    }
+
+    fn store(&mut self, buf: FastBuf<T>) -> Result<()> {
+        if buf.machine_tag() != self.tag {
+            return Err(MemoryError::ForeignBuffer);
+        }
+        let elements = buf.len();
+        let id = buf.matrix_id();
+        let outcome = self
+            .shared
+            .scatter_release(id, buf.region(), buf.as_slice());
+        // The buffer leaves fast memory whether or not the scatter landed
+        // (it is consumed by this call), so the residency drops either way;
+        // a failed transfer moves no elements and counts no traffic.
+        self.resident -= elements;
+        outcome?;
+        let phase = self.phase.clone();
+        self.stats.record_store(elements, &phase);
+        let region = buf.region().clone();
+        self.record_event(Direction::Store, id, &region);
+        Ok(())
+    }
+
+    fn discard(&mut self, buf: FastBuf<T>) -> Result<()> {
+        if buf.machine_tag() != self.tag {
+            return Err(MemoryError::ForeignBuffer);
+        }
+        self.resident -= buf.len();
+        self.shared.release(buf.matrix_id());
+        Ok(())
+    }
+
+    fn record_flops(&mut self, flops: FlopCount) {
+        self.stats.record_flops(flops);
+    }
+
+    fn set_phase(&mut self, phase: &str) {
+        self.phase = phase.to_string();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symla_matrix::generate::random_matrix_seeded;
+
+    #[test]
+    fn workers_count_io_privately_against_one_image() {
+        let a: Matrix<f64> = random_matrix_seeded(6, 6, 7);
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_dense(a.clone());
+        assert_eq!(shared.shape(id).unwrap(), (6, 6));
+
+        let mut w0 = shared.worker(MachineConfig::with_capacity(12));
+        let mut w1 = shared.worker(MachineConfig::with_capacity(12));
+
+        let mut b0 = w0.load(id, Region::rect(0, 0, 3, 3)).unwrap();
+        for v in b0.as_mut_slice() {
+            *v += 1.0;
+        }
+        w0.store(b0).unwrap();
+
+        let b1 = w1.load(id, Region::rect(0, 0, 3, 3)).unwrap();
+        // w1 sees w0's stored result: the slow memory is shared.
+        assert_eq!(b1.as_slice()[0], a[(0, 0)] + 1.0);
+        w1.discard(b1).unwrap();
+
+        assert_eq!(w0.stats().volume.loads, 9);
+        assert_eq!(w0.stats().volume.stores, 9);
+        assert_eq!(w1.stats().volume.loads, 9);
+        assert_eq!(w1.stats().volume.stores, 0);
+        assert_eq!(w0.resident(), 0);
+        assert_eq!(w1.resident(), 0);
+    }
+
+    #[test]
+    fn per_worker_capacity_is_enforced() {
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_dense(Matrix::<f64>::zeros(8, 8));
+        let mut w = shared.worker(MachineConfig::with_capacity(10));
+        let b = w.load(id, Region::rect(0, 0, 3, 3)).unwrap();
+        let err = w.load(id, Region::rect(0, 0, 2, 2)).unwrap_err();
+        assert!(matches!(err, MemoryError::CapacityExceeded { .. }));
+        assert_eq!(w.capacity(), Some(10));
+        w.discard(b).unwrap();
+        // the failed load took no lease
+        assert!(shared.take_dense(id).is_ok());
+    }
+
+    #[test]
+    fn leases_are_tracked_at_the_shared_level() {
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_symmetric(SymMatrix::<f64>::zeros(6));
+        let mut w0 = shared.worker(MachineConfig::unlimited());
+        let mut w1 = shared.worker(MachineConfig::unlimited());
+        let b0 = w0
+            .load(id, Region::SymLowerTriangle { start: 0, size: 3 })
+            .unwrap();
+        let b1 = w1.load(id, Region::sym_rect(3, 0, 2, 2)).unwrap();
+        assert!(matches!(
+            shared.take_symmetric(id),
+            Err(MemoryError::LeasesOutstanding { count: 2, .. })
+        ));
+        w0.store(b0).unwrap();
+        assert!(matches!(
+            shared.take_symmetric(id),
+            Err(MemoryError::LeasesOutstanding { count: 1, .. })
+        ));
+        w1.discard(b1).unwrap();
+        assert!(shared.take_symmetric(id).is_ok());
+    }
+
+    #[test]
+    fn cross_worker_release_is_rejected() {
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_dense(Matrix::<f64>::zeros(4, 4));
+        let mut w0 = shared.worker(MachineConfig::unlimited());
+        let mut w1 = shared.worker(MachineConfig::unlimited());
+        let b = w0.load(id, Region::rect(0, 0, 2, 2)).unwrap();
+        assert!(matches!(w1.store(b), Err(MemoryError::ForeignBuffer)));
+        let b = w0.load(id, Region::rect(0, 0, 1, 1)).unwrap();
+        assert!(matches!(w1.discard(b), Err(MemoryError::ForeignBuffer)));
+    }
+
+    #[test]
+    fn serial_machine_buffers_are_foreign_to_workers() {
+        let mut machine = crate::machine::OocMachine::<f64>::with_capacity(16);
+        let mid = machine.insert_dense(Matrix::zeros(3, 3));
+        let buf = machine.load(mid, Region::rect(0, 0, 2, 2)).unwrap();
+
+        let shared = SharedSlowMemory::new();
+        let _sid = shared.insert_dense(Matrix::<f64>::zeros(3, 3));
+        let mut w = shared.worker(MachineConfig::unlimited());
+        assert!(matches!(w.store(buf), Err(MemoryError::ForeignBuffer)));
+    }
+
+    #[test]
+    fn concurrent_disjoint_stores_all_land() {
+        let n = 32;
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_dense(Matrix::<f64>::zeros(n, n));
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut machine = shared.worker(MachineConfig::with_capacity(n * n / 4));
+                    for col in (w..n).step_by(4) {
+                        let mut buf = machine.load(id, Region::rect(0, col, n, 1)).unwrap();
+                        for (i, v) in buf.as_mut_slice().iter_mut().enumerate() {
+                            *v = (col * n + i) as f64;
+                        }
+                        machine.store(buf).unwrap();
+                    }
+                    assert_eq!(machine.stats().volume.stores, (n * n / 4) as u64);
+                });
+            }
+        });
+        let out = shared.take_dense(id).unwrap();
+        for col in 0..n {
+            for row in 0..n {
+                assert_eq!(out[(row, col)], (col * n + row) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_traces_record_their_own_transfers() {
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_dense(Matrix::<f64>::zeros(4, 4));
+        let mut w = shared.worker(MachineConfig::unlimited().record_trace(true));
+        w.set_phase("p");
+        let b = w.load(id, Region::rect(0, 0, 2, 2)).unwrap();
+        w.store(b).unwrap();
+        assert_eq!(w.phase(), "p");
+        let (stats, trace) = w.into_accounting();
+        let trace = trace.unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events()[0].phase, "p");
+        assert_eq!(stats.volume.total(), 8);
+    }
+
+    #[test]
+    fn unknown_matrix_and_kind_mismatch_errors() {
+        let shared = SharedSlowMemory::<f64>::new();
+        let sym = shared.insert_symmetric(SymMatrix::zeros(3));
+        let bogus = MatrixId::synthetic(99);
+        let mut w = shared.worker(MachineConfig::unlimited());
+        assert!(w.load(bogus, Region::rect(0, 0, 1, 1)).is_err());
+        assert!(w.allocate_zeroed(bogus, Region::rect(0, 0, 1, 1)).is_err());
+        assert!(shared.shape(bogus).is_err());
+        assert!(shared.take_dense(sym).is_err());
+        assert!(shared.take_symmetric(bogus).is_err());
+        assert!(shared.take_symmetric(sym).is_ok());
+    }
+
+    #[test]
+    fn failed_scatter_release_still_releases_the_lease() {
+        // A write-back that fails must still release the lease the buffer
+        // held — the buffer is consumed either way, and keeping the lease
+        // would strand the matrix un-takeable forever. Unreachable through
+        // the worker surface (loads validate regions up front), so drive
+        // the internal path with a hand-taken lease.
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_dense(Matrix::<f64>::zeros(4, 4));
+        *shared.lock().leases.get_mut(&id.0).unwrap() += 1;
+        let err = shared
+            .scatter_release(id, &Region::rect(3, 3, 2, 2), &[0.0; 4])
+            .unwrap_err();
+        assert!(matches!(err, MemoryError::RegionOutOfBounds { .. }));
+        assert!(shared.take_dense(id).is_ok(), "lease must be released");
+    }
+
+    #[test]
+    fn allocate_zeroed_charges_no_load_per_worker() {
+        let shared = SharedSlowMemory::new();
+        let id = shared.insert_symmetric(SymMatrix::<f64>::zeros(8));
+        let mut w = shared.worker(MachineConfig::with_capacity(16));
+        let buf = w
+            .allocate_zeroed(id, Region::SymLowerTriangle { start: 0, size: 4 })
+            .unwrap();
+        assert_eq!(buf.len(), 10);
+        assert_eq!(w.stats().volume.loads, 0);
+        assert_eq!(w.resident(), 10);
+        w.store(buf).unwrap();
+        assert_eq!(w.stats().volume.stores, 10);
+        assert_eq!(w.stats().peak_resident, 10);
+    }
+}

@@ -1,13 +1,21 @@
 //! The generic out-of-core execution engine.
 //!
 //! [`Engine`] replays a [`Schedule`] built from the IR of [`crate::ir`] in
-//! three modes:
+//! four modes — two that run it and two that only analyze it:
 //!
-//! * [`Engine::execute`] — runs the schedule for real against an
-//!   [`OocMachine`]: every load/store is a counted, capacity-checked machine
-//!   transfer and every compute step runs its block kernel on the resident
-//!   buffers. All eight out-of-core algorithms of the workspace execute
-//!   through this single function.
+//! * [`Engine::execute`] — runs the schedule for real against any
+//!   [`MachineOps`] machine (normally the serial
+//!   [`OocMachine`](symla_memory::OocMachine)): every
+//!   load/store is a counted, capacity-checked machine transfer and every
+//!   compute step runs its block kernel on the resident buffers. The eight
+//!   out-of-core algorithms' `*_execute` wrappers are serial executions
+//!   through this entry point.
+//! * [`Engine::execute_parallel`] — distributes the schedule's
+//!   [`TaskGroup`]s over `P` workers of a [`SharedSlowMemory`] through a
+//!   work-stealing queue of [`std::thread::scope`] threads. Each worker is a
+//!   private, capacity-checked fast memory with its own [`IoStats`] /
+//!   [`Trace`]; the groups it replays run through the same per-group code
+//!   path as a serial execution.
 //! * [`Engine::dry_run`] — replays only the accounting: loads, stores,
 //!   events, flops, per-phase attribution and the peak-resident watermark,
 //!   without a machine or data. A dry run of a schedule produces exactly the
@@ -19,17 +27,27 @@
 //! The invariant tying the modes together (checked by the cross-crate
 //! equivalence tests): for any schedule `s` and machine `m`,
 //! `execute(&mut m, &s)` leaves `m.stats()` equal to `dry_run(&s)` and
-//! `m.trace()` equal to `trace(&s)`.
+//! `m.trace()` equal to `trace(&s)`; and for any schedule whose groups are
+//! independent, `execute_parallel(&shared, &s, P, ..)` leaves the *sum* of
+//! the per-worker [`IoStats`] equal to `dry_run(&s)`, each worker's stats
+//! equal to the dry run of exactly the groups it processed, and the contents
+//! of the shared slow memory bitwise-identical to what a serial `execute`
+//! leaves behind.
 
-use crate::ir::{BufId, BufSlice, ComputeOp, Schedule, Step};
-use std::collections::BTreeMap;
+use crate::ir::{BufId, BufSlice, ComputeOp, Schedule, Step, TaskGroup};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use symla_matrix::kernels::views::{
     cholesky_packed_view_in_place, ger_view, lu_view_in_place, spr_lower_view,
     triangle_pairs_update,
 };
 use symla_matrix::{MatrixError, Scalar};
-use symla_memory::{Direction, FastBuf, IoStats, MemoryError, OocMachine, Trace, TraceEvent};
+use symla_memory::{
+    Direction, FastBuf, IoStats, MachineConfig, MachineOps, MemoryError, SharedSlowMemory, Trace,
+    TraceEvent,
+};
 
 /// Errors raised while replaying a schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +96,121 @@ impl From<MatrixError> for EngineError {
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
-/// The schedule replayer. See the module docs for the three modes.
+/// Accounting of one worker of an [`Engine::execute_parallel`] run.
+#[derive(Debug, Clone)]
+pub struct WorkerRun {
+    /// The worker's I/O statistics: exactly the dry-run accounting of the
+    /// task groups in `groups` (asserted by the equivalence tests).
+    pub stats: IoStats,
+    /// The worker's transfer trace, if the worker config enabled recording.
+    pub trace: Option<Trace>,
+    /// Indices (into [`Schedule::groups`]) of the task groups this worker
+    /// completed, in the order it claimed them.
+    pub groups: Vec<usize>,
+}
+
+impl WorkerRun {
+    /// Sums the statistics of a set of worker runs (phases merge by name,
+    /// the peak residency is the maximum over the workers).
+    ///
+    /// For a schedule with self-contained groups this equals the serial
+    /// [`Engine::dry_run`] of the whole schedule: every group is processed by
+    /// exactly one worker, and the serial peak is also a per-group maximum.
+    pub fn merged_stats(runs: &[WorkerRun]) -> IoStats {
+        let mut total = IoStats::new();
+        for run in runs {
+            total.merge(&run.stats);
+        }
+        total
+    }
+}
+
+/// Error of an [`Engine::execute_parallel`] run.
+///
+/// Carries the accounting of every worker at the moment the run aborted, so
+/// callers can still audit the traffic of the groups that did complete (the
+/// failing worker's stats include the partial traffic of the failed group;
+/// its buffers were released back without store traffic).
+#[derive(Debug)]
+pub struct ParallelError {
+    /// The first replay error observed.
+    pub error: EngineError,
+    /// Index of the worker whose group replay failed.
+    pub worker: usize,
+    /// Index (into [`Schedule::groups`]) of the task group that failed.
+    pub group: usize,
+    /// Per-worker accounting up to the abort. Workers that were mid-group
+    /// when the abort flag rose finish that group normally, so every run
+    /// in this list is consistent (its stats equal the dry-run of its
+    /// completed groups plus, for the failing worker, the partial group).
+    pub runs: Vec<WorkerRun>,
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker {} failed on task group {}: {}",
+            self.worker, self.group, self.error
+        )
+    }
+}
+
+impl std::error::Error for ParallelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<ParallelError> for EngineError {
+    fn from(e: ParallelError) -> Self {
+        e.error
+    }
+}
+
+/// The per-worker deques of a parallel run: each worker drains its own deque
+/// from the front and steals from the back of the others when it runs dry.
+/// Groups are dealt round-robin, so a schedule of uniform groups starts out
+/// balanced and stealing only kicks in under real imbalance.
+struct StealQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueue {
+    fn deal(groups: usize, workers: usize) -> Self {
+        Self {
+            deques: (0..workers)
+                .map(|w| Mutex::new((w..groups).step_by(workers).collect()))
+                .collect(),
+        }
+    }
+
+    fn lock(&self, w: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        // Recover from poisoning (a worker panicking elsewhere): the deques
+        // hold plain indices, so the data cannot be inconsistent.
+        self.deques[w]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Next group for worker `w`: its own front, else a steal from the back
+    /// of the first non-empty victim. `None` means all deques are empty —
+    /// no new work can appear, so the worker is done.
+    fn pop(&self, w: usize) -> Option<usize> {
+        if let Some(g) = self.lock(w).pop_front() {
+            return Some(g);
+        }
+        let n = self.deques.len();
+        for v in (w + 1..n).chain(0..w) {
+            if let Some(g) = self.lock(v).pop_back() {
+                return Some(g);
+            }
+        }
+        None
+    }
+}
+
+/// The schedule replayer. See the module docs for the four modes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Engine;
 
@@ -109,12 +241,48 @@ fn slice_of<'a, T: Scalar>(bufs: &'a BTreeMap<BufId, FastBuf<T>>, s: &BufSlice) 
 impl Engine {
     /// Replays `schedule` against `machine`, running every block kernel on
     /// real data. Transfers are counted and capacity-checked by the machine
-    /// exactly as the hand-rolled executors counted them.
+    /// exactly as the hand-rolled executors counted them. Works against any
+    /// [`MachineOps`] implementation: the serial
+    /// [`OocMachine`](symla_memory::OocMachine) or one
+    /// [`WorkerMachine`](symla_memory::WorkerMachine) of a shared slow
+    /// memory.
     ///
     /// On error, buffers the failed schedule still held are released back to
     /// the machine (without store traffic), so its residency accounting and
     /// leases stay consistent and the matrices can still be taken out.
-    pub fn execute<T: Scalar>(machine: &mut OocMachine<T>, schedule: &Schedule<T>) -> Result<()> {
+    ///
+    /// ```
+    /// use symla_matrix::Matrix;
+    /// use symla_memory::{OocMachine, Region};
+    /// use symla_sched::{BufSlice, ComputeOp, Engine, ScheduleBuilder};
+    ///
+    /// let mut machine = OocMachine::<f64>::with_capacity(6);
+    /// let id = machine.insert_dense(Matrix::identity(4));
+    /// // One rank-1 update: C[0..2, 0..2] += 2 · a · aᵀ with a = A[0..2, 3].
+    /// let mut b = ScheduleBuilder::new();
+    /// let c = b.load(id, Region::rect(0, 0, 2, 2));
+    /// let a = b.load(id, Region::col_segment(3, 0, 2));
+    /// b.compute(ComputeOp::Ger {
+    ///     alpha: 2.0,
+    ///     x: BufSlice::whole(a, 2),
+    ///     y: BufSlice::whole(a, 2),
+    ///     dst: c,
+    /// });
+    /// b.discard(a);
+    /// b.store(c);
+    /// Engine::execute(&mut machine, &b.finish()).unwrap();
+    /// // Transfers were counted and capacity-checked (6 resident at peak) ...
+    /// assert_eq!(machine.stats().volume.loads, 6);
+    /// assert_eq!(machine.stats().volume.stores, 4);
+    /// assert_eq!(machine.stats().peak_resident, 6);
+    /// // ... and the kernel really ran on slow memory's data.
+    /// let out = machine.take_dense(id).unwrap();
+    /// assert_eq!(out[(0, 0)], 1.0); // A[0,3] = 0, so nothing changed
+    /// ```
+    pub fn execute<T: Scalar, M: MachineOps<T>>(
+        machine: &mut M,
+        schedule: &Schedule<T>,
+    ) -> Result<()> {
         let mut bufs: BTreeMap<BufId, FastBuf<T>> = BTreeMap::new();
         let outcome = Self::replay(machine, schedule, &mut bufs);
         for (_, buf) in std::mem::take(&mut bufs) {
@@ -125,8 +293,8 @@ impl Engine {
         outcome
     }
 
-    fn replay<T: Scalar>(
-        machine: &mut OocMachine<T>,
+    fn replay<T: Scalar, M: MachineOps<T>>(
+        machine: &mut M,
         schedule: &Schedule<T>,
         bufs: &mut BTreeMap<BufId, FastBuf<T>>,
     ) -> Result<()> {
@@ -134,36 +302,7 @@ impl Engine {
             if let Some(phase) = &group.phase {
                 machine.set_phase(phase);
             }
-            for step in &group.steps {
-                match step {
-                    Step::Load {
-                        matrix,
-                        region,
-                        dst,
-                    } => {
-                        let buf = machine.load(*matrix, region.clone())?;
-                        bufs.insert(*dst, buf);
-                    }
-                    Step::Alloc {
-                        matrix,
-                        region,
-                        dst,
-                    } => {
-                        let buf = machine.allocate_zeroed(*matrix, region.clone())?;
-                        bufs.insert(*dst, buf);
-                    }
-                    Step::Flops(flops) => machine.record_flops(*flops),
-                    Step::Store { buf } => {
-                        let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
-                        machine.store(b)?;
-                    }
-                    Step::Discard { buf } => {
-                        let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
-                        machine.discard(b)?;
-                    }
-                    Step::Compute(op) => Self::compute(bufs, op)?,
-                }
-            }
+            Self::replay_group(machine, group, bufs)?;
         }
         if !bufs.is_empty() {
             return Err(EngineError::InvalidSchedule(format!(
@@ -172,6 +311,190 @@ impl Engine {
             )));
         }
         Ok(())
+    }
+
+    /// Replays the steps of one task group. Shared verbatim between the
+    /// serial path (where `bufs` persists across groups, tolerating legacy
+    /// schedules whose buffers straddle group boundaries) and the parallel
+    /// path (where each group gets a fresh table and must be self-contained).
+    fn replay_group<T: Scalar, M: MachineOps<T>>(
+        machine: &mut M,
+        group: &TaskGroup<T>,
+        bufs: &mut BTreeMap<BufId, FastBuf<T>>,
+    ) -> Result<()> {
+        for step in &group.steps {
+            match step {
+                Step::Load {
+                    matrix,
+                    region,
+                    dst,
+                } => {
+                    let buf = machine.load(*matrix, region.clone())?;
+                    bufs.insert(*dst, buf);
+                }
+                Step::Alloc {
+                    matrix,
+                    region,
+                    dst,
+                } => {
+                    let buf = machine.allocate_zeroed(*matrix, region.clone())?;
+                    bufs.insert(*dst, buf);
+                }
+                Step::Flops(flops) => machine.record_flops(*flops),
+                Step::Store { buf } => {
+                    let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
+                    machine.store(b)?;
+                }
+                Step::Discard { buf } => {
+                    let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
+                    machine.discard(b)?;
+                }
+                Step::Compute(op) => Self::compute(bufs, op)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes `schedule` with `workers` concurrent workers sharing the
+    /// slow memory `shared`, each with a private fast memory configured by
+    /// `config`.
+    ///
+    /// [`TaskGroup`]s are the unit of distribution: they are dealt
+    /// round-robin onto per-worker deques and re-balanced by work stealing
+    /// (a worker that drains its own deque steals from the back of the
+    /// others). **The caller asserts that the groups are independent** —
+    /// i.e. no group reads or writes a slow-memory region another group
+    /// writes. The SYRK-family schedules of this workspace (square-block,
+    /// TBS, tiled TBS, GEMM and the `symla_core::parallel` partitions)
+    /// satisfy this: each group owns a disjoint block of the result and only
+    /// reads the shared input panel. The left-looking factorizations
+    /// (Cholesky, LU, TRSM) order their groups *through* slow memory and
+    /// must stay on the serial [`Engine::execute`] path.
+    ///
+    /// Two semantic differences from a serial execution, both irrelevant to
+    /// schedules with independent groups:
+    ///
+    /// * every group must be self-contained (create and release all its
+    ///   buffers) — the serial path tolerates buffers straddling groups;
+    /// * a group without a phase label is attributed to `default_phase`,
+    ///   not to the label of the textually preceding group (which may be
+    ///   replaying on a different worker).
+    ///
+    /// On success, returns one [`WorkerRun`] per worker (its [`IoStats`],
+    /// optional [`Trace`] and the groups it completed). On failure, the
+    /// first error aborts the run: other workers finish the group they are
+    /// on and stop claiming; the returned [`ParallelError`] carries the
+    /// error, the failing worker/group and every worker's accounting.
+    ///
+    /// ```
+    /// use symla_matrix::Matrix;
+    /// use symla_memory::{MachineConfig, MatrixId, Region, SharedSlowMemory};
+    /// use symla_sched::engine::{Engine, WorkerRun};
+    /// use symla_sched::ScheduleBuilder;
+    ///
+    /// let shared = SharedSlowMemory::<f64>::new();
+    /// let id = shared.insert_dense(Matrix::identity(8));
+    /// // Four independent groups, one per diagonal 2x2 block.
+    /// let mut b = ScheduleBuilder::new();
+    /// for i in 0..4 {
+    ///     b.begin_group();
+    ///     let buf = b.load(id, Region::rect(2 * i, 2 * i, 2, 2));
+    ///     b.store(buf);
+    /// }
+    /// let schedule = b.finish();
+    ///
+    /// let runs =
+    ///     Engine::execute_parallel(&shared, &schedule, 2, MachineConfig::with_capacity(4), "main")
+    ///         .unwrap();
+    /// assert_eq!(runs.len(), 2);
+    /// // Every group ran on exactly one worker ...
+    /// let done: usize = runs.iter().map(|r| r.groups.len()).sum();
+    /// assert_eq!(done, 4);
+    /// // ... and the summed per-worker accounting equals the serial dry run.
+    /// assert_eq!(WorkerRun::merged_stats(&runs), Engine::dry_run(&schedule, "main"));
+    /// ```
+    pub fn execute_parallel<T: Scalar>(
+        shared: &SharedSlowMemory<T>,
+        schedule: &Schedule<T>,
+        workers: usize,
+        config: MachineConfig,
+        default_phase: &str,
+    ) -> std::result::Result<Vec<WorkerRun>, ParallelError> {
+        if workers == 0 {
+            return Err(ParallelError {
+                error: EngineError::InvalidSchedule(
+                    "execute_parallel needs at least one worker".to_string(),
+                ),
+                worker: 0,
+                group: 0,
+                runs: Vec::new(),
+            });
+        }
+        let queue = StealQueue::deal(schedule.groups.len(), workers);
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<(usize, usize, EngineError)>> = Mutex::new(None);
+
+        let runs: Vec<WorkerRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (queue, abort, failure) = (&queue, &abort, &failure);
+                    scope.spawn(move || {
+                        let mut machine = shared.worker(config);
+                        let mut groups = Vec::new();
+                        while !abort.load(Ordering::Acquire) {
+                            let Some(g) = queue.pop(w) else { break };
+                            let group = &schedule.groups[g];
+                            machine.set_phase(group.phase.as_deref().unwrap_or(default_phase));
+                            let mut bufs = BTreeMap::new();
+                            let mut outcome = Self::replay_group(&mut machine, group, &mut bufs);
+                            if outcome.is_ok() && !bufs.is_empty() {
+                                outcome = Err(EngineError::InvalidSchedule(format!(
+                                    "{} buffer(s) left resident at end of task group {g}",
+                                    bufs.len()
+                                )));
+                            }
+                            for (_, buf) in bufs {
+                                let _ = machine.discard(buf);
+                            }
+                            match outcome {
+                                Ok(()) => groups.push(g),
+                                Err(error) => {
+                                    failure
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                        .get_or_insert((w, g, error));
+                                    abort.store(true, Ordering::Release);
+                                    break;
+                                }
+                            }
+                        }
+                        let (stats, trace) = machine.into_accounting();
+                        WorkerRun {
+                            stats,
+                            trace,
+                            groups,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+
+        let slot = failure
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match slot {
+            Some((worker, group, error)) => Err(ParallelError {
+                error,
+                worker,
+                group,
+                runs,
+            }),
+            None => Ok(runs),
+        }
     }
 
     /// Runs one compute step on the resident buffers.
@@ -342,6 +665,24 @@ impl Engine {
     /// Transfers of groups with no phase label are attributed to
     /// `default_phase` — pass the machine's current phase (usually
     /// `"main"`).
+    ///
+    /// ```
+    /// use symla_memory::{MatrixId, Region};
+    /// use symla_sched::{Engine, ScheduleBuilder};
+    ///
+    /// // Dry runs need no machine: synthetic ids are enough.
+    /// let id = MatrixId::synthetic(0);
+    /// let mut b = ScheduleBuilder::<f64>::new();
+    /// let c = b.load(id, Region::rect(0, 0, 3, 3));
+    /// let a = b.load(id, Region::col_segment(3, 0, 3));
+    /// b.discard(a);
+    /// b.store(c);
+    /// let stats = Engine::dry_run(&b.finish(), "main");
+    /// assert_eq!(stats.volume.loads, 12);
+    /// assert_eq!(stats.volume.stores, 9);
+    /// assert_eq!(stats.peak_resident, 12);
+    /// assert_eq!(stats.phase("main").loads, 12);
+    /// ```
     pub fn dry_run<T: Scalar>(schedule: &Schedule<T>, default_phase: &str) -> IoStats {
         let mut stats = IoStats::new();
         let mut sizes: BTreeMap<BufId, usize> = BTreeMap::new();
@@ -384,6 +725,21 @@ impl Engine {
     /// Synthesizes the transfer trace of `schedule`: the returned [`Trace`]
     /// equals what a machine with trace recording enabled would record while
     /// executing the schedule.
+    ///
+    /// ```
+    /// use symla_memory::{Direction, MatrixId, Region};
+    /// use symla_sched::{Engine, ScheduleBuilder};
+    ///
+    /// let id = MatrixId::synthetic(7);
+    /// let mut b = ScheduleBuilder::<f64>::new();
+    /// let buf = b.load(id, Region::rect(0, 0, 2, 4));
+    /// b.store(buf);
+    /// let trace = Engine::trace(&b.finish(), "main");
+    /// assert_eq!(trace.len(), 2);
+    /// assert_eq!(trace.events()[0].direction, Direction::Load);
+    /// assert_eq!(trace.events()[1].direction, Direction::Store);
+    /// assert_eq!(trace.events()[1].resident_after, 0);
+    /// ```
     pub fn trace<T: Scalar>(schedule: &Schedule<T>, default_phase: &str) -> Trace {
         let mut trace = Trace::new();
         let mut meta: BTreeMap<BufId, (u64, symla_memory::Region)> = BTreeMap::new();
@@ -449,7 +805,7 @@ mod tests {
     use crate::ir::ScheduleBuilder;
     use symla_matrix::kernels::FlopCount;
     use symla_matrix::Matrix;
-    use symla_memory::{MachineConfig, MatrixId, Region};
+    use symla_memory::{MachineConfig, MatrixId, OocMachine, Region};
 
     /// A tiny rank-1 update schedule used by the mode-equivalence tests.
     fn rank1_schedule(id: MatrixId) -> Schedule<f64> {
@@ -581,6 +937,285 @@ mod tests {
         let err = Engine::execute(&mut machine, &b.finish()).unwrap_err();
         assert!(matches!(err, EngineError::InvalidSchedule(_)), "{err}");
         assert_eq!(machine.resident(), 0);
+    }
+
+    /// One independent group per diagonal `t x t` block of an `n x n` dense
+    /// matrix: load the block, scale it by 2 with a Ger against a loaded
+    /// one-column probe, store it back.
+    fn diagonal_block_schedule(id: MatrixId, n: usize, t: usize) -> Schedule<f64> {
+        let mut b = ScheduleBuilder::new();
+        for i0 in (0..n).step_by(t) {
+            let tc = t.min(n - i0);
+            b.begin_group();
+            let c = b.load(id, Region::rect(i0, i0, tc, tc));
+            let x = b.load(id, Region::col_segment(i0, i0, tc));
+            b.compute(ComputeOp::Ger {
+                alpha: 1.0,
+                x: BufSlice::whole(x, tc),
+                y: BufSlice::whole(x, tc),
+                dst: c,
+            });
+            b.flops(FlopCount::new((tc * tc) as u128, (tc * tc) as u128));
+            b.discard(x);
+            b.store(c);
+        }
+        b.finish()
+    }
+
+    /// Dry-run accounting of exactly the groups a worker processed.
+    fn dry_run_of_groups(schedule: &Schedule<f64>, groups: &[usize]) -> IoStats {
+        let picked = Schedule {
+            groups: groups.iter().map(|&g| schedule.groups[g].clone()).collect(),
+        };
+        Engine::dry_run(&picked, "main")
+    }
+
+    #[test]
+    fn parallel_execution_equals_serial_for_all_worker_counts() {
+        let n = 24;
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| ((i * n + j) % 13) as f64 - 6.0);
+        let schedule = diagonal_block_schedule(MatrixId::synthetic(0), n, 4);
+        assert_eq!(schedule.num_groups(), 6);
+
+        // Serial reference execution.
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(20));
+        let serial_id = machine.insert_dense(a.clone());
+        Engine::execute(&mut machine, &schedule).unwrap();
+        let expected = machine.take_dense(serial_id).unwrap();
+        let dry = Engine::dry_run(&schedule, "main");
+
+        for workers in [1, 2, 4, 8] {
+            let shared = SharedSlowMemory::new();
+            let id = shared.insert_dense(a.clone());
+            let runs = Engine::execute_parallel(
+                &shared,
+                &schedule,
+                workers,
+                MachineConfig::with_capacity(20),
+                "main",
+            )
+            .unwrap();
+            assert_eq!(runs.len(), workers);
+
+            // Every group ran exactly once.
+            let mut all: Vec<usize> = runs.iter().flat_map(|r| r.groups.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..schedule.num_groups()).collect::<Vec<_>>());
+
+            // Summed per-worker accounting equals the serial dry run, and
+            // each worker's stats equal the dry run of its own groups.
+            assert_eq!(WorkerRun::merged_stats(&runs), dry, "P={workers}");
+            for (w, run) in runs.iter().enumerate() {
+                assert_eq!(
+                    run.stats,
+                    dry_run_of_groups(&schedule, &run.groups),
+                    "P={workers} worker {w}"
+                );
+            }
+
+            // The computed result is bitwise-equal to the serial execution.
+            let got = shared.take_dense(id).unwrap();
+            assert_eq!(got, expected, "P={workers}");
+        }
+    }
+
+    #[test]
+    fn single_worker_reproduces_the_serial_trace() {
+        let n = 12;
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| (i + 2 * j) as f64);
+        let schedule = diagonal_block_schedule(MatrixId::synthetic(0), n, 4);
+        let shared = SharedSlowMemory::new();
+        shared.insert_dense(a);
+        let runs = Engine::execute_parallel(
+            &shared,
+            &schedule,
+            1,
+            MachineConfig::with_capacity(20).record_trace(true),
+            "main",
+        )
+        .unwrap();
+        // One worker claims the groups in order, so its trace is the serial
+        // trace of the whole schedule.
+        assert_eq!(
+            runs[0].trace.as_ref().unwrap(),
+            &Engine::trace(&schedule, "main")
+        );
+        assert_eq!(runs[0].groups, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn more_workers_than_groups_leaves_spare_workers_idle_but_consistent() {
+        let n = 8;
+        let schedule = diagonal_block_schedule(MatrixId::synthetic(0), n, 4);
+        assert_eq!(schedule.num_groups(), 2);
+        let shared = SharedSlowMemory::new();
+        shared.insert_dense(Matrix::<f64>::identity(n));
+        let runs = Engine::execute_parallel(
+            &shared,
+            &schedule,
+            8,
+            MachineConfig::with_capacity(20),
+            "main",
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 8);
+        let busy: usize = runs.iter().filter(|r| !r.groups.is_empty()).count();
+        assert!(busy <= 2, "only two groups exist");
+        for run in &runs {
+            if run.groups.is_empty() {
+                assert_eq!(run.stats, IoStats::new(), "idle workers count nothing");
+            }
+        }
+        assert_eq!(
+            WorkerRun::merged_stats(&runs),
+            Engine::dry_run(&schedule, "main")
+        );
+    }
+
+    #[test]
+    fn an_empty_group_and_an_empty_schedule_execute_trivially() {
+        let shared = SharedSlowMemory::<f64>::new();
+        shared.insert_dense(Matrix::zeros(2, 2));
+
+        // A hand-built schedule holding one empty group (the builder drops
+        // empty groups, so construct it directly).
+        let schedule = Schedule {
+            groups: vec![TaskGroup::default()],
+        };
+        let runs =
+            Engine::execute_parallel(&shared, &schedule, 4, MachineConfig::unlimited(), "main")
+                .unwrap();
+        let done: usize = runs.iter().map(|r| r.groups.len()).sum();
+        assert_eq!(done, 1, "the empty group still counts as processed");
+        assert_eq!(WorkerRun::merged_stats(&runs), IoStats::new());
+
+        let empty = Schedule::<f64>::default();
+        let runs = Engine::execute_parallel(&shared, &empty, 3, MachineConfig::unlimited(), "main")
+            .unwrap();
+        assert!(runs.iter().all(|r| r.groups.is_empty()));
+    }
+
+    #[test]
+    fn zero_workers_are_rejected() {
+        let shared = SharedSlowMemory::<f64>::new();
+        let err = Engine::execute_parallel(
+            &shared,
+            &Schedule::default(),
+            0,
+            MachineConfig::unlimited(),
+            "main",
+        )
+        .unwrap_err();
+        assert!(matches!(err.error, EngineError::InvalidSchedule(_)));
+        assert!(err.runs.is_empty());
+    }
+
+    #[test]
+    fn failing_group_aborts_propagates_and_keeps_other_workers_consistent() {
+        let n = 24;
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| (i * n + j + 1) as f64);
+        let id = MatrixId::synthetic(0);
+        let mut schedule = diagonal_block_schedule(id, n, 4);
+        // Corrupt group 3: its compute references a buffer that is never
+        // loaded, so replay fails mid-group with two buffers resident.
+        let poisoned_buf = 9999;
+        schedule.groups[3].steps.insert(
+            2,
+            Step::Compute(ComputeOp::Ger {
+                alpha: 1.0,
+                x: BufSlice::whole(poisoned_buf, 4),
+                y: BufSlice::whole(poisoned_buf, 4),
+                dst: poisoned_buf,
+            }),
+        );
+
+        let shared = SharedSlowMemory::new();
+        let sid = shared.insert_dense(a.clone());
+        let err = Engine::execute_parallel(
+            &shared,
+            &schedule,
+            2,
+            MachineConfig::with_capacity(20),
+            "main",
+        )
+        .unwrap_err();
+
+        // The error names the failing group and propagates the cause.
+        assert_eq!(err.group, 3);
+        assert!(matches!(err.error, EngineError::InvalidSchedule(_)));
+        assert!(err.to_string().contains("task group 3"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(err.runs.len(), 2);
+
+        // Completed groups are fully accounted on their workers: each run's
+        // stats equal the dry run of its completed groups, plus — for the
+        // failing worker only — the partial loads of group 3.
+        let failing = &err.runs[err.worker];
+        assert!(!failing.groups.contains(&3));
+        let mut expected = dry_run_of_groups(&schedule, &failing.groups);
+        // group 3 loaded its 4x4 block and its 4-element probe before dying
+        expected.record_load(16, "main");
+        expected.record_load(4, "main");
+        expected.observe_resident(20);
+        assert_eq!(failing.stats.volume, expected.volume);
+        assert_eq!(failing.stats.load_events, expected.load_events);
+        for (w, run) in err.runs.iter().enumerate() {
+            if w != err.worker {
+                assert_eq!(
+                    run.stats,
+                    dry_run_of_groups(&schedule, &run.groups),
+                    "worker {w}"
+                );
+            }
+        }
+
+        // The failed group's buffers were released: no leases are left, the
+        // matrix can be taken out, and only completed groups touched it.
+        let got = shared.take_dense(sid).unwrap();
+        let done: Vec<usize> = err.runs.iter().flat_map(|r| r.groups.clone()).collect();
+        for g in 0..schedule.num_groups() {
+            let i0 = g * 4;
+            let untouched = a[(i0, i0)];
+            if done.contains(&g) {
+                assert_ne!(got[(i0, i0)], untouched, "group {g} should have landed");
+            } else {
+                assert_eq!(got[(i0, i0)], untouched, "group {g} must not have landed");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_groups_must_be_self_contained() {
+        // A buffer loaded in one group and stored in the next is legal in
+        // serial mode but rejected by the parallel path.
+        let id = MatrixId::synthetic(0);
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let buf = b.load(id, Region::rect(0, 0, 2, 2));
+        b.begin_group();
+        b.store(buf);
+        let schedule = b.finish();
+
+        let shared = SharedSlowMemory::new();
+        shared.insert_dense(Matrix::<f64>::zeros(4, 4));
+        let err =
+            Engine::execute_parallel(&shared, &schedule, 1, MachineConfig::unlimited(), "main")
+                .unwrap_err();
+        assert!(matches!(err.error, EngineError::InvalidSchedule(_)));
+        assert!(err.to_string().contains("left resident"), "{err}");
+
+        // The serial path still accepts it.
+        let mut machine = OocMachine::<f64>::with_capacity(16);
+        let mid = machine.insert_dense(Matrix::zeros(4, 4));
+        let schedule2 = {
+            let mut b = ScheduleBuilder::<f64>::new();
+            b.begin_group();
+            let buf = b.load(mid, Region::rect(0, 0, 2, 2));
+            b.begin_group();
+            b.store(buf);
+            b.finish()
+        };
+        Engine::execute(&mut machine, &schedule2).unwrap();
     }
 
     #[test]

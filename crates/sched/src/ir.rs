@@ -7,7 +7,7 @@
 //! kernels on the resident buffers ([`Step::Compute`]). The algorithms of
 //! `symla-baselines` and `symla-core` are *schedule builders* that emit this
 //! IR; the generic [`crate::engine::Engine`] then replays a schedule in one
-//! of three modes (execute, dry-run, trace).
+//! of four modes (execute, execute-parallel, dry-run, trace).
 //!
 //! Separating "what moves when" (the IR) from "how it runs" (the engine)
 //! makes every schedule:
@@ -18,7 +18,10 @@
 //!   verification without executing kernels;
 //! * **distributable** — a [`TaskGroup`] only references buffers it created,
 //!   so groups are the unit of placement for multi-worker execution
-//!   (`symla_core::parallel` distributes groups over workers).
+//!   ([`crate::engine::Engine::execute_parallel`] distributes independent
+//!   groups over the workers of a shared slow memory through a
+//!   work-stealing queue; `symla_core::parallel` builds its partitions on
+//!   exactly this).
 //!
 //! Buffers are named by [`BufId`]s issued by the [`ScheduleBuilder`]. A
 //! buffer is created by exactly one `Load`/`Alloc` step and consumed by

@@ -19,7 +19,9 @@
 //!   compute / store / discard [`ir::Step`]s grouped into independent
 //!   [`ir::TaskGroup`]s;
 //! * [`engine`] — the generic engine replaying a schedule against the
-//!   machine model of `symla-memory` in execute, dry-run or trace mode.
+//!   machine model of `symla-memory` in execute, dry-run or trace mode, and
+//!   distributing independent task groups over the workers of a shared slow
+//!   memory in execute-parallel mode.
 //!
 //! The combinatorial modules are exact integer mathematics; the IR and
 //! engine are the execution substrate every out-of-core algorithm of
@@ -40,7 +42,7 @@ pub mod partition;
 pub mod triangle;
 
 pub use balanced::BalancedSolution;
-pub use engine::{Engine, EngineError};
+pub use engine::{Engine, EngineError, ParallelError, WorkerRun};
 pub use footprint::{data_access, DataAccess};
 pub use indexing::{largest_coprime_below, CyclicIndexing};
 pub use ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGroup};

@@ -9,7 +9,8 @@
 //! * [`matrix`] (`symla-matrix`) — dense/symmetric/triangular containers and
 //!   in-memory reference kernels;
 //! * [`memory`] (`symla-memory`) — the two-level out-of-core machine model
-//!   with exact I/O accounting and capacity enforcement;
+//!   with exact I/O accounting and capacity enforcement, including the
+//!   shared-slow-memory variant for multi-worker execution;
 //! * [`sched`] (`symla-sched`) — the combinatorial machinery behind the
 //!   lower bounds (triangle blocks, balanced solutions, indexing families);
 //! * [`baselines`] (`symla-baselines`) — Béreux's out-of-core SYRK / TRSM /
@@ -61,7 +62,8 @@ pub mod prelude {
         generate, kernels, LowerTriangular, Matrix, MatrixError, Scalar, SymMatrix,
     };
     pub use symla_memory::{
-        IoStats, MachineConfig, MatrixId, OocMachine, PanelRef, Region, SymWindowRef,
+        IoStats, MachineConfig, MachineOps, MatrixId, OocMachine, PanelRef, Region,
+        SharedSlowMemory, SymWindowRef, WorkerMachine,
     };
     pub use symla_sched::{BalancedSolution, CyclicIndexing, Op, OpSet, TbsPartition};
 }

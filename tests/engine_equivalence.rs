@@ -1,5 +1,5 @@
 //! Engine-mode equivalence: for every one of the eight schedule builders,
-//! the three engine modes and the analytic cost models must agree.
+//! the four engine modes and the analytic cost models must agree.
 //!
 //! For seeded pseudo-random instances of each algorithm this asserts:
 //!
@@ -11,7 +11,12 @@
 //! 3. **trace = machine trace** — the synthesized trace equals the trace a
 //!    recording machine captures during execution;
 //! 4. **execute is correct** — the numerical result matches the in-memory
-//!    reference kernels.
+//!    reference kernels;
+//! 5. **execute-parallel = execute** — for every schedule with independent
+//!    task groups and P ∈ {1, 2, 4, 8}: the summed per-worker stats equal
+//!    the serial dry run, each worker's stats equal the dry-run of exactly
+//!    the groups it processed (the analytic per-worker model), and the
+//!    computed matrices are bitwise-equal to the serial execution's.
 
 use symla::matrix::generate::{self, SeededRng};
 use symla::prelude::*;
@@ -19,9 +24,10 @@ use symla_baselines::{
     ooc_chol_cost, ooc_chol_schedule, ooc_gemm_cost, ooc_gemm_schedule, ooc_lu_cost,
     ooc_lu_schedule, ooc_syrk_cost, ooc_syrk_schedule, ooc_trsm_cost, ooc_trsm_schedule,
 };
-use symla_core::engine::{Engine, Schedule};
+use symla_core::engine::{Engine, Schedule, WorkerRun};
+use symla_core::parallel::{analytic_worker_io, partition_schedule, BlockStrategy, WorkerIo};
 use symla_core::{lbc_schedule, tbs_schedule, tbs_tiled_schedule};
-use symla_memory::MachineConfig;
+use symla_memory::{MachineConfig, SharedSlowMemory};
 
 /// Runs a schedule on a trace-recording machine and checks modes 2 and 3.
 fn check_execute_matches_dry_run<F>(
@@ -215,6 +221,183 @@ fn lbc_execute_equals_dry_run_trace_and_reference() {
         let got = machine.take_symmetric(MatrixId::synthetic(0)).unwrap();
         let l = LowerTriangular::from_lower_fn(n, |i, j| got.get(i, j));
         assert!(kernels::cholesky_residual(&a, &l) < 1e-8, "{ctx}: residual");
+    }
+}
+
+/// An operand registered in slow memory for the parallel-equivalence checks
+/// (ids are issued in insertion order, matching the synthetic ids the
+/// schedules were built against).
+#[derive(Clone)]
+enum Operand {
+    Dense(Matrix<f64>),
+    Sym(SymMatrix<f64>),
+}
+
+impl Operand {
+    fn insert_serial(&self, machine: &mut OocMachine<f64>) -> MatrixId {
+        match self {
+            Operand::Dense(m) => machine.insert_dense(m.clone()),
+            Operand::Sym(s) => machine.insert_symmetric(s.clone()),
+        }
+    }
+
+    fn insert_shared(&self, shared: &SharedSlowMemory<f64>) -> MatrixId {
+        match self {
+            Operand::Dense(m) => shared.insert_dense(m.clone()),
+            Operand::Sym(s) => shared.insert_symmetric(s.clone()),
+        }
+    }
+}
+
+/// Checks invariant 5 of the module docs for one schedule: parallel
+/// execution at P ∈ {1, 2, 4, 8} against the serial execution of the same
+/// schedule on the same operands.
+fn check_parallel_matches_serial(
+    ctx: &str,
+    schedule: &Schedule<f64>,
+    capacity: usize,
+    operands: &[Operand],
+) {
+    // Serial reference execution of the same schedule.
+    let mut machine = OocMachine::new(MachineConfig::with_capacity(capacity));
+    let ids: Vec<MatrixId> = operands
+        .iter()
+        .map(|o| o.insert_serial(&mut machine))
+        .collect();
+    Engine::execute(&mut machine, schedule).unwrap();
+    let dry = Engine::dry_run(schedule, "main");
+    assert_eq!(machine.stats(), &dry, "{ctx}: serial execute vs dry run");
+    let serial_out: Vec<Operand> = ids
+        .iter()
+        .zip(operands)
+        .map(|(&id, op)| match op {
+            Operand::Dense(_) => Operand::Dense(machine.take_dense(id).unwrap()),
+            Operand::Sym(_) => Operand::Sym(machine.take_symmetric(id).unwrap()),
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let shared = SharedSlowMemory::new();
+        let ids: Vec<MatrixId> = operands.iter().map(|o| o.insert_shared(&shared)).collect();
+        let runs = Engine::execute_parallel(
+            &shared,
+            schedule,
+            workers,
+            MachineConfig::with_capacity(capacity).record_trace(workers == 1),
+            "main",
+        )
+        .unwrap_or_else(|e| panic!("{ctx} P={workers}: {e}"));
+        assert_eq!(runs.len(), workers, "{ctx} P={workers}");
+
+        // Every group ran exactly once, and the summed per-worker stats
+        // equal the serial dry run of the whole schedule.
+        let mut all: Vec<usize> = runs.iter().flat_map(|r| r.groups.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..schedule.num_groups()).collect::<Vec<_>>(),
+            "{ctx} P={workers}: group coverage"
+        );
+        assert_eq!(
+            WorkerRun::merged_stats(&runs),
+            dry,
+            "{ctx} P={workers}: summed worker stats vs serial dry run"
+        );
+
+        // Each worker's observed I/O equals the analytic per-worker model:
+        // the dry run of exactly the groups it processed.
+        for (w, run) in runs.iter().enumerate() {
+            let observed = WorkerIo {
+                loads: run.stats.volume.loads,
+                stores: run.stats.volume.stores,
+                tasks: run.groups.len(),
+            };
+            assert_eq!(
+                observed,
+                analytic_worker_io(schedule, &run.groups),
+                "{ctx} P={workers}: worker {w} observed vs analytic"
+            );
+        }
+
+        // A single worker claims the groups in order: its trace is the
+        // serial transfer stream.
+        if workers == 1 {
+            assert_eq!(
+                runs[0].trace.as_ref().unwrap(),
+                &Engine::trace(schedule, "main"),
+                "{ctx}: single-worker trace vs synthesized trace"
+            );
+        }
+
+        // The computed matrices are bitwise-equal to the serial execution.
+        for ((&id, out), op) in ids.iter().zip(&serial_out).zip(operands) {
+            match (out, op) {
+                (Operand::Dense(expected), Operand::Dense(_)) => {
+                    let got = shared.take_dense(id).unwrap();
+                    assert!(got == *expected, "{ctx} P={workers}: dense result m{id:?}");
+                }
+                (Operand::Sym(expected), Operand::Sym(_)) => {
+                    let got = shared.take_symmetric(id).unwrap();
+                    assert!(got == *expected, "{ctx} P={workers}: sym result m{id:?}");
+                }
+                _ => unreachable!("operand kinds are stable"),
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_execution_matches_serial_for_all_grouped_schedules() {
+    let (n, m, s) = (36, 6, 12);
+    let a = generate::random_matrix_seeded::<f64>(n, m, 21);
+    let c0 = generate::random_symmetric::<f64>(n, &mut generate::seeded_rng(22));
+    let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+    let c_ref = SymWindowRef::full(MatrixId::synthetic(1), n);
+    let update_operands = [Operand::Dense(a.clone()), Operand::Sym(c0.clone())];
+
+    let sq_plan = OocSyrkPlan::for_memory(s).unwrap();
+    let schedule = ooc_syrk_schedule::<f64>(&a_ref, &c_ref, 1.5, &sq_plan).unwrap();
+    assert!(schedule.num_groups() > 1);
+    check_parallel_matches_serial("OOC_SYRK", &schedule, s, &update_operands);
+
+    let tbs_plan = TbsPlan::for_memory(s).unwrap();
+    let schedule = tbs_schedule::<f64>(&a_ref, &c_ref, -1.0, &tbs_plan).unwrap();
+    assert!(schedule.num_groups() > 1);
+    check_parallel_matches_serial("TBS", &schedule, s, &update_operands);
+
+    let tiled_plan = TbsTiledPlan::for_problem(s, n).unwrap();
+    let schedule = tbs_tiled_schedule::<f64>(&a_ref, &c_ref, 1.0, &tiled_plan).unwrap();
+    assert!(schedule.num_groups() > 1);
+    check_parallel_matches_serial("TBS(tiled)", &schedule, s, &update_operands);
+
+    // GEMM: three dense operands, one group per C tile.
+    let (gn, gb, gp, gs) = (20, 6, 10, 30);
+    let ga = generate::random_matrix_seeded::<f64>(gn, gb, 23);
+    let gbm = generate::random_matrix_seeded::<f64>(gb, gp, 24);
+    let gc = generate::random_matrix_seeded::<f64>(gn, gp, 25);
+    let ga_ref = PanelRef::dense(MatrixId::synthetic(0), gn, gb);
+    let gb_ref = PanelRef::dense(MatrixId::synthetic(1), gb, gp);
+    let gc_ref = PanelRef::dense(MatrixId::synthetic(2), gn, gp);
+    let gemm_plan = OocGemmPlan::for_memory(gs).unwrap();
+    let schedule = ooc_gemm_schedule::<f64>(&ga_ref, &gb_ref, &gc_ref, 2.0, &gemm_plan).unwrap();
+    assert!(schedule.num_groups() > 1);
+    check_parallel_matches_serial(
+        "OOC_GEMM",
+        &schedule,
+        gs,
+        &[Operand::Dense(ga), Operand::Dense(gbm), Operand::Dense(gc)],
+    );
+
+    // The parallel-SYRK partition schedules (C first, then A).
+    for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+        let schedule = partition_schedule::<f64>(n, m, s, strategy).unwrap();
+        assert!(schedule.num_groups() > 1);
+        check_parallel_matches_serial(
+            strategy.name(),
+            &schedule,
+            s,
+            &[Operand::Sym(c0.clone()), Operand::Dense(a.clone())],
+        );
     }
 }
 
