@@ -16,15 +16,17 @@
 //! ```
 
 use crate::bounds;
-use crate::lbc::{lbc_cost, lbc_execute};
+use crate::engine::{Engine, Schedule};
+use crate::lbc::{lbc_cost, lbc_schedule};
+use crate::passes::{PassPipeline, StageOutcome};
 use crate::plan::{LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate};
-use crate::tbs::{tbs_cost, tbs_execute};
-use crate::tbs_tiled::{tbs_tiled_cost, tbs_tiled_execute};
+use crate::tbs::{tbs_cost, tbs_schedule};
+use crate::tbs_tiled::{tbs_tiled_cost, tbs_tiled_schedule};
 use std::fmt;
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::IoEstimate;
 use symla_baselines::{
-    ooc_chol_cost, ooc_chol_execute, ooc_syrk_cost, ooc_syrk_execute, OocCholPlan, OocSyrkPlan,
+    ooc_chol_cost, ooc_chol_schedule, ooc_syrk_cost, ooc_syrk_schedule, OocCholPlan, OocSyrkPlan,
 };
 use symla_matrix::{LowerTriangular, Matrix, Scalar, SymMatrix};
 use symla_memory::{IoStats, MachineConfig, OocMachine, PanelRef, SymWindowRef};
@@ -166,6 +168,138 @@ impl fmt::Display for RunReport {
     }
 }
 
+/// Outcome of an optimized out-of-core run: the regular [`RunReport`]
+/// (whose `stats` are the *measured optimized* execution) plus the seed
+/// schedule's dry-run stats and the per-pass accounting.
+///
+/// For an optimized run, [`RunReport::prediction_matches`] compares the
+/// analytic model against the optimized measurement, so it only holds when
+/// the pipeline saved nothing; [`OptimizedRun::seed_prediction_matches`] is
+/// the invariant that always holds.
+#[derive(Debug, Clone)]
+pub struct OptimizedRun {
+    /// The run report; `report.stats` is the measured optimized execution.
+    pub report: RunReport,
+    /// Dry-run statistics of the seed (un-optimized) schedule.
+    pub seed_stats: IoStats,
+    /// Per-pass accounting recorded by the pass manager.
+    pub stages: Vec<StageOutcome>,
+}
+
+impl OptimizedRun {
+    /// Load volume saved by the pipeline (elements).
+    pub fn loads_saved(&self) -> i64 {
+        self.seed_stats.volume.loads as i64 - self.report.stats.volume.loads as i64
+    }
+
+    /// Transfer events (loads + stores) saved by the pipeline.
+    pub fn events_saved(&self) -> i64 {
+        (self.seed_stats.load_events + self.seed_stats.store_events) as i64
+            - (self.report.stats.load_events + self.report.stats.store_events) as i64
+    }
+
+    /// Whether the analytic cost model matches the *seed* schedule exactly
+    /// (the invariant the un-optimized API enforces via
+    /// [`RunReport::prediction_matches`]).
+    pub fn seed_prediction_matches(&self) -> bool {
+        self.report.predicted.loads == self.seed_stats.volume.loads as u128
+            && self.report.predicted.stores == self.seed_stats.volume.stores as u128
+    }
+}
+
+/// Builds the schedule and analytic cost of one SYRK algorithm.
+fn syrk_schedule_for<T: Scalar>(
+    algorithm: SyrkAlgorithm,
+    a_ref: &PanelRef,
+    c_ref: &SymWindowRef,
+    alpha: T,
+    s: usize,
+) -> Result<(Schedule<T>, IoEstimate)> {
+    let n = c_ref.order();
+    let m = a_ref.cols();
+    Ok(match algorithm {
+        SyrkAlgorithm::Tbs => {
+            let plan = TbsPlan::for_memory(s)?;
+            (
+                tbs_schedule(a_ref, c_ref, alpha, &plan)?,
+                tbs_cost(n, m, &plan)?,
+            )
+        }
+        SyrkAlgorithm::TbsTiled => {
+            let plan = TbsTiledPlan::for_problem(s, n)?;
+            (
+                tbs_tiled_schedule(a_ref, c_ref, alpha, &plan)?,
+                tbs_tiled_cost(n, m, &plan)?,
+            )
+        }
+        SyrkAlgorithm::SquareBlocks => {
+            let plan = OocSyrkPlan::for_memory(s)?;
+            (
+                ooc_syrk_schedule(a_ref, c_ref, alpha, &plan)?,
+                ooc_syrk_cost(n, m, &plan),
+            )
+        }
+    })
+}
+
+/// Builds the schedule and analytic cost of one Cholesky algorithm.
+fn cholesky_schedule_for<T: Scalar>(
+    algorithm: CholeskyAlgorithm,
+    window: &SymWindowRef,
+    s: usize,
+) -> Result<(Schedule<T>, IoEstimate)> {
+    let n = window.order();
+    Ok(match algorithm {
+        CholeskyAlgorithm::Lbc => {
+            let plan = LbcPlan::for_problem(n, s)?;
+            (lbc_schedule(window, &plan)?, lbc_cost(n, &plan)?)
+        }
+        CholeskyAlgorithm::LbcTiled => {
+            let plan = LbcPlan::for_problem(n, s)?.with_trailing(TrailingUpdate::TbsTiled);
+            (lbc_schedule(window, &plan)?, lbc_cost(n, &plan)?)
+        }
+        CholeskyAlgorithm::LbcSquare => {
+            let plan = LbcPlan::for_problem(n, s)?.with_trailing(TrailingUpdate::OocSyrk);
+            (lbc_schedule(window, &plan)?, lbc_cost(n, &plan)?)
+        }
+        CholeskyAlgorithm::Bereux => {
+            let plan = OocCholPlan::for_memory(s)?;
+            (ooc_chol_schedule(window, &plan), ooc_chol_cost(n, &plan))
+        }
+    })
+}
+
+/// Runs a pass pipeline over a schedule, translating pass errors into the
+/// workspace error type. The pipeline's residency budget is clamped to the
+/// machine capacity `s`: the optimized schedule must still execute within
+/// the same fast memory the caller asked for, whatever budget the pipeline
+/// was configured with. An empty unverified pipeline (the plain API paths)
+/// skips the pass manager entirely and returns `None` for the seed stats —
+/// the caller reuses its measured execution stats, which the engine
+/// invariants guarantee equal the dry run of the (unchanged) schedule.
+fn optimize_schedule<T: Scalar>(
+    schedule: Schedule<T>,
+    pipeline: &PassPipeline,
+    s: usize,
+) -> Result<(Schedule<T>, Option<IoStats>, Vec<StageOutcome>)> {
+    if pipeline.is_noop() && !pipeline.verify {
+        return Ok((schedule, None, Vec::new()));
+    }
+    let clamped = match pipeline.budget {
+        Some(budget) if budget > s => pipeline.clone().with_budget(Some(s)),
+        _ => pipeline.clone(),
+    };
+    let optimized = clamped
+        .manager::<T>()
+        .optimize(&schedule, "main")
+        .map_err(|e| OocError::Invalid(format!("pass pipeline: {e}")))?;
+    Ok((
+        optimized.schedule,
+        Some(optimized.seed_stats),
+        optimized.stages,
+    ))
+}
+
 /// Runs an out-of-core SYRK (`C += alpha·A·Aᵀ`) with the requested schedule
 /// under a fast memory of `s` elements, updating `c` in place and returning
 /// the run report.
@@ -176,6 +310,41 @@ pub fn syrk_out_of_core<T: Scalar>(
     s: usize,
     algorithm: SyrkAlgorithm,
 ) -> Result<RunReport> {
+    syrk_out_of_core_optimized(a, c, alpha, s, algorithm, &PassPipeline::none())
+        .map(|run| run.report)
+}
+
+/// Runs an out-of-core SYRK with the requested schedule **after optimizing
+/// it** with the given pass pipeline. The schedule is built, rewritten by
+/// the pipeline (with per-pass dry-run accounting) and replayed by the
+/// generic engine; the report's stats measure the optimized execution.
+///
+/// A pipeline residency budget larger than `s` is clamped to `s`: the
+/// optimized schedule always executes within the fast memory the caller
+/// asked for.
+///
+/// ```
+/// use symla_core::api::{syrk_out_of_core_optimized, SyrkAlgorithm};
+/// use symla_core::passes::PassPipeline;
+/// use symla_matrix::{generate, SymMatrix};
+///
+/// let a = generate::random_matrix_seeded::<f64>(40, 6, 1);
+/// let mut c = SymMatrix::zeros(40);
+/// let run = syrk_out_of_core_optimized(
+///     &a, &mut c, 1.0, 60, SyrkAlgorithm::TbsTiled, &PassPipeline::standard(),
+/// ).unwrap();
+/// assert!(run.seed_prediction_matches());
+/// assert!(run.events_saved() > 0); // coalesced contiguous loads
+/// assert!(run.loads_saved() >= 0);
+/// ```
+pub fn syrk_out_of_core_optimized<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    s: usize,
+    algorithm: SyrkAlgorithm,
+    pipeline: &PassPipeline,
+) -> Result<OptimizedRun> {
     let n = c.order();
     let m = a.cols();
     if a.rows() != n {
@@ -191,35 +360,26 @@ pub fn syrk_out_of_core<T: Scalar>(
     let a_ref = PanelRef::dense(a_id, n, m);
     let c_ref = SymWindowRef::full(c_id, n);
 
-    let predicted = match algorithm {
-        SyrkAlgorithm::Tbs => {
-            let plan = TbsPlan::for_memory(s)?;
-            tbs_execute(&mut machine, &a_ref, &c_ref, alpha, &plan)?;
-            tbs_cost(n, m, &plan)?
-        }
-        SyrkAlgorithm::TbsTiled => {
-            let plan = TbsTiledPlan::for_problem(s, n)?;
-            tbs_tiled_execute(&mut machine, &a_ref, &c_ref, alpha, &plan)?;
-            tbs_tiled_cost(n, m, &plan)?
-        }
-        SyrkAlgorithm::SquareBlocks => {
-            let plan = OocSyrkPlan::for_memory(s)?;
-            ooc_syrk_execute(&mut machine, &a_ref, &c_ref, alpha, &plan)?;
-            ooc_syrk_cost(n, m, &plan)
-        }
-    };
+    let (schedule, predicted) = syrk_schedule_for(algorithm, &a_ref, &c_ref, alpha, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    Engine::execute(&mut machine, &schedule)?;
 
     let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
     *c = machine.take_symmetric(c_id)?;
-    Ok(RunReport {
-        algorithm: algorithm.name().to_string(),
-        n,
-        m: Some(m),
-        memory: s,
-        stats,
-        predicted,
-        lower_bound: bounds::syrk_lower_bound(n as f64, m as f64, s as f64),
-        prior_lower_bound: bounds::syrk_lower_bound_prior(n as f64, m as f64, s as f64),
+    Ok(OptimizedRun {
+        report: RunReport {
+            algorithm: algorithm.name().to_string(),
+            n,
+            m: Some(m),
+            memory: s,
+            stats,
+            predicted,
+            lower_bound: bounds::syrk_lower_bound(n as f64, m as f64, s as f64),
+            prior_lower_bound: bounds::syrk_lower_bound_prior(n as f64, m as f64, s as f64),
+        },
+        seed_stats,
+        stages,
     })
 }
 
@@ -231,48 +391,49 @@ pub fn cholesky_out_of_core<T: Scalar>(
     s: usize,
     algorithm: CholeskyAlgorithm,
 ) -> Result<(LowerTriangular<T>, RunReport)> {
+    cholesky_out_of_core_optimized(a, s, algorithm, &PassPipeline::none())
+        .map(|(factor, run)| (factor, run.report))
+}
+
+/// Runs an out-of-core Cholesky factorization **after optimizing the
+/// schedule** with the given pass pipeline (see
+/// [`syrk_out_of_core_optimized`]).
+pub fn cholesky_out_of_core_optimized<T: Scalar>(
+    a: &SymMatrix<T>,
+    s: usize,
+    algorithm: CholeskyAlgorithm,
+    pipeline: &PassPipeline,
+) -> Result<(LowerTriangular<T>, OptimizedRun)> {
     let n = a.order();
     let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
     let id = machine.insert_symmetric(a.clone());
     let window = SymWindowRef::full(id, n);
 
-    let predicted = match algorithm {
-        CholeskyAlgorithm::Lbc => {
-            let plan = LbcPlan::for_problem(n, s)?;
-            lbc_execute(&mut machine, &window, &plan)?;
-            lbc_cost(n, &plan)?
-        }
-        CholeskyAlgorithm::LbcTiled => {
-            let plan = LbcPlan::for_problem(n, s)?.with_trailing(TrailingUpdate::TbsTiled);
-            lbc_execute(&mut machine, &window, &plan)?;
-            lbc_cost(n, &plan)?
-        }
-        CholeskyAlgorithm::LbcSquare => {
-            let plan = LbcPlan::for_problem(n, s)?.with_trailing(TrailingUpdate::OocSyrk);
-            lbc_execute(&mut machine, &window, &plan)?;
-            lbc_cost(n, &plan)?
-        }
-        CholeskyAlgorithm::Bereux => {
-            let plan = OocCholPlan::for_memory(s)?;
-            ooc_chol_execute(&mut machine, &window, &plan)?;
-            ooc_chol_cost(n, &plan)
-        }
-    };
+    let (schedule, predicted) = cholesky_schedule_for(algorithm, &window, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    let outcome = Engine::execute(&mut machine, &schedule);
+    machine.set_phase("main");
+    outcome?;
 
     let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
     let result = machine.take_symmetric(id)?;
     let factor = LowerTriangular::from_lower_fn(n, |i, j| result.get(i, j));
     Ok((
         factor,
-        RunReport {
-            algorithm: algorithm.name().to_string(),
-            n,
-            m: None,
-            memory: s,
-            stats,
-            predicted,
-            lower_bound: bounds::cholesky_lower_bound(n as f64, s as f64),
-            prior_lower_bound: bounds::cholesky_lower_bound_prior(n as f64, s as f64),
+        OptimizedRun {
+            report: RunReport {
+                algorithm: algorithm.name().to_string(),
+                n,
+                m: None,
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bounds::cholesky_lower_bound(n as f64, s as f64),
+                prior_lower_bound: bounds::cholesky_lower_bound_prior(n as f64, s as f64),
+            },
+            seed_stats,
+            stages,
         },
     ))
 }

@@ -34,6 +34,15 @@
 //! equal to the dry run of the groups it processed, and the slow-memory
 //! contents bitwise-identical to the serial execution's.
 //!
+//! Between the builders and the engine sits the **pass layer**
+//! ([`crate::passes`], re-exported from `symla_sched::passes`): IR-to-IR
+//! rewrites that eliminate redundant loads, coalesce contiguous transfers,
+//! kill dead stores and reorder independent task groups for locality. The
+//! engine replays an optimized schedule through the very same entry points —
+//! serial and parallel — with no special cases; the equivalence tests hold
+//! optimized schedules to bitwise-identical execution results and
+//! never-increased dry-run transfers.
+//!
 //! The engine itself lives in `symla-sched` (below `symla-baselines` in the
 //! dependency order, so the baselines can build on it); this module is its
 //! canonical access point for downstream users.

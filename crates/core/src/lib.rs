@@ -22,6 +22,12 @@
 //! * [`engine`] — the schedule-IR execution engine: every algorithm above is
 //!   a *schedule builder* whose IR the engine replays in execute, dry-run,
 //!   trace or execute-parallel mode;
+//! * [`passes`] — the schedule-optimization layer (re-exported from
+//!   `symla_sched::passes`): a [`passes::PassManager`] chaining
+//!   equivalence-verified IR rewrites (redundant-load elimination and
+//!   coalescing, dead-store elimination, locality reordering), exposed as
+//!   the `optimize` knob of [`api`] and A/B-accounted by the experiment
+//!   harness;
 //! * [`parallel`] — a shared-slow-memory parallel SYRK executed for real on
 //!   `P` capacity-checked workers with per-worker communication accounting
 //!   (the paper's "future work" direction), built on the same task groups
@@ -46,13 +52,18 @@ pub mod plan;
 pub mod tbs;
 pub mod tbs_tiled;
 
+/// The schedule-optimization pass layer (see `symla_sched::passes`).
+pub use symla_sched::passes;
+
 pub use api::{
-    cholesky_out_of_core, syrk_out_of_core, CholeskyAlgorithm, RunReport, SyrkAlgorithm,
+    cholesky_out_of_core, cholesky_out_of_core_optimized, syrk_out_of_core,
+    syrk_out_of_core_optimized, CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
 };
 pub use engine::{Engine, EngineError, Schedule, ScheduleBuilder};
 pub use lbc::{
     lbc_build, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, LbcCostBreakdown,
 };
+pub use passes::{PassManager, PassPipeline};
 pub use plan::{LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate};
 pub use tbs::{
     tbs_build, tbs_cost, tbs_decomposition, tbs_execute, tbs_schedule, TbsDecomposition,

@@ -24,7 +24,7 @@
 use std::fmt;
 
 /// A set of elements of one matrix, transferred as a unit.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Region {
     /// Rectangular block of a dense matrix: rows `row0..row0+rows`, columns
     /// `col0..col0+cols`. Buffer layout: column-major `rows x cols`.
@@ -143,6 +143,61 @@ impl Region {
     /// Whether the region covers no elements.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The matrix coordinates the region covers, in **buffer layout order**:
+    /// `cells()[i]` is the element a fast-memory buffer holding this region
+    /// stores at offset `i` (the order `SlowMatrix::gather` fills the
+    /// buffer). Symmetric regions report lower-triangle coordinates
+    /// (`row >= col`).
+    ///
+    /// This is what the schedule-optimization passes and the trace audits
+    /// use to reason about overlap and provenance at element granularity.
+    pub fn cells(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.len());
+        match self {
+            Region::Rect {
+                row0,
+                col0,
+                rows,
+                cols,
+            }
+            | Region::SymRect {
+                row0,
+                col0,
+                rows,
+                cols,
+            } => {
+                for j in 0..*cols {
+                    for i in 0..*rows {
+                        out.push((row0 + i, col0 + j));
+                    }
+                }
+            }
+            Region::Rows { rows, col0, cols } | Region::SymRows { rows, col0, cols } => {
+                for j in 0..*cols {
+                    for &r in rows {
+                        out.push((r, col0 + j));
+                    }
+                }
+            }
+            Region::SymLowerTriangle { start, size } => {
+                for j in 0..*size {
+                    for i in j..*size {
+                        out.push((start + i, start + j));
+                    }
+                }
+            }
+            Region::SymPairs { rows } => {
+                for (a, &r) in rows.iter().enumerate() {
+                    for &rp in rows.iter().take(a) {
+                        out.push((r, rp));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.len());
+        out
     }
 
     /// Whether this region may only be applied to dense storage.
@@ -315,6 +370,45 @@ mod tests {
         );
         assert!(Region::SymPairs { rows: vec![2] }.is_empty());
         assert!(!Region::rect(0, 0, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn cells_match_gather_layout_order() {
+        assert_eq!(
+            Region::rect(1, 2, 2, 2).cells(),
+            vec![(1, 2), (2, 2), (1, 3), (2, 3)]
+        );
+        assert_eq!(
+            Region::Rows {
+                rows: vec![1, 4],
+                col0: 1,
+                cols: 2
+            }
+            .cells(),
+            vec![(1, 1), (4, 1), (1, 2), (4, 2)]
+        );
+        assert_eq!(
+            Region::SymLowerTriangle { start: 2, size: 3 }.cells(),
+            vec![(2, 2), (3, 2), (4, 2), (3, 3), (4, 3), (4, 4)]
+        );
+        assert_eq!(
+            Region::SymPairs {
+                rows: vec![1, 3, 6]
+            }
+            .cells(),
+            vec![(3, 1), (6, 1), (6, 3)]
+        );
+        assert_eq!(
+            Region::SymRows {
+                rows: vec![5, 7],
+                col0: 0,
+                cols: 2
+            }
+            .cells(),
+            vec![(5, 0), (7, 0), (5, 1), (7, 1)]
+        );
+        assert_eq!(Region::sym_rect(4, 0, 2, 1).cells(), vec![(4, 0), (5, 0)]);
+        assert!(Region::SymPairs { rows: vec![3] }.cells().is_empty());
     }
 
     #[test]

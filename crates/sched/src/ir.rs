@@ -273,6 +273,108 @@ impl<T: Scalar> fmt::Display for Schedule<T> {
     }
 }
 
+impl fmt::Display for BufSlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}[{}..+{}]", self.buf, self.start, self.len)
+    }
+}
+
+impl<T: Scalar> fmt::Display for ComputeOp<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeOp::Ger { alpha, x, y, dst } => {
+                write!(f, "ger      alpha={alpha} x={x} y={y} -> b{dst}")
+            }
+            ComputeOp::SprLower { alpha, x, dst } => {
+                write!(f, "spr      alpha={alpha} x={x} -> b{dst}")
+            }
+            ComputeOp::TrianglePairs { alpha, x, dst } => {
+                write!(f, "tripairs alpha={alpha} x={x} -> b{dst}")
+            }
+            ComputeOp::CholeskyInPlace { dst, pivot_base } => {
+                write!(f, "chol     b{dst} (pivot base {pivot_base})")
+            }
+            ComputeOp::LuInPlace { dst, pivot_base } => {
+                write!(f, "lu       b{dst} (pivot base {pivot_base})")
+            }
+            ComputeOp::TrsmRightStep {
+                seg,
+                dst,
+                col,
+                pivot,
+            } => write!(f, "trsmstep seg=b{seg} col={col} pivot={pivot} -> b{dst}"),
+            ComputeOp::LuColSolveStep {
+                seg,
+                dst,
+                col,
+                pivot,
+            } => write!(f, "lucol    seg=b{seg} col={col} pivot={pivot} -> b{dst}"),
+            ComputeOp::LuRowElimStep { seg, dst, row } => {
+                write!(f, "lurow    seg=b{seg} row={row} -> b{dst}")
+            }
+        }
+    }
+}
+
+impl<T: Scalar> fmt::Display for Step<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Load {
+                matrix,
+                region,
+                dst,
+            } => write!(f, "load     m{} {region} -> b{dst}", matrix.raw()),
+            Step::Alloc {
+                matrix,
+                region,
+                dst,
+            } => write!(f, "alloc    m{} {region} -> b{dst}", matrix.raw()),
+            Step::Compute(op) => write!(f, "{op}"),
+            Step::Flops(fl) => write!(f, "flops    mults={} adds={}", fl.mults, fl.adds),
+            Step::Store { buf } => write!(f, "store    b{buf}"),
+            Step::Discard { buf } => write!(f, "discard  b{buf}"),
+        }
+    }
+}
+
+impl<T: Scalar> Schedule<T> {
+    /// Compact textual dump: a header per task group and one line per step,
+    /// stable enough to diff optimized-vs-seed schedules by eye (and locked
+    /// by a golden-file test). The first slice of the planned on-disk
+    /// schedule serialization.
+    ///
+    /// ```
+    /// use symla_memory::{MatrixId, Region};
+    /// use symla_sched::ScheduleBuilder;
+    ///
+    /// let mut b = ScheduleBuilder::<f64>::new();
+    /// let x = b.load(MatrixId::synthetic(0), Region::rect(0, 0, 2, 2));
+    /// b.store(x);
+    /// let text = b.finish().dump();
+    /// assert!(text.contains("load     m0 Rect[0..+2, 0..+2] -> b0"));
+    /// assert!(text.contains("store    b0"));
+    /// ```
+    pub fn dump(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{self}");
+        for (g, group) in self.groups.iter().enumerate() {
+            match &group.phase {
+                Some(p) => {
+                    let _ = writeln!(out, "group {g} phase={p}");
+                }
+                None => {
+                    let _ = writeln!(out, "group {g}");
+                }
+            }
+            for step in &group.steps {
+                let _ = writeln!(out, "  {step}");
+            }
+        }
+        out
+    }
+}
+
 /// Incremental constructor for [`Schedule`]s.
 ///
 /// Builders mirror the shape of the original executor loops: where the seed

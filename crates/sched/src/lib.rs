@@ -17,16 +17,24 @@
 //!   blocks and diagonal zones (Figures 1–2);
 //! * [`ir`] — the schedule intermediate representation: load / alloc /
 //!   compute / store / discard [`ir::Step`]s grouped into independent
-//!   [`ir::TaskGroup`]s;
+//!   [`ir::TaskGroup`]s, with a compact textual dump
+//!   ([`ir::Schedule::dump`]);
 //! * [`engine`] — the generic engine replaying a schedule against the
 //!   machine model of `symla-memory` in execute, dry-run or trace mode, and
 //!   distributing independent task groups over the workers of a shared slow
-//!   memory in execute-parallel mode.
+//!   memory in execute-parallel mode;
+//! * [`passes`] — the schedule-optimization layer: IR-to-IR rewrites
+//!   (redundant-load elimination and coalescing, dead-store elimination,
+//!   locality-driven group reordering) chained by a
+//!   [`passes::PassManager`] that accounts every pass with engine dry runs
+//!   and verifies semantic equivalence symbolically.
 //!
-//! The combinatorial modules are exact integer mathematics; the IR and
-//! engine are the execution substrate every out-of-core algorithm of
+//! The combinatorial modules are exact integer mathematics; the IR, engine
+//! and passes are the execution substrate every out-of-core algorithm of
 //! `symla-baselines` / `symla-core` is built on (those crates contain only
-//! *schedule builders*).
+//! *schedule builders*): builders emit straightforward IR, the pass layer
+//! recovers locality mechanically, the engine replays the result in any
+//! mode.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +47,7 @@ pub mod ir;
 pub mod ops;
 pub mod opt;
 pub mod partition;
+pub mod passes;
 pub mod triangle;
 
 pub use balanced::BalancedSolution;
@@ -49,4 +58,5 @@ pub use ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGr
 pub use ops::{Op, OpSet};
 pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputation_bound};
 pub use partition::{PartitionStats, TbsPartition};
+pub use passes::{Pass, PassError, PassManager, PassPipeline, PassReport};
 pub use triangle::{canonical_t, sigma, triangle_block};

@@ -1,0 +1,289 @@
+//! Shared step-stream analyses used by the optimization passes: buffer
+//! usage tables, element-level region overlap, and residency profiles.
+
+use super::{PassError, Result};
+use crate::ir::{BufId, BufSlice, ComputeOp, Step};
+use std::collections::{HashMap, HashSet};
+use symla_matrix::Scalar;
+use symla_memory::{MatrixId, Region};
+
+/// How a buffer leaves fast memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConsumeKind {
+    /// Written back to slow memory.
+    Store,
+    /// Released without writing.
+    Discard,
+}
+
+/// How a buffer entered fast memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OriginKind {
+    /// Read from slow memory.
+    Load,
+    /// Allocated zeroed.
+    Alloc,
+}
+
+/// Everything a pass needs to know about one buffer of a step stream.
+#[derive(Debug, Clone)]
+pub(crate) struct BufInfo {
+    /// Index of the creating `Load`/`Alloc` step.
+    pub created: usize,
+    /// Load or Alloc.
+    pub origin: OriginKind,
+    /// Matrix the buffer mirrors.
+    pub matrix: MatrixId,
+    /// Region the buffer mirrors.
+    pub region: Region,
+    /// Index and kind of the consuming `Store`/`Discard` step, if any.
+    pub consumed: Option<(usize, ConsumeKind)>,
+    /// Indices of compute steps writing into the buffer (`dst`).
+    pub dirtied_at: Vec<usize>,
+    /// Indices of compute steps reading the buffer through a `BufSlice`.
+    pub slice_uses: Vec<usize>,
+    /// Indices of compute steps reading the buffer whole (solver `seg`s).
+    pub whole_uses: Vec<usize>,
+}
+
+impl BufInfo {
+    /// Whether the buffer is ever written by a compute step.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirtied_at.is_empty()
+    }
+}
+
+/// Destination buffer of a compute op.
+pub(crate) fn op_dst<T: Scalar>(op: &ComputeOp<T>) -> BufId {
+    match op {
+        ComputeOp::Ger { dst, .. }
+        | ComputeOp::SprLower { dst, .. }
+        | ComputeOp::TrianglePairs { dst, .. }
+        | ComputeOp::CholeskyInPlace { dst, .. }
+        | ComputeOp::LuInPlace { dst, .. }
+        | ComputeOp::TrsmRightStep { dst, .. }
+        | ComputeOp::LuColSolveStep { dst, .. }
+        | ComputeOp::LuRowElimStep { dst, .. } => *dst,
+    }
+}
+
+/// Slice operands of a compute op.
+pub(crate) fn op_slices<T: Scalar>(op: &ComputeOp<T>) -> Vec<BufSlice> {
+    match op {
+        ComputeOp::Ger { x, y, .. } => vec![*x, *y],
+        ComputeOp::SprLower { x, .. } | ComputeOp::TrianglePairs { x, .. } => vec![*x],
+        _ => Vec::new(),
+    }
+}
+
+/// Whole-buffer operands of a compute op (the streamed solver segments).
+pub(crate) fn op_whole_operands<T: Scalar>(op: &ComputeOp<T>) -> Vec<BufId> {
+    match op {
+        ComputeOp::TrsmRightStep { seg, .. }
+        | ComputeOp::LuColSolveStep { seg, .. }
+        | ComputeOp::LuRowElimStep { seg, .. } => vec![*seg],
+        _ => Vec::new(),
+    }
+}
+
+/// Rewrites every buffer reference in `op` through `f`: a `Some((new, off))`
+/// result renames the reference, shifting slice starts by `off`.
+/// Whole-buffer references (`dst`, solver `seg`s) only accept `off == 0`
+/// (callers guarantee this by excluding whole-referenced buffers from
+/// offsetting transformations).
+pub(crate) fn remap_op<T: Scalar>(
+    op: &mut ComputeOp<T>,
+    f: impl Fn(BufId) -> Option<(BufId, usize)>,
+) {
+    let fix_slice = |s: &mut BufSlice| {
+        if let Some((new, off)) = f(s.buf) {
+            s.buf = new;
+            s.start += off;
+        }
+    };
+    let fix_whole = |b: &mut BufId| {
+        if let Some((new, off)) = f(*b) {
+            debug_assert_eq!(off, 0, "whole-buffer reference cannot be offset");
+            *b = new;
+        }
+    };
+    match op {
+        ComputeOp::Ger { x, y, dst, .. } => {
+            fix_slice(x);
+            fix_slice(y);
+            fix_whole(dst);
+        }
+        ComputeOp::SprLower { x, dst, .. } | ComputeOp::TrianglePairs { x, dst, .. } => {
+            fix_slice(x);
+            fix_whole(dst);
+        }
+        ComputeOp::CholeskyInPlace { dst, .. } | ComputeOp::LuInPlace { dst, .. } => {
+            fix_whole(dst);
+        }
+        ComputeOp::TrsmRightStep { seg, dst, .. }
+        | ComputeOp::LuColSolveStep { seg, dst, .. }
+        | ComputeOp::LuRowElimStep { seg, dst, .. } => {
+            fix_whole(seg);
+            fix_whole(dst);
+        }
+    }
+}
+
+/// Builds the buffer table of a step stream. Buffers referenced but never
+/// created in the stream (legal in serial schedules whose buffers straddle
+/// task groups) are *not* in the table; passes must leave them untouched.
+/// Errors on double-creation or double-consumption.
+pub(crate) fn buffer_table<'a, T: Scalar>(
+    steps: impl IntoIterator<Item = &'a Step<T>>,
+) -> Result<HashMap<BufId, BufInfo>> {
+    let mut table: HashMap<BufId, BufInfo> = HashMap::new();
+    for (i, step) in steps.into_iter().enumerate() {
+        match step {
+            Step::Load {
+                matrix,
+                region,
+                dst,
+            }
+            | Step::Alloc {
+                matrix,
+                region,
+                dst,
+            } => {
+                let origin = if matches!(step, Step::Load { .. }) {
+                    OriginKind::Load
+                } else {
+                    OriginKind::Alloc
+                };
+                if table.contains_key(dst) {
+                    return Err(PassError::Invalid(format!(
+                        "buffer {dst} created twice (step {i})"
+                    )));
+                }
+                table.insert(
+                    *dst,
+                    BufInfo {
+                        created: i,
+                        origin,
+                        matrix: *matrix,
+                        region: region.clone(),
+                        consumed: None,
+                        dirtied_at: Vec::new(),
+                        slice_uses: Vec::new(),
+                        whole_uses: Vec::new(),
+                    },
+                );
+            }
+            Step::Store { buf } | Step::Discard { buf } => {
+                let kind = if matches!(step, Step::Store { .. }) {
+                    ConsumeKind::Store
+                } else {
+                    ConsumeKind::Discard
+                };
+                if let Some(info) = table.get_mut(buf) {
+                    if info.consumed.is_some() {
+                        return Err(PassError::Invalid(format!(
+                            "buffer {buf} consumed twice (step {i})"
+                        )));
+                    }
+                    info.consumed = Some((i, kind));
+                }
+            }
+            Step::Compute(op) => {
+                let dst = op_dst(op);
+                if let Some(info) = table.get_mut(&dst) {
+                    info.dirtied_at.push(i);
+                }
+                for s in op_slices(op) {
+                    if let Some(info) = table.get_mut(&s.buf) {
+                        info.slice_uses.push(i);
+                    }
+                }
+                for b in op_whole_operands(op) {
+                    if let Some(info) = table.get_mut(&b) {
+                        info.whole_uses.push(i);
+                    }
+                }
+            }
+            Step::Flops(_) => {}
+        }
+    }
+    Ok(table)
+}
+
+/// Residency (elements resident in fast memory) *after* each step of the
+/// stream, starting from `resident_in` elements already resident. Buffers
+/// not created in the stream contribute nothing on consumption.
+pub(crate) fn residency_profile<T: Scalar>(steps: &[Step<T>], resident_in: usize) -> Vec<usize> {
+    let mut sizes: HashMap<BufId, usize> = HashMap::new();
+    let mut resident = resident_in;
+    let mut out = Vec::with_capacity(steps.len());
+    for step in steps {
+        match step {
+            Step::Load { region, dst, .. } | Step::Alloc { region, dst, .. } => {
+                resident += region.len();
+                sizes.insert(*dst, region.len());
+            }
+            Step::Store { buf } | Step::Discard { buf } => {
+                resident -= sizes.remove(buf).unwrap_or(0);
+            }
+            _ => {}
+        }
+        out.push(resident);
+    }
+    out
+}
+
+/// Per-matrix element sets, the currency of overlap and dependence checks.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CellSet {
+    /// Cells per matrix id.
+    pub cells: HashMap<MatrixId, HashSet<(usize, usize)>>,
+}
+
+impl CellSet {
+    /// Inserts all cells of `region` of `matrix`.
+    pub fn insert_region(&mut self, matrix: MatrixId, region: &Region) {
+        self.cells.entry(matrix).or_default().extend(region.cells());
+    }
+
+    /// Whether any cell of `region` of `matrix` is in the set.
+    pub fn overlaps_region(&self, matrix: MatrixId, region: &Region) -> bool {
+        match self.cells.get(&matrix) {
+            None => false,
+            Some(set) => region.cells().iter().any(|c| set.contains(c)),
+        }
+    }
+
+    /// Whether the two sets share any cell of any matrix.
+    pub fn overlaps(&self, other: &CellSet) -> bool {
+        self.shared_cells(other) > 0
+    }
+
+    /// Number of cells shared with `other` (the locality objective of the
+    /// reorder pass).
+    pub fn shared_cells(&self, other: &CellSet) -> usize {
+        let mut shared = 0;
+        for (m, set) in &self.cells {
+            if let Some(os) = other.cells.get(m) {
+                // iterate the smaller set
+                let (a, b) = if set.len() <= os.len() {
+                    (set, os)
+                } else {
+                    (os, set)
+                };
+                shared += a.iter().filter(|c| b.contains(*c)).count();
+            }
+        }
+        shared
+    }
+
+    /// Merges `other` into `self`.
+    pub fn union_with(&mut self, other: &CellSet) {
+        for (m, set) in &other.cells {
+            self.cells
+                .entry(*m)
+                .or_default()
+                .extend(set.iter().copied());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Dead-store elimination.
+//!
+//! Three rewrites, all of which reduce store traffic (or residency) without
+//! changing what the schedule leaves in slow memory:
+//!
+//! 1. **Overwritten stores** — a `Store` whose region is completely
+//!    re-stored later with no intervening load of any of its elements never
+//!    becomes observable: it is turned into a `Discard` (the buffer is still
+//!    released at the same point, so residency is unchanged).
+//! 2. **Clean write-backs** — a buffer that was loaded, never computed into
+//!    and stored back to its own region (with no other store overlapping the
+//!    region in between) writes back exactly what slow memory already holds;
+//!    the store becomes a `Discard`.
+//! 3. **Unused allocations** — an `Alloc` whose buffer is never referenced
+//!    by any compute step and is released by a `Discard` is removed together
+//!    with its discard (this also lowers peak residency).
+//!
+//! The pass works on the whole schedule (stores in one task group can be
+//! killed by stores in a later group); the rewrites themselves never move a
+//! step, so group structure, phases and parallel validity are preserved.
+
+use super::analysis::{buffer_table, ConsumeKind, OriginKind};
+use super::{Pass, PassReport, Result};
+use crate::ir::{Schedule, Step};
+use std::collections::{HashMap, HashSet};
+use symla_matrix::Scalar;
+use symla_memory::MatrixId;
+
+/// The dead-store elimination pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadStoreElimination;
+
+type Cell = (usize, usize);
+
+impl<T: Scalar> Pass<T> for DeadStoreElimination {
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn run(&self, mut schedule: Schedule<T>) -> Result<(Schedule<T>, PassReport)> {
+        let mut report = PassReport::new("dead-store");
+
+        // Flatten to (group, step) coordinates over the whole schedule.
+        let coords: Vec<(usize, usize)> = schedule
+            .groups
+            .iter()
+            .enumerate()
+            .flat_map(|(g, grp)| (0..grp.steps.len()).map(move |i| (g, i)))
+            .collect();
+        let flat: Vec<&Step<T>> = schedule
+            .groups
+            .iter()
+            .flat_map(|g| g.steps.iter())
+            .collect();
+        let table = buffer_table(flat.iter().copied())?;
+
+        // ---- rule 1: overwritten stores (backward sweep) ----
+        // `shadowed[m]` holds the cells whose next access going forward from
+        // the current position is a store.
+        let mut shadowed: HashMap<MatrixId, HashSet<Cell>> = HashMap::new();
+        let mut dead: HashSet<usize> = HashSet::new();
+        for (pos, step) in flat.iter().enumerate().rev() {
+            match step {
+                Step::Load { matrix, region, .. } => {
+                    if let Some(set) = shadowed.get_mut(matrix) {
+                        for c in region.cells() {
+                            set.remove(&c);
+                        }
+                    }
+                }
+                Step::Store { buf } => {
+                    if let Some(info) = table.get(buf) {
+                        let set = shadowed.entry(info.matrix).or_default();
+                        let cells = info.region.cells();
+                        if !cells.is_empty() && cells.iter().all(|c| set.contains(c)) {
+                            dead.insert(pos);
+                        }
+                        set.extend(cells);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // ---- rule 2: clean write-backs (forward sweep) ----
+        // store events per matrix seen so far, as (position, cells)
+        let mut stores_seen: HashMap<MatrixId, Vec<(usize, HashSet<Cell>)>> = HashMap::new();
+        for (pos, step) in flat.iter().enumerate() {
+            if let Step::Store { buf } = step {
+                if let Some(info) = table.get(buf) {
+                    let cells: HashSet<Cell> = info.region.cells().into_iter().collect();
+                    if info.origin == OriginKind::Load && !info.is_dirty() && !dead.contains(&pos) {
+                        let overwritten_since_load = stores_seen
+                            .get(&info.matrix)
+                            .map(|v| {
+                                v.iter()
+                                    .any(|(p, sc)| *p > info.created && !sc.is_disjoint(&cells))
+                            })
+                            .unwrap_or(false);
+                        if !overwritten_since_load {
+                            dead.insert(pos);
+                        }
+                    }
+                    stores_seen
+                        .entry(info.matrix)
+                        .or_default()
+                        .push((pos, cells));
+                }
+            }
+        }
+
+        // apply rules 1 + 2: dead stores become discards
+        for &pos in &dead {
+            let (g, i) = coords[pos];
+            let Step::Store { buf } = schedule.groups[g].steps[i] else {
+                unreachable!("dead positions are stores");
+            };
+            let elements = table[&buf].region.len() as u64;
+            schedule.groups[g].steps[i] = Step::Discard { buf };
+            report.stores_eliminated += elements;
+            report.store_events_eliminated += 1;
+        }
+
+        // ---- rule 3: unused allocations ----
+        // recompute usage on the rewritten schedule (stores became discards)
+        let flat: Vec<&Step<T>> = schedule
+            .groups
+            .iter()
+            .flat_map(|g| g.steps.iter())
+            .collect();
+        let table = buffer_table(flat.iter().copied())?;
+        let mut drop_steps: HashSet<(usize, usize)> = HashSet::new();
+        for info in table.values() {
+            let unused = info.origin == OriginKind::Alloc
+                && info.dirtied_at.is_empty()
+                && info.slice_uses.is_empty()
+                && info.whole_uses.is_empty();
+            if let (true, Some((consumed, ConsumeKind::Discard))) = (unused, info.consumed) {
+                drop_steps.insert(coords[info.created]);
+                drop_steps.insert(coords[consumed]);
+                report.steps_removed += 2;
+            }
+        }
+        if !drop_steps.is_empty() {
+            for (g, grp) in schedule.groups.iter_mut().enumerate() {
+                let mut i = 0;
+                grp.steps.retain(|_| {
+                    let keep = !drop_steps.contains(&(g, i));
+                    i += 1;
+                    keep
+                });
+            }
+        }
+
+        Ok((schedule, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::ir::{BufSlice, ComputeOp, ScheduleBuilder};
+    use crate::passes::verify::{check_equivalent, schedule_effects};
+    use symla_memory::Region;
+
+    fn id() -> MatrixId {
+        MatrixId::synthetic(2)
+    }
+
+    fn run_pass(seed: &Schedule<f64>) -> (Schedule<f64>, PassReport) {
+        let (opt, report) = Pass::<f64>::run(&DeadStoreElimination, seed.clone()).unwrap();
+        check_equivalent(seed, &opt).unwrap();
+        (opt, report)
+    }
+
+    /// A compute that actually dirties a `2 x cols` rectangular `dst` so
+    /// stores are live.
+    fn dirty(
+        b: &mut ScheduleBuilder<f64>,
+        dst: crate::ir::BufId,
+        probe: crate::ir::BufId,
+        cols: usize,
+    ) {
+        b.compute(ComputeOp::Ger {
+            alpha: 1.0,
+            x: BufSlice::whole(probe, 2),
+            y: BufSlice::new(probe, 0, cols),
+            dst,
+        });
+    }
+
+    #[test]
+    fn overwritten_store_becomes_discard() {
+        let region = Region::rect(0, 0, 2, 2);
+        let mut b = ScheduleBuilder::<f64>::new();
+        let probe = b.load(id(), Region::col_segment(4, 0, 2));
+        let x = b.load(id(), region.clone());
+        dirty(&mut b, x, probe, 2);
+        b.store(x); // dead: fully overwritten below, never read in between
+        let y = b.load(id(), Region::col_segment(5, 0, 2));
+        b.discard(y);
+        let z = b.alloc(id(), region.clone());
+        dirty(&mut b, z, probe, 2);
+        b.store(z);
+        b.discard(probe);
+        let seed = b.finish();
+
+        let (opt, report) = run_pass(&seed);
+        assert_eq!(report.store_events_eliminated, 1);
+        assert_eq!(report.stores_eliminated, 4);
+        let dry = Engine::dry_run(&opt, "m");
+        let seed_dry = Engine::dry_run(&seed, "m");
+        assert_eq!(dry.volume.stores, seed_dry.volume.stores - 4);
+        assert_eq!(dry.volume.loads, seed_dry.volume.loads);
+        assert_eq!(dry.peak_resident, seed_dry.peak_resident);
+    }
+
+    #[test]
+    fn store_read_before_overwrite_stays() {
+        let region = Region::rect(0, 0, 2, 2);
+        let mut b = ScheduleBuilder::<f64>::new();
+        let probe = b.load(id(), Region::col_segment(4, 0, 2));
+        let x = b.load(id(), region.clone());
+        dirty(&mut b, x, probe, 2);
+        b.store(x);
+        let r = b.load(id(), Region::rect(0, 0, 1, 1)); // reads one stored cell
+        b.discard(r);
+        let z = b.alloc(id(), region);
+        dirty(&mut b, z, probe, 2);
+        b.store(z);
+        b.discard(probe);
+        let seed = b.finish();
+        let (_, report) = run_pass(&seed);
+        assert_eq!(report.store_events_eliminated, 0, "{report}");
+    }
+
+    #[test]
+    fn clean_writeback_becomes_discard() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        let x = b.load(id(), Region::rect(0, 0, 3, 1));
+        b.store(x); // never modified: writes back what is already there
+        let seed = b.finish();
+        let (opt, report) = run_pass(&seed);
+        assert_eq!(report.stores_eliminated, 3);
+        assert_eq!(Engine::dry_run(&opt, "m").volume.stores, 0);
+        // effects agree because the store stored unchanged data
+        assert_eq!(
+            schedule_effects(&seed).unwrap().flops,
+            schedule_effects(&opt).unwrap().flops
+        );
+    }
+
+    #[test]
+    fn clean_writeback_after_foreign_store_stays() {
+        // another buffer stores into the region between load and store:
+        // writing back the stale copy is semantically meaningful
+        let region = Region::rect(0, 0, 2, 1);
+        let mut b = ScheduleBuilder::<f64>::new();
+        let stale = b.load(id(), region.clone());
+        let probe = b.load(id(), Region::col_segment(4, 0, 2));
+        let w = b.load(id(), region.clone());
+        dirty(&mut b, w, probe, 1);
+        b.store(w); // writes new data into the region
+        b.discard(probe);
+        b.store(stale); // writes the stale copy back over it — NOT dead
+        let seed = b.finish();
+        let (_, report) = run_pass(&seed);
+        // the first store is overwritten by the stale write-back with no
+        // read in between → rule 1 kills it; the stale write-back must stay
+        assert_eq!(report.store_events_eliminated, 1);
+        let (opt, _) = run_pass(&seed);
+        let last_group = &opt.groups[0];
+        let stores: Vec<_> = last_group
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Store { .. }))
+            .collect();
+        assert_eq!(stores.len(), 1);
+        assert!(matches!(stores[0], Step::Store { buf } if *buf == 0));
+    }
+
+    #[test]
+    fn unused_alloc_discard_pair_is_removed() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        let x = b.load(id(), Region::rect(0, 0, 2, 1));
+        let waste = b.alloc(id(), Region::rect(0, 1, 4, 4));
+        b.discard(waste);
+        b.discard(x);
+        let seed = b.finish();
+        let (opt, report) = run_pass(&seed);
+        assert_eq!(report.steps_removed, 2);
+        assert_eq!(opt.num_steps(), 2);
+        assert!(
+            Engine::dry_run(&opt, "m").peak_resident < Engine::dry_run(&seed, "m").peak_resident
+        );
+    }
+
+    #[test]
+    fn alloc_that_is_stored_is_kept() {
+        // an alloc+store zeroes a region of slow memory: removing it would
+        // change the result
+        let mut b = ScheduleBuilder::<f64>::new();
+        let z = b.alloc(id(), Region::rect(0, 0, 2, 2));
+        b.store(z);
+        let seed = b.finish();
+        let (opt, report) = run_pass(&seed);
+        assert_eq!(report.steps_removed, 0);
+        assert_eq!(report.store_events_eliminated, 0);
+        assert_eq!(opt, seed);
+    }
+}

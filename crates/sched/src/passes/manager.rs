@@ -1,0 +1,290 @@
+//! The pass manager: chains passes, accounts every one of them, and
+//! fail-closes on semantic drift.
+//!
+//! [`PassManager::optimize`] runs each registered pass in order and records
+//! a [`StageOutcome`] per pass: the pass's own [`PassReport`] plus the
+//! **engine-measured** dry-run [`IoStats`] before and after — so a claimed
+//! saving is always backed by the same accounting an execution would
+//! produce. With verification enabled (the default for the stock
+//! pipelines), the seed schedule's symbolic effects are captured first and
+//! the final schedule is checked against them; any divergence aborts the
+//! pipeline with [`PassError::VerificationFailed`](super::PassError) before
+//! a wrong schedule can reach an engine.
+
+use super::verify::{diff_effects, schedule_effects};
+use super::{Pass, PassError, PassReport, Result};
+use crate::engine::Engine;
+use crate::ir::Schedule;
+use std::fmt;
+use symla_matrix::Scalar;
+use symla_memory::IoStats;
+
+/// Dry-run accounting of one pass: report plus before/after stats.
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// What the pass says it did.
+    pub report: PassReport,
+    /// Dry-run stats of the schedule the pass received.
+    pub before: IoStats,
+    /// Dry-run stats of the schedule the pass produced.
+    pub after: IoStats,
+}
+
+impl StageOutcome {
+    /// Load volume saved by this pass (elements; negative = regression).
+    pub fn loads_saved(&self) -> i64 {
+        self.before.volume.loads as i64 - self.after.volume.loads as i64
+    }
+
+    /// Store volume saved by this pass (elements).
+    pub fn stores_saved(&self) -> i64 {
+        self.before.volume.stores as i64 - self.after.volume.stores as i64
+    }
+
+    /// Transfer events saved by this pass (load + store events).
+    pub fn events_saved(&self) -> i64 {
+        (self.before.load_events + self.before.store_events) as i64
+            - (self.after.load_events + self.after.store_events) as i64
+    }
+}
+
+impl fmt::Display for StageOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} loads {:>10} -> {:>10}  events {:>6} -> {:>6}  peak {:>8} -> {:>8}",
+            self.report.pass,
+            self.before.volume.loads,
+            self.after.volume.loads,
+            self.before.load_events + self.before.store_events,
+            self.after.load_events + self.after.store_events,
+            self.before.peak_resident,
+            self.after.peak_resident,
+        )
+    }
+}
+
+/// The result of an optimization pipeline run.
+#[derive(Debug, Clone)]
+pub struct Optimized<T: Scalar> {
+    /// The optimized schedule, ready for any engine mode.
+    pub schedule: Schedule<T>,
+    /// One outcome per pass, in execution order.
+    pub stages: Vec<StageOutcome>,
+    /// Dry-run stats of the seed schedule.
+    pub seed_stats: IoStats,
+    /// Dry-run stats of the final schedule.
+    pub final_stats: IoStats,
+}
+
+impl<T: Scalar> Optimized<T> {
+    /// Total load volume saved over the seed (elements).
+    pub fn loads_saved(&self) -> i64 {
+        self.seed_stats.volume.loads as i64 - self.final_stats.volume.loads as i64
+    }
+
+    /// Total store volume saved over the seed (elements).
+    pub fn stores_saved(&self) -> i64 {
+        self.seed_stats.volume.stores as i64 - self.final_stats.volume.stores as i64
+    }
+
+    /// Total transfer events saved over the seed.
+    pub fn events_saved(&self) -> i64 {
+        (self.seed_stats.load_events + self.seed_stats.store_events) as i64
+            - (self.final_stats.load_events + self.final_stats.store_events) as i64
+    }
+
+    /// Whether any transfer metric (volume or events, either direction)
+    /// regressed relative to the seed — the property the CI smoke test
+    /// enforces per pass and per pipeline.
+    pub fn regressed(&self) -> bool {
+        self.final_stats.volume.loads > self.seed_stats.volume.loads
+            || self.final_stats.volume.stores > self.seed_stats.volume.stores
+            || self.final_stats.load_events > self.seed_stats.load_events
+            || self.final_stats.store_events > self.seed_stats.store_events
+    }
+}
+
+/// Chains [`Pass`]es over a schedule with per-pass dry-run accounting.
+///
+/// Build one by hand with [`PassManager::with_pass`] or from a declarative
+/// [`super::PassPipeline`]. See the [module docs](self).
+pub struct PassManager<T: Scalar> {
+    passes: Vec<Box<dyn Pass<T>>>,
+    verify: bool,
+}
+
+impl<T: Scalar> Default for PassManager<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> fmt::Debug for PassManager<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .field("verify", &self.verify)
+            .finish()
+    }
+}
+
+impl<T: Scalar> PassManager<T> {
+    /// An empty manager with verification enabled.
+    pub fn new() -> Self {
+        Self {
+            passes: Vec::new(),
+            verify: true,
+        }
+    }
+
+    /// Appends a pass to the chain.
+    pub fn with_pass(mut self, pass: Box<dyn Pass<T>>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Enables or disables end-of-pipeline verification.
+    pub fn with_verification(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Names of the registered passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pass chain over `schedule`.
+    ///
+    /// `default_phase` is the phase unlabelled traffic is attributed to in
+    /// the dry-run accounting (pass the machine's phase, usually `"main"`).
+    pub fn optimize(&self, schedule: &Schedule<T>, default_phase: &str) -> Result<Optimized<T>> {
+        let reference = if self.verify {
+            Some(schedule_effects(schedule)?)
+        } else {
+            None
+        };
+        let seed_stats = Engine::dry_run(schedule, default_phase);
+        let mut current = schedule.clone();
+        let mut stages = Vec::with_capacity(self.passes.len());
+        let mut before = seed_stats.clone();
+        for pass in &self.passes {
+            let (next, report) = pass.run(current)?;
+            let after = Engine::dry_run(&next, default_phase);
+            stages.push(StageOutcome {
+                report,
+                before: before.clone(),
+                after: after.clone(),
+            });
+            before = after;
+            current = next;
+        }
+        if let Some(reference) = reference {
+            let effects = schedule_effects(&current)?;
+            if let Some(msg) = diff_effects(&reference, &effects) {
+                return Err(PassError::VerificationFailed(msg));
+            }
+        }
+        // `before` is the last stage's `after` (or the seed stats for an
+        // empty chain) — no extra dry run needed.
+        Ok(Optimized {
+            schedule: current,
+            stages,
+            seed_stats,
+            final_stats: before,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BufSlice, ComputeOp, ScheduleBuilder};
+    use crate::passes::{PassPipeline, Verify};
+    use symla_memory::{MatrixId, Region};
+
+    fn redundant_schedule() -> Schedule<f64> {
+        let id = MatrixId::synthetic(9);
+        let mut b = ScheduleBuilder::<f64>::new();
+        let c = b.load(id, Region::rect(0, 0, 2, 2));
+        let x = b.load(id, Region::col_segment(4, 0, 2));
+        let y = b.load(id, Region::col_segment(4, 0, 2));
+        b.compute(ComputeOp::Ger {
+            alpha: 1.0,
+            x: BufSlice::whole(x, 2),
+            y: BufSlice::whole(y, 2),
+            dst: c,
+        });
+        b.discard(x);
+        b.discard(y);
+        b.store(c);
+        b.finish()
+    }
+
+    #[test]
+    fn manager_records_per_pass_deltas() {
+        let seed = redundant_schedule();
+        let manager: PassManager<f64> = PassPipeline::standard().manager();
+        assert_eq!(manager.pass_names(), vec!["merge-loads", "dead-store"]);
+        let opt = manager.optimize(&seed, "main").unwrap();
+        assert_eq!(opt.stages.len(), 2);
+        assert_eq!(opt.stages[0].loads_saved(), 2);
+        assert_eq!(opt.stages[1].loads_saved(), 0);
+        assert_eq!(opt.loads_saved(), 2);
+        assert!(!opt.regressed());
+        assert!(opt.stages[0].to_string().contains("merge-loads"));
+        // chained before/after line up
+        assert_eq!(opt.stages[0].after, opt.stages[1].before);
+        assert_eq!(opt.stages[1].after, opt.final_stats);
+        assert_eq!(opt.seed_stats, opt.stages[0].before);
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let seed = redundant_schedule();
+        let manager: PassManager<f64> = PassPipeline::none().manager();
+        let opt = manager.optimize(&seed, "main").unwrap();
+        assert!(opt.stages.is_empty());
+        assert_eq!(opt.schedule, seed);
+        assert_eq!(opt.loads_saved(), 0);
+    }
+
+    /// A deliberately broken pass for the fail-closed test.
+    struct DropEverything;
+    impl Pass<f64> for DropEverything {
+        fn name(&self) -> &'static str {
+            "drop-everything"
+        }
+        fn run(&self, _s: Schedule<f64>) -> Result<(Schedule<f64>, PassReport)> {
+            Ok((Schedule::default(), PassReport::new("drop-everything")))
+        }
+    }
+
+    #[test]
+    fn verification_fails_closed_on_a_broken_pass() {
+        let seed = redundant_schedule();
+        let manager = PassManager::new().with_pass(Box::new(DropEverything));
+        let err = manager.optimize(&seed, "main").unwrap_err();
+        assert!(matches!(err, PassError::VerificationFailed(_)), "{err}");
+        // without verification the broken schedule would sail through
+        let manager = PassManager::new()
+            .with_pass(Box::new(DropEverything))
+            .with_verification(false);
+        assert!(manager.optimize(&seed, "main").is_ok());
+    }
+
+    #[test]
+    fn explicit_verify_pass_composes() {
+        let seed = redundant_schedule();
+        let manager: PassManager<f64> = PassManager::new()
+            .with_pass(Box::new(crate::passes::MergeLoads::default()))
+            .with_pass(Box::new(Verify::against(&seed).unwrap()));
+        let opt = manager.optimize(&seed, "main").unwrap();
+        assert_eq!(opt.stages.len(), 2);
+        assert!(opt.stages[1].report.is_noop());
+    }
+}

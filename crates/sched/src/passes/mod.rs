@@ -1,0 +1,268 @@
+//! Schedule-optimization passes: IR-to-IR rewrites that reduce slow↔fast
+//! traffic while provably preserving what a schedule computes.
+//!
+//! The schedule [`crate::ir`] makes the I/O stream of an out-of-core
+//! algorithm a first-class artifact, so — like a compiler — we can *rewrite*
+//! it. A [`Pass`] consumes a [`Schedule`] and returns a transformed schedule
+//! plus a machine-readable [`PassReport`] of what it removed, merged or
+//! moved. The [`PassManager`] chains passes and records
+//! the per-pass dry-run [`IoStats`](symla_memory::IoStats) delta, so every
+//! claimed saving is backed by the engine's own accounting.
+//!
+//! The concrete passes:
+//!
+//! * [`MergeLoads`] — redundant-load elimination
+//!   (drop a `Load` whose region is already resident in the group, or revive
+//!   a clean buffer whose `Discard` can be deferred within a residency
+//!   budget) and coalescing of adjacent loads of contiguous regions of the
+//!   same matrix into one transfer;
+//! * [`DeadStoreElimination`] — turn
+//!   stores into discards when the stored region is fully overwritten before
+//!   being read again, or when a never-modified buffer would write back
+//!   unchanged data; drop `Alloc`/`Discard` pairs that are never used;
+//! * [`ReorderLocality`] — greedily order
+//!   independent [`TaskGroup`](crate::ir::TaskGroup)s so that consecutive
+//!   groups share as much of their data footprint as possible, and
+//!   optionally fuse overlapping neighbours so [`MergeLoads`] can carry that
+//!   residency across the former group boundary;
+//! * [`Verify`] — assert that an optimized schedule is
+//!   semantically equivalent to its seed by symbolically executing both
+//!   (a per-element dataflow hash) and comparing the final slow-memory
+//!   state, without touching any data.
+//!
+//! Every pass preserves three invariants, checked by the equivalence tests:
+//! executing the optimized schedule leaves slow memory **bitwise identical**
+//! to the seed execution, flop accounting is unchanged, and the dry-run
+//! transfer volume and event counts never increase. Peak residency never
+//! exceeds `max(seed peak, budget)`.
+//!
+//! ```
+//! use symla_memory::{MatrixId, Region};
+//! use symla_sched::passes::{PassManager, PassPipeline};
+//! use symla_sched::{Engine, ScheduleBuilder};
+//!
+//! // A schedule that loads the same region twice while it is resident.
+//! let id = MatrixId::synthetic(0);
+//! let mut b = ScheduleBuilder::<f64>::new();
+//! let x = b.load(id, Region::rect(0, 0, 4, 1));
+//! let y = b.load(id, Region::rect(0, 0, 4, 1)); // redundant
+//! b.discard(y);
+//! b.discard(x);
+//! let seed = b.finish();
+//!
+//! let manager: PassManager<f64> = PassPipeline::standard().manager();
+//! let optimized = manager.optimize(&seed, "main").unwrap();
+//! assert_eq!(optimized.seed_stats.volume.loads, 8);
+//! assert_eq!(optimized.final_stats.volume.loads, 4);
+//! ```
+
+pub mod dead_store;
+pub mod manager;
+pub mod merge_loads;
+pub mod reorder;
+pub mod verify;
+
+pub(crate) mod analysis;
+
+pub use dead_store::DeadStoreElimination;
+pub use manager::{Optimized, PassManager, StageOutcome};
+pub use merge_loads::MergeLoads;
+pub use reorder::ReorderLocality;
+pub use verify::{schedule_effects, ScheduleEffects, Verify};
+
+use crate::ir::Schedule;
+use std::fmt;
+use symla_matrix::Scalar;
+
+/// Errors raised while analyzing or rewriting a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// The input schedule is malformed (buffer created twice, consumed
+    /// twice, referenced while not resident, slice out of bounds, ...).
+    Invalid(String),
+    /// The optimized schedule is not semantically equivalent to the seed.
+    VerificationFailed(String),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Invalid(msg) => write!(f, "invalid schedule: {msg}"),
+            PassError::VerificationFailed(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Result alias for pass operations.
+pub type Result<T> = std::result::Result<T, PassError>;
+
+/// Machine-readable summary of what one pass did to a schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassReport {
+    /// Name of the pass that produced this report.
+    pub pass: String,
+    /// Elements of load traffic eliminated outright (redundant loads).
+    pub loads_eliminated: u64,
+    /// Load transfer events removed by coalescing contiguous regions (the
+    /// element volume of merged loads is unchanged).
+    pub load_events_merged: u64,
+    /// Elements of store traffic eliminated (dead stores).
+    pub stores_eliminated: u64,
+    /// Store transfer events removed.
+    pub store_events_eliminated: u64,
+    /// IR steps removed from the schedule.
+    pub steps_removed: u64,
+    /// Task groups whose position changed.
+    pub groups_moved: u64,
+    /// Task group fusions performed (each fusion merges two groups).
+    pub groups_fused: u64,
+}
+
+impl PassReport {
+    /// An empty report for the named pass.
+    pub fn new(pass: &str) -> Self {
+        Self {
+            pass: pass.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the pass changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.loads_eliminated == 0
+            && self.load_events_merged == 0
+            && self.stores_eliminated == 0
+            && self.store_events_eliminated == 0
+            && self.steps_removed == 0
+            && self.groups_moved == 0
+            && self.groups_fused == 0
+    }
+}
+
+impl fmt::Display for PassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: -{} load elts, -{} load events (merged), -{} store elts, \
+             -{} store events, -{} steps, {} groups moved, {} fused",
+            self.pass,
+            self.loads_eliminated,
+            self.load_events_merged,
+            self.stores_eliminated,
+            self.store_events_eliminated,
+            self.steps_removed,
+            self.groups_moved,
+            self.groups_fused
+        )
+    }
+}
+
+/// A schedule-to-schedule rewrite with a machine-readable effect report.
+///
+/// Passes must preserve the computation: the [`Verify`] pass (and the
+/// equivalence tests) hold them to bitwise-identical execution results and
+/// unchanged flop accounting.
+pub trait Pass<T: Scalar> {
+    /// Short stable name of the pass (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Rewrites `schedule`, returning the transformed schedule and a report
+    /// of the steps removed/merged/moved.
+    fn run(&self, schedule: Schedule<T>) -> Result<(Schedule<T>, PassReport)>;
+}
+
+/// Declarative pass-pipeline configuration: the `optimize` knob of the
+/// high-level API (`symla_core::api`) and the A/B experiment harness.
+///
+/// A pipeline is turned into a concrete [`PassManager`] with
+/// [`PassPipeline::manager`]. The two stock pipelines:
+///
+/// * [`PassPipeline::standard`] — merge loads + dead-store elimination, no
+///   residency budget (peak stays within the seed's peak), verification on;
+/// * [`PassPipeline::locality`] — group reordering with fusion first, then
+///   merge loads with an explicit fast-memory budget (this is what lets
+///   residency carry across former group boundaries), then dead stores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassPipeline {
+    /// Run [`ReorderLocality`] first.
+    pub reorder: bool,
+    /// Let the reorder pass fuse overlapping neighbour groups.
+    pub fuse: bool,
+    /// Run [`MergeLoads`].
+    pub merge_loads: bool,
+    /// Run [`DeadStoreElimination`].
+    pub dead_store: bool,
+    /// Fast-memory residency budget (elements) the passes may use when
+    /// extending buffer lifetimes. `None` caps residency at the seed
+    /// schedule's own peak.
+    pub budget: Option<usize>,
+    /// Verify seed/optimized equivalence after the pipeline ran.
+    pub verify: bool,
+}
+
+impl PassPipeline {
+    /// The empty pipeline: no passes, no verification.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Merge loads + dead stores, verified, within the seed's own peak
+    /// residency.
+    pub fn standard() -> Self {
+        Self {
+            merge_loads: true,
+            dead_store: true,
+            verify: true,
+            ..Self::default()
+        }
+    }
+
+    /// Locality reordering with group fusion, then load merging against the
+    /// given fast-memory budget, then dead stores; verified.
+    pub fn locality(budget: Option<usize>) -> Self {
+        Self {
+            reorder: true,
+            fuse: true,
+            merge_loads: true,
+            dead_store: true,
+            budget,
+            verify: true,
+        }
+    }
+
+    /// Overrides the residency budget.
+    pub fn with_budget(mut self, budget: Option<usize>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables post-pipeline verification.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Whether the pipeline contains no passes at all.
+    pub fn is_noop(&self) -> bool {
+        !self.reorder && !self.merge_loads && !self.dead_store
+    }
+
+    /// Builds the concrete [`PassManager`] this configuration describes.
+    pub fn manager<T: Scalar>(&self) -> PassManager<T> {
+        let mut m = PassManager::new().with_verification(self.verify);
+        if self.reorder {
+            m = m.with_pass(Box::new(ReorderLocality { fuse: self.fuse }));
+        }
+        if self.merge_loads {
+            m = m.with_pass(Box::new(MergeLoads {
+                budget: self.budget,
+            }));
+        }
+        if self.dead_store {
+            m = m.with_pass(Box::new(DeadStoreElimination));
+        }
+        m
+    }
+}

@@ -1,0 +1,381 @@
+//! Task-group reordering for LRU-style locality.
+//!
+//! Independent [`TaskGroup`]s may replay in any order.
+//! This pass greedily orders them so each group shares as much of its data
+//! footprint (measured in matrix elements, via the element-level region
+//! analysis) as possible with its predecessor — the schedule-level analogue
+//! of the footprint argument of Section 3 of the paper. Reordering by itself
+//! moves traffic next to each other without changing its volume; the payoff
+//! comes from the follow-up:
+//!
+//! * with [`ReorderLocality::fuse`] enabled, consecutive groups that share
+//!   footprint (and carry the same phase label) are fused into one group, so
+//!   [`super::MergeLoads`] can eliminate the now group-local redundant loads
+//!   by deferring discards across what used to be a group boundary;
+//! * even unfused, a second-level LRU cache below the schedule (see
+//!   `symla_memory::cache`) hits more often when overlapping groups are
+//!   adjacent.
+//!
+//! Dependence is established at element granularity: group `h` must stay
+//! after group `g` iff `g` writes a cell that `h` reads or writes, or `g`
+//! reads a cell that `h` writes. The left-looking factorization schedules
+//! therefore come out in their original order (every group depends on the
+//! panel columns before it), while the SYRK/GEMM-family schedules reorder
+//! freely.
+//!
+//! The pass only runs on schedules whose groups are self-contained (every
+//! buffer created and released in its own group) — exactly the property the
+//! parallel engine path requires — and is a no-op otherwise.
+
+use super::analysis::{buffer_table, CellSet};
+use super::{Pass, PassReport, Result};
+use crate::ir::{Schedule, Step, TaskGroup};
+use symla_matrix::Scalar;
+
+/// The locality-reordering pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReorderLocality {
+    /// Fuse consecutive overlapping groups with equal phase labels, enabling
+    /// cross-boundary load reuse in a later [`super::MergeLoads`] run.
+    pub fuse: bool,
+}
+
+/// Read/write footprint of one group.
+struct Footprint {
+    reads: CellSet,
+    writes: CellSet,
+    all: CellSet,
+}
+
+fn footprint<T: Scalar>(group: &TaskGroup<T>) -> Result<Option<Footprint>> {
+    let table = buffer_table(&group.steps)?;
+    // self-containment: every buffer referenced by a consume is created here
+    for step in &group.steps {
+        if let Step::Store { buf } | Step::Discard { buf } = step {
+            if !table.contains_key(buf) {
+                return Ok(None);
+            }
+        }
+    }
+    if table.values().any(|info| info.consumed.is_none()) {
+        return Ok(None);
+    }
+    let mut reads = CellSet::default();
+    let mut writes = CellSet::default();
+    for step in &group.steps {
+        if let Step::Load { matrix, region, .. } = step {
+            reads.insert_region(*matrix, region);
+        }
+        if let Step::Store { buf } = step {
+            let info = &table[buf];
+            writes.insert_region(info.matrix, &info.region);
+        }
+    }
+    let mut all = CellSet::default();
+    all.union_with(&reads);
+    all.union_with(&writes);
+    Ok(Some(Footprint { reads, writes, all }))
+}
+
+impl<T: Scalar> Pass<T> for ReorderLocality {
+    fn name(&self) -> &'static str {
+        "reorder-locality"
+    }
+
+    fn run(&self, mut schedule: Schedule<T>) -> Result<(Schedule<T>, PassReport)> {
+        let mut report = PassReport::new("reorder-locality");
+        let n = schedule.groups.len();
+        if n < 2 {
+            return Ok((schedule, report));
+        }
+        let mut footprints = Vec::with_capacity(n);
+        for group in &schedule.groups {
+            match footprint(group)? {
+                Some(fp) => footprints.push(fp),
+                // a group straddled by buffers: leave the schedule alone
+                None => return Ok((schedule, report)),
+            }
+        }
+
+        // Materialize the phase labels a serial replay would use, so groups
+        // keep their I/O attribution wherever they move. Groups before the
+        // first labelled one keep `None` (they use the caller's phase) and
+        // are pinned by dependence edges against relabelling hazards — a
+        // `None` group moved after a labelled one would change attribution,
+        // so those pairs are kept ordered below. The original labels are
+        // restored when the pass ends up changing nothing.
+        let original_phases: Vec<Option<String>> =
+            schedule.groups.iter().map(|g| g.phase.clone()).collect();
+        let mut current: Option<String> = None;
+        for group in &mut schedule.groups {
+            match &group.phase {
+                Some(p) => current = Some(p.clone()),
+                None => group.phase = current.clone(),
+            }
+        }
+
+        // dependence edges at element granularity
+        let conflicts =
+            |a: &Footprint, b: &Footprint| a.writes.overlaps(&b.all) || a.reads.overlaps(&b.writes);
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let attribution_hazard =
+                    schedule.groups[i].phase.is_none() && schedule.groups[j].phase.is_some();
+                if attribution_hazard || conflicts(&footprints[i], &footprints[j]) {
+                    succs[i].push(j);
+                    indeg[j] += 1;
+                }
+            }
+        }
+
+        // greedy topological order maximizing footprint overlap with the
+        // previously emitted group; ties resolve to the original order
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut prev: Option<usize> = None;
+        while let Some((pos, _)) = ready
+            .iter()
+            .enumerate()
+            .map(|(pos, &g)| {
+                let score = prev
+                    .map(|p| footprints[p].all.shared_cells(&footprints[g].all))
+                    .unwrap_or(0);
+                (pos, (score, usize::MAX - g))
+            })
+            .max_by_key(|&(_, key)| key)
+        {
+            let g = ready.swap_remove(pos);
+            for &s in &succs[g] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+            order.push(g);
+            prev = Some(g);
+        }
+        debug_assert_eq!(order.len(), n);
+        report.groups_moved = order
+            .iter()
+            .enumerate()
+            .filter(|&(pos, &g)| pos != g)
+            .count() as u64;
+
+        let mut groups: Vec<TaskGroup<T>> = Vec::with_capacity(n);
+        let mut fps: Vec<CellSet> = Vec::with_capacity(n);
+        for g in order {
+            let group = std::mem::take(&mut schedule.groups[g]);
+            let fp = std::mem::take(&mut footprints[g].all);
+            let fuse_with_prev = self.fuse
+                && groups
+                    .last()
+                    .map(|prev: &TaskGroup<T>| prev.phase == group.phase)
+                    .unwrap_or(false)
+                && fps
+                    .last()
+                    .map(|prev_fp| prev_fp.overlaps(&fp))
+                    .unwrap_or(false);
+            if fuse_with_prev {
+                let prev = groups.last_mut().expect("checked above");
+                prev.steps.extend(group.steps);
+                fps.last_mut().expect("checked above").union_with(&fp);
+                report.groups_fused += 1;
+            } else {
+                groups.push(group);
+                fps.push(fp);
+            }
+        }
+        schedule.groups = groups;
+        if report.is_noop() {
+            // no group moved or fused: undo the phase materialization so a
+            // no-op report really means an unchanged schedule
+            for (group, phase) in schedule.groups.iter_mut().zip(original_phases) {
+                group.phase = phase;
+            }
+        }
+        Ok((schedule, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::ir::ScheduleBuilder;
+    use crate::passes::verify::check_equivalent;
+    use crate::passes::{MergeLoads, Pass};
+    use symla_memory::{MatrixId, Region};
+
+    fn id() -> MatrixId {
+        MatrixId::synthetic(4)
+    }
+
+    /// Groups 0 and 2 share a loaded region; group 1 is unrelated.
+    fn interleaved() -> Schedule<f64> {
+        let mut b = ScheduleBuilder::<f64>::new();
+        for g in 0..3 {
+            b.begin_group();
+            let col = if g == 1 { 6 } else { 0 };
+            let shared = b.load(id(), Region::col_segment(col, 0, 3));
+            let own = b.load(id(), Region::rect(4 + g, 8, 1, 1));
+            b.discard(shared);
+            b.store(own);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn overlapping_groups_become_adjacent() {
+        let seed = interleaved();
+        let pass = ReorderLocality { fuse: false };
+        let (opt, report) = pass.run(seed.clone()).unwrap();
+        check_equivalent(&seed, &opt).unwrap();
+        assert!(report.groups_moved > 0, "{report}");
+        assert_eq!(report.groups_fused, 0);
+        // groups 0 and 2 (sharing column 0) are now consecutive
+        let shared_cols: Vec<usize> = opt
+            .groups
+            .iter()
+            .map(|g| match &g.steps[0] {
+                Step::Load {
+                    region: Region::Rect { col0, .. },
+                    ..
+                } => *col0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(shared_cols, vec![0, 0, 6]);
+        // reorder alone never changes the accounting volumes
+        let a = Engine::dry_run(&seed, "m");
+        let b = Engine::dry_run(&opt, "m");
+        assert_eq!(a.volume, b.volume);
+        assert_eq!(a.load_events, b.load_events);
+    }
+
+    #[test]
+    fn fusion_plus_merge_eliminates_the_shared_load() {
+        let seed = interleaved();
+        let pass = ReorderLocality { fuse: true };
+        let (fused, report) = pass.run(seed.clone()).unwrap();
+        check_equivalent(&seed, &fused).unwrap();
+        assert_eq!(report.groups_fused, 1);
+        assert_eq!(fused.num_groups(), 2);
+
+        // now MergeLoads can revive the shared buffer across the former
+        // boundary, given headroom for the deferred discard
+        let seed_dry = Engine::dry_run(&seed, "m");
+        let (opt, merge_report) = MergeLoads::with_budget(seed_dry.peak_resident + 3)
+            .run(fused)
+            .unwrap();
+        check_equivalent(&seed, &opt).unwrap();
+        assert_eq!(merge_report.loads_eliminated, 3, "{merge_report}");
+        assert_eq!(
+            Engine::dry_run(&opt, "m").volume.loads,
+            seed_dry.volume.loads - 3
+        );
+    }
+
+    #[test]
+    fn write_read_dependences_pin_the_order() {
+        // group 0 stores a region that group 1 loads: order must survive,
+        // even though they overlap maximally
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let x = b.load(id(), Region::rect(0, 0, 2, 2));
+        b.store(x);
+        b.begin_group();
+        let y = b.load(id(), Region::rect(0, 0, 2, 2));
+        b.discard(y);
+        b.begin_group();
+        let z = b.load(id(), Region::rect(5, 5, 1, 1));
+        b.store(z);
+        let seed = b.finish();
+        let pass = ReorderLocality { fuse: false };
+        let (opt, _) = pass.run(seed.clone()).unwrap();
+        check_equivalent(&seed, &opt).unwrap();
+        // the dependent pair stays in order 0 before 1
+        let pos = |region: &Region| {
+            opt.groups
+                .iter()
+                .position(|g| {
+                    g.steps
+                        .iter()
+                        .any(|s| matches!(s, Step::Load { region: r, .. } if r == region))
+                })
+                .unwrap()
+        };
+        assert!(
+            pos(&Region::rect(0, 0, 2, 2)) <= 1,
+            "dependent groups stay adjacent"
+        );
+    }
+
+    #[test]
+    fn mixed_phases_do_not_fuse_and_keep_attribution() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.set_phase("p1");
+        b.begin_group();
+        let x = b.load(id(), Region::rect(0, 0, 2, 1));
+        b.discard(x);
+        b.set_phase("p2");
+        b.begin_group();
+        let y = b.load(id(), Region::rect(0, 0, 2, 1));
+        b.discard(y);
+        let seed = b.finish();
+        let pass = ReorderLocality { fuse: true };
+        let (opt, report) = pass.run(seed.clone()).unwrap();
+        assert_eq!(report.groups_fused, 0, "different phases never fuse");
+        let stats = Engine::dry_run(&opt, "m");
+        assert_eq!(stats.phase("p1").loads, 2);
+        assert_eq!(stats.phase("p2").loads, 2);
+    }
+
+    #[test]
+    fn unlabelled_groups_never_move_after_labelled_ones() {
+        // Groups 0/1 carry no phase (they run under the caller's default);
+        // group 2 is labelled and shares its footprint with group 0. The
+        // greedy order would love [0, 2, 1], but that would replay group 1
+        // under "p1" and shift its attribution — the hazard edges must pin
+        // every unlabelled group before the labelled one.
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let x = b.load(id(), Region::col_segment(0, 0, 3));
+        b.discard(x);
+        b.begin_group();
+        let y = b.load(id(), Region::col_segment(6, 0, 3));
+        b.discard(y);
+        b.set_phase("p1");
+        b.begin_group();
+        let z = b.load(id(), Region::col_segment(0, 0, 3));
+        b.discard(z);
+        let seed = b.finish();
+        let seed_dry = Engine::dry_run(&seed, "main");
+        let pass = ReorderLocality { fuse: false };
+        let (opt, _) = pass.run(seed.clone()).unwrap();
+        check_equivalent(&seed, &opt).unwrap();
+        let opt_dry = Engine::dry_run(&opt, "main");
+        assert_eq!(
+            seed_dry.phase("main").loads,
+            opt_dry.phase("main").loads,
+            "per-phase attribution must survive reordering"
+        );
+        assert_eq!(seed_dry.phase("p1").loads, opt_dry.phase("p1").loads);
+        assert_eq!(seed_dry, opt_dry);
+    }
+
+    #[test]
+    fn straddling_buffers_disable_the_pass() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let x = b.load(id(), Region::rect(0, 0, 2, 2));
+        b.begin_group();
+        b.store(x);
+        let seed = b.finish();
+        let pass = ReorderLocality { fuse: true };
+        let (opt, report) = pass.run(seed.clone()).unwrap();
+        assert!(report.is_noop());
+        assert_eq!(opt, seed);
+    }
+}

@@ -1,0 +1,682 @@
+//! Schedule equivalence verification: symbolic per-element execution.
+//!
+//! [`schedule_effects`] replays a schedule with **dataflow hashes** instead
+//! of numbers: every slow-memory element starts with a hash derived from its
+//! coordinates, loads copy hashes into buffers, every compute step mixes the
+//! hashes of exactly the elements the real kernel would read into the
+//! elements it would write (mirroring the kernels of
+//! `symla_matrix::kernels::views` element for element), and stores write the
+//! hashes back. Two schedules with equal [`ScheduleEffects`] perform the
+//! same computation on the same data in a compatible order, so their real
+//! executions leave slow memory **bitwise identical** — which is exactly the
+//! property the optimization passes must preserve, checked here without
+//! touching a single scalar.
+//!
+//! The abstraction is conservative in the right direction: it may reject an
+//! exotic-but-legal reordering (hash mixing is order-sensitive where
+//! floating-point addition would happen to commute), but it never accepts a
+//! schedule that reads different data, runs a different kernel sequence on
+//! some element, or stores a different version of a region.
+//!
+//! [`Verify`] wraps this as a [`Pass`] that holds the seed schedule's
+//! effects and passes the input through unchanged iff they match.
+
+use super::analysis::op_dst;
+use super::{Pass, PassError, PassReport, Result};
+use crate::ir::{BufId, BufSlice, ComputeOp, Schedule, Step};
+use std::collections::{BTreeMap, HashMap};
+use symla_matrix::kernels::FlopCount;
+use symla_matrix::Scalar;
+use symla_memory::{MatrixId, Region};
+
+/// One matrix element: `(row, col)`; symmetric matrices use lower-triangle
+/// coordinates.
+type Cell = (usize, usize);
+
+/// The observable effect of a schedule on slow memory, plus its accounting
+/// invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleEffects {
+    /// Dataflow hash of every slow-memory element a store touched, keyed by
+    /// `(matrix, row, col)`. Elements never stored keep their initial hash
+    /// and are omitted.
+    pub cells: BTreeMap<(u64, usize, usize), u64>,
+    /// Total arithmetic attributed by `Flops` steps (passes must not change
+    /// it).
+    pub flops: FlopCount,
+    /// Number of compute steps replayed (passes must not change it).
+    pub computes: u64,
+}
+
+/// Deterministic 64-bit mixer (splitmix-style), stable across runs.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix(mix(a, b), c)
+}
+
+/// Initial hash of an untouched slow-memory element.
+fn initial_cell_hash(matrix: u64, cell: Cell) -> u64 {
+    mix3(0x5EED_1111, matrix, mix(cell.0 as u64, cell.1 as u64))
+}
+
+const TAG_ZERO: u64 = 0x01;
+const TAG_GER: u64 = 0x02;
+const TAG_SPR: u64 = 0x03;
+const TAG_TRI: u64 = 0x04;
+const TAG_CHOL_ROOT: u64 = 0x05;
+const TAG_CHOL_SCALE: u64 = 0x06;
+const TAG_CHOL_UPD: u64 = 0x07;
+const TAG_LU_SCALE: u64 = 0x08;
+const TAG_LU_UPD: u64 = 0x09;
+const TAG_TRSM_DIV: u64 = 0x0A;
+const TAG_TRSM_UPD: u64 = 0x0B;
+const TAG_LUCOL_ELIM: u64 = 0x0C;
+const TAG_LUCOL_DIV: u64 = 0x0D;
+const TAG_LUROW_ELIM: u64 = 0x0E;
+
+/// A fast-memory buffer in the symbolic machine: one hash per element, in
+/// the buffer layout order of its region.
+struct SymBuf {
+    matrix: MatrixId,
+    region: Region,
+    hashes: Vec<u64>,
+}
+
+impl SymBuf {
+    fn rect_shape(&self) -> Result<(usize, usize)> {
+        match &self.region {
+            Region::Rect { rows, cols, .. } | Region::SymRect { rows, cols, .. } => {
+                Ok((*rows, *cols))
+            }
+            Region::Rows { rows, cols, .. } | Region::SymRows { rows, cols, .. } => {
+                Ok((rows.len(), *cols))
+            }
+            other => Err(PassError::Invalid(format!(
+                "compute needs a rectangular buffer, got region {other}"
+            ))),
+        }
+    }
+
+    fn packed_order(&self) -> Result<usize> {
+        match &self.region {
+            Region::SymLowerTriangle { size, .. } => Ok(*size),
+            other => Err(PassError::Invalid(format!(
+                "compute needs a packed lower-triangle buffer, got region {other}"
+            ))),
+        }
+    }
+}
+
+/// Column-major index of a rectangular buffer.
+fn rc(rows: usize, i: usize, j: usize) -> usize {
+    j * rows + i
+}
+
+/// Packed lower column-major index of order `n` (`i >= j`).
+fn packed_idx(n: usize, i: usize, j: usize) -> usize {
+    j * n - j * j.saturating_sub(1) / 2 + (i - j)
+}
+
+struct Interpreter {
+    bufs: HashMap<BufId, SymBuf>,
+    slow: HashMap<(u64, Cell), u64>,
+    flops: FlopCount,
+    computes: u64,
+}
+
+impl Interpreter {
+    fn new() -> Self {
+        Self {
+            bufs: HashMap::new(),
+            slow: HashMap::new(),
+            flops: FlopCount::default(),
+            computes: 0,
+        }
+    }
+
+    fn slow_hash(&self, matrix: MatrixId, cell: Cell) -> u64 {
+        self.slow
+            .get(&(matrix.raw(), cell))
+            .copied()
+            .unwrap_or_else(|| initial_cell_hash(matrix.raw(), cell))
+    }
+
+    fn buf(&self, id: BufId) -> Result<&SymBuf> {
+        self.bufs
+            .get(&id)
+            .ok_or_else(|| PassError::Invalid(format!("unknown or released buffer {id}")))
+    }
+
+    fn slice_hashes(&self, s: &BufSlice) -> Result<Vec<u64>> {
+        let buf = self.buf(s.buf)?;
+        buf.hashes
+            .get(s.start..s.start + s.len)
+            .map(|h| h.to_vec())
+            .ok_or_else(|| {
+                PassError::Invalid(format!(
+                    "slice {}..+{} exceeds buffer {} of {} elements",
+                    s.start,
+                    s.len,
+                    s.buf,
+                    buf.hashes.len()
+                ))
+            })
+    }
+
+    fn step(&mut self, step: &Step<impl Scalar>) -> Result<()> {
+        match step {
+            Step::Load {
+                matrix,
+                region,
+                dst,
+            } => {
+                let hashes = region
+                    .cells()
+                    .into_iter()
+                    .map(|c| self.slow_hash(*matrix, c))
+                    .collect();
+                if self.bufs.contains_key(dst) {
+                    return Err(PassError::Invalid(format!("buffer {dst} created twice")));
+                }
+                self.bufs.insert(
+                    *dst,
+                    SymBuf {
+                        matrix: *matrix,
+                        region: region.clone(),
+                        hashes,
+                    },
+                );
+            }
+            Step::Alloc {
+                matrix,
+                region,
+                dst,
+            } => {
+                if self.bufs.contains_key(dst) {
+                    return Err(PassError::Invalid(format!("buffer {dst} created twice")));
+                }
+                self.bufs.insert(
+                    *dst,
+                    SymBuf {
+                        matrix: *matrix,
+                        region: region.clone(),
+                        hashes: vec![mix(TAG_ZERO, 0); region.len()],
+                    },
+                );
+            }
+            Step::Store { buf } => {
+                let b = self
+                    .bufs
+                    .remove(buf)
+                    .ok_or_else(|| PassError::Invalid(format!("store of unknown buffer {buf}")))?;
+                for (cell, h) in b.region.cells().into_iter().zip(&b.hashes) {
+                    // Storing an element whose value is still its initial
+                    // one has no observable effect — normalize it away so
+                    // clean write-backs and their elimination compare equal.
+                    if *h == initial_cell_hash(b.matrix.raw(), cell) {
+                        self.slow.remove(&(b.matrix.raw(), cell));
+                    } else {
+                        self.slow.insert((b.matrix.raw(), cell), *h);
+                    }
+                }
+            }
+            Step::Discard { buf } => {
+                self.bufs.remove(buf).ok_or_else(|| {
+                    PassError::Invalid(format!("discard of unknown buffer {buf}"))
+                })?;
+            }
+            Step::Flops(f) => self.flops = self.flops.merge(f),
+            Step::Compute(op) => {
+                self.computes += 1;
+                self.compute(op)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirrors the element-level data dependencies of the engine's kernels.
+    fn compute<T: Scalar>(&mut self, op: &ComputeOp<T>) -> Result<()> {
+        let dst_id = op_dst(op);
+        let mut dst = self
+            .bufs
+            .remove(&dst_id)
+            .ok_or_else(|| PassError::Invalid(format!("unknown or released buffer {dst_id}")))?;
+        let outcome = self.compute_on(op, &mut dst);
+        self.bufs.insert(dst_id, dst);
+        outcome
+    }
+
+    fn compute_on<T: Scalar>(&mut self, op: &ComputeOp<T>, dst: &mut SymBuf) -> Result<()> {
+        let alpha_bits = |a: &T| a.to_f64().to_bits();
+        match op {
+            ComputeOp::Ger { alpha, x, y, .. } => {
+                let xs = self.slice_hashes(x)?;
+                let ys = self.slice_hashes(y)?;
+                let (rows, cols) = dst.rect_shape()?;
+                if rows != xs.len() || cols != ys.len() {
+                    return Err(PassError::Invalid(format!(
+                        "ger dimensions {}x{} vs view {rows}x{cols}",
+                        xs.len(),
+                        ys.len()
+                    )));
+                }
+                let a = alpha_bits(alpha);
+                for (j, &yj) in ys.iter().enumerate() {
+                    for (i, &xi) in xs.iter().enumerate() {
+                        let idx = rc(rows, i, j);
+                        dst.hashes[idx] = mix3(mix(dst.hashes[idx], TAG_GER), a, mix(xi, yj));
+                    }
+                }
+            }
+            ComputeOp::SprLower { alpha, x, .. } => {
+                let xs = self.slice_hashes(x)?;
+                let n = dst.packed_order()?;
+                if n != xs.len() {
+                    return Err(PassError::Invalid(format!(
+                        "spr operand has {} elements, view order {n}",
+                        xs.len()
+                    )));
+                }
+                let a = alpha_bits(alpha);
+                for (j, &xj) in xs.iter().enumerate() {
+                    for (i, &xi) in xs.iter().enumerate().skip(j) {
+                        let idx = packed_idx(n, i, j);
+                        dst.hashes[idx] = mix3(mix(dst.hashes[idx], TAG_SPR), a, mix(xi, xj));
+                    }
+                }
+            }
+            ComputeOp::TrianglePairs { alpha, x, .. } => {
+                let xs = self.slice_hashes(x)?;
+                let k = xs.len();
+                if dst.hashes.len() != k * k.saturating_sub(1) / 2 {
+                    return Err(PassError::Invalid(format!(
+                        "pair buffer has {} elements for row set of {k}",
+                        dst.hashes.len()
+                    )));
+                }
+                let a = alpha_bits(alpha);
+                let mut idx = 0;
+                for u in 1..k {
+                    for v in 0..u {
+                        dst.hashes[idx] = mix3(mix(dst.hashes[idx], TAG_TRI), a, mix(xs[u], xs[v]));
+                        idx += 1;
+                    }
+                }
+            }
+            ComputeOp::CholeskyInPlace { .. } => {
+                let n = dst.packed_order()?;
+                let h = &mut dst.hashes;
+                for k in 0..n {
+                    let kk = packed_idx(n, k, k);
+                    h[kk] = mix(h[kk], TAG_CHOL_ROOT);
+                    let root = h[kk];
+                    for i in (k + 1)..n {
+                        let ik = packed_idx(n, i, k);
+                        h[ik] = mix3(h[ik], TAG_CHOL_SCALE, root);
+                    }
+                    for j in (k + 1)..n {
+                        let jk = h[packed_idx(n, j, k)];
+                        for i in j..n {
+                            let ik = h[packed_idx(n, i, k)];
+                            let ij = packed_idx(n, i, j);
+                            h[ij] = mix3(mix(h[ij], TAG_CHOL_UPD), ik, jk);
+                        }
+                    }
+                }
+            }
+            ComputeOp::LuInPlace { .. } => {
+                let (rows, cols) = dst.rect_shape()?;
+                if rows != cols {
+                    return Err(PassError::Invalid(format!(
+                        "LU tile must be square, got {rows}x{cols}"
+                    )));
+                }
+                let n = rows;
+                let h = &mut dst.hashes;
+                for k in 0..n {
+                    let pivot = h[rc(n, k, k)];
+                    for i in (k + 1)..n {
+                        let ik = rc(n, i, k);
+                        h[ik] = mix3(h[ik], TAG_LU_SCALE, pivot);
+                    }
+                    for j in (k + 1)..n {
+                        let kj = h[rc(n, k, j)];
+                        for i in (k + 1)..n {
+                            let ik = h[rc(n, i, k)];
+                            let ij = rc(n, i, j);
+                            h[ij] = mix3(mix(h[ij], TAG_LU_UPD), ik, kj);
+                        }
+                    }
+                }
+            }
+            ComputeOp::TrsmRightStep { seg, col, .. } => {
+                let segs = self.buf(*seg)?.hashes.clone();
+                let (rows, cols) = dst.rect_shape()?;
+                let kk = *col;
+                if kk >= cols || segs.len() < cols - kk {
+                    return Err(PassError::Invalid(format!(
+                        "TrsmRightStep: segment of {} elements, needs {}",
+                        segs.len(),
+                        cols.saturating_sub(kk)
+                    )));
+                }
+                let h = &mut dst.hashes;
+                for r in 0..rows {
+                    let idx = rc(rows, r, kk);
+                    h[idx] = mix3(h[idx], TAG_TRSM_DIV, segs[0]);
+                }
+                for j in (kk + 1)..cols {
+                    let ljk = segs[j - kk];
+                    for r in 0..rows {
+                        let xk = h[rc(rows, r, kk)];
+                        let idx = rc(rows, r, j);
+                        h[idx] = mix3(mix(h[idx], TAG_TRSM_UPD), xk, ljk);
+                    }
+                }
+            }
+            ComputeOp::LuColSolveStep { seg, col, .. } => {
+                let segs = self.buf(*seg)?.hashes.clone();
+                let (rows, cols) = dst.rect_shape()?;
+                let kk = *col;
+                if kk >= cols || segs.len() < kk + 1 {
+                    return Err(PassError::Invalid(format!(
+                        "LuColSolveStep: segment of {} elements, needs {}",
+                        segs.len(),
+                        kk + 1
+                    )));
+                }
+                let h = &mut dst.hashes;
+                for (q, &uqk) in segs.iter().enumerate().take(kk) {
+                    for r in 0..rows {
+                        let tq = h[rc(rows, r, q)];
+                        let idx = rc(rows, r, kk);
+                        h[idx] = mix3(mix(h[idx], TAG_LUCOL_ELIM), tq, uqk);
+                    }
+                }
+                for r in 0..rows {
+                    let idx = rc(rows, r, kk);
+                    h[idx] = mix3(h[idx], TAG_LUCOL_DIV, segs[kk]);
+                }
+            }
+            ComputeOp::LuRowElimStep { seg, row, .. } => {
+                let segs = self.buf(*seg)?.hashes.clone();
+                let (rows, cols) = dst.rect_shape()?;
+                let kk = *row;
+                if kk >= rows || segs.len() > rows - kk - 1 {
+                    return Err(PassError::Invalid(format!(
+                        "LuRowElimStep: segment of {} elements exceeds {}",
+                        segs.len(),
+                        rows.saturating_sub(kk + 1)
+                    )));
+                }
+                let h = &mut dst.hashes;
+                for (off, &lik) in segs.iter().enumerate() {
+                    let i = kk + 1 + off;
+                    for c in 0..cols {
+                        let tk = h[rc(rows, kk, c)];
+                        let idx = rc(rows, i, c);
+                        h[idx] = mix3(mix(h[idx], TAG_LUROW_ELIM), lik, tk);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Symbolically executes `schedule` and returns its observable effect on
+/// slow memory (see the module docs). Errors if the schedule is malformed
+/// (unknown buffers, out-of-range slices, buffers left resident at the end).
+pub fn schedule_effects<T: Scalar>(schedule: &Schedule<T>) -> Result<ScheduleEffects> {
+    let mut interp = Interpreter::new();
+    for group in &schedule.groups {
+        for step in &group.steps {
+            interp.step(step)?;
+        }
+    }
+    if !interp.bufs.is_empty() {
+        return Err(PassError::Invalid(format!(
+            "{} buffer(s) left resident at end of schedule",
+            interp.bufs.len()
+        )));
+    }
+    Ok(ScheduleEffects {
+        cells: interp
+            .slow
+            .into_iter()
+            .map(|((m, (r, c)), h)| ((m, r, c), h))
+            .collect(),
+        flops: interp.flops,
+        computes: interp.computes,
+    })
+}
+
+/// Compares two effect summaries, returning a human-readable description of
+/// the first difference.
+pub fn diff_effects(seed: &ScheduleEffects, optimized: &ScheduleEffects) -> Option<String> {
+    if seed.flops != optimized.flops {
+        return Some(format!(
+            "flop accounting changed: {:?} vs {:?}",
+            seed.flops, optimized.flops
+        ));
+    }
+    if seed.computes != optimized.computes {
+        return Some(format!(
+            "compute step count changed: {} vs {}",
+            seed.computes, optimized.computes
+        ));
+    }
+    for (key, h) in &seed.cells {
+        match optimized.cells.get(key) {
+            None => {
+                return Some(format!(
+                    "matrix {} element ({}, {}) is stored by the seed but not the \
+                     optimized schedule",
+                    key.0, key.1, key.2
+                ))
+            }
+            Some(oh) if oh != h => {
+                return Some(format!(
+                    "matrix {} element ({}, {}) holds a different value after the \
+                     optimized schedule",
+                    key.0, key.1, key.2
+                ))
+            }
+            _ => {}
+        }
+    }
+    for key in optimized.cells.keys() {
+        if !seed.cells.contains_key(key) {
+            return Some(format!(
+                "matrix {} element ({}, {}) is stored by the optimized schedule \
+                 but not the seed",
+                key.0, key.1, key.2
+            ));
+        }
+    }
+    None
+}
+
+/// Asserts that `optimized` computes exactly what `seed` computes (see the
+/// module docs for the abstraction).
+pub fn check_equivalent<T: Scalar>(seed: &Schedule<T>, optimized: &Schedule<T>) -> Result<()> {
+    let se = schedule_effects(seed)?;
+    let oe = schedule_effects(optimized)?;
+    match diff_effects(&se, &oe) {
+        None => Ok(()),
+        Some(msg) => Err(PassError::VerificationFailed(msg)),
+    }
+}
+
+/// The verification pass: holds the seed schedule's effects and passes its
+/// input through unchanged iff the input is semantically equivalent.
+///
+/// Append it to a [`super::PassManager`] (or use the manager's built-in
+/// verification, which runs the same check) to make a pipeline
+/// fail-closed: a pass bug surfaces as a [`PassError::VerificationFailed`]
+/// instead of a silently wrong schedule.
+#[derive(Debug, Clone)]
+pub struct Verify {
+    reference: ScheduleEffects,
+}
+
+impl Verify {
+    /// Captures the effects of the seed schedule to verify against.
+    pub fn against<T: Scalar>(seed: &Schedule<T>) -> Result<Self> {
+        Ok(Self {
+            reference: schedule_effects(seed)?,
+        })
+    }
+}
+
+impl<T: Scalar> Pass<T> for Verify {
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+
+    fn run(&self, schedule: Schedule<T>) -> Result<(Schedule<T>, PassReport)> {
+        let effects = schedule_effects(&schedule)?;
+        if let Some(msg) = diff_effects(&self.reference, &effects) {
+            return Err(PassError::VerificationFailed(msg));
+        }
+        Ok((schedule, PassReport::new("verify")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ScheduleBuilder;
+
+    fn id() -> MatrixId {
+        MatrixId::synthetic(3)
+    }
+
+    fn rank1(alpha: f64, region: Region) -> Schedule<f64> {
+        let mut b = ScheduleBuilder::new();
+        let c = b.load(id(), region);
+        let x = b.load(id(), Region::col_segment(5, 0, 2));
+        b.compute(ComputeOp::Ger {
+            alpha,
+            x: BufSlice::whole(x, 2),
+            y: BufSlice::whole(x, 2),
+            dst: c,
+        });
+        b.flops(FlopCount::new(4, 4));
+        b.discard(x);
+        b.store(c);
+        b.finish()
+    }
+
+    #[test]
+    fn identical_schedules_have_identical_effects() {
+        let a = rank1(2.0, Region::rect(0, 0, 2, 2));
+        let b = rank1(2.0, Region::rect(0, 0, 2, 2));
+        assert_eq!(schedule_effects(&a).unwrap(), schedule_effects(&b).unwrap());
+        check_equivalent(&a, &b).unwrap();
+    }
+
+    #[test]
+    fn different_alpha_region_or_operand_changes_effects() {
+        let base = schedule_effects(&rank1(2.0, Region::rect(0, 0, 2, 2))).unwrap();
+        let alpha = schedule_effects(&rank1(3.0, Region::rect(0, 0, 2, 2))).unwrap();
+        assert!(diff_effects(&base, &alpha).is_some());
+        let moved = schedule_effects(&rank1(2.0, Region::rect(1, 0, 2, 2))).unwrap();
+        assert!(diff_effects(&base, &moved).is_some());
+    }
+
+    #[test]
+    fn store_order_on_the_same_cells_matters() {
+        let mk = |first_twice: bool| {
+            let mut b = ScheduleBuilder::<f64>::new();
+            let r = Region::rect(0, 0, 2, 1);
+            let x = b.load(id(), r.clone());
+            b.store(x);
+            let y = b.load(id(), Region::rect(2, 0, 2, 1));
+            let z = b.load(id(), r.clone());
+            b.compute(ComputeOp::Ger {
+                alpha: 1.0,
+                x: BufSlice::whole(y, 2),
+                y: BufSlice::new(y, 0, 1),
+                dst: z,
+            });
+            if first_twice {
+                b.store(z);
+                b.discard(y);
+            } else {
+                b.discard(y);
+                b.store(z);
+            }
+            b.finish()
+        };
+        // same computation either way: discard/store interleave is irrelevant
+        check_equivalent(&mk(true), &mk(false)).unwrap();
+    }
+
+    #[test]
+    fn dropping_a_live_store_is_caught() {
+        let seed = rank1(1.0, Region::rect(0, 0, 2, 2));
+        let mut bad = seed.clone();
+        // replace the final store with a discard: result never lands
+        let steps = &mut bad.groups[0].steps;
+        let last = steps.len() - 1;
+        steps[last] = Step::Discard { buf: 0 };
+        let err = check_equivalent(&seed, &bad).unwrap_err();
+        assert!(matches!(err, PassError::VerificationFailed(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected() {
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.store(42);
+        assert!(schedule_effects(&b.finish()).is_err());
+
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.load(id(), Region::rect(0, 0, 1, 1));
+        let err = schedule_effects(&b.finish()).unwrap_err();
+        assert!(err.to_string().contains("left resident"));
+    }
+
+    #[test]
+    fn verify_pass_roundtrip() {
+        let seed = rank1(1.0, Region::rect(0, 0, 2, 2));
+        let v = Verify::against(&seed).unwrap();
+        let (same, report) = Pass::<f64>::run(&v, seed.clone()).unwrap();
+        assert_eq!(same, seed);
+        assert!(report.is_noop());
+        assert_eq!(Pass::<f64>::name(&v), "verify");
+
+        let other = rank1(-1.0, Region::rect(0, 0, 2, 2));
+        assert!(Pass::<f64>::run(&v, other).is_err());
+    }
+
+    #[test]
+    fn solver_steps_track_segment_provenance() {
+        // Two TRSM step schedules differing only in the streamed segment's
+        // source region must differ in effects.
+        let mk = |seg_row: usize| {
+            let mut b = ScheduleBuilder::<f64>::new();
+            let tile = b.load(id(), Region::rect(0, 0, 2, 2));
+            let seg = b.load(id(), Region::rect(seg_row, 4, 2, 1));
+            b.compute(ComputeOp::TrsmRightStep {
+                seg,
+                dst: tile,
+                col: 0,
+                pivot: 0,
+            });
+            b.discard(seg);
+            b.store(tile);
+            b.finish()
+        };
+        check_equivalent(&mk(1), &mk(1)).unwrap();
+        assert!(check_equivalent(&mk(1), &mk(2)).is_err());
+    }
+}

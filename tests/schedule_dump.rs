@@ -1,0 +1,94 @@
+//! Golden-file test of the compact textual schedule dump
+//! (`Schedule::dump`), on a seed schedule and its pass-optimized form.
+//!
+//! The dump is the first slice of the ROADMAP's schedule-serialization
+//! item: one header line per task group and one line per step, stable
+//! enough that an optimized-vs-seed `diff` of the two golden files shows
+//! exactly what a pipeline did (here: adjacent loads of contiguous `A`
+//! block columns coalesced into one transfer per group).
+//!
+//! To regenerate after an intentional IR or pass change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test schedule_dump
+//! git diff tests/golden/   # review the schedule diff by eye
+//! ```
+
+use std::path::PathBuf;
+use symla::prelude::*;
+use symla_baselines::ooc_syrk_schedule;
+use symla_core::passes::PassPipeline;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}; regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden file; if the change is intentional, \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test schedule_dump` \
+         and review the diff"
+    );
+}
+
+/// A small deterministic OOC_SYRK instance: three block-columns of `C`, so
+/// the per-group `A` loads are contiguous and the merge pass has visible
+/// work to do.
+fn tiny_syrk_schedule() -> Schedule<f64> {
+    let (n, m, s) = (8, 2, 18);
+    let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+    let c_ref = SymWindowRef::full(MatrixId::synthetic(1), n);
+    ooc_syrk_schedule(&a_ref, &c_ref, 1.0, &OocSyrkPlan::for_memory(s).unwrap()).unwrap()
+}
+
+#[test]
+fn seed_and_optimized_dumps_match_golden_files() {
+    let seed = tiny_syrk_schedule();
+    check_golden("ooc_syrk_seed.dump", &seed.dump());
+
+    let optimized = PassPipeline::standard()
+        .manager::<f64>()
+        .optimize(&seed, "main")
+        .unwrap();
+    assert!(
+        optimized.events_saved() > 0,
+        "the tiny instance must show a reviewable optimization"
+    );
+    check_golden("ooc_syrk_optimized.dump", &optimized.schedule.dump());
+}
+
+/// The dump's shape is structural, not incidental: one summary header, one
+/// line per group, one (indented) line per step.
+#[test]
+fn dump_has_one_line_per_group_and_step() {
+    let schedule = tiny_syrk_schedule();
+    let dump = schedule.dump();
+    let lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1 + schedule.num_groups() + schedule.num_steps()
+    );
+    assert_eq!(lines[0], format!("{schedule}"));
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("group ")).count(),
+        schedule.num_groups()
+    );
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("  ")).count(),
+        schedule.num_steps()
+    );
+}
