@@ -16,7 +16,7 @@
 //! ```
 
 use crate::bounds;
-use crate::engine::{Engine, Schedule};
+use crate::engine::{Engine, EngineConfig, Schedule};
 use crate::lbc::{lbc_cost, lbc_schedule};
 use crate::passes::{PassPipeline, StageOutcome};
 use crate::plan::{LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate};
@@ -273,7 +273,14 @@ fn cholesky_schedule_for<T: Scalar>(
 /// workspace error type. The pipeline's residency budget is clamped to the
 /// machine capacity `s`: the optimized schedule must still execute within
 /// the same fast memory the caller asked for, whatever budget the pipeline
-/// was configured with. An empty unverified pipeline (the plain API paths)
+/// was configured with. This clamp composes with the prefetch lookahead
+/// (`*_prefetched` entry points): the passes may grow group footprints up
+/// to `s`, and the prefetch planner then admits lookahead loads only into
+/// whatever slack `s − footprint` the *optimized* schedule actually leaves
+/// — prefetch slack is taken from the schedule the passes produced, never
+/// assumed — so an optimized-and-prefetched execution still peaks within
+/// `s` (asserted by the prefetch test sweep and the `ab_prefetch` gate).
+/// An empty unverified pipeline (the plain API paths)
 /// skips the pass manager entirely and returns `None` for the seed stats —
 /// the caller reuses its measured execution stats, which the engine
 /// invariants guarantee equal the dry run of the (unchanged) schedule.
@@ -345,6 +352,44 @@ pub fn syrk_out_of_core_optimized<T: Scalar>(
     algorithm: SyrkAlgorithm,
     pipeline: &PassPipeline,
 ) -> Result<OptimizedRun> {
+    syrk_out_of_core_prefetched(a, c, alpha, s, algorithm, pipeline, 0)
+}
+
+/// Runs an out-of-core SYRK with the requested schedule, optimized by the
+/// given pass pipeline **and replayed with a prefetch lookahead of
+/// `lookahead` task groups** (0 = plain serial replay): while one group
+/// computes, the engine issues the loads of up to `lookahead` future groups
+/// into the capacity slack the (optimized) schedule leaves free, so the
+/// returned stats report a strictly smaller stalled-load volume whenever
+/// the slack admits any overlap — see
+/// [`IoStats::stalled_loads`] / [`IoStats::overlap_ratio`](symla_memory::IoStats::overlap_ratio).
+/// Results are bitwise-identical to the non-prefetching run and the peak
+/// residency still respects `s`.
+///
+/// ```
+/// use symla_core::api::{syrk_out_of_core_prefetched, SyrkAlgorithm};
+/// use symla_core::passes::PassPipeline;
+/// use symla_matrix::{generate, SymMatrix};
+///
+/// let a = generate::random_matrix_seeded::<f64>(40, 6, 1);
+/// let mut c = SymMatrix::zeros(40);
+/// let run = syrk_out_of_core_prefetched(
+///     &a, &mut c, 1.0, 60, SyrkAlgorithm::TbsTiled, &PassPipeline::none(), 1,
+/// ).unwrap();
+/// // Some of the load stream overlapped the previous group's compute ...
+/// assert!(run.report.stats.prefetched_elements > 0);
+/// // ... within the same fast-memory capacity.
+/// assert!(run.report.stats.peak_resident <= 60);
+/// ```
+pub fn syrk_out_of_core_prefetched<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    s: usize,
+    algorithm: SyrkAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+) -> Result<OptimizedRun> {
     let n = c.order();
     let m = a.cols();
     if a.rows() != n {
@@ -362,7 +407,11 @@ pub fn syrk_out_of_core_optimized<T: Scalar>(
 
     let (schedule, predicted) = syrk_schedule_for(algorithm, &a_ref, &c_ref, alpha, s)?;
     let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
-    Engine::execute(&mut machine, &schedule)?;
+    Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    )?;
 
     let stats = machine.stats().clone();
     let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
@@ -404,6 +453,23 @@ pub fn cholesky_out_of_core_optimized<T: Scalar>(
     algorithm: CholeskyAlgorithm,
     pipeline: &PassPipeline,
 ) -> Result<(LowerTriangular<T>, OptimizedRun)> {
+    cholesky_out_of_core_prefetched(a, s, algorithm, pipeline, 0)
+}
+
+/// Runs an out-of-core Cholesky factorization with the schedule optimized
+/// by the given pipeline and replayed with a prefetch lookahead of
+/// `lookahead` task groups (see [`syrk_out_of_core_prefetched`]). The
+/// left-looking factorizations order their groups through slow memory, so
+/// the planner's freshness rule keeps any load of a region still pending a
+/// write at its original program point — lookahead only overlaps what is
+/// provably safe, and the factor is bitwise-identical at every lookahead.
+pub fn cholesky_out_of_core_prefetched<T: Scalar>(
+    a: &SymMatrix<T>,
+    s: usize,
+    algorithm: CholeskyAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+) -> Result<(LowerTriangular<T>, OptimizedRun)> {
     let n = a.order();
     let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
     let id = machine.insert_symmetric(a.clone());
@@ -411,7 +477,11 @@ pub fn cholesky_out_of_core_optimized<T: Scalar>(
 
     let (schedule, predicted) = cholesky_schedule_for(algorithm, &window, s)?;
     let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
-    let outcome = Engine::execute(&mut machine, &schedule);
+    let outcome = Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    );
     machine.set_phase("main");
     outcome?;
 
@@ -502,6 +572,93 @@ mod tests {
         }
         // all four produce the same factor; their I/O volumes differ
         assert_eq!(loads.len(), 4);
+    }
+
+    #[test]
+    fn prefetched_api_overlaps_loads_and_preserves_results() {
+        let n = 40;
+        let m = 8;
+        let s = 60;
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 35);
+        let c0 = SymMatrix::<f64>::zeros(n);
+
+        for algo in [
+            SyrkAlgorithm::Tbs,
+            SyrkAlgorithm::TbsTiled,
+            SyrkAlgorithm::SquareBlocks,
+        ] {
+            let mut base = c0.clone();
+            let plain = syrk_out_of_core(&a, &mut base, 1.0, s, algo).unwrap();
+            for lookahead in [1usize, 2] {
+                let mut c = c0.clone();
+                let run = syrk_out_of_core_prefetched(
+                    &a,
+                    &mut c,
+                    1.0,
+                    s,
+                    algo,
+                    &PassPipeline::none(),
+                    lookahead,
+                )
+                .unwrap();
+                let ctx = format!("{} L={lookahead}", algo.name());
+                assert!(c == base, "{ctx}: bitwise result");
+                assert_eq!(run.report.stats.volume, plain.stats.volume, "{ctx}");
+                assert!(run.report.stats.peak_resident <= s, "{ctx}");
+                assert!(
+                    run.report.stats.stalled_loads() <= plain.stats.volume.loads,
+                    "{ctx}"
+                );
+            }
+        }
+        // Tiled TBS at this size has real slack: the overlap is strict.
+        let mut c = c0.clone();
+        let run = syrk_out_of_core_prefetched(
+            &a,
+            &mut c,
+            1.0,
+            s,
+            SyrkAlgorithm::TbsTiled,
+            &PassPipeline::none(),
+            1,
+        )
+        .unwrap();
+        assert!(run.report.stats.prefetched_elements > 0);
+
+        // Optimized + prefetched still respects s (the clamp composes).
+        let mut c = c0.clone();
+        let run = syrk_out_of_core_prefetched(
+            &a,
+            &mut c,
+            1.0,
+            s,
+            SyrkAlgorithm::TbsTiled,
+            &PassPipeline::locality(Some(4 * s)),
+            2,
+        )
+        .unwrap();
+        assert!(run.report.stats.peak_resident <= s);
+        let mut base = c0.clone();
+        syrk_out_of_core(&a, &mut base, 1.0, s, SyrkAlgorithm::TbsTiled).unwrap();
+        assert!(c == base, "optimized+prefetched result must not drift");
+    }
+
+    #[test]
+    fn prefetched_cholesky_is_bitwise_stable() {
+        let n = 30;
+        let s = 28;
+        let a: SymMatrix<f64> = random_spd_seeded(n, 36);
+        for algo in [CholeskyAlgorithm::Lbc, CholeskyAlgorithm::Bereux] {
+            let (base, _) = cholesky_out_of_core(&a, s, algo).unwrap();
+            for lookahead in [1usize, 3] {
+                let (factor, run) =
+                    cholesky_out_of_core_prefetched(&a, s, algo, &PassPipeline::none(), lookahead)
+                        .unwrap();
+                let ctx = format!("{} L={lookahead}", algo.name());
+                assert!(factor == base, "{ctx}");
+                assert!(run.report.stats.peak_resident <= s, "{ctx}");
+            }
+        }
     }
 
     #[test]

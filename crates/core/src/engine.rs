@@ -5,7 +5,7 @@
 //! [`crate::tbs_tiled`], [`crate::lbc`] and the five baselines of
 //! `symla_baselines` — are *schedule builders*: they emit the IR of
 //! [`symla_sched::ir`] instead of driving the machine directly. The
-//! [`Engine`] replays a built [`Schedule`] in one of four modes:
+//! [`Engine`] replays a built [`Schedule`] in one of five modes:
 //!
 //! * **execute** — [`Engine::execute`] runs the schedule against any
 //!   [`symla_memory::MachineOps`] machine (normally the serial
@@ -26,6 +26,17 @@
 //! * **trace** — [`Engine::trace`] synthesizes the
 //!   [`symla_memory::Trace`] event stream for schedule inspection and bound
 //!   verification, again without executing kernels.
+//! * **execute-prefetch** — every mode above also exists in a prefetching
+//!   variant ([`Engine::execute_with`], [`Engine::dry_run_with`],
+//!   [`Engine::trace_with`], [`Engine::execute_parallel_with`]) taking an
+//!   [`EngineConfig`]: with `lookahead = L > 0` the engine double-buffers
+//!   the load stream, issuing the `Load` steps of up to `L` future task
+//!   groups while the current group computes. The
+//!   [`symla_sched::prefetch`] planner admits only loads that fit the
+//!   capacity slack `S − footprint` and read fresh data, so results stay
+//!   bitwise-identical and peak residency never exceeds the capacity; the
+//!   overlapped/stalled split is reported in
+//!   [`symla_memory::IoStats::prefetched_elements`].
 //!
 //! The cross-mode invariant (checked by `tests/engine_equivalence.rs`): a
 //! serial execution leaves the machine's stats equal to the dry run and its
@@ -66,5 +77,8 @@
 //! assert_eq!(IoEstimate::from_stats(&stats), tbs_cost(n, m, &plan).unwrap());
 //! ```
 
-pub use symla_sched::engine::{Engine, EngineError, ParallelError, WorkerRun};
-pub use symla_sched::ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGroup};
+pub use symla_sched::engine::{Engine, EngineConfig, EngineError, ParallelError, WorkerRun};
+pub use symla_sched::ir::{
+    BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, ScheduleParseError, Step, TaskGroup,
+};
+pub use symla_sched::prefetch::{PrefetchIssue, PrefetchPlan};

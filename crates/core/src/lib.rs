@@ -56,10 +56,11 @@ pub mod tbs_tiled;
 pub use symla_sched::passes;
 
 pub use api::{
-    cholesky_out_of_core, cholesky_out_of_core_optimized, syrk_out_of_core,
-    syrk_out_of_core_optimized, CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
+    cholesky_out_of_core, cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched,
+    syrk_out_of_core, syrk_out_of_core_optimized, syrk_out_of_core_prefetched, CholeskyAlgorithm,
+    OptimizedRun, RunReport, SyrkAlgorithm,
 };
-pub use engine::{Engine, EngineError, Schedule, ScheduleBuilder};
+pub use engine::{Engine, EngineConfig, EngineError, Schedule, ScheduleBuilder};
 pub use lbc::{
     lbc_build, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, LbcCostBreakdown,
 };

@@ -35,7 +35,7 @@ use symla_matrix::{Matrix, Scalar, SymMatrix};
 use symla_memory::{MachineConfig, MatrixId, Region, SharedSlowMemory};
 use symla_sched::indexing::CyclicIndexing;
 use symla_sched::ir::{BufId, BufSlice, ComputeOp};
-use symla_sched::{Engine, Schedule, ScheduleBuilder, TaskGroup};
+use symla_sched::{Engine, EngineConfig, Schedule, ScheduleBuilder, TaskGroup};
 
 /// How the result matrix is partitioned into per-worker units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +212,10 @@ pub struct ParallelReport {
     pub memory_per_worker: usize,
     /// Per-worker communication volumes.
     pub per_worker: Vec<WorkerIo>,
+    /// Elements of load traffic the workers issued ahead of the consuming
+    /// unit (pipelined group handoff; 0 without a lookahead). Part of the
+    /// total load volume, not in addition to it.
+    pub prefetched_loads: u64,
 }
 
 impl ParallelReport {
@@ -446,6 +450,26 @@ pub fn parallel_syrk<T: Scalar>(
     memory_per_worker: usize,
     strategy: BlockStrategy,
 ) -> Result<ParallelReport> {
+    parallel_syrk_prefetched(a, c, alpha, workers, memory_per_worker, strategy, 0)
+}
+
+/// [`parallel_syrk`] with a pipelined group handoff: each worker claims up
+/// to `lookahead` additional units from the work-stealing queue and issues
+/// their input loads into its private fast memory while the current unit
+/// computes (see `Engine::execute_parallel_with`). Per-worker volumes, the
+/// observed-vs-analytic assertion and the numerical result are identical to
+/// the plain run; the overlapped share is returned in
+/// [`ParallelReport::prefetched_loads`] and every worker still respects its
+/// capacity.
+pub fn parallel_syrk_prefetched<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    workers: usize,
+    memory_per_worker: usize,
+    strategy: BlockStrategy,
+    lookahead: usize,
+) -> Result<ParallelReport> {
     let n = c.order();
     let m = a.cols();
     if a.rows() != n {
@@ -467,12 +491,13 @@ pub fn parallel_syrk<T: Scalar>(
     let a_id = shared.insert_dense(a.clone());
     debug_assert_eq!((c_id, a_id), (C_MATRIX, A_MATRIX));
 
-    let outcome = Engine::execute_parallel(
+    let outcome = Engine::execute_parallel_with(
         &shared,
         &schedule,
         workers,
         MachineConfig::with_capacity(memory_per_worker),
         "parallel",
+        &EngineConfig::with_lookahead(lookahead),
     );
     let runs = match outcome {
         Ok(runs) => runs,
@@ -492,6 +517,7 @@ pub fn parallel_syrk<T: Scalar>(
     *c = shared.take_symmetric(c_id)?;
 
     let mut per_worker = Vec::with_capacity(workers);
+    let mut prefetched_loads = 0;
     for run in &runs {
         let observed = WorkerIo {
             loads: run.stats.volume.loads,
@@ -503,6 +529,7 @@ pub fn parallel_syrk<T: Scalar>(
             observed, analytic,
             "observed worker I/O diverged from the dry-run oracle"
         );
+        prefetched_loads += run.stats.prefetched_elements;
         per_worker.push(observed);
     }
 
@@ -511,6 +538,7 @@ pub fn parallel_syrk<T: Scalar>(
         strategy,
         memory_per_worker,
         per_worker,
+        prefetched_loads,
     })
 }
 
@@ -592,6 +620,30 @@ mod tests {
         // tiny tasks.)
         assert!(triangle.imbalance() >= 1.0);
         assert!(square.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn prefetched_parallel_run_matches_plain_run_bitwise() {
+        let (n, m, s) = (40, 8, 12);
+        let (a, expected) = reference(n, m, 1.0, 75);
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            let mut plain_c = SymMatrix::zeros(n);
+            let plain = parallel_syrk(&a, &mut plain_c, 1.0, 3, s, strategy).unwrap();
+            assert_eq!(plain.prefetched_loads, 0);
+            for lookahead in [1usize, 2] {
+                let mut c = SymMatrix::zeros(n);
+                let report =
+                    parallel_syrk_prefetched(&a, &mut c, 1.0, 3, s, strategy, lookahead).unwrap();
+                let ctx = format!("{} L={lookahead}", strategy.name());
+                assert!(c.approx_eq(&expected, 1e-11), "{ctx}");
+                assert!(c == plain_c, "{ctx}: bitwise vs plain parallel run");
+                // volumes are placement-independent and overlap is part of
+                // them, not on top of them
+                assert_eq!(report.total_loads(), plain.total_loads(), "{ctx}");
+                assert_eq!(report.total_stores(), plain.total_stores(), "{ctx}");
+                assert!(report.prefetched_loads <= report.total_loads(), "{ctx}");
+            }
+        }
     }
 
     #[test]
@@ -719,6 +771,7 @@ mod tests {
                     tasks: 3,
                 },
             ],
+            prefetched_loads: 0,
         };
         assert_eq!(report.total_loads(), 40);
         assert_eq!(report.total_stores(), 6);
@@ -729,6 +782,7 @@ mod tests {
             strategy: BlockStrategy::SquareTiles,
             memory_per_worker: 0,
             per_worker: vec![],
+            prefetched_loads: 0,
         };
         assert_eq!(empty.max_loads(), 0);
         assert_eq!(empty.imbalance(), 1.0);

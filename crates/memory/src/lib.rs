@@ -50,7 +50,7 @@ pub mod trace;
 pub use error::{MemoryError, Result};
 pub use machine::{FastBuf, MachineConfig, MachineOps, MatrixId, OocMachine};
 pub use operand::{PanelRef, SymWindowRef};
-pub use region::Region;
+pub use region::{Region, RegionParseError};
 pub use shared::{SharedSlowMemory, WorkerMachine};
 pub use stats::{IoStats, IoVolume};
 pub use trace::{Direction, Trace, TraceEvent};

@@ -525,6 +525,17 @@ pub trait MachineOps<T: Scalar> {
 
     /// Declares the current phase; subsequent transfers are attributed to it.
     fn set_phase(&mut self, phase: &str);
+
+    /// The currently active phase label.
+    fn phase(&self) -> &str;
+
+    /// The machine's fast-memory capacity in elements (`None` = unchecked).
+    /// Prefetching replayers plan their lookahead against this bound.
+    fn capacity(&self) -> Option<usize>;
+
+    /// Attributes the most recent load to the overlapped (prefetched) side
+    /// of the stall/overlap split (see [`IoStats::note_prefetch`]).
+    fn note_prefetch(&mut self, elements: usize);
 }
 
 impl<T: Scalar> MachineOps<T> for OocMachine<T> {
@@ -550,6 +561,18 @@ impl<T: Scalar> MachineOps<T> for OocMachine<T> {
 
     fn set_phase(&mut self, phase: &str) {
         OocMachine::set_phase(self, phase)
+    }
+
+    fn phase(&self) -> &str {
+        OocMachine::phase(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        OocMachine::capacity(self)
+    }
+
+    fn note_prefetch(&mut self, elements: usize) {
+        self.stats.note_prefetch(elements);
     }
 }
 

@@ -313,6 +313,19 @@ impl Region {
     }
 }
 
+/// Renders a row-index set as `{r1,r2,...}` (the form `Region`'s `FromStr` impl
+/// parses back).
+fn fmt_rows(f: &mut fmt::Formatter<'_>, rows: &[usize]) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{r}")?;
+    }
+    write!(f, "}}")
+}
+
 impl fmt::Display for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -323,7 +336,9 @@ impl fmt::Display for Region {
                 cols,
             } => write!(f, "Rect[{row0}..+{rows}, {col0}..+{cols}]"),
             Region::Rows { rows, col0, cols } => {
-                write!(f, "Rows[{} rows, {col0}..+{cols}]", rows.len())
+                write!(f, "Rows[")?;
+                fmt_rows(f, rows)?;
+                write!(f, ", {col0}..+{cols}]")
             }
             Region::SymRect {
                 row0,
@@ -334,10 +349,110 @@ impl fmt::Display for Region {
             Region::SymLowerTriangle { start, size } => {
                 write!(f, "SymLowerTriangle[{start}..+{size}]")
             }
-            Region::SymPairs { rows } => write!(f, "SymPairs[{} rows]", rows.len()),
-            Region::SymRows { rows, col0, cols } => {
-                write!(f, "SymRows[{} rows, {col0}..+{cols}]", rows.len())
+            Region::SymPairs { rows } => {
+                write!(f, "SymPairs[")?;
+                fmt_rows(f, rows)?;
+                write!(f, "]")
             }
+            Region::SymRows { rows, col0, cols } => {
+                write!(f, "SymRows[")?;
+                fmt_rows(f, rows)?;
+                write!(f, ", {col0}..+{cols}]")
+            }
+        }
+    }
+}
+
+/// Error returned by parsing a [`Region`] from text (`str::parse`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionParseError(String);
+
+impl fmt::Display for RegionParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unparseable region: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegionParseError {}
+
+/// Parses `start..+len` into `(start, len)`.
+fn parse_range(text: &str) -> std::result::Result<(usize, usize), RegionParseError> {
+    let err = || RegionParseError(format!("bad range `{text}` (expected `start..+len`)"));
+    let (start, len) = text.split_once("..+").ok_or_else(err)?;
+    Ok((
+        start.trim().parse().map_err(|_| err())?,
+        len.trim().parse().map_err(|_| err())?,
+    ))
+}
+
+/// Parses `{r1,r2,...}` into a row-index vector.
+fn parse_rows(text: &str) -> std::result::Result<Vec<usize>, RegionParseError> {
+    let err = || RegionParseError(format!("bad row set `{text}` (expected `{{r1,r2,...}}`)"));
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(err)?;
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|r| r.trim().parse().map_err(|_| err()))
+        .collect()
+}
+
+impl std::str::FromStr for Region {
+    type Err = RegionParseError;
+
+    /// Parses the exact form [`Region`]'s `Display` renders, so
+    /// `text.parse::<Region>()` is the inverse of `region.to_string()`
+    /// (used by `Schedule::parse` in `symla-sched`).
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let s = s.trim();
+        let err = || RegionParseError(s.to_string());
+        let (kind, rest) = s.split_once('[').ok_or_else(err)?;
+        let body = rest.strip_suffix(']').ok_or_else(err)?;
+        match kind {
+            "Rect" | "SymRect" => {
+                let (rows_part, cols_part) = body.split_once(", ").ok_or_else(err)?;
+                let (row0, rows) = parse_range(rows_part)?;
+                let (col0, cols) = parse_range(cols_part)?;
+                Ok(if kind == "Rect" {
+                    Region::Rect {
+                        row0,
+                        col0,
+                        rows,
+                        cols,
+                    }
+                } else {
+                    Region::SymRect {
+                        row0,
+                        col0,
+                        rows,
+                        cols,
+                    }
+                })
+            }
+            "Rows" | "SymRows" => {
+                let close = body.rfind('}').ok_or_else(err)?;
+                let rows = parse_rows(&body[..=close])?;
+                let tail = body[close + 1..].strip_prefix(", ").ok_or_else(err)?;
+                let (col0, cols) = parse_range(tail)?;
+                Ok(if kind == "Rows" {
+                    Region::Rows { rows, col0, cols }
+                } else {
+                    Region::SymRows { rows, col0, cols }
+                })
+            }
+            "SymLowerTriangle" => {
+                let (start, size) = parse_range(body)?;
+                Ok(Region::SymLowerTriangle { start, size })
+            }
+            "SymPairs" => Ok(Region::SymPairs {
+                rows: parse_rows(body)?,
+            }),
+            _ => Err(err()),
         }
     }
 }
@@ -500,7 +615,7 @@ mod tests {
         assert!(ok.validate((8, 8)).is_ok());
         assert_eq!(ok.len(), 9);
         assert!(ok.is_symmetric_region());
-        assert!(ok.to_string().contains("3 rows"));
+        assert_eq!(ok.to_string(), "SymRows[{4,6,7}, 0..+3]");
         // row 1 would cross the diagonal for columns 0..3
         assert!(Region::SymRows {
             rows: vec![1, 6],
@@ -537,21 +652,68 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(Region::rect(1, 2, 3, 4).to_string(), "Rect[1..+3, 2..+4]");
-        assert!(Region::SymPairs {
-            rows: vec![1, 2, 3]
-        }
-        .to_string()
-        .contains("3 rows"));
-        assert!(Region::Rows {
-            rows: vec![1, 2],
-            col0: 0,
-            cols: 3
-        }
-        .to_string()
-        .contains("2 rows"));
+        assert_eq!(
+            Region::SymPairs {
+                rows: vec![1, 2, 3]
+            }
+            .to_string(),
+            "SymPairs[{1,2,3}]"
+        );
+        assert_eq!(
+            Region::Rows {
+                rows: vec![1, 2],
+                col0: 0,
+                cols: 3
+            }
+            .to_string(),
+            "Rows[{1,2}, 0..+3]"
+        );
         assert!(Region::sym_rect(3, 0, 1, 1).to_string().contains("SymRect"));
         assert!(Region::SymLowerTriangle { start: 2, size: 3 }
             .to_string()
             .contains("2..+3"));
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let regions = [
+            Region::rect(1, 2, 3, 4),
+            Region::col_segment(7, 0, 5),
+            Region::sym_rect(6, 0, 2, 3),
+            Region::SymLowerTriangle { start: 4, size: 3 },
+            Region::Rows {
+                rows: vec![1, 5, 9],
+                col0: 2,
+                cols: 4,
+            },
+            Region::SymRows {
+                rows: vec![4, 6, 7],
+                col0: 0,
+                cols: 3,
+            },
+            Region::SymPairs {
+                rows: vec![0, 3, 7, 9],
+            },
+            Region::SymPairs { rows: vec![2] },
+        ];
+        for region in regions {
+            let text = region.to_string();
+            let parsed: Region = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(parsed, region, "{text}");
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_text() {
+        for bad in [
+            "Rect[1..+3]",
+            "Rect[a..+3, 0..+1]",
+            "Rows[3 rows, 0..+1]",
+            "SymPairs[1,2]",
+            "Blob[0..+1]",
+            "Rect 1..+3, 0..+1",
+        ] {
+            assert!(bad.parse::<Region>().is_err(), "{bad} should not parse");
+        }
     }
 }

@@ -400,6 +400,18 @@ impl<'m, T: Scalar> MachineOps<T> for WorkerMachine<'m, T> {
     fn set_phase(&mut self, phase: &str) {
         self.phase = phase.to_string();
     }
+
+    fn phase(&self) -> &str {
+        WorkerMachine::phase(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        WorkerMachine::capacity(self)
+    }
+
+    fn note_prefetch(&mut self, elements: usize) {
+        self.stats.note_prefetch(elements);
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,13 @@ pub struct IoStats {
     pub store_events: u64,
     /// Largest number of elements simultaneously resident in fast memory.
     pub peak_resident: usize,
+    /// Elements of load traffic issued *ahead* of the task group that
+    /// consumes them (double-buffered prefetch): this volume is overlapped
+    /// with the previous group's compute instead of stalling its own group.
+    /// Always `<= volume.loads`; zero for a non-prefetching replay.
+    pub prefetched_elements: u64,
+    /// Number of load transfers issued as prefetches.
+    pub prefetch_events: u64,
     /// Arithmetic operations recorded by the schedule.
     pub flops: FlopCount,
     /// Traffic attributed to each named phase (in the order phases were
@@ -70,6 +77,32 @@ impl IoStats {
         self.volume.stores += elements as u64;
         self.store_events += 1;
         self.per_phase.entry(phase.to_string()).or_default().stores += elements as u64;
+    }
+
+    /// Marks the most recent load as a prefetch: `elements` of its traffic
+    /// were issued ahead of the consuming task group and overlap with the
+    /// previous group's compute. The load itself must still be recorded via
+    /// [`IoStats::record_load`]; this only attributes it to the overlapped
+    /// (rather than stalled) side of the split.
+    pub fn note_prefetch(&mut self, elements: usize) {
+        self.prefetched_elements += elements as u64;
+        self.prefetch_events += 1;
+    }
+
+    /// Load volume that stalled its consuming group (issued at its original
+    /// program point, not overlapped): `loads − prefetched_elements`.
+    pub fn stalled_loads(&self) -> u64 {
+        self.volume.loads.saturating_sub(self.prefetched_elements)
+    }
+
+    /// Fraction of the load volume that was overlapped with compute by
+    /// prefetching (`prefetched_elements / loads`; `0.0` when nothing was
+    /// loaded).
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.volume.loads == 0 {
+            return 0.0;
+        }
+        self.prefetched_elements as f64 / self.volume.loads as f64
     }
 
     /// Records arithmetic work.
@@ -120,6 +153,8 @@ impl IoStats {
         self.load_events += other.load_events;
         self.store_events += other.store_events;
         self.peak_resident = self.peak_resident.max(other.peak_resident);
+        self.prefetched_elements += other.prefetched_elements;
+        self.prefetch_events += other.prefetch_events;
         self.flops = self.flops.merge(&other.flops);
         for (phase, vol) in &other.per_phase {
             let entry = self.per_phase.entry(phase.clone()).or_default();
@@ -151,6 +186,16 @@ impl fmt::Display for IoStats {
             self.flops.adds,
             self.operational_intensity_mults()
         )?;
+        if self.prefetch_events > 0 {
+            writeln!(
+                f,
+                "prefetched: {} elements ({} events), stalled loads: {}, overlap: {:.1}%",
+                self.prefetched_elements,
+                self.prefetch_events,
+                self.stalled_loads(),
+                100.0 * self.overlap_ratio()
+            )?;
+        }
         for (phase, vol) in &self.per_phase {
             writeln!(
                 f,
@@ -196,6 +241,29 @@ mod tests {
         assert!((s.operational_intensity_mults() - 10.0).abs() < 1e-12);
         assert!((s.operational_intensity_total() - 15.0).abs() < 1e-12);
         assert!((s.operational_intensity_loads() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_split_and_overlap_ratio() {
+        let mut s = IoStats::new();
+        assert_eq!(s.overlap_ratio(), 0.0);
+        assert_eq!(s.stalled_loads(), 0);
+        s.record_load(40, "p");
+        s.note_prefetch(40);
+        s.record_load(60, "p");
+        assert_eq!(s.prefetched_elements, 40);
+        assert_eq!(s.prefetch_events, 1);
+        assert_eq!(s.stalled_loads(), 60);
+        assert!((s.overlap_ratio() - 0.4).abs() < 1e-12);
+        assert!(s.to_string().contains("overlap"));
+
+        let mut other = IoStats::new();
+        other.record_load(10, "p");
+        other.note_prefetch(10);
+        s.merge(&other);
+        assert_eq!(s.prefetched_elements, 50);
+        assert_eq!(s.prefetch_events, 2);
+        assert_eq!(s.stalled_loads(), 60);
     }
 
     #[test]

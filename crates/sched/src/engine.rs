@@ -1,7 +1,8 @@
 //! The generic out-of-core execution engine.
 //!
 //! [`Engine`] replays a [`Schedule`] built from the IR of [`crate::ir`] in
-//! four modes — two that run it and two that only analyze it:
+//! five modes: two that run it, two that only analyze it, and a prefetching
+//! variant of each of the four:
 //!
 //! * [`Engine::execute`] — runs the schedule for real against any
 //!   [`MachineOps`] machine (normally the serial
@@ -24,17 +25,34 @@
 //!   would record, again without executing anything; used for schedule
 //!   inspection and bound verification.
 //!
+//! Every mode additionally exists in a **prefetching** variant
+//! ([`Engine::execute_with`] / [`Engine::dry_run_with`] /
+//! [`Engine::trace_with`] / [`Engine::execute_parallel_with`]) taking an
+//! [`EngineConfig`]: with `lookahead = L > 0` the engine double-buffers the
+//! load stream, issuing the `Load` steps of up to `L` future task groups at
+//! the boundary of the current group — i.e. while the current group
+//! computes — whenever they fit in the capacity slack `S − footprint` and
+//! are legal to hoist (see [`crate::prefetch`] for the planner and its
+//! admission rules). Transfer *volumes* are unchanged; the prefetched share
+//! of the load stream is reported in [`IoStats::prefetched_elements`] /
+//! `prefetch_events` (overlapped vs stalled loads), and the residency cost
+//! of the lookahead shows up in `peak_resident`, which by planner
+//! construction never exceeds the machine capacity. `lookahead = 0` is
+//! bit-for-bit today's behaviour.
+//!
 //! The invariant tying the modes together (checked by the cross-crate
-//! equivalence tests): for any schedule `s` and machine `m`,
-//! `execute(&mut m, &s)` leaves `m.stats()` equal to `dry_run(&s)` and
-//! `m.trace()` equal to `trace(&s)`; and for any schedule whose groups are
-//! independent, `execute_parallel(&shared, &s, P, ..)` leaves the *sum* of
-//! the per-worker [`IoStats`] equal to `dry_run(&s)`, each worker's stats
+//! equivalence tests): for any schedule `s`, machine `m` and config `c`,
+//! `execute_with(&mut m, &s, &c)` leaves `m.stats()` equal to
+//! `dry_run_with(&s, .., &c, m.capacity())` and `m.trace()` equal to
+//! `trace_with(&s, .., &c, m.capacity())`; and for any schedule whose groups
+//! are independent, `execute_parallel(&shared, &s, P, ..)` leaves the *sum*
+//! of the per-worker [`IoStats`] equal to `dry_run(&s)`, each worker's stats
 //! equal to the dry run of exactly the groups it processed, and the contents
 //! of the shared slow memory bitwise-identical to what a serial `execute`
 //! leaves behind.
 
 use crate::ir::{BufId, BufSlice, ComputeOp, Schedule, Step, TaskGroup};
+use crate::prefetch::{group_peak, hoistable_loads, PrefetchPlan};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +77,9 @@ pub enum EngineError {
     /// The schedule is malformed (e.g. a step references a buffer that was
     /// never loaded or was already released).
     InvalidSchedule(String),
+    /// The caller passed an invalid argument (e.g. zero workers); nothing
+    /// was replayed and no accounting exists.
+    InvalidArgument(String),
 }
 
 impl fmt::Display for EngineError {
@@ -67,6 +88,7 @@ impl fmt::Display for EngineError {
             EngineError::Memory(e) => write!(f, "memory model error: {e}"),
             EngineError::Matrix(e) => write!(f, "kernel error: {e}"),
             EngineError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            EngineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }
@@ -76,7 +98,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Memory(e) => Some(e),
             EngineError::Matrix(e) => Some(e),
-            EngineError::InvalidSchedule(_) => None,
+            EngineError::InvalidSchedule(_) | EngineError::InvalidArgument(_) => None,
         }
     }
 }
@@ -96,6 +118,38 @@ impl From<MatrixError> for EngineError {
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
+/// Buffers loaded ahead of their group, keyed by the `(group, step)`
+/// coordinate of the `Load` they stand in for (buffer ids are only unique
+/// within one builder, so they cannot key cross-group state).
+type PrefetchedBufs<T> = BTreeMap<(usize, usize), FastBuf<T>>;
+
+/// Per-group prefetch analysis of the parallel path: the group's standalone
+/// peak footprint (`None` = not self-contained) and its hoistable loads as
+/// `(step index, elements)` pairs.
+type GroupAnalysis = (Option<usize>, Vec<(usize, usize)>);
+
+/// Replay configuration of the engine's `*_with` entry points.
+///
+/// The only knob today is the prefetch lookahead: with `lookahead = L > 0`
+/// the engine issues the `Load` steps of up to `L` future task groups at
+/// the current group's boundary (double-buffering at `L = 1`), admitted by
+/// the [`PrefetchPlan`] against the capacity
+/// slack. `lookahead = 0` (the default) reproduces the plain serial replay
+/// exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// How many future task groups' loads may be in flight while the
+    /// current group computes.
+    pub lookahead: usize,
+}
+
+impl EngineConfig {
+    /// A config prefetching up to `lookahead` groups ahead.
+    pub fn with_lookahead(lookahead: usize) -> Self {
+        Self { lookahead }
+    }
+}
+
 /// Accounting of one worker of an [`Engine::execute_parallel`] run.
 #[derive(Debug, Clone)]
 pub struct WorkerRun {
@@ -111,17 +165,33 @@ pub struct WorkerRun {
 
 impl WorkerRun {
     /// Sums the statistics of a set of worker runs (phases merge by name,
-    /// the peak residency is the maximum over the workers).
+    /// the peak residency is the **maximum over the workers**).
     ///
-    /// For a schedule with self-contained groups this equals the serial
-    /// [`Engine::dry_run`] of the whole schedule: every group is processed by
-    /// exactly one worker, and the serial peak is also a per-group maximum.
+    /// For a schedule with self-contained groups the volumes, events, flops
+    /// and phase split equal the serial [`Engine::dry_run`] of the whole
+    /// schedule (every group is processed by exactly one worker), and the
+    /// merged `peak_resident` equals the serial peak (both are per-group
+    /// maxima). Note what the merged peak is *not*: the fleet-wide memory
+    /// in use. The workers' private fast memories coexist, so at any
+    /// instant the fleet may hold up to the **sum** of the per-worker
+    /// residencies — see [`WorkerRun::aggregate_peak`] for that upper
+    /// bound.
     pub fn merged_stats(runs: &[WorkerRun]) -> IoStats {
         let mut total = IoStats::new();
         for run in runs {
             total.merge(&run.stats);
         }
         total
+    }
+
+    /// Upper bound on the fleet-wide peak residency: the sum of the
+    /// per-worker peaks. The true concurrent peak lies between the busiest
+    /// single worker's peak (what [`WorkerRun::merged_stats`] reports) and
+    /// this sum — the workers' fast memories are private and coexist, but
+    /// their individual peaks need not be simultaneous, so the sum is an
+    /// upper bound, not an exact measurement.
+    pub fn aggregate_peak(runs: &[WorkerRun]) -> usize {
+        runs.iter().map(|r| r.stats.peak_resident).sum()
     }
 }
 
@@ -135,10 +205,14 @@ impl WorkerRun {
 pub struct ParallelError {
     /// The first replay error observed.
     pub error: EngineError,
-    /// Index of the worker whose group replay failed.
-    pub worker: usize,
-    /// Index (into [`Schedule::groups`]) of the task group that failed.
-    pub group: usize,
+    /// Index of the worker whose group replay failed. `None` when the run
+    /// was rejected before any worker started (e.g. `workers == 0` — see
+    /// [`EngineError::InvalidArgument`]); no worker index is fabricated for
+    /// failures that never happened on a worker.
+    pub worker: Option<usize>,
+    /// Index (into [`Schedule::groups`]) of the task group that failed;
+    /// `None` when no group was ever attempted.
+    pub group: Option<usize>,
     /// Per-worker accounting up to the abort. Workers that were mid-group
     /// when the abort flag rose finish that group normally, so every run
     /// in this list is consistent (its stats equal the dry-run of its
@@ -148,11 +222,14 @@ pub struct ParallelError {
 
 impl fmt::Display for ParallelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "worker {} failed on task group {}: {}",
-            self.worker, self.group, self.error
-        )
+        match (self.worker, self.group) {
+            (Some(worker), Some(group)) => write!(
+                f,
+                "worker {} failed on task group {}: {}",
+                worker, group, self.error
+            ),
+            _ => write!(f, "parallel execution rejected: {}", self.error),
+        }
     }
 }
 
@@ -208,9 +285,17 @@ impl StealQueue {
         }
         None
     }
+
+    /// Next group from worker `w`'s own deque only. Filling a prefetch
+    /// lookahead window uses this instead of [`StealQueue::pop`]: a worker
+    /// must not *steal* groups it will merely park behind its current one —
+    /// that would serialize work other workers could run now.
+    fn pop_local(&self, w: usize) -> Option<usize> {
+        self.lock(w).pop_front()
+    }
 }
 
-/// The schedule replayer. See the module docs for the four modes.
+/// The schedule replayer. See the module docs for the five modes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Engine;
 
@@ -223,6 +308,25 @@ fn short_segment(op: &str, got: usize, needed: usize) -> EngineError {
         "{op}: segment buffer has {got} element(s), step needs {needed} \
          (column/row index out of range for the destination tile)"
     ))
+}
+
+/// The phase each group's traffic is attributed to under the serial phase
+/// semantics: a group's own label if set, else the label of the nearest
+/// labeled group before it, else `default` (the machine's phase at entry).
+/// Precomputed so prefetched loads can be charged to the phase of the group
+/// that consumes them, independent of where they are issued.
+fn effective_phases<T: Scalar>(schedule: &Schedule<T>, default: &str) -> Vec<String> {
+    let mut current = default.to_string();
+    schedule
+        .groups
+        .iter()
+        .map(|group| {
+            if let Some(phase) = &group.phase {
+                current = phase.clone();
+            }
+            current.clone()
+        })
+        .collect()
 }
 
 fn slice_of<'a, T: Scalar>(bufs: &'a BTreeMap<BufId, FastBuf<T>>, s: &BufSlice) -> Result<&'a [T]> {
@@ -283,9 +387,49 @@ impl Engine {
         machine: &mut M,
         schedule: &Schedule<T>,
     ) -> Result<()> {
+        Self::execute_with(machine, schedule, &EngineConfig::default())
+    }
+
+    /// [`Engine::execute`] with a replay configuration: `config.lookahead > 0`
+    /// turns on double-buffered prefetching — at every group boundary the
+    /// engine first *fills* the prefetch window (issuing the planned `Load`
+    /// steps of up to `lookahead` future groups, counted as load traffic and
+    /// marked prefetched in the machine's [`IoStats`]) and then *drains* the
+    /// current group, whose prefetched loads find their buffers already
+    /// resident. The [`PrefetchPlan`] admits
+    /// a load only when it fits the capacity slack and reads fresh data, so
+    /// the machine's peak residency never exceeds its capacity and results
+    /// are bitwise-identical to the plain replay.
+    ///
+    /// Prefetched loads are attributed to the phase of the group that
+    /// *consumes* them (issuing a load early does not change which
+    /// sub-algorithm needs the data), so the per-phase split is identical
+    /// at every lookahead.
+    pub fn execute_with<T: Scalar, M: MachineOps<T>>(
+        machine: &mut M,
+        schedule: &Schedule<T>,
+        config: &EngineConfig,
+    ) -> Result<()> {
         let mut bufs: BTreeMap<BufId, FastBuf<T>> = BTreeMap::new();
-        let outcome = Self::replay(machine, schedule, &mut bufs);
-        for (_, buf) in std::mem::take(&mut bufs) {
+        let mut prefetched: PrefetchedBufs<T> = BTreeMap::new();
+        let outcome = if config.lookahead == 0 {
+            // Fast path: no plan, no phase table — exactly the historical
+            // serial replay (the per-group phase label semantics coincide
+            // with `effective_phases`, without one String per group).
+            Self::replay_plain(machine, schedule, &mut bufs, &mut prefetched)
+        } else {
+            let plan = PrefetchPlan::plan(schedule, config.lookahead, machine.capacity());
+            let phases = effective_phases(schedule, machine.phase());
+            Self::replay(
+                machine,
+                schedule,
+                &plan,
+                &phases,
+                &mut bufs,
+                &mut prefetched,
+            )
+        };
+        for buf in bufs.into_values().chain(prefetched.into_values()) {
             // Release leaked buffers even when the replay failed; a discard
             // can only fail for foreign buffers, which cannot be in `bufs`.
             let _ = machine.discard(buf);
@@ -293,16 +437,18 @@ impl Engine {
         outcome
     }
 
-    fn replay<T: Scalar, M: MachineOps<T>>(
+    /// The non-prefetching serial replay (`lookahead = 0`).
+    fn replay_plain<T: Scalar, M: MachineOps<T>>(
         machine: &mut M,
         schedule: &Schedule<T>,
         bufs: &mut BTreeMap<BufId, FastBuf<T>>,
+        prefetched: &mut PrefetchedBufs<T>,
     ) -> Result<()> {
-        for group in &schedule.groups {
+        for (g, group) in schedule.groups.iter().enumerate() {
             if let Some(phase) = &group.phase {
                 machine.set_phase(phase);
             }
-            Self::replay_group(machine, group, bufs)?;
+            Self::replay_group(machine, g, group, bufs, prefetched)?;
         }
         if !bufs.is_empty() {
             return Err(EngineError::InvalidSchedule(format!(
@@ -313,22 +459,70 @@ impl Engine {
         Ok(())
     }
 
+    fn replay<T: Scalar, M: MachineOps<T>>(
+        machine: &mut M,
+        schedule: &Schedule<T>,
+        plan: &PrefetchPlan,
+        phases: &[String],
+        bufs: &mut BTreeMap<BufId, FastBuf<T>>,
+        prefetched: &mut PrefetchedBufs<T>,
+    ) -> Result<()> {
+        for (g, group) in schedule.groups.iter().enumerate() {
+            // Fill: issue the loads planned at this boundary (they overlap
+            // with this group's compute in the two-phase model).
+            for issue in plan.issues_at(g) {
+                let Step::Load { matrix, region, .. } =
+                    &schedule.groups[issue.group].steps[issue.step]
+                else {
+                    return Err(EngineError::InvalidSchedule(format!(
+                        "prefetch plan targets non-load step {} of group {}",
+                        issue.step, issue.group
+                    )));
+                };
+                machine.set_phase(&phases[issue.group]);
+                let buf = machine.load(*matrix, region.clone())?;
+                machine.note_prefetch(region.len());
+                prefetched.insert((issue.group, issue.step), buf);
+            }
+            // Drain: replay the group itself.
+            machine.set_phase(&phases[g]);
+            Self::replay_group(machine, g, group, bufs, prefetched)?;
+        }
+        if !bufs.is_empty() || !prefetched.is_empty() {
+            return Err(EngineError::InvalidSchedule(format!(
+                "{} buffer(s) left resident at end of schedule",
+                bufs.len() + prefetched.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Replays the steps of one task group. Shared verbatim between the
     /// serial path (where `bufs` persists across groups, tolerating legacy
     /// schedules whose buffers straddle group boundaries) and the parallel
     /// path (where each group gets a fresh table and must be self-contained).
+    /// A load whose `(group, step)` coordinate is in `prefetched` was issued
+    /// (and counted) at an earlier group boundary and replays as a handoff —
+    /// coordinates, not buffer ids, key the handoff because concatenated
+    /// schedules legally reuse ids across groups.
     fn replay_group<T: Scalar, M: MachineOps<T>>(
         machine: &mut M,
+        group_index: usize,
         group: &TaskGroup<T>,
         bufs: &mut BTreeMap<BufId, FastBuf<T>>,
+        prefetched: &mut PrefetchedBufs<T>,
     ) -> Result<()> {
-        for step in &group.steps {
+        for (idx, step) in group.steps.iter().enumerate() {
             match step {
                 Step::Load {
                     matrix,
                     region,
                     dst,
                 } => {
+                    if let Some(buf) = prefetched.remove(&(group_index, idx)) {
+                        bufs.insert(*dst, buf);
+                        continue;
+                    }
                     let buf = machine.load(*matrix, region.clone())?;
                     bufs.insert(*dst, buf);
                 }
@@ -420,16 +614,68 @@ impl Engine {
         config: MachineConfig,
         default_phase: &str,
     ) -> std::result::Result<Vec<WorkerRun>, ParallelError> {
+        Self::execute_parallel_with(
+            shared,
+            schedule,
+            workers,
+            config,
+            default_phase,
+            &EngineConfig::default(),
+        )
+    }
+
+    /// [`Engine::execute_parallel`] with a replay configuration: with
+    /// `engine.lookahead = L > 0` every worker pipelines its group handoff —
+    /// it claims up to `L` additional groups from *its own deque* (never
+    /// stealing ahead: parked lookahead groups would serialize work other
+    /// workers could run now) and, before
+    /// draining the current group, issues the hoistable loads of those
+    /// claimed groups into its private fast memory (counted and marked
+    /// prefetched in its [`IoStats`]), so the next group's input stream
+    /// overlaps the current group's compute. Admission is conservative: a
+    /// load is only issued while the resident prefetch window plus the
+    /// largest claimed group footprint still fits the worker's capacity, and
+    /// a load that the (serialized) shared memory rejects anyway falls back
+    /// to its original program point instead of failing the run. Groups that
+    /// are not self-contained disable prefetching around them, and the
+    /// caller's independence contract (no group touches a region another
+    /// group writes) is what makes cross-group hoisting safe — exactly the
+    /// contract [`Engine::execute_parallel`] already imposes.
+    ///
+    /// Per-worker transfer volumes, group coverage and numerical results are
+    /// identical to the non-prefetching run; only the overlapped/stalled
+    /// split and (within capacity) the per-worker peak residency change.
+    pub fn execute_parallel_with<T: Scalar>(
+        shared: &SharedSlowMemory<T>,
+        schedule: &Schedule<T>,
+        workers: usize,
+        config: MachineConfig,
+        default_phase: &str,
+        engine: &EngineConfig,
+    ) -> std::result::Result<Vec<WorkerRun>, ParallelError> {
         if workers == 0 {
             return Err(ParallelError {
-                error: EngineError::InvalidSchedule(
+                error: EngineError::InvalidArgument(
                     "execute_parallel needs at least one worker".to_string(),
                 ),
-                worker: 0,
-                group: 0,
+                worker: None,
+                group: None,
                 runs: Vec::new(),
             });
         }
+        let lookahead = engine.lookahead;
+        // Per-group prefetch analysis, shared read-only by all workers:
+        // the group's own peak footprint (None = not self-contained, do not
+        // prefetch around it) and the loads hoistable to its start.
+        let analysis: Vec<GroupAnalysis> = if lookahead > 0 {
+            schedule
+                .groups
+                .iter()
+                .map(|g| (group_peak(g), hoistable_loads(g)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let queue = StealQueue::deal(schedule.groups.len(), workers);
         let abort = AtomicBool::new(false);
         let failure: Mutex<Option<(usize, usize, EngineError)>> = Mutex::new(None);
@@ -437,16 +683,47 @@ impl Engine {
         let runs: Vec<WorkerRun> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
-                    let (queue, abort, failure) = (&queue, &abort, &failure);
+                    let (queue, abort, failure, analysis) = (&queue, &abort, &failure, &analysis);
                     scope.spawn(move || {
                         let mut machine = shared.worker(config);
                         let mut groups = Vec::new();
+                        let mut pending: VecDeque<usize> = VecDeque::new();
+                        let mut prefetched: PrefetchedBufs<T> = BTreeMap::new();
                         while !abort.load(Ordering::Acquire) {
-                            let Some(g) = queue.pop(w) else { break };
+                            while pending.len() < 1 + lookahead {
+                                // The head of the window may be stolen (it
+                                // is about to run); lookahead extras come
+                                // from the worker's own deque only.
+                                let next = if pending.is_empty() {
+                                    queue.pop(w)
+                                } else {
+                                    queue.pop_local(w)
+                                };
+                                let Some(g) = next else { break };
+                                pending.push_back(g);
+                            }
+                            let Some(g) = pending.pop_front() else { break };
                             let group = &schedule.groups[g];
+                            if lookahead > 0 {
+                                Self::fill_worker_window(
+                                    &mut machine,
+                                    schedule,
+                                    analysis,
+                                    g,
+                                    &pending,
+                                    default_phase,
+                                    &mut prefetched,
+                                );
+                            }
                             machine.set_phase(group.phase.as_deref().unwrap_or(default_phase));
                             let mut bufs = BTreeMap::new();
-                            let mut outcome = Self::replay_group(&mut machine, group, &mut bufs);
+                            let mut outcome = Self::replay_group(
+                                &mut machine,
+                                g,
+                                group,
+                                &mut bufs,
+                                &mut prefetched,
+                            );
                             if outcome.is_ok() && !bufs.is_empty() {
                                 outcome = Err(EngineError::InvalidSchedule(format!(
                                     "{} buffer(s) left resident at end of task group {g}",
@@ -467,6 +744,11 @@ impl Engine {
                                     break;
                                 }
                             }
+                        }
+                        // Release any prefetched buffers whose group never
+                        // drained (abort mid-pipeline).
+                        for (_, buf) in prefetched {
+                            let _ = machine.discard(buf);
                         }
                         let (stats, trace) = machine.into_accounting();
                         WorkerRun {
@@ -489,11 +771,63 @@ impl Engine {
         match slot {
             Some((worker, group, error)) => Err(ParallelError {
                 error,
-                worker,
-                group,
+                worker: Some(worker),
+                group: Some(group),
                 runs,
             }),
             None => Ok(runs),
+        }
+    }
+
+    /// Issues the hoistable loads of a worker's claimed-but-not-yet-drained
+    /// groups (`pending`) before it drains group `current`. Admission is
+    /// conservative: the live prefetch window plus the load plus the largest
+    /// group footprint the worker still has in flight must fit its capacity;
+    /// a rejected or failing load simply stays at its original program point
+    /// (prefetching is an optimization, never a new failure mode).
+    fn fill_worker_window<T: Scalar, M: MachineOps<T>>(
+        machine: &mut M,
+        schedule: &Schedule<T>,
+        analysis: &[GroupAnalysis],
+        current: usize,
+        pending: &VecDeque<usize>,
+        default_phase: &str,
+        prefetched: &mut PrefetchedBufs<T>,
+    ) {
+        let capacity = machine.capacity();
+        let mut window: u64 = prefetched.values().map(|b| b.len() as u64).sum();
+        // The bound must cover every group the worker drains while the
+        // prefetched buffer is alive: the current group and all claimed ones.
+        let mut max_peak = 0u64;
+        for &g in std::iter::once(&current).chain(pending.iter()) {
+            match analysis[g].0 {
+                Some(peak) => max_peak = max_peak.max(peak as u64),
+                // A non-self-contained group has no standalone footprint;
+                // prefetching around it is off the table entirely.
+                None => return,
+            }
+        }
+        for &h in pending {
+            for &(step_idx, size) in &analysis[h].1 {
+                let Step::Load { matrix, region, .. } = &schedule.groups[h].steps[step_idx] else {
+                    continue;
+                };
+                if prefetched.contains_key(&(h, step_idx)) {
+                    continue;
+                }
+                if let Some(cap) = capacity {
+                    if window + size as u64 + max_peak > cap as u64 {
+                        continue;
+                    }
+                }
+                machine.set_phase(schedule.groups[h].phase.as_deref().unwrap_or(default_phase));
+                let Ok(buf) = machine.load(*matrix, region.clone()) else {
+                    continue; // fall back to loading at the original point
+                };
+                machine.note_prefetch(region.len());
+                window += size as u64;
+                prefetched.insert((h, step_idx), buf);
+            }
         }
     }
 
@@ -722,6 +1056,102 @@ impl Engine {
         stats
     }
 
+    /// [`Engine::dry_run`] of the **prefetching** replay: models the exact
+    /// accounting [`Engine::execute_with`] leaves in a machine of capacity
+    /// `capacity` — same volumes, events, flops and per-phase split as the
+    /// plain dry run, plus the overlapped/stalled load split
+    /// ([`IoStats::prefetched_elements`] / `prefetch_events` /
+    /// [`IoStats::stalled_loads`]) and the *prefetch-inflated* peak
+    /// residency (which by planner admission never exceeds `capacity`).
+    /// This is how the benefit of a lookahead is quantified without timing
+    /// noise: the modelled overlap is the load volume removed from the
+    /// critical path.
+    ///
+    /// ```
+    /// use symla_memory::{MatrixId, Region};
+    /// use symla_sched::{Engine, EngineConfig, ScheduleBuilder};
+    ///
+    /// let id = MatrixId::synthetic(0);
+    /// let mut b = ScheduleBuilder::<f64>::new();
+    /// for i in 0..2 {
+    ///     b.begin_group();
+    ///     let x = b.load(id, Region::rect(2 * i, 0, 2, 2));
+    ///     b.store(x);
+    /// }
+    /// let schedule = b.finish();
+    /// let stats = Engine::dry_run_with(
+    ///     &schedule, "main", &EngineConfig::with_lookahead(1), Some(8),
+    /// );
+    /// // Group 1's load was issued while group 0 computed ...
+    /// assert_eq!(stats.prefetched_elements, 4);
+    /// assert_eq!(stats.stalled_loads(), 4);
+    /// // ... at the price of double-buffered residency.
+    /// assert_eq!(stats.peak_resident, 8);
+    /// assert_eq!(stats.volume.loads, 8); // volumes never change
+    /// ```
+    pub fn dry_run_with<T: Scalar>(
+        schedule: &Schedule<T>,
+        default_phase: &str,
+        config: &EngineConfig,
+        capacity: Option<usize>,
+    ) -> IoStats {
+        if config.lookahead == 0 {
+            return Self::dry_run(schedule, default_phase);
+        }
+        let plan = PrefetchPlan::plan(schedule, config.lookahead, capacity);
+        let phases = effective_phases(schedule, default_phase);
+        let mut stats = IoStats::new();
+        let mut sizes: BTreeMap<BufId, usize> = BTreeMap::new();
+        let mut pre_sizes: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut resident = 0usize;
+        for (g, group) in schedule.groups.iter().enumerate() {
+            for issue in plan.issues_at(g) {
+                let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step]
+                else {
+                    unreachable!("prefetch plans only target load steps");
+                };
+                let elements = region.len();
+                resident += elements;
+                stats.observe_resident(resident);
+                stats.record_load(elements, &phases[issue.group]);
+                stats.note_prefetch(elements);
+                pre_sizes.insert((issue.group, issue.step), elements);
+            }
+            for (idx, step) in group.steps.iter().enumerate() {
+                match step {
+                    Step::Load { region, dst, .. } => {
+                        if let Some(elements) = pre_sizes.remove(&(g, idx)) {
+                            // resident and counted since its issue boundary
+                            sizes.insert(*dst, elements);
+                            continue;
+                        }
+                        let elements = region.len();
+                        resident += elements;
+                        stats.observe_resident(resident);
+                        stats.record_load(elements, &phases[g]);
+                        sizes.insert(*dst, elements);
+                    }
+                    Step::Alloc { region, dst, .. } => {
+                        resident += region.len();
+                        stats.observe_resident(resident);
+                        sizes.insert(*dst, region.len());
+                    }
+                    Step::Flops(flops) => stats.record_flops(*flops),
+                    Step::Store { buf } => {
+                        let elements = sizes.remove(buf).unwrap_or(0);
+                        resident -= elements;
+                        stats.record_store(elements, &phases[g]);
+                    }
+                    Step::Discard { buf } => {
+                        resident -= sizes.remove(buf).unwrap_or(0);
+                    }
+                    Step::Compute(_) => {}
+                }
+            }
+        }
+        stats
+    }
+
     /// Synthesizes the transfer trace of `schedule`: the returned [`Trace`]
     /// equals what a machine with trace recording enabled would record while
     /// executing the schedule.
@@ -782,6 +1212,97 @@ impl Engine {
                                 matrix,
                                 region,
                                 phase: phase.clone(),
+                                resident_after: resident,
+                            });
+                        }
+                    }
+                    Step::Discard { buf } => {
+                        if let Some((_, region)) = meta.remove(buf) {
+                            resident -= region.len();
+                        }
+                    }
+                    Step::Flops(_) | Step::Compute(_) => {}
+                }
+            }
+        }
+        trace
+    }
+
+    /// [`Engine::trace`] of the **prefetching** replay: the synthesized
+    /// stream equals what a trace-recording machine of capacity `capacity`
+    /// captures during [`Engine::execute_with`] — prefetched loads appear at
+    /// the group boundary where they are issued (with the residency they
+    /// observe there), attributed to the phase of their consuming group.
+    pub fn trace_with<T: Scalar>(
+        schedule: &Schedule<T>,
+        default_phase: &str,
+        config: &EngineConfig,
+        capacity: Option<usize>,
+    ) -> Trace {
+        if config.lookahead == 0 {
+            return Self::trace(schedule, default_phase);
+        }
+        let plan = PrefetchPlan::plan(schedule, config.lookahead, capacity);
+        let phases = effective_phases(schedule, default_phase);
+        let mut trace = Trace::new();
+        let mut meta: BTreeMap<BufId, (u64, symla_memory::Region)> = BTreeMap::new();
+        let mut pre_meta: BTreeMap<(usize, usize), (u64, symla_memory::Region)> = BTreeMap::new();
+        let mut resident = 0usize;
+        for (g, group) in schedule.groups.iter().enumerate() {
+            for issue in plan.issues_at(g) {
+                let Step::Load { matrix, region, .. } =
+                    &schedule.groups[issue.group].steps[issue.step]
+                else {
+                    unreachable!("prefetch plans only target load steps");
+                };
+                resident += region.len();
+                trace.push(TraceEvent {
+                    direction: Direction::Load,
+                    matrix: matrix.raw(),
+                    region: region.clone(),
+                    phase: phases[issue.group].clone(),
+                    resident_after: resident,
+                });
+                pre_meta.insert((issue.group, issue.step), (matrix.raw(), region.clone()));
+            }
+            for (idx, step) in group.steps.iter().enumerate() {
+                match step {
+                    Step::Load {
+                        matrix,
+                        region,
+                        dst,
+                    } => {
+                        if let Some(entry) = pre_meta.remove(&(g, idx)) {
+                            // transferred at its issue boundary
+                            meta.insert(*dst, entry);
+                            continue;
+                        }
+                        resident += region.len();
+                        trace.push(TraceEvent {
+                            direction: Direction::Load,
+                            matrix: matrix.raw(),
+                            region: region.clone(),
+                            phase: phases[g].clone(),
+                            resident_after: resident,
+                        });
+                        meta.insert(*dst, (matrix.raw(), region.clone()));
+                    }
+                    Step::Alloc {
+                        matrix,
+                        region,
+                        dst,
+                    } => {
+                        resident += region.len();
+                        meta.insert(*dst, (matrix.raw(), region.clone()));
+                    }
+                    Step::Store { buf } => {
+                        if let Some((matrix, region)) = meta.remove(buf) {
+                            resident -= region.len();
+                            trace.push(TraceEvent {
+                                direction: Direction::Store,
+                                matrix,
+                                region,
+                                phase: phases[g].clone(),
                                 resident_after: resident,
                             });
                         }
@@ -1096,7 +1617,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_workers_are_rejected() {
+    fn zero_workers_are_rejected_without_fabricated_indices() {
         let shared = SharedSlowMemory::<f64>::new();
         let err = Engine::execute_parallel(
             &shared,
@@ -1106,8 +1627,15 @@ mod tests {
             "main",
         )
         .unwrap_err();
-        assert!(matches!(err.error, EngineError::InvalidSchedule(_)));
+        assert!(matches!(err.error, EngineError::InvalidArgument(_)));
+        // Regression: the invalid-argument rejection used to claim worker 0
+        // failed on group 0 — indices that never existed. No worker ran and
+        // no group was attempted, and the error says so.
+        assert_eq!(err.worker, None);
+        assert_eq!(err.group, None);
         assert!(err.runs.is_empty());
+        assert!(err.to_string().contains("rejected"), "{err}");
+        assert!(!err.to_string().contains("worker 0"), "{err}");
     }
 
     #[test]
@@ -1141,7 +1669,7 @@ mod tests {
         .unwrap_err();
 
         // The error names the failing group and propagates the cause.
-        assert_eq!(err.group, 3);
+        assert_eq!(err.group, Some(3));
         assert!(matches!(err.error, EngineError::InvalidSchedule(_)));
         assert!(err.to_string().contains("task group 3"), "{err}");
         assert!(std::error::Error::source(&err).is_some());
@@ -1150,7 +1678,8 @@ mod tests {
         // Completed groups are fully accounted on their workers: each run's
         // stats equal the dry run of its completed groups, plus — for the
         // failing worker only — the partial loads of group 3.
-        let failing = &err.runs[err.worker];
+        let failing_worker = err.worker.expect("a worker replayed the poisoned group");
+        let failing = &err.runs[failing_worker];
         assert!(!failing.groups.contains(&3));
         let mut expected = dry_run_of_groups(&schedule, &failing.groups);
         // group 3 loaded its 4x4 block and its 4-element probe before dying
@@ -1160,7 +1689,7 @@ mod tests {
         assert_eq!(failing.stats.volume, expected.volume);
         assert_eq!(failing.stats.load_events, expected.load_events);
         for (w, run) in err.runs.iter().enumerate() {
-            if w != err.worker {
+            if w != failing_worker {
                 assert_eq!(
                     run.stats,
                     dry_run_of_groups(&schedule, &run.groups),
@@ -1216,6 +1745,139 @@ mod tests {
             b.finish()
         };
         Engine::execute(&mut machine, &schedule2).unwrap();
+    }
+
+    #[test]
+    fn prefetching_execute_matches_its_dry_run_and_trace() {
+        let n = 24;
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| ((i * n + j) % 11) as f64 - 5.0);
+        let schedule = diagonal_block_schedule(MatrixId::synthetic(0), n, 4);
+
+        // Reference: plain replay.
+        let mut plain = OocMachine::new(MachineConfig::with_capacity(40).record_trace(true));
+        let plain_id = plain.insert_dense(a.clone());
+        Engine::execute(&mut plain, &schedule).unwrap();
+        let expected = plain.take_dense(plain_id).unwrap();
+
+        for lookahead in [1usize, 2, 5] {
+            let config = EngineConfig::with_lookahead(lookahead);
+            let mut machine = OocMachine::new(MachineConfig::with_capacity(40).record_trace(true));
+            let id = machine.insert_dense(a.clone());
+            Engine::execute_with(&mut machine, &schedule, &config).unwrap();
+
+            // execute == dry-run == trace, at the same config and capacity.
+            let dry = Engine::dry_run_with(&schedule, "main", &config, Some(40));
+            assert_eq!(machine.stats(), &dry, "lookahead {lookahead}");
+            let synthesized = Engine::trace_with(&schedule, "main", &config, Some(40));
+            assert_eq!(
+                machine.trace().unwrap(),
+                &synthesized,
+                "lookahead {lookahead}"
+            );
+
+            // Overlap is real, volumes and phases unchanged, capacity held.
+            let plain_dry = Engine::dry_run(&schedule, "main");
+            assert!(dry.prefetched_elements > 0, "lookahead {lookahead}");
+            assert_eq!(dry.volume, plain_dry.volume);
+            assert_eq!(dry.load_events, plain_dry.load_events);
+            assert_eq!(dry.per_phase, plain_dry.per_phase);
+            assert!(dry.peak_resident <= 40);
+            assert!(dry.peak_resident >= plain_dry.peak_resident);
+
+            // The computed result is bitwise-equal to the plain replay.
+            assert_eq!(machine.take_dense(id).unwrap(), expected);
+        }
+
+        // Lookahead 0 is exactly the plain mode.
+        assert_eq!(
+            Engine::dry_run_with(&schedule, "main", &EngineConfig::default(), Some(40)),
+            Engine::dry_run(&schedule, "main")
+        );
+    }
+
+    #[test]
+    fn prefetch_respects_a_tight_capacity() {
+        // Capacity exactly one group's footprint: no slack, no prefetch,
+        // and the replay still succeeds.
+        let schedule = diagonal_block_schedule(MatrixId::synthetic(0), 12, 4);
+        let dry = Engine::dry_run(&schedule, "main");
+        let cap = dry.peak_resident;
+        let config = EngineConfig::with_lookahead(1);
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(cap));
+        machine.insert_dense(Matrix::<f64>::identity(12));
+        Engine::execute_with(&mut machine, &schedule, &config).unwrap();
+        assert_eq!(machine.stats().prefetched_elements, 0);
+        assert_eq!(machine.stats().peak_resident, dry.peak_resident);
+    }
+
+    #[test]
+    fn prefetching_phase_attribution_is_unchanged() {
+        let id = MatrixId::synthetic(0);
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.set_phase("alpha");
+        b.begin_group();
+        let x = b.load(id, Region::rect(0, 0, 2, 2));
+        b.discard(x);
+        b.set_phase("beta");
+        b.begin_group();
+        let y = b.load(id, Region::rect(4, 4, 2, 2));
+        b.discard(y);
+        let schedule = b.finish();
+        let config = EngineConfig::with_lookahead(1);
+        let stats = Engine::dry_run_with(&schedule, "main", &config, Some(8));
+        // Group 1's load was prefetched at group 0's boundary but stays
+        // attributed to its consuming phase.
+        assert_eq!(stats.prefetched_elements, 4);
+        assert_eq!(stats.phase("alpha").loads, 4);
+        assert_eq!(stats.phase("beta").loads, 4);
+        assert_eq!(stats.peak_resident, 8);
+    }
+
+    #[test]
+    fn parallel_prefetch_keeps_results_volumes_and_capacity() {
+        let n = 24;
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 3 + j * 7) % 9) as f64 - 4.0);
+        let schedule = diagonal_block_schedule(MatrixId::synthetic(0), n, 4);
+        let dry = Engine::dry_run(&schedule, "main");
+
+        // Serial reference.
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(40));
+        let serial_id = machine.insert_dense(a.clone());
+        Engine::execute(&mut machine, &schedule).unwrap();
+        let expected = machine.take_dense(serial_id).unwrap();
+
+        for workers in [1usize, 2, 4] {
+            for lookahead in [1usize, 2] {
+                let shared = SharedSlowMemory::new();
+                let id = shared.insert_dense(a.clone());
+                let runs = Engine::execute_parallel_with(
+                    &shared,
+                    &schedule,
+                    workers,
+                    MachineConfig::with_capacity(40),
+                    "main",
+                    &EngineConfig::with_lookahead(lookahead),
+                )
+                .unwrap();
+                let ctx = format!("P={workers} L={lookahead}");
+
+                let merged = WorkerRun::merged_stats(&runs);
+                assert_eq!(merged.volume, dry.volume, "{ctx}");
+                assert_eq!(merged.load_events, dry.load_events, "{ctx}");
+                assert_eq!(merged.flops, dry.flops, "{ctx}");
+                for (w, run) in runs.iter().enumerate() {
+                    assert!(run.stats.peak_resident <= 40, "{ctx} worker {w}");
+                }
+                // A single pipelined worker genuinely overlaps.
+                if workers == 1 {
+                    assert!(merged.prefetched_elements > 0, "{ctx}");
+                }
+                assert!(WorkerRun::aggregate_peak(&runs) >= merged.peak_resident);
+
+                let got = shared.take_dense(id).unwrap();
+                assert_eq!(got, expected, "{ctx}");
+            }
+        }
     }
 
     #[test]

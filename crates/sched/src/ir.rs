@@ -7,7 +7,12 @@
 //! kernels on the resident buffers ([`Step::Compute`]). The algorithms of
 //! `symla-baselines` and `symla-core` are *schedule builders* that emit this
 //! IR; the generic [`crate::engine::Engine`] then replays a schedule in one
-//! of four modes (execute, execute-parallel, dry-run, trace).
+//! of five modes (execute, execute-parallel, dry-run, trace, and the
+//! prefetching `*_with` variants).
+//!
+//! Schedules serialize to a compact one-line-per-step text form
+//! ([`Schedule::dump`]) and parse back losslessly ([`Schedule::parse`]), so
+//! experiment runs can be replayed from disk without rebuilding.
 //!
 //! Separating "what moves when" (the IR) from "how it runs" (the engine)
 //! makes every schedule:
@@ -340,8 +345,8 @@ impl<T: Scalar> fmt::Display for Step<T> {
 impl<T: Scalar> Schedule<T> {
     /// Compact textual dump: a header per task group and one line per step,
     /// stable enough to diff optimized-vs-seed schedules by eye (and locked
-    /// by a golden-file test). The first slice of the planned on-disk
-    /// schedule serialization.
+    /// by a golden-file test). [`Schedule::parse`] is its exact inverse, so
+    /// the dump doubles as the on-disk schedule serialization.
     ///
     /// ```
     /// use symla_memory::{MatrixId, Region};
@@ -372,6 +377,317 @@ impl<T: Scalar> Schedule<T> {
             }
         }
         out
+    }
+
+    /// Parses the text form produced by [`Schedule::dump`] back into a
+    /// schedule: `Schedule::parse(&s.dump()) == Ok(s)` for every schedule
+    /// (the second slice of the ROADMAP's serialization item — dumped
+    /// experiment schedules can now be replayed and distributed without
+    /// rebuilding them).
+    ///
+    /// ```
+    /// use symla_memory::{MatrixId, Region};
+    /// use symla_sched::{Schedule, ScheduleBuilder};
+    ///
+    /// let mut b = ScheduleBuilder::<f64>::new();
+    /// let x = b.load(MatrixId::synthetic(0), Region::rect(0, 0, 2, 2));
+    /// b.store(x);
+    /// let schedule = b.finish();
+    /// assert_eq!(Schedule::parse(&schedule.dump()).unwrap(), schedule);
+    /// ```
+    pub fn parse(text: &str) -> std::result::Result<Self, ScheduleParseError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| ScheduleParseError::new(0, "empty dump"))?;
+        let (want_groups, want_steps) = parse::header(header)
+            .ok_or_else(|| ScheduleParseError::new(1, format!("bad header `{header}`")))?;
+
+        let mut groups: Vec<TaskGroup<T>> = Vec::new();
+        for (idx, line) in lines {
+            let err = |msg: String| ScheduleParseError::new(idx + 1, msg);
+            if let Some(rest) = line.strip_prefix("group ") {
+                let (index_text, phase) = match rest.split_once(" phase=") {
+                    Some((i, p)) => (i, Some(p.to_string())),
+                    None => (rest, None),
+                };
+                let index: usize = index_text
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad group index `{index_text}`")))?;
+                if index != groups.len() {
+                    return Err(err(format!(
+                        "group {index} out of order (expected {})",
+                        groups.len()
+                    )));
+                }
+                groups.push(TaskGroup {
+                    phase,
+                    steps: Vec::new(),
+                });
+            } else if let Some(step_text) = line.strip_prefix("  ") {
+                let group = groups
+                    .last_mut()
+                    .ok_or_else(|| err("step before any group header".to_string()))?;
+                group.steps.push(parse::step::<T>(step_text).map_err(&err)?);
+            } else if !line.trim().is_empty() {
+                return Err(err(format!("unrecognized line `{line}`")));
+            }
+        }
+
+        let schedule = Schedule { groups };
+        if schedule.num_groups() != want_groups || schedule.num_steps() != want_steps {
+            return Err(ScheduleParseError::new(
+                1,
+                format!(
+                    "header claims {want_groups} group(s) / {want_steps} step(s), \
+                     body has {} / {}",
+                    schedule.num_groups(),
+                    schedule.num_steps()
+                ),
+            ));
+        }
+        Ok(schedule)
+    }
+}
+
+/// Error returned by [`Schedule::parse`], carrying the 1-based line number
+/// the parse failed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ScheduleParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+/// Line-level parsers for [`Schedule::parse`], inverting the `Display`
+/// impls of [`Step`], [`ComputeOp`], [`BufSlice`] and
+/// [`Region`](symla_memory::Region) exactly.
+mod parse {
+    use super::{BufId, BufSlice, ComputeOp, Step};
+    use symla_matrix::kernels::FlopCount;
+    use symla_matrix::Scalar;
+    use symla_memory::{MatrixId, Region};
+
+    type Result<T> = std::result::Result<T, String>;
+
+    /// Parses `schedule: N group(s), M step(s)`.
+    pub(super) fn header(line: &str) -> Option<(usize, usize)> {
+        let rest = line.strip_prefix("schedule: ")?;
+        let (groups, steps) = rest.split_once(", ")?;
+        Some((
+            groups.strip_suffix(" group(s)")?.parse().ok()?,
+            steps.strip_suffix(" step(s)")?.parse().ok()?,
+        ))
+    }
+
+    /// Parses `b{id}`.
+    fn buf(text: &str) -> Result<BufId> {
+        text.strip_prefix('b')
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad buffer `{text}`"))
+    }
+
+    /// Parses `b{id}[{start}..+{len}]`.
+    fn slice(text: &str) -> Result<BufSlice> {
+        let err = || format!("bad buffer slice `{text}`");
+        let (b, range) = text.split_once('[').ok_or_else(err)?;
+        let (start, len) = range
+            .strip_suffix(']')
+            .and_then(|r| r.split_once("..+"))
+            .ok_or_else(err)?;
+        Ok(BufSlice {
+            buf: buf(b)?,
+            start: start.parse().map_err(|_| err())?,
+            len: len.parse().map_err(|_| err())?,
+        })
+    }
+
+    /// Strips `key=` from a token.
+    fn kv<'a>(token: &'a str, key: &str) -> Result<&'a str> {
+        token
+            .strip_prefix(key)
+            .and_then(|t| t.strip_prefix('='))
+            .ok_or_else(|| format!("expected `{key}=...`, got `{token}`"))
+    }
+
+    /// Parses a scalar through its `f64` text form (the `Display` of `f32`
+    /// and `f64` round-trips through shortest-decimal output).
+    fn scalar<T: Scalar>(text: &str) -> Result<T> {
+        text.parse::<f64>()
+            .map(T::from_f64)
+            .map_err(|_| format!("bad scalar `{text}`"))
+    }
+
+    /// Parses `m{id} {region} -> b{dst}` (the operand form of load/alloc).
+    fn transfer(rest: &str) -> Result<(MatrixId, Region, BufId)> {
+        let err = || format!("bad transfer operands `{rest}`");
+        let (left, dst) = rest.rsplit_once(" -> ").ok_or_else(err)?;
+        let (matrix, region) = left.split_once(' ').ok_or_else(err)?;
+        let id: u64 = matrix
+            .strip_prefix('m')
+            .and_then(|m| m.parse().ok())
+            .ok_or_else(err)?;
+        let region: Region = region.parse().map_err(|e| format!("{e}"))?;
+        Ok((MatrixId::synthetic(id), region, buf(dst)?))
+    }
+
+    /// Parses the last token of a `... -> b{dst}` line plus the preceding
+    /// key=value tokens.
+    fn arrow_dst<'a>(tokens: &[&'a str]) -> Result<(BufId, Vec<&'a str>)> {
+        match tokens {
+            [init @ .., "->", dst] => Ok((buf(dst)?, init.to_vec())),
+            _ => Err("missing `-> b{dst}` tail".to_string()),
+        }
+    }
+
+    /// Parses one (already unindented) step line.
+    pub(super) fn step<T: Scalar>(line: &str) -> Result<Step<T>> {
+        let line = line.trim_end();
+        let (op, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("bad step `{line}`"))?;
+        let rest = rest.trim_start();
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        match op {
+            "load" => {
+                let (matrix, region, dst) = transfer(rest)?;
+                Ok(Step::Load {
+                    matrix,
+                    region,
+                    dst,
+                })
+            }
+            "alloc" => {
+                let (matrix, region, dst) = transfer(rest)?;
+                Ok(Step::Alloc {
+                    matrix,
+                    region,
+                    dst,
+                })
+            }
+            "store" => Ok(Step::Store { buf: buf(rest)? }),
+            "discard" => Ok(Step::Discard { buf: buf(rest)? }),
+            "flops" => match tokens.as_slice() {
+                [mults, adds] => Ok(Step::Flops(FlopCount::new(
+                    kv(mults, "mults")?
+                        .parse()
+                        .map_err(|_| format!("bad flop count `{mults}`"))?,
+                    kv(adds, "adds")?
+                        .parse()
+                        .map_err(|_| format!("bad flop count `{adds}`"))?,
+                ))),
+                _ => Err(format!("bad flops operands `{rest}`")),
+            },
+            "ger" => {
+                let (dst, init) = arrow_dst(&tokens)?;
+                match init.as_slice() {
+                    [alpha, x, y] => Ok(Step::Compute(ComputeOp::Ger {
+                        alpha: scalar(kv(alpha, "alpha")?)?,
+                        x: slice(kv(x, "x")?)?,
+                        y: slice(kv(y, "y")?)?,
+                        dst,
+                    })),
+                    _ => Err(format!("bad ger operands `{rest}`")),
+                }
+            }
+            "spr" | "tripairs" => {
+                let (dst, init) = arrow_dst(&tokens)?;
+                match init.as_slice() {
+                    [alpha, x] => {
+                        let alpha = scalar(kv(alpha, "alpha")?)?;
+                        let x = slice(kv(x, "x")?)?;
+                        Ok(Step::Compute(if op == "spr" {
+                            ComputeOp::SprLower { alpha, x, dst }
+                        } else {
+                            ComputeOp::TrianglePairs { alpha, x, dst }
+                        }))
+                    }
+                    _ => Err(format!("bad {op} operands `{rest}`")),
+                }
+            }
+            "chol" | "lu" => match tokens.as_slice() {
+                [dst, "(pivot", "base", base] => {
+                    let dst = buf(dst)?;
+                    let pivot_base = base
+                        .strip_suffix(')')
+                        .and_then(|b| b.parse().ok())
+                        .ok_or_else(|| format!("bad pivot base `{base}`"))?;
+                    Ok(Step::Compute(if op == "chol" {
+                        ComputeOp::CholeskyInPlace { dst, pivot_base }
+                    } else {
+                        ComputeOp::LuInPlace { dst, pivot_base }
+                    }))
+                }
+                _ => Err(format!("bad {op} operands `{rest}`")),
+            },
+            "trsmstep" | "lucol" => {
+                let (dst, init) = arrow_dst(&tokens)?;
+                match init.as_slice() {
+                    [seg, col, pivot] => {
+                        let seg = buf(kv(seg, "seg")?)?;
+                        let col = kv(col, "col")?
+                            .parse()
+                            .map_err(|_| format!("bad column `{col}`"))?;
+                        let pivot = kv(pivot, "pivot")?
+                            .parse()
+                            .map_err(|_| format!("bad pivot `{pivot}`"))?;
+                        Ok(Step::Compute(if op == "trsmstep" {
+                            ComputeOp::TrsmRightStep {
+                                seg,
+                                dst,
+                                col,
+                                pivot,
+                            }
+                        } else {
+                            ComputeOp::LuColSolveStep {
+                                seg,
+                                dst,
+                                col,
+                                pivot,
+                            }
+                        }))
+                    }
+                    _ => Err(format!("bad {op} operands `{rest}`")),
+                }
+            }
+            "lurow" => {
+                let (dst, init) = arrow_dst(&tokens)?;
+                match init.as_slice() {
+                    [seg, row] => Ok(Step::Compute(ComputeOp::LuRowElimStep {
+                        seg: buf(kv(seg, "seg")?)?,
+                        dst,
+                        row: kv(row, "row")?
+                            .parse()
+                            .map_err(|_| format!("bad row `{row}`"))?,
+                    })),
+                    _ => Err(format!("bad lurow operands `{rest}`")),
+                }
+            }
+            other => Err(format!("unknown step `{other}`")),
+        }
     }
 }
 
@@ -538,6 +854,136 @@ mod tests {
         let group = &schedule.groups[0];
         assert_eq!(group.loaded_elements(), 12);
         assert_eq!(group.stored_elements(), 12);
+    }
+
+    /// A schedule exercising every step and compute-op variant, every
+    /// region kind and a phase label, for the dump/parse round trip.
+    fn kitchen_sink_schedule() -> Schedule<f64> {
+        let m = MatrixId::synthetic(3);
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let c = b.load(m, Region::rect(0, 0, 3, 3));
+        let x = b.load(
+            m,
+            Region::Rows {
+                rows: vec![1, 4, 6],
+                col0: 0,
+                cols: 2,
+            },
+        );
+        b.compute(ComputeOp::Ger {
+            alpha: -1.5,
+            x: BufSlice::new(x, 0, 3),
+            y: BufSlice::new(x, 3, 3),
+            dst: c,
+        });
+        b.flops(FlopCount::new(9, 9));
+        b.discard(x);
+        b.store(c);
+
+        b.set_phase("solve");
+        b.begin_group();
+        let tri = b.load(m, Region::SymLowerTriangle { start: 2, size: 3 });
+        b.compute(ComputeOp::CholeskyInPlace {
+            dst: tri,
+            pivot_base: 2,
+        });
+        let pairs = b.alloc(
+            m,
+            Region::SymPairs {
+                rows: vec![0, 2, 5],
+            },
+        );
+        b.compute(ComputeOp::TrianglePairs {
+            alpha: 0.25,
+            x: BufSlice::whole(tri, 3),
+            dst: pairs,
+        });
+        b.compute(ComputeOp::SprLower {
+            alpha: 2.0,
+            x: BufSlice::whole(pairs, 3),
+            dst: tri,
+        });
+        b.store(pairs);
+        b.store(tri);
+
+        b.begin_group();
+        let tile = b.load(m, Region::sym_rect(5, 0, 2, 2));
+        let seg = b.load(
+            m,
+            Region::SymRows {
+                rows: vec![6, 7],
+                col0: 0,
+                cols: 1,
+            },
+        );
+        b.compute(ComputeOp::TrsmRightStep {
+            seg,
+            dst: tile,
+            col: 0,
+            pivot: 4,
+        });
+        b.compute(ComputeOp::LuColSolveStep {
+            seg,
+            dst: tile,
+            col: 1,
+            pivot: 5,
+        });
+        b.compute(ComputeOp::LuRowElimStep {
+            seg,
+            dst: tile,
+            row: 0,
+        });
+        b.compute(ComputeOp::LuInPlace {
+            dst: tile,
+            pivot_base: 1,
+        });
+        b.discard(seg);
+        b.store(tile);
+        b.finish()
+    }
+
+    #[test]
+    fn parse_inverts_dump_for_every_step_kind() {
+        let schedule = kitchen_sink_schedule();
+        let dump = schedule.dump();
+        let parsed = Schedule::<f64>::parse(&dump).unwrap_or_else(|e| panic!("{e}\n{dump}"));
+        assert_eq!(parsed, schedule);
+        // and the round trip is a fixed point of dump
+        assert_eq!(parsed.dump(), dump);
+        // empty schedules round-trip too
+        let empty = Schedule::<f64>::default();
+        assert_eq!(Schedule::<f64>::parse(&empty.dump()).unwrap(), empty);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_dumps() {
+        let schedule = kitchen_sink_schedule();
+        let dump = schedule.dump();
+
+        // header/body mismatch
+        let truncated: String = dump.lines().take(4).collect::<Vec<_>>().join("\n");
+        let err = Schedule::<f64>::parse(&truncated).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("header claims"), "{err}");
+
+        // a step before any group header
+        let bad = "schedule: 0 group(s), 1 step(s)\n  store    b0\n";
+        assert!(Schedule::<f64>::parse(bad).is_err());
+
+        // garbage step
+        let bad = "schedule: 1 group(s), 1 step(s)\ngroup 0\n  teleport b0\n";
+        let err = Schedule::<f64>::parse(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("teleport"));
+
+        // bad header
+        assert!(Schedule::<f64>::parse("schedules: a, b\n").is_err());
+        assert!(Schedule::<f64>::parse("").is_err());
+
+        // out-of-order group index
+        let bad = "schedule: 1 group(s), 0 step(s)\ngroup 1\n";
+        assert!(Schedule::<f64>::parse(bad).is_err());
     }
 
     #[test]

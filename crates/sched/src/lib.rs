@@ -22,7 +22,12 @@
 //! * [`engine`] — the generic engine replaying a schedule against the
 //!   machine model of `symla-memory` in execute, dry-run or trace mode, and
 //!   distributing independent task groups over the workers of a shared slow
-//!   memory in execute-parallel mode;
+//!   memory in execute-parallel mode; every mode has a prefetching variant
+//!   (`*_with` + [`engine::EngineConfig`]) that double-buffers the load
+//!   stream;
+//! * [`prefetch`] — the lookahead planner behind those variants: per group
+//!   boundary it admits the future loads that fit the capacity slack
+//!   `S − footprint` and read fresh data;
 //! * [`passes`] — the schedule-optimization layer: IR-to-IR rewrites
 //!   (redundant-load elimination and coalescing, dead-store elimination,
 //!   locality-driven group reordering) chained by a
@@ -48,10 +53,11 @@ pub mod ops;
 pub mod opt;
 pub mod partition;
 pub mod passes;
+pub mod prefetch;
 pub mod triangle;
 
 pub use balanced::BalancedSolution;
-pub use engine::{Engine, EngineError, ParallelError, WorkerRun};
+pub use engine::{Engine, EngineConfig, EngineError, ParallelError, WorkerRun};
 pub use footprint::{data_access, DataAccess};
 pub use indexing::{largest_coprime_below, CyclicIndexing};
 pub use ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGroup};
@@ -59,4 +65,5 @@ pub use ops::{Op, OpSet};
 pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputation_bound};
 pub use partition::{PartitionStats, TbsPartition};
 pub use passes::{Pass, PassError, PassManager, PassPipeline, PassReport};
+pub use prefetch::{PrefetchIssue, PrefetchPlan};
 pub use triangle::{canonical_t, sigma, triangle_block};

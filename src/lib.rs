@@ -52,12 +52,13 @@ pub mod prelude {
     };
     pub use symla_core::{
         api::{
-            cholesky_out_of_core, cholesky_out_of_core_optimized, syrk_out_of_core,
-            syrk_out_of_core_optimized, CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
+            cholesky_out_of_core, cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched,
+            syrk_out_of_core, syrk_out_of_core_optimized, syrk_out_of_core_prefetched,
+            CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
         },
         bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, oi, tbs_cost, tbs_execute,
-        tbs_schedule, tbs_tiled_cost, tbs_tiled_execute, tbs_tiled_schedule, Engine, LbcPlan,
-        PassManager, PassPipeline, Schedule, ScheduleBuilder, TbsPlan, TbsTiledPlan,
+        tbs_schedule, tbs_tiled_cost, tbs_tiled_execute, tbs_tiled_schedule, Engine, EngineConfig,
+        LbcPlan, PassManager, PassPipeline, Schedule, ScheduleBuilder, TbsPlan, TbsTiledPlan,
         TrailingUpdate,
     };
     pub use symla_matrix::{

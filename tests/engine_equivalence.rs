@@ -298,11 +298,29 @@ fn check_parallel_matches_serial(
             (0..schedule.num_groups()).collect::<Vec<_>>(),
             "{ctx} P={workers}: group coverage"
         );
+        let merged = WorkerRun::merged_stats(&runs);
         assert_eq!(
-            WorkerRun::merged_stats(&runs),
-            dry,
+            merged, dry,
             "{ctx} P={workers}: summed worker stats vs serial dry run"
         );
+
+        // The merged peak is the busiest single fast memory (a per-worker
+        // max) — NOT the fleet-wide concurrent residency, which is bounded
+        // above by the sum of per-worker peaks. The bound collapses to the
+        // merged peak only when one worker did all the work.
+        let aggregate = WorkerRun::aggregate_peak(&runs);
+        assert!(
+            aggregate >= merged.peak_resident,
+            "{ctx} P={workers}: aggregate {aggregate} < merged {}",
+            merged.peak_resident
+        );
+        assert!(
+            aggregate <= workers * merged.peak_resident,
+            "{ctx} P={workers}: aggregate {aggregate} exceeds P * busiest"
+        );
+        if workers == 1 {
+            assert_eq!(aggregate, merged.peak_resident, "{ctx}");
+        }
 
         // Each worker's observed I/O equals the analytic per-worker model:
         // the dry run of exactly the groups it processed.

@@ -71,6 +71,112 @@ fn seed_and_optimized_dumps_match_golden_files() {
     check_golden("ooc_syrk_optimized.dump", &optimized.schedule.dump());
 }
 
+/// `Schedule::parse` inverts `Schedule::dump` over the golden files: the
+/// on-disk text reconstructs the schedule exactly (and re-dumps to the
+/// identical bytes), so dumped schedules can be replayed from disk without
+/// rebuilding them.
+#[test]
+fn golden_files_parse_back_losslessly() {
+    let seed = tiny_syrk_schedule();
+    let golden = std::fs::read_to_string(golden_path("ooc_syrk_seed.dump")).unwrap();
+    let parsed = Schedule::<f64>::parse(&golden).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(parsed, seed, "golden seed dump reconstructs the schedule");
+    assert_eq!(parsed.dump(), golden, "re-dump is byte-identical");
+
+    let optimized_golden = std::fs::read_to_string(golden_path("ooc_syrk_optimized.dump")).unwrap();
+    let parsed = Schedule::<f64>::parse(&optimized_golden).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(parsed.dump(), optimized_golden);
+    // The parsed optimized schedule is executable and equivalent: same
+    // dry-run volumes as re-optimizing the seed in process.
+    let reoptimized = PassPipeline::standard()
+        .manager::<f64>()
+        .optimize(&seed, "main")
+        .unwrap();
+    assert_eq!(parsed, reoptimized.schedule);
+}
+
+/// `parse(dump(s)) == s` for every schedule builder, not just the golden
+/// instance — the dump is a faithful serialization of the whole IR surface
+/// the builders emit (all region kinds, compute ops and phase labels).
+#[test]
+fn parse_round_trips_every_builder() {
+    use symla_baselines::{
+        ooc_chol_schedule, ooc_gemm_schedule, ooc_lu_schedule, ooc_trsm_schedule,
+    };
+
+    let (n, m, s) = (30, 5, 40);
+    let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+    let c_ref = SymWindowRef::full(MatrixId::synthetic(1), n);
+    let window = SymWindowRef::full(MatrixId::synthetic(0), n);
+    let schedules: Vec<(&str, Schedule<f64>)> = vec![
+        (
+            "ooc_syrk",
+            symla_baselines::ooc_syrk_schedule(
+                &a_ref,
+                &c_ref,
+                1.5,
+                &OocSyrkPlan::for_memory(s).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "tbs",
+            tbs_schedule(&a_ref, &c_ref, -0.5, &TbsPlan::for_memory(s).unwrap()).unwrap(),
+        ),
+        (
+            "tbs_tiled",
+            tbs_tiled_schedule(
+                &a_ref,
+                &c_ref,
+                1.0,
+                &TbsTiledPlan::for_problem(s, n).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "lbc",
+            lbc_schedule(&window, &LbcPlan::for_problem(n, s).unwrap()).unwrap(),
+        ),
+        (
+            "ooc_chol",
+            ooc_chol_schedule(&window, &OocCholPlan::for_memory(s).unwrap()),
+        ),
+        (
+            "ooc_trsm",
+            ooc_trsm_schedule(
+                &SymWindowRef::full(MatrixId::synthetic(0), 8),
+                &PanelRef::dense(MatrixId::synthetic(1), 9, 8),
+                &OocTrsmPlan::for_memory(24).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "ooc_gemm",
+            ooc_gemm_schedule(
+                &PanelRef::dense(MatrixId::synthetic(0), 9, 7),
+                &PanelRef::dense(MatrixId::synthetic(1), 7, 11),
+                &PanelRef::dense(MatrixId::synthetic(2), 9, 11),
+                1.0,
+                &OocGemmPlan::for_memory(35).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "ooc_lu",
+            ooc_lu_schedule(
+                &PanelRef::dense(MatrixId::synthetic(0), 12, 12),
+                &OocLuPlan::for_memory(35).unwrap(),
+            )
+            .unwrap(),
+        ),
+    ];
+    for (name, schedule) in schedules {
+        let dump = schedule.dump();
+        let parsed = Schedule::<f64>::parse(&dump).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed, schedule, "{name}: parse(dump(s)) == s");
+    }
+}
+
 /// The dump's shape is structural, not incidental: one summary header, one
 /// line per group, one (indented) line per step.
 #[test]
