@@ -20,13 +20,15 @@ use crate::engine::{Engine, EngineConfig, Schedule};
 use crate::lbc::{lbc_cost, lbc_schedule};
 use crate::passes::{PassPipeline, StageOutcome};
 use crate::plan::{LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate};
+use crate::service::{PlanService, ServedRun};
 use crate::tbs::{tbs_cost, tbs_schedule};
 use crate::tbs_tiled::{tbs_tiled_cost, tbs_tiled_schedule};
 use std::fmt;
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::IoEstimate;
 use symla_baselines::{
-    ooc_chol_cost, ooc_chol_schedule, ooc_syrk_cost, ooc_syrk_schedule, OocCholPlan, OocSyrkPlan,
+    ooc_chol_cost, ooc_chol_schedule, ooc_gemm_cost, ooc_gemm_schedule, ooc_syrk_cost,
+    ooc_syrk_schedule, OocCholPlan, OocGemmPlan, OocSyrkPlan,
 };
 use symla_matrix::{LowerTriangular, Matrix, Scalar, SymMatrix};
 use symla_memory::{IoStats, MachineConfig, OocMachine, PanelRef, SymWindowRef};
@@ -208,7 +210,7 @@ impl OptimizedRun {
 }
 
 /// Builds the schedule and analytic cost of one SYRK algorithm.
-fn syrk_schedule_for<T: Scalar>(
+pub(crate) fn syrk_schedule_for<T: Scalar>(
     algorithm: SyrkAlgorithm,
     a_ref: &PanelRef,
     c_ref: &SymWindowRef,
@@ -243,7 +245,7 @@ fn syrk_schedule_for<T: Scalar>(
 }
 
 /// Builds the schedule and analytic cost of one Cholesky algorithm.
-fn cholesky_schedule_for<T: Scalar>(
+pub(crate) fn cholesky_schedule_for<T: Scalar>(
     algorithm: CholeskyAlgorithm,
     window: &SymWindowRef,
     s: usize,
@@ -269,6 +271,21 @@ fn cholesky_schedule_for<T: Scalar>(
     })
 }
 
+/// Builds the schedule and analytic cost of the square-block out-of-core
+/// GEMM (the non-symmetric comparison point; there is a single schedule, so
+/// no algorithm enum).
+pub(crate) fn gemm_schedule_for<T: Scalar>(
+    a_ref: &PanelRef,
+    b_ref: &PanelRef,
+    c_ref: &PanelRef,
+    alpha: T,
+    s: usize,
+) -> Result<(Schedule<T>, IoEstimate)> {
+    let plan = OocGemmPlan::for_memory(s)?;
+    let cost = ooc_gemm_cost(a_ref.rows(), a_ref.cols(), b_ref.cols(), &plan);
+    Ok((ooc_gemm_schedule(a_ref, b_ref, c_ref, alpha, &plan)?, cost))
+}
+
 /// Runs a pass pipeline over a schedule, translating pass errors into the
 /// workspace error type. The pipeline's residency budget is clamped to the
 /// machine capacity `s`: the optimized schedule must still execute within
@@ -284,7 +301,7 @@ fn cholesky_schedule_for<T: Scalar>(
 /// skips the pass manager entirely and returns `None` for the seed stats —
 /// the caller reuses its measured execution stats, which the engine
 /// invariants guarantee equal the dry run of the (unchanged) schedule.
-fn optimize_schedule<T: Scalar>(
+pub(crate) fn optimize_schedule<T: Scalar>(
     schedule: Schedule<T>,
     pipeline: &PassPipeline,
     s: usize,
@@ -508,6 +525,165 @@ pub fn cholesky_out_of_core_prefetched<T: Scalar>(
     ))
 }
 
+/// Runs the out-of-core GEMM (`C += alpha·A·B`, `A` `n×m`, `B` `m×p`) with
+/// the square-block schedule under a fast memory of `s` elements, updating
+/// `c` in place and returning the run report.
+///
+/// The non-symmetric comparison point of the paper, exposed with the same
+/// entry-point symmetry as SYRK and Cholesky
+/// ([`gemm_out_of_core_optimized`], [`gemm_out_of_core_prefetched`]). The
+/// report's `lower_bound` is the tight GEMM bound `2·n·m·p/√S` (also the
+/// best previously known one, so `prior_lower_bound` equals it); the
+/// `m` field holds the inner dimension, so
+/// [`RunReport::normalized_constant`] (which assumes an `n²m` flop count)
+/// is only meaningful when `p = n`.
+///
+/// ```
+/// use symla_core::api::gemm_out_of_core;
+/// use symla_matrix::{generate, Matrix};
+///
+/// let a = generate::random_matrix_seeded::<f64>(24, 10, 1);
+/// let b = generate::random_matrix_seeded::<f64>(10, 18, 2);
+/// let mut c = Matrix::zeros(24, 18);
+/// let report = gemm_out_of_core(&a, &b, &mut c, 1.0, 36).unwrap();
+/// assert!(report.measured_loads() as f64 >= report.lower_bound);
+/// assert!(report.prediction_matches());
+/// ```
+pub fn gemm_out_of_core<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    alpha: T,
+    s: usize,
+) -> Result<RunReport> {
+    gemm_out_of_core_optimized(a, b, c, alpha, s, &PassPipeline::none()).map(|run| run.report)
+}
+
+/// Runs the out-of-core GEMM **after optimizing the schedule** with the
+/// given pass pipeline (see [`syrk_out_of_core_optimized`]; the residency
+/// clamp to `s` applies identically).
+pub fn gemm_out_of_core_optimized<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    alpha: T,
+    s: usize,
+    pipeline: &PassPipeline,
+) -> Result<OptimizedRun> {
+    gemm_out_of_core_prefetched(a, b, c, alpha, s, pipeline, 0)
+}
+
+/// Runs the out-of-core GEMM with the schedule optimized by the given
+/// pipeline and replayed with a prefetch lookahead of `lookahead` task
+/// groups (see [`syrk_out_of_core_prefetched`]). Result blocks are
+/// independent, so lookahead overlaps freely and the result stays
+/// bitwise-identical.
+pub fn gemm_out_of_core_prefetched<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    alpha: T,
+    s: usize,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+) -> Result<OptimizedRun> {
+    let (n, m) = (a.rows(), a.cols());
+    let p = b.cols();
+    if b.rows() != m || c.rows() != n || c.cols() != p {
+        return Err(OocError::Invalid(format!(
+            "GEMM operand mismatch: A is {n}x{m}, B is {}x{p}, C is {}x{}",
+            b.rows(),
+            c.rows(),
+            c.cols()
+        )));
+    }
+    let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+    let a_id = machine.insert_dense(a.clone());
+    let b_id = machine.insert_dense(b.clone());
+    let c_id = machine.insert_dense(c.clone());
+    let a_ref = PanelRef::dense(a_id, n, m);
+    let b_ref = PanelRef::dense(b_id, m, p);
+    let c_ref = PanelRef::dense(c_id, n, p);
+
+    let (schedule, predicted) = gemm_schedule_for(&a_ref, &b_ref, &c_ref, alpha, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    )?;
+
+    let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
+    *c = machine.take_dense(c_id)?;
+    let bound = bounds::gemm_lower_bound(n as f64, m as f64, p as f64, s as f64);
+    Ok(OptimizedRun {
+        report: RunReport {
+            algorithm: "OOC_GEMM(rect)".to_string(),
+            n,
+            m: Some(m),
+            memory: s,
+            stats,
+            predicted,
+            lower_bound: bound,
+            prior_lower_bound: bound,
+        },
+        seed_stats,
+        stages,
+    })
+}
+
+/// Runs an out-of-core SYRK through a [`PlanService`]: the schedule (and, for
+/// `lookahead > 0`, its prefetch plan) is fetched from the content-addressed
+/// cache — compiled at most once per problem shape — and replayed on the
+/// data. Results are bitwise-identical to [`syrk_out_of_core_prefetched`]
+/// with the same arguments; on a cache hit no pass-pipeline or
+/// prefetch-planner work happens at all.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_out_of_core_cached<T: Scalar>(
+    service: &PlanService<T>,
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    s: usize,
+    algorithm: SyrkAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+) -> Result<ServedRun> {
+    service.syrk(a, c, alpha, s, algorithm, pipeline, lookahead)
+}
+
+/// Runs an out-of-core Cholesky factorization through a [`PlanService`]
+/// (see [`syrk_out_of_core_cached`]); bitwise-identical to
+/// [`cholesky_out_of_core_prefetched`].
+pub fn cholesky_out_of_core_cached<T: Scalar>(
+    service: &PlanService<T>,
+    a: &SymMatrix<T>,
+    s: usize,
+    algorithm: CholeskyAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+) -> Result<(LowerTriangular<T>, ServedRun)> {
+    service.cholesky(a, s, algorithm, pipeline, lookahead)
+}
+
+/// Runs the out-of-core GEMM through a [`PlanService`] (see
+/// [`syrk_out_of_core_cached`]); bitwise-identical to
+/// [`gemm_out_of_core_prefetched`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_out_of_core_cached<T: Scalar>(
+    service: &PlanService<T>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    alpha: T,
+    s: usize,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+) -> Result<ServedRun> {
+    service.gemm(a, b, c, alpha, s, pipeline, lookahead)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +835,43 @@ mod tests {
                 assert!(run.report.stats.peak_resident <= s, "{ctx}");
             }
         }
+    }
+
+    #[test]
+    fn gemm_api_matches_reference_and_is_prefetch_stable() {
+        use symla_matrix::kernels::gemm;
+        let (n, m, p, s) = (18usize, 7usize, 13usize, 30usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 41);
+        let b: Matrix<f64> = random_matrix_seeded(m, p, 42);
+        let c0: Matrix<f64> = random_matrix_seeded(n, p, 43);
+        let mut expected = c0.clone();
+        gemm(0.75, &a, &b, 1.0, &mut expected).unwrap();
+
+        let mut base = c0.clone();
+        let report = gemm_out_of_core(&a, &b, &mut base, 0.75, s).unwrap();
+        assert!(base.approx_eq(&expected, 1e-12));
+        assert!(report.prediction_matches());
+        assert!(report.optimality_ratio() >= 1.0);
+        assert!(report.stats.peak_resident <= s);
+        assert_eq!(report.m, Some(m));
+
+        // Optimized and prefetched variants change I/O, never the bytes.
+        for (pipeline, lookahead) in [
+            (PassPipeline::standard(), 0usize),
+            (PassPipeline::none(), 1),
+            (PassPipeline::standard(), 2),
+        ] {
+            let mut c = c0.clone();
+            let run =
+                gemm_out_of_core_prefetched(&a, &b, &mut c, 0.75, s, &pipeline, lookahead).unwrap();
+            assert!(c == base, "pipeline {pipeline:?} L={lookahead}");
+            assert!(run.report.stats.peak_resident <= s);
+            assert!(run.loads_saved() >= 0);
+        }
+
+        // Shape mismatches are rejected up front.
+        let mut bad = Matrix::<f64>::zeros(n, p + 1);
+        assert!(gemm_out_of_core(&a, &b, &mut bad, 1.0, s).is_err());
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! * [`parallel`] — a shared-slow-memory parallel SYRK executed for real on
 //!   `P` capacity-checked workers with per-worker communication accounting
 //!   (the paper's "future work" direction), built on the same task groups
-//!   the engine executes serially.
+//!   the engine executes serially;
+//! * [`service`] — the compile-once/replay-many serve layer: a
+//!   [`service::PlanService`] backed by the content-addressed plan cache of
+//!   `symla-plancache` (in-memory LRU + optional disk tier) that acquires
+//!   plans by problem shape and replays cache hits with zero planner work.
 //!
 //! All schedules execute on the capacity-enforced two-level machine of
 //! `symla-memory` through the generic engine; their measured I/O is tested
@@ -49,6 +53,7 @@ pub mod lbc;
 pub mod oi;
 pub mod parallel;
 pub mod plan;
+pub mod service;
 pub mod tbs;
 pub mod tbs_tiled;
 
@@ -56,9 +61,11 @@ pub mod tbs_tiled;
 pub use symla_sched::passes;
 
 pub use api::{
-    cholesky_out_of_core, cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched,
-    syrk_out_of_core, syrk_out_of_core_optimized, syrk_out_of_core_prefetched, CholeskyAlgorithm,
-    OptimizedRun, RunReport, SyrkAlgorithm,
+    cholesky_out_of_core, cholesky_out_of_core_cached, cholesky_out_of_core_optimized,
+    cholesky_out_of_core_prefetched, gemm_out_of_core, gemm_out_of_core_cached,
+    gemm_out_of_core_optimized, gemm_out_of_core_prefetched, syrk_out_of_core,
+    syrk_out_of_core_cached, syrk_out_of_core_optimized, syrk_out_of_core_prefetched,
+    CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
 };
 pub use engine::{Engine, EngineConfig, EngineError, Schedule, ScheduleBuilder};
 pub use lbc::{
@@ -66,6 +73,7 @@ pub use lbc::{
 };
 pub use passes::{PassManager, PassPipeline};
 pub use plan::{LbcPlan, TbsPlan, TbsTiledPlan, TrailingUpdate};
+pub use service::{PlanService, ServedParallelRun, ServedRun, SharedPlanService};
 pub use tbs::{
     tbs_build, tbs_cost, tbs_decomposition, tbs_execute, tbs_schedule, TbsDecomposition,
 };
@@ -80,4 +88,5 @@ pub use symla_baselines::error::{OocError, Result};
 pub use symla_baselines::params::IoEstimate;
 pub use symla_matrix as matrix;
 pub use symla_memory as memory;
+pub use symla_plancache as plancache;
 pub use symla_sched as sched;

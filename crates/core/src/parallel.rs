@@ -553,8 +553,22 @@ pub fn partition_schedule<T: Scalar>(
     memory_per_worker: usize,
     strategy: BlockStrategy,
 ) -> Result<Schedule<T>> {
+    partition_schedule_scaled(n, m, memory_per_worker, strategy, T::ONE)
+}
+
+/// [`partition_schedule`] with an explicit scaling factor `alpha` baked into
+/// the rank-1 updates — the exact schedule [`parallel_syrk`] executes. The
+/// plan-cache serve layer compiles this once per
+/// `(n, m, memory_per_worker, strategy, alpha)` and replays it across calls.
+pub fn partition_schedule_scaled<T: Scalar>(
+    n: usize,
+    m: usize,
+    memory_per_worker: usize,
+    strategy: BlockStrategy,
+    alpha: T,
+) -> Result<Schedule<T>> {
     let units = build_units(n, memory_per_worker, strategy)?;
-    Ok(units_schedule::<T>(&units, m, T::ONE))
+    Ok(units_schedule::<T>(&units, m, alpha))
 }
 
 #[cfg(test)]

@@ -1,0 +1,702 @@
+//! The compile-once / replay-many serve layer over the plan cache.
+//!
+//! Compiling a plan — emitting the schedule IR, running the optimization
+//! pass pipeline, planning the prefetch lookahead — depends only on the
+//! problem *shape* (kernel, `n`, `m`, `S`, pipeline, lookahead, `α`), never
+//! on the operand values. [`PlanService`] exploits that: it keys every
+//! compiled plan by shape in a [`PlanCache`] (in-memory LRU plus optional
+//! disk tier, single-flight under concurrency) and executes cache hits with
+//! **zero planner work**:
+//!
+//! * serial replays go through `Engine::execute` (no lookahead) or
+//!   [`Engine::execute_planned`] (the prefetch plan was compiled and cached
+//!   alongside the schedule, so the hit path never re-plans);
+//! * parallel replays hand the cached partition schedule straight to
+//!   `Engine::execute_parallel_with`.
+//!
+//! Schedules are compiled against machine-issued operand ids, which start
+//! at 0 per machine in insertion order — the service registers operands in
+//! the same order the plan was compiled for, so one cached plan replays on
+//! any machine and any data of the right shape.
+//!
+//! ```
+//! use symla_core::api::SyrkAlgorithm;
+//! use symla_core::service::PlanService;
+//! use symla_core::passes::PassPipeline;
+//! use symla_matrix::{generate, SymMatrix};
+//! use symla_plancache::PlanSource;
+//!
+//! let service = PlanService::<f64>::in_memory();
+//! let a = generate::random_matrix_seeded::<f64>(40, 6, 1);
+//!
+//! let mut c1 = SymMatrix::zeros(40);
+//! let cold = service
+//!     .syrk(&a, &mut c1, 1.0, 60, SyrkAlgorithm::TbsTiled, &PassPipeline::standard(), 1)
+//!     .unwrap();
+//! assert_eq!(cold.source, PlanSource::Compiled);
+//!
+//! let mut c2 = SymMatrix::zeros(40);
+//! let warm = service
+//!     .syrk(&a, &mut c2, 1.0, 60, SyrkAlgorithm::TbsTiled, &PassPipeline::standard(), 1)
+//!     .unwrap();
+//! assert_eq!(warm.source, PlanSource::Memory);
+//! assert!(c1 == c2); // bitwise-identical execution
+//! assert_eq!(service.stats().compiles, 1);
+//! ```
+
+use std::io;
+use std::sync::Arc;
+
+use crate::api::{
+    cholesky_schedule_for, gemm_schedule_for, optimize_schedule, syrk_schedule_for,
+    CholeskyAlgorithm, SyrkAlgorithm,
+};
+use crate::parallel::{partition_schedule_scaled, BlockStrategy, ParallelReport, WorkerIo};
+use symla_baselines::error::{OocError, Result};
+use symla_matrix::{LowerTriangular, Matrix, Scalar, SymMatrix};
+use symla_memory::{
+    IoStats, MachineConfig, MachineOps, MatrixId, OocMachine, PanelRef, SharedSlowMemory,
+    SymWindowRef,
+};
+use symla_plancache::{
+    CacheStats, CachedPlan, Lookup, PlanCache, PlanCacheConfig, PlanKey, PlanSource,
+};
+use symla_sched::{Engine, EngineConfig, PassPipeline, PrefetchPlan, Schedule};
+
+/// Outcome of one served (cache-mediated) execution.
+#[derive(Debug, Clone)]
+pub struct ServedRun {
+    /// Measured machine statistics of this replay.
+    pub stats: IoStats,
+    /// Where the plan came from (compiled, memory hit, disk hit, coalesced).
+    pub source: PlanSource,
+    /// The cache's content hash for the plan key.
+    pub key_hash: u64,
+}
+
+/// Outcome of one served parallel execution.
+#[derive(Debug, Clone)]
+pub struct ServedParallelRun {
+    /// Per-worker report of this replay.
+    pub report: ParallelReport,
+    /// Where the partition schedule came from.
+    pub source: PlanSource,
+    /// The cache's content hash for the plan key.
+    pub key_hash: u64,
+}
+
+/// "Get-or-compile the plan, then execute it on your data": a [`PlanCache`]
+/// plus the operand plumbing of the high-level API.
+///
+/// The `*_plan` methods return the cached [`CachedPlan`] (schedule +
+/// optional prefetch plan + binary form) so callers can drive any engine
+/// mode themselves — `dry_run`, `trace`, or a custom machine. The kernel
+/// methods ([`syrk`](Self::syrk), [`cholesky`](Self::cholesky),
+/// [`gemm`](Self::gemm), [`syrk_parallel`](Self::syrk_parallel)) do the
+/// full serve: acquire the plan, register the operands in compile order,
+/// replay, extract the result.
+#[derive(Debug)]
+pub struct PlanService<T: Scalar> {
+    cache: PlanCache<T>,
+}
+
+/// Compiled-plan finalizer: plan the prefetch lookahead once, at compile
+/// time, against the capacity the key names. Lookahead 0 stores no plan and
+/// replays through the engine's plain fast path.
+fn finish_plan<T: Scalar>(
+    schedule: Schedule<T>,
+    lookahead: usize,
+    s: usize,
+) -> (Schedule<T>, Option<PrefetchPlan>) {
+    if lookahead == 0 {
+        (schedule, None)
+    } else {
+        let plan = PrefetchPlan::plan(&schedule, lookahead, Some(s));
+        (schedule, Some(plan))
+    }
+}
+
+/// Replays a cached plan on `machine`: `execute_planned` when a prefetch
+/// plan was compiled, the plain `execute` fast path otherwise. Either way,
+/// no pass-pipeline and no prefetch-planner work happens here.
+fn replay_cached<T: Scalar, M: MachineOps<T>>(
+    machine: &mut M,
+    plan: &CachedPlan<T>,
+) -> std::result::Result<(), symla_sched::EngineError> {
+    match plan.prefetch() {
+        Some(prefetch) => Engine::execute_planned(machine, plan.schedule(), prefetch),
+        None => Engine::execute(machine, plan.schedule()),
+    }
+}
+
+impl<T: Scalar> PlanService<T> {
+    /// Builds a service over a cache with the given configuration. Fails
+    /// only when the disk-tier directory cannot be created.
+    pub fn new(config: PlanCacheConfig) -> io::Result<Self> {
+        Ok(Self {
+            cache: PlanCache::new(config)?,
+        })
+    }
+
+    /// A service over a memory-only cache with default sizing.
+    pub fn in_memory() -> Self {
+        Self {
+            cache: PlanCache::in_memory(),
+        }
+    }
+
+    /// The underlying cache (for stats, clearing, direct lookups).
+    pub fn cache(&self) -> &PlanCache<T> {
+        &self.cache
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    // -- keys ---------------------------------------------------------------
+
+    /// The plan key of a serial SYRK run (operands: `A` then `C`).
+    pub fn syrk_key(
+        n: usize,
+        m: usize,
+        alpha: T,
+        s: usize,
+        algorithm: SyrkAlgorithm,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> PlanKey {
+        PlanKey::new(
+            format!("syrk/{}", algorithm.name()),
+            n,
+            m,
+            s,
+            pipeline.clone(),
+            lookahead,
+        )
+        .with_f64_param(alpha.to_f64())
+    }
+
+    /// The plan key of a Cholesky run (operand: the symmetric matrix).
+    pub fn cholesky_key(
+        n: usize,
+        s: usize,
+        algorithm: CholeskyAlgorithm,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> PlanKey {
+        PlanKey::new(
+            format!("cholesky/{}", algorithm.name()),
+            n,
+            n,
+            s,
+            pipeline.clone(),
+            lookahead,
+        )
+    }
+
+    /// The plan key of a GEMM run (operands: `A`, `B`, then `C`; the inner
+    /// dimension `p` rides in the params).
+    pub fn gemm_key(
+        n: usize,
+        m: usize,
+        p: usize,
+        alpha: T,
+        s: usize,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> PlanKey {
+        PlanKey::new("gemm/OOC_GEMM(rect)", n, m, s, pipeline.clone(), lookahead)
+            .with_raw_param(p as u64)
+            .with_f64_param(alpha.to_f64())
+    }
+
+    /// The plan key of a parallel SYRK partition schedule (operands: `C`
+    /// then `A`). Worker count and runtime lookahead are execution-time
+    /// arguments, not plan inputs — the same cached partition serves any
+    /// worker count.
+    pub fn syrk_parallel_key(
+        n: usize,
+        m: usize,
+        alpha: T,
+        memory_per_worker: usize,
+        strategy: BlockStrategy,
+    ) -> PlanKey {
+        PlanKey::new(
+            format!("syrk-parallel/{}", strategy.name()),
+            n,
+            m,
+            memory_per_worker,
+            PassPipeline::none(),
+            0,
+        )
+        .with_f64_param(alpha.to_f64())
+    }
+
+    // -- plan acquisition ---------------------------------------------------
+
+    /// Gets or compiles the plan of a serial SYRK run. Compiled against
+    /// machine-issued ids in insertion order `A = 0`, `C = 1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk_plan(
+        &self,
+        n: usize,
+        m: usize,
+        alpha: T,
+        s: usize,
+        algorithm: SyrkAlgorithm,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> Result<Lookup<T>> {
+        let key = Self::syrk_key(n, m, alpha, s, algorithm, pipeline, lookahead);
+        self.cache.get_or_compile(&key, || {
+            let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+            let c_ref = SymWindowRef::full(MatrixId::synthetic(1), n);
+            let (schedule, _) = syrk_schedule_for(algorithm, &a_ref, &c_ref, alpha, s)?;
+            let (schedule, _, _) = optimize_schedule(schedule, pipeline, s)?;
+            Ok(finish_plan(schedule, lookahead, s))
+        })
+    }
+
+    /// Gets or compiles the plan of a Cholesky run (operand id 0).
+    pub fn cholesky_plan(
+        &self,
+        n: usize,
+        s: usize,
+        algorithm: CholeskyAlgorithm,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> Result<Lookup<T>> {
+        let key = Self::cholesky_key(n, s, algorithm, pipeline, lookahead);
+        self.cache.get_or_compile(&key, || {
+            let window = SymWindowRef::full(MatrixId::synthetic(0), n);
+            let (schedule, _) = cholesky_schedule_for::<T>(algorithm, &window, s)?;
+            let (schedule, _, _) = optimize_schedule(schedule, pipeline, s)?;
+            Ok(finish_plan(schedule, lookahead, s))
+        })
+    }
+
+    /// Gets or compiles the plan of a GEMM run (ids `A = 0`, `B = 1`,
+    /// `C = 2`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_plan(
+        &self,
+        n: usize,
+        m: usize,
+        p: usize,
+        alpha: T,
+        s: usize,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> Result<Lookup<T>> {
+        let key = Self::gemm_key(n, m, p, alpha, s, pipeline, lookahead);
+        self.cache.get_or_compile(&key, || {
+            let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+            let b_ref = PanelRef::dense(MatrixId::synthetic(1), m, p);
+            let c_ref = PanelRef::dense(MatrixId::synthetic(2), n, p);
+            let (schedule, _) = gemm_schedule_for(&a_ref, &b_ref, &c_ref, alpha, s)?;
+            let (schedule, _, _) = optimize_schedule(schedule, pipeline, s)?;
+            Ok(finish_plan(schedule, lookahead, s))
+        })
+    }
+
+    /// Gets or compiles the partition schedule of a parallel SYRK run (ids
+    /// `C = 0`, `A = 1`, matching [`crate::parallel::parallel_syrk`]).
+    /// Group-to-worker assignment is dynamic, so no prefetch plan is cached;
+    /// `execute_parallel_with` plans per worker at its runtime lookahead.
+    pub fn syrk_parallel_plan(
+        &self,
+        n: usize,
+        m: usize,
+        alpha: T,
+        memory_per_worker: usize,
+        strategy: BlockStrategy,
+    ) -> Result<Lookup<T>> {
+        let key = Self::syrk_parallel_key(n, m, alpha, memory_per_worker, strategy);
+        self.cache.get_or_compile(&key, || {
+            let schedule = partition_schedule_scaled(n, m, memory_per_worker, strategy, alpha)?;
+            Ok((schedule, None))
+        })
+    }
+
+    // -- serve: get-or-compile + execute ------------------------------------
+
+    /// Serves an out-of-core SYRK (`C += alpha·A·Aᵀ`): plan from the cache,
+    /// replay on `a`/`c`. Bitwise-identical to
+    /// [`syrk_out_of_core_prefetched`](crate::api::syrk_out_of_core_prefetched)
+    /// with the same arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk(
+        &self,
+        a: &Matrix<T>,
+        c: &mut SymMatrix<T>,
+        alpha: T,
+        s: usize,
+        algorithm: SyrkAlgorithm,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> Result<ServedRun> {
+        let n = c.order();
+        let m = a.cols();
+        if a.rows() != n {
+            return Err(OocError::Invalid(format!(
+                "SYRK operand mismatch: A is {}x{m} but C has order {n}",
+                a.rows()
+            )));
+        }
+        let lookup = self.syrk_plan(n, m, alpha, s, algorithm, pipeline, lookahead)?;
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+        let a_id = machine.insert_dense(a.clone());
+        let c_id = machine.insert_symmetric(c.clone());
+        debug_assert_eq!(
+            (a_id, c_id),
+            (MatrixId::synthetic(0), MatrixId::synthetic(1)),
+            "operand registration order must match plan compilation"
+        );
+        replay_cached(&mut machine, &lookup.plan)?;
+        let stats = machine.stats().clone();
+        *c = machine.take_symmetric(c_id)?;
+        Ok(ServedRun {
+            stats,
+            source: lookup.source,
+            key_hash: lookup.key_hash,
+        })
+    }
+
+    /// Serves an out-of-core Cholesky factorization of `a`. Bitwise-identical
+    /// to
+    /// [`cholesky_out_of_core_prefetched`](crate::api::cholesky_out_of_core_prefetched).
+    pub fn cholesky(
+        &self,
+        a: &SymMatrix<T>,
+        s: usize,
+        algorithm: CholeskyAlgorithm,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> Result<(LowerTriangular<T>, ServedRun)> {
+        let n = a.order();
+        let lookup = self.cholesky_plan(n, s, algorithm, pipeline, lookahead)?;
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+        let id = machine.insert_symmetric(a.clone());
+        debug_assert_eq!(id, MatrixId::synthetic(0));
+        let outcome = replay_cached(&mut machine, &lookup.plan);
+        machine.set_phase("main");
+        outcome?;
+        let stats = machine.stats().clone();
+        let result = machine.take_symmetric(id)?;
+        let factor = LowerTriangular::from_lower_fn(n, |i, j| result.get(i, j));
+        Ok((
+            factor,
+            ServedRun {
+                stats,
+                source: lookup.source,
+                key_hash: lookup.key_hash,
+            },
+        ))
+    }
+
+    /// Serves an out-of-core GEMM (`C += alpha·A·B`). Bitwise-identical to
+    /// [`gemm_out_of_core_prefetched`](crate::api::gemm_out_of_core_prefetched).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        &self,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        c: &mut Matrix<T>,
+        alpha: T,
+        s: usize,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+    ) -> Result<ServedRun> {
+        let (n, m) = (a.rows(), a.cols());
+        let p = b.cols();
+        if b.rows() != m || c.rows() != n || c.cols() != p {
+            return Err(OocError::Invalid(format!(
+                "GEMM operand mismatch: A is {n}x{m}, B is {}x{p}, C is {}x{}",
+                b.rows(),
+                c.rows(),
+                c.cols()
+            )));
+        }
+        let lookup = self.gemm_plan(n, m, p, alpha, s, pipeline, lookahead)?;
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+        machine.insert_dense(a.clone());
+        machine.insert_dense(b.clone());
+        let c_id = machine.insert_dense(c.clone());
+        debug_assert_eq!(c_id, MatrixId::synthetic(2));
+        replay_cached(&mut machine, &lookup.plan)?;
+        let stats = machine.stats().clone();
+        *c = machine.take_dense(c_id)?;
+        Ok(ServedRun {
+            stats,
+            source: lookup.source,
+            key_hash: lookup.key_hash,
+        })
+    }
+
+    /// Serves a shared-slow-memory parallel SYRK: the cached partition
+    /// schedule is handed to `Engine::execute_parallel_with`, which
+    /// distributes its task groups over `workers` capacity-checked workers
+    /// (optionally pipelining up to `lookahead` units per worker). Numerical
+    /// results are bitwise-identical to
+    /// [`parallel_syrk`](crate::parallel::parallel_syrk); the serve path
+    /// skips that function's per-worker dry-run oracle assertion to keep the
+    /// replay free of planner work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk_parallel(
+        &self,
+        a: &Matrix<T>,
+        c: &mut SymMatrix<T>,
+        alpha: T,
+        workers: usize,
+        memory_per_worker: usize,
+        strategy: BlockStrategy,
+        lookahead: usize,
+    ) -> Result<ServedParallelRun> {
+        let n = c.order();
+        let m = a.cols();
+        if a.rows() != n {
+            return Err(OocError::Invalid(format!(
+                "parallel SYRK operand mismatch: A has {} rows but C has order {n}",
+                a.rows()
+            )));
+        }
+        if workers == 0 {
+            return Err(OocError::Invalid("need at least one worker".into()));
+        }
+        let lookup = self.syrk_parallel_plan(n, m, alpha, memory_per_worker, strategy)?;
+
+        let shared = SharedSlowMemory::new();
+        let c_id = shared.insert_symmetric(std::mem::replace(c, SymMatrix::zeros(0)));
+        let a_id = shared.insert_dense(a.clone());
+        debug_assert_eq!(
+            (c_id, a_id),
+            (MatrixId::synthetic(0), MatrixId::synthetic(1)),
+            "operand registration order must match plan compilation"
+        );
+        let outcome = Engine::execute_parallel_with(
+            &shared,
+            lookup.plan.schedule(),
+            workers,
+            MachineConfig::with_capacity(memory_per_worker),
+            "parallel",
+            &EngineConfig::with_lookahead(lookahead),
+        );
+        let runs = match outcome {
+            Ok(runs) => runs,
+            Err(e) => {
+                *c = shared
+                    .take_symmetric(c_id)
+                    .expect("workers released every lease on abort");
+                return Err(e.error.into());
+            }
+        };
+        *c = shared.take_symmetric(c_id)?;
+
+        let mut per_worker = Vec::with_capacity(workers);
+        let mut prefetched_loads = 0;
+        for run in &runs {
+            per_worker.push(WorkerIo {
+                loads: run.stats.volume.loads,
+                stores: run.stats.volume.stores,
+                tasks: run.groups.len(),
+            });
+            prefetched_loads += run.stats.prefetched_elements;
+        }
+        Ok(ServedParallelRun {
+            report: ParallelReport {
+                workers,
+                strategy,
+                memory_per_worker,
+                per_worker,
+                prefetched_loads,
+            },
+            source: lookup.source,
+            key_hash: lookup.key_hash,
+        })
+    }
+}
+
+/// A service can be shared across threads behind an [`Arc`]; this alias
+/// spells the common shape.
+pub type SharedPlanService<T> = Arc<PlanService<T>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{
+        cholesky_out_of_core_prefetched, gemm_out_of_core_prefetched, syrk_out_of_core_prefetched,
+    };
+    use crate::parallel::parallel_syrk;
+    use symla_matrix::generate::{random_matrix_seeded, random_spd_seeded};
+
+    #[test]
+    fn served_syrk_is_bitwise_identical_across_algorithms_and_modes() {
+        let (n, m, s) = (40usize, 8usize, 60usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 51);
+        let c0 = SymMatrix::<f64>::zeros(n);
+        let service = PlanService::<f64>::in_memory();
+
+        let mut cases = 0;
+        for algorithm in [
+            SyrkAlgorithm::Tbs,
+            SyrkAlgorithm::TbsTiled,
+            SyrkAlgorithm::SquareBlocks,
+        ] {
+            for pipeline in [PassPipeline::none(), PassPipeline::standard()] {
+                for lookahead in [0usize, 1] {
+                    cases += 1;
+                    let mut reference = c0.clone();
+                    let direct = syrk_out_of_core_prefetched(
+                        &a,
+                        &mut reference,
+                        1.5,
+                        s,
+                        algorithm,
+                        &pipeline,
+                        lookahead,
+                    )
+                    .unwrap();
+
+                    // Cold serve compiles; the replay matches the direct
+                    // run bitwise, I/O volume included.
+                    let mut served = c0.clone();
+                    let cold = service
+                        .syrk(&a, &mut served, 1.5, s, algorithm, &pipeline, lookahead)
+                        .unwrap();
+                    let ctx = format!("{} {pipeline:?} L={lookahead}", algorithm.name());
+                    assert_eq!(cold.source, PlanSource::Compiled, "{ctx}");
+                    assert!(served == reference, "{ctx}: cold bitwise");
+                    assert_eq!(cold.stats.volume, direct.report.stats.volume, "{ctx}");
+                    assert!(cold.stats.peak_resident <= s, "{ctx}");
+
+                    // Warm serve hits and is byte-for-byte the same again.
+                    let mut warm_c = c0.clone();
+                    let warm = service
+                        .syrk(&a, &mut warm_c, 1.5, s, algorithm, &pipeline, lookahead)
+                        .unwrap();
+                    assert_eq!(warm.source, PlanSource::Memory, "{ctx}");
+                    assert_eq!(warm.key_hash, cold.key_hash, "{ctx}");
+                    assert!(warm_c == reference, "{ctx}: warm bitwise");
+                    assert_eq!(warm.stats.volume, cold.stats.volume, "{ctx}");
+                    assert_eq!(
+                        warm.stats.prefetched_elements, cold.stats.prefetched_elements,
+                        "{ctx}: cached prefetch plan replays identically"
+                    );
+                }
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.compiles, cases, "one compile per distinct key");
+        assert_eq!(stats.hits, cases, "one memory hit per warm call");
+    }
+
+    #[test]
+    fn served_cholesky_matches_direct_api() {
+        let (n, s) = (30usize, 28usize);
+        let a: SymMatrix<f64> = random_spd_seeded(n, 52);
+        let service = PlanService::<f64>::in_memory();
+
+        for algorithm in [CholeskyAlgorithm::Lbc, CholeskyAlgorithm::Bereux] {
+            for lookahead in [0usize, 2] {
+                let (direct, _) = cholesky_out_of_core_prefetched(
+                    &a,
+                    s,
+                    algorithm,
+                    &PassPipeline::none(),
+                    lookahead,
+                )
+                .unwrap();
+                let (cold, run) = service
+                    .cholesky(&a, s, algorithm, &PassPipeline::none(), lookahead)
+                    .unwrap();
+                let (warm, warm_run) = service
+                    .cholesky(&a, s, algorithm, &PassPipeline::none(), lookahead)
+                    .unwrap();
+                let ctx = format!("{} L={lookahead}", algorithm.name());
+                assert!(cold == direct, "{ctx}: cold bitwise");
+                assert!(warm == direct, "{ctx}: warm bitwise");
+                assert_eq!(run.source, PlanSource::Compiled, "{ctx}");
+                assert_eq!(warm_run.source, PlanSource::Memory, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn served_gemm_matches_direct_api() {
+        let (n, m, p, s) = (18usize, 7usize, 13usize, 30usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 53);
+        let b: Matrix<f64> = random_matrix_seeded(m, p, 54);
+        let c0: Matrix<f64> = random_matrix_seeded(n, p, 55);
+        let service = PlanService::<f64>::in_memory();
+
+        let mut reference = c0.clone();
+        gemm_out_of_core_prefetched(&a, &b, &mut reference, 0.5, s, &PassPipeline::standard(), 1)
+            .unwrap();
+        for expect in [PlanSource::Compiled, PlanSource::Memory] {
+            let mut c = c0.clone();
+            let run = service
+                .gemm(&a, &b, &mut c, 0.5, s, &PassPipeline::standard(), 1)
+                .unwrap();
+            assert_eq!(run.source, expect);
+            assert!(c == reference, "served GEMM bitwise ({expect:?})");
+        }
+        // Operand mismatch is caught before any machine work.
+        let mut bad = Matrix::<f64>::zeros(n, p + 1);
+        assert!(service
+            .gemm(&a, &b, &mut bad, 0.5, s, &PassPipeline::none(), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn served_parallel_syrk_matches_direct_run() {
+        let (n, m, s) = (40usize, 8usize, 12usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 56);
+        let service = PlanService::<f64>::in_memory();
+
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            let mut reference = SymMatrix::zeros(n);
+            let direct = parallel_syrk(&a, &mut reference, 1.0, 3, s, strategy).unwrap();
+
+            // Cold serve, then warm serves across *different* worker counts:
+            // one cached partition schedule drives them all.
+            let mut sources = Vec::new();
+            for workers in [3usize, 1, 4] {
+                let mut c = SymMatrix::zeros(n);
+                let run = service
+                    .syrk_parallel(&a, &mut c, 1.0, workers, s, strategy, 1)
+                    .unwrap();
+                assert!(c == reference, "{} P={workers}", strategy.name());
+                assert_eq!(
+                    run.report.total_loads(),
+                    direct.total_loads(),
+                    "{} P={workers}",
+                    strategy.name()
+                );
+                assert_eq!(run.report.workers, workers);
+                sources.push(run.source);
+            }
+            assert_eq!(sources[0], PlanSource::Compiled, "{}", strategy.name());
+            assert!(
+                sources[1..].iter().all(|s| *s == PlanSource::Memory),
+                "{}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_methods_expose_replayable_plans() {
+        let service = PlanService::<f64>::in_memory();
+        let lookup = service
+            .syrk_plan(24, 6, 1.0, 40, SyrkAlgorithm::Tbs, &PassPipeline::none(), 2)
+            .unwrap();
+        // The cached plan carries the compiled prefetch plan and its binary
+        // form; a caller can dry-run it without touching real data.
+        assert!(lookup.plan.prefetch().is_some());
+        assert!(!lookup.plan.bytes().is_empty());
+        let stats = Engine::dry_run(lookup.plan.schedule(), "probe");
+        assert!(stats.volume.loads > 0);
+    }
+}

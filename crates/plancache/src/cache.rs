@@ -1,0 +1,740 @@
+//! The two-tier, single-flight plan cache.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+use symla_matrix::Scalar;
+use symla_sched::{BinaryError, PrefetchPlan, Schedule, StableHasher};
+
+use crate::disk::DiskTier;
+use crate::key::PlanKey;
+use crate::stats::{AtomicStats, CacheStats};
+
+// ---------------------------------------------------------------------------
+// Cached plans
+// ---------------------------------------------------------------------------
+
+/// A compiled plan held by the cache: the decoded schedule (plus its
+/// prefetch plan, when one was compiled) alongside the compact binary
+/// form the disk tier stores and the byte budget accounts.
+///
+/// Handed out as `Arc<CachedPlan<T>>`, so a memory hit is one atomic
+/// refcount bump — no decode, no pass pipeline, no prefetch planner.
+#[derive(Debug, PartialEq)]
+pub struct CachedPlan<T: Scalar> {
+    schedule: Schedule<T>,
+    prefetch: Option<PrefetchPlan>,
+    bytes: Vec<u8>,
+}
+
+impl<T: Scalar> CachedPlan<T> {
+    /// Wraps a freshly compiled plan, encoding its binary form once.
+    pub fn new(schedule: Schedule<T>, prefetch: Option<PrefetchPlan>) -> Self {
+        let bytes = match &prefetch {
+            Some(plan) => schedule.to_bytes_with_plan(plan),
+            None => schedule.to_bytes(),
+        };
+        Self {
+            schedule,
+            prefetch,
+            bytes,
+        }
+    }
+
+    /// Decodes a plan from its binary form (the disk tier's payload).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, BinaryError> {
+        let (schedule, prefetch) = Schedule::from_bytes_with_plan(&bytes)?;
+        Ok(Self {
+            schedule,
+            prefetch,
+            bytes,
+        })
+    }
+
+    /// The decoded schedule, ready for any engine mode.
+    pub fn schedule(&self) -> &Schedule<T> {
+        &self.schedule
+    }
+
+    /// The prefetch plan compiled alongside the schedule, if lookahead was
+    /// requested. Replay it with `Engine::execute_planned` to skip the
+    /// planner entirely.
+    pub fn prefetch(&self) -> Option<&PrefetchPlan> {
+        self.prefetch.as_ref()
+    }
+
+    /// The serialized binary form (`Schedule::to_bytes[_with_plan]`).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bytes this plan charges against the in-memory budget.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Construction-time knobs for a [`PlanCache`].
+#[derive(Debug, Clone)]
+pub struct PlanCacheConfig {
+    /// Number of independently locked shards in the memory tier. More
+    /// shards mean less read/write contention; the byte budget is split
+    /// evenly among them. Clamped to at least 1.
+    pub shards: usize,
+    /// Total in-memory budget in bytes (binary plan form). The default is
+    /// 64 MiB. A single plan larger than its shard's slice is still
+    /// admitted (the cache must be able to serve it) but evicts everything
+    /// else in the shard.
+    pub memory_budget: usize,
+    /// Directory for the on-disk tier; `None` disables it.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            memory_budget: 64 << 20,
+            disk_dir: None,
+        }
+    }
+}
+
+impl PlanCacheConfig {
+    /// Sets the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the total in-memory byte budget.
+    #[must_use]
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Enables the disk tier rooted at `dir` (created if absent).
+    #[must_use]
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup results
+// ---------------------------------------------------------------------------
+
+/// Where a [`Lookup`] was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// In-memory tier, first probe.
+    Memory,
+    /// Decoded from the disk tier (now promoted to memory).
+    Disk,
+    /// This caller ran the compile closure.
+    Compiled,
+    /// Another caller was already compiling this key; we waited and reused
+    /// its result.
+    Coalesced,
+}
+
+/// A successful cache lookup.
+#[derive(Debug)]
+pub struct Lookup<T: Scalar> {
+    /// The plan, shared with the cache (and every other caller).
+    pub plan: Arc<CachedPlan<T>>,
+    /// Which path served it.
+    pub source: PlanSource,
+    /// The cache's slot hash for the key (also the disk file name stem).
+    pub key_hash: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Memory tier internals
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ShardEntry<T: Scalar> {
+    canonical_key: Vec<u8>,
+    plan: Arc<CachedPlan<T>>,
+    last_used: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Shard<T: Scalar> {
+    map: HashMap<u64, ShardEntry<T>>,
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight lock poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("flight lock poisoned");
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().expect("flight lock poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Removes the flight from the in-flight table and wakes every waiter,
+/// even when the compile closure panics — waiters then retry and elect a
+/// new leader instead of blocking forever.
+struct FlightGuard<'a> {
+    inflight: &'a Mutex<HashMap<u64, Arc<Flight>>>,
+    hash: u64,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut map) = self.inflight.lock() {
+            map.remove(&self.hash);
+        }
+        self.flight.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------------
+
+/// A concurrent, content-addressed, two-tier cache of compiled plans.
+///
+/// * **Memory tier** — RwLock-sharded `hash → Arc<CachedPlan>` map with an
+///   approximate-LRU eviction policy driven by a global monotonic clock
+///   and a per-shard byte budget. Reads take a shard read lock only.
+/// * **Disk tier** (optional) — the binary plan form under
+///   `<dir>/<hash>.plan`, written atomically; survives the process. A disk
+///   hit is decoded once and promoted to the memory tier.
+/// * **Single-flight** — concurrent misses for one key elect one leader to
+///   run the compile closure; the rest block on a condvar and reuse the
+///   result ([`PlanSource::Coalesced`]). Distinct keys never wait on each
+///   other.
+///
+/// Entries are verified against the full canonical key, not just the
+/// 64-bit hash, so hash collisions degrade to misses rather than serving
+/// the wrong plan. The scalar type is part of the slot hash: `f32` and
+/// `f64` plans for the same shape are distinct entries even when caches
+/// share a disk directory.
+#[derive(Debug)]
+pub struct PlanCache<T: Scalar> {
+    shards: Vec<RwLock<Shard<T>>>,
+    shard_budget: usize,
+    clock: AtomicU64,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    disk: Option<DiskTier>,
+    stats: AtomicStats,
+}
+
+impl<T: Scalar> PlanCache<T> {
+    /// Builds a cache from `config`. Fails only when the disk directory
+    /// cannot be created.
+    pub fn new(config: PlanCacheConfig) -> std::io::Result<Self> {
+        let shards = config.shards.max(1);
+        let disk = match config.disk_dir {
+            Some(dir) => Some(DiskTier::new(dir)?),
+            None => None,
+        };
+        Ok(Self {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_budget: config.memory_budget.div_ceil(shards),
+            clock: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
+            disk,
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// A memory-only cache with default sizing.
+    pub fn in_memory() -> Self {
+        Self::new(PlanCacheConfig::default()).expect("no disk tier, cannot fail")
+    }
+
+    /// The disk-tier directory, when one is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(DiskTier::dir)
+    }
+
+    /// Plans currently resident in the memory tier.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every counter plus the current entry count.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot(self.len() as u64)
+    }
+
+    /// Drops every memory-tier entry (byte accounting included). The disk
+    /// tier is untouched: subsequent lookups repopulate memory from it.
+    pub fn clear_memory(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("shard lock poisoned");
+            for (_, entry) in shard.map.drain() {
+                self.stats
+                    .bytes_in_memory
+                    .fetch_sub(entry.plan.byte_len() as u64, Ordering::Relaxed);
+            }
+            shard.bytes = 0;
+        }
+    }
+
+    /// The slot hash for `key` in *this* cache: the key's stable content
+    /// hash mixed with the scalar width, so `PlanCache<f32>` and
+    /// `PlanCache<f64>` address disjoint slots (and disk files).
+    pub fn slot_hash(&self, key: &PlanKey) -> u64 {
+        Self::slot_hash_of(&key.canonical_bytes())
+    }
+
+    fn slot_hash_of(canonical: &[u8]) -> u64 {
+        let mut h = StableHasher::new();
+        h.write(canonical);
+        h.write_usize(std::mem::size_of::<T>());
+        h.finish()
+    }
+
+    /// Looks `key` up without compiling: memory first, then disk. Counts
+    /// as a request.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<CachedPlan<T>>> {
+        AtomicStats::bump(&self.stats.requests);
+        let canonical = key.canonical_bytes();
+        let hash = Self::slot_hash_of(&canonical);
+        if let Some(plan) = self.lookup_memory(hash, &canonical) {
+            AtomicStats::bump(&self.stats.hits);
+            return Some(plan);
+        }
+        if let Some(plan) = self.lookup_disk(hash, &canonical) {
+            AtomicStats::bump(&self.stats.disk_hits);
+            self.insert_memory(hash, &canonical, Arc::clone(&plan));
+            return Some(plan);
+        }
+        None
+    }
+
+    /// The cache's main entry point: returns the plan for `key`, invoking
+    /// `compile` only when neither tier has it and no other caller is
+    /// already compiling it.
+    ///
+    /// `compile` returns the schedule and (optionally) its prefetch plan;
+    /// its error type propagates verbatim. A failed compile caches
+    /// nothing — waiters coalesced onto it retry, electing a new leader,
+    /// so one caller's error poisons nobody else's lookup.
+    pub fn get_or_compile<E, F>(&self, key: &PlanKey, compile: F) -> Result<Lookup<T>, E>
+    where
+        F: FnOnce() -> Result<(Schedule<T>, Option<PrefetchPlan>), E>,
+    {
+        AtomicStats::bump(&self.stats.requests);
+        let canonical = key.canonical_bytes();
+        let hash = Self::slot_hash_of(&canonical);
+        let mut compile = Some(compile);
+        let mut coalesced = false;
+        loop {
+            if let Some(plan) = self.lookup_memory(hash, &canonical) {
+                let source = if coalesced {
+                    PlanSource::Coalesced
+                } else {
+                    AtomicStats::bump(&self.stats.hits);
+                    PlanSource::Memory
+                };
+                return Ok(Lookup {
+                    plan,
+                    source,
+                    key_hash: hash,
+                });
+            }
+            if let Some(plan) = self.lookup_disk(hash, &canonical) {
+                let source = if coalesced {
+                    PlanSource::Coalesced
+                } else {
+                    AtomicStats::bump(&self.stats.disk_hits);
+                    PlanSource::Disk
+                };
+                self.insert_memory(hash, &canonical, Arc::clone(&plan));
+                return Ok(Lookup {
+                    plan,
+                    source,
+                    key_hash: hash,
+                });
+            }
+
+            // Neither tier has it: join or start the flight for this key.
+            let existing = {
+                let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
+                match inflight.entry(hash) {
+                    MapEntry::Occupied(slot) => Some(Arc::clone(slot.get())),
+                    MapEntry::Vacant(slot) => {
+                        slot.insert(Arc::new(Flight::default()));
+                        None
+                    }
+                }
+            };
+            if let Some(flight) = existing {
+                if !coalesced {
+                    AtomicStats::bump(&self.stats.coalesced_waits);
+                    coalesced = true;
+                }
+                flight.wait();
+                continue; // leader finished (or failed): re-probe the tiers
+            }
+
+            // We are the leader.
+            let flight = {
+                let inflight = self.inflight.lock().expect("inflight lock poisoned");
+                Arc::clone(inflight.get(&hash).expect("leader flight present"))
+            };
+            let _guard = FlightGuard {
+                inflight: &self.inflight,
+                hash,
+                flight,
+            };
+            AtomicStats::bump(&self.stats.compiles);
+            let run = compile.take().expect("compile closure runs at most once");
+            let (schedule, prefetch) = run()?;
+            let plan = Arc::new(CachedPlan::new(schedule, prefetch));
+            self.insert_memory(hash, &canonical, Arc::clone(&plan));
+            self.write_disk(hash, &canonical, &plan);
+            return Ok(Lookup {
+                plan,
+                source: PlanSource::Compiled,
+                key_hash: hash,
+            });
+        }
+    }
+
+    fn shard_for(&self, hash: u64) -> &RwLock<Shard<T>> {
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    fn lookup_memory(&self, hash: u64, canonical: &[u8]) -> Option<Arc<CachedPlan<T>>> {
+        let shard = self.shard_for(hash).read().expect("shard lock poisoned");
+        let entry = shard.map.get(&hash)?;
+        if entry.canonical_key != canonical {
+            return None; // hash collision between distinct keys
+        }
+        entry.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        Some(Arc::clone(&entry.plan))
+    }
+
+    fn lookup_disk(&self, hash: u64, canonical: &[u8]) -> Option<Arc<CachedPlan<T>>> {
+        let tier = self.disk.as_ref()?;
+        match tier.load(hash, canonical) {
+            Ok(Some(bytes)) => match CachedPlan::from_bytes(bytes) {
+                Ok(plan) => Some(Arc::new(plan)),
+                Err(_) => {
+                    AtomicStats::bump(&self.stats.disk_errors);
+                    None
+                }
+            },
+            Ok(None) => None,
+            Err(_) => {
+                AtomicStats::bump(&self.stats.disk_errors);
+                None
+            }
+        }
+    }
+
+    fn write_disk(&self, hash: u64, canonical: &[u8], plan: &CachedPlan<T>) {
+        let Some(tier) = self.disk.as_ref() else {
+            return;
+        };
+        match tier.store(hash, canonical, plan.bytes()) {
+            Ok(()) => AtomicStats::bump(&self.stats.disk_writes),
+            Err(_) => AtomicStats::bump(&self.stats.disk_errors),
+        }
+    }
+
+    fn insert_memory(&self, hash: u64, canonical: &[u8], plan: Arc<CachedPlan<T>>) {
+        let mut shard = self.shard_for(hash).write().expect("shard lock poisoned");
+        let added = plan.byte_len();
+        let entry = ShardEntry {
+            canonical_key: canonical.to_vec(),
+            plan,
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+        };
+        if let Some(old) = shard.map.insert(hash, entry) {
+            let removed = old.plan.byte_len();
+            shard.bytes -= removed;
+            self.stats
+                .bytes_in_memory
+                .fetch_sub(removed as u64, Ordering::Relaxed);
+        }
+        shard.bytes += added;
+        self.stats
+            .bytes_in_memory
+            .fetch_add(added as u64, Ordering::Relaxed);
+        AtomicStats::bump(&self.stats.insertions);
+
+        // Evict least-recently-used entries until the shard fits its
+        // budget slice again. The entry just inserted carries the newest
+        // clock stamp, so it is evicted only if it alone overflows the
+        // budget — and even then it survives as the sole resident (the
+        // cache must be able to serve what it just compiled).
+        while shard.bytes > self.shard_budget && shard.map.len() > 1 {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(&h, _)| h)
+                .expect("non-empty shard has a minimum");
+            let evicted = shard.map.remove(&oldest).expect("oldest entry present");
+            let removed = evicted.plan.byte_len();
+            shard.bytes -= removed;
+            self.stats
+                .bytes_in_memory
+                .fetch_sub(removed as u64, Ordering::Relaxed);
+            AtomicStats::bump(&self.stats.evictions);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symla_memory::{MatrixId, Region};
+    use symla_sched::{PassPipeline, ScheduleBuilder};
+
+    fn toy_schedule(rows: usize) -> Schedule<f64> {
+        let mut b = ScheduleBuilder::<f64>::new();
+        let buf = b.load(
+            MatrixId::synthetic(0),
+            Region::Rect {
+                row0: 0,
+                col0: 0,
+                rows,
+                cols: rows,
+            },
+        );
+        b.discard(buf);
+        b.finish()
+    }
+
+    fn key(n: usize) -> PlanKey {
+        PlanKey::new("toy", n, n, 64, PassPipeline::none(), 0)
+    }
+
+    #[test]
+    fn compile_once_then_hit() {
+        let cache: PlanCache<f64> = PlanCache::in_memory();
+        let mut compiles = 0;
+        for round in 0..3 {
+            let lookup = cache
+                .get_or_compile(&key(4), || -> Result<_, std::convert::Infallible> {
+                    compiles += 1;
+                    Ok((toy_schedule(4), None))
+                })
+                .unwrap();
+            let expected = if round == 0 {
+                PlanSource::Compiled
+            } else {
+                PlanSource::Memory
+            };
+            assert_eq!(lookup.source, expected);
+            assert_eq!(lookup.plan.schedule(), &toy_schedule(4));
+        }
+        assert_eq!(compiles, 1);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.requests, stats.hits, stats.misses, stats.compiles),
+            (3, 2, 1, 1)
+        );
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes_in_memory > 0);
+    }
+
+    #[test]
+    fn compile_errors_propagate_and_cache_nothing() {
+        let cache: PlanCache<f64> = PlanCache::in_memory();
+        let err = cache
+            .get_or_compile(&key(4), || Err::<(Schedule<f64>, _), _>("boom"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(cache.is_empty());
+        // The key is not poisoned: the next caller compiles successfully.
+        let lookup = cache
+            .get_or_compile(&key(4), || -> Result<_, std::convert::Infallible> {
+                Ok((toy_schedule(4), None))
+            })
+            .unwrap();
+        assert_eq!(lookup.source, PlanSource::Compiled);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let probe = Arc::new(CachedPlan::<f64>::new(toy_schedule(4), None));
+        let budget = probe.byte_len() * 2 + 1; // room for two toy plans
+        let cache: PlanCache<f64> = PlanCache::new(
+            PlanCacheConfig::default()
+                .with_shards(1)
+                .with_memory_budget(budget),
+        )
+        .unwrap();
+
+        for n in [1, 2, 3] {
+            cache
+                .get_or_compile(&key(n), || -> Result<_, std::convert::Infallible> {
+                    Ok((toy_schedule(4), None))
+                })
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes_in_memory <= budget as u64);
+        // Key 1 was least recently used; keys 2 and 3 remain.
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+
+        // Touching key 2 protects it from the next eviction.
+        assert!(cache.get(&key(2)).is_some());
+        cache
+            .get_or_compile(&key(4), || -> Result<_, std::convert::Infallible> {
+                Ok((toy_schedule(4), None))
+            })
+            .unwrap();
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_none());
+    }
+
+    #[test]
+    fn single_flight_under_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache: Arc<PlanCache<f64>> = Arc::new(PlanCache::in_memory());
+        let compiles = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let compiles = Arc::clone(&compiles);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache
+                        .get_or_compile(&key(7), || -> Result<_, std::convert::Infallible> {
+                            compiles.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so waiters really coalesce.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok((toy_schedule(4), None))
+                        })
+                        .unwrap()
+                        .source
+                })
+            })
+            .collect();
+        let sources: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        assert_eq!(compiles.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            sources
+                .iter()
+                .filter(|s| **s == PlanSource::Compiled)
+                .count(),
+            1
+        );
+        assert!(sources.iter().all(|s| matches!(
+            s,
+            PlanSource::Compiled | PlanSource::Coalesced | PlanSource::Memory
+        )));
+        let stats = cache.stats();
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.requests, 8);
+    }
+
+    #[test]
+    fn disk_tier_survives_memory_drop() {
+        let dir =
+            std::env::temp_dir().join(format!("symla-plancache-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let config = PlanCacheConfig::default().with_disk_dir(&dir);
+        let cache: PlanCache<f64> = PlanCache::new(config.clone()).unwrap();
+        cache
+            .get_or_compile(&key(9), || -> Result<_, std::convert::Infallible> {
+                Ok((toy_schedule(4), None))
+            })
+            .unwrap();
+        assert_eq!(cache.stats().disk_writes, 1);
+        drop(cache);
+
+        let revived: PlanCache<f64> = PlanCache::new(config).unwrap();
+        let lookup = revived
+            .get_or_compile(&key(9), || -> Result<_, std::convert::Infallible> {
+                panic!("disk hit must not compile");
+            })
+            .unwrap();
+        assert_eq!(lookup.source, PlanSource::Disk);
+        assert_eq!(lookup.plan.schedule(), &toy_schedule(4));
+        // Promoted to memory: the second probe is a memory hit.
+        assert_eq!(
+            revived
+                .get_or_compile(&key(9), || -> Result<_, std::convert::Infallible> {
+                    panic!("memory hit must not compile");
+                })
+                .unwrap()
+                .source,
+            PlanSource::Memory
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scalar_width_separates_slots() {
+        let key = key(4);
+        assert_ne!(
+            PlanCache::<f32>::in_memory().slot_hash(&key),
+            PlanCache::<f64>::in_memory().slot_hash(&key)
+        );
+    }
+
+    #[test]
+    fn clear_memory_resets_accounting_but_not_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("symla-plancache-clear-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache: PlanCache<f64> =
+            PlanCache::new(PlanCacheConfig::default().with_disk_dir(&dir)).unwrap();
+        cache
+            .get_or_compile(&key(5), || -> Result<_, std::convert::Infallible> {
+                Ok((toy_schedule(4), None))
+            })
+            .unwrap();
+        cache.clear_memory();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes_in_memory, 0);
+        assert!(cache.get(&key(5)).is_some(), "disk tier repopulates memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

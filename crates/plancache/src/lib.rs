@@ -1,0 +1,64 @@
+//! # symla-plancache
+//!
+//! A content-addressed, two-tier cache for out-of-core schedule plans.
+//!
+//! Building a plan — emitting the schedule IR, running the optimization
+//! pass pipeline, planning the prefetch lookahead — is pure work on the
+//! problem shape `(kernel, n, m, S, pipeline, lookahead, params)`; the
+//! operand *values* never enter it. That makes plans perfect cache
+//! citizens: compile once, replay many.
+//!
+//! * [`PlanKey`] names a plan by its inputs and derives a stable 64-bit
+//!   content hash (FNV-1a over a canonical byte encoding) without building
+//!   the schedule.
+//! * [`CachedPlan`] pairs a decoded [`Schedule`](symla_sched::Schedule)
+//!   (plus its optional [`PrefetchPlan`](symla_sched::PrefetchPlan)) with
+//!   the compact binary form produced by `symla_sched::binary`.
+//! * [`PlanCache`] is the two-tier store: a sharded in-memory LRU with a
+//!   byte budget in front of an optional on-disk tier holding the binary
+//!   form. Lookups are concurrent-safe and misses for the same key are
+//!   *single-flight*: N simultaneous callers compile once, the rest wait
+//!   and reuse the result.
+//! * [`CacheStats`] is the machine-readable counter snapshot (hits,
+//!   misses, coalesced waits, bytes, evictions, …) that lets callers and
+//!   benches assert "zero planner work on the hit path".
+//!
+//! ```
+//! use symla_memory::{MatrixId, Region};
+//! use symla_plancache::{PlanCache, PlanKey};
+//! use symla_sched::{PassPipeline, ScheduleBuilder};
+//!
+//! let cache: PlanCache<f64> = PlanCache::in_memory();
+//! let key = PlanKey::new("syrk-tbs", 8, 8, 24, PassPipeline::standard(), 1);
+//!
+//! let mut compiles = 0;
+//! for _ in 0..3 {
+//!     let lookup = cache
+//!         .get_or_compile(&key, || -> Result<_, std::convert::Infallible> {
+//!             compiles += 1;
+//!             let mut b = ScheduleBuilder::<f64>::new();
+//!             let buf = b.load(
+//!                 MatrixId::synthetic(0),
+//!                 Region::Rect { row0: 0, col0: 0, rows: 4, cols: 4 },
+//!             );
+//!             b.discard(buf);
+//!             Ok((b.finish(), None))
+//!         })
+//!         .unwrap();
+//!     assert_eq!(lookup.plan.schedule().num_groups(), 1);
+//! }
+//! assert_eq!(compiles, 1);
+//! assert_eq!(cache.stats().hits, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cache;
+mod disk;
+mod key;
+mod stats;
+
+pub use cache::{CachedPlan, Lookup, PlanCache, PlanCacheConfig, PlanSource};
+pub use key::PlanKey;
+pub use stats::CacheStats;

@@ -1,0 +1,136 @@
+//! Machine-readable cache counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal live counters, updated lock-free on the cache's hot paths.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    pub requests: AtomicU64,
+    pub hits: AtomicU64,
+    pub disk_hits: AtomicU64,
+    pub compiles: AtomicU64,
+    pub coalesced_waits: AtomicU64,
+    pub insertions: AtomicU64,
+    pub evictions: AtomicU64,
+    pub bytes_in_memory: AtomicU64,
+    pub disk_writes: AtomicU64,
+    pub disk_errors: AtomicU64,
+}
+
+impl AtomicStats {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, entries: u64) -> CacheStats {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        let disk_hits = self.disk_hits.load(Ordering::Relaxed);
+        CacheStats {
+            requests,
+            hits,
+            disk_hits,
+            misses: requests.saturating_sub(hits).saturating_sub(disk_hits),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes_in_memory: self.bytes_in_memory.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of every cache counter.
+///
+/// All fields are plain integers so benches and CI gates can consume them
+/// directly (e.g. assert `compiles == 1` after a warm sweep, proving the
+/// hit path did zero pass-pipeline and prefetch-planner work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total `get_or_compile` / `get` calls.
+    pub requests: u64,
+    /// Requests served from the in-memory tier on first lookup.
+    pub hits: u64,
+    /// Requests served by decoding the on-disk binary form.
+    pub disk_hits: u64,
+    /// Requests served by neither tier directly
+    /// (`requests − hits − disk_hits`); includes coalesced waiters.
+    pub misses: u64,
+    /// Times a compile closure was actually invoked.
+    pub compiles: u64,
+    /// Misses that waited on another caller's in-flight compile instead of
+    /// compiling themselves (single-flight coalescing).
+    pub coalesced_waits: u64,
+    /// Plans inserted into the in-memory tier.
+    pub insertions: u64,
+    /// Plans evicted from the in-memory tier to respect the byte budget.
+    pub evictions: u64,
+    /// Plans currently resident in the in-memory tier.
+    pub entries: u64,
+    /// Bytes (binary plan form) currently resident in the in-memory tier.
+    pub bytes_in_memory: u64,
+    /// Plans written to the disk tier.
+    pub disk_writes: u64,
+    /// Disk-tier I/O or decode failures (all non-fatal: the cache degrades
+    /// to a miss).
+    pub disk_errors: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from memory or disk, in `[0, 1]`.
+    /// Returns `0.0` when no requests were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.hits + self.disk_hits) as f64 / self.requests as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests {} | hits {} (mem) + {} (disk) | misses {} \
+             (compiles {}, coalesced {}) | entries {} ({} B, {} evicted)",
+            self.requests,
+            self.hits,
+            self.disk_hits,
+            self.misses,
+            self.compiles,
+            self.coalesced_waits,
+            self.entries,
+            self.bytes_in_memory,
+            self.evictions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_misses() {
+        let live = AtomicStats::default();
+        live.requests.store(10, Ordering::Relaxed);
+        live.hits.store(6, Ordering::Relaxed);
+        live.disk_hits.store(1, Ordering::Relaxed);
+        let snap = live.snapshot(3);
+        assert_eq!(snap.misses, 3);
+        assert_eq!(snap.entries, 3);
+        assert!((snap.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_display_and_rate() {
+        let snap = CacheStats::default();
+        assert_eq!(snap.hit_rate(), 0.0);
+        assert!(snap.to_string().contains("requests 0"));
+    }
+}

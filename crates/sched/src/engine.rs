@@ -437,6 +437,64 @@ impl Engine {
         outcome
     }
 
+    /// Replays `schedule` with an **already-computed** prefetch plan,
+    /// skipping the planning step of [`Engine::execute_with`] entirely.
+    ///
+    /// This is the replay-many half of the plan cache's
+    /// compile-once/replay-many contract: a plan computed (and serialized)
+    /// at compile time is handed back verbatim, so a cache hit performs
+    /// zero prefetch-planner work. The plan must have been produced by
+    /// [`PrefetchPlan::plan`] for this schedule under a capacity no larger
+    /// than the machine's — a plan for a different schedule is rejected
+    /// when its boundary count disagrees, and its per-step coordinates are
+    /// validated during the replay.
+    ///
+    /// An empty plan replays through the same fast path as
+    /// [`Engine::execute`]; results and accounting are identical to
+    /// `execute_with` at the lookahead the plan was computed for.
+    pub fn execute_planned<T: Scalar, M: MachineOps<T>>(
+        machine: &mut M,
+        schedule: &Schedule<T>,
+        plan: &PrefetchPlan,
+    ) -> Result<()> {
+        if !plan.is_empty() && plan.num_boundaries() != schedule.num_groups() {
+            return Err(EngineError::InvalidArgument(format!(
+                "prefetch plan covers {} group boundary(ies), schedule has {} group(s)",
+                plan.num_boundaries(),
+                schedule.num_groups()
+            )));
+        }
+        // A plan may come from disk: reject out-of-range coordinates here
+        // rather than index-panicking inside the replay.
+        for boundary in 0..plan.num_boundaries() {
+            for issue in plan.issues_at(boundary) {
+                let valid = schedule
+                    .groups
+                    .get(issue.group)
+                    .is_some_and(|g| issue.step < g.steps.len());
+                if !valid {
+                    return Err(EngineError::InvalidArgument(format!(
+                        "prefetch plan targets step {} of group {}, out of range \
+                         for this schedule",
+                        issue.step, issue.group
+                    )));
+                }
+            }
+        }
+        let mut bufs: BTreeMap<BufId, FastBuf<T>> = BTreeMap::new();
+        let mut prefetched: PrefetchedBufs<T> = BTreeMap::new();
+        let outcome = if plan.is_empty() {
+            Self::replay_plain(machine, schedule, &mut bufs, &mut prefetched)
+        } else {
+            let phases = effective_phases(schedule, machine.phase());
+            Self::replay(machine, schedule, plan, &phases, &mut bufs, &mut prefetched)
+        };
+        for buf in bufs.into_values().chain(prefetched.into_values()) {
+            let _ = machine.discard(buf);
+        }
+        outcome
+    }
+
     /// The non-prefetching serial replay (`lookahead = 0`).
     fn replay_plain<T: Scalar, M: MachineOps<T>>(
         machine: &mut M,

@@ -40,6 +40,10 @@ use symla_memory::{MatrixId, Region};
 /// Identifier of a fast-memory buffer within a schedule.
 pub type BufId = usize;
 
+/// Prefix of the version line opening every text dump
+/// (`symla-schedule text v{FORMAT_VERSION}`).
+pub(crate) const TEXT_HEADER_PREFIX: &str = "symla-schedule text v";
+
 /// A contiguous slice of a fast-memory buffer, used as a kernel operand
 /// (e.g. one tile-row segment of a loaded `A` gather).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -343,10 +347,14 @@ impl<T: Scalar> fmt::Display for Step<T> {
 }
 
 impl<T: Scalar> Schedule<T> {
-    /// Compact textual dump: a header per task group and one line per step,
-    /// stable enough to diff optimized-vs-seed schedules by eye (and locked
-    /// by a golden-file test). [`Schedule::parse`] is its exact inverse, so
-    /// the dump doubles as the on-disk schedule serialization.
+    /// Compact textual dump: a version header line, a header per task group
+    /// and one line per step, stable enough to diff optimized-vs-seed
+    /// schedules by eye (and locked by a golden-file test).
+    /// [`Schedule::parse`] is its exact inverse, so the dump doubles as the
+    /// on-disk schedule serialization. The version line carries the same
+    /// [`crate::binary::FORMAT_VERSION`] as the binary form
+    /// ([`Schedule::to_bytes`]), so both serializations share one
+    /// versioning story.
     ///
     /// ```
     /// use symla_memory::{MatrixId, Region};
@@ -356,12 +364,14 @@ impl<T: Scalar> Schedule<T> {
     /// let x = b.load(MatrixId::synthetic(0), Region::rect(0, 0, 2, 2));
     /// b.store(x);
     /// let text = b.finish().dump();
+    /// assert!(text.starts_with("symla-schedule text v1\n"));
     /// assert!(text.contains("load     m0 Rect[0..+2, 0..+2] -> b0"));
     /// assert!(text.contains("store    b0"));
     /// ```
     pub fn dump(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
+        let _ = writeln!(out, "{TEXT_HEADER_PREFIX}{}", crate::binary::FORMAT_VERSION);
         let _ = writeln!(out, "{self}");
         for (g, group) in self.groups.iter().enumerate() {
             match &group.phase {
@@ -385,6 +395,12 @@ impl<T: Scalar> Schedule<T> {
     /// experiment schedules can now be replayed and distributed without
     /// rebuilding them).
     ///
+    /// The leading `symla-schedule text v{N}` version line is optional on
+    /// input: headerless dumps written before the version header existed
+    /// still parse. A version newer than
+    /// [`crate::binary::FORMAT_VERSION`] is rejected with a typed error,
+    /// mirroring the binary decoder.
+    ///
     /// ```
     /// use symla_memory::{MatrixId, Region};
     /// use symla_sched::{Schedule, ScheduleBuilder};
@@ -394,14 +410,35 @@ impl<T: Scalar> Schedule<T> {
     /// b.store(x);
     /// let schedule = b.finish();
     /// assert_eq!(Schedule::parse(&schedule.dump()).unwrap(), schedule);
+    /// // legacy dumps without the version line still parse
+    /// let headerless = schedule.dump().lines().skip(1).collect::<Vec<_>>().join("\n");
+    /// assert_eq!(Schedule::parse(&headerless).unwrap(), schedule);
     /// ```
     pub fn parse(text: &str) -> std::result::Result<Self, ScheduleParseError> {
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines
+        let mut lines = text.lines().enumerate().peekable();
+        if let Some((_, first)) = lines.peek() {
+            if let Some(version_text) = first.strip_prefix(TEXT_HEADER_PREFIX) {
+                let (idx, _) = lines.next().expect("peeked line exists");
+                let version: u16 = version_text.trim().parse().map_err(|_| {
+                    ScheduleParseError::new(idx + 1, format!("bad version `{version_text}`"))
+                })?;
+                if version > crate::binary::FORMAT_VERSION {
+                    return Err(ScheduleParseError::new(
+                        idx + 1,
+                        format!(
+                            "dump version {version} is newer than supported version {}",
+                            crate::binary::FORMAT_VERSION
+                        ),
+                    ));
+                }
+            }
+        }
+        let (header_line, header) = lines
             .next()
             .ok_or_else(|| ScheduleParseError::new(0, "empty dump"))?;
-        let (want_groups, want_steps) = parse::header(header)
-            .ok_or_else(|| ScheduleParseError::new(1, format!("bad header `{header}`")))?;
+        let (want_groups, want_steps) = parse::header(header).ok_or_else(|| {
+            ScheduleParseError::new(header_line + 1, format!("bad header `{header}`"))
+        })?;
 
         let mut groups: Vec<TaskGroup<T>> = Vec::new();
         for (idx, line) in lines {
@@ -438,7 +475,7 @@ impl<T: Scalar> Schedule<T> {
         let schedule = Schedule { groups };
         if schedule.num_groups() != want_groups || schedule.num_steps() != want_steps {
             return Err(ScheduleParseError::new(
-                1,
+                header_line + 1,
                 format!(
                     "header claims {want_groups} group(s) / {want_steps} step(s), \
                      body has {} / {}",
@@ -961,10 +998,11 @@ mod tests {
         let schedule = kitchen_sink_schedule();
         let dump = schedule.dump();
 
-        // header/body mismatch
+        // header/body mismatch (the schedule header sits on line 2, after
+        // the version line)
         let truncated: String = dump.lines().take(4).collect::<Vec<_>>().join("\n");
         let err = Schedule::<f64>::parse(&truncated).unwrap_err();
-        assert_eq!(err.line, 1);
+        assert_eq!(err.line, 2);
         assert!(err.to_string().contains("header claims"), "{err}");
 
         // a step before any group header
@@ -984,6 +1022,31 @@ mod tests {
         // out-of-order group index
         let bad = "schedule: 1 group(s), 0 step(s)\ngroup 1\n";
         assert!(Schedule::<f64>::parse(bad).is_err());
+    }
+
+    #[test]
+    fn parse_versioned_and_legacy_headers() {
+        let schedule = kitchen_sink_schedule();
+        let dump = schedule.dump();
+        assert!(dump.starts_with("symla-schedule text v1\n"), "{dump}");
+
+        // A pre-version-header dump (no first line) still parses.
+        let legacy: String = dump
+            .lines()
+            .skip(1)
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        assert_eq!(Schedule::<f64>::parse(&legacy).unwrap(), schedule);
+
+        // A future version is rejected with the line number of the header.
+        let future = format!("symla-schedule text v9999\n{legacy}");
+        let err = Schedule::<f64>::parse(&future).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("newer than supported"), "{err}");
+
+        // A malformed version number is rejected, not silently skipped.
+        let garbled = format!("symla-schedule text vX\n{legacy}");
+        assert!(Schedule::<f64>::parse(&garbled).is_err());
     }
 
     #[test]

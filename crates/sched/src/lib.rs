@@ -45,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod balanced;
+pub mod binary;
 pub mod engine;
 pub mod footprint;
 pub mod indexing;
@@ -57,6 +58,7 @@ pub mod prefetch;
 pub mod triangle;
 
 pub use balanced::BalancedSolution;
+pub use binary::{stable_hash, BinaryError, StableHasher, FORMAT_VERSION};
 pub use engine::{Engine, EngineConfig, EngineError, ParallelError, WorkerRun};
 pub use footprint::{data_access, DataAccess};
 pub use indexing::{largest_coprime_below, CyclicIndexing};

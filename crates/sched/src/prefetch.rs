@@ -60,11 +60,11 @@ pub struct PrefetchIssue {
 /// A complete prefetch plan for one schedule: for every group boundary `g`,
 /// the future loads issued there (in schedule order), plus the aggregate
 /// volume the plan overlaps.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrefetchPlan {
     /// `issues[g]` = loads issued at the boundary of group `g` (i.e. while
     /// group `g` computes), in schedule order.
-    issues: Vec<Vec<PrefetchIssue>>,
+    pub(crate) issues: Vec<Vec<PrefetchIssue>>,
     /// `(group, step)` coordinates of prefetched loads (their original
     /// `Load` steps replay as handoffs). Keyed by position, not by
     /// [`BufId`]: buffer ids are only unique within one builder, and
@@ -221,6 +221,33 @@ impl PrefetchPlan {
     /// Whether the plan prefetches nothing.
     pub fn is_empty(&self) -> bool {
         self.planned_events == 0
+    }
+
+    /// Number of group boundaries the plan covers (the group count of the
+    /// schedule it was planned for; 0 for the empty default plan).
+    pub fn num_boundaries(&self) -> usize {
+        self.issues.len()
+    }
+
+    /// Reassembles a plan from its serialized parts, rebuilding the
+    /// prefetched-step index from the issue lists (used by the binary
+    /// decoder in [`crate::binary`]).
+    pub(crate) fn from_parts(
+        issues: Vec<Vec<PrefetchIssue>>,
+        planned_elements: u64,
+        planned_events: u64,
+    ) -> Self {
+        let prefetched_steps = issues
+            .iter()
+            .flatten()
+            .map(|issue| (issue.group, issue.step))
+            .collect();
+        Self {
+            issues,
+            prefetched_steps,
+            planned_elements,
+            planned_events,
+        }
     }
 }
 

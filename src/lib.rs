@@ -13,6 +13,9 @@
 //!   shared-slow-memory variant for multi-worker execution;
 //! * [`sched`] (`symla-sched`) — the combinatorial machinery behind the
 //!   lower bounds (triangle blocks, balanced solutions, indexing families);
+//! * [`plancache`] (`symla-plancache`) — the content-addressed two-tier
+//!   plan cache (in-memory LRU + optional disk tier) behind the
+//!   compile-once/replay-many serve layer;
 //! * [`baselines`] (`symla-baselines`) — Béreux's out-of-core SYRK / TRSM /
 //!   Cholesky and the GEMM / LU comparison points;
 //! * [`core`] (`symla-core`) — the paper's TBS and LBC schedules, lower
@@ -41,6 +44,7 @@ pub use symla_baselines as baselines;
 pub use symla_core as core;
 pub use symla_matrix as matrix;
 pub use symla_memory as memory;
+pub use symla_plancache as plancache;
 pub use symla_sched as sched;
 
 /// The most commonly used items, re-exported for one-line imports.
@@ -52,14 +56,16 @@ pub mod prelude {
     };
     pub use symla_core::{
         api::{
-            cholesky_out_of_core, cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched,
-            syrk_out_of_core, syrk_out_of_core_optimized, syrk_out_of_core_prefetched,
+            cholesky_out_of_core, cholesky_out_of_core_cached, cholesky_out_of_core_optimized,
+            cholesky_out_of_core_prefetched, gemm_out_of_core, gemm_out_of_core_cached,
+            gemm_out_of_core_optimized, gemm_out_of_core_prefetched, syrk_out_of_core,
+            syrk_out_of_core_cached, syrk_out_of_core_optimized, syrk_out_of_core_prefetched,
             CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
         },
         bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, oi, tbs_cost, tbs_execute,
         tbs_schedule, tbs_tiled_cost, tbs_tiled_execute, tbs_tiled_schedule, Engine, EngineConfig,
-        LbcPlan, PassManager, PassPipeline, Schedule, ScheduleBuilder, TbsPlan, TbsTiledPlan,
-        TrailingUpdate,
+        LbcPlan, PassManager, PassPipeline, PlanService, Schedule, ScheduleBuilder, ServedRun,
+        TbsPlan, TbsTiledPlan, TrailingUpdate,
     };
     pub use symla_matrix::{
         generate, kernels, LowerTriangular, Matrix, MatrixError, Scalar, SymMatrix,
@@ -68,5 +74,6 @@ pub mod prelude {
         IoStats, MachineConfig, MachineOps, MatrixId, OocMachine, PanelRef, Region,
         SharedSlowMemory, SymWindowRef, WorkerMachine,
     };
+    pub use symla_plancache::{CacheStats, PlanCache, PlanCacheConfig, PlanKey, PlanSource};
     pub use symla_sched::{BalancedSolution, CyclicIndexing, Op, OpSet, TbsPartition};
 }

@@ -18,6 +18,7 @@ use std::path::PathBuf;
 use symla::prelude::*;
 use symla_baselines::ooc_syrk_schedule;
 use symla_core::passes::PassPipeline;
+use symla_sched::FORMAT_VERSION;
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -177,8 +178,8 @@ fn parse_round_trips_every_builder() {
     }
 }
 
-/// The dump's shape is structural, not incidental: one summary header, one
-/// line per group, one (indented) line per step.
+/// The dump's shape is structural, not incidental: one format-version line,
+/// one summary header, one line per group, one (indented) line per step.
 #[test]
 fn dump_has_one_line_per_group_and_step() {
     let schedule = tiny_syrk_schedule();
@@ -186,9 +187,10 @@ fn dump_has_one_line_per_group_and_step() {
     let lines: Vec<&str> = dump.lines().collect();
     assert_eq!(
         lines.len(),
-        1 + schedule.num_groups() + schedule.num_steps()
+        2 + schedule.num_groups() + schedule.num_steps()
     );
-    assert_eq!(lines[0], format!("{schedule}"));
+    assert_eq!(lines[0], format!("symla-schedule text v{FORMAT_VERSION}"));
+    assert_eq!(lines[1], format!("{schedule}"));
     assert_eq!(
         lines.iter().filter(|l| l.starts_with("group ")).count(),
         schedule.num_groups()
