@@ -33,16 +33,43 @@ impl Display for BenchmarkId {
     }
 }
 
+/// Median wall-clock duration of `samples` timed runs of `routine`, after
+/// `warmup` untimed runs.
+///
+/// This is the harness's timing core, exposed standalone so the A/B binaries
+/// can gate CI on real elapsed time with the same discipline the benches
+/// use: warm-up runs absorb one-time costs (page faults, lazy init, branch
+/// history), the median absorbs scheduler noise that would make a mean (or a
+/// single sample) flaky.
+pub fn time_median<O>(warmup: usize, samples: usize, mut routine: impl FnMut() -> O) -> Duration {
+    for _ in 0..warmup {
+        black_box(routine());
+    }
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
 /// Times closures handed to it by a benchmark body.
 pub struct Bencher {
+    warmup: usize,
     samples: usize,
     recorded: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Runs `routine` once for warm-up, then `samples` timed times.
+    /// Runs `routine` untimed `warmup` times (at least once), then
+    /// `samples` timed times.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
-        black_box(routine());
+        for _ in 0..self.warmup.max(1) {
+            black_box(routine());
+        }
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
@@ -53,6 +80,7 @@ impl Bencher {
 
 /// Top-level harness state.
 pub struct Criterion {
+    warmup: usize,
     sample_size: usize,
     results: usize,
 }
@@ -60,14 +88,16 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Self {
+            warmup: 1,
             sample_size: 10,
             results: 0,
         }
     }
 }
 
-fn run_case(name: &str, samples: usize, body: impl FnOnce(&mut Bencher)) {
+fn run_case(name: &str, warmup: usize, samples: usize, body: impl FnOnce(&mut Bencher)) {
     let mut bencher = Bencher {
+        warmup,
         samples,
         recorded: Vec::new(),
     };
@@ -81,9 +111,15 @@ fn run_case(name: &str, samples: usize, body: impl FnOnce(&mut Bencher)) {
 }
 
 impl Criterion {
+    /// Overrides the number of untimed warm-up runs per case (default 1).
+    pub fn warm_up_runs(&mut self, n: usize) -> &mut Self {
+        self.warmup = n;
+        self
+    }
+
     /// Runs a single named benchmark.
     pub fn bench_function(&mut self, name: &str, body: impl FnOnce(&mut Bencher)) {
-        run_case(name, self.sample_size, body);
+        run_case(name, self.warmup, self.sample_size, body);
         self.results += 1;
     }
 
@@ -118,7 +154,7 @@ impl BenchmarkGroup<'_> {
     /// Runs one case of the group.
     pub fn bench_function(&mut self, id: impl Display, body: impl FnOnce(&mut Bencher)) {
         let samples = self.sample_size.unwrap_or(self.parent.sample_size);
-        run_case(&format!("  {id}"), samples, body);
+        run_case(&format!("  {id}"), self.parent.warmup, samples, body);
         self.parent.results += 1;
     }
 

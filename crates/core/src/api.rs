@@ -31,7 +31,11 @@ use symla_baselines::{
     ooc_syrk_schedule, OocCholPlan, OocGemmPlan, OocSyrkPlan,
 };
 use symla_matrix::{LowerTriangular, Matrix, Scalar, SymMatrix};
-use symla_memory::{IoStats, MachineConfig, OocMachine, PanelRef, SymWindowRef};
+use symla_memory::{
+    IoStats, LatencyMachine, MachineConfig, MachineModel, OocMachine, PanelRef, SymWindowRef,
+    TimeStats,
+};
+use symla_sched::timing::modelled_time;
 
 /// Out-of-core SYRK schedules exposed by the high-level API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -631,6 +635,245 @@ pub fn gemm_out_of_core_prefetched<T: Scalar>(
         seed_stats,
         stages,
     })
+}
+
+/// Wall-clock view of one out-of-core run under a [`MachineModel`]: the
+/// time a [`LatencyMachine`] accumulated while the schedule really executed
+/// (`measured`) next to the purely static prediction of
+/// [`modelled_time`] (`modelled`).
+///
+/// The two walk the same events in the same order and must agree **bitwise**
+/// — [`WallClock::consistent`] is the cheap self-check the benchmarks gate
+/// on. `measured` is still *modelled* nanoseconds (the machine is simulated);
+/// real elapsed time is the benchmark harness's job.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    /// Time accumulated by the [`LatencyMachine`] during the execution.
+    pub measured: TimeStats,
+    /// Time predicted by [`modelled_time`] from the schedule alone.
+    pub modelled: TimeStats,
+}
+
+impl WallClock {
+    /// Whether the measured and modelled accounts agree bitwise (they must:
+    /// a mismatch means the timing model and the engine disagree about the
+    /// replay's event stream).
+    pub fn consistent(&self) -> bool {
+        self.measured.io_ns.to_bits() == self.modelled.io_ns.to_bits()
+            && self.measured.compute_ns.to_bits() == self.modelled.compute_ns.to_bits()
+            && self.measured.hidden_ns.to_bits() == self.modelled.hidden_ns.to_bits()
+            && self.measured.groups == self.modelled.groups
+    }
+}
+
+/// [`syrk_out_of_core_prefetched`] with the machine wrapped in a
+/// [`LatencyMachine`] pricing every transfer and flop against `model`:
+/// returns the run plus its [`WallClock`]. The I/O accounting, results and
+/// capacity behaviour are identical to the untimed entry point; prefetched
+/// loads are accounted as overlapped with the issuing group's compute, so
+/// sweeping `lookahead` yields a deterministic speedup curve.
+///
+/// ```
+/// use symla_core::api::{syrk_out_of_core_timed, SyrkAlgorithm};
+/// use symla_core::passes::PassPipeline;
+/// use symla_matrix::{generate, SymMatrix};
+/// use symla_memory::MachineModel;
+///
+/// let a = generate::random_matrix_seeded::<f64>(40, 6, 1);
+/// let model = MachineModel::nvme();
+/// let mut c = SymMatrix::zeros(40);
+/// let (_, serial) = syrk_out_of_core_timed(
+///     &a, &mut c, 1.0, 60, SyrkAlgorithm::TbsTiled, &PassPipeline::none(), 0, &model,
+/// ).unwrap();
+/// let mut c = SymMatrix::zeros(40);
+/// let (_, overlapped) = syrk_out_of_core_timed(
+///     &a, &mut c, 1.0, 60, SyrkAlgorithm::TbsTiled, &PassPipeline::none(), 1, &model,
+/// ).unwrap();
+/// assert!(serial.consistent() && overlapped.consistent());
+/// // Same transfers, but the lookahead hides loads behind compute.
+/// assert!(overlapped.measured.total_ns() < serial.measured.total_ns());
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_out_of_core_timed<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    s: usize,
+    algorithm: SyrkAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+    model: &MachineModel,
+) -> Result<(OptimizedRun, WallClock)> {
+    let n = c.order();
+    let m = a.cols();
+    if a.rows() != n {
+        return Err(OocError::Invalid(format!(
+            "SYRK operand mismatch: A is {}x{} but C has order {n}",
+            a.rows(),
+            m
+        )));
+    }
+    let mut machine = LatencyMachine::new(OocMachine::new(MachineConfig::with_capacity(s)), *model);
+    let a_id = machine.inner_mut().insert_dense(a.clone());
+    let c_id = machine.inner_mut().insert_symmetric(c.clone());
+    let a_ref = PanelRef::dense(a_id, n, m);
+    let c_ref = SymWindowRef::full(c_id, n);
+
+    let (schedule, predicted) = syrk_schedule_for(algorithm, &a_ref, &c_ref, alpha, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    )?;
+
+    let clock = WallClock {
+        measured: machine.time(),
+        modelled: modelled_time(&schedule, model, lookahead, Some(s)),
+    };
+    let mut machine = machine.into_inner();
+    let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
+    *c = machine.take_symmetric(c_id)?;
+    Ok((
+        OptimizedRun {
+            report: RunReport {
+                algorithm: algorithm.name().to_string(),
+                n,
+                m: Some(m),
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bounds::syrk_lower_bound(n as f64, m as f64, s as f64),
+                prior_lower_bound: bounds::syrk_lower_bound_prior(n as f64, m as f64, s as f64),
+            },
+            seed_stats,
+            stages,
+        },
+        clock,
+    ))
+}
+
+/// [`cholesky_out_of_core_prefetched`] under a [`LatencyMachine`] (see
+/// [`syrk_out_of_core_timed`]): returns the factor, the run and its
+/// [`WallClock`].
+pub fn cholesky_out_of_core_timed<T: Scalar>(
+    a: &SymMatrix<T>,
+    s: usize,
+    algorithm: CholeskyAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+    model: &MachineModel,
+) -> Result<(LowerTriangular<T>, OptimizedRun, WallClock)> {
+    let n = a.order();
+    let mut machine = LatencyMachine::new(OocMachine::new(MachineConfig::with_capacity(s)), *model);
+    let id = machine.inner_mut().insert_symmetric(a.clone());
+    let window = SymWindowRef::full(id, n);
+
+    let (schedule, predicted) = cholesky_schedule_for(algorithm, &window, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    let outcome = Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    );
+    machine.inner_mut().set_phase("main");
+    outcome?;
+
+    let clock = WallClock {
+        measured: machine.time(),
+        modelled: modelled_time(&schedule, model, lookahead, Some(s)),
+    };
+    let mut machine = machine.into_inner();
+    let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
+    let result = machine.take_symmetric(id)?;
+    let factor = LowerTriangular::from_lower_fn(n, |i, j| result.get(i, j));
+    Ok((
+        factor,
+        OptimizedRun {
+            report: RunReport {
+                algorithm: algorithm.name().to_string(),
+                n,
+                m: None,
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bounds::cholesky_lower_bound(n as f64, s as f64),
+                prior_lower_bound: bounds::cholesky_lower_bound_prior(n as f64, s as f64),
+            },
+            seed_stats,
+            stages,
+        },
+        clock,
+    ))
+}
+
+/// [`gemm_out_of_core_prefetched`] under a [`LatencyMachine`] (see
+/// [`syrk_out_of_core_timed`]): returns the run and its [`WallClock`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_out_of_core_timed<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    alpha: T,
+    s: usize,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+    model: &MachineModel,
+) -> Result<(OptimizedRun, WallClock)> {
+    let (n, m) = (a.rows(), a.cols());
+    let p = b.cols();
+    if b.rows() != m || c.rows() != n || c.cols() != p {
+        return Err(OocError::Invalid(format!(
+            "GEMM operand mismatch: A is {n}x{m}, B is {}x{p}, C is {}x{}",
+            b.rows(),
+            c.rows(),
+            c.cols()
+        )));
+    }
+    let mut machine = LatencyMachine::new(OocMachine::new(MachineConfig::with_capacity(s)), *model);
+    let a_id = machine.inner_mut().insert_dense(a.clone());
+    let b_id = machine.inner_mut().insert_dense(b.clone());
+    let c_id = machine.inner_mut().insert_dense(c.clone());
+    let a_ref = PanelRef::dense(a_id, n, m);
+    let b_ref = PanelRef::dense(b_id, m, p);
+    let c_ref = PanelRef::dense(c_id, n, p);
+
+    let (schedule, predicted) = gemm_schedule_for(&a_ref, &b_ref, &c_ref, alpha, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    )?;
+
+    let clock = WallClock {
+        measured: machine.time(),
+        modelled: modelled_time(&schedule, model, lookahead, Some(s)),
+    };
+    let mut machine = machine.into_inner();
+    let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
+    *c = machine.take_dense(c_id)?;
+    let bound = bounds::gemm_lower_bound(n as f64, m as f64, p as f64, s as f64);
+    Ok((
+        OptimizedRun {
+            report: RunReport {
+                algorithm: "OOC_GEMM(rect)".to_string(),
+                n,
+                m: Some(m),
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bound,
+                prior_lower_bound: bound,
+            },
+            seed_stats,
+            stages,
+        },
+        clock,
+    ))
 }
 
 /// Runs an out-of-core SYRK through a [`PlanService`]: the schedule (and, for

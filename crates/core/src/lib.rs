@@ -62,10 +62,11 @@ pub use symla_sched::passes;
 
 pub use api::{
     cholesky_out_of_core, cholesky_out_of_core_cached, cholesky_out_of_core_optimized,
-    cholesky_out_of_core_prefetched, gemm_out_of_core, gemm_out_of_core_cached,
-    gemm_out_of_core_optimized, gemm_out_of_core_prefetched, syrk_out_of_core,
-    syrk_out_of_core_cached, syrk_out_of_core_optimized, syrk_out_of_core_prefetched,
-    CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
+    cholesky_out_of_core_prefetched, cholesky_out_of_core_timed, gemm_out_of_core,
+    gemm_out_of_core_cached, gemm_out_of_core_optimized, gemm_out_of_core_prefetched,
+    gemm_out_of_core_timed, syrk_out_of_core, syrk_out_of_core_cached, syrk_out_of_core_optimized,
+    syrk_out_of_core_prefetched, syrk_out_of_core_timed, CholeskyAlgorithm, OptimizedRun,
+    RunReport, SyrkAlgorithm, WallClock,
 };
 pub use engine::{Engine, EngineConfig, EngineError, Schedule, ScheduleBuilder};
 pub use lbc::{

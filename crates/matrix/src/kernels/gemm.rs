@@ -9,6 +9,11 @@ use crate::scalar::Scalar;
 ///
 /// The loop order is `j, l, i` (jli): for a fixed output column `j` the kernel
 /// streams columns of `A`, which are contiguous in the column-major layout.
+///
+/// Every `k`-term is accumulated unconditionally — there is no skip for zero
+/// multipliers — so non-finite operands propagate per IEEE semantics
+/// (`0 · NaN = NaN`, `0 · ∞ = NaN`) and [`gemm`], [`gemm_nt`] and
+/// [`gemm_blocked`] agree bitwise on every input.
 pub fn gemm<T: Scalar>(
     alpha: T,
     a: &Matrix<T>,
@@ -31,9 +36,6 @@ pub fn gemm<T: Scalar>(
     for j in 0..n {
         for l in 0..k {
             let blj = alpha * b[(l, j)];
-            if blj == T::ZERO {
-                continue;
-            }
             let a_col = a.col(l);
             let c_col = c.col_mut(j);
             for i in 0..m {
@@ -72,9 +74,6 @@ pub fn gemm_nt<T: Scalar>(
     for j in 0..n {
         for l in 0..k {
             let bjl = alpha * b[(j, l)];
-            if bjl == T::ZERO {
-                continue;
-            }
             let a_col = a.col(l);
             let c_col = c.col_mut(j);
             for i in 0..m {
@@ -87,9 +86,11 @@ pub fn gemm_nt<T: Scalar>(
 
 /// Blocked `C ← alpha · A · B + beta · C` with square tiles of side `tile`.
 ///
-/// Functionally identical to [`gemm`]; the tiling improves cache reuse for
-/// large operands and mirrors the block structure of the out-of-core GEMM
-/// baseline.
+/// Bitwise identical to [`gemm`] for every input (including NaN/inf
+/// operands): within a tile the `l`-summation order per output element is the
+/// same ascending order as the unblocked kernel, and no term is skipped. The
+/// tiling improves cache reuse for large operands and mirrors the block
+/// structure of the out-of-core GEMM baseline.
 pub fn gemm_blocked<T: Scalar>(
     alpha: T,
     a: &Matrix<T>,
@@ -125,9 +126,6 @@ pub fn gemm_blocked<T: Scalar>(
                 for j in j0..jn {
                     for l in l0..ln {
                         let blj = alpha * b[(l, j)];
-                        if blj == T::ZERO {
-                            continue;
-                        }
                         for i in i0..im {
                             c[(i, j)] = a[(i, l)].mul_add(blj, c[(i, j)]);
                         }
@@ -216,6 +214,58 @@ mod tests {
                 );
             }
             c1.fill(0.0);
+        }
+    }
+
+    /// Regression: the kernels used to skip `k`-terms whose multiplier
+    /// `alpha * b[...]` was zero, which silently suppressed `0 · NaN` and
+    /// `0 · ∞` contributions. With non-finite values in `A`, a zero row in
+    /// `B` must still poison the affected outputs, identically in the naive
+    /// and blocked kernels.
+    #[test]
+    fn non_finite_operands_propagate_identically() {
+        let m = 5;
+        let k = 4;
+        let n = 6;
+        let mut a: Matrix<f64> = random_matrix_seeded(m, k, 400);
+        a[(1, 2)] = f64::NAN;
+        a[(3, 0)] = f64::INFINITY;
+        let mut b: Matrix<f64> = random_matrix_seeded(k, n, 401);
+        // Zero out the B rows that multiply the poisoned A columns: the
+        // products 0 * NaN and 0 * inf must still be accumulated.
+        for j in 0..n {
+            b[(2, j)] = 0.0;
+            b[(0, j)] = 0.0;
+        }
+        let c0: Matrix<f64> = random_matrix_seeded(m, n, 402);
+
+        let mut naive = c0.clone();
+        gemm(1.0, &a, &b, 1.0, &mut naive).unwrap();
+        for j in 0..n {
+            assert!(naive[(1, j)].is_nan(), "0 * NaN must propagate");
+            assert!(naive[(3, j)].is_nan(), "0 * inf must propagate");
+            assert!(naive[(0, j)].is_finite());
+        }
+
+        for tile in [1, 2, 3, 64] {
+            let mut blocked = c0.clone();
+            gemm_blocked(1.0, &a, &b, 1.0, &mut blocked, tile).unwrap();
+            for j in 0..n {
+                for i in 0..m {
+                    let (x, y) = (naive[(i, j)], blocked[(i, j)]);
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "tile {tile}: ({i},{j}) naive {x} != blocked {y}"
+                    );
+                }
+            }
+        }
+
+        let mut nt = c0.clone();
+        gemm_nt(1.0, &a, &b.transpose(), 1.0, &mut nt).unwrap();
+        for j in 0..n {
+            assert!(nt[(1, j)].is_nan());
+            assert!(nt[(3, j)].is_nan());
         }
     }
 

@@ -16,6 +16,7 @@ pub mod cholesky;
 pub mod flops;
 pub mod gemm;
 pub mod lu;
+pub mod micro;
 pub mod residual;
 pub mod syrk;
 pub mod trsm;

@@ -233,6 +233,23 @@ impl<'a, T: Scalar> PackedLowerViewMut<'a, T> {
     pub fn add(&mut self, i: usize, j: usize, value: T) {
         self.data[crate::packed::packed_lower_index(self.n, i, j)] += value;
     }
+
+    /// The contiguous stored tail of column `j`: elements `(j, j)` through
+    /// `(n-1, j)` as one slice (packed column-major storage keeps each
+    /// column's subdiagonal run contiguous).
+    #[inline]
+    pub fn col_tail(&self, j: usize) -> &[T] {
+        let start = crate::packed::packed_col_start(self.n, j);
+        &self.data[start..start + crate::packed::packed_col_len(self.n, j)]
+    }
+
+    /// Mutable contiguous stored tail of column `j` (see
+    /// [`PackedLowerViewMut::col_tail`]).
+    #[inline]
+    pub fn col_tail_mut(&mut self, j: usize) -> &mut [T] {
+        let start = crate::packed::packed_col_start(self.n, j);
+        &mut self.data[start..start + crate::packed::packed_col_len(self.n, j)]
+    }
 }
 
 #[cfg(test)]

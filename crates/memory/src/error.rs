@@ -49,6 +49,14 @@ pub enum MemoryError {
     },
     /// A buffer was returned to a machine other than the one that created it.
     ForeignBuffer,
+    /// An operating-system I/O error from a file-backed slow memory.
+    Io {
+        /// What the machine was doing when the error occurred.
+        context: &'static str,
+        /// The underlying `std::io::Error`, rendered to text (kept as a
+        /// string so the error type stays `Clone + PartialEq`).
+        message: String,
+    },
     /// An error bubbled up from the matrix layer.
     Matrix(symla_matrix::MatrixError),
 }
@@ -80,6 +88,9 @@ impl fmt::Display for MemoryError {
             ),
             MemoryError::ForeignBuffer => {
                 write!(f, "buffer was created by a different machine instance")
+            }
+            MemoryError::Io { context, message } => {
+                write!(f, "slow-memory file I/O failed while {context}: {message}")
             }
             MemoryError::Matrix(e) => write!(f, "matrix error: {e}"),
         }
@@ -150,5 +161,11 @@ mod tests {
             .to_string()
             .contains("2 leased"));
         assert!(MemoryError::ForeignBuffer.to_string().contains("different"));
+        assert!(MemoryError::Io {
+            context: "reading a region",
+            message: "disk on fire".into()
+        }
+        .to_string()
+        .contains("reading a region"));
     }
 }

@@ -39,7 +39,11 @@
 
 pub mod cache;
 pub mod error;
+#[cfg(feature = "file-backed")]
+pub mod file;
+pub mod latency;
 pub mod machine;
+pub mod model;
 pub mod operand;
 pub mod region;
 pub mod shared;
@@ -48,7 +52,11 @@ pub mod storage;
 pub mod trace;
 
 pub use error::{MemoryError, Result};
+#[cfg(feature = "file-backed")]
+pub use file::FileSlowMemory;
+pub use latency::LatencyMachine;
 pub use machine::{FastBuf, MachineConfig, MachineOps, MatrixId, OocMachine};
+pub use model::{MachineModel, TimeStats};
 pub use operand::{PanelRef, SymWindowRef};
 pub use region::{Region, RegionParseError};
 pub use shared::{SharedSlowMemory, WorkerMachine};

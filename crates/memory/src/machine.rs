@@ -213,13 +213,19 @@ impl<T: Scalar> FastBuf<T> {
     }
 }
 
-/// The simulated two-level memory machine.
+/// The lease, capacity, statistics and trace bookkeeping shared by every
+/// slow-memory backend of this crate.
+///
+/// [`OocMachine`] (allocation-backed) and the feature-gated
+/// [`crate::file::FileSlowMemory`] (file-backed) differ only in where the
+/// bytes live; the accounting contract — element-exact load/store counting,
+/// capacity checks on every admission, lease tracking per matrix, optional
+/// transfer traces — is identical and lives here so the backends cannot
+/// drift apart.
 #[derive(Debug)]
-pub struct OocMachine<T: Scalar> {
+pub(crate) struct Ledger {
     config: MachineConfig,
-    matrices: BTreeMap<u64, SlowMatrix<T>>,
     leases: BTreeMap<u64, usize>,
-    next_id: u64,
     resident: usize,
     stats: IoStats,
     trace: Option<Trace>,
@@ -227,14 +233,11 @@ pub struct OocMachine<T: Scalar> {
     tag: u64,
 }
 
-impl<T: Scalar> OocMachine<T> {
-    /// Creates a machine with the given configuration.
-    pub fn new(config: MachineConfig) -> Self {
+impl Ledger {
+    pub(crate) fn new(config: MachineConfig) -> Self {
         Self {
             config,
-            matrices: BTreeMap::new(),
             leases: BTreeMap::new(),
-            next_id: 0,
             resident: 0,
             stats: IoStats::new(),
             trace: if config.record_trace {
@@ -247,58 +250,32 @@ impl<T: Scalar> OocMachine<T> {
         }
     }
 
-    /// Convenience constructor: capacity `s`, no trace.
-    pub fn with_capacity(s: usize) -> Self {
-        Self::new(MachineConfig::with_capacity(s))
+    pub(crate) fn tag(&self) -> u64 {
+        self.tag
     }
 
-    /// The configured capacity.
-    pub fn capacity(&self) -> Option<usize> {
+    pub(crate) fn capacity(&self) -> Option<usize> {
         self.config.capacity
     }
 
-    /// Elements currently resident in fast memory.
-    pub fn resident(&self) -> usize {
+    pub(crate) fn resident(&self) -> usize {
         self.resident
     }
 
-    /// Registers a dense matrix in slow memory.
-    pub fn insert_dense(&mut self, m: Matrix<T>) -> MatrixId {
-        self.insert(SlowMatrix::Dense(m))
-    }
-
-    /// Registers a symmetric matrix in slow memory.
-    pub fn insert_symmetric(&mut self, s: SymMatrix<T>) -> MatrixId {
-        self.insert(SlowMatrix::Symmetric(s))
-    }
-
-    fn insert(&mut self, m: SlowMatrix<T>) -> MatrixId {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.matrices.insert(id, m);
+    /// Opens a lease account for a newly registered matrix.
+    pub(crate) fn register(&mut self, id: u64) {
         self.leases.insert(id, 0);
-        MatrixId(id)
     }
 
-    /// Logical shape of a registered matrix.
-    pub fn shape(&self, id: MatrixId) -> Result<(usize, usize)> {
-        self.matrices
-            .get(&id.0)
-            .map(|m| m.shape())
-            .ok_or(MemoryError::UnknownMatrix { id: id.0 })
-    }
-
-    /// Declares the current phase; subsequent transfers are attributed to it.
-    pub fn set_phase(&mut self, phase: &str) {
+    pub(crate) fn set_phase(&mut self, phase: &str) {
         self.phase = phase.to_string();
     }
 
-    /// The currently active phase label.
-    pub fn phase(&self) -> &str {
+    pub(crate) fn phase(&self) -> &str {
         &self.phase
     }
 
-    fn check_capacity(&self, extra: usize) -> Result<()> {
+    pub(crate) fn check_capacity(&self, extra: usize) -> Result<()> {
         if let Some(cap) = self.config.capacity {
             if self.resident + extra > cap {
                 return Err(MemoryError::CapacityExceeded {
@@ -323,27 +300,161 @@ impl<T: Scalar> OocMachine<T> {
         }
     }
 
-    /// Loads a region of a matrix into fast memory, charging its element
-    /// count as load traffic and checking the capacity.
-    pub fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+    /// Accounts a completed load of `region` from `id`: residency, load
+    /// traffic, lease count, trace event (in that order).
+    pub(crate) fn admit_load(&mut self, id: MatrixId, region: &Region) {
         let elements = region.len();
-        self.check_capacity(elements)?;
-        let matrix = self
-            .matrices
-            .get(&id.0)
-            .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
-        let data = matrix.gather(&region)?;
         self.resident += elements;
         self.stats.observe_resident(self.resident);
         let phase = self.phase.clone();
         self.stats.record_load(elements, &phase);
         *self.leases.get_mut(&id.0).expect("lease entry exists") += 1;
-        self.record_event(Direction::Load, id, &region);
+        self.record_event(Direction::Load, id, region);
+    }
+
+    /// Accounts a zero-fill allocation of `elements` against `id` (no load
+    /// traffic, no trace event).
+    pub(crate) fn admit_alloc(&mut self, id: MatrixId, elements: usize) {
+        self.resident += elements;
+        self.stats.observe_resident(self.resident);
+        *self.leases.get_mut(&id.0).expect("lease entry exists") += 1;
+    }
+
+    /// Rejects buffers minted by another machine.
+    pub(crate) fn check_owned(&self, machine_tag: u64) -> Result<()> {
+        if machine_tag != self.tag {
+            return Err(MemoryError::ForeignBuffer);
+        }
+        Ok(())
+    }
+
+    /// Releases `elements` of residency and one lease of `matrix`.
+    pub(crate) fn release(&mut self, matrix: u64, elements: usize) {
+        self.resident -= elements;
+        if let Some(count) = self.leases.get_mut(&matrix) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    /// Accounts a completed store of `region` back to `id` (call after
+    /// [`Ledger::release`] so the trace event sees the post-release
+    /// residency).
+    pub(crate) fn note_store(&mut self, id: MatrixId, region: &Region) {
+        let phase = self.phase.clone();
+        self.stats.record_store(region.len(), &phase);
+        self.record_event(Direction::Store, id, region);
+    }
+
+    pub(crate) fn check_takeable(&self, id: u64) -> Result<()> {
+        match self.leases.get(&id) {
+            None => Err(MemoryError::UnknownMatrix { id }),
+            Some(&count) if count > 0 => Err(MemoryError::LeasesOutstanding { id, count }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    pub(crate) fn record_flops(&mut self, flops: FlopCount) {
+        self.stats.record_flops(flops);
+    }
+
+    pub(crate) fn note_prefetch(&mut self, elements: usize) {
+        self.stats.note_prefetch(elements);
+    }
+
+    pub(crate) fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    pub(crate) fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+}
+
+/// The simulated two-level memory machine.
+#[derive(Debug)]
+pub struct OocMachine<T: Scalar> {
+    matrices: BTreeMap<u64, SlowMatrix<T>>,
+    next_id: u64,
+    ledger: Ledger,
+}
+
+impl<T: Scalar> OocMachine<T> {
+    /// Creates a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            matrices: BTreeMap::new(),
+            next_id: 0,
+            ledger: Ledger::new(config),
+        }
+    }
+
+    /// Convenience constructor: capacity `s`, no trace.
+    pub fn with_capacity(s: usize) -> Self {
+        Self::new(MachineConfig::with_capacity(s))
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> Option<usize> {
+        self.ledger.capacity()
+    }
+
+    /// Elements currently resident in fast memory.
+    pub fn resident(&self) -> usize {
+        self.ledger.resident()
+    }
+
+    /// Registers a dense matrix in slow memory.
+    pub fn insert_dense(&mut self, m: Matrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Dense(m))
+    }
+
+    /// Registers a symmetric matrix in slow memory.
+    pub fn insert_symmetric(&mut self, s: SymMatrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Symmetric(s))
+    }
+
+    fn insert(&mut self, m: SlowMatrix<T>) -> MatrixId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.matrices.insert(id, m);
+        self.ledger.register(id);
+        MatrixId(id)
+    }
+
+    /// Logical shape of a registered matrix.
+    pub fn shape(&self, id: MatrixId) -> Result<(usize, usize)> {
+        self.matrices
+            .get(&id.0)
+            .map(|m| m.shape())
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })
+    }
+
+    /// Declares the current phase; subsequent transfers are attributed to it.
+    pub fn set_phase(&mut self, phase: &str) {
+        self.ledger.set_phase(phase);
+    }
+
+    /// The currently active phase label.
+    pub fn phase(&self) -> &str {
+        self.ledger.phase()
+    }
+
+    /// Loads a region of a matrix into fast memory, charging its element
+    /// count as load traffic and checking the capacity.
+    pub fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
+        let elements = region.len();
+        self.ledger.check_capacity(elements)?;
+        let matrix = self
+            .matrices
+            .get(&id.0)
+            .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
+        let data = matrix.gather(&region)?;
+        self.ledger.admit_load(id, &region);
         Ok(FastBuf {
             data,
             matrix: id,
             region,
-            machine_tag: self.tag,
+            machine_tag: self.ledger.tag(),
         })
     }
 
@@ -352,42 +463,26 @@ impl<T: Scalar> OocMachine<T> {
     /// irrelevant because the schedule overwrites every element.
     pub fn allocate_zeroed(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
         let elements = region.len();
-        self.check_capacity(elements)?;
+        self.ledger.check_capacity(elements)?;
         let matrix = self
             .matrices
             .get(&id.0)
             .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
         // Validate the region against the matrix without transferring data.
         matrix.validate_region(&region)?;
-        self.resident += elements;
-        self.stats.observe_resident(self.resident);
-        *self.leases.get_mut(&id.0).expect("lease entry exists") += 1;
+        self.ledger.admit_alloc(id, elements);
         Ok(FastBuf {
             data: vec![T::ZERO; elements],
             matrix: id,
             region,
-            machine_tag: self.tag,
+            machine_tag: self.ledger.tag(),
         })
-    }
-
-    fn release_accounting(&mut self, buf: &FastBuf<T>) -> Result<()> {
-        if buf.machine_tag != self.tag {
-            return Err(MemoryError::ForeignBuffer);
-        }
-        self.resident -= buf.data.len();
-        if let Some(count) = self.leases.get_mut(&buf.matrix.0) {
-            *count = count.saturating_sub(1);
-        }
-        Ok(())
     }
 
     /// Writes a buffer back to slow memory (charging store traffic) and
     /// releases its fast-memory space.
     pub fn store(&mut self, buf: FastBuf<T>) -> Result<()> {
-        if buf.machine_tag != self.tag {
-            return Err(MemoryError::ForeignBuffer);
-        }
-        let elements = buf.data.len();
+        self.ledger.check_owned(buf.machine_tag)?;
         {
             let matrix = self
                 .matrices
@@ -395,38 +490,38 @@ impl<T: Scalar> OocMachine<T> {
                 .ok_or(MemoryError::UnknownMatrix { id: buf.matrix.0 })?;
             matrix.scatter(&buf.region, &buf.data)?;
         }
-        self.release_accounting(&buf)?;
-        let phase = self.phase.clone();
-        self.stats.record_store(elements, &phase);
-        self.record_event(Direction::Store, buf.matrix, &buf.region);
+        self.ledger.release(buf.matrix.0, buf.data.len());
+        self.ledger.note_store(buf.matrix, &buf.region);
         Ok(())
     }
 
     /// Releases a buffer without writing it back (no store traffic).
     pub fn discard(&mut self, buf: FastBuf<T>) -> Result<()> {
-        self.release_accounting(&buf)
+        self.ledger.check_owned(buf.machine_tag)?;
+        self.ledger.release(buf.matrix.0, buf.data.len());
+        Ok(())
     }
 
     /// Records arithmetic work performed by the schedule.
     pub fn record_flops(&mut self, flops: FlopCount) {
-        self.stats.record_flops(flops);
+        self.ledger.record_flops(flops);
     }
 
     /// The accumulated statistics.
     pub fn stats(&self) -> &IoStats {
-        &self.stats
+        self.ledger.stats()
     }
 
     /// The recorded trace, if trace recording was enabled.
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.ledger.trace()
     }
 
     /// Removes a dense matrix from slow memory and returns it (fails if any
     /// fast-memory buffer leased from it is still outstanding, or if the
     /// matrix is not dense).
     pub fn take_dense(&mut self, id: MatrixId) -> Result<Matrix<T>> {
-        self.check_takeable(id)?;
+        self.ledger.check_takeable(id.0)?;
         match self.matrices.remove(&id.0) {
             Some(SlowMatrix::Dense(m)) => Ok(m),
             Some(other) => {
@@ -443,7 +538,7 @@ impl<T: Scalar> OocMachine<T> {
 
     /// Removes a symmetric matrix from slow memory and returns it.
     pub fn take_symmetric(&mut self, id: MatrixId) -> Result<SymMatrix<T>> {
-        self.check_takeable(id)?;
+        self.ledger.check_takeable(id.0)?;
         match self.matrices.remove(&id.0) {
             Some(SlowMatrix::Symmetric(s)) => Ok(s),
             Some(other) => {
@@ -455,14 +550,6 @@ impl<T: Scalar> OocMachine<T> {
                 })
             }
             None => Err(MemoryError::UnknownMatrix { id: id.0 }),
-        }
-    }
-
-    fn check_takeable(&self, id: MatrixId) -> Result<()> {
-        match self.leases.get(&id.0) {
-            None => Err(MemoryError::UnknownMatrix { id: id.0 }),
-            Some(&count) if count > 0 => Err(MemoryError::LeasesOutstanding { id: id.0, count }),
-            Some(_) => Ok(()),
         }
     }
 
@@ -536,6 +623,12 @@ pub trait MachineOps<T: Scalar> {
     /// Attributes the most recent load to the overlapped (prefetched) side
     /// of the stall/overlap split (see [`IoStats::note_prefetch`]).
     fn note_prefetch(&mut self, elements: usize);
+
+    /// Marks the boundary between two task-group windows during a replay.
+    /// The engine calls this at the start of every group and once after the
+    /// last one; timing wrappers (e.g. `LatencyMachine`) settle their
+    /// per-window accumulators here. Counting machines ignore it.
+    fn note_group_boundary(&mut self) {}
 }
 
 impl<T: Scalar> MachineOps<T> for OocMachine<T> {
@@ -572,7 +665,7 @@ impl<T: Scalar> MachineOps<T> for OocMachine<T> {
     }
 
     fn note_prefetch(&mut self, elements: usize) {
-        self.stats.note_prefetch(elements);
+        self.ledger.note_prefetch(elements);
     }
 }
 

@@ -57,9 +57,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use symla_matrix::kernels::micro::{ger_view_auto, spr_lower_view_auto};
 use symla_matrix::kernels::views::{
-    cholesky_packed_view_in_place, ger_view, lu_view_in_place, spr_lower_view,
-    triangle_pairs_update,
+    cholesky_packed_view_in_place, lu_view_in_place, triangle_pairs_update,
 };
 use symla_matrix::{MatrixError, Scalar};
 use symla_memory::{
@@ -503,11 +503,13 @@ impl Engine {
         prefetched: &mut PrefetchedBufs<T>,
     ) -> Result<()> {
         for (g, group) in schedule.groups.iter().enumerate() {
+            machine.note_group_boundary();
             if let Some(phase) = &group.phase {
                 machine.set_phase(phase);
             }
             Self::replay_group(machine, g, group, bufs, prefetched)?;
         }
+        machine.note_group_boundary();
         if !bufs.is_empty() {
             return Err(EngineError::InvalidSchedule(format!(
                 "{} buffer(s) left resident at end of schedule",
@@ -526,6 +528,7 @@ impl Engine {
         prefetched: &mut PrefetchedBufs<T>,
     ) -> Result<()> {
         for (g, group) in schedule.groups.iter().enumerate() {
+            machine.note_group_boundary();
             // Fill: issue the loads planned at this boundary (they overlap
             // with this group's compute in the two-phase model).
             for issue in plan.issues_at(g) {
@@ -546,6 +549,7 @@ impl Engine {
             machine.set_phase(&phases[g]);
             Self::replay_group(machine, g, group, bufs, prefetched)?;
         }
+        machine.note_group_boundary();
         if !bufs.is_empty() || !prefetched.is_empty() {
             return Err(EngineError::InvalidSchedule(format!(
                 "{} buffer(s) left resident at end of schedule",
@@ -761,6 +765,7 @@ impl Engine {
                                 pending.push_back(g);
                             }
                             let Some(g) = pending.pop_front() else { break };
+                            machine.note_group_boundary();
                             let group = &schedule.groups[g];
                             if lookahead > 0 {
                                 Self::fill_worker_window(
@@ -803,6 +808,7 @@ impl Engine {
                                 }
                             }
                         }
+                        machine.note_group_boundary();
                         // Release any prefetched buffers whose group never
                         // drained (abort mid-pipeline).
                         for (_, buf) in prefetched {
@@ -921,12 +927,14 @@ impl Engine {
                 let xs = slice_of(bufs, x)?;
                 let ys = slice_of(bufs, y)?;
                 let mut view = dst.rect_view_mut().map_err(EngineError::Memory)?;
-                ger_view(*alpha, xs, ys, &mut view)?;
+                // Cache-blocked micro-kernel, bitwise-equal to `ger_view`
+                // (asserted by the `kernel_equivalence` sweep).
+                ger_view_auto(*alpha, xs, ys, &mut view)?;
             }
             ComputeOp::SprLower { alpha, x, .. } => {
                 let xs = slice_of(bufs, x)?;
                 let mut view = dst.packed_view_mut().map_err(EngineError::Memory)?;
-                spr_lower_view(*alpha, xs, &mut view)?;
+                spr_lower_view_auto(*alpha, xs, &mut view)?;
             }
             ComputeOp::TrianglePairs { alpha, x, .. } => {
                 let xs = slice_of(bufs, x)?;

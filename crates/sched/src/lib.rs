@@ -28,6 +28,10 @@
 //! * [`prefetch`] — the lookahead planner behind those variants: per group
 //!   boundary it admits the future loads that fit the capacity slack
 //!   `S − footprint` and read fresh data;
+//! * [`timing`] — the modelled wall-clock of a replay: prices a schedule's
+//!   events against a `MachineModel` with the engine's per-group overlap
+//!   windows, bitwise-equal to what a `LatencyMachine` measures during a
+//!   real execution;
 //! * [`passes`] — the schedule-optimization layer: IR-to-IR rewrites
 //!   (redundant-load elimination and coalescing, dead-store elimination,
 //!   locality-driven group reordering) chained by a
@@ -55,6 +59,7 @@ pub mod opt;
 pub mod partition;
 pub mod passes;
 pub mod prefetch;
+pub mod timing;
 pub mod triangle;
 
 pub use balanced::BalancedSolution;
@@ -68,4 +73,5 @@ pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputat
 pub use partition::{PartitionStats, TbsPartition};
 pub use passes::{Pass, PassError, PassManager, PassPipeline, PassReport};
 pub use prefetch::{PrefetchIssue, PrefetchPlan};
+pub use timing::{modelled_time, modelled_time_planned};
 pub use triangle::{canonical_t, sigma, triangle_block};

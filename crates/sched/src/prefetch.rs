@@ -40,6 +40,20 @@
 //!
 //! [`Step::Alloc`] steps are never prefetched: they move no data, so
 //! hoisting them buys no overlap and only wastes slack.
+//!
+//! ## Placement: just-in-time
+//!
+//! An admitted load is issued at the **latest** feasible boundary. Both
+//! admission checks test a window from the issue boundary to the load's
+//! original position, so they only grow stricter as the boundary moves
+//! earlier — the latest boundary is always the most admissible one, and it
+//! pairs the transfer with the compute of the group directly preceding the
+//! load's own, which is what maximizes the overlap under the wall-clock
+//! model of [`crate::timing`]. A consequence worth naming: the modelled
+//! wall-clock is monotone non-increasing in the lookahead, because deepening
+//! the window never moves an already-feasible issue and (by the nesting of
+//! the admission windows) never admits a load the shallower window could
+//! not.
 
 use crate::ir::{BufId, Schedule, Step, TaskGroup};
 use crate::passes::analysis::{residency_profile, CellSet};
@@ -169,7 +183,11 @@ impl PrefetchPlan {
                 // (boundaries only shrink the window it is tested against).
                 let mut candidate: Option<CellSet> = None;
                 let earliest = h.saturating_sub(lookahead);
-                for (g, &boundary) in group_start.iter().enumerate().take(h).skip(earliest) {
+                // Latest boundary first: the admission windows nest, so the
+                // first feasible boundary found this way is also the one
+                // that overlaps best (see the module docs).
+                for g in (earliest..h).rev() {
+                    let boundary = group_start[g];
                     // Capacity: the buffer is resident from the boundary of
                     // `g` until its original load point (where the baseline
                     // already accounts for it).
@@ -517,9 +535,13 @@ mod tests {
     }
 
     #[test]
-    fn deeper_lookahead_issues_earlier() {
-        // Three tiny groups; with lookahead 2 both later groups' loads issue
-        // at the earliest boundary that fits.
+    fn placement_is_just_in_time() {
+        // Three tiny groups with plenty of slack: even at lookahead 2 each
+        // load stays at its latest feasible boundary (directly before its
+        // own group), where the issue overlaps the preceding group's
+        // compute. Deepening the lookahead changes nothing — the admission
+        // windows nest, so a load the one-group window cannot place has no
+        // earlier home either.
         let id = MatrixId::synthetic(0);
         let mut b = ScheduleBuilder::<f64>::new();
         for i in 0..3 {
@@ -528,13 +550,12 @@ mod tests {
             b.store(x);
         }
         let schedule = b.finish();
-        let plan = PrefetchPlan::plan(&schedule, 2, Some(10));
-        assert_eq!(plan.planned_events, 2);
-        assert_eq!(plan.issues_at(0).len(), 2, "both fit at the first boundary");
         let one = PrefetchPlan::plan(&schedule, 1, Some(10));
         assert_eq!(one.planned_events, 2);
-        assert_eq!(one.issues_at(0).len(), 1);
-        assert_eq!(one.issues_at(1).len(), 1);
+        assert_eq!(one.issues_at(0), &[PrefetchIssue { group: 1, step: 0 }]);
+        assert_eq!(one.issues_at(1), &[PrefetchIssue { group: 2, step: 0 }]);
+        let two = PrefetchPlan::plan(&schedule, 2, Some(10));
+        assert_eq!(two, one, "deeper lookahead never moves a feasible issue");
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Modelled wall-clock time of a schedule replay, without executing it.
+//!
+//! [`modelled_time`] walks a [`Schedule`] with exactly the bookkeeping of
+//! [`Engine::dry_run_with`](crate::Engine::dry_run_with) and prices every
+//! event against a [`MachineModel`], bucketing costs into the per-group
+//! windows of the engine's two-phase overlap model (see
+//! [`TimeStats::add_window`]): within one window, prefetched loads overlap
+//! the window's compute, demand loads and stores do not.
+//!
+//! The result is **bitwise-equal** (as `f64`s) to what a
+//! [`LatencyMachine`](symla_memory::LatencyMachine) wrapping a real machine
+//! accumulates during [`Engine::execute_with`](crate::Engine::execute_with)
+//! of the same schedule under the same model, lookahead and capacity — both
+//! walk the same events in the same order and add the same costs into the
+//! same accumulators. The cross-crate test `tests/wallclock_model.rs`
+//! asserts this for every builder; it is the timing analogue of the
+//! `execute == dry_run` stats invariant.
+
+use crate::ir::{Schedule, Step};
+use crate::prefetch::PrefetchPlan;
+use std::collections::BTreeMap;
+use symla_matrix::Scalar;
+use symla_memory::{MachineModel, TimeStats};
+
+/// Models the wall-clock of [`Engine::execute_with`](crate::Engine::execute_with)
+/// on a machine of `capacity`, pricing transfers and flops with `model`.
+///
+/// `lookahead = 0` models the plain serial replay (every load is a demand
+/// load; nothing overlaps). With `lookahead = L > 0` the same
+/// [`PrefetchPlan`] the engine would compute decides which loads are issued
+/// at a group boundary and therefore overlap that group's compute.
+///
+/// ```
+/// use symla_memory::{MachineModel, MatrixId, Region};
+/// use symla_sched::timing::modelled_time;
+/// use symla_sched::ScheduleBuilder;
+/// use symla_matrix::kernels::FlopCount;
+///
+/// let id = MatrixId::synthetic(0);
+/// let mut b = ScheduleBuilder::<f64>::new();
+/// for i in 0..4 {
+///     b.begin_group();
+///     let x = b.load(id, Region::rect(4 * i, 0, 4, 4));
+///     b.flops(FlopCount::new(4096, 4096));
+///     b.store(x);
+/// }
+/// let s = b.finish();
+/// let model = MachineModel::dram();
+/// let serial = modelled_time(&s, &model, 0, Some(64));
+/// let overlapped = modelled_time(&s, &model, 1, Some(64));
+/// // Volumes are unchanged, but prefetched loads hide behind compute.
+/// assert_eq!(serial.io_ns, overlapped.io_ns);
+/// assert!(overlapped.total_ns() < serial.total_ns());
+/// ```
+pub fn modelled_time<T: Scalar>(
+    schedule: &Schedule<T>,
+    model: &MachineModel,
+    lookahead: usize,
+    capacity: Option<usize>,
+) -> TimeStats {
+    let plan = if lookahead == 0 {
+        PrefetchPlan::default()
+    } else {
+        PrefetchPlan::plan(schedule, lookahead, capacity)
+    };
+    modelled_time_planned(schedule, model, &plan)
+}
+
+/// [`modelled_time`] with an already-computed [`PrefetchPlan`] (the
+/// modelled-time analogue of
+/// [`Engine::execute_planned`](crate::Engine::execute_planned)). An empty
+/// plan models the plain serial replay.
+pub fn modelled_time_planned<T: Scalar>(
+    schedule: &Schedule<T>,
+    model: &MachineModel,
+    plan: &PrefetchPlan,
+) -> TimeStats {
+    let mut time = TimeStats::default();
+    let mut sizes: BTreeMap<crate::ir::BufId, usize> = BTreeMap::new();
+    for (g, group) in schedule.groups.iter().enumerate() {
+        // One window per group, mirroring the engine's
+        // `note_group_boundary` cadence: the loads issued at this group's
+        // boundary overlap this group's compute; everything else is serial.
+        let mut demand_ns = 0.0_f64;
+        let mut prefetch_ns = 0.0_f64;
+        let mut compute_ns = 0.0_f64;
+        for issue in plan.issues_at(g) {
+            let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step] else {
+                unreachable!("prefetch plans only target load steps");
+            };
+            prefetch_ns += model.load_ns(region.len());
+        }
+        for (idx, step) in group.steps.iter().enumerate() {
+            match step {
+                Step::Load { region, dst, .. } => {
+                    sizes.insert(*dst, region.len());
+                    if !plan.is_prefetched(g, idx) {
+                        demand_ns += model.load_ns(region.len());
+                    }
+                }
+                Step::Alloc { region, dst, .. } => {
+                    // Allocation moves no data: free, like the machine's
+                    // `allocate_zeroed`. The eventual store is priced.
+                    sizes.insert(*dst, region.len());
+                }
+                Step::Flops(flops) => compute_ns += model.compute_ns(flops.total()),
+                Step::Store { buf } => {
+                    demand_ns += model.store_ns(sizes.remove(buf).unwrap_or(0));
+                }
+                Step::Discard { buf } => {
+                    sizes.remove(buf);
+                }
+                Step::Compute(_) => {}
+            }
+        }
+        time.add_window(demand_ns, prefetch_ns, compute_ns);
+    }
+    time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::ir::ScheduleBuilder;
+    use symla_matrix::kernels::FlopCount;
+    use symla_matrix::Matrix;
+    use symla_memory::{LatencyMachine, MatrixId, OocMachine, Region};
+
+    /// Two groups touching disjoint 3x3 blocks of one 6x6 matrix, with
+    /// enough flops that a prefetched load hides completely.
+    fn two_group_schedule() -> Schedule<f64> {
+        let id = MatrixId::synthetic(0);
+        let mut b = ScheduleBuilder::new();
+        for i in 0..2 {
+            b.begin_group();
+            let x = b.load(id, Region::rect(3 * i, 0, 3, 3));
+            b.flops(FlopCount::new(500, 500));
+            b.store(x);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn serial_time_is_priced_per_event() {
+        let s = two_group_schedule();
+        let model = MachineModel::dram();
+        let t = modelled_time(&s, &model, 0, Some(64));
+        let per_group = model.load_ns(9) + model.store_ns(9);
+        assert_eq!(t.groups, 2);
+        assert_eq!(t.io_ns, 2.0 * per_group);
+        assert_eq!(t.compute_ns, 2.0 * model.compute_ns(1000));
+        assert_eq!(t.hidden_ns, 0.0);
+    }
+
+    #[test]
+    fn lookahead_hides_prefetched_loads() {
+        let s = two_group_schedule();
+        let model = MachineModel::dram();
+        let serial = modelled_time(&s, &model, 0, Some(64));
+        let overlapped = modelled_time(&s, &model, 1, Some(64));
+        assert_eq!(serial.io_ns, overlapped.io_ns);
+        assert!(overlapped.hidden_ns > 0.0);
+        assert!(overlapped.total_ns() < serial.total_ns());
+    }
+
+    #[test]
+    fn capacity_zero_slack_means_no_overlap() {
+        let s = two_group_schedule();
+        let model = MachineModel::dram();
+        // Capacity 9 fits exactly one 3x3 block: no slack, no prefetch.
+        let t = modelled_time(&s, &model, 1, Some(9));
+        assert_eq!(t.hidden_ns, 0.0);
+        assert_eq!(
+            t.total_ns(),
+            modelled_time(&s, &model, 0, Some(9)).total_ns()
+        );
+    }
+
+    /// The core invariant: the model predicts exactly what a
+    /// `LatencyMachine` measures during a real replay — bitwise, as `f64`s.
+    #[test]
+    fn model_matches_latency_machine_bitwise() {
+        let s = two_group_schedule();
+        let model = MachineModel::nvme();
+        for lookahead in 0..3 {
+            let mut machine = LatencyMachine::new(OocMachine::<f64>::with_capacity(64), model);
+            let id = machine.inner_mut().insert_dense(Matrix::identity(6));
+            assert_eq!(id, MatrixId::synthetic(0));
+            Engine::execute_with(&mut machine, &s, &EngineConfig::with_lookahead(lookahead))
+                .unwrap();
+            let measured = machine.time();
+            let modelled = modelled_time(&s, &model, lookahead, Some(64));
+            assert_eq!(measured.io_ns.to_bits(), modelled.io_ns.to_bits());
+            assert_eq!(measured.compute_ns.to_bits(), modelled.compute_ns.to_bits());
+            assert_eq!(measured.hidden_ns.to_bits(), modelled.hidden_ns.to_bits());
+            assert_eq!(measured.groups, modelled.groups);
+        }
+    }
+
+    #[test]
+    fn planned_variant_matches_inline_planning() {
+        let s = two_group_schedule();
+        let model = MachineModel::dram();
+        let plan = PrefetchPlan::plan(&s, 1, Some(64));
+        let a = modelled_time(&s, &model, 1, Some(64));
+        let b = modelled_time_planned(&s, &model, &plan);
+        assert_eq!(a.total_ns().to_bits(), b.total_ns().to_bits());
+    }
+}

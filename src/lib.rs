@@ -57,10 +57,11 @@ pub mod prelude {
     pub use symla_core::{
         api::{
             cholesky_out_of_core, cholesky_out_of_core_cached, cholesky_out_of_core_optimized,
-            cholesky_out_of_core_prefetched, gemm_out_of_core, gemm_out_of_core_cached,
-            gemm_out_of_core_optimized, gemm_out_of_core_prefetched, syrk_out_of_core,
-            syrk_out_of_core_cached, syrk_out_of_core_optimized, syrk_out_of_core_prefetched,
-            CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
+            cholesky_out_of_core_prefetched, cholesky_out_of_core_timed, gemm_out_of_core,
+            gemm_out_of_core_cached, gemm_out_of_core_optimized, gemm_out_of_core_prefetched,
+            gemm_out_of_core_timed, syrk_out_of_core, syrk_out_of_core_cached,
+            syrk_out_of_core_optimized, syrk_out_of_core_prefetched, syrk_out_of_core_timed,
+            CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm, WallClock,
         },
         bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, oi, tbs_cost, tbs_execute,
         tbs_schedule, tbs_tiled_cost, tbs_tiled_execute, tbs_tiled_schedule, Engine, EngineConfig,
@@ -71,9 +72,10 @@ pub mod prelude {
         generate, kernels, LowerTriangular, Matrix, MatrixError, Scalar, SymMatrix,
     };
     pub use symla_memory::{
-        IoStats, MachineConfig, MachineOps, MatrixId, OocMachine, PanelRef, Region,
-        SharedSlowMemory, SymWindowRef, WorkerMachine,
+        IoStats, LatencyMachine, MachineConfig, MachineModel, MachineOps, MatrixId, OocMachine,
+        PanelRef, Region, SharedSlowMemory, SymWindowRef, TimeStats, WorkerMachine,
     };
     pub use symla_plancache::{CacheStats, PlanCache, PlanCacheConfig, PlanKey, PlanSource};
+    pub use symla_sched::timing::{modelled_time, modelled_time_planned};
     pub use symla_sched::{BalancedSolution, CyclicIndexing, Op, OpSet, TbsPartition};
 }
