@@ -20,7 +20,7 @@
 //! recompiles, concurrency breaks single-flight, or the aggregate warm-hit
 //! acquisition fails to be at least 10× faster than the cold compile — this
 //! is the CI smoke gate (`--smoke` runs the small instance set only). The
-//! full run additionally writes `BENCH_plancache.json`.
+//! full run additionally writes `bench/BENCH_plancache.json`.
 //!
 //! ```text
 //! cargo run --release -p symla-bench --bin ab_plancache            # full sweep
@@ -431,8 +431,10 @@ fn main() {
             "  ],\n  \"aggregate_speedup\": {aggregate:.1},\n  \"bitwise_identical\": {bitwise_ok},\n  \"concurrent\": {{\"threads\": {threads}, \"plans_per_sec\": {plans_per_sec:.0}, \"compiles\": {}, \"coalesced_waits\": {}}},\n  \"failures\": {failures}\n}}\n",
             stats.compiles, stats.coalesced_waits
         ));
-        std::fs::write("BENCH_plancache.json", &json).expect("write BENCH_plancache.json");
-        println!("wrote BENCH_plancache.json");
+        std::fs::create_dir_all("bench").expect("create bench/");
+        std::fs::write("bench/BENCH_plancache.json", &json)
+            .expect("write bench/BENCH_plancache.json");
+        println!("wrote bench/BENCH_plancache.json");
     }
 
     println!("\n{failures} failures");

@@ -24,7 +24,7 @@
 //! this is the CI smoke gate (`--smoke` runs the small instance set and
 //! skips the JSON dump).
 //!
-//! A full run additionally writes `BENCH_wallclock.json` with one record per
+//! A full run additionally writes `bench/BENCH_wallclock.json` with one record per
 //! (algorithm, lookahead) and per micro-kernel timing.
 //!
 //! ```text
@@ -425,7 +425,8 @@ fn write_json(
         );
     }
     out.push_str("  ]\n}\n");
-    std::fs::write("BENCH_wallclock.json", out)
+    std::fs::create_dir_all("bench")?;
+    std::fs::write("bench/BENCH_wallclock.json", out)
 }
 
 fn main() {
@@ -545,8 +546,11 @@ fn main() {
     }
 
     if !smoke {
-        write_json(&rows, &kernels, &model).expect("write BENCH_wallclock.json");
-        println!("\nwrote BENCH_wallclock.json ({} run rows)", rows.len());
+        write_json(&rows, &kernels, &model).expect("write bench/BENCH_wallclock.json");
+        println!(
+            "\nwrote bench/BENCH_wallclock.json ({} run rows)",
+            rows.len()
+        );
     }
 
     println!("\n{failures} failure(s)");

@@ -35,6 +35,7 @@ use symla_memory::{
     IoStats, LatencyMachine, MachineConfig, MachineModel, OocMachine, PanelRef, SymWindowRef,
     TimeStats,
 };
+use symla_sched::autotune::{TuneError, Tuned, Tuner, TuningReport, TuningSpace};
 use symla_sched::timing::modelled_time;
 
 /// Out-of-core SYRK schedules exposed by the high-level API.
@@ -273,6 +274,113 @@ pub(crate) fn cholesky_schedule_for<T: Scalar>(
             (ooc_chol_schedule(window, &plan), ooc_chol_cost(n, &plan))
         }
     })
+}
+
+/// [`syrk_schedule_for`] with an explicit tile override: `None` delegates
+/// to the planner default, `Some(t)` sets the algorithm's tile parameter
+/// (`k` for TBS variants, the square block side for the baseline). The
+/// override must fit the capacity `s`; infeasible tiles return an error so
+/// the autotuner can skip them.
+pub(crate) fn syrk_schedule_with_tile<T: Scalar>(
+    algorithm: SyrkAlgorithm,
+    a_ref: &PanelRef,
+    c_ref: &SymWindowRef,
+    alpha: T,
+    s: usize,
+    tile: Option<usize>,
+) -> Result<(Schedule<T>, IoEstimate)> {
+    let Some(t) = tile else {
+        return syrk_schedule_for(algorithm, a_ref, c_ref, alpha, s);
+    };
+    let n = c_ref.order();
+    let m = a_ref.cols();
+    Ok(match algorithm {
+        SyrkAlgorithm::Tbs => {
+            let plan = TbsPlan::with_k(t)?;
+            if plan.working_set() > s {
+                return Err(OocError::Invalid(format!(
+                    "TBS k = {t} needs {} elements, capacity is {s}",
+                    plan.working_set()
+                )));
+            }
+            let plan = TbsPlan { k: t, capacity: s };
+            (
+                tbs_schedule(a_ref, c_ref, alpha, &plan)?,
+                tbs_cost(n, m, &plan)?,
+            )
+        }
+        SyrkAlgorithm::TbsTiled => {
+            let b = TbsTiledPlan::max_tile_for(t, s).ok_or_else(|| {
+                OocError::Invalid(format!("no tiled-TBS tile fits k = {t} in capacity {s}"))
+            })?;
+            let plan = TbsTiledPlan {
+                k: t,
+                b,
+                capacity: s,
+            };
+            (
+                tbs_tiled_schedule(a_ref, c_ref, alpha, &plan)?,
+                tbs_tiled_cost(n, m, &plan)?,
+            )
+        }
+        SyrkAlgorithm::SquareBlocks => {
+            let plan = OocSyrkPlan::with_tile(t)?;
+            if plan.working_set() > s {
+                return Err(OocError::Invalid(format!(
+                    "square tile {t} needs {} elements, capacity is {s}",
+                    plan.working_set()
+                )));
+            }
+            (
+                ooc_syrk_schedule(a_ref, c_ref, alpha, &plan)?,
+                ooc_syrk_cost(n, m, &plan),
+            )
+        }
+    })
+}
+
+/// [`cholesky_schedule_for`] with an explicit tile override (`Some(t)` =
+/// LBC panel width, or the square tile side for the Béreux baseline).
+pub(crate) fn cholesky_schedule_with_tile<T: Scalar>(
+    algorithm: CholeskyAlgorithm,
+    window: &SymWindowRef,
+    s: usize,
+    tile: Option<usize>,
+) -> Result<(Schedule<T>, IoEstimate)> {
+    let Some(t) = tile else {
+        return cholesky_schedule_for(algorithm, window, s);
+    };
+    let n = window.order();
+    let trailing = match algorithm {
+        CholeskyAlgorithm::Lbc => TrailingUpdate::Tbs,
+        CholeskyAlgorithm::LbcTiled => TrailingUpdate::TbsTiled,
+        CholeskyAlgorithm::LbcSquare => TrailingUpdate::OocSyrk,
+        CholeskyAlgorithm::Bereux => {
+            let plan = OocCholPlan::with_tile(t)?;
+            return Ok((ooc_chol_schedule(window, &plan), ooc_chol_cost(n, &plan)));
+        }
+    };
+    let plan = LbcPlan::for_problem(n, s)?
+        .with_block(t)?
+        .with_trailing(trailing);
+    Ok((lbc_schedule(window, &plan)?, lbc_cost(n, &plan)?))
+}
+
+/// [`gemm_schedule_for`] with an explicit square-tile override.
+pub(crate) fn gemm_schedule_with_tile<T: Scalar>(
+    a_ref: &PanelRef,
+    b_ref: &PanelRef,
+    c_ref: &PanelRef,
+    alpha: T,
+    s: usize,
+    tile: Option<usize>,
+) -> Result<(Schedule<T>, IoEstimate)> {
+    let Some(t) = tile else {
+        return gemm_schedule_for(a_ref, b_ref, c_ref, alpha, s);
+    };
+    let plan = OocGemmPlan::with_tile(t)?;
+    let cost = ooc_gemm_cost(a_ref.rows(), a_ref.cols(), b_ref.cols(), &plan);
+    Ok((ooc_gemm_schedule(a_ref, b_ref, c_ref, alpha, &plan)?, cost))
 }
 
 /// Builds the schedule and analytic cost of the square-block out-of-core
@@ -927,6 +1035,377 @@ pub fn gemm_out_of_core_cached<T: Scalar>(
     service.gemm(a, b, c, alpha, s, pipeline, lookahead)
 }
 
+// ---------------------------------------------------------------------------
+// Autotuned entry points
+// ---------------------------------------------------------------------------
+
+/// Pushes `tile` unless it is already present (candidate lists stay short
+/// and deterministic).
+fn push_tile(tiles: &mut Vec<Option<usize>>, tile: Option<usize>) {
+    if !tiles.contains(&tile) {
+        tiles.push(tile);
+    }
+}
+
+/// The stock pipeline axis every default space shares: no passes, the
+/// standard pipeline, and locality reordering budgeted at the capacity.
+fn default_pipelines(s: usize) -> Vec<PassPipeline> {
+    vec![
+        PassPipeline::none(),
+        PassPipeline::standard(),
+        PassPipeline::locality(Some(s)),
+    ]
+}
+
+/// The default [`TuningSpace`] of a SYRK instance: the planner-default tile
+/// plus neighbours of the algorithm's natural parameter (`k` for the TBS
+/// variants, the square block side for the baseline), the stock pipelines,
+/// lookaheads 0–2, serial replay. Always contains the
+/// (`None`, [`PassPipeline::standard`], lookahead 0) point, so the tuned
+/// winner is never worse than the standard optimized run in modelled time.
+pub fn syrk_tuning_space(n: usize, s: usize, algorithm: SyrkAlgorithm) -> TuningSpace {
+    let mut tiles = vec![None];
+    match algorithm {
+        SyrkAlgorithm::Tbs => {
+            if let Ok(plan) = TbsPlan::for_memory(s) {
+                push_tile(&mut tiles, Some(plan.k.saturating_sub(1).max(2)));
+                push_tile(&mut tiles, Some((plan.k / 2).max(2)));
+            }
+        }
+        SyrkAlgorithm::TbsTiled => {
+            if let Ok(plan) = TbsTiledPlan::for_problem(s, n) {
+                push_tile(&mut tiles, Some(plan.k + 1));
+                push_tile(&mut tiles, Some(plan.k.saturating_sub(1).max(2)));
+            }
+        }
+        SyrkAlgorithm::SquareBlocks => {
+            if let Ok(t) = symla_baselines::params::square_tile_for_capacity(s) {
+                push_tile(&mut tiles, Some((3 * t / 4).max(1)));
+                push_tile(&mut tiles, Some((t / 2).max(1)));
+            }
+        }
+    }
+    TuningSpace::minimal()
+        .with_tiles(tiles)
+        .with_pipelines(default_pipelines(s))
+        .with_lookaheads(vec![0, 1, 2])
+}
+
+/// The default [`TuningSpace`] of a Cholesky instance; see
+/// [`syrk_tuning_space`].
+///
+/// The LBC variants keep the planner-default panel width: changing the
+/// panel width changes the *order* the factor's partial sums accumulate in,
+/// so the result would no longer be bitwise-identical to the other API
+/// variants (the invariant the differential tests and the `ab_autotune`
+/// gate hold every entry point to). The Béreux baseline's square tile only
+/// re-chunks each element's ascending-`k` accumulation chain, which leaves
+/// the bytes unchanged, so its tile axis is searchable. Callers who accept
+/// numerically-different-but-valid factors can still pass a custom space
+/// with LBC panel-width candidates.
+pub fn cholesky_tuning_space(_n: usize, s: usize, algorithm: CholeskyAlgorithm) -> TuningSpace {
+    let mut tiles = vec![None];
+    if algorithm == CholeskyAlgorithm::Bereux {
+        if let Ok(t) = symla_baselines::params::square_tile_for_capacity(s) {
+            push_tile(&mut tiles, Some((3 * t / 4).max(1)));
+            push_tile(&mut tiles, Some((t / 2).max(1)));
+        }
+    }
+    TuningSpace::minimal()
+        .with_tiles(tiles)
+        .with_pipelines(default_pipelines(s))
+        .with_lookaheads(vec![0, 1, 2])
+}
+
+/// The default [`TuningSpace`] of a GEMM instance; see
+/// [`syrk_tuning_space`].
+pub fn gemm_tuning_space(s: usize) -> TuningSpace {
+    let mut tiles = vec![None];
+    if let Ok(t) = symla_baselines::params::square_tile_for_capacity(s) {
+        push_tile(&mut tiles, Some((3 * t / 4).max(1)));
+        push_tile(&mut tiles, Some((t / 2).max(1)));
+    }
+    TuningSpace::minimal()
+        .with_tiles(tiles)
+        .with_pipelines(default_pipelines(s))
+        .with_lookaheads(vec![0, 1, 2])
+}
+
+/// Outcome of an autotuned out-of-core run: the executed winner (a regular
+/// [`OptimizedRun`]) plus the full [`TuningReport`] of the search that
+/// chose it. The tuning itself never executes anything — every candidate
+/// is scored by dry run and [`modelled_time`] — so the report's winner
+/// stats equal the measured execution stats exactly.
+#[derive(Debug, Clone)]
+pub struct AutotunedRun {
+    /// The executed winner; `run.report.stats` measures the real replay.
+    pub run: OptimizedRun,
+    /// The search: every scored candidate, the winner index, skip counts.
+    pub tuning: TuningReport,
+}
+
+impl AutotunedRun {
+    /// The winner's configuration.
+    pub fn config(&self) -> &symla_sched::autotune::TunedConfig {
+        self.tuning.best_config()
+    }
+}
+
+/// Maps a tuner failure into the workspace error type.
+fn tune_err(e: TuneError) -> OocError {
+    OocError::Invalid(format!("autotune: {e}"))
+}
+
+/// Runs the tuner for a serial API twin: validates the worker axis (serial
+/// twins replay on one machine) and hands back the winner's artifacts.
+pub(crate) fn tune_serial<T: Scalar, F>(
+    build: F,
+    space: &TuningSpace,
+    model: &MachineModel,
+    s: usize,
+) -> Result<Tuned<T>>
+where
+    F: Fn(Option<usize>) -> std::result::Result<Schedule<T>, String>,
+{
+    if space.workers.iter().any(|&w| w != 1) {
+        return Err(OocError::Invalid(
+            "serial autotuned entry points require workers == [1]; \
+             tune parallel partitions directly through the Tuner"
+                .into(),
+        ));
+    }
+    Tuner::new(model, s)
+        .tune_schedules(build, space)
+        .map_err(tune_err)
+}
+
+/// Replays a tuned winner: `execute_planned` with the tuned prefetch plan
+/// when one exists, the plain fast path otherwise (exactly the schedule and
+/// plan the tuner scored — no re-planning).
+fn execute_tuned<T: Scalar, M: symla_memory::MachineOps<T>>(
+    machine: &mut M,
+    tuned: &Tuned<T>,
+) -> std::result::Result<(), symla_sched::EngineError> {
+    if tuned.plan.is_empty() {
+        Engine::execute(machine, &tuned.schedule)
+    } else {
+        Engine::execute_planned(machine, &tuned.schedule, &tuned.plan)
+    }
+}
+
+/// Runs an out-of-core SYRK with the configuration an exhaustive
+/// cost-model search picked from `space`: tile size, pass pipeline and
+/// prefetch lookahead are chosen by scoring every candidate **without
+/// executing anything** (dry-run [`IoStats`] + [`modelled_time`] against
+/// `model`), then only the winner is executed on the data.
+///
+/// With a default space ([`syrk_tuning_space`]) the winner is never worse
+/// than the [`PassPipeline::standard`] run at lookahead 0 in modelled time,
+/// and the result is bitwise-identical to every other API variant.
+///
+/// ```
+/// use symla_core::api::{syrk_out_of_core_autotuned, syrk_tuning_space, SyrkAlgorithm};
+/// use symla_matrix::{generate, SymMatrix};
+/// use symla_memory::MachineModel;
+///
+/// let a = generate::random_matrix_seeded::<f64>(40, 6, 1);
+/// let mut c = SymMatrix::zeros(40);
+/// let space = syrk_tuning_space(40, 60, SyrkAlgorithm::TbsTiled);
+/// let model = MachineModel::nvme();
+/// let run = syrk_out_of_core_autotuned(
+///     &a, &mut c, 1.0, 60, SyrkAlgorithm::TbsTiled, &space, &model,
+/// ).unwrap();
+/// // The measured replay is exactly what the search scored.
+/// assert_eq!(run.run.report.stats, run.tuning.winner().stats);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_out_of_core_autotuned<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    s: usize,
+    algorithm: SyrkAlgorithm,
+    space: &TuningSpace,
+    model: &MachineModel,
+) -> Result<AutotunedRun> {
+    let n = c.order();
+    let m = a.cols();
+    if a.rows() != n {
+        return Err(OocError::Invalid(format!(
+            "SYRK operand mismatch: A is {}x{} but C has order {n}",
+            a.rows(),
+            m
+        )));
+    }
+    let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+    let a_id = machine.insert_dense(a.clone());
+    let c_id = machine.insert_symmetric(c.clone());
+    let a_ref = PanelRef::dense(a_id, n, m);
+    let c_ref = SymWindowRef::full(c_id, n);
+
+    let tuned = tune_serial(
+        |tile| {
+            syrk_schedule_with_tile(algorithm, &a_ref, &c_ref, alpha, s, tile)
+                .map(|(schedule, _)| schedule)
+                .map_err(|e| e.to_string())
+        },
+        space,
+        model,
+        s,
+    )?;
+    // Rebuild the winner's seed for the analytic prediction and seed stats
+    // (data-free; the executed schedule is the tuned one, untouched).
+    let winner_tile = tuned.report.best_config().tile;
+    let (seed, predicted) =
+        syrk_schedule_with_tile(algorithm, &a_ref, &c_ref, alpha, s, winner_tile)?;
+    let seed_stats = Engine::dry_run(&seed, "main");
+    execute_tuned(&mut machine, &tuned)?;
+
+    let stats = machine.stats().clone();
+    *c = machine.take_symmetric(c_id)?;
+    Ok(AutotunedRun {
+        run: OptimizedRun {
+            report: RunReport {
+                algorithm: algorithm.name().to_string(),
+                n,
+                m: Some(m),
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bounds::syrk_lower_bound(n as f64, m as f64, s as f64),
+                prior_lower_bound: bounds::syrk_lower_bound_prior(n as f64, m as f64, s as f64),
+            },
+            seed_stats,
+            stages: tuned.stages.clone(),
+        },
+        tuning: tuned.report,
+    })
+}
+
+/// Runs an out-of-core Cholesky factorization with the configuration the
+/// cost-model search picked from `space` (see
+/// [`syrk_out_of_core_autotuned`]).
+pub fn cholesky_out_of_core_autotuned<T: Scalar>(
+    a: &SymMatrix<T>,
+    s: usize,
+    algorithm: CholeskyAlgorithm,
+    space: &TuningSpace,
+    model: &MachineModel,
+) -> Result<(LowerTriangular<T>, AutotunedRun)> {
+    let n = a.order();
+    let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+    let id = machine.insert_symmetric(a.clone());
+    let window = SymWindowRef::full(id, n);
+
+    let tuned = tune_serial(
+        |tile| {
+            cholesky_schedule_with_tile(algorithm, &window, s, tile)
+                .map(|(schedule, _)| schedule)
+                .map_err(|e| e.to_string())
+        },
+        space,
+        model,
+        s,
+    )?;
+    let winner_tile = tuned.report.best_config().tile;
+    let (seed, predicted) = cholesky_schedule_with_tile::<T>(algorithm, &window, s, winner_tile)?;
+    let seed_stats = Engine::dry_run(&seed, "main");
+    let outcome = execute_tuned(&mut machine, &tuned);
+    machine.set_phase("main");
+    outcome?;
+
+    let stats = machine.stats().clone();
+    let result = machine.take_symmetric(id)?;
+    let factor = LowerTriangular::from_lower_fn(n, |i, j| result.get(i, j));
+    Ok((
+        factor,
+        AutotunedRun {
+            run: OptimizedRun {
+                report: RunReport {
+                    algorithm: algorithm.name().to_string(),
+                    n,
+                    m: None,
+                    memory: s,
+                    stats,
+                    predicted,
+                    lower_bound: bounds::cholesky_lower_bound(n as f64, s as f64),
+                    prior_lower_bound: bounds::cholesky_lower_bound_prior(n as f64, s as f64),
+                },
+                seed_stats,
+                stages: tuned.stages.clone(),
+            },
+            tuning: tuned.report,
+        },
+    ))
+}
+
+/// Runs the out-of-core GEMM with the configuration the cost-model search
+/// picked from `space` (see [`syrk_out_of_core_autotuned`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_out_of_core_autotuned<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    alpha: T,
+    s: usize,
+    space: &TuningSpace,
+    model: &MachineModel,
+) -> Result<AutotunedRun> {
+    let (n, m) = (a.rows(), a.cols());
+    let p = b.cols();
+    if b.rows() != m || c.rows() != n || c.cols() != p {
+        return Err(OocError::Invalid(format!(
+            "GEMM operand mismatch: A is {n}x{m}, B is {}x{p}, C is {}x{}",
+            b.rows(),
+            c.rows(),
+            c.cols()
+        )));
+    }
+    let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+    let a_id = machine.insert_dense(a.clone());
+    let b_id = machine.insert_dense(b.clone());
+    let c_id = machine.insert_dense(c.clone());
+    let a_ref = PanelRef::dense(a_id, n, m);
+    let b_ref = PanelRef::dense(b_id, m, p);
+    let c_ref = PanelRef::dense(c_id, n, p);
+
+    let tuned = tune_serial(
+        |tile| {
+            gemm_schedule_with_tile(&a_ref, &b_ref, &c_ref, alpha, s, tile)
+                .map(|(schedule, _)| schedule)
+                .map_err(|e| e.to_string())
+        },
+        space,
+        model,
+        s,
+    )?;
+    let winner_tile = tuned.report.best_config().tile;
+    let (seed, predicted) = gemm_schedule_with_tile(&a_ref, &b_ref, &c_ref, alpha, s, winner_tile)?;
+    let seed_stats = Engine::dry_run(&seed, "main");
+    execute_tuned(&mut machine, &tuned)?;
+
+    let stats = machine.stats().clone();
+    *c = machine.take_dense(c_id)?;
+    let bound = bounds::gemm_lower_bound(n as f64, m as f64, p as f64, s as f64);
+    Ok(AutotunedRun {
+        run: OptimizedRun {
+            report: RunReport {
+                algorithm: "OOC_GEMM(rect)".to_string(),
+                n,
+                m: Some(m),
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bound,
+                prior_lower_bound: bound,
+            },
+            seed_stats,
+            stages: tuned.stages.clone(),
+        },
+        tuning: tuned.report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1115,6 +1594,96 @@ mod tests {
         // Shape mismatches are rejected up front.
         let mut bad = Matrix::<f64>::zeros(n, p + 1);
         assert!(gemm_out_of_core(&a, &b, &mut bad, 1.0, s).is_err());
+    }
+
+    #[test]
+    fn autotuned_syrk_matches_plain_and_beats_standard_model() {
+        let (n, m, s) = (40usize, 8usize, 60usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 61);
+        let c0 = SymMatrix::<f64>::zeros(n);
+        let model = MachineModel::nvme();
+
+        for algo in [
+            SyrkAlgorithm::Tbs,
+            SyrkAlgorithm::TbsTiled,
+            SyrkAlgorithm::SquareBlocks,
+        ] {
+            let mut base = c0.clone();
+            syrk_out_of_core(&a, &mut base, 1.0, s, algo).unwrap();
+
+            let space = syrk_tuning_space(n, s, algo);
+            let mut c = c0.clone();
+            let run = syrk_out_of_core_autotuned(&a, &mut c, 1.0, s, algo, &space, &model).unwrap();
+            let ctx = algo.name();
+            assert!(c == base, "{ctx}: autotuned result must be bitwise-equal");
+            assert!(run.run.report.stats.peak_resident <= s, "{ctx}");
+            assert!(run.run.seed_prediction_matches(), "{ctx}");
+            // The measured replay is exactly what the search scored.
+            assert_eq!(run.run.report.stats, run.tuning.winner().stats, "{ctx}");
+            // The standard pipeline at lookahead 0 is in the space; the
+            // winner must model at most its time.
+            let standard_l0 = run
+                .tuning
+                .candidates
+                .iter()
+                .find(|cand| {
+                    cand.config.tile.is_none()
+                        && cand.config.pipeline == PassPipeline::standard()
+                        && cand.config.lookahead == 0
+                })
+                .unwrap_or_else(|| panic!("{ctx}: standard@L0 candidate missing"));
+            assert!(
+                run.tuning.winner().modelled_ns <= standard_l0.modelled_ns,
+                "{ctx}"
+            );
+            assert!(run.tuning.winner().gap_to_bound.unwrap() >= 0.9, "{ctx}");
+        }
+    }
+
+    #[test]
+    fn autotuned_cholesky_and_gemm_match_plain() {
+        let model = MachineModel::dram();
+
+        let (n, s) = (30usize, 28usize);
+        let a: SymMatrix<f64> = random_spd_seeded(n, 62);
+        for algo in [CholeskyAlgorithm::Lbc, CholeskyAlgorithm::Bereux] {
+            let (base, _) = cholesky_out_of_core(&a, s, algo).unwrap();
+            let space = cholesky_tuning_space(n, s, algo);
+            let (factor, run) =
+                cholesky_out_of_core_autotuned(&a, s, algo, &space, &model).unwrap();
+            assert!(factor == base, "{}: bitwise factor", algo.name());
+            assert_eq!(run.run.report.stats, run.tuning.winner().stats);
+        }
+
+        let (n, m, p, s) = (18usize, 7usize, 13usize, 30usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 63);
+        let b: Matrix<f64> = random_matrix_seeded(m, p, 64);
+        let c0: Matrix<f64> = random_matrix_seeded(n, p, 65);
+        let mut base = c0.clone();
+        gemm_out_of_core(&a, &b, &mut base, 0.75, s).unwrap();
+        let space = gemm_tuning_space(s);
+        let mut c = c0.clone();
+        let run = gemm_out_of_core_autotuned(&a, &b, &mut c, 0.75, s, &space, &model).unwrap();
+        assert!(c == base, "GEMM: bitwise result");
+        assert_eq!(run.run.report.stats, run.tuning.winner().stats);
+    }
+
+    #[test]
+    fn autotuned_rejects_parallel_worker_axis() {
+        let a: Matrix<f64> = random_matrix_seeded(20, 4, 66);
+        let mut c = SymMatrix::<f64>::zeros(20);
+        let space = syrk_tuning_space(20, 30, SyrkAlgorithm::SquareBlocks).with_workers(vec![1, 2]);
+        let err = syrk_out_of_core_autotuned(
+            &a,
+            &mut c,
+            1.0,
+            30,
+            SyrkAlgorithm::SquareBlocks,
+            &space,
+            &MachineModel::dram(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("workers"));
     }
 
     #[test]

@@ -60,14 +60,20 @@ pub mod tbs_tiled;
 /// The schedule-optimization pass layer (see `symla_sched::passes`).
 pub use symla_sched::passes;
 
+/// The cost-model-driven autotuner (see `symla_sched::autotune`).
+pub use symla_sched::autotune;
+
 pub use api::{
-    cholesky_out_of_core, cholesky_out_of_core_cached, cholesky_out_of_core_optimized,
-    cholesky_out_of_core_prefetched, cholesky_out_of_core_timed, gemm_out_of_core,
-    gemm_out_of_core_cached, gemm_out_of_core_optimized, gemm_out_of_core_prefetched,
-    gemm_out_of_core_timed, syrk_out_of_core, syrk_out_of_core_cached, syrk_out_of_core_optimized,
-    syrk_out_of_core_prefetched, syrk_out_of_core_timed, CholeskyAlgorithm, OptimizedRun,
-    RunReport, SyrkAlgorithm, WallClock,
+    cholesky_out_of_core, cholesky_out_of_core_autotuned, cholesky_out_of_core_cached,
+    cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched, cholesky_out_of_core_timed,
+    cholesky_tuning_space, gemm_out_of_core, gemm_out_of_core_autotuned, gemm_out_of_core_cached,
+    gemm_out_of_core_optimized, gemm_out_of_core_prefetched, gemm_out_of_core_timed,
+    gemm_tuning_space, syrk_out_of_core, syrk_out_of_core_autotuned, syrk_out_of_core_cached,
+    syrk_out_of_core_optimized, syrk_out_of_core_prefetched, syrk_out_of_core_timed,
+    syrk_tuning_space, AutotunedRun, CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
+    WallClock,
 };
+pub use autotune::{Tuner, TuningReport, TuningSpace};
 pub use engine::{Engine, EngineConfig, EngineError, Schedule, ScheduleBuilder};
 pub use lbc::{
     lbc_build, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, LbcCostBreakdown,

@@ -48,12 +48,14 @@ use std::io;
 use std::sync::Arc;
 
 use crate::api::{
-    cholesky_schedule_for, gemm_schedule_for, optimize_schedule, syrk_schedule_for,
-    CholeskyAlgorithm, SyrkAlgorithm,
+    cholesky_schedule_for, cholesky_schedule_with_tile, gemm_schedule_for, gemm_schedule_with_tile,
+    optimize_schedule, syrk_schedule_for, syrk_schedule_with_tile, tune_serial, CholeskyAlgorithm,
+    SyrkAlgorithm,
 };
 use crate::parallel::{partition_schedule_scaled, BlockStrategy, ParallelReport, WorkerIo};
 use symla_baselines::error::{OocError, Result};
 use symla_matrix::{LowerTriangular, Matrix, Scalar, SymMatrix};
+use symla_memory::MachineModel;
 use symla_memory::{
     IoStats, MachineConfig, MachineOps, MatrixId, OocMachine, PanelRef, SharedSlowMemory,
     SymWindowRef,
@@ -61,6 +63,7 @@ use symla_memory::{
 use symla_plancache::{
     CacheStats, CachedPlan, Lookup, PlanCache, PlanCacheConfig, PlanKey, PlanSource,
 };
+use symla_sched::autotune::{model_fingerprint, TuningSpace};
 use symla_sched::{Engine, EngineConfig, PassPipeline, PrefetchPlan, Schedule};
 
 /// Outcome of one served (cache-mediated) execution.
@@ -234,6 +237,80 @@ impl<T: Scalar> PlanService<T> {
         .with_f64_param(alpha.to_f64())
     }
 
+    /// The plan key of an autotuned SYRK run. The chosen pipeline, tile and
+    /// lookahead are *outputs* of the search, so they do not appear in the
+    /// key; what identifies the plan is the shape plus the fingerprints of
+    /// the searched [`TuningSpace`] and the [`MachineModel`] it was scored
+    /// against — tuning for a different machine must miss.
+    pub fn syrk_autotuned_key(
+        n: usize,
+        m: usize,
+        alpha: T,
+        s: usize,
+        algorithm: SyrkAlgorithm,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> PlanKey {
+        PlanKey::new(
+            format!("autotune/syrk/{}", algorithm.name()),
+            n,
+            m,
+            s,
+            PassPipeline::none(),
+            0,
+        )
+        .with_f64_param(alpha.to_f64())
+        .with_raw_param(space.fingerprint())
+        .with_raw_param(model_fingerprint(model))
+    }
+
+    /// The plan key of an autotuned Cholesky run (see
+    /// [`syrk_autotuned_key`](Self::syrk_autotuned_key)).
+    pub fn cholesky_autotuned_key(
+        n: usize,
+        s: usize,
+        algorithm: CholeskyAlgorithm,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> PlanKey {
+        PlanKey::new(
+            format!("autotune/cholesky/{}", algorithm.name()),
+            n,
+            n,
+            s,
+            PassPipeline::none(),
+            0,
+        )
+        .with_raw_param(space.fingerprint())
+        .with_raw_param(model_fingerprint(model))
+    }
+
+    /// The plan key of an autotuned GEMM run (see
+    /// [`syrk_autotuned_key`](Self::syrk_autotuned_key)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_autotuned_key(
+        n: usize,
+        m: usize,
+        p: usize,
+        alpha: T,
+        s: usize,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> PlanKey {
+        PlanKey::new(
+            "autotune/gemm/OOC_GEMM(rect)",
+            n,
+            m,
+            s,
+            PassPipeline::none(),
+            0,
+        )
+        .with_raw_param(p as u64)
+        .with_f64_param(alpha.to_f64())
+        .with_raw_param(space.fingerprint())
+        .with_raw_param(model_fingerprint(model))
+    }
+
     // -- plan acquisition ---------------------------------------------------
 
     /// Gets or compiles the plan of a serial SYRK run. Compiled against
@@ -317,6 +394,101 @@ impl<T: Scalar> PlanService<T> {
         self.cache.get_or_compile(&key, || {
             let schedule = partition_schedule_scaled(n, m, memory_per_worker, strategy, alpha)?;
             Ok((schedule, None))
+        })
+    }
+
+    /// Gets or compiles the plan of an autotuned SYRK run: on a miss the
+    /// full cost-model search runs (dry runs and modelled time only — no
+    /// execution) and the *winner's* schedule and prefetch plan are cached;
+    /// a hit replays the tuned plan with zero tuner work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk_autotuned_plan(
+        &self,
+        n: usize,
+        m: usize,
+        alpha: T,
+        s: usize,
+        algorithm: SyrkAlgorithm,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> Result<Lookup<T>> {
+        let key = Self::syrk_autotuned_key(n, m, alpha, s, algorithm, space, model);
+        self.cache.get_or_compile(&key, || {
+            let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+            let c_ref = SymWindowRef::full(MatrixId::synthetic(1), n);
+            let tuned = tune_serial(
+                |tile| {
+                    syrk_schedule_with_tile(algorithm, &a_ref, &c_ref, alpha, s, tile)
+                        .map(|(schedule, _)| schedule)
+                        .map_err(|e| e.to_string())
+                },
+                space,
+                model,
+                s,
+            )?;
+            let prefetch = (!tuned.plan.is_empty()).then_some(tuned.plan);
+            Ok((tuned.schedule, prefetch))
+        })
+    }
+
+    /// Gets or compiles the plan of an autotuned Cholesky run (see
+    /// [`syrk_autotuned_plan`](Self::syrk_autotuned_plan)).
+    pub fn cholesky_autotuned_plan(
+        &self,
+        n: usize,
+        s: usize,
+        algorithm: CholeskyAlgorithm,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> Result<Lookup<T>> {
+        let key = Self::cholesky_autotuned_key(n, s, algorithm, space, model);
+        self.cache.get_or_compile(&key, || {
+            let window = SymWindowRef::full(MatrixId::synthetic(0), n);
+            let tuned = tune_serial(
+                |tile| {
+                    cholesky_schedule_with_tile::<T>(algorithm, &window, s, tile)
+                        .map(|(schedule, _)| schedule)
+                        .map_err(|e| e.to_string())
+                },
+                space,
+                model,
+                s,
+            )?;
+            let prefetch = (!tuned.plan.is_empty()).then_some(tuned.plan);
+            Ok((tuned.schedule, prefetch))
+        })
+    }
+
+    /// Gets or compiles the plan of an autotuned GEMM run (see
+    /// [`syrk_autotuned_plan`](Self::syrk_autotuned_plan)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_autotuned_plan(
+        &self,
+        n: usize,
+        m: usize,
+        p: usize,
+        alpha: T,
+        s: usize,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> Result<Lookup<T>> {
+        let key = Self::gemm_autotuned_key(n, m, p, alpha, s, space, model);
+        self.cache.get_or_compile(&key, || {
+            let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+            let b_ref = PanelRef::dense(MatrixId::synthetic(1), m, p);
+            let c_ref = PanelRef::dense(MatrixId::synthetic(2), n, p);
+            let tuned = tune_serial(
+                |tile| {
+                    gemm_schedule_with_tile(&a_ref, &b_ref, &c_ref, alpha, s, tile)
+                        .map(|(schedule, _)| schedule)
+                        .map_err(|e| e.to_string())
+                },
+                space,
+                model,
+                s,
+            )?;
+            let prefetch = (!tuned.plan.is_empty()).then_some(tuned.plan);
+            Ok((tuned.schedule, prefetch))
         })
     }
 
@@ -420,6 +592,119 @@ impl<T: Scalar> PlanService<T> {
             )));
         }
         let lookup = self.gemm_plan(n, m, p, alpha, s, pipeline, lookahead)?;
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+        machine.insert_dense(a.clone());
+        machine.insert_dense(b.clone());
+        let c_id = machine.insert_dense(c.clone());
+        debug_assert_eq!(c_id, MatrixId::synthetic(2));
+        replay_cached(&mut machine, &lookup.plan)?;
+        let stats = machine.stats().clone();
+        *c = machine.take_dense(c_id)?;
+        Ok(ServedRun {
+            stats,
+            source: lookup.source,
+            key_hash: lookup.key_hash,
+        })
+    }
+
+    /// Serves an autotuned out-of-core SYRK: the search runs at most once
+    /// per (shape, space, model) key — cache hits replay the tuned winner
+    /// with zero tuner work. Bitwise-identical to
+    /// [`syrk_out_of_core_autotuned`](crate::api::syrk_out_of_core_autotuned)
+    /// with the same arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk_autotuned(
+        &self,
+        a: &Matrix<T>,
+        c: &mut SymMatrix<T>,
+        alpha: T,
+        s: usize,
+        algorithm: SyrkAlgorithm,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> Result<ServedRun> {
+        let n = c.order();
+        let m = a.cols();
+        if a.rows() != n {
+            return Err(OocError::Invalid(format!(
+                "SYRK operand mismatch: A is {}x{m} but C has order {n}",
+                a.rows()
+            )));
+        }
+        let lookup = self.syrk_autotuned_plan(n, m, alpha, s, algorithm, space, model)?;
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+        let a_id = machine.insert_dense(a.clone());
+        let c_id = machine.insert_symmetric(c.clone());
+        debug_assert_eq!(
+            (a_id, c_id),
+            (MatrixId::synthetic(0), MatrixId::synthetic(1)),
+            "operand registration order must match plan compilation"
+        );
+        replay_cached(&mut machine, &lookup.plan)?;
+        let stats = machine.stats().clone();
+        *c = machine.take_symmetric(c_id)?;
+        Ok(ServedRun {
+            stats,
+            source: lookup.source,
+            key_hash: lookup.key_hash,
+        })
+    }
+
+    /// Serves an autotuned out-of-core Cholesky factorization (see
+    /// [`syrk_autotuned`](Self::syrk_autotuned)).
+    pub fn cholesky_autotuned(
+        &self,
+        a: &SymMatrix<T>,
+        s: usize,
+        algorithm: CholeskyAlgorithm,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> Result<(LowerTriangular<T>, ServedRun)> {
+        let n = a.order();
+        let lookup = self.cholesky_autotuned_plan(n, s, algorithm, space, model)?;
+        let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
+        let id = machine.insert_symmetric(a.clone());
+        debug_assert_eq!(id, MatrixId::synthetic(0));
+        let outcome = replay_cached(&mut machine, &lookup.plan);
+        machine.set_phase("main");
+        outcome?;
+        let stats = machine.stats().clone();
+        let result = machine.take_symmetric(id)?;
+        let factor = LowerTriangular::from_lower_fn(n, |i, j| result.get(i, j));
+        Ok((
+            factor,
+            ServedRun {
+                stats,
+                source: lookup.source,
+                key_hash: lookup.key_hash,
+            },
+        ))
+    }
+
+    /// Serves an autotuned out-of-core GEMM (see
+    /// [`syrk_autotuned`](Self::syrk_autotuned)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_autotuned(
+        &self,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        c: &mut Matrix<T>,
+        alpha: T,
+        s: usize,
+        space: &TuningSpace,
+        model: &MachineModel,
+    ) -> Result<ServedRun> {
+        let (n, m) = (a.rows(), a.cols());
+        let p = b.cols();
+        if b.rows() != m || c.rows() != n || c.cols() != p {
+            return Err(OocError::Invalid(format!(
+                "GEMM operand mismatch: A is {n}x{m}, B is {}x{p}, C is {}x{}",
+                b.rows(),
+                c.rows(),
+                c.cols()
+            )));
+        }
+        let lookup = self.gemm_autotuned_plan(n, m, p, alpha, s, space, model)?;
         let mut machine = OocMachine::new(MachineConfig::with_capacity(s));
         machine.insert_dense(a.clone());
         machine.insert_dense(b.clone());
@@ -684,6 +969,89 @@ mod tests {
                 strategy.name()
             );
         }
+    }
+
+    #[test]
+    fn served_autotuned_matches_direct_and_tunes_once() {
+        use crate::api::{
+            cholesky_out_of_core_autotuned, cholesky_tuning_space, gemm_out_of_core_autotuned,
+            gemm_tuning_space, syrk_out_of_core_autotuned, syrk_tuning_space,
+        };
+        let model = MachineModel::nvme();
+        let service = PlanService::<f64>::in_memory();
+
+        // SYRK: direct autotuned run vs served (cold + warm).
+        let (n, m, s) = (40usize, 8usize, 60usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 71);
+        let c0 = SymMatrix::<f64>::zeros(n);
+        let space = syrk_tuning_space(n, s, SyrkAlgorithm::TbsTiled);
+        let mut direct_c = c0.clone();
+        let direct = syrk_out_of_core_autotuned(
+            &a,
+            &mut direct_c,
+            1.0,
+            s,
+            SyrkAlgorithm::TbsTiled,
+            &space,
+            &model,
+        )
+        .unwrap();
+        for expect in [PlanSource::Compiled, PlanSource::Memory] {
+            let mut c = c0.clone();
+            let run = service
+                .syrk_autotuned(&a, &mut c, 1.0, s, SyrkAlgorithm::TbsTiled, &space, &model)
+                .unwrap();
+            assert_eq!(run.source, expect);
+            assert!(c == direct_c, "served autotuned bitwise ({expect:?})");
+            assert_eq!(run.stats, direct.run.report.stats, "{expect:?}");
+        }
+        assert_eq!(service.stats().compiles, 1, "the search ran exactly once");
+
+        // A different model fingerprint is a different plan.
+        let dram_key = PlanService::<f64>::syrk_autotuned_key(
+            n,
+            m,
+            1.0,
+            s,
+            SyrkAlgorithm::TbsTiled,
+            &space,
+            &MachineModel::dram(),
+        );
+        let nvme_key = PlanService::<f64>::syrk_autotuned_key(
+            n,
+            m,
+            1.0,
+            s,
+            SyrkAlgorithm::TbsTiled,
+            &space,
+            &model,
+        );
+        assert_ne!(dram_key.content_hash(), nvme_key.content_hash());
+
+        // Cholesky and GEMM serve paths replay their direct twins bitwise.
+        let (cn, cs) = (30usize, 28usize);
+        let spd: SymMatrix<f64> = random_spd_seeded(cn, 72);
+        let chol_space = cholesky_tuning_space(cn, cs, CholeskyAlgorithm::Lbc);
+        let (direct_factor, _) =
+            cholesky_out_of_core_autotuned(&spd, cs, CholeskyAlgorithm::Lbc, &chol_space, &model)
+                .unwrap();
+        let (served_factor, _) = service
+            .cholesky_autotuned(&spd, cs, CholeskyAlgorithm::Lbc, &chol_space, &model)
+            .unwrap();
+        assert!(served_factor == direct_factor);
+
+        let (gn, gm, gp, gs) = (18usize, 7usize, 13usize, 30usize);
+        let ga: Matrix<f64> = random_matrix_seeded(gn, gm, 73);
+        let gb: Matrix<f64> = random_matrix_seeded(gm, gp, 74);
+        let gc0: Matrix<f64> = random_matrix_seeded(gn, gp, 75);
+        let gemm_space = gemm_tuning_space(gs);
+        let mut direct_gc = gc0.clone();
+        gemm_out_of_core_autotuned(&ga, &gb, &mut direct_gc, 0.5, gs, &gemm_space, &model).unwrap();
+        let mut served_gc = gc0.clone();
+        service
+            .gemm_autotuned(&ga, &gb, &mut served_gc, 0.5, gs, &gemm_space, &model)
+            .unwrap();
+        assert!(served_gc == direct_gc);
     }
 
     #[test]

@@ -98,20 +98,7 @@ impl PlanKey {
         for dim in [self.n, self.m, self.s, self.lookahead] {
             out.extend_from_slice(&(dim as u64).to_le_bytes());
         }
-        let p = &self.pipeline;
-        let flags = u8::from(p.reorder)
-            | u8::from(p.fuse) << 1
-            | u8::from(p.merge_loads) << 2
-            | u8::from(p.dead_store) << 3
-            | u8::from(p.verify) << 4;
-        out.push(flags);
-        match p.budget {
-            None => out.push(0),
-            Some(b) => {
-                out.push(1);
-                out.extend_from_slice(&(b as u64).to_le_bytes());
-            }
-        }
+        out.extend_from_slice(&self.pipeline.canonical_bytes());
         out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
         for &param in &self.params {
             out.extend_from_slice(&param.to_le_bytes());

@@ -32,6 +32,11 @@
 //!   events against a `MachineModel` with the engine's per-group overlap
 //!   windows, bitwise-equal to what a `LatencyMachine` measures during a
 //!   real execution;
+//! * [`autotune`] — the cost-model-driven autotuner: a beam search over
+//!   tile size × pass pipeline × prefetch lookahead × worker count, every
+//!   candidate scored *without execution* via dry-run stats and the
+//!   modelled wall-clock, reported with its gap to the paper's
+//!   `mults/√(S/2)` I/O lower bound;
 //! * [`passes`] — the schedule-optimization layer: IR-to-IR rewrites
 //!   (redundant-load elimination and coalescing, dead-store elimination,
 //!   locality-driven group reordering) chained by a
@@ -48,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod autotune;
 pub mod balanced;
 pub mod binary;
 pub mod engine;
@@ -62,6 +68,9 @@ pub mod prefetch;
 pub mod timing;
 pub mod triangle;
 
+pub use autotune::{
+    model_fingerprint, Candidate, TuneError, TunedConfig, Tuner, TuningReport, TuningSpace,
+};
 pub use balanced::BalancedSolution;
 pub use binary::{stable_hash, BinaryError, StableHasher, FORMAT_VERSION};
 pub use engine::{Engine, EngineConfig, EngineError, ParallelError, WorkerRun};
@@ -73,5 +82,5 @@ pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputat
 pub use partition::{PartitionStats, TbsPartition};
 pub use passes::{Pass, PassError, PassManager, PassPipeline, PassReport};
 pub use prefetch::{PrefetchIssue, PrefetchPlan};
-pub use timing::{modelled_time, modelled_time_planned};
+pub use timing::{modelled_group_times, modelled_time, modelled_time_planned};
 pub use triangle::{canonical_t, sigma, triangle_block};

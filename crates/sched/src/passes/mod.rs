@@ -249,6 +249,28 @@ impl PassPipeline {
         !self.reorder && !self.merge_loads && !self.dead_store
     }
 
+    /// Canonical byte encoding of the configuration: a flags byte (one bit
+    /// per knob) followed by the optional budget. Injective — distinct
+    /// pipelines encode to distinct bytes — and stable across processes and
+    /// platforms; the plan-cache key and the autotuner's space fingerprint
+    /// both embed it.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let flags = u8::from(self.reorder)
+            | u8::from(self.fuse) << 1
+            | u8::from(self.merge_loads) << 2
+            | u8::from(self.dead_store) << 3
+            | u8::from(self.verify) << 4;
+        let mut out = vec![flags];
+        match self.budget {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                out.extend_from_slice(&(b as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+
     /// Builds the concrete [`PassManager`] this configuration describes.
     pub fn manager<T: Scalar>(&self) -> PassManager<T> {
         let mut m = PassManager::new().with_verification(self.verify);

@@ -118,6 +118,60 @@ pub fn modelled_time_planned<T: Scalar>(
     time
 }
 
+/// Per-group wall-clock contributions under the same window model as
+/// [`modelled_time_planned`]: entry `g` is the modelled ns group `g` adds to
+/// the serial critical path, `demand + max(prefetch, compute)` (prefetched
+/// loads are charged to the group whose boundary issues them). Groups whose
+/// window is empty contribute `0.0`.
+///
+/// Summing the entries recovers [`TimeStats::total_ns`] of
+/// [`modelled_time_planned`] up to floating-point association order; the
+/// per-group view exists for schedulers that need the *distribution* of the
+/// time — notably the autotuner's parallel makespan model
+/// ([`crate::autotune`]), which assigns group windows to workers.
+pub fn modelled_group_times<T: Scalar>(
+    schedule: &Schedule<T>,
+    model: &MachineModel,
+    plan: &PrefetchPlan,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(schedule.groups.len());
+    let mut sizes: BTreeMap<crate::ir::BufId, usize> = BTreeMap::new();
+    for (g, group) in schedule.groups.iter().enumerate() {
+        let mut demand_ns = 0.0_f64;
+        let mut prefetch_ns = 0.0_f64;
+        let mut compute_ns = 0.0_f64;
+        for issue in plan.issues_at(g) {
+            let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step] else {
+                unreachable!("prefetch plans only target load steps");
+            };
+            prefetch_ns += model.load_ns(region.len());
+        }
+        for (idx, step) in group.steps.iter().enumerate() {
+            match step {
+                Step::Load { region, dst, .. } => {
+                    sizes.insert(*dst, region.len());
+                    if !plan.is_prefetched(g, idx) {
+                        demand_ns += model.load_ns(region.len());
+                    }
+                }
+                Step::Alloc { region, dst, .. } => {
+                    sizes.insert(*dst, region.len());
+                }
+                Step::Flops(flops) => compute_ns += model.compute_ns(flops.total()),
+                Step::Store { buf } => {
+                    demand_ns += model.store_ns(sizes.remove(buf).unwrap_or(0));
+                }
+                Step::Discard { buf } => {
+                    sizes.remove(buf);
+                }
+                Step::Compute(_) => {}
+            }
+        }
+        out.push(demand_ns + prefetch_ns.max(compute_ns));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,12 +56,15 @@ pub mod prelude {
     };
     pub use symla_core::{
         api::{
-            cholesky_out_of_core, cholesky_out_of_core_cached, cholesky_out_of_core_optimized,
-            cholesky_out_of_core_prefetched, cholesky_out_of_core_timed, gemm_out_of_core,
-            gemm_out_of_core_cached, gemm_out_of_core_optimized, gemm_out_of_core_prefetched,
-            gemm_out_of_core_timed, syrk_out_of_core, syrk_out_of_core_cached,
+            cholesky_out_of_core, cholesky_out_of_core_autotuned, cholesky_out_of_core_cached,
+            cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched,
+            cholesky_out_of_core_timed, cholesky_tuning_space, gemm_out_of_core,
+            gemm_out_of_core_autotuned, gemm_out_of_core_cached, gemm_out_of_core_optimized,
+            gemm_out_of_core_prefetched, gemm_out_of_core_timed, gemm_tuning_space,
+            syrk_out_of_core, syrk_out_of_core_autotuned, syrk_out_of_core_cached,
             syrk_out_of_core_optimized, syrk_out_of_core_prefetched, syrk_out_of_core_timed,
-            CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm, WallClock,
+            syrk_tuning_space, AutotunedRun, CholeskyAlgorithm, OptimizedRun, RunReport,
+            SyrkAlgorithm, WallClock,
         },
         bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, oi, tbs_cost, tbs_execute,
         tbs_schedule, tbs_tiled_cost, tbs_tiled_execute, tbs_tiled_schedule, Engine, EngineConfig,
@@ -76,6 +79,9 @@ pub mod prelude {
         PanelRef, Region, SharedSlowMemory, SymWindowRef, TimeStats, WorkerMachine,
     };
     pub use symla_plancache::{CacheStats, PlanCache, PlanCacheConfig, PlanKey, PlanSource};
-    pub use symla_sched::timing::{modelled_time, modelled_time_planned};
+    pub use symla_sched::autotune::{
+        Candidate, TuneError, TunedConfig, Tuner, TuningReport, TuningSpace,
+    };
+    pub use symla_sched::timing::{modelled_group_times, modelled_time, modelled_time_planned};
     pub use symla_sched::{BalancedSolution, CyclicIndexing, Op, OpSet, TbsPartition};
 }

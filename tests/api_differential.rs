@@ -1,0 +1,216 @@
+//! Differential sweep over the high-level API: for every builder the six
+//! entry-point variants — `*_out_of_core`, `*_optimized`, `*_prefetched`,
+//! `*_cached`, `*_timed` and `*_autotuned` — must produce **bitwise
+//! identical** results and mutually consistent [`IoStats`]:
+//!
+//! * plain / optimized(`none()`) / cached / timed replay the same schedule,
+//!   so their stats must be *equal* field for field;
+//! * the prefetched variant moves the same volume (prefetching reorders
+//!   load issue, never load totals) and stays within the capacity;
+//! * the autotuned variant's measured stats must equal the stats its tuner
+//!   scored by dry run alone (the zero-execution-scoring invariant), and
+//!   its result must still match every other variant bitwise.
+
+use symla::prelude::*;
+
+/// The SYRK variants differentially, for one algorithm.
+fn syrk_differential(algorithm: SyrkAlgorithm, n: usize, m: usize, s: usize) {
+    let name = algorithm.name();
+    let a: Matrix<f64> = generate::random_matrix_seeded(n, m, 8100 + n as u64);
+    let mut rng = generate::seeded_rng(8200 + n as u64);
+    let c0: SymMatrix<f64> = generate::random_symmetric(n, &mut rng);
+    let none = PassPipeline::none();
+    let model = MachineModel::dram();
+
+    let mut c_plain = c0.clone();
+    let report = syrk_out_of_core(&a, &mut c_plain, 1.0, s, algorithm).unwrap();
+
+    let mut c_opt = c0.clone();
+    let opt = syrk_out_of_core_optimized(&a, &mut c_opt, 1.0, s, algorithm, &none).unwrap();
+    assert_eq!(c_opt, c_plain, "{name}: optimized(none) result");
+    assert_eq!(
+        opt.report.stats, report.stats,
+        "{name}: optimized(none) stats"
+    );
+
+    let mut c_pre = c0.clone();
+    let pre = syrk_out_of_core_prefetched(&a, &mut c_pre, 1.0, s, algorithm, &none, 1).unwrap();
+    assert_eq!(c_pre, c_plain, "{name}: prefetched result");
+    assert_eq!(
+        pre.report.stats.volume, report.stats.volume,
+        "{name}: prefetched volume"
+    );
+    assert!(
+        pre.report.stats.peak_resident <= s,
+        "{name}: prefetched capacity"
+    );
+
+    let service = PlanService::<f64>::in_memory();
+    let mut c_cached = c0.clone();
+    let served =
+        syrk_out_of_core_cached(&service, &a, &mut c_cached, 1.0, s, algorithm, &none, 0).unwrap();
+    assert_eq!(c_cached, c_plain, "{name}: cached result");
+    assert_eq!(served.stats, report.stats, "{name}: cached stats");
+
+    let mut c_timed = c0.clone();
+    let (timed, clock) =
+        syrk_out_of_core_timed(&a, &mut c_timed, 1.0, s, algorithm, &none, 0, &model).unwrap();
+    assert_eq!(c_timed, c_plain, "{name}: timed result");
+    assert_eq!(timed.report.stats, report.stats, "{name}: timed stats");
+    assert!(clock.consistent(), "{name}: measured vs modelled time");
+
+    let mut c_tuned = c0.clone();
+    let space = syrk_tuning_space(n, s, algorithm);
+    let tuned = syrk_out_of_core_autotuned(
+        &a,
+        &mut c_tuned,
+        1.0,
+        s,
+        algorithm,
+        &space,
+        &MachineModel::nvme(),
+    )
+    .unwrap();
+    assert_eq!(c_tuned, c_plain, "{name}: autotuned result");
+    assert_eq!(
+        tuned.run.report.stats,
+        tuned.tuning.winner().stats,
+        "{name}: autotuned measured stats equal the dry-run-scored stats"
+    );
+    assert!(
+        tuned.run.report.stats.peak_resident <= s,
+        "{name}: autotuned capacity"
+    );
+}
+
+/// The Cholesky variants differentially, for one algorithm.
+fn cholesky_differential(algorithm: CholeskyAlgorithm, n: usize, s: usize) {
+    let name = algorithm.name();
+    let spd: SymMatrix<f64> = generate::random_spd_seeded(n, 8300 + n as u64);
+    let none = PassPipeline::none();
+    let model = MachineModel::dram();
+
+    let (l_plain, report) = cholesky_out_of_core(&spd, s, algorithm).unwrap();
+
+    let (l_opt, opt) = cholesky_out_of_core_optimized(&spd, s, algorithm, &none).unwrap();
+    assert_eq!(l_opt, l_plain, "{name}: optimized(none) factor");
+    assert_eq!(
+        opt.report.stats, report.stats,
+        "{name}: optimized(none) stats"
+    );
+
+    let (l_pre, pre) = cholesky_out_of_core_prefetched(&spd, s, algorithm, &none, 1).unwrap();
+    assert_eq!(l_pre, l_plain, "{name}: prefetched factor");
+    assert_eq!(
+        pre.report.stats.volume, report.stats.volume,
+        "{name}: prefetched volume"
+    );
+    assert!(
+        pre.report.stats.peak_resident <= s,
+        "{name}: prefetched capacity"
+    );
+
+    let service = PlanService::<f64>::in_memory();
+    let (l_cached, served) =
+        cholesky_out_of_core_cached(&service, &spd, s, algorithm, &none, 0).unwrap();
+    assert_eq!(l_cached, l_plain, "{name}: cached factor");
+    assert_eq!(served.stats, report.stats, "{name}: cached stats");
+
+    let (l_timed, timed, clock) =
+        cholesky_out_of_core_timed(&spd, s, algorithm, &none, 0, &model).unwrap();
+    assert_eq!(l_timed, l_plain, "{name}: timed factor");
+    assert_eq!(timed.report.stats, report.stats, "{name}: timed stats");
+    assert!(clock.consistent(), "{name}: measured vs modelled time");
+
+    let space = cholesky_tuning_space(n, s, algorithm);
+    let (l_tuned, tuned) =
+        cholesky_out_of_core_autotuned(&spd, s, algorithm, &space, &MachineModel::nvme()).unwrap();
+    assert_eq!(l_tuned, l_plain, "{name}: autotuned factor");
+    assert_eq!(
+        tuned.run.report.stats,
+        tuned.tuning.winner().stats,
+        "{name}: autotuned measured stats equal the dry-run-scored stats"
+    );
+    assert!(
+        tuned.run.report.stats.peak_resident <= s,
+        "{name}: autotuned capacity"
+    );
+}
+
+#[test]
+fn syrk_variants_agree_bitwise_across_all_algorithms() {
+    syrk_differential(SyrkAlgorithm::Tbs, 30, 6, 60);
+    syrk_differential(SyrkAlgorithm::TbsTiled, 40, 6, 60);
+    syrk_differential(SyrkAlgorithm::SquareBlocks, 20, 5, 35);
+}
+
+#[test]
+fn cholesky_variants_agree_bitwise_across_all_algorithms() {
+    cholesky_differential(CholeskyAlgorithm::Lbc, 36, 48);
+    cholesky_differential(CholeskyAlgorithm::LbcTiled, 36, 48);
+    cholesky_differential(CholeskyAlgorithm::LbcSquare, 36, 48);
+    cholesky_differential(CholeskyAlgorithm::Bereux, 24, 35);
+}
+
+#[test]
+fn gemm_variants_agree_bitwise() {
+    let (n, m, p, s) = (9usize, 7usize, 11usize, 35usize);
+    let a: Matrix<f64> = generate::random_matrix_seeded(n, m, 8400);
+    let b: Matrix<f64> = generate::random_matrix_seeded(m, p, 8401);
+    let c0: Matrix<f64> = generate::random_matrix_seeded(n, p, 8402);
+    let none = PassPipeline::none();
+    let model = MachineModel::dram();
+
+    let mut c_plain = c0.clone();
+    let report = gemm_out_of_core(&a, &b, &mut c_plain, 1.0, s).unwrap();
+
+    let mut c_opt = c0.clone();
+    let opt = gemm_out_of_core_optimized(&a, &b, &mut c_opt, 1.0, s, &none).unwrap();
+    assert_eq!(c_opt, c_plain, "gemm: optimized(none) result");
+    assert_eq!(
+        opt.report.stats, report.stats,
+        "gemm: optimized(none) stats"
+    );
+
+    let mut c_pre = c0.clone();
+    let pre = gemm_out_of_core_prefetched(&a, &b, &mut c_pre, 1.0, s, &none, 1).unwrap();
+    assert_eq!(c_pre, c_plain, "gemm: prefetched result");
+    assert_eq!(
+        pre.report.stats.volume, report.stats.volume,
+        "gemm: prefetched volume"
+    );
+    assert!(
+        pre.report.stats.peak_resident <= s,
+        "gemm: prefetched capacity"
+    );
+
+    let service = PlanService::<f64>::in_memory();
+    let mut c_cached = c0.clone();
+    let served =
+        gemm_out_of_core_cached(&service, &a, &b, &mut c_cached, 1.0, s, &none, 0).unwrap();
+    assert_eq!(c_cached, c_plain, "gemm: cached result");
+    assert_eq!(served.stats, report.stats, "gemm: cached stats");
+
+    let mut c_timed = c0.clone();
+    let (timed, clock) =
+        gemm_out_of_core_timed(&a, &b, &mut c_timed, 1.0, s, &none, 0, &model).unwrap();
+    assert_eq!(c_timed, c_plain, "gemm: timed result");
+    assert_eq!(timed.report.stats, report.stats, "gemm: timed stats");
+    assert!(clock.consistent(), "gemm: measured vs modelled time");
+
+    let mut c_tuned = c0.clone();
+    let space = gemm_tuning_space(s);
+    let tuned =
+        gemm_out_of_core_autotuned(&a, &b, &mut c_tuned, 1.0, s, &space, &MachineModel::nvme())
+            .unwrap();
+    assert_eq!(c_tuned, c_plain, "gemm: autotuned result");
+    assert_eq!(
+        tuned.run.report.stats,
+        tuned.tuning.winner().stats,
+        "gemm: autotuned measured stats equal the dry-run-scored stats"
+    );
+    assert!(
+        tuned.run.report.stats.peak_resident <= s,
+        "gemm: autotuned capacity"
+    );
+}
