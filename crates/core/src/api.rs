@@ -35,6 +35,7 @@ use symla_memory::{
     IoStats, LatencyMachine, MachineConfig, MachineModel, OocMachine, PanelRef, SymWindowRef,
     TimeStats,
 };
+use symla_obs::{InstrumentedMachine, RunTrace, TraceRecorder};
 use symla_sched::autotune::{TuneError, Tuned, Tuner, TuningReport, TuningSpace};
 use symla_sched::timing::modelled_time;
 
@@ -981,6 +982,293 @@ pub fn gemm_out_of_core_timed<T: Scalar>(
             stages,
         },
         clock,
+    ))
+}
+
+/// Observability bundle of one `*_out_of_core_traced` run: the structured
+/// event trace, the unified metrics report and the wall-clock view.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Every observable event of the replay (group spans, transfers,
+    /// kernels, prefetch issue→delivery pairs), double-stamped with the
+    /// real clock and the modelled timeline — export with
+    /// [`RunTrace::to_chrome_trace`](symla_obs::RunTrace::to_chrome_trace).
+    pub trace: RunTrace,
+    /// Machine-readable metrics: the engine's [`IoStats`] under the
+    /// `engine.*` namespace and both sides of `clock` under `time.measured.*`
+    /// / `time.modelled.*`. The aggregate counters equal the engine's own
+    /// accounting exactly (asserted by the `ab_obs` gate).
+    pub report: symla_obs::RunReport,
+    /// Measured-vs-modelled wall clock, bitwise-consistent as in the
+    /// `*_timed` twins.
+    pub clock: WallClock,
+}
+
+/// Builds the [`TracedRun::report`] metrics from a finished run.
+fn observability_report(label: String, stats: &IoStats, clock: &WallClock) -> symla_obs::RunReport {
+    let mut report = symla_obs::RunReport::new(label);
+    report.registry.record_io_stats("engine", stats);
+    report
+        .registry
+        .record_time_stats("time.measured", &clock.measured);
+    report
+        .registry
+        .record_time_stats("time.modelled", &clock.modelled);
+    report
+}
+
+/// [`syrk_out_of_core_timed`] with full observability: the machine is
+/// wrapped in an [`InstrumentedMachine`]
+/// recording every transfer, kernel and prefetch handoff into `recorder`,
+/// and the returned [`TracedRun`] carries the event trace, a
+/// [`RunReport`](symla_obs::RunReport) of unified metrics and the
+/// [`WallClock`]. Results, [`IoStats`] and capacity behaviour are identical
+/// to the unobserved entry points (asserted by the observer-invariance
+/// tests); the modelled timeline is bitwise the `*_timed` twin's.
+///
+/// ```
+/// use symla_core::api::{syrk_out_of_core_traced, SyrkAlgorithm};
+/// use symla_core::passes::PassPipeline;
+/// use symla_matrix::{generate, SymMatrix};
+/// use symla_memory::MachineModel;
+/// use symla_obs::{TimeBase, TraceRecorder};
+///
+/// let a = generate::random_matrix_seeded::<f64>(40, 6, 1);
+/// let mut c = SymMatrix::zeros(40);
+/// let recorder = TraceRecorder::new();
+/// let (_, traced) = syrk_out_of_core_traced(
+///     &a, &mut c, 1.0, 60, SyrkAlgorithm::TbsTiled, &PassPipeline::none(), 2,
+///     &MachineModel::nvme(), &recorder,
+/// ).unwrap();
+/// assert!(traced.clock.consistent());
+/// let doc = traced.trace.to_chrome_trace(&[TimeBase::Measured, TimeBase::Modelled]);
+/// assert!(doc.contains("\"ph\":\"B\"")); // group spans made it out
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_out_of_core_traced<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    s: usize,
+    algorithm: SyrkAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+    model: &MachineModel,
+    recorder: &TraceRecorder,
+) -> Result<(OptimizedRun, TracedRun)> {
+    let n = c.order();
+    let m = a.cols();
+    if a.rows() != n {
+        return Err(OocError::Invalid(format!(
+            "SYRK operand mismatch: A is {}x{} but C has order {n}",
+            a.rows(),
+            m
+        )));
+    }
+    let mut machine = InstrumentedMachine::new(
+        OocMachine::new(MachineConfig::with_capacity(s)),
+        *model,
+        recorder.clone(),
+        0,
+    );
+    let a_id = machine.inner_mut().insert_dense(a.clone());
+    let c_id = machine.inner_mut().insert_symmetric(c.clone());
+    let a_ref = PanelRef::dense(a_id, n, m);
+    let c_ref = SymWindowRef::full(c_id, n);
+
+    let (schedule, predicted) = syrk_schedule_for(algorithm, &a_ref, &c_ref, alpha, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    )?;
+
+    let clock = WallClock {
+        measured: machine.time(),
+        modelled: modelled_time(&schedule, model, lookahead, Some(s)),
+    };
+    let mut machine = machine.into_inner();
+    let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
+    *c = machine.take_symmetric(c_id)?;
+    let traced = TracedRun {
+        trace: recorder.finish(),
+        report: observability_report(
+            format!("{} n={n} m={m} S={s} L={lookahead}", algorithm.name()),
+            &stats,
+            &clock,
+        ),
+        clock,
+    };
+    Ok((
+        OptimizedRun {
+            report: RunReport {
+                algorithm: algorithm.name().to_string(),
+                n,
+                m: Some(m),
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bounds::syrk_lower_bound(n as f64, m as f64, s as f64),
+                prior_lower_bound: bounds::syrk_lower_bound_prior(n as f64, m as f64, s as f64),
+            },
+            seed_stats,
+            stages,
+        },
+        traced,
+    ))
+}
+
+/// [`cholesky_out_of_core_timed`] with full observability (see
+/// [`syrk_out_of_core_traced`]): returns the factor, the run and its
+/// [`TracedRun`].
+pub fn cholesky_out_of_core_traced<T: Scalar>(
+    a: &SymMatrix<T>,
+    s: usize,
+    algorithm: CholeskyAlgorithm,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+    model: &MachineModel,
+    recorder: &TraceRecorder,
+) -> Result<(LowerTriangular<T>, OptimizedRun, TracedRun)> {
+    let n = a.order();
+    let mut machine = InstrumentedMachine::new(
+        OocMachine::new(MachineConfig::with_capacity(s)),
+        *model,
+        recorder.clone(),
+        0,
+    );
+    let id = machine.inner_mut().insert_symmetric(a.clone());
+    let window = SymWindowRef::full(id, n);
+
+    let (schedule, predicted) = cholesky_schedule_for(algorithm, &window, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    let outcome = Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    );
+    machine.inner_mut().set_phase("main");
+    outcome?;
+
+    let clock = WallClock {
+        measured: machine.time(),
+        modelled: modelled_time(&schedule, model, lookahead, Some(s)),
+    };
+    let mut machine = machine.into_inner();
+    let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
+    let result = machine.take_symmetric(id)?;
+    let factor = LowerTriangular::from_lower_fn(n, |i, j| result.get(i, j));
+    let traced = TracedRun {
+        trace: recorder.finish(),
+        report: observability_report(
+            format!("{} n={n} S={s} L={lookahead}", algorithm.name()),
+            &stats,
+            &clock,
+        ),
+        clock,
+    };
+    Ok((
+        factor,
+        OptimizedRun {
+            report: RunReport {
+                algorithm: algorithm.name().to_string(),
+                n,
+                m: None,
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bounds::cholesky_lower_bound(n as f64, s as f64),
+                prior_lower_bound: bounds::cholesky_lower_bound_prior(n as f64, s as f64),
+            },
+            seed_stats,
+            stages,
+        },
+        traced,
+    ))
+}
+
+/// [`gemm_out_of_core_timed`] with full observability (see
+/// [`syrk_out_of_core_traced`]): returns the run and its [`TracedRun`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_out_of_core_traced<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    alpha: T,
+    s: usize,
+    pipeline: &PassPipeline,
+    lookahead: usize,
+    model: &MachineModel,
+    recorder: &TraceRecorder,
+) -> Result<(OptimizedRun, TracedRun)> {
+    let (n, m) = (a.rows(), a.cols());
+    let p = b.cols();
+    if b.rows() != m || c.rows() != n || c.cols() != p {
+        return Err(OocError::Invalid(format!(
+            "GEMM operand mismatch: A is {n}x{m}, B is {}x{p}, C is {}x{}",
+            b.rows(),
+            c.rows(),
+            c.cols()
+        )));
+    }
+    let mut machine = InstrumentedMachine::new(
+        OocMachine::new(MachineConfig::with_capacity(s)),
+        *model,
+        recorder.clone(),
+        0,
+    );
+    let a_id = machine.inner_mut().insert_dense(a.clone());
+    let b_id = machine.inner_mut().insert_dense(b.clone());
+    let c_id = machine.inner_mut().insert_dense(c.clone());
+    let a_ref = PanelRef::dense(a_id, n, m);
+    let b_ref = PanelRef::dense(b_id, m, p);
+    let c_ref = PanelRef::dense(c_id, n, p);
+
+    let (schedule, predicted) = gemm_schedule_for(&a_ref, &b_ref, &c_ref, alpha, s)?;
+    let (schedule, seed_stats, stages) = optimize_schedule(schedule, pipeline, s)?;
+    Engine::execute_with(
+        &mut machine,
+        &schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    )?;
+
+    let clock = WallClock {
+        measured: machine.time(),
+        modelled: modelled_time(&schedule, model, lookahead, Some(s)),
+    };
+    let mut machine = machine.into_inner();
+    let stats = machine.stats().clone();
+    let seed_stats = seed_stats.unwrap_or_else(|| stats.clone());
+    *c = machine.take_dense(c_id)?;
+    let bound = bounds::gemm_lower_bound(n as f64, m as f64, p as f64, s as f64);
+    let traced = TracedRun {
+        trace: recorder.finish(),
+        report: observability_report(
+            format!("OOC_GEMM(rect) n={n} m={m} p={p} S={s} L={lookahead}"),
+            &stats,
+            &clock,
+        ),
+        clock,
+    };
+    Ok((
+        OptimizedRun {
+            report: RunReport {
+                algorithm: "OOC_GEMM(rect)".to_string(),
+                n,
+                m: Some(m),
+                memory: s,
+                stats,
+                predicted,
+                lower_bound: bound,
+                prior_lower_bound: bound,
+            },
+            seed_stats,
+            stages,
+        },
+        traced,
     ))
 }
 

@@ -82,4 +82,4 @@ pub use symla_sched::ir::{
     BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, ScheduleParseError, Step, TaskGroup,
 };
 pub use symla_sched::prefetch::{PrefetchIssue, PrefetchPlan};
-pub use symla_sched::timing::{modelled_time, modelled_time_planned};
+pub use symla_sched::timing::{modelled_run_trace, modelled_time, modelled_time_planned};

@@ -66,12 +66,13 @@ pub use symla_sched::autotune;
 pub use api::{
     cholesky_out_of_core, cholesky_out_of_core_autotuned, cholesky_out_of_core_cached,
     cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched, cholesky_out_of_core_timed,
-    cholesky_tuning_space, gemm_out_of_core, gemm_out_of_core_autotuned, gemm_out_of_core_cached,
-    gemm_out_of_core_optimized, gemm_out_of_core_prefetched, gemm_out_of_core_timed,
+    cholesky_out_of_core_traced, cholesky_tuning_space, gemm_out_of_core,
+    gemm_out_of_core_autotuned, gemm_out_of_core_cached, gemm_out_of_core_optimized,
+    gemm_out_of_core_prefetched, gemm_out_of_core_timed, gemm_out_of_core_traced,
     gemm_tuning_space, syrk_out_of_core, syrk_out_of_core_autotuned, syrk_out_of_core_cached,
     syrk_out_of_core_optimized, syrk_out_of_core_prefetched, syrk_out_of_core_timed,
-    syrk_tuning_space, AutotunedRun, CholeskyAlgorithm, OptimizedRun, RunReport, SyrkAlgorithm,
-    WallClock,
+    syrk_out_of_core_traced, syrk_tuning_space, AutotunedRun, CholeskyAlgorithm, OptimizedRun,
+    RunReport, SyrkAlgorithm, TracedRun, WallClock,
 };
 pub use autotune::{Tuner, TuningReport, TuningSpace};
 pub use engine::{Engine, EngineConfig, EngineError, Schedule, ScheduleBuilder};

@@ -32,10 +32,12 @@ use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::{square_tile_for_capacity, tile_extents};
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::{Matrix, Scalar, SymMatrix};
-use symla_memory::{MachineConfig, MatrixId, Region, SharedSlowMemory};
+use symla_memory::{MachineConfig, MachineModel, MatrixId, Region, SharedSlowMemory};
+use symla_obs::TraceRecorder;
+use symla_sched::engine::ParallelError;
 use symla_sched::indexing::CyclicIndexing;
 use symla_sched::ir::{BufId, BufSlice, ComputeOp};
-use symla_sched::{Engine, EngineConfig, Schedule, ScheduleBuilder, TaskGroup};
+use symla_sched::{Engine, EngineConfig, Schedule, ScheduleBuilder, TaskGroup, WorkerRun};
 
 /// How the result matrix is partitioned into per-worker units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -470,6 +472,85 @@ pub fn parallel_syrk_prefetched<T: Scalar>(
     strategy: BlockStrategy,
     lookahead: usize,
 ) -> Result<ParallelReport> {
+    parallel_syrk_run(
+        a,
+        c,
+        alpha,
+        workers,
+        memory_per_worker,
+        strategy,
+        |shared, schedule| {
+            Engine::execute_parallel_with(
+                shared,
+                schedule,
+                workers,
+                MachineConfig::with_capacity(memory_per_worker),
+                "parallel",
+                &EngineConfig::with_lookahead(lookahead),
+            )
+        },
+    )
+}
+
+/// [`parallel_syrk_prefetched`] with observability: every worker's machine
+/// reports to (a clone of) `recorder`, so the run yields one
+/// [`RunTrace`](symla_obs::RunTrace) with a track per worker — group
+/// claims/steals, transfers, kernels and prefetch issue→delivery arrows,
+/// stamped against both the real clock and the modelled timeline of
+/// `model`. Per-worker volumes, the observed-vs-analytic assertion and the
+/// numerical result are identical to the unobserved run.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_syrk_traced<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    workers: usize,
+    memory_per_worker: usize,
+    strategy: BlockStrategy,
+    lookahead: usize,
+    model: &MachineModel,
+    recorder: &TraceRecorder,
+) -> Result<ParallelReport> {
+    parallel_syrk_run(
+        a,
+        c,
+        alpha,
+        workers,
+        memory_per_worker,
+        strategy,
+        |shared, schedule| {
+            Engine::execute_parallel_traced(
+                shared,
+                schedule,
+                workers,
+                MachineConfig::with_capacity(memory_per_worker),
+                "parallel",
+                &EngineConfig::with_lookahead(lookahead),
+                model,
+                recorder,
+            )
+        },
+    )
+}
+
+/// The shared body of the parallel SYRK entry points: build units, register
+/// operands, run `execute` (the plain or traced parallel engine), hand the
+/// result back and cross-check every worker against the dry-run oracle.
+fn parallel_syrk_run<T: Scalar, E>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    workers: usize,
+    memory_per_worker: usize,
+    strategy: BlockStrategy,
+    execute: E,
+) -> Result<ParallelReport>
+where
+    E: FnOnce(
+        &SharedSlowMemory<T>,
+        &Schedule<T>,
+    ) -> std::result::Result<Vec<WorkerRun>, ParallelError>,
+{
     let n = c.order();
     let m = a.cols();
     if a.rows() != n {
@@ -491,14 +572,7 @@ pub fn parallel_syrk_prefetched<T: Scalar>(
     let a_id = shared.insert_dense(a.clone());
     debug_assert_eq!((c_id, a_id), (C_MATRIX, A_MATRIX));
 
-    let outcome = Engine::execute_parallel_with(
-        &shared,
-        &schedule,
-        workers,
-        MachineConfig::with_capacity(memory_per_worker),
-        "parallel",
-        &EngineConfig::with_lookahead(lookahead),
-    );
+    let outcome = execute(&shared, &schedule);
     let runs = match outcome {
         Ok(runs) => runs,
         Err(e) => {

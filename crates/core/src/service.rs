@@ -60,6 +60,7 @@ use symla_memory::{
     IoStats, MachineConfig, MachineOps, MatrixId, OocMachine, PanelRef, SharedSlowMemory,
     SymWindowRef,
 };
+use symla_obs::{EventKind, InstrumentedMachine, RunReport, TraceRecorder};
 use symla_plancache::{
     CacheStats, CachedPlan, Lookup, PlanCache, PlanCacheConfig, PlanKey, PlanSource,
 };
@@ -75,6 +76,26 @@ pub struct ServedRun {
     pub source: PlanSource,
     /// The cache's content hash for the plan key.
     pub key_hash: u64,
+}
+
+impl ServedRun {
+    /// This replay's statistics as a machine-readable [`RunReport`]: the
+    /// engine counters under `engine.*` plus a `plan.source.<variant>`
+    /// marker counter recording where the plan came from.
+    pub fn run_report(&self, label: impl Into<String>) -> RunReport {
+        let mut report = RunReport::new(label);
+        report.registry.record_io_stats("engine", &self.stats);
+        let source = match self.source {
+            PlanSource::Memory => "memory",
+            PlanSource::Disk => "disk",
+            PlanSource::Compiled => "compiled",
+            PlanSource::Coalesced => "coalesced",
+        };
+        report
+            .registry
+            .counter_add(&format!("plan.source.{source}"), 1);
+        report
+    }
 }
 
 /// Outcome of one served parallel execution.
@@ -156,6 +177,14 @@ impl<T: Scalar> PlanService<T> {
     /// Snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The cache counters as a machine-readable [`RunReport`] (everything
+    /// under `cache.*` plus the `cache.hit_rate` gauge).
+    pub fn metrics_report(&self) -> RunReport {
+        let mut report = RunReport::new("plan service cache");
+        self.stats().export_metrics("cache", &mut report.registry);
+        report
     }
 
     // -- keys ---------------------------------------------------------------
@@ -536,6 +565,67 @@ impl<T: Scalar> PlanService<T> {
         })
     }
 
+    /// [`syrk`](Self::syrk) with the replay observed: cache traffic is
+    /// recorded as [`EventKind::CacheLookup`] / [`EventKind::CacheCompile`]
+    /// events, then the plan replays on an [`InstrumentedMachine`] so every
+    /// load, store, prefetch and compute lands on `recorder` with both real
+    /// and modelled timestamps. The numerical result and [`IoStats`] are
+    /// bitwise-identical to the unobserved serve.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk_traced(
+        &self,
+        a: &Matrix<T>,
+        c: &mut SymMatrix<T>,
+        alpha: T,
+        s: usize,
+        algorithm: SyrkAlgorithm,
+        pipeline: &PassPipeline,
+        lookahead: usize,
+        model: &MachineModel,
+        recorder: &TraceRecorder,
+    ) -> Result<ServedRun> {
+        let n = c.order();
+        let m = a.cols();
+        if a.rows() != n {
+            return Err(OocError::Invalid(format!(
+                "SYRK operand mismatch: A is {}x{m} but C has order {n}",
+                a.rows()
+            )));
+        }
+        let lookup = self.syrk_plan(n, m, alpha, s, algorithm, pipeline, lookahead)?;
+        recorder.note(
+            0,
+            EventKind::CacheLookup {
+                hit: lookup.source != PlanSource::Compiled,
+            },
+        );
+        if lookup.source == PlanSource::Compiled {
+            recorder.note(0, EventKind::CacheCompile);
+        }
+        let mut machine = InstrumentedMachine::new(
+            OocMachine::new(MachineConfig::with_capacity(s)),
+            *model,
+            recorder.clone(),
+            0,
+        );
+        let a_id = machine.inner_mut().insert_dense(a.clone());
+        let c_id = machine.inner_mut().insert_symmetric(c.clone());
+        debug_assert_eq!(
+            (a_id, c_id),
+            (MatrixId::synthetic(0), MatrixId::synthetic(1)),
+            "operand registration order must match plan compilation"
+        );
+        replay_cached(&mut machine, &lookup.plan)?;
+        let mut machine = machine.into_inner();
+        let stats = machine.stats().clone();
+        *c = machine.take_symmetric(c_id)?;
+        Ok(ServedRun {
+            stats,
+            source: lookup.source,
+            key_hash: lookup.key_hash,
+        })
+    }
+
     /// Serves an out-of-core Cholesky factorization of `a`. Bitwise-identical
     /// to
     /// [`cholesky_out_of_core_prefetched`](crate::api::cholesky_out_of_core_prefetched).
@@ -875,6 +965,110 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.compiles, cases, "one compile per distinct key");
         assert_eq!(stats.hits, cases, "one memory hit per warm call");
+    }
+
+    #[test]
+    fn traced_serve_is_bitwise_identical_and_records_cache_traffic() {
+        let (n, m, s) = (40usize, 8usize, 60usize);
+        let a: Matrix<f64> = random_matrix_seeded(n, m, 56);
+        let c0 = SymMatrix::<f64>::zeros(n);
+        let service = PlanService::<f64>::in_memory();
+        let model = MachineModel::default();
+
+        // Cold: the plan compiles, and the trace records a miss + compile.
+        let recorder = TraceRecorder::new();
+        let mut cold_c = c0.clone();
+        let cold = service
+            .syrk_traced(
+                &a,
+                &mut cold_c,
+                1.5,
+                s,
+                SyrkAlgorithm::TbsTiled,
+                &PassPipeline::standard(),
+                2,
+                &model,
+                &recorder,
+            )
+            .unwrap();
+        let cold_trace = recorder.finish();
+        assert_eq!(cold.source, PlanSource::Compiled);
+        assert_eq!(
+            cold_trace.count(|k| matches!(k, EventKind::CacheLookup { hit: false })),
+            1
+        );
+        assert_eq!(
+            cold_trace.count(|k| matches!(k, EventKind::CacheCompile)),
+            1
+        );
+
+        // Warm: a memory hit, no compile event, and the replay observed by
+        // the recorder is bitwise-identical to the unobserved serve.
+        let recorder = TraceRecorder::new();
+        let mut warm_c = c0.clone();
+        let warm = service
+            .syrk_traced(
+                &a,
+                &mut warm_c,
+                1.5,
+                s,
+                SyrkAlgorithm::TbsTiled,
+                &PassPipeline::standard(),
+                2,
+                &model,
+                &recorder,
+            )
+            .unwrap();
+        let warm_trace = recorder.finish();
+        assert_eq!(warm.source, PlanSource::Memory);
+        assert_eq!(
+            warm_trace.count(|k| matches!(k, EventKind::CacheLookup { hit: true })),
+            1
+        );
+        assert_eq!(
+            warm_trace.count(|k| matches!(k, EventKind::CacheCompile)),
+            0
+        );
+        assert!(
+            warm_trace.count(|k| matches!(k, EventKind::Load { .. })) > 0,
+            "replay itself is observed"
+        );
+
+        let mut plain_c = c0.clone();
+        let plain = service
+            .syrk(
+                &a,
+                &mut plain_c,
+                1.5,
+                s,
+                SyrkAlgorithm::TbsTiled,
+                &PassPipeline::standard(),
+                2,
+            )
+            .unwrap();
+        assert!(warm_c == plain_c, "traced serve bitwise == unobserved");
+        assert!(cold_c == plain_c);
+        assert_eq!(warm.stats, plain.stats);
+        assert_eq!(cold.stats, plain.stats);
+
+        // The per-run report mirrors the engine counters exactly, and the
+        // service-level report mirrors the cache counters.
+        let report = warm.run_report("warm syrk");
+        assert_eq!(
+            report.registry.counter("engine.loads.elements"),
+            u128::from(warm.stats.volume.loads)
+        );
+        assert_eq!(report.registry.counter("plan.source.memory"), 1);
+        let service_report = service.metrics_report();
+        let stats = service.stats();
+        assert_eq!(
+            service_report.registry.counter("cache.requests"),
+            u128::from(stats.requests)
+        );
+        assert_eq!(
+            service_report.registry.counter("cache.compiles"),
+            u128::from(stats.compiles)
+        );
     }
 
     #[test]

@@ -168,6 +168,30 @@ impl<T: Scalar, M: MachineOps<T>> MachineOps<T> for LatencyMachine<T, M> {
         self.settle_window();
         self.inner.note_group_boundary();
     }
+
+    fn note_group_start(&mut self, group: usize) {
+        self.inner.note_group_start(group);
+    }
+
+    fn note_group_end(&mut self, group: usize) {
+        self.inner.note_group_end(group);
+    }
+
+    fn note_compute(&mut self, kind: &'static str) {
+        self.inner.note_compute(kind);
+    }
+
+    fn note_prefetch_issue(&mut self, group: usize, step: usize, elements: usize) {
+        self.inner.note_prefetch_issue(group, step, elements);
+    }
+
+    fn note_prefetch_delivery(&mut self, group: usize, step: usize) {
+        self.inner.note_prefetch_delivery(group, step);
+    }
+
+    fn note_claim(&mut self, group: usize, stolen: bool) {
+        self.inner.note_claim(group, stolen);
+    }
 }
 
 #[cfg(test)]

@@ -629,6 +629,36 @@ pub trait MachineOps<T: Scalar> {
     /// last one; timing wrappers (e.g. `LatencyMachine`) settle their
     /// per-window accumulators here. Counting machines ignore it.
     fn note_group_boundary(&mut self) {}
+
+    /// Announces that a replayer is about to execute task group `group`.
+    /// Observability wrappers open a timeline span here; counting and
+    /// timing machines ignore it (default no-op).
+    fn note_group_start(&mut self, _group: usize) {}
+
+    /// Announces that task group `group` finished replaying (closes the
+    /// span opened by [`MachineOps::note_group_start`]). Default no-op.
+    fn note_group_end(&mut self, _group: usize) {}
+
+    /// Announces a compute kernel about to run, identified by its schedule
+    /// mnemonic (`"ger"`, `"chol"`, …). The flop accounting still flows
+    /// through [`MachineOps::record_flops`]; this hook only names the
+    /// kernel for tracing. Default no-op.
+    fn note_compute(&mut self, _kind: &'static str) {}
+
+    /// Announces that a prefetching replayer issued a load of `elements`
+    /// elements ahead of time, destined for step `step` of group `group`.
+    /// Paired with [`MachineOps::note_prefetch_delivery`]. Default no-op.
+    fn note_prefetch_issue(&mut self, _group: usize, _step: usize, _elements: usize) {}
+
+    /// Announces that step `step` of group `group` consumed a buffer that
+    /// an earlier [`MachineOps::note_prefetch_issue`] staged. Default
+    /// no-op.
+    fn note_prefetch_delivery(&mut self, _group: usize, _step: usize) {}
+
+    /// Announces that a parallel worker claimed task group `group`;
+    /// `stolen` is `true` when the group came off another worker's queue.
+    /// Default no-op.
+    fn note_claim(&mut self, _group: usize, _stolen: bool) {}
 }
 
 impl<T: Scalar> MachineOps<T> for OocMachine<T> {

@@ -35,6 +35,19 @@ impl IoVolume {
 }
 
 /// Complete I/O statistics of one out-of-core execution.
+///
+/// **Zero-denominator convention.** Every derived-ratio accessor
+/// ([`IoStats::overlap_ratio`], [`IoStats::operational_intensity_mults`],
+/// [`IoStats::operational_intensity_total`],
+/// [`IoStats::operational_intensity_loads`]) is *total*: when its
+/// denominator is zero — a run that moved or computed nothing — it returns
+/// `0.0` rather than `NaN`/`∞`. The rationale: these ratios feed directly
+/// into JSON metric exports and plotted trajectories, where a single
+/// non-finite value poisons downstream aggregation (JSON has no `NaN`), and
+/// `0.0` is the honest reading of "no overlap achieved" / "no intensity
+/// achieved" for an empty run. Code that must distinguish "no traffic" from
+/// "ratio is genuinely zero" should test the underlying counters, which are
+/// always exact.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct IoStats {
     /// Aggregate element traffic.
@@ -264,6 +277,38 @@ mod tests {
         assert_eq!(s.prefetched_elements, 50);
         assert_eq!(s.prefetch_events, 2);
         assert_eq!(s.stalled_loads(), 60);
+    }
+
+    /// Regression pin for the documented zero-denominator convention: every
+    /// ratio accessor of an empty (or partially-empty) `IoStats` is a finite
+    /// `0.0` — never `NaN` or `∞` — so metric exports stay valid JSON.
+    #[test]
+    fn ratio_accessors_are_total_on_zero_denominators() {
+        let empty = IoStats::new();
+        for ratio in [
+            empty.overlap_ratio(),
+            empty.operational_intensity_mults(),
+            empty.operational_intensity_total(),
+            empty.operational_intensity_loads(),
+        ] {
+            assert_eq!(ratio, 0.0);
+            assert!(ratio.is_finite());
+        }
+
+        // Flops but no traffic: intensities must stay finite (a naive
+        // `flops / io` would be `∞` here).
+        let mut compute_only = IoStats::new();
+        compute_only.record_flops(FlopCount::new(1_000, 500));
+        assert_eq!(compute_only.operational_intensity_mults(), 0.0);
+        assert_eq!(compute_only.operational_intensity_total(), 0.0);
+        assert_eq!(compute_only.operational_intensity_loads(), 0.0);
+
+        // Stores but no loads: the load-denominated ratios are the edge.
+        let mut store_only = IoStats::new();
+        store_only.record_store(32, "flush");
+        assert_eq!(store_only.overlap_ratio(), 0.0);
+        assert_eq!(store_only.operational_intensity_loads(), 0.0);
+        assert!(store_only.operational_intensity_mults().is_finite());
     }
 
     #[test]

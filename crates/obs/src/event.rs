@@ -1,0 +1,222 @@
+//! The typed event vocabulary of an observed run.
+//!
+//! Every observable action of an execution — a transfer, a kernel launch, a
+//! task-group span, a prefetch handoff, a cache lookup — is one
+//! [`EventKind`]. An [`ObsRecord`] pairs the kind with *where* it happened
+//! (the worker track) and *when*, on two clocks at once: real elapsed
+//! nanoseconds and the [`MachineModel`](symla_memory::MachineModel) modelled
+//! timeline of the two-phase overlap model. Keeping both timebases on every
+//! record is what lets one trace export the measured and the modelled
+//! timeline side by side (see [`crate::perfetto`]).
+
+use symla_matrix::kernels::FlopCount;
+
+/// What happened. One variant per observable action of the engine, the
+/// machine layer and the serve layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task group started replaying on this worker.
+    GroupStart {
+        /// Index into the schedule's groups.
+        group: usize,
+    },
+    /// The task group finished (its buffers are released).
+    GroupEnd {
+        /// Index into the schedule's groups.
+        group: usize,
+    },
+    /// A region transfer from slow to fast memory.
+    Load {
+        /// Elements moved.
+        elements: usize,
+        /// Whether the load was issued ahead of its consuming group
+        /// (overlapped with compute) rather than on demand.
+        prefetched: bool,
+    },
+    /// A fast-memory allocation without a transfer.
+    Alloc {
+        /// Elements reserved.
+        elements: usize,
+    },
+    /// A region transfer from fast to slow memory.
+    Store {
+        /// Elements moved.
+        elements: usize,
+    },
+    /// A buffer released without a write-back.
+    Discard {
+        /// Elements released.
+        elements: usize,
+    },
+    /// Arithmetic work recorded by the schedule.
+    Flops {
+        /// Multiplications (the paper's unit of "operations").
+        mults: u128,
+        /// Additions / subtractions.
+        adds: u128,
+    },
+    /// A block kernel ran.
+    Compute {
+        /// The kernel's schedule-dump mnemonic (`"ger"`, `"chol"`, ...).
+        kind: &'static str,
+    },
+    /// A load was issued *ahead* of its consuming group. The
+    /// `(group, step)` coordinate identifies the `Load` step it stands in
+    /// for and pairs the issue with its [`EventKind::PrefetchDelivery`].
+    PrefetchIssue {
+        /// Group whose load was hoisted.
+        group: usize,
+        /// Step index of that load within its group.
+        step: usize,
+        /// Elements issued.
+        elements: usize,
+    },
+    /// A previously issued prefetch was handed to its consuming group.
+    PrefetchDelivery {
+        /// Group that consumed the buffer.
+        group: usize,
+        /// Step index of the load it satisfied.
+        step: usize,
+    },
+    /// A parallel worker claimed a task group from the steal queue.
+    Claim {
+        /// The claimed group.
+        group: usize,
+        /// `true` when the group was stolen from another worker's deque.
+        stolen: bool,
+    },
+    /// The serve layer looked a plan up in the cache.
+    CacheLookup {
+        /// Whether the plan was already cached (memory or disk tier).
+        hit: bool,
+    },
+    /// The serve layer compiled a plan (a cache miss did planner work).
+    CacheCompile,
+}
+
+impl EventKind {
+    /// A short stable label, used as the event name in exports.
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::GroupStart { group } | EventKind::GroupEnd { group } => {
+                format!("group {group}")
+            }
+            EventKind::Load {
+                elements,
+                prefetched: false,
+            } => format!("load {elements}"),
+            EventKind::Load {
+                elements,
+                prefetched: true,
+            } => format!("prefetch load {elements}"),
+            EventKind::Alloc { elements } => format!("alloc {elements}"),
+            EventKind::Store { elements } => format!("store {elements}"),
+            EventKind::Discard { elements } => format!("discard {elements}"),
+            EventKind::Flops { mults, adds } => format!("flops {}", mults + adds),
+            EventKind::Compute { kind } => format!("compute {kind}"),
+            EventKind::PrefetchIssue { group, step, .. } => format!("prefetch g{group}.s{step}"),
+            EventKind::PrefetchDelivery { group, step } => format!("prefetch g{group}.s{step}"),
+            EventKind::Claim {
+                group,
+                stolen: false,
+            } => format!("claim {group}"),
+            EventKind::Claim {
+                group,
+                stolen: true,
+            } => format!("steal {group}"),
+            EventKind::CacheLookup { hit: true } => "cache hit".to_string(),
+            EventKind::CacheLookup { hit: false } => "cache miss".to_string(),
+            EventKind::CacheCompile => "cache compile".to_string(),
+        }
+    }
+
+    /// The event's category, used to group and colour exported events.
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::GroupStart { .. } | EventKind::GroupEnd { .. } => "group",
+            EventKind::Load { .. }
+            | EventKind::Alloc { .. }
+            | EventKind::Store { .. }
+            | EventKind::Discard { .. } => "io",
+            EventKind::Flops { .. } | EventKind::Compute { .. } => "compute",
+            EventKind::PrefetchIssue { .. } | EventKind::PrefetchDelivery { .. } => "prefetch",
+            EventKind::Claim { .. } => "sched",
+            EventKind::CacheLookup { .. } | EventKind::CacheCompile => "cache",
+        }
+    }
+
+    /// Builds a [`EventKind::Flops`] from a kernel's [`FlopCount`].
+    pub fn flops(flops: FlopCount) -> Self {
+        EventKind::Flops {
+            mults: flops.mults,
+            adds: flops.adds,
+        }
+    }
+}
+
+/// One timestamped observation: an [`EventKind`] on a worker track, stamped
+/// on the real clock and on the modelled timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsRecord {
+    /// The worker (track) the event happened on; `0` for serial runs.
+    pub worker: usize,
+    /// Real elapsed nanoseconds since the observer's epoch. `0` for
+    /// synthesized (machine-less) traces.
+    pub real_ns: u64,
+    /// Position on the modelled timeline of the worker's
+    /// [`MachineModel`](symla_memory::MachineModel) clock, in ns.
+    pub model_ns: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_categories_are_stable() {
+        assert_eq!(EventKind::GroupStart { group: 3 }.label(), "group 3");
+        assert_eq!(
+            EventKind::Load {
+                elements: 9,
+                prefetched: false
+            }
+            .label(),
+            "load 9"
+        );
+        assert_eq!(
+            EventKind::Load {
+                elements: 9,
+                prefetched: true
+            }
+            .category(),
+            "io"
+        );
+        assert_eq!(
+            EventKind::PrefetchIssue {
+                group: 2,
+                step: 1,
+                elements: 4
+            }
+            .label(),
+            EventKind::PrefetchDelivery { group: 2, step: 1 }.label(),
+        );
+        assert_eq!(
+            EventKind::Claim {
+                group: 7,
+                stolen: true
+            }
+            .label(),
+            "steal 7"
+        );
+        assert_eq!(EventKind::CacheCompile.category(), "cache");
+    }
+
+    #[test]
+    fn flops_constructor_copies_both_counters() {
+        let k = EventKind::flops(FlopCount::new(5, 7));
+        assert_eq!(k, EventKind::Flops { mults: 5, adds: 7 });
+        assert_eq!(k.label(), "flops 12");
+    }
+}

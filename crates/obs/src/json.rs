@@ -1,0 +1,249 @@
+//! Minimal hand-rolled JSON support: escaping, number formatting and a
+//! well-formedness validator.
+//!
+//! The workspace has no serialization dependency by design; the exporters
+//! build their documents with `format!` and these helpers. The validator is
+//! a recursive-descent parser over the JSON grammar (objects, arrays,
+//! strings, numbers, booleans, null) that checks *well-formedness only* —
+//! it builds no DOM and allocates nothing. Tests and the `ab_obs` gate run
+//! every exported document through it.
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no `NaN`/`Infinity`; both
+/// render as `null` (callers treating them as data should gate upstream).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Checks that `s` is one well-formed JSON value (with optional surrounding
+/// whitespace). Returns the byte offset of the first error.
+pub fn validate(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos == b.len() {
+        Ok(())
+    } else {
+        Err(pos)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => num(b, pos),
+        _ => Err(*pos),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(*pos)
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(*pos);
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(*pos);
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(*pos);
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(*pos),
+                }
+            }
+            c if c < 0x20 => return Err(*pos),
+            _ => *pos += 1,
+        }
+    }
+    Err(*pos)
+}
+
+fn num(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(start);
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(*pos);
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(*pos);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn number_handles_non_finite() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn validates_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            r#"{"a":[1,2,{"b":"x\ny"}],"c":true}"#,
+            "  [ 1 , 2 ]  ",
+            r#""é""#,
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] trailing",
+            "{'single':1}",
+        ] {
+            assert!(validate(bad).is_err(), "{bad}");
+        }
+    }
+}

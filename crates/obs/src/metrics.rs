@@ -1,0 +1,348 @@
+//! A uniform metrics surface: named counters, gauges and histograms.
+//!
+//! Every layer of the workspace ends a run with its own statistics struct —
+//! [`IoStats`] from the machine, [`TimeStats`] from the latency model, the
+//! plan cache's counters, the autotuner's report. [`MetricsRegistry`] is the
+//! single machine-readable surface they all export into: counters are exact
+//! (`u128`, no float drift — an exported [`IoStats`] round-trips equal),
+//! gauges carry modelled times and ratios, histograms aggregate
+//! distributions into power-of-two buckets. A [`RunReport`] is a labelled
+//! registry with a hand-rolled JSON form (see [`crate::json`]).
+
+use crate::json;
+use std::collections::BTreeMap;
+use symla_memory::{IoStats, TimeStats};
+
+/// A power-of-two-bucketed distribution summary.
+///
+/// Bucket `i` counts observations `v` with `2^i <= v < 2^(i+1)`;
+/// observations below `1.0` (including negatives) land in bucket 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: f64) -> usize {
+        if v < 1.0 {
+            0
+        } else {
+            (v.log2().floor() as usize).min(63)
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Mean of the observations (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i` (observations in `[2^i, 2^(i+1))`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    fn to_json(self) -> String {
+        let nonzero: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| format!("\"{i}\":{c}"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{{}}}}}",
+            self.count,
+            json::number(self.sum),
+            json::number(if self.count == 0 { 0.0 } else { self.min }),
+            json::number(if self.count == 0 { 0.0 } else { self.max }),
+            nonzero.join(",")
+        )
+    }
+}
+
+/// Named counters (exact integers), gauges (floats) and [`Histogram`]s.
+///
+/// ```
+/// use symla_obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter_add("engine.loads.elements", 640);
+/// m.gauge_set("model.total_ns", 1.5e6);
+/// m.observe("group.span_ns", 1024.0);
+/// assert_eq!(m.counter("engine.loads.elements"), 640);
+/// assert!(symla_obs::json::validate(&m.to_json()).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u128>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to counter `name` (created at zero).
+    pub fn counter_add(&mut self, name: &str, v: u128) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Current value of counter `name` (`0` if never touched).
+    pub fn counter(&self, name: &str) -> u128 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one observation into histogram `name` (created empty).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u128)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Exports an [`IoStats`] under `prefix` — counters are copied exactly,
+    /// so `counter("{prefix}.loads.elements") == stats.volume.loads` holds
+    /// field for field (the `ab_obs` gate asserts it).
+    pub fn record_io_stats(&mut self, prefix: &str, stats: &IoStats) {
+        self.counter_add(
+            &format!("{prefix}.loads.elements"),
+            stats.volume.loads.into(),
+        );
+        self.counter_add(
+            &format!("{prefix}.stores.elements"),
+            stats.volume.stores.into(),
+        );
+        self.counter_add(&format!("{prefix}.load.events"), stats.load_events.into());
+        self.counter_add(&format!("{prefix}.store.events"), stats.store_events.into());
+        self.counter_add(
+            &format!("{prefix}.prefetched.elements"),
+            stats.prefetched_elements.into(),
+        );
+        self.counter_add(
+            &format!("{prefix}.prefetch.events"),
+            stats.prefetch_events.into(),
+        );
+        self.counter_add(&format!("{prefix}.flops.mults"), stats.flops.mults);
+        self.counter_add(&format!("{prefix}.flops.adds"), stats.flops.adds);
+        self.counter_add(
+            &format!("{prefix}.peak_resident"),
+            stats.peak_resident as u128,
+        );
+        self.gauge_set(&format!("{prefix}.overlap_ratio"), stats.overlap_ratio());
+        for (phase, vol) in &stats.per_phase {
+            self.counter_add(
+                &format!("{prefix}.phase.{phase}.loads.elements"),
+                vol.loads.into(),
+            );
+            self.counter_add(
+                &format!("{prefix}.phase.{phase}.stores.elements"),
+                vol.stores.into(),
+            );
+        }
+    }
+
+    /// Exports a [`TimeStats`] under `prefix` (times as gauges, window
+    /// count as a counter).
+    pub fn record_time_stats(&mut self, prefix: &str, time: &TimeStats) {
+        self.gauge_set(&format!("{prefix}.io_ns"), time.io_ns);
+        self.gauge_set(&format!("{prefix}.compute_ns"), time.compute_ns);
+        self.gauge_set(&format!("{prefix}.hidden_ns"), time.hidden_ns);
+        self.gauge_set(&format!("{prefix}.total_ns"), time.total_ns());
+        self.counter_add(&format!("{prefix}.windows"), time.groups as u128);
+    }
+
+    /// The registry as one JSON object (hand-rolled, dependency-free).
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json::escape(k)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json::escape(k), json::number(*v)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| format!("\"{}\":{}", json::escape(k), h.to_json()))
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+/// A labelled [`MetricsRegistry`]: the machine-readable summary of one run,
+/// unifying the engine's I/O accounting, the modelled wall-clock and (when
+/// routed through the serve layer) the plan-cache and autotuner counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// What ran (free-form, e.g. `"syrk TBS(tiled) n=40 L=2"`).
+    pub label: String,
+    /// The metrics.
+    pub registry: MetricsRegistry,
+}
+
+impl RunReport {
+    /// An empty report with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// The report as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"metrics\":{}}}",
+            json::escape(&self.label),
+            self.registry.to_json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symla_matrix::kernels::FlopCount;
+
+    #[test]
+    fn counters_are_exact_and_cumulative() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a", u128::from(u64::MAX));
+        m.counter_add("a", 1);
+        assert_eq!(m.counter("a"), u128::from(u64::MAX) + 1);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn io_stats_round_trip_exactly() {
+        let mut stats = IoStats::new();
+        stats.record_load(100, "tbs");
+        stats.record_store(30, "flush");
+        stats.note_prefetch(40);
+        stats.record_flops(FlopCount::new(7, 3));
+        stats.observe_resident(55);
+
+        let mut m = MetricsRegistry::new();
+        m.record_io_stats("engine", &stats);
+        assert_eq!(m.counter("engine.loads.elements"), 100);
+        assert_eq!(m.counter("engine.stores.elements"), 30);
+        assert_eq!(m.counter("engine.load.events"), 1);
+        assert_eq!(m.counter("engine.store.events"), 1);
+        assert_eq!(m.counter("engine.prefetched.elements"), 40);
+        assert_eq!(m.counter("engine.prefetch.events"), 1);
+        assert_eq!(m.counter("engine.flops.mults"), 7);
+        assert_eq!(m.counter("engine.flops.adds"), 3);
+        assert_eq!(m.counter("engine.peak_resident"), 55);
+        assert_eq!(m.counter("engine.phase.tbs.loads.elements"), 100);
+        assert_eq!(m.counter("engine.phase.flush.stores.elements"), 30);
+        assert_eq!(m.gauge("engine.overlap_ratio"), Some(0.4));
+    }
+
+    #[test]
+    fn time_stats_export_totals() {
+        let mut t = TimeStats::default();
+        t.add_window(10.0, 50.0, 50.0);
+        let mut m = MetricsRegistry::new();
+        m.record_time_stats("model", &t);
+        assert_eq!(m.gauge("model.total_ns"), Some(t.total_ns()));
+        assert_eq!(m.counter("model.windows"), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.0, 1.9, 2.0, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.bucket(0), 3); // 0.5, 1.0, 1.9
+        assert_eq!(h.bucket(1), 1); // 2.0
+        assert_eq!(h.bucket(9), 1); // 1000
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean() - 1005.4 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut report = RunReport::new("syrk \"quoted\" n=40");
+        report.registry.counter_add("a.b", 3);
+        report.registry.gauge_set("g", f64::NAN);
+        report.registry.observe("h", 12.0);
+        let doc = report.to_json();
+        assert!(crate::json::validate(&doc).is_ok(), "{doc}");
+        assert!(doc.contains("\\\"quoted\\\""));
+
+        // An empty registry is still a valid document.
+        assert!(crate::json::validate(&MetricsRegistry::new().to_json()).is_ok());
+    }
+}

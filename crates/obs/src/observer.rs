@@ -1,0 +1,224 @@
+//! The observer trait and its two canonical implementations.
+//!
+//! An [`ExecutionObserver`] is the sink an
+//! [`InstrumentedMachine`](crate::InstrumentedMachine) (or the serve layer)
+//! pushes [`ObsRecord`]s into. The contract has one load-bearing property:
+//! observation must be **zero-cost when disabled**. Every dispatch site
+//! checks [`ExecutionObserver::enabled`] first and skips all timestamping
+//! and event construction when it returns `false` — [`NullObserver`] is that
+//! disabled sink, and the `ab_obs` gate measures that replaying through it
+//! is indistinguishable from an unobserved replay.
+//!
+//! [`TraceRecorder`] is the enabled sink: a cheaply clonable, thread-safe
+//! event buffer with one shared epoch, so the records of all workers of a
+//! parallel run land on one coherent real-time axis. [`TraceRecorder::finish`]
+//! freezes the buffer into a [`RunTrace`].
+
+use crate::event::{EventKind, ObsRecord};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A sink for execution events.
+///
+/// Implementations must be shareable across the workers of a parallel run
+/// (`Send + Sync`); recording takes `&self`.
+pub trait ExecutionObserver: Send + Sync {
+    /// Whether events should be produced at all. Dispatch sites check this
+    /// before constructing any event, so a `false` observer costs one
+    /// inlined boolean test per hook.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one record. Never called when [`ExecutionObserver::enabled`]
+    /// is `false`.
+    fn record(&self, record: ObsRecord);
+
+    /// Real nanoseconds since the observer's epoch; `0` when the observer
+    /// keeps no clock.
+    fn timestamp_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// The disabled observer: reports `enabled() == false` and drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ExecutionObserver for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _record: ObsRecord) {}
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    epoch: Instant,
+    events: Mutex<Vec<ObsRecord>>,
+}
+
+/// A thread-safe event buffer with a shared real-time epoch.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone appends to the same
+/// buffer against the same epoch, so handing one clone to each worker of a
+/// parallel run yields a single coherent trace. Events of one worker keep
+/// their emission order; events of different workers interleave in real-time
+/// arrival order.
+///
+/// ```
+/// use symla_obs::{EventKind, ExecutionObserver, TraceRecorder};
+///
+/// let recorder = TraceRecorder::new();
+/// recorder.note(0, EventKind::CacheLookup { hit: false });
+/// recorder.note(0, EventKind::CacheCompile);
+/// let trace = recorder.finish();
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl TraceRecorder {
+    /// A fresh, empty recorder whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RecorderInner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Records `kind` on `worker`'s track, stamped with the current real
+    /// clock and no modelled time (for events outside a machine replay,
+    /// e.g. cache lookups in the serve layer).
+    pub fn note(&self, worker: usize, kind: EventKind) {
+        self.record(ObsRecord {
+            worker,
+            real_ns: self.timestamp_ns(),
+            model_ns: 0.0,
+            kind,
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Freezes the recorded events into a [`RunTrace`], draining the buffer
+    /// (clones of this recorder keep working and start from empty).
+    pub fn finish(&self) -> RunTrace {
+        RunTrace {
+            events: std::mem::take(&mut *self.lock()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<ObsRecord>> {
+        // Poisoning cannot leave the Vec inconsistent; recover.
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionObserver for TraceRecorder {
+    fn record(&self, record: ObsRecord) {
+        self.lock().push(record);
+    }
+
+    fn timestamp_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A frozen, ordered sequence of [`ObsRecord`]s — one observed run.
+///
+/// Per-worker subsequences preserve emission order (and therefore have
+/// non-decreasing timestamps on both clocks); see [`crate::perfetto`] for
+/// the timeline export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTrace {
+    pub(crate) events: Vec<ObsRecord>,
+}
+
+impl RunTrace {
+    /// Builds a trace directly from records (for synthesized traces).
+    pub fn from_events(events: Vec<ObsRecord>) -> Self {
+        Self { events }
+    }
+
+    /// The records, in recording order.
+    pub fn events(&self) -> &[ObsRecord] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of worker tracks (`max worker + 1`; `0` for an empty trace).
+    pub fn workers(&self) -> usize {
+        self.events.iter().map(|e| e.worker + 1).max().unwrap_or(0)
+    }
+
+    /// How many records match `pred` — convenience for tests and gates.
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let o = NullObserver;
+        assert!(!o.enabled());
+        assert_eq!(o.timestamp_ns(), 0);
+    }
+
+    #[test]
+    fn recorder_clones_share_one_buffer() {
+        let a = TraceRecorder::new();
+        let b = a.clone();
+        a.note(0, EventKind::CacheCompile);
+        b.note(1, EventKind::CacheLookup { hit: true });
+        assert_eq!(a.len(), 2);
+        let trace = a.finish();
+        assert_eq!(trace.workers(), 2);
+        assert!(b.is_empty(), "finish drains every clone's view");
+        assert_eq!(trace.count(|k| matches!(k, EventKind::CacheCompile)), 1);
+    }
+
+    #[test]
+    fn real_timestamps_are_monotone_per_recorder() {
+        let r = TraceRecorder::new();
+        r.note(0, EventKind::CacheCompile);
+        r.note(0, EventKind::CacheCompile);
+        let t = r.finish();
+        assert!(t.events()[0].real_ns <= t.events()[1].real_ns);
+    }
+}

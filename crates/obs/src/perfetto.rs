@@ -1,0 +1,241 @@
+//! Chrome trace-event export: load a [`RunTrace`] into Perfetto.
+//!
+//! [`RunTrace::to_chrome_trace`] renders a trace as the JSON
+//! [trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! that `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! open directly:
+//!
+//! * one **process per timebase** — pid 1 carries events on the measured
+//!   (real) clock, pid 2 on the [`ModelClock`](crate::ModelClock) modelled
+//!   timeline, so a run exported with both shows the measured and the
+//!   modelled schedule one above the other;
+//! * one **thread (track) per worker**;
+//! * task groups as `B`/`E` duration spans, transfers / kernels / claims as
+//!   instant events;
+//! * each prefetch as an **async flow arrow** (`s` → `f`) from the group
+//!   boundary that issued the load to the group that consumed it — the
+//!   issue→consume arrows make the overlap story visible instead of
+//!   trust-me.
+//!
+//! The emitter writes one event per line in recording order, which makes
+//! the output `grep`-able and lets tests check per-track timestamp
+//! monotonicity line by line. A trace exported with only
+//! [`TimeBase::Modelled`] contains no real-clock values and is therefore
+//! fully deterministic — that is what the golden-file test pins down.
+
+use crate::event::{EventKind, ObsRecord};
+use crate::json;
+use crate::observer::RunTrace;
+use std::collections::BTreeSet;
+
+/// Which clock a [`RunTrace`] export stamps its events with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeBase {
+    /// Real elapsed nanoseconds ([`ObsRecord::real_ns`]); pid 1.
+    Measured,
+    /// The modelled timeline ([`ObsRecord::model_ns`]); pid 2.
+    /// Deterministic: two runs of the same schedule export byte-identical
+    /// modelled timelines.
+    Modelled,
+}
+
+impl TimeBase {
+    fn pid(self) -> u64 {
+        match self {
+            TimeBase::Measured => 1,
+            TimeBase::Modelled => 2,
+        }
+    }
+
+    fn process_name(self) -> &'static str {
+        match self {
+            TimeBase::Measured => "measured",
+            TimeBase::Modelled => "modelled",
+        }
+    }
+
+    fn ts_us(self, e: &ObsRecord) -> f64 {
+        match self {
+            TimeBase::Measured => e.real_ns as f64 / 1000.0,
+            TimeBase::Modelled => e.model_ns / 1000.0,
+        }
+    }
+}
+
+fn args_of(kind: &EventKind) -> String {
+    match kind {
+        EventKind::GroupStart { group } | EventKind::GroupEnd { group } => {
+            format!("{{\"group\":{group}}}")
+        }
+        EventKind::Load {
+            elements,
+            prefetched,
+        } => format!("{{\"elements\":{elements},\"prefetched\":{prefetched}}}"),
+        EventKind::Alloc { elements }
+        | EventKind::Store { elements }
+        | EventKind::Discard { elements } => format!("{{\"elements\":{elements}}}"),
+        EventKind::Flops { mults, adds } => format!("{{\"mults\":{mults},\"adds\":{adds}}}"),
+        EventKind::Compute { kind } => format!("{{\"kind\":\"{}\"}}", json::escape(kind)),
+        EventKind::PrefetchIssue { elements, .. } => format!("{{\"elements\":{elements}}}"),
+        EventKind::PrefetchDelivery { .. } => "{}".to_string(),
+        EventKind::Claim { group, stolen } => {
+            format!("{{\"group\":{group},\"stolen\":{stolen}}}")
+        }
+        EventKind::CacheLookup { hit } => format!("{{\"hit\":{hit}}}"),
+        EventKind::CacheCompile => "{}".to_string(),
+    }
+}
+
+impl RunTrace {
+    /// Renders the trace in Chrome trace-event JSON under the given
+    /// timebases (see the [module docs](crate::perfetto)). The output is a
+    /// complete, well-formed JSON document; pass `&[TimeBase::Modelled]`
+    /// for a byte-deterministic export.
+    pub fn to_chrome_trace(&self, bases: &[TimeBase]) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        let workers: BTreeSet<usize> = self.events.iter().map(|e| e.worker).collect();
+        for &base in bases {
+            let pid = base.pid();
+            lines.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                base.process_name()
+            ));
+            for &w in &workers {
+                lines.push(format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{w},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"worker {w}\"}}}}"
+                ));
+            }
+            for e in &self.events {
+                let (tid, ts) = (e.worker, base.ts_us(e));
+                let (name, cat) = (json::escape(&e.kind.label()), e.kind.category());
+                let head = format!(
+                    "{{\"ph\":\"PH\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+                     \"name\":\"{name}\",\"cat\":\"{cat}\""
+                );
+                let line = match e.kind {
+                    EventKind::GroupStart { .. } => {
+                        format!(
+                            "{},\"args\":{}}}",
+                            head.replace("PH", "B"),
+                            args_of(&e.kind)
+                        )
+                    }
+                    EventKind::GroupEnd { .. } => head.replace("PH", "E") + "}",
+                    EventKind::PrefetchIssue { group, step, .. } => format!(
+                        "{},\"id\":{},\"args\":{}}}",
+                        head.replace("PH", "s"),
+                        flow_id(pid, group, step),
+                        args_of(&e.kind)
+                    ),
+                    EventKind::PrefetchDelivery { group, step } => format!(
+                        "{},\"id\":{},\"bp\":\"e\"}}",
+                        head.replace("PH", "f"),
+                        flow_id(pid, group, step)
+                    ),
+                    _ => format!(
+                        "{},\"s\":\"t\",\"args\":{}}}",
+                        head.replace("PH", "i"),
+                        args_of(&e.kind)
+                    ),
+                };
+                lines.push(line);
+            }
+        }
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", lines.join(",\n"))
+    }
+}
+
+/// Flow-arrow id pairing a [`EventKind::PrefetchIssue`] with its
+/// [`EventKind::PrefetchDelivery`]: unique per `(timebase, group, step)` so
+/// arrows never bind across processes.
+fn flow_id(pid: u64, group: usize, step: usize) -> u64 {
+    (pid << 40) | ((group as u64) << 16) | step as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RunTrace {
+        let mk = |worker, real_ns, model_ns, kind| ObsRecord {
+            worker,
+            real_ns,
+            model_ns,
+            kind,
+        };
+        RunTrace::from_events(vec![
+            mk(0, 10, 0.0, EventKind::GroupStart { group: 0 }),
+            mk(
+                0,
+                20,
+                120.0,
+                EventKind::Load {
+                    elements: 9,
+                    prefetched: false,
+                },
+            ),
+            mk(
+                0,
+                30,
+                120.0,
+                EventKind::PrefetchIssue {
+                    group: 1,
+                    step: 0,
+                    elements: 4,
+                },
+            ),
+            mk(0, 40, 500.0, EventKind::GroupEnd { group: 0 }),
+            mk(1, 15, 0.0, EventKind::GroupStart { group: 1 }),
+            mk(
+                1,
+                25,
+                40.0,
+                EventKind::PrefetchDelivery { group: 1, step: 0 },
+            ),
+            mk(1, 45, 90.0, EventKind::GroupEnd { group: 1 }),
+        ])
+    }
+
+    #[test]
+    fn export_is_valid_json_with_both_timebases() {
+        let doc = sample_trace().to_chrome_trace(&[TimeBase::Measured, TimeBase::Modelled]);
+        assert!(crate::json::validate(&doc).is_ok(), "{doc}");
+        assert!(doc.contains("\"name\":\"measured\""));
+        assert!(doc.contains("\"name\":\"modelled\""));
+        assert!(doc.contains("\"name\":\"worker 1\""));
+    }
+
+    #[test]
+    fn spans_flows_and_instants_have_the_right_phases() {
+        let doc = sample_trace().to_chrome_trace(&[TimeBase::Modelled]);
+        assert_eq!(doc.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(doc.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(doc.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(doc.matches("\"ph\":\"f\"").count(), 1);
+        assert_eq!(doc.matches("\"ph\":\"i\"").count(), 1);
+        // Issue and delivery share one flow id.
+        let id = flow_id(2, 1, 0).to_string();
+        assert_eq!(doc.matches(&format!("\"id\":{id}")).count(), 2);
+    }
+
+    #[test]
+    fn modelled_export_ignores_real_clock() {
+        let mut shifted = sample_trace();
+        for e in &mut shifted.events {
+            e.real_ns += 1_000_000;
+        }
+        assert_eq!(
+            sample_trace().to_chrome_trace(&[TimeBase::Modelled]),
+            shifted.to_chrome_trace(&[TimeBase::Modelled]),
+            "modelled timebase must be byte-deterministic"
+        );
+    }
+
+    #[test]
+    fn flow_ids_are_disjoint_across_timebases() {
+        assert_ne!(flow_id(1, 3, 2), flow_id(2, 3, 2));
+        assert_ne!(flow_id(1, 0, 1), flow_id(1, 1, 0));
+    }
+}

@@ -90,6 +90,31 @@ impl CacheStats {
             (self.hits + self.disk_hits) as f64 / self.requests as f64
         }
     }
+
+    /// Exports every counter into `registry` under `prefix` (e.g.
+    /// `"cache"` → `cache.requests`, `cache.hits`, …) plus the
+    /// `{prefix}.hit_rate` gauge — the cache's contribution to a unified
+    /// [`RunReport`](symla_obs::RunReport).
+    pub fn export_metrics(&self, prefix: &str, registry: &mut symla_obs::MetricsRegistry) {
+        let counters = [
+            ("requests", self.requests),
+            ("hits", self.hits),
+            ("disk_hits", self.disk_hits),
+            ("misses", self.misses),
+            ("compiles", self.compiles),
+            ("coalesced_waits", self.coalesced_waits),
+            ("insertions", self.insertions),
+            ("evictions", self.evictions),
+            ("entries", self.entries),
+            ("bytes_in_memory", self.bytes_in_memory),
+            ("disk_writes", self.disk_writes),
+            ("disk_errors", self.disk_errors),
+        ];
+        for (name, value) in counters {
+            registry.counter_add(&format!("{prefix}.{name}"), value as u128);
+        }
+        registry.gauge_set(&format!("{prefix}.hit_rate"), self.hit_rate());
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -132,5 +157,27 @@ mod tests {
         let snap = CacheStats::default();
         assert_eq!(snap.hit_rate(), 0.0);
         assert!(snap.to_string().contains("requests 0"));
+    }
+
+    #[test]
+    fn export_metrics_round_trips_every_counter() {
+        let live = AtomicStats::default();
+        live.requests.store(10, Ordering::Relaxed);
+        live.hits.store(6, Ordering::Relaxed);
+        live.disk_hits.store(1, Ordering::Relaxed);
+        live.compiles.store(3, Ordering::Relaxed);
+        live.bytes_in_memory.store(4096, Ordering::Relaxed);
+        let snap = live.snapshot(3);
+
+        let mut registry = symla_obs::MetricsRegistry::new();
+        snap.export_metrics("cache", &mut registry);
+        assert_eq!(registry.counter("cache.requests"), 10);
+        assert_eq!(registry.counter("cache.hits"), 6);
+        assert_eq!(registry.counter("cache.disk_hits"), 1);
+        assert_eq!(registry.counter("cache.misses"), 3);
+        assert_eq!(registry.counter("cache.compiles"), 3);
+        assert_eq!(registry.counter("cache.entries"), 3);
+        assert_eq!(registry.counter("cache.bytes_in_memory"), 4096);
+        assert!((registry.gauge("cache.hit_rate").unwrap() - 0.7).abs() < 1e-12);
     }
 }

@@ -238,6 +238,34 @@ impl TuningReport {
     pub fn evaluated(&self) -> usize {
         self.candidates.len()
     }
+
+    /// Exports the tuning run into `registry` under `prefix`: counters for
+    /// the candidates evaluated/skipped and the search capacity, gauges for
+    /// the winner's modelled time, lookahead, workers and (when bounded)
+    /// gap to the paper's lower bound, plus a histogram of every
+    /// candidate's modelled ns — one namespace shared with the engine and
+    /// cache metrics in a [`RunReport`](symla_obs::RunReport).
+    pub fn export_metrics(&self, prefix: &str, registry: &mut symla_obs::MetricsRegistry) {
+        registry.counter_add(&format!("{prefix}.candidates"), self.evaluated() as u128);
+        registry.counter_add(&format!("{prefix}.skipped"), self.skipped as u128);
+        registry.counter_add(&format!("{prefix}.capacity"), self.capacity as u128);
+        let winner = self.winner();
+        registry.gauge_set(&format!("{prefix}.best.modelled_ns"), winner.modelled_ns);
+        registry.gauge_set(
+            &format!("{prefix}.best.lookahead"),
+            winner.config.lookahead as f64,
+        );
+        registry.gauge_set(
+            &format!("{prefix}.best.workers"),
+            winner.config.workers as f64,
+        );
+        if let Some(gap) = winner.gap_to_bound {
+            registry.gauge_set(&format!("{prefix}.best.gap_to_bound"), gap);
+        }
+        for c in &self.candidates {
+            registry.observe(&format!("{prefix}.modelled_ns"), c.modelled_ns);
+        }
+    }
 }
 
 /// Errors raised by [`Tuner::tune`].

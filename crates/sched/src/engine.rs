@@ -63,9 +63,10 @@ use symla_matrix::kernels::views::{
 };
 use symla_matrix::{MatrixError, Scalar};
 use symla_memory::{
-    Direction, FastBuf, IoStats, MachineConfig, MachineOps, MemoryError, SharedSlowMemory, Trace,
-    TraceEvent,
+    Direction, FastBuf, IoStats, MachineConfig, MachineModel, MachineOps, MemoryError,
+    SharedSlowMemory, Trace, TraceEvent,
 };
+use symla_obs::{InstrumentedMachine, TraceRecorder};
 
 /// Errors raised while replaying a schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -271,16 +272,17 @@ impl StealQueue {
     }
 
     /// Next group for worker `w`: its own front, else a steal from the back
-    /// of the first non-empty victim. `None` means all deques are empty —
-    /// no new work can appear, so the worker is done.
-    fn pop(&self, w: usize) -> Option<usize> {
+    /// of the first non-empty victim (the flag in the pair is `true` for a
+    /// steal). `None` means all deques are empty — no new work can appear,
+    /// so the worker is done.
+    fn pop(&self, w: usize) -> Option<(usize, bool)> {
         if let Some(g) = self.lock(w).pop_front() {
-            return Some(g);
+            return Some((g, false));
         }
         let n = self.deques.len();
         for v in (w + 1..n).chain(0..w) {
             if let Some(g) = self.lock(v).pop_back() {
-                return Some(g);
+                return Some((g, true));
             }
         }
         None
@@ -504,10 +506,12 @@ impl Engine {
     ) -> Result<()> {
         for (g, group) in schedule.groups.iter().enumerate() {
             machine.note_group_boundary();
+            machine.note_group_start(g);
             if let Some(phase) = &group.phase {
                 machine.set_phase(phase);
             }
             Self::replay_group(machine, g, group, bufs, prefetched)?;
+            machine.note_group_end(g);
         }
         machine.note_group_boundary();
         if !bufs.is_empty() {
@@ -529,6 +533,7 @@ impl Engine {
     ) -> Result<()> {
         for (g, group) in schedule.groups.iter().enumerate() {
             machine.note_group_boundary();
+            machine.note_group_start(g);
             // Fill: issue the loads planned at this boundary (they overlap
             // with this group's compute in the two-phase model).
             for issue in plan.issues_at(g) {
@@ -543,11 +548,13 @@ impl Engine {
                 machine.set_phase(&phases[issue.group]);
                 let buf = machine.load(*matrix, region.clone())?;
                 machine.note_prefetch(region.len());
+                machine.note_prefetch_issue(issue.group, issue.step, region.len());
                 prefetched.insert((issue.group, issue.step), buf);
             }
             // Drain: replay the group itself.
             machine.set_phase(&phases[g]);
             Self::replay_group(machine, g, group, bufs, prefetched)?;
+            machine.note_group_end(g);
         }
         machine.note_group_boundary();
         if !bufs.is_empty() || !prefetched.is_empty() {
@@ -582,6 +589,7 @@ impl Engine {
                     dst,
                 } => {
                     if let Some(buf) = prefetched.remove(&(group_index, idx)) {
+                        machine.note_prefetch_delivery(group_index, idx);
                         bufs.insert(*dst, buf);
                         continue;
                     }
@@ -605,7 +613,10 @@ impl Engine {
                     let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
                     machine.discard(b)?;
                 }
-                Step::Compute(op) => Self::compute(bufs, op)?,
+                Step::Compute(op) => {
+                    machine.note_compute(op.kind());
+                    Self::compute(bufs, op)?;
+                }
             }
         }
         Ok(())
@@ -715,6 +726,65 @@ impl Engine {
         default_phase: &str,
         engine: &EngineConfig,
     ) -> std::result::Result<Vec<WorkerRun>, ParallelError> {
+        Self::execute_parallel_core(
+            schedule,
+            workers,
+            engine.lookahead,
+            default_phase,
+            |_w| shared.worker(config),
+            |m| m.into_accounting(),
+        )
+    }
+
+    /// [`Engine::execute_parallel_with`] with observability: every worker's
+    /// machine is wrapped in an
+    /// [`InstrumentedMachine`] reporting to
+    /// (a clone of) `recorder`, so the run produces one
+    /// [`RunTrace`](symla_obs::RunTrace) covering all workers — group spans,
+    /// transfers, kernels, claims/steals and prefetch issue→delivery pairs,
+    /// each stamped with both the real clock and the modelled timeline of
+    /// `model`. Accounting, results and scheduling semantics are identical
+    /// to the unobserved entry point (asserted by the observer-invariance
+    /// tests).
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_parallel_traced<T: Scalar>(
+        shared: &SharedSlowMemory<T>,
+        schedule: &Schedule<T>,
+        workers: usize,
+        config: MachineConfig,
+        default_phase: &str,
+        engine: &EngineConfig,
+        model: &MachineModel,
+        recorder: &TraceRecorder,
+    ) -> std::result::Result<Vec<WorkerRun>, ParallelError> {
+        Self::execute_parallel_core(
+            schedule,
+            workers,
+            engine.lookahead,
+            default_phase,
+            |w| InstrumentedMachine::new(shared.worker(config), *model, recorder.clone(), w),
+            |m| m.into_inner().into_accounting(),
+        )
+    }
+
+    /// The parallel replay loop, generic over how a worker's machine is
+    /// built and how it is torn down into accounting — the unobserved and
+    /// traced entry points share everything else (machines are built inside
+    /// the spawned threads, so they need not be `Send`).
+    fn execute_parallel_core<T, M, B, F>(
+        schedule: &Schedule<T>,
+        workers: usize,
+        lookahead: usize,
+        default_phase: &str,
+        build: B,
+        finish: F,
+    ) -> std::result::Result<Vec<WorkerRun>, ParallelError>
+    where
+        T: Scalar,
+        M: MachineOps<T>,
+        B: Fn(usize) -> M + Sync,
+        F: Fn(M) -> (IoStats, Option<Trace>) + Sync,
+    {
         if workers == 0 {
             return Err(ParallelError {
                 error: EngineError::InvalidArgument(
@@ -725,7 +795,6 @@ impl Engine {
                 runs: Vec::new(),
             });
         }
-        let lookahead = engine.lookahead;
         // Per-group prefetch analysis, shared read-only by all workers:
         // the group's own peak footprint (None = not self-contained, do not
         // prefetch around it) and the loads hoistable to its start.
@@ -746,10 +815,11 @@ impl Engine {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let (queue, abort, failure, analysis) = (&queue, &abort, &failure, &analysis);
+                    let (build, finish) = (&build, &finish);
                     scope.spawn(move || {
-                        let mut machine = shared.worker(config);
+                        let mut machine = build(w);
                         let mut groups = Vec::new();
-                        let mut pending: VecDeque<usize> = VecDeque::new();
+                        let mut pending: VecDeque<(usize, bool)> = VecDeque::new();
                         let mut prefetched: PrefetchedBufs<T> = BTreeMap::new();
                         while !abort.load(Ordering::Acquire) {
                             while pending.len() < 1 + lookahead {
@@ -759,13 +829,17 @@ impl Engine {
                                 let next = if pending.is_empty() {
                                     queue.pop(w)
                                 } else {
-                                    queue.pop_local(w)
+                                    queue.pop_local(w).map(|g| (g, false))
                                 };
                                 let Some(g) = next else { break };
                                 pending.push_back(g);
                             }
-                            let Some(g) = pending.pop_front() else { break };
+                            let Some((g, stolen)) = pending.pop_front() else {
+                                break;
+                            };
                             machine.note_group_boundary();
+                            machine.note_claim(g, stolen);
+                            machine.note_group_start(g);
                             let group = &schedule.groups[g];
                             if lookahead > 0 {
                                 Self::fill_worker_window(
@@ -796,6 +870,7 @@ impl Engine {
                             for (_, buf) in bufs {
                                 let _ = machine.discard(buf);
                             }
+                            machine.note_group_end(g);
                             match outcome {
                                 Ok(()) => groups.push(g),
                                 Err(error) => {
@@ -814,7 +889,7 @@ impl Engine {
                         for (_, buf) in prefetched {
                             let _ = machine.discard(buf);
                         }
-                        let (stats, trace) = machine.into_accounting();
+                        let (stats, trace) = finish(machine);
                         WorkerRun {
                             stats,
                             trace,
@@ -854,7 +929,7 @@ impl Engine {
         schedule: &Schedule<T>,
         analysis: &[GroupAnalysis],
         current: usize,
-        pending: &VecDeque<usize>,
+        pending: &VecDeque<(usize, bool)>,
         default_phase: &str,
         prefetched: &mut PrefetchedBufs<T>,
     ) {
@@ -863,7 +938,7 @@ impl Engine {
         // The bound must cover every group the worker drains while the
         // prefetched buffer is alive: the current group and all claimed ones.
         let mut max_peak = 0u64;
-        for &g in std::iter::once(&current).chain(pending.iter()) {
+        for g in std::iter::once(current).chain(pending.iter().map(|&(g, _)| g)) {
             match analysis[g].0 {
                 Some(peak) => max_peak = max_peak.max(peak as u64),
                 // A non-self-contained group has no standalone footprint;
@@ -871,7 +946,7 @@ impl Engine {
                 None => return,
             }
         }
-        for &h in pending {
+        for &(h, _) in pending {
             for &(step_idx, size) in &analysis[h].1 {
                 let Step::Load { matrix, region, .. } = &schedule.groups[h].steps[step_idx] else {
                     continue;
@@ -889,6 +964,7 @@ impl Engine {
                     continue; // fall back to loading at the original point
                 };
                 machine.note_prefetch(region.len());
+                machine.note_prefetch_issue(h, step_idx, region.len());
                 window += size as u64;
                 prefetched.insert((h, step_idx), buf);
             }

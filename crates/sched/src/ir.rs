@@ -163,6 +163,24 @@ pub enum ComputeOp<T: Scalar> {
     },
 }
 
+impl<T: Scalar> ComputeOp<T> {
+    /// The kernel's schedule-dump mnemonic (`"ger"`, `"spr"`, …) — the same
+    /// token the textual IR uses, reused by tracing observers to name
+    /// compute events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ComputeOp::Ger { .. } => "ger",
+            ComputeOp::SprLower { .. } => "spr",
+            ComputeOp::TrianglePairs { .. } => "tripairs",
+            ComputeOp::CholeskyInPlace { .. } => "chol",
+            ComputeOp::LuInPlace { .. } => "lu",
+            ComputeOp::TrsmRightStep { .. } => "trsmstep",
+            ComputeOp::LuColSolveStep { .. } => "lucol",
+            ComputeOp::LuRowElimStep { .. } => "lurow",
+        }
+    }
+}
+
 /// One primitive action of a schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Step<T: Scalar> {

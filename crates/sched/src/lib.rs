@@ -82,5 +82,5 @@ pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputat
 pub use partition::{PartitionStats, TbsPartition};
 pub use passes::{Pass, PassError, PassManager, PassPipeline, PassReport};
 pub use prefetch::{PrefetchIssue, PrefetchPlan};
-pub use timing::{modelled_group_times, modelled_time, modelled_time_planned};
+pub use timing::{modelled_group_times, modelled_run_trace, modelled_time, modelled_time_planned};
 pub use triangle::{canonical_t, sigma, triangle_block};

@@ -21,6 +21,7 @@ use crate::prefetch::PrefetchPlan;
 use std::collections::BTreeMap;
 use symla_matrix::Scalar;
 use symla_memory::{MachineModel, TimeStats};
+use symla_obs::{EventKind, ModelClock, ObsRecord, RunTrace};
 
 /// Models the wall-clock of [`Engine::execute_with`](crate::Engine::execute_with)
 /// on a machine of `capacity`, pricing transfers and flops with `model`.
@@ -116,6 +117,126 @@ pub fn modelled_time_planned<T: Scalar>(
         time.add_window(demand_ns, prefetch_ns, compute_ns);
     }
     time
+}
+
+/// Synthesizes the [`RunTrace`] a serial
+/// [`Engine::execute_with`](crate::Engine::execute_with) on an
+/// [`InstrumentedMachine`](symla_obs::InstrumentedMachine) would record,
+/// without executing anything — the observability analogue of
+/// [`Engine::trace`](crate::Engine::trace).
+///
+/// The walker replays the engine's exact event cadence (boundary → group
+/// start → prefetch issues → steps → group end) against a
+/// [`ModelClock`], charging costs in the same floating-point operation
+/// order as a real replay, so the synthesized events match an executed
+/// trace **bitwise** in their modelled timestamps and exactly in kind and
+/// order. Real-clock stamps are `0` (nothing ran) and all events sit on
+/// worker track `0`; exporting both traces with
+/// [`TimeBase::Modelled`](symla_obs::TimeBase) yields byte-identical
+/// documents — the `ab_obs` gate asserts exactly that.
+pub fn modelled_run_trace<T: Scalar>(
+    schedule: &Schedule<T>,
+    model: &MachineModel,
+    lookahead: usize,
+    capacity: Option<usize>,
+) -> RunTrace {
+    let plan = if lookahead == 0 {
+        PrefetchPlan::default()
+    } else {
+        PrefetchPlan::plan(schedule, lookahead, capacity)
+    };
+    fn rec(clock: &ModelClock, kind: EventKind) -> ObsRecord {
+        ObsRecord {
+            worker: 0,
+            real_ns: 0,
+            model_ns: clock.now_ns(),
+            kind,
+        }
+    }
+    let mut clock = ModelClock::new();
+    let mut events: Vec<ObsRecord> = Vec::new();
+    let mut sizes: BTreeMap<crate::ir::BufId, usize> = BTreeMap::new();
+    for (g, group) in schedule.groups.iter().enumerate() {
+        clock.settle();
+        events.push(rec(&clock, EventKind::GroupStart { group: g }));
+        for issue in plan.issues_at(g) {
+            let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step] else {
+                unreachable!("prefetch plans only target load steps");
+            };
+            clock.charge_load(model.load_ns(region.len()));
+            clock.reclassify_last_load();
+            events.push(rec(
+                &clock,
+                EventKind::Load {
+                    elements: region.len(),
+                    prefetched: true,
+                },
+            ));
+            events.push(rec(
+                &clock,
+                EventKind::PrefetchIssue {
+                    group: issue.group,
+                    step: issue.step,
+                    elements: region.len(),
+                },
+            ));
+        }
+        for (idx, step) in group.steps.iter().enumerate() {
+            match step {
+                Step::Load { region, dst, .. } => {
+                    sizes.insert(*dst, region.len());
+                    if plan.is_prefetched(g, idx) {
+                        // The load itself was issued (and recorded) at an
+                        // earlier boundary; its consumption is a handoff.
+                        events.push(rec(
+                            &clock,
+                            EventKind::PrefetchDelivery {
+                                group: g,
+                                step: idx,
+                            },
+                        ));
+                    } else {
+                        clock.charge_load(model.load_ns(region.len()));
+                        events.push(rec(
+                            &clock,
+                            EventKind::Load {
+                                elements: region.len(),
+                                prefetched: false,
+                            },
+                        ));
+                    }
+                }
+                Step::Alloc { region, dst, .. } => {
+                    sizes.insert(*dst, region.len());
+                    events.push(rec(
+                        &clock,
+                        EventKind::Alloc {
+                            elements: region.len(),
+                        },
+                    ));
+                }
+                Step::Flops(flops) => {
+                    clock.charge_compute(model.compute_ns(flops.total()));
+                    events.push(rec(&clock, EventKind::flops(*flops)));
+                }
+                Step::Compute(op) => {
+                    events.push(rec(&clock, EventKind::Compute { kind: op.kind() }));
+                }
+                Step::Store { buf } => {
+                    let elements = sizes.remove(buf).unwrap_or(0);
+                    clock.charge_store(model.store_ns(elements));
+                    events.push(rec(&clock, EventKind::Store { elements }));
+                }
+                Step::Discard { buf } => {
+                    let elements = sizes.remove(buf).unwrap_or(0);
+                    events.push(rec(&clock, EventKind::Discard { elements }));
+                }
+            }
+        }
+        events.push(rec(&clock, EventKind::GroupEnd { group: g }));
+    }
+    clock.settle();
+    RunTrace::from_events(events)
 }
 
 /// Per-group wall-clock contributions under the same window model as
@@ -249,6 +370,32 @@ mod tests {
             assert_eq!(measured.compute_ns.to_bits(), modelled.compute_ns.to_bits());
             assert_eq!(measured.hidden_ns.to_bits(), modelled.hidden_ns.to_bits());
             assert_eq!(measured.groups, modelled.groups);
+        }
+    }
+
+    /// The observability analogue of the bitwise invariant: a synthesized
+    /// trace exports byte-identically to the trace of a real instrumented
+    /// replay (same events, same order, bitwise-equal modelled stamps).
+    #[test]
+    fn synthesized_trace_matches_executed_trace_bytewise() {
+        use symla_obs::{InstrumentedMachine, TimeBase, TraceRecorder};
+        let s = two_group_schedule();
+        let model = MachineModel::nvme();
+        for lookahead in 0..3 {
+            let recorder = TraceRecorder::new();
+            let mut inner = OocMachine::<f64>::with_capacity(64);
+            let id = inner.insert_dense(Matrix::identity(6));
+            assert_eq!(id, MatrixId::synthetic(0));
+            let mut machine = InstrumentedMachine::new(inner, model, recorder.clone(), 0);
+            Engine::execute_with(&mut machine, &s, &EngineConfig::with_lookahead(lookahead))
+                .unwrap();
+            let executed = recorder.finish();
+            let synthesized = modelled_run_trace(&s, &model, lookahead, Some(64));
+            assert_eq!(
+                executed.to_chrome_trace(&[TimeBase::Modelled]),
+                synthesized.to_chrome_trace(&[TimeBase::Modelled]),
+                "lookahead {lookahead}"
+            );
         }
     }
 

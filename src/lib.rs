@@ -16,6 +16,8 @@
 //! * [`plancache`] (`symla-plancache`) — the content-addressed two-tier
 //!   plan cache (in-memory LRU + optional disk tier) behind the
 //!   compile-once/replay-many serve layer;
+//! * [`obs`] (`symla-obs`) — execution observability: structured run
+//!   traces, the metrics registry and Perfetto timeline export;
 //! * [`baselines`] (`symla-baselines`) — Béreux's out-of-core SYRK / TRSM /
 //!   Cholesky and the GEMM / LU comparison points;
 //! * [`core`] (`symla-core`) — the paper's TBS and LBC schedules, lower
@@ -44,6 +46,7 @@ pub use symla_baselines as baselines;
 pub use symla_core as core;
 pub use symla_matrix as matrix;
 pub use symla_memory as memory;
+pub use symla_obs as obs;
 pub use symla_plancache as plancache;
 pub use symla_sched as sched;
 
@@ -58,13 +61,14 @@ pub mod prelude {
         api::{
             cholesky_out_of_core, cholesky_out_of_core_autotuned, cholesky_out_of_core_cached,
             cholesky_out_of_core_optimized, cholesky_out_of_core_prefetched,
-            cholesky_out_of_core_timed, cholesky_tuning_space, gemm_out_of_core,
-            gemm_out_of_core_autotuned, gemm_out_of_core_cached, gemm_out_of_core_optimized,
-            gemm_out_of_core_prefetched, gemm_out_of_core_timed, gemm_tuning_space,
-            syrk_out_of_core, syrk_out_of_core_autotuned, syrk_out_of_core_cached,
-            syrk_out_of_core_optimized, syrk_out_of_core_prefetched, syrk_out_of_core_timed,
+            cholesky_out_of_core_timed, cholesky_out_of_core_traced, cholesky_tuning_space,
+            gemm_out_of_core, gemm_out_of_core_autotuned, gemm_out_of_core_cached,
+            gemm_out_of_core_optimized, gemm_out_of_core_prefetched, gemm_out_of_core_timed,
+            gemm_out_of_core_traced, gemm_tuning_space, syrk_out_of_core,
+            syrk_out_of_core_autotuned, syrk_out_of_core_cached, syrk_out_of_core_optimized,
+            syrk_out_of_core_prefetched, syrk_out_of_core_timed, syrk_out_of_core_traced,
             syrk_tuning_space, AutotunedRun, CholeskyAlgorithm, OptimizedRun, RunReport,
-            SyrkAlgorithm, WallClock,
+            SyrkAlgorithm, TracedRun, WallClock,
         },
         bounds, lbc_cost, lbc_cost_breakdown, lbc_execute, lbc_schedule, oi, tbs_cost, tbs_execute,
         tbs_schedule, tbs_tiled_cost, tbs_tiled_execute, tbs_tiled_schedule, Engine, EngineConfig,
@@ -78,10 +82,16 @@ pub mod prelude {
         IoStats, LatencyMachine, MachineConfig, MachineModel, MachineOps, MatrixId, OocMachine,
         PanelRef, Region, SharedSlowMemory, SymWindowRef, TimeStats, WorkerMachine,
     };
+    pub use symla_obs::{
+        EventKind, ExecutionObserver, InstrumentedMachine, MetricsRegistry, NullObserver, RunTrace,
+        TimeBase, TraceRecorder,
+    };
     pub use symla_plancache::{CacheStats, PlanCache, PlanCacheConfig, PlanKey, PlanSource};
     pub use symla_sched::autotune::{
         Candidate, TuneError, TunedConfig, Tuner, TuningReport, TuningSpace,
     };
-    pub use symla_sched::timing::{modelled_group_times, modelled_time, modelled_time_planned};
+    pub use symla_sched::timing::{
+        modelled_group_times, modelled_run_trace, modelled_time, modelled_time_planned,
+    };
     pub use symla_sched::{BalancedSolution, CyclicIndexing, Op, OpSet, TbsPartition};
 }

@@ -1,0 +1,163 @@
+//! Golden-file pin of the Chrome-trace (Perfetto) export.
+//!
+//! The modelled timebase is fully deterministic — event order is the
+//! schedule's program order and every timestamp comes from the static
+//! wall-clock model — so the exported bytes of a seeded instance are a
+//! stable artifact. Pinning them catches accidental format drift (a viewer
+//! that loaded yesterday's trace must load today's) and accidental model or
+//! event-cadence drift in one diff. The measured timebase carries host
+//! timings and is checked structurally instead: valid JSON, balanced spans,
+//! per-track monotone timestamps.
+//!
+//! To regenerate after an intentional format, model or cadence change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test trace_export
+//! git diff tests/golden/   # review the timeline diff by eye
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use symla::prelude::*;
+use symla_baselines::ooc_syrk_schedule;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}; regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden file; if the change is intentional, \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test trace_export` \
+         and review the diff"
+    );
+}
+
+/// A small deterministic OOC_SYRK instance with enough groups for the
+/// prefetcher to overlap at `lookahead = 1` (so the golden trace contains
+/// prefetched loads and issue→delivery flow events).
+fn tiny_syrk_case() -> (Schedule<f64>, usize) {
+    let (n, m, s) = (12, 3, 30);
+    let a_ref = PanelRef::dense(MatrixId::synthetic(0), n, m);
+    let c_ref = SymWindowRef::full(MatrixId::synthetic(1), n);
+    let schedule =
+        ooc_syrk_schedule(&a_ref, &c_ref, 1.0, &OocSyrkPlan::for_memory(s).unwrap()).unwrap();
+    (schedule, s)
+}
+
+/// Executes the case inside an [`InstrumentedMachine`] and returns the
+/// recorded trace.
+fn executed_trace(schedule: &Schedule<f64>, s: usize, lookahead: usize) -> RunTrace {
+    let (n, m) = (12, 3);
+    let mut inner = OocMachine::<f64>::new(MachineConfig::with_capacity(s));
+    inner.insert_dense(symla::matrix::generate::random_matrix_seeded(n, m, 940));
+    inner.insert_symmetric(symla::matrix::generate::random_symmetric(
+        n,
+        &mut symla::matrix::generate::seeded_rng(941),
+    ));
+    let recorder = TraceRecorder::new();
+    let mut machine = InstrumentedMachine::new(inner, MachineModel::nvme(), recorder.clone(), 0);
+    Engine::execute_with(
+        &mut machine,
+        schedule,
+        &EngineConfig::with_lookahead(lookahead),
+    )
+    .unwrap();
+    recorder.finish()
+}
+
+#[test]
+fn modelled_export_matches_golden_file() {
+    let (schedule, s) = tiny_syrk_case();
+    for (lookahead, name) in [
+        (0usize, "ooc_syrk_l0.trace.json"),
+        (1, "ooc_syrk_l1.trace.json"),
+    ] {
+        // The golden bytes come from the static walker; the executed trace
+        // must export to exactly the same bytes, making the golden file a
+        // pin on both the format and the executed==synthesized identity.
+        let synthesized = modelled_run_trace(&schedule, &MachineModel::nvme(), lookahead, Some(s))
+            .to_chrome_trace(&[TimeBase::Modelled]);
+        check_golden(name, &synthesized);
+        let executed =
+            executed_trace(&schedule, s, lookahead).to_chrome_trace(&[TimeBase::Modelled]);
+        assert_eq!(
+            executed, synthesized,
+            "L={lookahead}: executed export drifted from the golden walker export"
+        );
+    }
+}
+
+#[test]
+fn exports_are_well_formed_on_both_timebases() {
+    let (schedule, s) = tiny_syrk_case();
+    let trace = executed_trace(&schedule, s, 1);
+    for bases in [
+        vec![TimeBase::Modelled],
+        vec![TimeBase::Measured],
+        vec![TimeBase::Measured, TimeBase::Modelled],
+    ] {
+        let export = trace.to_chrome_trace(&bases);
+        symla::obs::json::validate(&export)
+            .unwrap_or_else(|pos| panic!("{bases:?}: invalid JSON at byte {pos}"));
+
+        // One event per line between the wrapper braces; timestamps must be
+        // monotone per (pid, tid) track and B/E spans balanced per track.
+        let mut last_ts: HashMap<(String, String), f64> = HashMap::new();
+        let mut depth: HashMap<(String, String), i64> = HashMap::new();
+        let mut events = 0usize;
+        for line in export.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with("{\"ph\":") || line.contains("\"M\"") {
+                continue;
+            }
+            events += 1;
+            let field = |key: &str| -> Option<String> {
+                let tag = format!("\"{key}\":");
+                let rest = &line[line.find(&tag)? + tag.len()..];
+                Some(
+                    rest[..rest
+                        .find([',', '}'])
+                        .expect("field value ends before the event does")]
+                        .to_string(),
+                )
+            };
+            let track = (field("pid").unwrap(), field("tid").unwrap());
+            if let Some(ts) = field("ts").map(|t| t.parse::<f64>().unwrap()) {
+                let prev = last_ts.insert(track.clone(), ts).unwrap_or(f64::MIN);
+                assert!(prev <= ts, "{bases:?}: track {track:?} went back in time");
+            }
+            match field("ph").unwrap().as_str() {
+                "\"B\"" => *depth.entry(track).or_insert(0) += 1,
+                "\"E\"" => {
+                    let d = depth.entry(track.clone()).or_insert(0);
+                    *d -= 1;
+                    assert!(
+                        *d >= 0,
+                        "{bases:?}: track {track:?} closed an unopened span"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(events > 0, "{bases:?}: export contains no events");
+        assert!(
+            depth.values().all(|&d| d == 0),
+            "{bases:?}: unbalanced spans {depth:?}"
+        );
+    }
+}
