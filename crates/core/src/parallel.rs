@@ -28,6 +28,7 @@
 //! of the per-worker input traffic of distributing square tiles.
 
 use crate::plan::TbsPlan;
+use std::collections::BTreeMap;
 use symla_baselines::error::{OocError, Result};
 use symla_baselines::params::{square_tile_for_capacity, tile_extents};
 use symla_matrix::kernels::FlopCount;
@@ -37,7 +38,10 @@ use symla_obs::TraceRecorder;
 use symla_sched::engine::ParallelError;
 use symla_sched::indexing::CyclicIndexing;
 use symla_sched::ir::{BufId, BufSlice, ComputeOp};
-use symla_sched::{Engine, EngineConfig, Schedule, ScheduleBuilder, TaskGroup, WorkerRun};
+use symla_sched::{
+    partition_groups, Engine, EngineConfig, NodeAssignment, Schedule, ScheduleBuilder, TaskGroup,
+    WorkerRun,
+};
 
 /// How the result matrix is partitioned into per-worker units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -616,6 +620,180 @@ where
     })
 }
 
+/// Communication volume of one node of a sharded parallel run, split into
+/// traffic against the node's home shard and traffic against every other
+/// shard (the distributed-memory cost the partitioner minimizes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeIo {
+    /// Elements moved to or from the node's home shard.
+    pub local: u64,
+    /// Elements moved to or from every other shard.
+    pub cross: u64,
+    /// Total elements the node read from slow memory (all shards).
+    pub loads: u64,
+    /// Total elements the node wrote back (all shards).
+    pub stores: u64,
+    /// Number of units the node processed.
+    pub tasks: usize,
+}
+
+/// Outcome of a sharded parallel run ([`parallel_syrk_sharded`]).
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Partitioning strategy used for the result matrix.
+    pub strategy: BlockStrategy,
+    /// Per-node fast-memory budget.
+    pub memory_per_node: usize,
+    /// Per-node communication volumes, *observed* by each node's
+    /// capacity-checked machine and asserted equal to the partitioner's
+    /// analytic prediction.
+    pub per_node: Vec<NodeIo>,
+    /// The static group-to-node assignment the run executed.
+    pub assignment: NodeAssignment,
+}
+
+impl ShardedReport {
+    /// Total cross-shard volume over all nodes.
+    pub fn total_cross(&self) -> u64 {
+        self.per_node.iter().map(|n| n.cross).sum()
+    }
+
+    /// The busiest node's cross-shard volume (the communication
+    /// bottleneck of a bandwidth-bound distributed run).
+    pub fn max_cross(&self) -> u64 {
+        self.per_node.iter().map(|n| n.cross).max().unwrap_or(0)
+    }
+
+    /// Total loads over all nodes.
+    pub fn total_loads(&self) -> u64 {
+        self.per_node.iter().map(|n| n.loads).sum()
+    }
+
+    /// Total stores over all nodes.
+    pub fn total_stores(&self) -> u64 {
+        self.per_node.iter().map(|n| n.stores).sum()
+    }
+}
+
+/// Computes `C += alpha · A · Aᵀ` on `nodes` nodes against a **sharded**
+/// shared slow memory: `C` lives on shard 0 (every node's home), `A` on
+/// shard 1, so each node's cross-shard traffic is exactly the input rows it
+/// streams — the quantity the paper's communication analysis bounds.
+///
+/// Unlike [`parallel_syrk`]'s work-stealing queue, the units are assigned
+/// to nodes *statically* by [`partition_groups`] (a distributed run cannot
+/// rebalance cheaply), and every node replays its groups on its own
+/// capacity-checked [`SharedSlowMemory`] worker in a scoped thread. Each
+/// node's observed per-shard traffic is asserted equal to the partitioner's
+/// analytic volumes, so the assignment the report carries can never drift
+/// from what was executed. The numerical result is exact (units cover
+/// disjoint entries of `C`) and bitwise equal to the unsharded runs.
+pub fn parallel_syrk_sharded<T: Scalar>(
+    a: &Matrix<T>,
+    c: &mut SymMatrix<T>,
+    alpha: T,
+    nodes: usize,
+    memory_per_node: usize,
+    strategy: BlockStrategy,
+) -> Result<ShardedReport> {
+    let n = c.order();
+    let m = a.cols();
+    if a.rows() != n {
+        return Err(OocError::Invalid(format!(
+            "sharded SYRK operand mismatch: A has {} rows but C has order {n}",
+            a.rows()
+        )));
+    }
+    if nodes == 0 {
+        return Err(OocError::Invalid("need at least one node".into()));
+    }
+    let units = build_units(n, memory_per_node, strategy)?;
+    let schedule = units_schedule::<T>(&units, m, alpha);
+
+    let shared = SharedSlowMemory::with_shards(2);
+    let c_id = shared.insert_symmetric_on(0, std::mem::replace(c, SymMatrix::zeros(0)));
+    let a_id = shared.insert_dense_on(1, a.clone());
+    debug_assert_eq!((c_id, a_id), (C_MATRIX, A_MATRIX));
+
+    let shard_of: BTreeMap<u64, usize> = [(c_id.raw(), 0), (a_id.raw(), 1)].into();
+    let homes = vec![0usize; nodes];
+    let assignment = partition_groups(&schedule, &shard_of, &homes);
+
+    let config = MachineConfig::with_capacity(memory_per_node);
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignment
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(node, groups)| {
+                let (shared, schedule) = (&shared, &schedule);
+                let home = homes[node];
+                scope.spawn(move || {
+                    let sub = Schedule {
+                        groups: groups.iter().map(|&g| schedule.groups[g].clone()).collect(),
+                    };
+                    let mut machine = shared.worker_on(config, home);
+                    Engine::execute(&mut machine, &sub)?;
+                    Ok::<_, symla_sched::EngineError>((machine.into_accounting().0, groups.len()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sharded node panicked"))
+            .collect()
+    });
+
+    let mut per_node = Vec::with_capacity(nodes);
+    for (node, outcome) in outcomes.into_iter().enumerate() {
+        let (stats, tasks) = match outcome {
+            Ok(v) => v,
+            Err(e) => {
+                // Same recovery contract as the work-stealing path: every
+                // node has exited the scope and released its leases, so the
+                // caller's (partially updated) matrix is handed back.
+                *c = shared
+                    .take_symmetric(c_id)
+                    .expect("nodes released every lease on abort");
+                return Err(e.into());
+            }
+        };
+        let home = homes[node];
+        let (mut local, mut cross) = (0u64, 0u64);
+        for shard in 0..2 {
+            let vol = stats.shard(shard);
+            if shard == home {
+                local += vol.loads + vol.stores;
+            } else {
+                cross += vol.loads + vol.stores;
+            }
+        }
+        assert_eq!(
+            (local, cross),
+            (assignment.local_volume[node], assignment.cross_volume[node]),
+            "node {node}: observed per-shard traffic diverged from the partitioner"
+        );
+        per_node.push(NodeIo {
+            local,
+            cross,
+            loads: stats.volume.loads,
+            stores: stats.volume.stores,
+            tasks,
+        });
+    }
+    *c = shared.take_symmetric(c_id)?;
+
+    Ok(ShardedReport {
+        nodes,
+        strategy,
+        memory_per_node,
+        per_node,
+        assignment,
+    })
+}
+
 /// The task groups a strategy would distribute for an `n × m` problem, as a
 /// single schedule (one group per unit, in partition order, with `α = 1`).
 /// This is the exact work list [`parallel_syrk`] hands to its workers,
@@ -827,6 +1005,89 @@ mod tests {
         assert_eq!(a.loads + b.loads, whole.loads);
         assert_eq!(a.stores + b.stores, whole.stores);
         assert_eq!(analytic_worker_io(&schedule, &[]), WorkerIo::default());
+    }
+
+    #[test]
+    fn sharded_run_matches_reference_and_the_partitioner_accounting() {
+        let (n, m, s) = (40, 8, 10);
+        let (a, expected) = reference(n, m, 1.0, 81);
+        for strategy in [BlockStrategy::SquareTiles, BlockStrategy::TriangleBlocks] {
+            let mut plain_c = SymMatrix::zeros(n);
+            let plain = parallel_syrk(&a, &mut plain_c, 1.0, 2, s, strategy).unwrap();
+            for nodes in [1usize, 2, 4] {
+                let mut c = SymMatrix::zeros(n);
+                let report = parallel_syrk_sharded(&a, &mut c, 1.0, nodes, s, strategy).unwrap();
+                let ctx = format!("{} N={nodes}", strategy.name());
+                assert!(c.approx_eq(&expected, 1e-11), "{ctx}");
+                // Groups cover disjoint entries, so placement cannot change
+                // the arithmetic: bitwise equal to the work-stealing run.
+                assert!(c == plain_c, "{ctx}");
+                assert_eq!(report.nodes, nodes, "{ctx}");
+                assert_eq!(report.per_node.len(), nodes, "{ctx}");
+                assert_eq!(report.total_loads(), plain.total_loads(), "{ctx}");
+                assert_eq!(report.total_stores(), plain.total_stores(), "{ctx}");
+                // C lives on the home shard and is loaded and stored once
+                // per unit; everything else is cross-shard A traffic.
+                assert_eq!(
+                    report.total_cross(),
+                    report.total_loads() - report.total_stores(),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    report.total_cross(),
+                    report.assignment.total_cross(),
+                    "{ctx}"
+                );
+                assert_eq!(report.max_cross(), report.assignment.max_cross(), "{ctx}");
+                let tasks: usize = report.per_node.iter().map(|n| n.tasks).sum();
+                assert_eq!(tasks, report.assignment.nodes.iter().map(Vec::len).sum());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_triangle_blocks_cut_cross_shard_traffic_toward_the_paper_ratio() {
+        // The cross-shard volume of a sharded run is exactly the A traffic,
+        // so the triangle-block advantage shows up undiluted by the C
+        // traffic: at (120, 16, 10) the TBS partition (k = 4) streams
+        // t/(k-1) = 2/3 of the square tiling's input rows — the finite-size
+        // shadow of the paper's asymptotic 1/sqrt(2) ~ 0.707.
+        let (n, m, s) = (120, 16, 10);
+        let (a, expected) = reference(n, m, 1.0, 82);
+        let mut c1 = SymMatrix::zeros(n);
+        let square =
+            parallel_syrk_sharded(&a, &mut c1, 1.0, 4, s, BlockStrategy::SquareTiles).unwrap();
+        let mut c2 = SymMatrix::zeros(n);
+        let triangle =
+            parallel_syrk_sharded(&a, &mut c2, 1.0, 4, s, BlockStrategy::TriangleBlocks).unwrap();
+        assert!(c1.approx_eq(&expected, 1e-10));
+        assert!(c2.approx_eq(&expected, 1e-10));
+
+        let ratio = triangle.total_cross() as f64 / square.total_cross() as f64;
+        assert!(
+            (0.6..=0.78).contains(&ratio),
+            "cross-shard ratio {ratio} (triangle {} vs square {}) outside the 1/sqrt(2) band",
+            triangle.total_cross(),
+            square.total_cross()
+        );
+        // The bottleneck node improves too, not just the total.
+        assert!(
+            triangle.max_cross() < square.max_cross(),
+            "triangle max {} vs square max {}",
+            triangle.max_cross(),
+            square.max_cross()
+        );
+    }
+
+    #[test]
+    fn sharded_errors_on_bad_arguments() {
+        let a: Matrix<f64> = Matrix::zeros(4, 2);
+        let mut c = SymMatrix::zeros(5);
+        assert!(parallel_syrk_sharded(&a, &mut c, 1.0, 2, 10, BlockStrategy::SquareTiles).is_err());
+        let mut c4 = SymMatrix::zeros(4);
+        assert!(
+            parallel_syrk_sharded(&a, &mut c4, 1.0, 0, 10, BlockStrategy::SquareTiles).is_err()
+        );
     }
 
     #[test]

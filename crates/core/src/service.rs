@@ -266,6 +266,25 @@ impl<T: Scalar> PlanService<T> {
         .with_f64_param(alpha.to_f64())
     }
 
+    /// The plan key of a *sharded* parallel SYRK run (see
+    /// [`parallel_syrk_sharded`](crate::parallel::parallel_syrk_sharded)).
+    /// The shard count enters through the key's memory-hierarchy
+    /// fingerprint: sharding changes the node partitioning a served plan
+    /// would bake in, so a sharded plan must not share a cache slot with
+    /// the unsharded one. With one shard the key collapses to
+    /// [`syrk_parallel_key`](Self::syrk_parallel_key) — the layouts are
+    /// the same machine.
+    pub fn syrk_sharded_key(
+        n: usize,
+        m: usize,
+        alpha: T,
+        memory_per_node: usize,
+        strategy: BlockStrategy,
+        shards: usize,
+    ) -> PlanKey {
+        Self::syrk_parallel_key(n, m, alpha, memory_per_node, strategy).with_hierarchy(&[], shards)
+    }
+
     /// The plan key of an autotuned SYRK run. The chosen pipeline, tile and
     /// lookahead are *outputs* of the search, so they do not appear in the
     /// key; what identifies the plan is the shape plus the fingerprints of
@@ -905,6 +924,22 @@ mod tests {
     };
     use crate::parallel::parallel_syrk;
     use symla_matrix::generate::{random_matrix_seeded, random_spd_seeded};
+
+    #[test]
+    fn sharded_keys_split_from_the_unsharded_slot() {
+        let base =
+            PlanService::<f64>::syrk_parallel_key(64, 8, 1.0, 32, BlockStrategy::SquareTiles);
+        let one =
+            PlanService::<f64>::syrk_sharded_key(64, 8, 1.0, 32, BlockStrategy::SquareTiles, 1);
+        let two =
+            PlanService::<f64>::syrk_sharded_key(64, 8, 1.0, 32, BlockStrategy::SquareTiles, 2);
+        let three =
+            PlanService::<f64>::syrk_sharded_key(64, 8, 1.0, 32, BlockStrategy::SquareTiles, 3);
+        // One shard is the unsharded machine: same key, same cache slot.
+        assert_eq!(one.content_hash(), base.content_hash());
+        assert_ne!(two.content_hash(), base.content_hash());
+        assert_ne!(two.content_hash(), three.content_hash());
+    }
 
     #[test]
     fn served_syrk_is_bitwise_identical_across_algorithms_and_modes() {

@@ -17,6 +17,19 @@ pub enum MemoryError {
         /// Fast-memory capacity in elements.
         capacity: usize,
     },
+    /// Staging a transfer through an intermediate tier of a
+    /// [`crate::tiered::TieredMachine`] would exceed that tier's capacity.
+    /// Distinct from [`MemoryError::CapacityExceeded`] (the fast-memory
+    /// check) so schedules can tell which level of the hierarchy they
+    /// overflowed.
+    TierCapacityExceeded {
+        /// The raw tier number whose capacity was exceeded.
+        level: u8,
+        /// Number of elements the transfer tried to stage through the tier.
+        requested: usize,
+        /// The tier's staging capacity in elements.
+        capacity: usize,
+    },
     /// The matrix id is not registered in slow memory (or was already taken
     /// out).
     UnknownMatrix {
@@ -71,6 +84,14 @@ impl fmt::Display for MemoryError {
             } => write!(
                 f,
                 "fast memory capacity exceeded: requested {requested} elements with {resident} resident (capacity {capacity})"
+            ),
+            MemoryError::TierCapacityExceeded {
+                level,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "tier l{level} capacity exceeded: transfer stages {requested} elements (tier capacity {capacity})"
             ),
             MemoryError::UnknownMatrix { id } => write!(f, "unknown matrix id {id}"),
             MemoryError::RegionKindMismatch { region, storage } => write!(
@@ -142,6 +163,13 @@ mod tests {
 
     #[test]
     fn display_all_variants() {
+        assert!(MemoryError::TierCapacityExceeded {
+            level: 2,
+            requested: 64,
+            capacity: 32
+        }
+        .to_string()
+        .contains("l2"));
         assert!(MemoryError::UnknownMatrix { id: 9 }
             .to_string()
             .contains('9'));

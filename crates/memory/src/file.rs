@@ -22,6 +22,7 @@
 //! column rather than one per element.
 
 use crate::error::{MemoryError, Result};
+use crate::level::Level;
 use crate::machine::{next_machine_tag, FastBuf, Ledger, MachineConfig, MachineOps, MatrixId};
 use crate::region::Region;
 use crate::stats::IoStats;
@@ -464,6 +465,23 @@ impl<T: Scalar> MachineOps<T> for FileSlowMemory<T> {
 
     fn note_prefetch(&mut self, elements: usize) {
         self.ledger.note_prefetch(elements);
+    }
+
+    fn load_from(&mut self, id: MatrixId, region: Region, level: Level) -> Result<FastBuf<T>> {
+        let buf = FileSlowMemory::load(self, id, region)?;
+        if !level.is_default() {
+            self.ledger.note_level_load(level.raw(), buf.len());
+        }
+        Ok(buf)
+    }
+
+    fn store_to(&mut self, buf: FastBuf<T>, level: Level) -> Result<()> {
+        let elements = buf.len();
+        FileSlowMemory::store(self, buf)?;
+        if !level.is_default() {
+            self.ledger.note_level_store(level.raw(), elements);
+        }
+        Ok(())
     }
 }
 

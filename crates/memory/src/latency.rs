@@ -28,6 +28,7 @@
 //! ```
 
 use crate::error::Result;
+use crate::level::Level;
 use crate::machine::{FastBuf, MachineOps, MatrixId};
 use crate::model::{MachineModel, TimeStats};
 use crate::region::Region;
@@ -135,6 +136,22 @@ impl<T: Scalar, M: MachineOps<T>> MachineOps<T> for LatencyMachine<T, M> {
 
     fn discard(&mut self, buf: FastBuf<T>) -> Result<()> {
         self.inner.discard(buf)
+    }
+
+    fn load_from(&mut self, id: MatrixId, region: Region, level: Level) -> Result<FastBuf<T>> {
+        let buf = self.inner.load_from(id, region, level)?;
+        let cost = self.model.load_ns_at(level, buf.len());
+        self.window_demand_ns += cost;
+        self.last_load_ns = cost;
+        Ok(buf)
+    }
+
+    fn store_to(&mut self, buf: FastBuf<T>, level: Level) -> Result<()> {
+        let elements = buf.len();
+        self.inner.store_to(buf, level)?;
+        self.window_demand_ns += self.model.store_ns_at(level, elements);
+        self.last_load_ns = 0.0;
+        Ok(())
     }
 
     fn record_flops(&mut self, flops: FlopCount) {
@@ -286,6 +303,38 @@ mod tests {
         m.discard(buf).unwrap();
         m.note_group_boundary();
         assert_eq!(m.time().total_ns(), mid.total_ns());
+    }
+
+    #[test]
+    fn leveled_transfers_pay_the_tier_surcharge() {
+        let model = MachineModel::dram().with_level_extra(Level::new(2), 5.0);
+        let mut inner = OocMachine::<f64>::with_capacity(100);
+        let id = inner.insert_dense(Matrix::zeros(6, 6));
+        let mut m = LatencyMachine::new(inner, model);
+
+        let buf = m
+            .load_from(id, Region::rect(0, 0, 3, 3), Level::new(2))
+            .unwrap();
+        m.store_to(buf, Level::new(2)).unwrap();
+        let t = m.time();
+        assert_eq!(
+            t.io_ns,
+            model.load_ns_at(Level::new(2), 9) + model.store_ns_at(Level::new(2), 9)
+        );
+        assert_eq!(m.inner().stats().level(2).loads, 9);
+
+        // Default-tier leveled calls price bitwise like load/store.
+        let mut inner = OocMachine::<f64>::with_capacity(100);
+        let id = inner.insert_dense(Matrix::zeros(6, 6));
+        let mut m2 = LatencyMachine::new(inner, model);
+        let buf = m2
+            .load_from(id, Region::rect(0, 0, 3, 3), Level::SLOW)
+            .unwrap();
+        m2.store_to(buf, Level::SLOW).unwrap();
+        assert_eq!(
+            m2.time().io_ns.to_bits(),
+            (model.load_ns(9) + model.store_ns(9)).to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Memory-hierarchy levels.
+//!
+//! The paper's machine model has two levels: a fast memory of capacity `S`
+//! (level 0) and an unbounded slow memory (level 1). Its communication
+//! bounds compose across levels, so the IR generalizes transfers to an
+//! arbitrary hierarchy: a [`Level`] names the tier a `Load` reads from or a
+//! `Store` writes to. Level 1 is the *default* — a schedule whose every
+//! transfer uses it is exactly a two-level schedule, and every constructor
+//! that predates the hierarchy defaults to it, so legacy schedules, dumps
+//! and binary plans keep their meaning bit-for-bit.
+//!
+//! Invariants:
+//!
+//! * level 0 is fast memory — never a valid transfer source or target (the
+//!   transfer's *other* end is always fast memory);
+//! * level 1 is the classic slow memory of the two-level model;
+//! * levels ≥ 2 are deeper tiers (e.g. a file-backed store below DRAM),
+//!   stacked by [`crate::tiered::TieredMachine`].
+
+use std::fmt;
+
+/// A tier of the memory hierarchy: the far end of a transfer whose near end
+/// is always fast memory (level 0).
+///
+/// ```
+/// use symla_memory::Level;
+///
+/// assert_eq!(Level::SLOW, Level::default());
+/// assert!(Level::SLOW.is_default());
+/// assert!(!Level::new(2).is_default());
+/// assert_eq!(Level::new(3).to_string(), "l3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(u8);
+
+impl Level {
+    /// The classic slow memory of the two-level model (level 1); the default
+    /// for every transfer that does not name a tier.
+    pub const SLOW: Level = Level(1);
+
+    /// A level with the given raw tier number.
+    pub const fn new(raw: u8) -> Self {
+        Level(raw)
+    }
+
+    /// The raw tier number.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the default tier ([`Level::SLOW`]); transfers at the
+    /// default tier are priced, encoded and displayed exactly as the
+    /// two-level model always did.
+    pub const fn is_default(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Default for Level {
+    fn default() -> Self {
+        Level::SLOW
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_classic_slow_memory() {
+        assert_eq!(Level::default(), Level::SLOW);
+        assert_eq!(Level::SLOW.raw(), 1);
+        assert!(Level::SLOW.is_default());
+        assert!(!Level::new(0).is_default());
+        assert!(!Level::new(2).is_default());
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(Level::new(2).to_string(), "l2");
+        assert_eq!(Level::SLOW.to_string(), "l1");
+        assert!(Level::new(1) < Level::new(2));
+    }
+}

@@ -16,7 +16,14 @@
 //! * [`shared::SharedSlowMemory`] extends the model to the paper's parallel
 //!   machine: one slow memory shared (behind interior synchronization) by
 //!   `P` [`shared::WorkerMachine`] workers, each with a private
-//!   capacity-checked fast memory and its own accounting.
+//!   capacity-checked fast memory and its own accounting. The slow memory
+//!   can be split into shards ([`shared::SharedSlowMemory::with_shards`]),
+//!   with per-shard lease accounting and a per-shard traffic breakdown.
+//! * [`level::Level`] generalizes transfers to a memory *hierarchy*:
+//!   [`tiered::TieredMachine`] stacks capacity-checked tiers below the
+//!   classic slow memory, [`model::MachineModel`] prices each tier, and
+//!   [`stats::IoStats`] breaks traffic down per level. Default-level
+//!   transfers stay bit-for-bit the two-level model.
 //!
 //! ## Example
 //!
@@ -42,6 +49,7 @@ pub mod error;
 #[cfg(feature = "file-backed")]
 pub mod file;
 pub mod latency;
+pub mod level;
 pub mod machine;
 pub mod model;
 pub mod operand;
@@ -49,16 +57,19 @@ pub mod region;
 pub mod shared;
 pub mod stats;
 pub mod storage;
+pub mod tiered;
 pub mod trace;
 
 pub use error::{MemoryError, Result};
 #[cfg(feature = "file-backed")]
 pub use file::FileSlowMemory;
 pub use latency::LatencyMachine;
+pub use level::Level;
 pub use machine::{FastBuf, MachineConfig, MachineOps, MatrixId, OocMachine};
-pub use model::{MachineModel, TimeStats};
+pub use model::{MachineModel, TimeStats, MAX_EXTRA_LEVELS};
 pub use operand::{PanelRef, SymWindowRef};
 pub use region::{Region, RegionParseError};
 pub use shared::{SharedSlowMemory, WorkerMachine};
 pub use stats::{IoStats, IoVolume};
+pub use tiered::TieredMachine;
 pub use trace::{Direction, Trace, TraceEvent};

@@ -16,6 +16,7 @@
 //! [`symla_matrix::kernels::views`]), never on hidden copies.
 
 use crate::error::{MemoryError, Result};
+use crate::level::Level;
 use crate::region::Region;
 use crate::stats::IoStats;
 use crate::storage::SlowMatrix;
@@ -361,6 +362,16 @@ impl Ledger {
         self.stats.note_prefetch(elements);
     }
 
+    /// Attributes an already-counted load to a non-default memory level.
+    pub(crate) fn note_level_load(&mut self, level: u8, elements: usize) {
+        self.stats.record_level_load(level, elements);
+    }
+
+    /// Attributes an already-counted store to a non-default memory level.
+    pub(crate) fn note_level_store(&mut self, level: u8, elements: usize) {
+        self.stats.record_level_store(level, elements);
+    }
+
     pub(crate) fn stats(&self) -> &IoStats {
         &self.stats
     }
@@ -607,6 +618,26 @@ pub trait MachineOps<T: Scalar> {
     /// Releases a buffer without writing it back (no store traffic).
     fn discard(&mut self, buf: FastBuf<T>) -> Result<()>;
 
+    /// Transfers a region from memory tier `level` into a new fast-memory
+    /// buffer. At the default tier ([`Level::SLOW`]) this is exactly
+    /// [`MachineOps::load`] — the default implementation forwards there, so
+    /// hierarchy-unaware machines keep working unchanged; hierarchy-aware
+    /// machines override it to check tier capacities and attribute per-level
+    /// traffic (see [`IoStats::per_level`]).
+    fn load_from(&mut self, id: MatrixId, region: Region, level: Level) -> Result<FastBuf<T>> {
+        let _ = level;
+        self.load(id, region)
+    }
+
+    /// Writes a buffer back to memory tier `level` and releases its
+    /// fast-memory space. At the default tier this is exactly
+    /// [`MachineOps::store`] (the default implementation); the leveled
+    /// counterpart of [`MachineOps::load_from`].
+    fn store_to(&mut self, buf: FastBuf<T>, level: Level) -> Result<()> {
+        let _ = level;
+        self.store(buf)
+    }
+
     /// Records arithmetic work performed by the schedule.
     fn record_flops(&mut self, flops: FlopCount);
 
@@ -696,6 +727,23 @@ impl<T: Scalar> MachineOps<T> for OocMachine<T> {
 
     fn note_prefetch(&mut self, elements: usize) {
         self.ledger.note_prefetch(elements);
+    }
+
+    fn load_from(&mut self, id: MatrixId, region: Region, level: Level) -> Result<FastBuf<T>> {
+        let buf = OocMachine::load(self, id, region)?;
+        if !level.is_default() {
+            self.ledger.note_level_load(level.raw(), buf.len());
+        }
+        Ok(buf)
+    }
+
+    fn store_to(&mut self, buf: FastBuf<T>, level: Level) -> Result<()> {
+        let elements = buf.len();
+        OocMachine::store(self, buf)?;
+        if !level.is_default() {
+            self.ledger.note_level_store(level.raw(), elements);
+        }
+        Ok(())
     }
 }
 
@@ -899,6 +947,28 @@ mod tests {
         machine.record_flops(FlopCount::new(1, 1));
         assert_eq!(machine.stats().flops.mults, 11);
         assert_eq!(machine.stats().flops.adds, 6);
+    }
+
+    #[test]
+    fn leveled_transfers_attribute_per_level_traffic() {
+        let a: Matrix<f64> = random_matrix_seeded(6, 6, 94);
+        let mut machine = OocMachine::with_capacity(100);
+        let id = machine.insert_dense(a);
+
+        // Default-tier leveled calls are exactly load/store: no breakdown.
+        let buf =
+            MachineOps::load_from(&mut machine, id, Region::rect(0, 0, 2, 2), Level::SLOW).unwrap();
+        MachineOps::store_to(&mut machine, buf, Level::SLOW).unwrap();
+        assert!(machine.stats().per_level.is_empty());
+
+        let buf = MachineOps::load_from(&mut machine, id, Region::rect(0, 0, 3, 3), Level::new(2))
+            .unwrap();
+        MachineOps::store_to(&mut machine, buf, Level::new(2)).unwrap();
+        assert_eq!(machine.stats().level(2).loads, 9);
+        assert_eq!(machine.stats().level(2).stores, 9);
+        // The aggregate volume counts leveled and default transfers alike.
+        assert_eq!(machine.stats().volume.loads, 13);
+        assert_eq!(machine.stats().volume.stores, 13);
     }
 
     #[test]

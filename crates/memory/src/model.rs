@@ -27,12 +27,22 @@
 //! assert!(t.total_ns() < t.serial_ns());
 //! ```
 
-/// Latency model of a two-level machine, in nanoseconds.
+use crate::level::Level;
+
+/// Number of non-default tiers the model prices individually (levels 2
+/// through [`MAX_EXTRA_LEVELS`] + 1); deeper tiers reuse the last entry.
+pub const MAX_EXTRA_LEVELS: usize = 4;
+
+/// Latency model of the memory hierarchy, in nanoseconds.
 ///
 /// Transfers cost a fixed per-event overhead plus a per-element cost;
-/// compute costs a per-flop cost. All fields are public so callers can
-/// describe arbitrary hardware; [`MachineModel::dram`] and
-/// [`MachineModel::nvme`] are representative presets.
+/// compute costs a per-flop cost. Transfers against tiers below the default
+/// slow memory (levels ≥ 2, see [`Level`]) pay an *additional* per-element
+/// cost from [`MachineModel::level_extra_ns_per_elem`], so default-tier
+/// pricing is bit-for-bit what the two-level model always charged. All
+/// fields are public so callers can describe arbitrary hardware;
+/// [`MachineModel::dram`] and [`MachineModel::nvme`] are representative
+/// presets.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineModel {
     /// Cost of loading one element from slow memory, in ns.
@@ -43,6 +53,12 @@ pub struct MachineModel {
     pub fixed_event_ns: f64,
     /// Cost of one floating-point operation, in ns.
     pub flop_ns: f64,
+    /// Additional per-element transfer cost of the non-default tiers,
+    /// indexed by `level − 2` (level 2 pays `[0]`, level 3 pays `[1]`, …;
+    /// tiers deeper than the array reuse its last entry). All zeros by
+    /// default, so a hierarchy-unaware model prices every tier like the
+    /// classic slow memory.
+    pub level_extra_ns_per_elem: [f64; MAX_EXTRA_LEVELS],
 }
 
 impl MachineModel {
@@ -56,6 +72,7 @@ impl MachineModel {
             store_ns_per_elem: 0.8,
             fixed_event_ns: 120.0,
             flop_ns: 0.25,
+            level_extra_ns_per_elem: [0.0; MAX_EXTRA_LEVELS],
         }
     }
 
@@ -67,7 +84,27 @@ impl MachineModel {
             store_ns_per_elem: 10.0,
             fixed_event_ns: 4000.0,
             flop_ns: 0.25,
+            level_extra_ns_per_elem: [0.0; MAX_EXTRA_LEVELS],
         }
+    }
+
+    /// Replaces the extra per-element cost of tier `level` (≥ 2); builder
+    /// style, so presets can be specialized in one expression. Levels deeper
+    /// than [`MAX_EXTRA_LEVELS`] + 1 share the last slot.
+    pub fn with_level_extra(mut self, level: Level, extra_ns_per_elem: f64) -> Self {
+        let idx = (level.raw().saturating_sub(2) as usize).min(MAX_EXTRA_LEVELS - 1);
+        self.level_extra_ns_per_elem[idx] = extra_ns_per_elem;
+        self
+    }
+
+    /// The extra per-element cost charged for transfers against `level`
+    /// (zero for the default tier and for level 0).
+    pub fn level_extra(&self, level: Level) -> f64 {
+        if level.raw() < 2 {
+            return 0.0;
+        }
+        let idx = ((level.raw() - 2) as usize).min(MAX_EXTRA_LEVELS - 1);
+        self.level_extra_ns_per_elem[idx]
     }
 
     /// Modelled cost of one load event moving `elements` elements.
@@ -83,6 +120,26 @@ impl MachineModel {
     /// Modelled cost of `flops` floating-point operations.
     pub fn compute_ns(&self, flops: u128) -> f64 {
         flops as f64 * self.flop_ns
+    }
+
+    /// Modelled cost of one load event moving `elements` elements from tier
+    /// `level`. Bit-for-bit [`MachineModel::load_ns`] at the default tier.
+    pub fn load_ns_at(&self, level: Level, elements: usize) -> f64 {
+        if level.is_default() {
+            self.load_ns(elements)
+        } else {
+            self.load_ns(elements) + elements as f64 * self.level_extra(level)
+        }
+    }
+
+    /// Modelled cost of one store event moving `elements` elements to tier
+    /// `level`. Bit-for-bit [`MachineModel::store_ns`] at the default tier.
+    pub fn store_ns_at(&self, level: Level, elements: usize) -> f64 {
+        if level.is_default() {
+            self.store_ns(elements)
+        } else {
+            self.store_ns(elements) + elements as f64 * self.level_extra(level)
+        }
     }
 }
 
@@ -182,6 +239,31 @@ mod tests {
     #[test]
     fn default_is_nvme() {
         assert_eq!(MachineModel::default(), MachineModel::nvme());
+    }
+
+    #[test]
+    fn leveled_costs_collapse_to_the_classic_formulae_at_the_default_tier() {
+        let m = MachineModel::nvme().with_level_extra(Level::new(2), 50.0);
+        // Default tier: bitwise the two-level formulae, extras notwithstanding.
+        assert_eq!(
+            m.load_ns_at(Level::SLOW, 33).to_bits(),
+            m.load_ns(33).to_bits()
+        );
+        assert_eq!(
+            m.store_ns_at(Level::SLOW, 33).to_bits(),
+            m.store_ns(33).to_bits()
+        );
+        // Deeper tier: the extra per-element cost is added on top.
+        assert_eq!(m.load_ns_at(Level::new(2), 10), m.load_ns(10) + 500.0);
+        assert_eq!(m.store_ns_at(Level::new(2), 10), m.store_ns(10) + 500.0);
+        // Unset tiers fall back to zero extra; deep tiers reuse the last slot.
+        assert_eq!(m.level_extra(Level::new(3)), 0.0);
+        assert_eq!(
+            m.level_extra(Level::new(200)),
+            m.level_extra_ns_per_elem[MAX_EXTRA_LEVELS - 1]
+        );
+        assert_eq!(m.level_extra(Level::new(0)), 0.0);
+        assert_eq!(m.level_extra(Level::SLOW), 0.0);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! `symla_sched::engine::Engine::execute_parallel` for the distribution loop.
 
 use crate::error::{MemoryError, Result};
+use crate::level::Level;
 use crate::machine::{next_machine_tag, FastBuf, MachineConfig, MachineOps, MatrixId};
 use crate::region::Region;
 use crate::stats::IoStats;
@@ -43,12 +44,36 @@ use std::sync::Mutex;
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::{Matrix, Scalar, SymMatrix};
 
-/// The matrices and lease counts behind the shared lock.
+/// One shard of the slow memory: its matrices and their lease counts.
+///
+/// Lease accounting is *per shard*: a lease taken on one shard lives and
+/// dies in that shard's `leases` map, so releasing a buffer homed on shard
+/// `i` structurally cannot free capacity (or unblock a take) on shard `j`.
+/// Matrix ids are issued from one global counter and mapped to their home
+/// shard by `SharedState::homes`, so an id can never be resolved against
+/// the wrong shard.
 #[derive(Debug)]
-struct SharedState<T: Scalar> {
+struct ShardState<T: Scalar> {
     matrices: BTreeMap<u64, SlowMatrix<T>>,
     leases: BTreeMap<u64, usize>,
+}
+
+/// The shards and the id→shard directory behind the shared lock.
+#[derive(Debug)]
+struct SharedState<T: Scalar> {
+    shards: Vec<ShardState<T>>,
+    homes: BTreeMap<u64, usize>,
     next_id: u64,
+}
+
+impl<T: Scalar> SharedState<T> {
+    /// The shard holding matrix `id`, or `UnknownMatrix`.
+    fn home_of(&self, id: u64) -> Result<usize> {
+        self.homes
+            .get(&id)
+            .copied()
+            .ok_or(MemoryError::UnknownMatrix { id })
+    }
 }
 
 /// One slow memory shared by many workers.
@@ -93,15 +118,41 @@ impl<T: Scalar> Default for SharedSlowMemory<T> {
 }
 
 impl<T: Scalar> SharedSlowMemory<T> {
-    /// Creates an empty shared slow memory.
+    /// Creates an empty shared slow memory with a single shard (the classic
+    /// one-slow-memory model).
     pub fn new() -> Self {
+        Self::with_shards(1)
+    }
+
+    /// Creates an empty shared slow memory split into `shards` shards
+    /// (at least 1). Matrices are homed on a shard at insertion
+    /// ([`SharedSlowMemory::insert_dense_on`]); workers record a per-shard
+    /// traffic breakdown ([`crate::IoStats::per_shard`]) whenever more than
+    /// one shard exists.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
         Self {
             state: Mutex::new(SharedState {
-                matrices: BTreeMap::new(),
-                leases: BTreeMap::new(),
+                shards: (0..shards)
+                    .map(|_| ShardState {
+                        matrices: BTreeMap::new(),
+                        leases: BTreeMap::new(),
+                    })
+                    .collect(),
+                homes: BTreeMap::new(),
                 next_id: 0,
             }),
         }
+    }
+
+    /// Number of shards the slow memory is split into (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.lock().shards.len()
+    }
+
+    /// The shard a matrix is homed on.
+    pub fn shard_of(&self, id: MatrixId) -> Result<usize> {
+        self.lock().home_of(id.0)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SharedState<T>> {
@@ -114,28 +165,54 @@ impl<T: Scalar> SharedSlowMemory<T> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn insert(&self, m: SlowMatrix<T>) -> MatrixId {
+    fn insert(&self, m: SlowMatrix<T>, shard: usize) -> MatrixId {
         let mut state = self.lock();
+        assert!(
+            shard < state.shards.len(),
+            "shard {shard} out of range ({} shards)",
+            state.shards.len()
+        );
         let id = state.next_id;
         state.next_id += 1;
-        state.matrices.insert(id, m);
-        state.leases.insert(id, 0);
+        state.homes.insert(id, shard);
+        state.shards[shard].matrices.insert(id, m);
+        state.shards[shard].leases.insert(id, 0);
         MatrixId(id)
     }
 
-    /// Registers a dense matrix in the shared slow memory.
+    /// Registers a dense matrix in the shared slow memory (on shard 0).
     pub fn insert_dense(&self, m: Matrix<T>) -> MatrixId {
-        self.insert(SlowMatrix::Dense(m))
+        self.insert(SlowMatrix::Dense(m), 0)
     }
 
-    /// Registers a symmetric matrix in the shared slow memory.
+    /// Registers a symmetric matrix in the shared slow memory (on shard 0).
     pub fn insert_symmetric(&self, s: SymMatrix<T>) -> MatrixId {
-        self.insert(SlowMatrix::Symmetric(s))
+        self.insert(SlowMatrix::Symmetric(s), 0)
+    }
+
+    /// Registers a dense matrix homed on shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is not a valid shard index.
+    pub fn insert_dense_on(&self, shard: usize, m: Matrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Dense(m), shard)
+    }
+
+    /// Registers a symmetric matrix homed on shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is not a valid shard index.
+    pub fn insert_symmetric_on(&self, shard: usize, s: SymMatrix<T>) -> MatrixId {
+        self.insert(SlowMatrix::Symmetric(s), shard)
     }
 
     /// Logical shape of a registered matrix.
     pub fn shape(&self, id: MatrixId) -> Result<(usize, usize)> {
-        self.lock()
+        let state = self.lock();
+        let shard = state.home_of(id.0)?;
+        state.shards[shard]
             .matrices
             .get(&id.0)
             .map(|m| m.shape())
@@ -148,9 +225,27 @@ impl<T: Scalar> SharedSlowMemory<T> {
     /// `config.record_trace` is set) and enforces its own capacity; any
     /// number of workers may be driven concurrently from scoped threads.
     pub fn worker(&self, config: MachineConfig) -> WorkerMachine<'_, T> {
+        self.worker_on(config, 0)
+    }
+
+    /// Creates a worker whose *home* shard is `home`: transfers against
+    /// matrices homed on other shards are the worker's cross-shard traffic
+    /// (the quantity the node partitioner minimizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `home` is not a valid shard index.
+    pub fn worker_on(&self, config: MachineConfig, home: usize) -> WorkerMachine<'_, T> {
+        let num_shards = self.num_shards();
+        assert!(
+            home < num_shards,
+            "home shard {home} out of range ({num_shards} shards)"
+        );
         WorkerMachine {
             shared: self,
             config,
+            home,
+            num_shards,
             resident: 0,
             stats: IoStats::new(),
             trace: if config.record_trace {
@@ -164,57 +259,73 @@ impl<T: Scalar> SharedSlowMemory<T> {
     }
 
     /// Gathers a region and takes one matrix-level lease (worker load path).
-    fn lease_gather(&self, id: MatrixId, region: &Region) -> Result<Vec<T>> {
+    /// Returns the data and the matrix's home shard.
+    fn lease_gather(&self, id: MatrixId, region: &Region) -> Result<(Vec<T>, usize)> {
         let mut state = self.lock();
-        let matrix = state
+        let shard = state.home_of(id.0)?;
+        let matrix = state.shards[shard]
             .matrices
             .get(&id.0)
             .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
         let data = matrix.gather(region)?;
-        *state.leases.get_mut(&id.0).expect("lease entry exists") += 1;
-        Ok(data)
+        *state.shards[shard]
+            .leases
+            .get_mut(&id.0)
+            .expect("lease entry exists") += 1;
+        Ok((data, shard))
     }
 
     /// Validates a region without reading it and takes one lease (worker
     /// allocate path).
     fn lease_validate(&self, id: MatrixId, region: &Region) -> Result<()> {
         let mut state = self.lock();
-        let matrix = state
+        let shard = state.home_of(id.0)?;
+        let matrix = state.shards[shard]
             .matrices
             .get(&id.0)
             .ok_or(MemoryError::UnknownMatrix { id: id.0 })?;
         matrix.validate_region(region)?;
-        *state.leases.get_mut(&id.0).expect("lease entry exists") += 1;
+        *state.shards[shard]
+            .leases
+            .get_mut(&id.0)
+            .expect("lease entry exists") += 1;
         Ok(())
     }
 
     /// Scatters a buffer back and releases its lease (worker store path).
+    /// Returns the matrix's home shard.
     ///
     /// The lease is released even when the scatter fails: the caller
     /// consumes the buffer either way, so keeping the lease would strand
     /// the matrix in a never-takeable state. A failed scatter writes
-    /// nothing (it validates the region before touching elements).
-    fn scatter_release(&self, id: MatrixId, region: &Region, data: &[T]) -> Result<()> {
+    /// nothing (it validates the region before touching elements). The
+    /// lease is released on the matrix's *home* shard — by construction it
+    /// was taken there, so no other shard's accounting can be touched.
+    fn scatter_release(&self, id: MatrixId, region: &Region, data: &[T]) -> Result<usize> {
         let mut state = self.lock();
-        let outcome = match state.matrices.get_mut(&id.0) {
+        let shard = state.home_of(id.0)?;
+        let outcome = match state.shards[shard].matrices.get_mut(&id.0) {
             Some(matrix) => matrix.scatter(region, data),
             None => Err(MemoryError::UnknownMatrix { id: id.0 }),
         };
-        if let Some(count) = state.leases.get_mut(&id.0) {
+        if let Some(count) = state.shards[shard].leases.get_mut(&id.0) {
             *count = count.saturating_sub(1);
         }
-        outcome
+        outcome.map(|()| shard)
     }
 
     /// Releases a lease without writing back (worker discard path).
     fn release(&self, id: MatrixId) {
-        if let Some(count) = self.lock().leases.get_mut(&id.0) {
-            *count = count.saturating_sub(1);
+        let mut state = self.lock();
+        if let Ok(shard) = state.home_of(id.0) {
+            if let Some(count) = state.shards[shard].leases.get_mut(&id.0) {
+                *count = count.saturating_sub(1);
+            }
         }
     }
 
-    fn check_takeable(state: &SharedState<T>, id: MatrixId) -> Result<()> {
-        match state.leases.get(&id.0) {
+    fn check_takeable(state: &SharedState<T>, shard: usize, id: MatrixId) -> Result<()> {
+        match state.shards[shard].leases.get(&id.0) {
             None => Err(MemoryError::UnknownMatrix { id: id.0 }),
             Some(&count) if count > 0 => Err(MemoryError::LeasesOutstanding { id: id.0, count }),
             Some(_) => Ok(()),
@@ -225,12 +336,16 @@ impl<T: Scalar> SharedSlowMemory<T> {
     /// (fails while any worker still holds a buffer leased from it).
     pub fn take_dense(&self, id: MatrixId) -> Result<Matrix<T>> {
         let mut state = self.lock();
-        Self::check_takeable(&state, id)?;
-        match state.matrices.remove(&id.0) {
-            Some(SlowMatrix::Dense(m)) => Ok(m),
+        let shard = state.home_of(id.0)?;
+        Self::check_takeable(&state, shard, id)?;
+        match state.shards[shard].matrices.remove(&id.0) {
+            Some(SlowMatrix::Dense(m)) => {
+                state.homes.remove(&id.0);
+                Ok(m)
+            }
             Some(other) => {
                 let kind = other.kind();
-                state.matrices.insert(id.0, other);
+                state.shards[shard].matrices.insert(id.0, other);
                 Err(MemoryError::RegionKindMismatch {
                     region: "take_dense".to_string(),
                     storage: kind,
@@ -243,12 +358,16 @@ impl<T: Scalar> SharedSlowMemory<T> {
     /// Removes a symmetric matrix from the shared slow memory and returns it.
     pub fn take_symmetric(&self, id: MatrixId) -> Result<SymMatrix<T>> {
         let mut state = self.lock();
-        Self::check_takeable(&state, id)?;
-        match state.matrices.remove(&id.0) {
-            Some(SlowMatrix::Symmetric(s)) => Ok(s),
+        let shard = state.home_of(id.0)?;
+        Self::check_takeable(&state, shard, id)?;
+        match state.shards[shard].matrices.remove(&id.0) {
+            Some(SlowMatrix::Symmetric(s)) => {
+                state.homes.remove(&id.0);
+                Ok(s)
+            }
             Some(other) => {
                 let kind = other.kind();
-                state.matrices.insert(id.0, other);
+                state.shards[shard].matrices.insert(id.0, other);
                 Err(MemoryError::RegionKindMismatch {
                     region: "take_symmetric".to_string(),
                     storage: kind,
@@ -272,6 +391,8 @@ impl<T: Scalar> SharedSlowMemory<T> {
 pub struct WorkerMachine<'m, T: Scalar> {
     shared: &'m SharedSlowMemory<T>,
     config: MachineConfig,
+    home: usize,
+    num_shards: usize,
     resident: usize,
     stats: IoStats,
     trace: Option<Trace>,
@@ -283,6 +404,35 @@ impl<'m, T: Scalar> WorkerMachine<'m, T> {
     /// The worker's configured fast-memory capacity.
     pub fn capacity(&self) -> Option<usize> {
         self.config.capacity
+    }
+
+    /// The worker's home shard (0 for workers of an unsharded memory).
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// Records a transfer's shard attribution; only meaningful (and only
+    /// recorded) when the slow memory actually has more than one shard, so
+    /// unsharded runs keep their pre-hierarchy `IoStats` field-for-field.
+    fn note_shard(&mut self, shard: usize, elements: usize, is_load: bool) {
+        if self.num_shards > 1 {
+            if is_load {
+                self.stats.record_shard_load(shard, elements);
+            } else {
+                self.stats.record_shard_store(shard, elements);
+            }
+        }
+    }
+
+    /// Load volume against shards other than the worker's home shard: the
+    /// worker's cross-shard input traffic. Zero for unsharded memories.
+    pub fn cross_shard_loads(&self) -> u64 {
+        self.stats
+            .per_shard
+            .iter()
+            .filter(|(shard, _)| **shard != self.home)
+            .map(|(_, vol)| vol.loads)
+            .sum()
     }
 
     /// Elements currently resident in this worker's fast memory.
@@ -340,11 +490,12 @@ impl<'m, T: Scalar> MachineOps<T> for WorkerMachine<'m, T> {
     fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
         let elements = region.len();
         self.check_capacity(elements)?;
-        let data = self.shared.lease_gather(id, &region)?;
+        let (data, shard) = self.shared.lease_gather(id, &region)?;
         self.resident += elements;
         self.stats.observe_resident(self.resident);
         let phase = self.phase.clone();
         self.stats.record_load(elements, &phase);
+        self.note_shard(shard, elements, true);
         self.record_event(Direction::Load, id, &region);
         Ok(FastBuf::from_parts(data, id, region, self.tag))
     }
@@ -376,9 +527,10 @@ impl<'m, T: Scalar> MachineOps<T> for WorkerMachine<'m, T> {
         // (it is consumed by this call), so the residency drops either way;
         // a failed transfer moves no elements and counts no traffic.
         self.resident -= elements;
-        outcome?;
+        let shard = outcome?;
         let phase = self.phase.clone();
         self.stats.record_store(elements, &phase);
+        self.note_shard(shard, elements, false);
         let region = buf.region().clone();
         self.record_event(Direction::Store, id, &region);
         Ok(())
@@ -411,6 +563,23 @@ impl<'m, T: Scalar> MachineOps<T> for WorkerMachine<'m, T> {
 
     fn note_prefetch(&mut self, elements: usize) {
         self.stats.note_prefetch(elements);
+    }
+
+    fn load_from(&mut self, id: MatrixId, region: Region, level: Level) -> Result<FastBuf<T>> {
+        let buf = MachineOps::load(self, id, region)?;
+        if !level.is_default() {
+            self.stats.record_level_load(level.raw(), buf.len());
+        }
+        Ok(buf)
+    }
+
+    fn store_to(&mut self, buf: FastBuf<T>, level: Level) -> Result<()> {
+        let elements = buf.len();
+        MachineOps::store(self, buf)?;
+        if !level.is_default() {
+            self.stats.record_level_store(level.raw(), elements);
+        }
+        Ok(())
     }
 }
 
@@ -577,12 +746,126 @@ mod tests {
         // the internal path with a hand-taken lease.
         let shared = SharedSlowMemory::new();
         let id = shared.insert_dense(Matrix::<f64>::zeros(4, 4));
-        *shared.lock().leases.get_mut(&id.0).unwrap() += 1;
+        *shared.lock().shards[0].leases.get_mut(&id.0).unwrap() += 1;
         let err = shared
             .scatter_release(id, &Region::rect(3, 3, 2, 2), &[0.0; 4])
             .unwrap_err();
         assert!(matches!(err, MemoryError::RegionOutOfBounds { .. }));
         assert!(shared.take_dense(id).is_ok(), "lease must be released");
+    }
+
+    #[test]
+    fn sharded_memory_homes_matrices_and_attributes_traffic() {
+        let shared = SharedSlowMemory::<f64>::with_shards(2);
+        assert_eq!(shared.num_shards(), 2);
+        let local = shared.insert_dense_on(0, Matrix::zeros(4, 4));
+        let remote = shared.insert_dense_on(1, Matrix::zeros(4, 4));
+        assert_eq!(shared.shard_of(local).unwrap(), 0);
+        assert_eq!(shared.shard_of(remote).unwrap(), 1);
+
+        let mut w = shared.worker_on(MachineConfig::unlimited(), 0);
+        assert_eq!(w.home(), 0);
+        let b0 = w.load(local, Region::rect(0, 0, 2, 2)).unwrap();
+        let b1 = w.load(remote, Region::rect(0, 0, 4, 1)).unwrap();
+        w.store(b0).unwrap();
+        w.discard(b1).unwrap();
+        assert_eq!(w.stats().shard(0).loads, 4);
+        assert_eq!(w.stats().shard(0).stores, 4);
+        assert_eq!(w.stats().shard(1).loads, 4);
+        assert_eq!(w.cross_shard_loads(), 4);
+        // The aggregate volume is shard-blind, as before.
+        assert_eq!(w.stats().volume.loads, 8);
+        drop(w);
+        assert!(shared.take_dense(local).is_ok());
+        assert!(shared.take_dense(remote).is_ok());
+    }
+
+    #[test]
+    fn unsharded_workers_record_no_shard_breakdown() {
+        let shared = SharedSlowMemory::<f64>::new();
+        assert_eq!(shared.num_shards(), 1);
+        let id = shared.insert_dense(Matrix::zeros(4, 4));
+        let mut w = shared.worker(MachineConfig::unlimited());
+        let b = w.load(id, Region::rect(0, 0, 2, 2)).unwrap();
+        w.store(b).unwrap();
+        assert!(w.stats().per_shard.is_empty());
+        assert_eq!(w.cross_shard_loads(), 0);
+    }
+
+    /// Regression for the sharded lease-accounting audit: a lease released
+    /// on one shard must not free capacity (unblock a take) on another.
+    /// Matrix ids are globally unique and each shard keeps its own lease
+    /// map, so churning leases against shard 1 leaves shard 0's
+    /// `LeasesOutstanding` intact.
+    #[test]
+    fn lease_release_on_one_shard_does_not_free_another() {
+        let shared = SharedSlowMemory::<f64>::with_shards(2);
+        let m0 = shared.insert_dense_on(0, Matrix::zeros(4, 4));
+        let m1 = shared.insert_dense_on(1, Matrix::zeros(4, 4));
+
+        let mut w = shared.worker_on(MachineConfig::unlimited(), 0);
+        let held = w.load(m0, Region::rect(0, 0, 2, 2)).unwrap();
+        // Churn many lease take/release cycles against the *other* shard.
+        for _ in 0..10 {
+            let b = w.load(m1, Region::rect(0, 0, 2, 2)).unwrap();
+            w.discard(b).unwrap();
+        }
+        // Shard 0's lease is still outstanding; shard 1 is free.
+        assert!(matches!(
+            shared.take_dense(m0),
+            Err(MemoryError::LeasesOutstanding { count: 1, .. })
+        ));
+        assert!(shared.take_dense(m1).is_ok());
+        w.discard(held).unwrap();
+        assert!(shared.take_dense(m0).is_ok());
+    }
+
+    /// Regression for concurrent cross-shard lease churn: workers homed on
+    /// different shards hammer loads/stores/discards against *both* shards
+    /// concurrently; every lease must come home, every store must land, and
+    /// each worker's per-shard breakdown must sum to its aggregate volume.
+    #[test]
+    fn concurrent_cross_shard_lease_churn_stays_consistent() {
+        let n = 16;
+        let shards = 3;
+        let shared = SharedSlowMemory::<f64>::with_shards(shards);
+        let ids: Vec<_> = (0..shards)
+            .map(|s| shared.insert_dense_on(s, Matrix::zeros(n, n)))
+            .collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..shards {
+                let shared = &shared;
+                let ids = &ids;
+                scope.spawn(move || {
+                    let mut machine = shared.worker_on(MachineConfig::with_capacity(n), w);
+                    for round in 0..40 {
+                        // Rotate over every shard, own and foreign.
+                        let target = ids[(w + round) % shards];
+                        let col = (w * 40 + round) % n;
+                        let mut buf = machine.load(target, Region::rect(0, col, n, 1)).unwrap();
+                        if round % 2 == 0 {
+                            for v in buf.as_mut_slice() {
+                                *v += 1.0;
+                            }
+                            machine.store(buf).unwrap();
+                        } else {
+                            machine.discard(buf).unwrap();
+                        }
+                    }
+                    let per_shard_loads: u64 =
+                        (0..shards).map(|s| machine.stats().shard(s).loads).sum();
+                    assert_eq!(per_shard_loads, machine.stats().volume.loads);
+                    assert_eq!(machine.resident(), 0);
+                });
+            }
+        });
+
+        // Every lease came home: every matrix is takeable from its shard.
+        for (s, id) in ids.iter().enumerate() {
+            assert_eq!(shared.shard_of(*id).unwrap(), s);
+            assert!(shared.take_dense(*id).is_ok());
+        }
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub struct IoStats {
     /// Traffic attributed to each named phase (in the order phases were
     /// declared).
     pub per_phase: BTreeMap<String, IoVolume>,
+    /// Traffic attributed to each non-default memory level (keyed by the raw
+    /// tier number). Transfers at the default tier ([`crate::Level::SLOW`])
+    /// are *not* recorded here, so a two-level run leaves this map empty and
+    /// its `IoStats` are field-for-field identical to the pre-hierarchy ones.
+    pub per_level: BTreeMap<u8, IoVolume>,
+    /// Traffic attributed to each shard of a sharded slow memory. Only
+    /// recorded by workers of a [`crate::SharedSlowMemory`] with more than
+    /// one shard; empty for serial, unsharded and dry runs.
+    pub per_shard: BTreeMap<usize, IoVolume>,
 }
 
 impl IoStats {
@@ -90,6 +99,33 @@ impl IoStats {
         self.volume.stores += elements as u64;
         self.store_events += 1;
         self.per_phase.entry(phase.to_string()).or_default().stores += elements as u64;
+    }
+
+    /// Attributes a load of `elements` elements to memory level `level`
+    /// (the raw tier number). Call *in addition to* [`IoStats::record_load`]
+    /// for transfers against a non-default tier; default-tier transfers must
+    /// not be recorded here (see [`IoStats::per_level`]).
+    pub fn record_level_load(&mut self, level: u8, elements: usize) {
+        self.per_level.entry(level).or_default().loads += elements as u64;
+    }
+
+    /// Attributes a store of `elements` elements to memory level `level`.
+    /// The counterpart of [`IoStats::record_level_load`].
+    pub fn record_level_store(&mut self, level: u8, elements: usize) {
+        self.per_level.entry(level).or_default().stores += elements as u64;
+    }
+
+    /// Attributes a load of `elements` elements to shard `shard` of a
+    /// sharded slow memory. Only sharded workers call this (see
+    /// [`IoStats::per_shard`]).
+    pub fn record_shard_load(&mut self, shard: usize, elements: usize) {
+        self.per_shard.entry(shard).or_default().loads += elements as u64;
+    }
+
+    /// Attributes a store of `elements` elements to shard `shard`. The
+    /// counterpart of [`IoStats::record_shard_load`].
+    pub fn record_shard_store(&mut self, shard: usize, elements: usize) {
+        self.per_shard.entry(shard).or_default().stores += elements as u64;
     }
 
     /// Marks the most recent load as a prefetch: `elements` of its traffic
@@ -173,11 +209,31 @@ impl IoStats {
             let entry = self.per_phase.entry(phase.clone()).or_default();
             *entry = entry.merge(vol);
         }
+        for (level, vol) in &other.per_level {
+            let entry = self.per_level.entry(*level).or_default();
+            *entry = entry.merge(vol);
+        }
+        for (shard, vol) in &other.per_shard {
+            let entry = self.per_shard.entry(*shard).or_default();
+            *entry = entry.merge(vol);
+        }
     }
 
     /// Traffic of a single named phase (zero if the phase never ran).
     pub fn phase(&self, name: &str) -> IoVolume {
         self.per_phase.get(name).copied().unwrap_or_default()
+    }
+
+    /// Traffic against a single non-default memory level (zero for the
+    /// default tier and for levels never touched).
+    pub fn level(&self, level: u8) -> IoVolume {
+        self.per_level.get(&level).copied().unwrap_or_default()
+    }
+
+    /// Traffic against a single shard of a sharded slow memory (zero if the
+    /// run was unsharded or never touched the shard).
+    pub fn shard(&self, shard: usize) -> IoVolume {
+        self.per_shard.get(&shard).copied().unwrap_or_default()
     }
 }
 
@@ -213,6 +269,20 @@ impl fmt::Display for IoStats {
             writeln!(
                 f,
                 "  phase {phase}: {} loads, {} stores",
+                vol.loads, vol.stores
+            )?;
+        }
+        for (level, vol) in &self.per_level {
+            writeln!(
+                f,
+                "  level l{level}: {} loads, {} stores",
+                vol.loads, vol.stores
+            )?;
+        }
+        for (shard, vol) in &self.per_shard {
+            writeln!(
+                f,
+                "  shard {shard}: {} loads, {} stores",
                 vol.loads, vol.stores
             )?;
         }
@@ -331,6 +401,39 @@ mod tests {
         assert_eq!(a.phase("p2").stores, 3);
         assert_eq!(a.flops.mults, 11);
         assert_eq!(a.flops.adds, 22);
+    }
+
+    #[test]
+    fn level_and_shard_breakdowns_record_and_merge() {
+        let mut s = IoStats::new();
+        // A two-level run records nothing here.
+        s.record_load(10, "p");
+        assert!(s.per_level.is_empty());
+        assert!(s.per_shard.is_empty());
+        assert_eq!(s.level(2).total(), 0);
+        assert_eq!(s.shard(0).total(), 0);
+
+        s.record_level_load(2, 10);
+        s.record_level_store(2, 4);
+        s.record_level_load(3, 7);
+        s.record_shard_load(1, 5);
+        s.record_shard_store(0, 6);
+        assert_eq!(s.level(2).loads, 10);
+        assert_eq!(s.level(2).stores, 4);
+        assert_eq!(s.level(3).loads, 7);
+        assert_eq!(s.shard(1).loads, 5);
+        assert_eq!(s.shard(0).stores, 6);
+
+        let mut other = IoStats::new();
+        other.record_level_load(2, 1);
+        other.record_shard_load(1, 2);
+        s.merge(&other);
+        assert_eq!(s.level(2).loads, 11);
+        assert_eq!(s.shard(1).loads, 7);
+
+        let text = s.to_string();
+        assert!(text.contains("level l2"));
+        assert!(text.contains("shard 1"));
     }
 
     #[test]

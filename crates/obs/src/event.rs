@@ -25,23 +25,29 @@ pub enum EventKind {
         /// Index into the schedule's groups.
         group: usize,
     },
-    /// A region transfer from slow to fast memory.
+    /// A region transfer from a slow-memory tier to fast memory.
     Load {
         /// Elements moved.
         elements: usize,
         /// Whether the load was issued ahead of its consuming group
         /// (overlapped with compute) rather than on demand.
         prefetched: bool,
+        /// Raw memory [`Level`](symla_memory::Level) the transfer read
+        /// from; `1` is the default slow tier (two-level runs).
+        level: u8,
     },
     /// A fast-memory allocation without a transfer.
     Alloc {
         /// Elements reserved.
         elements: usize,
     },
-    /// A region transfer from fast to slow memory.
+    /// A region transfer from fast memory to a slow-memory tier.
     Store {
         /// Elements moved.
         elements: usize,
+        /// Raw memory [`Level`](symla_memory::Level) the transfer wrote
+        /// to; `1` is the default slow tier (two-level runs).
+        level: u8,
     },
     /// A buffer released without a write-back.
     Discard {
@@ -103,14 +109,24 @@ impl EventKind {
             }
             EventKind::Load {
                 elements,
-                prefetched: false,
-            } => format!("load {elements}"),
-            EventKind::Load {
-                elements,
-                prefetched: true,
-            } => format!("prefetch load {elements}"),
+                prefetched,
+                level,
+            } => {
+                let verb = if *prefetched { "prefetch load" } else { "load" };
+                if *level == 1 {
+                    format!("{verb} {elements}")
+                } else {
+                    format!("{verb} {elements} @l{level}")
+                }
+            }
             EventKind::Alloc { elements } => format!("alloc {elements}"),
-            EventKind::Store { elements } => format!("store {elements}"),
+            EventKind::Store { elements, level } => {
+                if *level == 1 {
+                    format!("store {elements}")
+                } else {
+                    format!("store {elements} @l{level}")
+                }
+            }
             EventKind::Discard { elements } => format!("discard {elements}"),
             EventKind::Flops { mults, adds } => format!("flops {}", mults + adds),
             EventKind::Compute { kind } => format!("compute {kind}"),
@@ -180,7 +196,8 @@ mod tests {
         assert_eq!(
             EventKind::Load {
                 elements: 9,
-                prefetched: false
+                prefetched: false,
+                level: 1
             }
             .label(),
             "load 9"
@@ -188,7 +205,25 @@ mod tests {
         assert_eq!(
             EventKind::Load {
                 elements: 9,
-                prefetched: true
+                prefetched: false,
+                level: 3
+            }
+            .label(),
+            "load 9 @l3"
+        );
+        assert_eq!(
+            EventKind::Store {
+                elements: 4,
+                level: 2
+            }
+            .label(),
+            "store 4 @l2"
+        );
+        assert_eq!(
+            EventKind::Load {
+                elements: 9,
+                prefetched: true,
+                level: 1
             }
             .category(),
             "io"

@@ -25,13 +25,14 @@ use crate::event::{EventKind, ObsRecord};
 use crate::observer::ExecutionObserver;
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
-use symla_memory::{FastBuf, MachineModel, MachineOps, MatrixId, Region, Result, TimeStats};
+use symla_memory::{FastBuf, Level, MachineModel, MachineOps, MatrixId, Region, Result, TimeStats};
 
 #[derive(Debug, Clone, Copy)]
 struct PendingLoad {
     real_ns: u64,
     elements: usize,
     prefetched: bool,
+    level: u8,
 }
 
 /// Wraps a [`MachineOps`] machine, emitting timestamped [`ObsRecord`]s for
@@ -120,6 +121,7 @@ impl<T: Scalar, M: MachineOps<T>, O: ExecutionObserver> InstrumentedMachine<T, M
                 kind: EventKind::Load {
                     elements: p.elements,
                     prefetched: p.prefetched,
+                    level: p.level,
                 },
             });
         }
@@ -130,14 +132,20 @@ impl<T: Scalar, M: MachineOps<T>, O: ExecutionObserver> MachineOps<T>
     for InstrumentedMachine<T, M, O>
 {
     fn load(&mut self, id: MatrixId, region: Region) -> Result<FastBuf<T>> {
-        let buf = self.inner.load(id, region)?;
+        self.load_from(id, region, Level::default())
+    }
+
+    fn load_from(&mut self, id: MatrixId, region: Region, level: Level) -> Result<FastBuf<T>> {
+        let buf = self.inner.load_from(id, region, level)?;
         if self.observer.enabled() {
             self.flush_pending();
-            self.clock.charge_load(self.model.load_ns(buf.len()));
+            self.clock
+                .charge_load(self.model.load_ns_at(level, buf.len()));
             self.pending = Some(PendingLoad {
                 real_ns: self.observer.timestamp_ns(),
                 elements: buf.len(),
                 prefetched: false,
+                level: level.raw(),
             });
         }
         Ok(buf)
@@ -156,12 +164,20 @@ impl<T: Scalar, M: MachineOps<T>, O: ExecutionObserver> MachineOps<T>
     }
 
     fn store(&mut self, buf: FastBuf<T>) -> Result<()> {
+        self.store_to(buf, Level::default())
+    }
+
+    fn store_to(&mut self, buf: FastBuf<T>, level: Level) -> Result<()> {
         let elements = buf.len();
-        self.inner.store(buf)?;
+        self.inner.store_to(buf, level)?;
         if self.observer.enabled() {
             self.flush_pending();
-            self.clock.charge_store(self.model.store_ns(elements));
-            self.emit(EventKind::Store { elements });
+            self.clock
+                .charge_store(self.model.store_ns_at(level, elements));
+            self.emit(EventKind::Store {
+                elements,
+                level: level.raw(),
+            });
         }
         Ok(())
     }
@@ -311,7 +327,8 @@ mod tests {
             kinds[0],
             EventKind::Load {
                 elements: 9,
-                prefetched: false
+                prefetched: false,
+                level: 1
             }
         ));
         assert!(matches!(kinds[1], EventKind::Flops { .. }));
@@ -332,7 +349,8 @@ mod tests {
             kinds[0],
             EventKind::Load {
                 elements: 16,
-                prefetched: true
+                prefetched: true,
+                level: 1
             }
         ));
         assert!(matches!(
@@ -381,6 +399,43 @@ mod tests {
         assert_eq!(a.compute_ns.to_bits(), b.compute_ns.to_bits());
         assert_eq!(a.hidden_ns.to_bits(), b.hidden_ns.to_bits());
         assert_eq!(a.groups, b.groups);
+    }
+
+    #[test]
+    fn leveled_transfers_carry_their_tier_and_surcharge() {
+        let model = MachineModel::dram().with_level_extra(Level::new(2), 8.0);
+        let recorder = TraceRecorder::new();
+        let mut inner = OocMachine::<f64>::with_capacity(100);
+        let id = inner.insert_dense(Matrix::zeros(8, 8));
+        let mut m = InstrumentedMachine::new(inner, model, recorder.clone(), 0);
+        let buf = m
+            .load_from(id, Region::rect(0, 0, 3, 3), Level::new(2))
+            .unwrap();
+        m.store_to(buf, Level::new(2)).unwrap();
+        m.note_group_boundary();
+        let trace = recorder.finish();
+        let kinds: Vec<_> = trace.events().iter().map(|e| e.kind).collect();
+        assert!(matches!(
+            kinds[0],
+            EventKind::Load {
+                elements: 9,
+                prefetched: false,
+                level: 2
+            }
+        ));
+        assert!(matches!(
+            kinds[1],
+            EventKind::Store {
+                elements: 9,
+                level: 2
+            }
+        ));
+        assert_eq!(
+            m.time().io_ns,
+            model.load_ns_at(Level::new(2), 9) + model.store_ns_at(Level::new(2), 9)
+        );
+        assert_eq!(m.inner().stats().level(2).loads, 9);
+        assert_eq!(m.inner().stats().level(2).stores, 9);
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!   (real) clock, pid 2 on the [`ModelClock`](crate::ModelClock) modelled
 //!   timeline, so a run exported with both shows the measured and the
 //!   modelled schedule one above the other;
-//! * one **thread (track) per worker**;
+//! * one **thread (track) per worker**, plus one extra track per
+//!   `(worker, deeper tier)` pair — transfers against a non-default
+//!   memory [`Level`](symla_memory::Level) land on a `worker {w} @l{n}`
+//!   track of their own, so a multi-level run shows per-tier I/O lanes.
+//!   Two-level traces carry no such events and export byte-identically
+//!   to before the hierarchy existed;
 //! * task groups as `B`/`E` duration spans, transfers / kernels / claims as
 //!   instant events;
 //! * each prefetch as an **async flow arrow** (`s` → `f`) from the group
@@ -62,6 +67,29 @@ impl TimeBase {
     }
 }
 
+/// Stride separating per-tier tracks from the plain worker tracks: a
+/// transfer at level `n > 1` on worker `w` lands on tid
+/// `w + n * TIER_TRACK_STRIDE`. Plain worker tids stay below the stride.
+const TIER_TRACK_STRIDE: usize = 4096;
+
+/// The memory tier a transfer event moved data against (`1`, the default
+/// slow tier, for every non-transfer event).
+fn transfer_level(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Load { level, .. } | EventKind::Store { level, .. } => *level,
+        _ => 1,
+    }
+}
+
+/// The track an event renders on: the worker track, or the worker's
+/// per-tier lane for deeper-level transfers.
+fn track_of(e: &ObsRecord) -> usize {
+    match transfer_level(&e.kind) {
+        1 => e.worker,
+        level => e.worker + level as usize * TIER_TRACK_STRIDE,
+    }
+}
+
 fn args_of(kind: &EventKind) -> String {
     match kind {
         EventKind::GroupStart { group } | EventKind::GroupEnd { group } => {
@@ -70,9 +98,18 @@ fn args_of(kind: &EventKind) -> String {
         EventKind::Load {
             elements,
             prefetched,
+            level: 1,
         } => format!("{{\"elements\":{elements},\"prefetched\":{prefetched}}}"),
+        EventKind::Load {
+            elements,
+            prefetched,
+            level,
+        } => format!("{{\"elements\":{elements},\"prefetched\":{prefetched},\"level\":{level}}}"),
+        EventKind::Store { elements, level } if *level != 1 => {
+            format!("{{\"elements\":{elements},\"level\":{level}}}")
+        }
         EventKind::Alloc { elements }
-        | EventKind::Store { elements }
+        | EventKind::Store { elements, .. }
         | EventKind::Discard { elements } => format!("{{\"elements\":{elements}}}"),
         EventKind::Flops { mults, adds } => format!("{{\"mults\":{mults},\"adds\":{adds}}}"),
         EventKind::Compute { kind } => format!("{{\"kind\":\"{}\"}}", json::escape(kind)),
@@ -107,8 +144,23 @@ impl RunTrace {
                      \"args\":{{\"name\":\"worker {w}\"}}}}"
                 ));
             }
+            let tiers: BTreeSet<(usize, u8)> = self
+                .events
+                .iter()
+                .filter_map(|e| {
+                    let level = transfer_level(&e.kind);
+                    (level != 1).then_some((e.worker, level))
+                })
+                .collect();
+            for &(w, level) in &tiers {
+                let tid = w + level as usize * TIER_TRACK_STRIDE;
+                lines.push(format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"worker {w} @l{level}\"}}}}"
+                ));
+            }
             for e in &self.events {
-                let (tid, ts) = (e.worker, base.ts_us(e));
+                let (tid, ts) = (track_of(e), base.ts_us(e));
                 let (name, cat) = (json::escape(&e.kind.label()), e.kind.category());
                 let head = format!(
                     "{{\"ph\":\"PH\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
@@ -174,6 +226,7 @@ mod tests {
                 EventKind::Load {
                     elements: 9,
                     prefetched: false,
+                    level: 1,
                 },
             ),
             mk(
@@ -231,6 +284,47 @@ mod tests {
             shifted.to_chrome_trace(&[TimeBase::Modelled]),
             "modelled timebase must be byte-deterministic"
         );
+    }
+
+    #[test]
+    fn deeper_tier_transfers_get_their_own_track() {
+        let mut trace = sample_trace();
+        trace.events.push(ObsRecord {
+            worker: 0,
+            real_ns: 50,
+            model_ns: 600.0,
+            kind: EventKind::Load {
+                elements: 7,
+                prefetched: false,
+                level: 3,
+            },
+        });
+        trace.events.push(ObsRecord {
+            worker: 0,
+            real_ns: 60,
+            model_ns: 700.0,
+            kind: EventKind::Store {
+                elements: 7,
+                level: 2,
+            },
+        });
+        let doc = trace.to_chrome_trace(&[TimeBase::Modelled]);
+        assert!(crate::json::validate(&doc).is_ok(), "{doc}");
+        assert!(doc.contains("\"name\":\"worker 0 @l3\""));
+        assert!(doc.contains("\"name\":\"worker 0 @l2\""));
+        assert!(doc.contains(&format!("\"tid\":{}", 3 * TIER_TRACK_STRIDE)));
+        assert!(doc.contains(&format!("\"tid\":{}", 2 * TIER_TRACK_STRIDE)));
+        assert!(doc.contains("\"elements\":7,\"prefetched\":false,\"level\":3"));
+        assert!(doc.contains("\"elements\":7,\"level\":2"));
+        // Default-level events stay on the plain worker tracks.
+        assert!(doc.contains("\"elements\":9,\"prefetched\":false}"));
+    }
+
+    #[test]
+    fn two_level_export_is_unchanged_by_the_tier_tracks() {
+        let doc = sample_trace().to_chrome_trace(&[TimeBase::Modelled]);
+        assert!(!doc.contains("@l"), "{doc}");
+        assert!(!doc.contains("\"level\""), "{doc}");
     }
 
     #[test]

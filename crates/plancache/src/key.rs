@@ -49,6 +49,11 @@ pub struct PlanKey {
     /// scalars as IEEE-754 bit patterns (see [`PlanKey::with_f64_param`]),
     /// extra dimensions (e.g. GEMM's `p`) as plain integers.
     pub params: Vec<u64>,
+    /// Memory-hierarchy fingerprint (see [`PlanKey::with_hierarchy`]):
+    /// tier capacities followed by the shard count. Empty for plain
+    /// two-level plans — the encoding skips it entirely then, so
+    /// pre-hierarchy keys (and their on-disk digests) are unchanged.
+    pub hierarchy: Vec<u64>,
 }
 
 impl PlanKey {
@@ -69,7 +74,28 @@ impl PlanKey {
             pipeline,
             lookahead,
             params: Vec::new(),
+            hierarchy: Vec::new(),
         }
+    }
+
+    /// Fingerprints a multi-level memory hierarchy into the key: one entry
+    /// per deep tier (its capacity in elements, `u64::MAX` for an
+    /// uncapped tier) followed by the slow-memory shard count. Plans
+    /// compiled for different tier layouts or shardings must not share a
+    /// cache slot — levels change the IR and sharding changes the
+    /// partitioning. Calling this with no tiers and one shard (the plain
+    /// two-level machine) leaves the key untouched.
+    #[must_use]
+    pub fn with_hierarchy(mut self, tiers: &[Option<usize>], shards: usize) -> Self {
+        if tiers.is_empty() && shards <= 1 {
+            return self;
+        }
+        self.hierarchy = tiers
+            .iter()
+            .map(|t| t.map_or(u64::MAX, |c| c as u64))
+            .chain(std::iter::once(shards as u64))
+            .collect();
+        self
     }
 
     /// Appends a floating-point parameter (stored as its bit pattern, so
@@ -102,6 +128,15 @@ impl PlanKey {
         out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
         for &param in &self.params {
             out.extend_from_slice(&param.to_le_bytes());
+        }
+        // The hierarchy section only exists for multi-level keys: a plain
+        // two-level key encodes exactly as it did before the hierarchy
+        // field, keeping every pre-hierarchy on-disk digest valid.
+        if !self.hierarchy.is_empty() {
+            out.extend_from_slice(&(self.hierarchy.len() as u64).to_le_bytes());
+            for &entry in &self.hierarchy {
+                out.extend_from_slice(&entry.to_le_bytes());
+            }
         }
         out
     }
@@ -167,6 +202,43 @@ mod tests {
         let bytes = key.canonical_bytes();
         assert_eq!(bytes, key.canonical_bytes());
         assert_eq!(key.content_hash(), stable_hash(&bytes));
+    }
+
+    #[test]
+    fn hierarchy_reaches_the_hash_and_two_level_is_a_no_op() {
+        // The degenerate hierarchy (no deep tiers, one shard) must leave
+        // the canonical bytes untouched so pre-hierarchy digests survive.
+        assert_eq!(
+            base().with_hierarchy(&[], 1).canonical_bytes(),
+            base().canonical_bytes()
+        );
+        let h = base().content_hash();
+        let variants = [
+            base().with_hierarchy(&[Some(512)], 1),
+            base().with_hierarchy(&[Some(513)], 1),
+            base().with_hierarchy(&[None], 1),
+            base().with_hierarchy(&[Some(512), None], 1),
+            base().with_hierarchy(&[], 2),
+            base().with_hierarchy(&[Some(512)], 2),
+        ];
+        for v in &variants {
+            assert_ne!(v.content_hash(), h, "variant {v:?} collided with base");
+        }
+        for (i, a) in variants.iter().enumerate() {
+            for b in &variants[i + 1..] {
+                assert_ne!(a.content_hash(), b.content_hash(), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_section_cannot_masquerade_as_params() {
+        // params [1, 5] vs params [1] + hierarchy [5]: the params length
+        // prefix differs, so the byte encodings stay distinct.
+        let flat = base().with_raw_param(1).with_raw_param(5);
+        let deep = base().with_raw_param(1).with_hierarchy(&[], 5);
+        assert_ne!(flat.canonical_bytes(), deep.canonical_bytes());
+        assert_ne!(flat.content_hash(), deep.content_hash());
     }
 
     #[test]

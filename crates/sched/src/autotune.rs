@@ -7,8 +7,9 @@
 //! ([`Engine::dry_run_with`]) plus the bitwise-verified wall-clock model
 //! ([`crate::timing::modelled_time_planned`]) price the result exactly. The
 //! [`Tuner`] turns that into a search: enumerate a [`TuningSpace`]
-//! (tile size × [`PassPipeline`] × prefetch lookahead × worker count),
-//! score every candidate with dry-run [`IoStats`] and modelled ns against a
+//! (tile size × [`PassPipeline`] × prefetch lookahead × transfer level ×
+//! worker count), score every candidate with dry-run [`IoStats`] and
+//! modelled ns against a
 //! caller-supplied [`MachineModel`], and return a machine-readable
 //! [`TuningReport`] naming the winner and the gap to the paper's
 //! `mults/√(S/2)` I/O lower bound for every candidate.
@@ -46,7 +47,7 @@
 //! The `ab_autotune` gate asserts this by construction (tuning happens
 //! before any machine exists).
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, ParallelError, WorkerRun};
 use crate::ir::Schedule;
 use crate::passes::{PassPipeline, StageOutcome};
 use crate::prefetch::PrefetchPlan;
@@ -54,7 +55,7 @@ use crate::timing::{modelled_group_times, modelled_time_planned};
 use crate::StableHasher;
 use std::fmt;
 use symla_matrix::Scalar;
-use symla_memory::{IoStats, MachineModel};
+use symla_memory::{IoStats, Level, MachineConfig, MachineModel, SharedSlowMemory};
 
 /// The knob space a [`Tuner`] searches: the cross-product of tile sizes,
 /// pass pipelines, prefetch lookaheads and worker counts.
@@ -71,6 +72,12 @@ pub struct TuningSpace {
     pub pipelines: Vec<PassPipeline>,
     /// Prefetch lookahead candidates (`0` = no prefetch).
     pub lookaheads: Vec<usize>,
+    /// Transfer-level candidates: every candidate schedule is re-leveled so
+    /// all its loads and stores name this tier
+    /// ([`Schedule::with_transfer_level`]) and priced with the model's
+    /// per-level surcharge. [`Level::default`] is the classic two-level
+    /// replay.
+    pub levels: Vec<Level>,
     /// Worker-count candidates (`1` = serial replay).
     pub workers: Vec<usize>,
 }
@@ -89,6 +96,7 @@ impl TuningSpace {
             tiles: vec![None],
             pipelines: vec![PassPipeline::none(), PassPipeline::standard()],
             lookaheads: vec![0, 1],
+            levels: vec![Level::default()],
             workers: vec![1],
         }
     }
@@ -111,6 +119,12 @@ impl TuningSpace {
         self
     }
 
+    /// Replaces the transfer-level candidates.
+    pub fn with_levels(mut self, levels: Vec<Level>) -> Self {
+        self.levels = levels;
+        self
+    }
+
     /// Replaces the worker-count candidates.
     pub fn with_workers(mut self, workers: Vec<usize>) -> Self {
         self.workers = workers;
@@ -119,7 +133,11 @@ impl TuningSpace {
 
     /// Number of points in the cross-product.
     pub fn len(&self) -> usize {
-        self.tiles.len() * self.pipelines.len() * self.lookaheads.len() * self.workers.len()
+        self.tiles.len()
+            * self.pipelines.len()
+            * self.lookaheads.len()
+            * self.levels.len()
+            * self.workers.len()
     }
 
     /// Whether any axis is empty (an empty space cannot be tuned).
@@ -149,6 +167,16 @@ impl TuningSpace {
         for &l in &self.lookaheads {
             h.write_u64(l as u64);
         }
+        // The level axis joins the fingerprint only when it deviates from
+        // the classic two-level default, so spaces predating the hierarchy
+        // keep their cache keys.
+        if self.levels != vec![Level::default()] {
+            h.write(b"levels");
+            h.write_u64(self.levels.len() as u64);
+            for &l in &self.levels {
+                h.write(&[l.raw()]);
+            }
+        }
         h.write_u64(self.workers.len() as u64);
         for &w in &self.workers {
             h.write_u64(w as u64);
@@ -158,9 +186,12 @@ impl TuningSpace {
 }
 
 /// Stable 64-bit fingerprint of a [`MachineModel`]: the IEEE-754 bit
-/// patterns of its four cost coefficients, FNV-hashed. Used (with
+/// patterns of its four cost coefficients (plus the per-level latency
+/// surcharges when any is configured), FNV-hashed. Used (with
 /// [`TuningSpace::fingerprint`]) to key tuned plans in the plan cache —
-/// tuning against a different machine must miss.
+/// tuning against a different machine must miss. Models without level
+/// surcharges hash exactly as before the hierarchy existed, so established
+/// cache keys stay valid.
 pub fn model_fingerprint(model: &MachineModel) -> u64 {
     let mut h = StableHasher::new();
     for coeff in [
@@ -170,6 +201,12 @@ pub fn model_fingerprint(model: &MachineModel) -> u64 {
         model.flop_ns,
     ] {
         h.write_u64(coeff.to_bits());
+    }
+    if model.level_extra_ns_per_elem.iter().any(|&e| e != 0.0) {
+        h.write(b"levels");
+        for e in model.level_extra_ns_per_elem {
+            h.write_u64(e.to_bits());
+        }
     }
     h.finish()
 }
@@ -184,6 +221,8 @@ pub struct TunedConfig {
     pub pipeline: PassPipeline,
     /// Prefetch lookahead.
     pub lookahead: usize,
+    /// Memory tier every transfer of the candidate was re-leveled to.
+    pub level: Level,
     /// Worker count the makespan was modelled for.
     pub workers: usize,
 }
@@ -209,7 +248,8 @@ pub struct Candidate {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TuningReport {
     /// Every fully-scored candidate, in deterministic evaluation order
-    /// (cross-product order: tiles ▸ pipelines ▸ lookaheads ▸ workers).
+    /// (cross-product order: tiles ▸ pipelines ▸ lookaheads ▸ levels ▸
+    /// workers).
     pub candidates: Vec<Candidate>,
     /// Index into `candidates` of the winner (lowest modelled ns; ties go
     /// to the earliest evaluation).
@@ -311,6 +351,37 @@ pub struct Tuned<T: Scalar> {
     pub plan: PrefetchPlan,
     /// Per-pass outcomes of the winner's pipeline (empty for `none()`).
     pub stages: Vec<StageOutcome>,
+}
+
+impl<T: Scalar> Tuned<T> {
+    /// Replays the winner end to end on `shared`, wiring the tuned
+    /// configuration into
+    /// [`Engine::execute_parallel_with`]: the winner's worker count drives
+    /// the work-stealing replay and its lookahead the per-worker prefetch
+    /// pipeline, so the run is exactly the configuration the makespan model
+    /// priced. A serial winner (`workers == 1`) degenerates to a one-worker
+    /// parallel run, whose accounting equals the serial replay's.
+    ///
+    /// The schedule must satisfy the independence contract of
+    /// [`Engine::execute_parallel`] (self-contained groups, disjoint
+    /// writes); the left-looking factorizations do not and must stay on
+    /// [`Engine::execute`].
+    pub fn execute_parallel(
+        &self,
+        shared: &SharedSlowMemory<T>,
+        config: MachineConfig,
+        default_phase: &str,
+    ) -> std::result::Result<Vec<WorkerRun>, ParallelError> {
+        let cfg = self.report.best_config();
+        Engine::execute_parallel_with(
+            shared,
+            &self.schedule,
+            cfg.workers.max(1),
+            config,
+            default_phase,
+            &EngineConfig::with_lookahead(cfg.lookahead),
+        )
+    }
 }
 
 /// Deterministic longest-processing-time makespan: sorts jobs by
@@ -445,6 +516,7 @@ impl<'a> Tuner<'a> {
                     tile: *tile,
                     pipeline: pipeline.clone(),
                     lookahead: 0,
+                    level: Level::default(),
                     workers: 1,
                 };
                 optimized.push((config, schedule, stages));
@@ -452,55 +524,66 @@ impl<'a> Tuner<'a> {
         }
         self.prune(&mut optimized, |(_, s, _)| self.proxy_score(s, space));
 
-        // Stage 3: full scoring of survivors × lookaheads × workers.
+        // Stage 3: full scoring of survivors × lookaheads × levels × workers.
         let mut candidates: Vec<Candidate> = Vec::new();
-        let mut artifacts: Vec<(usize, PrefetchPlan)> = Vec::new(); // (optimized idx, plan)
+        // (optimized idx, level, plan) per candidate
+        let mut artifacts: Vec<(usize, Level, PrefetchPlan)> = Vec::new();
         let mut best: Option<usize> = None;
         for (idx, (config, schedule, _)) in optimized.iter().enumerate() {
             for &lookahead in &space.lookaheads {
-                let plan = if lookahead == 0 {
-                    PrefetchPlan::default()
-                } else {
-                    PrefetchPlan::plan(schedule, lookahead, Some(self.capacity))
-                };
-                let stats = Engine::dry_run_with(
-                    schedule,
-                    "main",
-                    &EngineConfig::with_lookahead(lookahead),
-                    Some(self.capacity),
-                );
-                if stats.peak_resident > self.capacity {
-                    skipped += space.workers.len();
-                    continue;
-                }
-                let time = modelled_time_planned(schedule, self.model, &plan);
-                let group_times = if space.workers.iter().any(|&w| w > 1) {
-                    Some(modelled_group_times(schedule, self.model, &plan))
-                } else {
-                    None
-                };
-                for &workers in &space.workers {
-                    let modelled_ns = if workers <= 1 {
-                        time.total_ns()
+                for &level in &space.levels {
+                    let leveled;
+                    let schedule = if level.is_default() {
+                        schedule
                     } else {
-                        lpt_makespan(group_times.as_ref().unwrap(), workers)
+                        leveled = schedule.with_transfer_level(level);
+                        &leveled
                     };
-                    let candidate = Candidate {
-                        config: TunedConfig {
-                            lookahead,
-                            workers,
-                            ..config.clone()
-                        },
-                        stats: stats.clone(),
-                        modelled_ns,
-                        gap_to_bound: gap_to_bound(&stats, self.capacity),
+                    let plan = if lookahead == 0 {
+                        PrefetchPlan::default()
+                    } else {
+                        PrefetchPlan::plan(schedule, lookahead, Some(self.capacity))
                     };
-                    let at = candidates.len();
-                    if best.is_none_or(|b| candidate.modelled_ns < candidates[b].modelled_ns) {
-                        best = Some(at);
+                    let stats = Engine::dry_run_with(
+                        schedule,
+                        "main",
+                        &EngineConfig::with_lookahead(lookahead),
+                        Some(self.capacity),
+                    );
+                    if stats.peak_resident > self.capacity {
+                        skipped += space.workers.len();
+                        continue;
                     }
-                    candidates.push(candidate);
-                    artifacts.push((idx, plan.clone()));
+                    let time = modelled_time_planned(schedule, self.model, &plan);
+                    let group_times = if space.workers.iter().any(|&w| w > 1) {
+                        Some(modelled_group_times(schedule, self.model, &plan))
+                    } else {
+                        None
+                    };
+                    for &workers in &space.workers {
+                        let modelled_ns = if workers <= 1 {
+                            time.total_ns()
+                        } else {
+                            lpt_makespan(group_times.as_ref().unwrap(), workers)
+                        };
+                        let candidate = Candidate {
+                            config: TunedConfig {
+                                lookahead,
+                                level,
+                                workers,
+                                ..config.clone()
+                            },
+                            stats: stats.clone(),
+                            modelled_ns,
+                            gap_to_bound: gap_to_bound(&stats, self.capacity),
+                        };
+                        let at = candidates.len();
+                        if best.is_none_or(|b| candidate.modelled_ns < candidates[b].modelled_ns) {
+                            best = Some(at);
+                        }
+                        candidates.push(candidate);
+                        artifacts.push((idx, level, plan.clone()));
+                    }
                 }
             }
         }
@@ -508,8 +591,13 @@ impl<'a> Tuner<'a> {
         let Some(best) = best else {
             return Err(TuneError::NoFeasibleCandidate { skipped });
         };
-        let (winner_idx, plan) = artifacts.swap_remove(best);
+        let (winner_idx, level, plan) = artifacts.swap_remove(best);
         let (_, schedule, stages) = optimized.swap_remove(winner_idx);
+        let schedule = if level.is_default() {
+            schedule
+        } else {
+            schedule.with_transfer_level(level)
+        };
         // swap_remove may have moved another entry into `winner_idx`, but
         // `optimized` is dropped immediately, so the indices in `artifacts`
         // are never read again.
@@ -771,6 +859,110 @@ mod tests {
     }
 
     #[test]
+    fn level_axis_prefers_the_cheap_tier_and_relevels_the_winner() {
+        use crate::ir::Step;
+        let model = MachineModel::dram().with_level_extra(Level::new(2), 50.0);
+        let space = TuningSpace::minimal()
+            .with_pipelines(vec![PassPipeline::none()])
+            .with_lookaheads(vec![0])
+            .with_levels(vec![Level::new(2), Level::default()]);
+        let tuned = Tuner::new(&model, 256)
+            .tune_schedules(build_strips, &space)
+            .unwrap();
+        assert_eq!(tuned.report.evaluated(), 2);
+        // the surcharged tier loses to the classic two-level replay ...
+        assert_eq!(tuned.report.best_config().level, Level::default());
+        assert!(!tuned.schedule.is_leveled());
+        // ... and the losing candidate was priced with the surcharge
+        let l2 = &tuned.report.candidates[0];
+        assert_eq!(l2.config.level, Level::new(2));
+        assert!(l2.modelled_ns > tuned.report.winner().modelled_ns);
+        assert_eq!(l2.stats.level(2).loads, 64);
+
+        // With the surcharge the other way round, the winner is re-leveled.
+        let model = MachineModel::dram();
+        let space = space.with_levels(vec![Level::new(2)]);
+        let tuned = Tuner::new(&model, 256)
+            .tune_schedules(build_strips, &space)
+            .unwrap();
+        assert_eq!(tuned.report.best_config().level, Level::new(2));
+        assert!(tuned.schedule.is_leveled());
+        assert!(tuned
+            .schedule
+            .groups
+            .iter()
+            .flat_map(|g| &g.steps)
+            .all(|s| {
+                !matches!(s, Step::Load { level, .. } | Step::Store { level, .. }
+                if *level != Level::new(2))
+            }));
+    }
+
+    #[test]
+    fn tuned_workers_drive_the_parallel_replay_end_to_end() {
+        use symla_matrix::Matrix;
+        use symla_memory::SharedSlowMemory;
+
+        let model = MachineModel::nvme();
+        let space = TuningSpace::minimal()
+            .with_tiles(vec![Some(2)])
+            .with_pipelines(vec![PassPipeline::none()])
+            .with_lookaheads(vec![0])
+            .with_workers(vec![2]);
+        let tuned = Tuner::new(&model, 256)
+            .tune_schedules(build_strips, &space)
+            .unwrap();
+        let cfg = tuned.report.best_config().clone();
+        assert_eq!(cfg.workers, 2);
+
+        let shared = SharedSlowMemory::<f64>::new();
+        let id = shared.insert_dense(Matrix::identity(8));
+        assert_eq!(id, MatrixId::synthetic(0));
+        let runs = tuned
+            .execute_parallel(&shared, MachineConfig::with_capacity(256), "main")
+            .unwrap();
+        assert_eq!(runs.len(), 2);
+
+        // Every group ran exactly once across the workers.
+        let mut done: Vec<usize> = runs.iter().flat_map(|r| r.groups.clone()).collect();
+        done.sort_unstable();
+        assert_eq!(done, (0..tuned.schedule.groups.len()).collect::<Vec<_>>());
+
+        // Each worker's observed stats equal the dry-run oracle of exactly
+        // the groups it claimed — the modelled windows it was priced with.
+        for run in &runs {
+            let mut sub = tuned.schedule.clone();
+            sub.groups = run.groups.iter().map(|&g| sub.groups[g].clone()).collect();
+            let oracle = Engine::dry_run(&sub, "main");
+            assert_eq!(run.stats.volume, oracle.volume);
+            assert_eq!(run.stats.load_events, oracle.load_events);
+            assert_eq!(run.stats.flops, oracle.flops);
+        }
+        assert_eq!(
+            WorkerRun::merged_stats(&runs),
+            Engine::dry_run(&tuned.schedule, "main")
+        );
+
+        // The priced makespan brackets the per-worker modelled windows:
+        // work stealing may assign differently than LPT, but no worker's
+        // window sum can beat the longest group, and the candidate's
+        // modelled ns is the LPT makespan of the same windows.
+        let windows = modelled_group_times(&tuned.schedule, &model, &tuned.plan);
+        let winner_ns = tuned.report.winner().modelled_ns;
+        assert_eq!(
+            winner_ns.to_bits(),
+            lpt_makespan(&windows, cfg.workers).to_bits()
+        );
+        let longest = windows.iter().cloned().fold(0.0, f64::max);
+        assert!(winner_ns >= longest);
+        assert!(winner_ns <= windows.iter().sum::<f64>());
+        for run in &runs {
+            let sum: f64 = run.groups.iter().map(|&g| windows[g]).sum();
+            assert!(sum <= windows.iter().sum::<f64>());
+        }
+    }
+
+    #[test]
     fn lpt_makespan_basics() {
         assert_eq!(lpt_makespan(&[], 4), 0.0);
         assert_eq!(lpt_makespan(&[3.0, 1.0], 1), 4.0);
@@ -795,9 +987,24 @@ mod tests {
             a.fingerprint(),
             a.clone().with_lookaheads(vec![0]).fingerprint()
         );
+        // the level axis joins the space fingerprint only when non-default
+        assert_eq!(
+            a.fingerprint(),
+            a.clone().with_levels(vec![Level::default()]).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            a.clone().with_levels(vec![Level::new(2)]).fingerprint()
+        );
         let dram = model_fingerprint(&MachineModel::dram());
         let nvme = model_fingerprint(&MachineModel::nvme());
         assert_eq!(dram, model_fingerprint(&MachineModel::dram()));
         assert_ne!(dram, nvme);
+        // level surcharges discriminate the model fingerprint, zero
+        // surcharges hash exactly as the pre-hierarchy model did
+        assert_ne!(
+            dram,
+            model_fingerprint(&MachineModel::dram().with_level_extra(Level::new(2), 1.0))
+        );
     }
 }

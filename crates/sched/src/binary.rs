@@ -4,14 +4,17 @@
 //! human-auditable serialization; this module is its compact binary twin,
 //! specified against it: `Schedule::from_bytes(&s.to_bytes()) == s` for
 //! exactly the schedules whose text round-trip holds, and both forms share
-//! one version story ([`FORMAT_VERSION`] appears in the binary header and in
-//! the first line of the text dump).
+//! one version story: a schedule encodes with the lowest version able to
+//! express it ([`Schedule::text_version`] — 1 for plain two-level
+//! schedules, byte-identical to what older builds wrote; 2 when leveled
+//! transfers are present), and decoders accept everything up to
+//! [`FORMAT_VERSION`].
 //!
 //! The encoding is a tag-length-value layout:
 //!
 //! ```text
 //! magic   b"SYPB"                      4 bytes
-//! version u16 LE  (= FORMAT_VERSION)   2 bytes
+//! version u16 LE  (≤ FORMAT_VERSION)   2 bytes
 //! scalar  u8      (size_of::<T>())     1 byte
 //! flags   u8      (bit 0: prefetch plan present)
 //! [tag 0x01] [u64 LE length] schedule payload
@@ -42,12 +45,14 @@ use crate::prefetch::{PrefetchIssue, PrefetchPlan};
 use std::fmt;
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
-use symla_memory::{MatrixId, Region};
+use symla_memory::{Level, MatrixId, Region};
 
-/// Version of the schedule serialization formats (text **and** binary).
-/// Bump when the encoded surface changes incompatibly; decoders reject
-/// anything newer than what they were built with.
-pub const FORMAT_VERSION: u16 = 1;
+/// Newest version of the schedule serialization formats (text **and**
+/// binary) this build understands. Version 2 added leveled transfers
+/// (memory-hierarchy [`Level`] annotations on
+/// load/store steps); encoders still emit version 1 for schedules without
+/// them, and decoders reject anything newer than this constant.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Magic bytes opening every binary-serialized plan.
 pub const MAGIC: [u8; 4] = *b"SYPB";
@@ -358,15 +363,25 @@ impl Writer {
 
     fn step<T: Scalar>(&mut self, step: &Step<T>) {
         match step {
+            // Default-level transfers keep the version-1 tags so two-level
+            // schedules encode byte-identically to what older builds wrote.
             Step::Load {
                 matrix,
                 region,
                 dst,
+                level,
             } => {
-                self.u8(1);
+                if level.is_default() {
+                    self.u8(1);
+                } else {
+                    self.u8(7);
+                }
                 self.u64(matrix.raw());
                 self.region(region);
                 self.usize(*dst);
+                if !level.is_default() {
+                    self.u8(level.raw());
+                }
             }
             Step::Alloc {
                 matrix,
@@ -378,9 +393,16 @@ impl Writer {
                 self.region(region);
                 self.usize(*dst);
             }
-            Step::Store { buf } => {
-                self.u8(3);
+            Step::Store { buf, level } => {
+                if level.is_default() {
+                    self.u8(3);
+                } else {
+                    self.u8(8);
+                }
                 self.usize(*buf);
+                if !level.is_default() {
+                    self.u8(level.raw());
+                }
             }
             Step::Discard { buf } => {
                 self.u8(4);
@@ -620,16 +642,30 @@ impl<'a> Reader<'a> {
                 matrix: MatrixId::synthetic(self.u64()?),
                 region: self.region()?,
                 dst: self.usize()?,
+                level: Level::default(),
             },
             2 => Step::Alloc {
                 matrix: MatrixId::synthetic(self.u64()?),
                 region: self.region()?,
                 dst: self.usize()?,
             },
-            3 => Step::Store { buf: self.usize()? },
+            3 => Step::Store {
+                buf: self.usize()?,
+                level: Level::default(),
+            },
             4 => Step::Discard { buf: self.usize()? },
             5 => Step::Flops(FlopCount::new(self.u128()?, self.u128()?)),
             6 => Step::Compute(self.compute()?),
+            7 => Step::Load {
+                matrix: MatrixId::synthetic(self.u64()?),
+                region: self.region()?,
+                dst: self.usize()?,
+                level: Level::new(self.u8()?),
+            },
+            8 => Step::Store {
+                buf: self.usize()?,
+                level: Level::new(self.u8()?),
+            },
             other => return Err(self.corrupt(format!("unknown step tag {other}"))),
         })
     }
@@ -695,7 +731,7 @@ fn decode_prefetch(bytes: &[u8]) -> Result<PrefetchPlan> {
 // Public entry points
 // ---------------------------------------------------------------------------
 
-fn encode_container(sections: &[(u8, Vec<u8>)], scalar_width: u8) -> Vec<u8> {
+fn encode_container(sections: &[(u8, Vec<u8>)], scalar_width: u8, version: u16) -> Vec<u8> {
     let mut out = Vec::with_capacity(
         8 + sections
             .iter()
@@ -703,7 +739,7 @@ fn encode_container(sections: &[(u8, Vec<u8>)], scalar_width: u8) -> Vec<u8> {
             .sum::<usize>(),
     );
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.push(scalar_width);
     let flags = if sections.iter().any(|(t, _)| *t == SECTION_PREFETCH) {
         FLAG_PREFETCH
@@ -779,6 +815,7 @@ impl<T: Scalar> Schedule<T> {
         encode_container(
             &[(SECTION_SCHEDULE, encode_schedule(self))],
             std::mem::size_of::<T>() as u8,
+            self.text_version(),
         )
     }
 
@@ -792,6 +829,7 @@ impl<T: Scalar> Schedule<T> {
                 (SECTION_PREFETCH, encode_prefetch(plan)),
             ],
             std::mem::size_of::<T>() as u8,
+            self.text_version(),
         )
     }
 
@@ -949,6 +987,36 @@ mod tests {
             Schedule::<f64>::from_bytes(&bytes),
             Err(BinaryError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn leveled_schedules_encode_as_version_2_and_round_trip() {
+        let m = MatrixId::synthetic(0);
+        let mut b = ScheduleBuilder::<f64>::new();
+        let x = b.load_from(m, Region::rect(0, 0, 2, 2), Level::new(3));
+        let y = b.load(m, Region::col_segment(0, 0, 2));
+        b.discard(y);
+        b.store_to(x, Level::new(2));
+        let leveled = b.finish();
+
+        let bytes = leveled.to_bytes();
+        // container version is 2 for leveled schedules...
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        assert_eq!(Schedule::<f64>::from_bytes(&bytes).unwrap(), leveled);
+
+        // ...and stays 1 for plain two-level schedules (old readers still
+        // decode what we write)
+        let plain = sample_schedule();
+        let bytes = plain.to_bytes();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 1);
+        assert_eq!(Schedule::<f64>::from_bytes(&bytes).unwrap(), plain);
+
+        // the plan section composes with leveled payloads
+        let plan = PrefetchPlan::plan(&leveled, 1, Some(64));
+        let (decoded, decoded_plan) =
+            Schedule::<f64>::from_bytes_with_plan(&leveled.to_bytes_with_plan(&plan)).unwrap();
+        assert_eq!(decoded, leveled);
+        assert_eq!(decoded_plan.as_ref(), Some(&plan));
     }
 
     #[test]

@@ -537,8 +537,12 @@ impl Engine {
             // Fill: issue the loads planned at this boundary (they overlap
             // with this group's compute in the two-phase model).
             for issue in plan.issues_at(g) {
-                let Step::Load { matrix, region, .. } =
-                    &schedule.groups[issue.group].steps[issue.step]
+                let Step::Load {
+                    matrix,
+                    region,
+                    level,
+                    ..
+                } = &schedule.groups[issue.group].steps[issue.step]
                 else {
                     return Err(EngineError::InvalidSchedule(format!(
                         "prefetch plan targets non-load step {} of group {}",
@@ -546,7 +550,7 @@ impl Engine {
                     )));
                 };
                 machine.set_phase(&phases[issue.group]);
-                let buf = machine.load(*matrix, region.clone())?;
+                let buf = machine.load_from(*matrix, region.clone(), *level)?;
                 machine.note_prefetch(region.len());
                 machine.note_prefetch_issue(issue.group, issue.step, region.len());
                 prefetched.insert((issue.group, issue.step), buf);
@@ -587,13 +591,14 @@ impl Engine {
                     matrix,
                     region,
                     dst,
+                    level,
                 } => {
                     if let Some(buf) = prefetched.remove(&(group_index, idx)) {
                         machine.note_prefetch_delivery(group_index, idx);
                         bufs.insert(*dst, buf);
                         continue;
                     }
-                    let buf = machine.load(*matrix, region.clone())?;
+                    let buf = machine.load_from(*matrix, region.clone(), *level)?;
                     bufs.insert(*dst, buf);
                 }
                 Step::Alloc {
@@ -605,9 +610,9 @@ impl Engine {
                     bufs.insert(*dst, buf);
                 }
                 Step::Flops(flops) => machine.record_flops(*flops),
-                Step::Store { buf } => {
+                Step::Store { buf, level } => {
                     let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
-                    machine.store(b)?;
+                    machine.store_to(b, *level)?;
                 }
                 Step::Discard { buf } => {
                     let b = bufs.remove(buf).ok_or_else(|| missing(*buf))?;
@@ -948,7 +953,13 @@ impl Engine {
         }
         for &(h, _) in pending {
             for &(step_idx, size) in &analysis[h].1 {
-                let Step::Load { matrix, region, .. } = &schedule.groups[h].steps[step_idx] else {
+                let Step::Load {
+                    matrix,
+                    region,
+                    level,
+                    ..
+                } = &schedule.groups[h].steps[step_idx]
+                else {
                     continue;
                 };
                 if prefetched.contains_key(&(h, step_idx)) {
@@ -960,7 +971,7 @@ impl Engine {
                     }
                 }
                 machine.set_phase(schedule.groups[h].phase.as_deref().unwrap_or(default_phase));
-                let Ok(buf) = machine.load(*matrix, region.clone()) else {
+                let Ok(buf) = machine.load_from(*matrix, region.clone(), *level) else {
                     continue; // fall back to loading at the original point
                 };
                 machine.note_prefetch(region.len());
@@ -1170,11 +1181,16 @@ impl Engine {
             }
             for step in &group.steps {
                 match step {
-                    Step::Load { region, dst, .. } => {
+                    Step::Load {
+                        region, dst, level, ..
+                    } => {
                         let elements = region.len();
                         resident += elements;
                         stats.observe_resident(resident);
                         stats.record_load(elements, &phase);
+                        if !level.is_default() {
+                            stats.record_level_load(level.raw(), elements);
+                        }
                         sizes.insert(*dst, elements);
                     }
                     Step::Alloc { region, dst, .. } => {
@@ -1183,10 +1199,13 @@ impl Engine {
                         sizes.insert(*dst, region.len());
                     }
                     Step::Flops(flops) => stats.record_flops(*flops),
-                    Step::Store { buf } => {
+                    Step::Store { buf, level } => {
                         let elements = sizes.remove(buf).unwrap_or(0);
                         resident -= elements;
                         stats.record_store(elements, &phase);
+                        if !level.is_default() {
+                            stats.record_level_store(level.raw(), elements);
+                        }
                     }
                     Step::Discard { buf } => {
                         resident -= sizes.remove(buf).unwrap_or(0);
@@ -1248,7 +1267,8 @@ impl Engine {
         let mut resident = 0usize;
         for (g, group) in schedule.groups.iter().enumerate() {
             for issue in plan.issues_at(g) {
-                let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step]
+                let Step::Load { region, level, .. } =
+                    &schedule.groups[issue.group].steps[issue.step]
                 else {
                     unreachable!("prefetch plans only target load steps");
                 };
@@ -1256,12 +1276,17 @@ impl Engine {
                 resident += elements;
                 stats.observe_resident(resident);
                 stats.record_load(elements, &phases[issue.group]);
+                if !level.is_default() {
+                    stats.record_level_load(level.raw(), elements);
+                }
                 stats.note_prefetch(elements);
                 pre_sizes.insert((issue.group, issue.step), elements);
             }
             for (idx, step) in group.steps.iter().enumerate() {
                 match step {
-                    Step::Load { region, dst, .. } => {
+                    Step::Load {
+                        region, dst, level, ..
+                    } => {
                         if let Some(elements) = pre_sizes.remove(&(g, idx)) {
                             // resident and counted since its issue boundary
                             sizes.insert(*dst, elements);
@@ -1271,6 +1296,9 @@ impl Engine {
                         resident += elements;
                         stats.observe_resident(resident);
                         stats.record_load(elements, &phases[g]);
+                        if !level.is_default() {
+                            stats.record_level_load(level.raw(), elements);
+                        }
                         sizes.insert(*dst, elements);
                     }
                     Step::Alloc { region, dst, .. } => {
@@ -1279,10 +1307,13 @@ impl Engine {
                         sizes.insert(*dst, region.len());
                     }
                     Step::Flops(flops) => stats.record_flops(*flops),
-                    Step::Store { buf } => {
+                    Step::Store { buf, level } => {
                         let elements = sizes.remove(buf).unwrap_or(0);
                         resident -= elements;
                         stats.record_store(elements, &phases[g]);
+                        if !level.is_default() {
+                            stats.record_level_store(level.raw(), elements);
+                        }
                     }
                     Step::Discard { buf } => {
                         resident -= sizes.remove(buf).unwrap_or(0);
@@ -1327,6 +1358,7 @@ impl Engine {
                         matrix,
                         region,
                         dst,
+                        ..
                     } => {
                         resident += region.len();
                         trace.push(TraceEvent {
@@ -1346,7 +1378,7 @@ impl Engine {
                         resident += region.len();
                         meta.insert(*dst, (matrix.raw(), region.clone()));
                     }
-                    Step::Store { buf } => {
+                    Step::Store { buf, .. } => {
                         if let Some((matrix, region)) = meta.remove(buf) {
                             resident -= region.len();
                             trace.push(TraceEvent {
@@ -1413,6 +1445,7 @@ impl Engine {
                         matrix,
                         region,
                         dst,
+                        ..
                     } => {
                         if let Some(entry) = pre_meta.remove(&(g, idx)) {
                             // transferred at its issue boundary
@@ -1437,7 +1470,7 @@ impl Engine {
                         resident += region.len();
                         meta.insert(*dst, (matrix.raw(), region.clone()));
                     }
-                    Step::Store { buf } => {
+                    Step::Store { buf, .. } => {
                         if let Some((matrix, region)) = meta.remove(buf) {
                             resident -= region.len();
                             trace.push(TraceEvent {

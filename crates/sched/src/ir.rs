@@ -35,7 +35,7 @@
 use std::fmt;
 use symla_matrix::kernels::FlopCount;
 use symla_matrix::Scalar;
-use symla_memory::{MatrixId, Region};
+use symla_memory::{Level, MatrixId, Region};
 
 /// Identifier of a fast-memory buffer within a schedule.
 pub type BufId = usize;
@@ -193,6 +193,10 @@ pub enum Step<T: Scalar> {
         region: Region,
         /// Buffer created by this step.
         dst: BufId,
+        /// Memory tier the region is read from. [`Level::SLOW`] (the
+        /// default) is the classic two-level slow memory; deeper tiers
+        /// stage through every intermediate level.
+        level: Level,
     },
     /// Reserve fast-memory space for a region without reading it (no load
     /// traffic); used for outputs that are fully overwritten.
@@ -214,6 +218,9 @@ pub enum Step<T: Scalar> {
     Store {
         /// The buffer consumed.
         buf: BufId,
+        /// Memory tier the buffer is written to ([`Level::SLOW`] by
+        /// default).
+        level: Level,
     },
     /// Release a buffer without writing it back (no store traffic).
     Discard {
@@ -262,7 +269,7 @@ impl<T: Scalar> TaskGroup<T> {
                 Step::Load { region, dst, .. } | Step::Alloc { region, dst, .. } => {
                     sizes.insert(*dst, region.len() as u64);
                 }
-                Step::Store { buf } => stored += sizes.remove(buf).unwrap_or(0),
+                Step::Store { buf, .. } => stored += sizes.remove(buf).unwrap_or(0),
                 _ => {}
             }
         }
@@ -286,6 +293,47 @@ impl<T: Scalar> Schedule<T> {
     /// Total number of steps over all groups.
     pub fn num_steps(&self) -> usize {
         self.groups.iter().map(|g| g.steps.len()).sum()
+    }
+
+    /// Whether any transfer step targets a non-default memory tier.
+    ///
+    /// Leveled schedules dump with text header version 2 and encode with
+    /// binary container version 2; plain two-level schedules keep the
+    /// version-1 forms byte-identical to what older builds wrote.
+    pub fn is_leveled(&self) -> bool {
+        self.groups.iter().flat_map(|g| &g.steps).any(|s| {
+            matches!(s,
+                Step::Load { level, .. } | Step::Store { level, .. } if !level.is_default())
+        })
+    }
+
+    /// The text-dump version this schedule serializes with: 2 when leveled
+    /// transfers are present, 1 otherwise.
+    pub fn text_version(&self) -> u16 {
+        if self.is_leveled() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Returns a copy with every transfer re-pointed at `level`: all `Load`
+    /// and `Store` steps name the given tier, everything else (groups,
+    /// phases, computes, allocs, discards) is unchanged. Re-leveling to
+    /// [`Level::default`] collapses a leveled schedule back to the classic
+    /// two-level form; the autotuner uses this to score one schedule across
+    /// the staging tiers of a hierarchy.
+    pub fn with_transfer_level(&self, level: Level) -> Self {
+        let mut out = self.clone();
+        for group in &mut out.groups {
+            for step in &mut group.steps {
+                match step {
+                    Step::Load { level: l, .. } | Step::Store { level: l, .. } => *l = level,
+                    _ => {}
+                }
+            }
+        }
+        out
     }
 }
 
@@ -350,7 +398,14 @@ impl<T: Scalar> fmt::Display for Step<T> {
                 matrix,
                 region,
                 dst,
-            } => write!(f, "load     m{} {region} -> b{dst}", matrix.raw()),
+                level,
+            } => {
+                write!(f, "load     m{} {region} -> b{dst}", matrix.raw())?;
+                if !level.is_default() {
+                    write!(f, " @{level}")?;
+                }
+                Ok(())
+            }
             Step::Alloc {
                 matrix,
                 region,
@@ -358,7 +413,13 @@ impl<T: Scalar> fmt::Display for Step<T> {
             } => write!(f, "alloc    m{} {region} -> b{dst}", matrix.raw()),
             Step::Compute(op) => write!(f, "{op}"),
             Step::Flops(fl) => write!(f, "flops    mults={} adds={}", fl.mults, fl.adds),
-            Step::Store { buf } => write!(f, "store    b{buf}"),
+            Step::Store { buf, level } => {
+                write!(f, "store    b{buf}")?;
+                if !level.is_default() {
+                    write!(f, " @{level}")?;
+                }
+                Ok(())
+            }
             Step::Discard { buf } => write!(f, "discard  b{buf}"),
         }
     }
@@ -369,10 +430,11 @@ impl<T: Scalar> Schedule<T> {
     /// and one line per step, stable enough to diff optimized-vs-seed
     /// schedules by eye (and locked by a golden-file test).
     /// [`Schedule::parse`] is its exact inverse, so the dump doubles as the
-    /// on-disk schedule serialization. The version line carries the same
-    /// [`crate::binary::FORMAT_VERSION`] as the binary form
-    /// ([`Schedule::to_bytes`]), so both serializations share one
-    /// versioning story.
+    /// on-disk schedule serialization. The version line carries
+    /// [`Schedule::text_version`]: plain two-level schedules keep emitting
+    /// `v1` byte-identically to older builds (golden files stay valid),
+    /// while schedules with leveled transfers ([`Schedule::is_leveled`])
+    /// emit `v2` and annotate those steps with an ` @l{n}` suffix.
     ///
     /// ```
     /// use symla_memory::{MatrixId, Region};
@@ -389,7 +451,7 @@ impl<T: Scalar> Schedule<T> {
     pub fn dump(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{TEXT_HEADER_PREFIX}{}", crate::binary::FORMAT_VERSION);
+        let _ = writeln!(out, "{TEXT_HEADER_PREFIX}{}", self.text_version());
         let _ = writeln!(out, "{self}");
         for (g, group) in self.groups.iter().enumerate() {
             match &group.phase {
@@ -544,7 +606,7 @@ mod parse {
     use super::{BufId, BufSlice, ComputeOp, Step};
     use symla_matrix::kernels::FlopCount;
     use symla_matrix::Scalar;
-    use symla_memory::{MatrixId, Region};
+    use symla_memory::{Level, MatrixId, Region};
 
     type Result<T> = std::result::Result<T, String>;
 
@@ -578,6 +640,23 @@ mod parse {
             start: start.parse().map_err(|_| err())?,
             len: len.parse().map_err(|_| err())?,
         })
+    }
+
+    /// Parses an ` @l{n}` level token.
+    fn level_token(text: &str) -> Result<Level> {
+        text.strip_prefix("@l")
+            .and_then(|t| t.parse::<u8>().ok())
+            .map(Level::new)
+            .ok_or_else(|| format!("bad level `{text}`"))
+    }
+
+    /// Splits an optional trailing ` @l{n}` level annotation off a step's
+    /// operand text (the v2 leveled-transfer suffix).
+    fn split_level(rest: &str) -> Result<(&str, Level)> {
+        match rest.rsplit_once(' ') {
+            Some((left, last)) if last.starts_with("@l") => Ok((left, level_token(last)?)),
+            _ => Ok((rest, Level::default())),
+        }
     }
 
     /// Strips `key=` from a token.
@@ -628,11 +707,13 @@ mod parse {
         let tokens: Vec<&str> = rest.split_whitespace().collect();
         match op {
             "load" => {
-                let (matrix, region, dst) = transfer(rest)?;
+                let (operands, level) = split_level(rest)?;
+                let (matrix, region, dst) = transfer(operands)?;
                 Ok(Step::Load {
                     matrix,
                     region,
                     dst,
+                    level,
                 })
             }
             "alloc" => {
@@ -643,7 +724,17 @@ mod parse {
                     dst,
                 })
             }
-            "store" => Ok(Step::Store { buf: buf(rest)? }),
+            "store" => match tokens.as_slice() {
+                [b] => Ok(Step::Store {
+                    buf: buf(b)?,
+                    level: Level::default(),
+                }),
+                [b, lvl] => Ok(Step::Store {
+                    buf: buf(b)?,
+                    level: level_token(lvl)?,
+                }),
+                _ => Err(format!("bad store operands `{rest}`")),
+            },
             "discard" => Ok(Step::Discard { buf: buf(rest)? }),
             "flops" => match tokens.as_slice() {
                 [mults, adds] => Ok(Step::Flops(FlopCount::new(
@@ -805,14 +896,22 @@ impl<T: Scalar> ScheduleBuilder<T> {
         self.current.steps.push(step);
     }
 
-    /// Emits a load step and returns the id of the created buffer.
+    /// Emits a load step from the default slow tier and returns the id of
+    /// the created buffer.
     pub fn load(&mut self, matrix: MatrixId, region: Region) -> BufId {
+        self.load_from(matrix, region, Level::default())
+    }
+
+    /// Emits a load step from an explicit memory tier and returns the id of
+    /// the created buffer. `Level::default()` is exactly [`Self::load`].
+    pub fn load_from(&mut self, matrix: MatrixId, region: Region, level: Level) -> BufId {
         let dst = self.next_buf;
         self.next_buf += 1;
         self.push(Step::Load {
             matrix,
             region,
             dst,
+            level,
         });
         dst
     }
@@ -839,9 +938,15 @@ impl<T: Scalar> ScheduleBuilder<T> {
         self.push(Step::Flops(flops));
     }
 
-    /// Emits a store step consuming `buf`.
+    /// Emits a store step consuming `buf`, writing to the default slow tier.
     pub fn store(&mut self, buf: BufId) {
-        self.push(Step::Store { buf });
+        self.store_to(buf, Level::default());
+    }
+
+    /// Emits a store step consuming `buf`, writing to an explicit memory
+    /// tier. `Level::default()` is exactly [`Self::store`].
+    pub fn store_to(&mut self, buf: BufId, level: Level) {
+        self.push(Step::Store { buf, level });
     }
 
     /// Emits a discard step consuming `buf`.
@@ -1065,6 +1170,61 @@ mod tests {
         // A malformed version number is rejected, not silently skipped.
         let garbled = format!("symla-schedule text vX\n{legacy}");
         assert!(Schedule::<f64>::parse(&garbled).is_err());
+    }
+
+    #[test]
+    fn leveled_steps_round_trip_with_a_v2_header() {
+        let m = MatrixId::synthetic(0);
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let x = b.load_from(m, Region::rect(0, 0, 2, 2), Level::new(3));
+        let y = b.load(m, Region::col_segment(0, 0, 2));
+        b.discard(y);
+        b.store_to(x, Level::new(2));
+        let schedule = b.finish();
+
+        assert!(schedule.is_leveled());
+        assert_eq!(schedule.text_version(), 2);
+        let dump = schedule.dump();
+        assert!(dump.starts_with("symla-schedule text v2\n"), "{dump}");
+        assert!(
+            dump.contains("load     m0 Rect[0..+2, 0..+2] -> b0 @l3"),
+            "{dump}"
+        );
+        assert!(dump.contains("store    b0 @l2"), "{dump}");
+        // the default-level load carries no suffix
+        assert!(
+            dump.contains("load     m0 Rect[0..+2, 0..+1] -> b1\n"),
+            "{dump}"
+        );
+
+        let parsed = Schedule::<f64>::parse(&dump).unwrap_or_else(|e| panic!("{e}\n{dump}"));
+        assert_eq!(parsed, schedule);
+        assert_eq!(parsed.dump(), dump);
+
+        // a garbled level annotation is rejected, not silently defaulted
+        let bad = "schedule: 1 group(s), 1 step(s)\ngroup 0\n  store    b0 @lX\n";
+        let err = Schedule::<f64>::parse(bad).unwrap_err();
+        assert!(err.message.contains("bad level"), "{err}");
+    }
+
+    #[test]
+    fn default_level_schedules_keep_the_v1_dump() {
+        // builder `load`/`store` and explicit default-level `load_from`/
+        // `store_to` produce identical, version-1 dumps
+        let m = MatrixId::synthetic(0);
+        let mut a = ScheduleBuilder::<f64>::new();
+        let x = a.load(m, Region::rect(0, 0, 2, 2));
+        a.store(x);
+        let mut b = ScheduleBuilder::<f64>::new();
+        let y = b.load_from(m, Region::rect(0, 0, 2, 2), Level::default());
+        b.store_to(y, Level::default());
+        let (a, b) = (a.finish(), b.finish());
+        assert_eq!(a, b);
+        assert!(!a.is_leveled());
+        assert_eq!(a.text_version(), 1);
+        assert!(a.dump().starts_with("symla-schedule text v1\n"));
+        assert_eq!(a.dump(), b.dump());
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use indexing::{largest_coprime_below, CyclicIndexing};
 pub use ir::{BufId, BufSlice, ComputeOp, Schedule, ScheduleBuilder, Step, TaskGroup};
 pub use ops::{Op, OpSet};
 pub use opt::{max_oi_nonsymmetric_mults, max_oi_symmetric_mults, max_subcomputation_bound};
-pub use partition::{PartitionStats, TbsPartition};
+pub use partition::{partition_groups, NodeAssignment, PartitionStats, TbsPartition};
 pub use passes::{Pass, PassError, PassManager, PassPipeline, PassReport};
 pub use prefetch::{PrefetchIssue, PrefetchPlan};
 pub use timing::{modelled_group_times, modelled_run_trace, modelled_time, modelled_time_planned};

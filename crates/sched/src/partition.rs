@@ -13,8 +13,10 @@
 //! only describes the structured `c·k × c·k` prefix.
 
 use crate::indexing::CyclicIndexing;
+use crate::ir::{Schedule, Step};
 use crate::triangle::triangle_block;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use symla_matrix::Scalar;
 
 /// Statistics describing one TBS partition level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +175,146 @@ impl TbsPartition {
     }
 }
 
+/// The result of [`partition_groups`]: which task groups each node replays
+/// and how much slow-memory traffic each node exchanges with its home shard
+/// (local) versus every other shard (cross).
+///
+/// Volumes are in matrix elements, the same unit as
+/// [`IoStats`](symla_memory::IoStats); together `local_volume[n] +
+/// cross_volume[n]` is exactly the dry-run I/O volume of node `n`'s groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAssignment {
+    /// Group indices assigned to each node, in schedule order.
+    pub nodes: Vec<Vec<usize>>,
+    /// Per node: elements moved to or from the node's home shard.
+    pub local_volume: Vec<u64>,
+    /// Per node: elements moved to or from every other shard.
+    pub cross_volume: Vec<u64>,
+}
+
+impl NodeAssignment {
+    /// Total cross-shard volume over all nodes.
+    pub fn total_cross(&self) -> u64 {
+        self.cross_volume.iter().sum()
+    }
+
+    /// Largest per-node cross-shard volume (the communication bottleneck).
+    pub fn max_cross(&self) -> u64 {
+        self.cross_volume.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total volume (local + cross) of node `n`'s groups.
+    pub fn node_volume(&self, n: usize) -> u64 {
+        self.local_volume[n] + self.cross_volume[n]
+    }
+}
+
+/// Assigns the task groups of `schedule` to nodes, minimizing each node's
+/// *cross-shard* traffic: the elements it moves to or from shards other than
+/// its home shard (`homes[n]` for node `n`, indices into the shards of a
+/// [`SharedSlowMemory`](symla_memory::SharedSlowMemory)).
+///
+/// `shard_of_matrix` maps a matrix id (its [`raw`](symla_memory::MatrixId::raw)
+/// value) to the shard holding it; unmapped matrices live on shard `0`.
+/// Every load and store of a group is attributed to the shard of the matrix
+/// it transfers, at region granularity — the same accounting the sharded
+/// slow memory performs at replay time, so the assignment's predicted
+/// volumes match the observed per-shard [`IoStats`](symla_memory::IoStats)
+/// exactly.
+///
+/// The heuristic is greedy LPT over the per-group volumes (largest group
+/// first, the classic makespan bound): each group goes to the node where it
+/// adds the least cross-shard volume, tie-broken by the smaller total
+/// volume, then by node index. Builders that seed group order from the
+/// triangle-block partition (the SYRK/Cholesky family) therefore get
+/// contiguous block columns co-located before load balance kicks in.
+///
+/// # Panics
+///
+/// Panics if `homes` is empty.
+pub fn partition_groups<T: Scalar>(
+    schedule: &Schedule<T>,
+    shard_of_matrix: &BTreeMap<u64, usize>,
+    homes: &[usize],
+) -> NodeAssignment {
+    assert!(
+        !homes.is_empty(),
+        "partition_groups needs at least one node"
+    );
+    let shard_of = |raw: u64| shard_of_matrix.get(&raw).copied().unwrap_or(0);
+
+    // Per group: elements transferred per shard. Buffers may straddle
+    // groups in serial schedules, so the buf -> (matrix, len) table is
+    // carried across the whole walk.
+    let mut buf_src: BTreeMap<crate::ir::BufId, (u64, usize)> = BTreeMap::new();
+    let mut volumes: Vec<BTreeMap<usize, u64>> = Vec::with_capacity(schedule.groups.len());
+    for group in &schedule.groups {
+        let mut per_shard: BTreeMap<usize, u64> = BTreeMap::new();
+        for step in &group.steps {
+            match step {
+                Step::Load {
+                    matrix,
+                    region,
+                    dst,
+                    ..
+                } => {
+                    buf_src.insert(*dst, (matrix.raw(), region.len()));
+                    *per_shard.entry(shard_of(matrix.raw())).or_default() += region.len() as u64;
+                }
+                Step::Alloc {
+                    matrix,
+                    region,
+                    dst,
+                } => {
+                    buf_src.insert(*dst, (matrix.raw(), region.len()));
+                }
+                Step::Store { buf, .. } => {
+                    if let Some((raw, len)) = buf_src.remove(buf) {
+                        *per_shard.entry(shard_of(raw)).or_default() += len as u64;
+                    }
+                }
+                Step::Discard { buf } => {
+                    buf_src.remove(buf);
+                }
+                Step::Compute(_) | Step::Flops(_) => {}
+            }
+        }
+        volumes.push(per_shard);
+    }
+
+    // LPT order: groups by total volume, largest first, stable in index.
+    let mut order: Vec<usize> = (0..volumes.len()).collect();
+    let total = |g: usize| volumes[g].values().sum::<u64>();
+    order.sort_by_key(|&g| std::cmp::Reverse(total(g)));
+
+    let n = homes.len();
+    let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut local = vec![0u64; n];
+    let mut cross = vec![0u64; n];
+    for g in order {
+        let group_total = total(g);
+        let best = (0..n)
+            .min_by_key(|&node| {
+                let on_home = volumes[g].get(&homes[node]).copied().unwrap_or(0);
+                let added_cross = group_total - on_home;
+                (cross[node] + added_cross, local[node] + cross[node], node)
+            })
+            .expect("at least one node");
+        let on_home = volumes[g].get(&homes[best]).copied().unwrap_or(0);
+        local[best] += on_home;
+        cross[best] += group_total - on_home;
+        nodes[best].push(g);
+    }
+    for groups in &mut nodes {
+        groups.sort_unstable();
+    }
+    NodeAssignment {
+        nodes,
+        local_volume: local,
+        cross_volume: cross,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +383,66 @@ mod tests {
             }
         }
         assert_eq!(all_pairs.len(), 49 * 6);
+    }
+
+    #[test]
+    fn partitioner_colocates_groups_with_their_shard() {
+        use crate::ir::ScheduleBuilder;
+        use symla_memory::{MatrixId, Region};
+
+        // Matrix 0 lives on shard 0, matrix 1 on shard 1. Two groups read
+        // only matrix 0, two only matrix 1: with homes [0, 1] the optimum is
+        // zero cross-shard traffic.
+        let m0 = MatrixId::synthetic(0);
+        let m1 = MatrixId::synthetic(1);
+        let mut b = ScheduleBuilder::<f64>::new();
+        for g in 0..4 {
+            b.begin_group();
+            let m = if g % 2 == 0 { m0 } else { m1 };
+            let x = b.load(m, Region::rect(0, g, 3, 1));
+            b.store(x);
+        }
+        let s = b.finish();
+        let shards: BTreeMap<u64, usize> = [(0, 0), (1, 1)].into();
+
+        let a = partition_groups(&s, &shards, &[0, 1]);
+        assert_eq!(a.nodes, vec![vec![0, 2], vec![1, 3]]);
+        // each group moves 3 elements in and 3 out, all on its home shard
+        assert_eq!(a.local_volume, vec![12, 12]);
+        assert_eq!(a.cross_volume, vec![0, 0]);
+        assert_eq!(a.total_cross(), 0);
+        assert_eq!(a.max_cross(), 0);
+
+        // Both nodes homed on shard 0: matrix-1 traffic is cross wherever it
+        // lands — the total is forced, and every group is placed exactly once.
+        let a = partition_groups(&s, &shards, &[0, 0]);
+        assert_eq!(a.total_cross(), 12);
+        assert_eq!(a.node_volume(0) + a.node_volume(1), 24);
+        let mut all: Vec<usize> = a.nodes.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn partitioner_attributes_straddling_stores_to_the_loading_shard() {
+        use crate::ir::ScheduleBuilder;
+        use symla_memory::{MatrixId, Region};
+
+        // The buffer is loaded in group 0 and stored in group 1: the store's
+        // 4 elements belong to matrix 1's shard, charged to group 1.
+        let m1 = MatrixId::synthetic(1);
+        let mut b = ScheduleBuilder::<f64>::new();
+        b.begin_group();
+        let x = b.load(m1, Region::rect(0, 0, 2, 2));
+        b.begin_group();
+        b.store(x);
+        let s = b.finish();
+        let shards: BTreeMap<u64, usize> = [(1, 1)].into();
+        let a = partition_groups(&s, &shards, &[1]);
+        assert_eq!(a.local_volume, vec![8]);
+        assert_eq!(a.cross_volume, vec![0]);
+        let a = partition_groups(&s, &shards, &[0]);
+        assert_eq!(a.cross_volume, vec![8]);
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub(crate) fn buffer_table<'a, T: Scalar>(
                 matrix,
                 region,
                 dst,
+                ..
             }
             | Step::Alloc {
                 matrix,
@@ -173,7 +174,7 @@ pub(crate) fn buffer_table<'a, T: Scalar>(
                     },
                 );
             }
-            Step::Store { buf } | Step::Discard { buf } => {
+            Step::Store { buf, .. } | Step::Discard { buf } => {
                 let kind = if matches!(step, Step::Store { .. }) {
                     ConsumeKind::Store
                 } else {
@@ -223,7 +224,7 @@ pub(crate) fn residency_profile<T: Scalar>(steps: &[Step<T>], resident_in: usize
                 resident += region.len();
                 sizes.insert(*dst, region.len());
             }
-            Step::Store { buf } | Step::Discard { buf } => {
+            Step::Store { buf, .. } | Step::Discard { buf } => {
                 resident -= sizes.remove(buf).unwrap_or(0);
             }
             _ => {}

@@ -68,7 +68,7 @@ impl<T: Scalar> Pass<T> for DeadStoreElimination {
                         }
                     }
                 }
-                Step::Store { buf } => {
+                Step::Store { buf, .. } => {
                     if let Some(info) = table.get(buf) {
                         let set = shadowed.entry(info.matrix).or_default();
                         let cells = info.region.cells();
@@ -86,7 +86,7 @@ impl<T: Scalar> Pass<T> for DeadStoreElimination {
         // store events per matrix seen so far, as (position, cells)
         let mut stores_seen: HashMap<MatrixId, Vec<(usize, HashSet<Cell>)>> = HashMap::new();
         for (pos, step) in flat.iter().enumerate() {
-            if let Step::Store { buf } = step {
+            if let Step::Store { buf, .. } = step {
                 if let Some(info) = table.get(buf) {
                     let cells: HashSet<Cell> = info.region.cells().into_iter().collect();
                     if info.origin == OriginKind::Load && !info.is_dirty() && !dead.contains(&pos) {
@@ -112,7 +112,7 @@ impl<T: Scalar> Pass<T> for DeadStoreElimination {
         // apply rules 1 + 2: dead stores become discards
         for &pos in &dead {
             let (g, i) = coords[pos];
-            let Step::Store { buf } = schedule.groups[g].steps[i] else {
+            let Step::Store { buf, .. } = schedule.groups[g].steps[i] else {
                 unreachable!("dead positions are stores");
             };
             let elements = table[&buf].region.len() as u64;
@@ -277,7 +277,7 @@ mod tests {
             .filter(|s| matches!(s, Step::Store { .. }))
             .collect();
         assert_eq!(stores.len(), 1);
-        assert!(matches!(stores[0], Step::Store { buf } if *buf == 0));
+        assert!(matches!(stores[0], Step::Store { buf, .. } if *buf == 0));
     }
 
     #[test]

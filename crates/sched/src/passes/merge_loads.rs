@@ -28,7 +28,7 @@ use super::{Pass, PassReport, Result};
 use crate::ir::{BufId, Schedule, Step};
 use std::collections::HashMap;
 use symla_matrix::Scalar;
-use symla_memory::{MatrixId, Region};
+use symla_memory::{Level, MatrixId, Region};
 
 /// The merge/eliminate pass. See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,7 +70,7 @@ impl<T: Scalar> Pass<T> for MergeLoads {
                         live_outside.insert(*dst, region.len());
                         resident_in += region.len();
                     }
-                    Step::Store { buf } | Step::Discard { buf } => {
+                    Step::Store { buf, .. } | Step::Discard { buf } => {
                         resident_in -= live_outside.remove(buf).unwrap_or(0);
                     }
                     _ => {}
@@ -96,7 +96,7 @@ fn schedule_peak<T: Scalar>(schedule: &Schedule<T>) -> usize {
                 resident += region.len();
                 peak = peak.max(resident);
             }
-            Step::Store { buf } | Step::Discard { buf } => {
+            Step::Store { buf, .. } | Step::Discard { buf } => {
                 resident -= sizes.remove(buf).unwrap_or(0);
             }
             _ => {}
@@ -115,7 +115,7 @@ fn reusable(info: &BufInfo) -> bool {
 /// always zero for whole-buffer aliases).
 fn apply_aliases<T: Scalar>(step: &mut Step<T>, alias: &HashMap<BufId, BufId>) {
     match step {
-        Step::Store { buf } | Step::Discard { buf } => {
+        Step::Store { buf, .. } | Step::Discard { buf } => {
             if let Some(&n) = alias.get(buf) {
                 *buf = n;
             }
@@ -160,10 +160,14 @@ fn dedup_loads<T: Scalar>(
                 matrix,
                 region,
                 dst,
+                level,
             } => {
                 let dst = *dst;
                 let info = &table[&dst];
-                if !reusable(info) {
+                // Leveled loads are never merged: two transfers from
+                // different tiers have distinct per-level accounting even
+                // when they read the same cells.
+                if !reusable(info) || !level.is_default() {
                     continue;
                 }
                 let key = (*matrix, region.clone());
@@ -213,7 +217,7 @@ fn dedup_loads<T: Scalar>(
                 }
                 avail.insert(key, dst);
             }
-            Step::Store { buf } => {
+            Step::Store { buf, .. } => {
                 let buf = *buf;
                 match table.get(&buf) {
                     Some(info) => {
@@ -428,12 +432,15 @@ fn coalesce_loads<T: Scalar>(
             matrix,
             region,
             dst,
+            level,
         }) = out[i].clone()
         else {
             i += 1;
             continue;
         };
-        if !sliceable(dst) || region.is_empty() {
+        // Leveled loads never coalesce: the chain would lose which tier each
+        // member read from.
+        if !sliceable(dst) || region.is_empty() || !level.is_default() {
             i += 1;
             continue;
         }
@@ -446,11 +453,12 @@ fn coalesce_loads<T: Scalar>(
                 matrix: m2,
                 region: r2,
                 dst: d2,
+                level: l2,
             }) = out[j].clone()
             else {
                 break;
             };
-            if m2 != matrix || !sliceable(d2) || r2.is_empty() {
+            if m2 != matrix || !sliceable(d2) || r2.is_empty() || !l2.is_default() {
                 break;
             }
             let Some((merged, shift_existing, off_new)) = merge_regions(&chain_region, &r2) else {
@@ -477,6 +485,7 @@ fn coalesce_loads<T: Scalar>(
                 matrix,
                 region: chain_region,
                 dst: head,
+                level: Level::default(),
             });
             // member loads disappear
             for &(_, _, load_idx) in &chain[1..] {

@@ -51,7 +51,7 @@ fn footprint<T: Scalar>(group: &TaskGroup<T>) -> Result<Option<Footprint>> {
     let table = buffer_table(&group.steps)?;
     // self-containment: every buffer referenced by a consume is created here
     for step in &group.steps {
-        if let Step::Store { buf } | Step::Discard { buf } = step {
+        if let Step::Store { buf, .. } | Step::Discard { buf } = step {
             if !table.contains_key(buf) {
                 return Ok(None);
             }
@@ -66,7 +66,7 @@ fn footprint<T: Scalar>(group: &TaskGroup<T>) -> Result<Option<Footprint>> {
         if let Step::Load { matrix, region, .. } = step {
             reads.insert_region(*matrix, region);
         }
-        if let Step::Store { buf } = step {
+        if let Step::Store { buf, .. } = step {
             let info = &table[buf];
             writes.insert_region(info.matrix, &info.region);
         }

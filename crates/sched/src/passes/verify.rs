@@ -177,6 +177,7 @@ impl Interpreter {
                 matrix,
                 region,
                 dst,
+                ..
             } => {
                 let hashes = region
                     .cells()
@@ -212,7 +213,7 @@ impl Interpreter {
                     },
                 );
             }
-            Step::Store { buf } => {
+            Step::Store { buf, .. } => {
                 let b = self
                     .bufs
                     .remove(buf)

@@ -131,6 +131,7 @@ impl PrefetchPlan {
                         matrix,
                         region,
                         dst,
+                        ..
                     }
                     | Step::Alloc {
                         matrix,
@@ -141,7 +142,7 @@ impl PrefetchPlan {
                         sizes.insert(*dst, region.len());
                         buf_meta.insert(*dst, (*matrix, region.clone()));
                     }
-                    Step::Store { buf } => {
+                    Step::Store { buf, .. } => {
                         resident -= sizes.get(buf).copied().unwrap_or(0) as i64;
                         if let Some((matrix, region)) = buf_meta.get(buf) {
                             stores.push(StoreRecord {
@@ -298,7 +299,7 @@ pub(crate) fn is_self_contained<T: Scalar>(group: &TaskGroup<T>) -> bool {
             Step::Load { dst, .. } | Step::Alloc { dst, .. } => {
                 live.insert(*dst);
             }
-            Step::Store { buf } | Step::Discard { buf } => {
+            Step::Store { buf, .. } | Step::Discard { buf } => {
                 if !live.remove(buf) {
                     return false; // consumes a buffer it did not create
                 }
@@ -339,6 +340,7 @@ pub(crate) fn hoistable_loads<T: Scalar>(group: &TaskGroup<T>) -> Vec<(usize, us
                 matrix,
                 region,
                 dst,
+                ..
             } => {
                 if !region.is_empty() && !stored.overlaps_region(*matrix, region) {
                     out.push((idx, region.len()));
@@ -352,7 +354,7 @@ pub(crate) fn hoistable_loads<T: Scalar>(group: &TaskGroup<T>) -> Vec<(usize, us
             } => {
                 buf_meta.insert(*dst, (*matrix, region.clone()));
             }
-            Step::Store { buf } => {
+            Step::Store { buf, .. } => {
                 if let Some((matrix, region)) = buf_meta.get(buf) {
                     stored.insert_region(*matrix, region);
                 }
@@ -367,7 +369,7 @@ pub(crate) fn hoistable_loads<T: Scalar>(group: &TaskGroup<T>) -> Vec<(usize, us
 mod tests {
     use super::*;
     use crate::ir::ScheduleBuilder;
-    use symla_memory::MatrixId;
+    use symla_memory::{Level, MatrixId};
 
     /// Two groups, each loading a disjoint block: with lookahead 1 and
     /// enough slack, group 1's loads are issued at group 0's boundary.
@@ -482,8 +484,12 @@ mod tests {
                             matrix: m,
                             region: Region::rect(0, 0, 2, 2),
                             dst: 0,
+                            level: Level::default(),
                         },
-                        Step::Store { buf: 0 },
+                        Step::Store {
+                            buf: 0,
+                            level: Level::default(),
+                        },
                     ],
                 },
                 TaskGroup {
@@ -493,6 +499,7 @@ mod tests {
                             matrix: m,
                             region: Region::rect(0, 0, 2, 2),
                             dst: 1,
+                            level: Level::default(),
                         },
                         Step::Discard { buf: 1 },
                     ],
@@ -504,6 +511,7 @@ mod tests {
                             matrix: m,
                             region: Region::rect(10, 10, 1, 1),
                             dst: 0, // rebinds b0 to a disjoint region
+                            level: Level::default(),
                         },
                         Step::Discard { buf: 0 },
                     ],

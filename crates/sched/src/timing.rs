@@ -86,17 +86,20 @@ pub fn modelled_time_planned<T: Scalar>(
         let mut prefetch_ns = 0.0_f64;
         let mut compute_ns = 0.0_f64;
         for issue in plan.issues_at(g) {
-            let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step] else {
+            let Step::Load { region, level, .. } = &schedule.groups[issue.group].steps[issue.step]
+            else {
                 unreachable!("prefetch plans only target load steps");
             };
-            prefetch_ns += model.load_ns(region.len());
+            prefetch_ns += model.load_ns_at(*level, region.len());
         }
         for (idx, step) in group.steps.iter().enumerate() {
             match step {
-                Step::Load { region, dst, .. } => {
+                Step::Load {
+                    region, dst, level, ..
+                } => {
                     sizes.insert(*dst, region.len());
                     if !plan.is_prefetched(g, idx) {
-                        demand_ns += model.load_ns(region.len());
+                        demand_ns += model.load_ns_at(*level, region.len());
                     }
                 }
                 Step::Alloc { region, dst, .. } => {
@@ -105,8 +108,8 @@ pub fn modelled_time_planned<T: Scalar>(
                     sizes.insert(*dst, region.len());
                 }
                 Step::Flops(flops) => compute_ns += model.compute_ns(flops.total()),
-                Step::Store { buf } => {
-                    demand_ns += model.store_ns(sizes.remove(buf).unwrap_or(0));
+                Step::Store { buf, level } => {
+                    demand_ns += model.store_ns_at(*level, sizes.remove(buf).unwrap_or(0));
                 }
                 Step::Discard { buf } => {
                     sizes.remove(buf);
@@ -160,16 +163,18 @@ pub fn modelled_run_trace<T: Scalar>(
         clock.settle();
         events.push(rec(&clock, EventKind::GroupStart { group: g }));
         for issue in plan.issues_at(g) {
-            let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step] else {
+            let Step::Load { region, level, .. } = &schedule.groups[issue.group].steps[issue.step]
+            else {
                 unreachable!("prefetch plans only target load steps");
             };
-            clock.charge_load(model.load_ns(region.len()));
+            clock.charge_load(model.load_ns_at(*level, region.len()));
             clock.reclassify_last_load();
             events.push(rec(
                 &clock,
                 EventKind::Load {
                     elements: region.len(),
                     prefetched: true,
+                    level: level.raw(),
                 },
             ));
             events.push(rec(
@@ -183,7 +188,9 @@ pub fn modelled_run_trace<T: Scalar>(
         }
         for (idx, step) in group.steps.iter().enumerate() {
             match step {
-                Step::Load { region, dst, .. } => {
+                Step::Load {
+                    region, dst, level, ..
+                } => {
                     sizes.insert(*dst, region.len());
                     if plan.is_prefetched(g, idx) {
                         // The load itself was issued (and recorded) at an
@@ -196,12 +203,13 @@ pub fn modelled_run_trace<T: Scalar>(
                             },
                         ));
                     } else {
-                        clock.charge_load(model.load_ns(region.len()));
+                        clock.charge_load(model.load_ns_at(*level, region.len()));
                         events.push(rec(
                             &clock,
                             EventKind::Load {
                                 elements: region.len(),
                                 prefetched: false,
+                                level: level.raw(),
                             },
                         ));
                     }
@@ -222,10 +230,16 @@ pub fn modelled_run_trace<T: Scalar>(
                 Step::Compute(op) => {
                     events.push(rec(&clock, EventKind::Compute { kind: op.kind() }));
                 }
-                Step::Store { buf } => {
+                Step::Store { buf, level } => {
                     let elements = sizes.remove(buf).unwrap_or(0);
-                    clock.charge_store(model.store_ns(elements));
-                    events.push(rec(&clock, EventKind::Store { elements }));
+                    clock.charge_store(model.store_ns_at(*level, elements));
+                    events.push(rec(
+                        &clock,
+                        EventKind::Store {
+                            elements,
+                            level: level.raw(),
+                        },
+                    ));
                 }
                 Step::Discard { buf } => {
                     let elements = sizes.remove(buf).unwrap_or(0);
@@ -262,25 +276,28 @@ pub fn modelled_group_times<T: Scalar>(
         let mut prefetch_ns = 0.0_f64;
         let mut compute_ns = 0.0_f64;
         for issue in plan.issues_at(g) {
-            let Step::Load { region, .. } = &schedule.groups[issue.group].steps[issue.step] else {
+            let Step::Load { region, level, .. } = &schedule.groups[issue.group].steps[issue.step]
+            else {
                 unreachable!("prefetch plans only target load steps");
             };
-            prefetch_ns += model.load_ns(region.len());
+            prefetch_ns += model.load_ns_at(*level, region.len());
         }
         for (idx, step) in group.steps.iter().enumerate() {
             match step {
-                Step::Load { region, dst, .. } => {
+                Step::Load {
+                    region, dst, level, ..
+                } => {
                     sizes.insert(*dst, region.len());
                     if !plan.is_prefetched(g, idx) {
-                        demand_ns += model.load_ns(region.len());
+                        demand_ns += model.load_ns_at(*level, region.len());
                     }
                 }
                 Step::Alloc { region, dst, .. } => {
                     sizes.insert(*dst, region.len());
                 }
                 Step::Flops(flops) => compute_ns += model.compute_ns(flops.total()),
-                Step::Store { buf } => {
-                    demand_ns += model.store_ns(sizes.remove(buf).unwrap_or(0));
+                Step::Store { buf, level } => {
+                    demand_ns += model.store_ns_at(*level, sizes.remove(buf).unwrap_or(0));
                 }
                 Step::Discard { buf } => {
                     sizes.remove(buf);
@@ -370,6 +387,63 @@ mod tests {
             assert_eq!(measured.compute_ns.to_bits(), modelled.compute_ns.to_bits());
             assert_eq!(measured.hidden_ns.to_bits(), modelled.hidden_ns.to_bits());
             assert_eq!(measured.groups, modelled.groups);
+        }
+    }
+
+    /// The leveled variant of the bitwise invariant: a schedule whose
+    /// transfers name deeper tiers is priced with the per-level latency
+    /// surcharges, and the prediction still matches a `LatencyMachine`
+    /// replay over a `TieredMachine` bit for bit.
+    #[test]
+    fn leveled_model_matches_tiered_latency_machine_bitwise() {
+        use symla_memory::{Level, TieredMachine};
+        let id = MatrixId::synthetic(0);
+        let mut b = ScheduleBuilder::<f64>::new();
+        for i in 0..2 {
+            b.begin_group();
+            let x = b.load_from(id, Region::rect(3 * i, 0, 3, 3), Level::new(2 + i as u8));
+            let y = b.load(id, Region::rect(0, 3, 2, 2));
+            b.flops(FlopCount::new(500, 500));
+            b.discard(y);
+            b.store_to(x, Level::new(2 + i as u8));
+        }
+        let s = b.finish();
+        assert!(s.is_leveled());
+        let model = MachineModel::nvme()
+            .with_level_extra(Level::new(2), 8.0)
+            .with_level_extra(Level::new(3), 4000.0);
+        for lookahead in 0..3 {
+            let inner = {
+                let mut m = OocMachine::<f64>::with_capacity(64);
+                let mid = m.insert_dense(Matrix::identity(6));
+                assert_eq!(mid, id);
+                TieredMachine::new(m).with_tier(None).with_tier(None)
+            };
+            let mut machine = LatencyMachine::new(inner, model);
+            Engine::execute_with(&mut machine, &s, &EngineConfig::with_lookahead(lookahead))
+                .unwrap();
+            let measured = machine.time();
+            let modelled = modelled_time(&s, &model, lookahead, Some(64));
+            assert_eq!(measured.io_ns.to_bits(), modelled.io_ns.to_bits());
+            assert_eq!(measured.compute_ns.to_bits(), modelled.compute_ns.to_bits());
+            assert_eq!(measured.hidden_ns.to_bits(), modelled.hidden_ns.to_bits());
+            assert_eq!(measured.groups, modelled.groups);
+            // leveled transfers cost strictly more than the two-level read
+            // of the same volume under a surcharged model
+            let collapsed = {
+                let mut c = ScheduleBuilder::<f64>::new();
+                for i in 0..2 {
+                    c.begin_group();
+                    let x = c.load(id, Region::rect(3 * i, 0, 3, 3));
+                    let y = c.load(id, Region::rect(0, 3, 2, 2));
+                    c.flops(FlopCount::new(500, 500));
+                    c.discard(y);
+                    c.store(x);
+                }
+                c.finish()
+            };
+            let flat = modelled_time(&collapsed, &model, lookahead, Some(64));
+            assert!(modelled.io_ns > flat.io_ns);
         }
     }
 

@@ -237,6 +237,83 @@ fn kitchen_sink_ir_round_trips() {
     assert_eq!(texted, schedule);
 }
 
+/// Leveled variants of every builder round-trip in both formats, encode as
+/// container version 2, and collapsing back to the default level restores
+/// the exact version-1 bytes an older build would have written.
+#[test]
+fn leveled_builders_round_trip_and_collapse_to_v1_bytes() {
+    use symla_memory::Level;
+    for (name, schedule) in builder_schedules() {
+        let flat_bytes = schedule.to_bytes();
+        assert_eq!(flat_bytes[4..6], [1, 0], "{name}: two-level encodes v1");
+
+        let leveled = schedule.with_transfer_level(Level::new(3));
+        assert!(leveled.is_leveled(), "{name}");
+        let bytes = leveled.to_bytes();
+        assert_eq!(bytes[4..6], [2, 0], "{name}: leveled encodes v2");
+        let decoded = Schedule::<f64>::from_bytes(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(decoded, leveled, "{name}: binary round trip");
+        let texted = Schedule::<f64>::parse(&leveled.dump())
+            .unwrap_or_else(|e| panic!("{name}: text path: {e}"));
+        assert_eq!(texted, leveled, "{name}: text round trip");
+
+        // Collapsing the hierarchy restores the pre-hierarchy encodings
+        // byte for byte, in both formats.
+        let collapsed = leveled.with_transfer_level(Level::default());
+        assert_eq!(collapsed.to_bytes(), flat_bytes, "{name}: bytes collapse");
+        assert_eq!(collapsed.dump(), schedule.dump(), "{name}: dump collapses");
+    }
+}
+
+/// Version cross-parsing: a v1 dump parses under a v2 header (versions are
+/// upper bounds, not exact matches), and the binary v1/v2 tag sets decode
+/// to the same steps where they overlap.
+#[test]
+fn v1_dumps_parse_under_a_v2_header() {
+    for (name, schedule) in builder_schedules() {
+        let dump = schedule.dump();
+        assert!(dump.starts_with("symla-schedule text v1\n"), "{name}");
+        let relabeled = dump.replacen("v1", "v2", 1);
+        let parsed = Schedule::<f64>::parse(&relabeled)
+            .unwrap_or_else(|e| panic!("{name}: v2-relabeled dump: {e}"));
+        assert_eq!(parsed, schedule, "{name}: header version is an upper bound");
+    }
+}
+
+/// The leveled TLV tags (7/8) survive the corruption sweep like the rest of
+/// the format: every strict prefix is rejected with a typed error and no
+/// single-byte flip anywhere in a leveled encoding can panic the decoder —
+/// including flips that land on the trailing level byte itself.
+#[test]
+fn leveled_encoding_survives_the_corruption_sweep() {
+    use symla_memory::Level;
+    let (_, schedule) = builder_schedules().swap_remove(0);
+    let leveled = schedule.with_transfer_level(Level::new(2));
+    let bytes = leveled.to_bytes();
+
+    for cut in 0..bytes.len() {
+        let err = Schedule::<f64>::from_bytes(&bytes[..cut])
+            .expect_err(&format!("leveled prefix of {cut} bytes decoded"));
+        assert!(
+            matches!(
+                err,
+                BinaryError::Truncated { .. }
+                    | BinaryError::BadMagic(_)
+                    | BinaryError::Corrupt { .. }
+            ),
+            "leveled prefix {cut}: unexpected error {err:?}"
+        );
+    }
+
+    for mask in [0x40u8, 0x01] {
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= mask;
+            let _ = Schedule::<f64>::from_bytes(&flipped);
+        }
+    }
+}
+
 /// Corrupted input always yields a typed error: truncation at *every*
 /// prefix, bad magic, a future format version, a scalar-width mismatch and
 /// trailing garbage all report the matching [`BinaryError`] variant, and

@@ -177,6 +177,56 @@ fn random_splices_never_panic() {
     }
 }
 
+/// The leveled (container v2) encodings fuzz like the flat ones: random
+/// mutations of every builder's tier-3 variant — which exercises the
+/// leveled Load/Store TLV tags and the v2 text header — never panic, and
+/// accepted mutants round-trip. Mutations that land on a level byte must
+/// decode into *some* level (levels are total over `u8`), never panic.
+#[test]
+fn leveled_encodings_fuzz_like_flat_ones() {
+    use symla_memory::Level;
+    let mut rng = seeded_rng(0xF0225);
+    for (name, schedule) in builder_schedules() {
+        let leveled = schedule.with_transfer_level(Level::new(3));
+        let bytes = leveled.to_bytes();
+        let text = leveled.dump();
+        for round in 0..150 {
+            // Binary: 1..=4 byte mutations per round.
+            let mut mutated = bytes.clone();
+            let hits = 1 + (rng.next_u64() % 4) as usize;
+            for _ in 0..hits {
+                let pos = (rng.next_u64() % bytes.len() as u64) as usize;
+                mutated[pos] = rng.next_u64() as u8;
+            }
+            assert_decode_is_total(name, &format!("leveled mutate round {round}"), &mutated);
+
+            // Binary: random truncation.
+            let cut = (rng.next_u64() % (bytes.len() as u64 + 1)) as usize;
+            assert_decode_is_total(name, &format!("leveled truncate to {cut}"), &bytes[..cut]);
+
+            // Text: mutate a handful of characters of the v2 dump. The
+            // replacement alphabet includes `@` and `l` so the ` @l3`
+            // suffixes themselves get corrupted, not just the step bodies.
+            let mut chars: Vec<char> = text.chars().collect();
+            for _ in 0..4 {
+                let pos = (rng.next_u64() % chars.len() as u64) as usize;
+                chars[pos] = b" 0123456789azAZ#:x,-@l"[(rng.next_u64() % 22) as usize] as char;
+            }
+            let mutated_text: String = chars.into_iter().collect();
+            if let Ok(parsed) = Schedule::<f64>::parse(&mutated_text) {
+                let redumped = parsed.dump();
+                let again = Schedule::<f64>::parse(&redumped).unwrap_or_else(|e| {
+                    panic!("{name}: leveled round {round}: accepted text failed to re-parse: {e}")
+                });
+                assert_eq!(
+                    again, parsed,
+                    "{name}: leveled round {round}: text round trip"
+                );
+            }
+        }
+    }
+}
+
 /// The text path is equally total: random character mutations, line drops,
 /// line duplications and truncations of `dump()` either parse into a
 /// schedule whose own dump re-parses, or report a typed parse error — never
